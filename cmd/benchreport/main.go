@@ -1,0 +1,280 @@
+// Command benchreport regenerates the experiment tables recorded in
+// EXPERIMENTS.md: each -exp selects one paper artifact and prints a
+// markdown table with freshly measured numbers.
+//
+//	go run ./cmd/benchreport -exp all
+//	go run ./cmd/benchreport -exp e3      # Fig. 6 replication policies
+//	go run ./cmd/benchreport -exp e4     # Fig. 4 summary accuracy sweep
+//	go run ./cmd/benchreport -exp e6     # §IV storage strategies
+//	go run ./cmd/benchreport -exp e10    # Fig. 1 hierarchy rollup
+//	go run ./cmd/benchreport -exp table1 # Table I challenge coverage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+	"megadata/internal/hierarchy"
+	"megadata/internal/replication"
+	"megadata/internal/simnet"
+	"megadata/internal/storage"
+	"megadata/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, table1, all")
+	flag.Parse()
+	reports := map[string]func() error{
+		"e3":     reportE3,
+		"e4":     reportE4,
+		"e6":     reportE6,
+		"e10":    reportE10,
+		"table1": reportTable1,
+	}
+	if *exp != "all" {
+		fn, ok := reports[*exp]
+		if !ok {
+			log.Fatalf("unknown experiment %q", *exp)
+		}
+		if err := fn(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	keys := make([]string, 0, len(reports))
+	for k := range reports {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := reports[k](); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// reportE3 regenerates the Figure 6 / Section VII replication comparison.
+func reportE3() error {
+	fmt.Println("## E3 — Fig. 6 adaptive replication (policy comparison)")
+	fmt.Println()
+	trace, err := workload.NewQueryTrace(workload.QueryTraceConfig{Seed: 1, Partitions: 400})
+	if err != nil {
+		return err
+	}
+	mid := trace.Config.Start.Add(trace.Config.Horizon / 2)
+	train, eval := trace.SplitAt(mid)
+	training := replication.VolumesOf(replication.TotalVolumes(conv(train)))
+	dist, err := replication.FitDistAware(training, trace.Config.PartitionBytes)
+	if err != nil {
+		return err
+	}
+	policies := []replication.Policy{
+		replication.Never{}, replication.Always{},
+		replication.CountThreshold{N: 3}, replication.VolumeFraction{P: 0.5},
+		replication.BreakEven{}, dist,
+	}
+	fmt.Println("| policy | WAN bytes | replicas | local queries | mean latency | ratio vs OPT |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, p := range policies {
+		net := simnet.NewNetwork()
+		net.AddSite("edge")
+		net.AddSite("dc")
+		if err := net.Connect("edge", "dc", simnet.Link{BytesPerSecond: 5e6, Latency: 40 * time.Millisecond}); err != nil {
+			return err
+		}
+		res, err := replication.Simulate(replication.SimConfig{
+			PartitionBytes: trace.Config.PartitionBytes,
+			Local:          "edge", Remote: "dc", Net: net,
+		}, p, conv(eval))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %s | %d | %d | %d | %s | %.2f |\n",
+			res.Policy, res.WANBytes, res.Replications, res.LocalQueries,
+			res.MeanLatency.Round(time.Millisecond), res.CompetitiveRatio())
+	}
+	return nil
+}
+
+func conv(in []workload.Access) []replication.Access {
+	out := make([]replication.Access, len(in))
+	for i, a := range in {
+		out[i] = replication.Access{Partition: a.Partition, At: a.At, ResultVol: a.ResultVol}
+	}
+	return out
+}
+
+// reportE4 regenerates the Figure 4 accuracy sweep: Flowtree query error
+// and summary size versus node budget.
+func reportE4() error {
+	fmt.Println("## E4 — Fig. 4 Flowtree accuracy vs node budget")
+	fmt.Println()
+	gen := func() []flow.Record {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 42, Skew: 1.1})
+		if err != nil {
+			panic(err)
+		}
+		return g.Records(30000)
+	}
+	recs := gen()
+	full, err := flowtree.New(0)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		full.Add(r)
+	}
+	// Probe at two granularities: fine (exact flow, source port
+	// wildcarded — the first canonical generalization) and coarse (/16
+	// source prefixes). Fine queries lose attribution first as the
+	// budget shrinks; coarse queries stay nearly exact.
+	fineProbes := map[flow.Key]bool{}
+	coarseProbes := map[flow.Key]bool{}
+	for _, r := range recs[:500] {
+		if p, ok := r.Key.GeneralizeStep(8); ok {
+			fineProbes[p] = true
+		}
+		k := flow.Key{SrcIP: r.Key.SrcIP.Mask(16), SrcPrefix: 16, WildProto: true, WildSrcPort: true, WildDstPort: true}
+		coarseProbes[k] = true
+	}
+	meanErr := func(tree *flowtree.Tree, probes map[flow.Key]bool) float64 {
+		var errSum float64
+		var n int
+		for k := range probes {
+			truth := full.Query(k).Bytes
+			if truth == 0 {
+				continue
+			}
+			approx := tree.Query(k).Bytes
+			errSum += float64(truth-approx) / float64(truth)
+			n++
+		}
+		return errSum / float64(n)
+	}
+	fmt.Println("| node budget | summary bytes | fine query error | /16 query error | vs exact bytes |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, budget := range []int{256, 1024, 4096, 16384} {
+		small, err := flowtree.New(budget)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			small.Add(r)
+		}
+		fmt.Printf("| %d | %d | %.3f | %.3f | %.1f%% |\n",
+			budget, small.SizeBytes(), meanErr(small, fineProbes), meanErr(small, coarseProbes),
+			100*float64(small.SizeBytes())/float64(full.SizeBytes()))
+	}
+	return nil
+}
+
+// reportE6 regenerates the Section IV storage-strategy comparison.
+func reportE6() error {
+	fmt.Println("## E6 — §IV storage strategies (equal byte budget)")
+	fmt.Println()
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	const epochSize = 1024 // bytes per 1-minute epoch summary
+	const budget = 60 * epochSize
+
+	ring, err := storage.NewRingStore[int](budget)
+	if err != nil {
+		return err
+	}
+	hier, err := storage.NewHierarchicalStore[int]([]storage.Level{
+		{Width: time.Minute, BudgetBytes: budget / 2},
+		{Width: 30 * time.Minute, BudgetBytes: budget / 4},
+		{Width: 6 * time.Hour, BudgetBytes: budget / 4},
+	}, func(a, b int) (int, uint64) { return a + b, epochSize })
+	if err != nil {
+		return err
+	}
+	now := t0
+	ttl, err := storage.NewTTLStore[int](time.Hour, func() time.Time { return now })
+	if err != nil {
+		return err
+	}
+	const epochs = 24 * 60 // one day of minutes
+	for i := 0; i < epochs; i++ {
+		now = t0.Add(time.Duration(i) * time.Minute)
+		e := storage.Epoch[int]{Start: now, Width: time.Minute, Size: epochSize, Payload: 1}
+		_ = ring.Put(e)
+		_ = hier.Put(e)
+		ttl.Put(e)
+	}
+	hier.Flush()
+	fmt.Println("| strategy | bytes used | retention horizon | notes |")
+	fmt.Println("|---|---|---|---|")
+	fmt.Printf("| (1) fixed expiration (1h TTL) | %d | 1h guaranteed | unbounded bytes under load |\n", ttl.UsedBytes())
+	fmt.Printf("| (2) round robin | %d | %v | horizon shrinks with rate |\n", ring.UsedBytes(), ring.Horizon())
+	fmt.Printf("| (3) round robin + hierarchical | %d | %v | old data coarsened, not lost |\n", hier.UsedBytes(), hier.Horizon())
+	return nil
+}
+
+// reportE10 regenerates the Figure 1 hierarchy rollup reduction table.
+func reportE10() error {
+	fmt.Println("## E10 — Fig. 1 hierarchy rollup (network monitoring topology)")
+	fmt.Println()
+	h, err := hierarchy.NewNetworkMonitoring(3, 8, 2048)
+	if err != nil {
+		return err
+	}
+	var rawBytes uint64
+	for i, leaf := range h.Leaves() {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Skew: 1.2})
+		if err != nil {
+			return err
+		}
+		recs := g.Records(5000)
+		rawBytes += uint64(len(recs) * 40)
+		if err := h.IngestAtLeaf(leaf, recs); err != nil {
+			return err
+		}
+	}
+	levels, err := h.Rollup()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("raw flow volume at the %d routers: %d bytes\n\n", len(h.Leaves()), rawBytes)
+	fmt.Println("| level | nodes | exported bytes | bytes/node | reduction vs raw |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, l := range levels {
+		fmt.Printf("| %s | %d | %d | %d | %.1fx |\n",
+			l.Level, l.Nodes, l.Bytes, l.Bytes/uint64(l.Nodes), float64(rawBytes)/float64(l.Bytes))
+	}
+	root, err := h.RootTree()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nroot tree: %d nodes covering %d flows\n", root.Len(), root.Total().Flows)
+	return nil
+}
+
+// reportTable1 prints the nine Table I challenges with the mechanism that
+// addresses each and the module implementing it.
+func reportTable1() error {
+	fmt.Println("## Table I — challenges and where this reproduction addresses them")
+	fmt.Println()
+	rows := [][3]string{
+		{"1 increasing computation requirements", "aggregate at the source with budgeted primitives", "internal/primitive, internal/flowtree"},
+		{"2 many devices producing streams", "per-stream subscriptions into shared data stores", "internal/datastore (Subscribe)"},
+		{"3 massive combined data rates", "summaries capped by node/byte budgets before export", "internal/flowtree (Compress), E10"},
+		{"4 rapid local decision making", "triggers fire the local controller on the ingest path", "internal/datastore (Trigger), internal/controller"},
+		{"5 high data variability", "one Aggregator interface, five summary kinds", "internal/primitive"},
+		{"6 analytics require full knowledge", "mergeable summaries roll up to global views", "internal/hierarchy (Rollup), internal/flowdb"},
+		{"7 hierarchical structure", "site trees over a metered WAN", "internal/hierarchy, internal/simnet"},
+		{"8 varying requirements across applications", "manager splits budgets by app weights", "internal/manager (Require/Apply)"},
+		{"9 a priori unknown queries", "generic summaries + FlowQL over stored epochs", "internal/flowql, internal/datastore (Query)"},
+	}
+	fmt.Println("| challenge | mechanism | module |")
+	fmt.Println("|---|---|---|")
+	for _, r := range rows {
+		fmt.Printf("| %s | %s | %s |\n", r[0], r[1], r[2])
+	}
+	return nil
+}

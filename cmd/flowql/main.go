@@ -1,0 +1,112 @@
+// Command flowql is an interactive FlowQL shell over a freshly generated
+// multi-site FlowDB (Figure 5 step 5). It exists so the query language can
+// be explored without writing code:
+//
+//	$ go run ./cmd/flowql
+//	flowql> SELECT TOPK(5) FROM ALL WHERE src = 10.0.0.0/8
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"megadata/internal/flowql"
+	"megadata/internal/flowstream"
+	"megadata/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		sites  = flag.Int("sites", 2, "number of router sites")
+		epochs = flag.Int("epochs", 3, "number of one-minute epochs")
+		flows  = flag.Int("flows", 10000, "flow records per site per epoch")
+	)
+	flag.Parse()
+
+	names := make([]string, *sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("site%d", i)
+	}
+	sys, err := flowstream.New(flowstream.Config{
+		Sites: names, TreeBudget: 8192, Epoch: time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	for e := 0; e < *epochs; e++ {
+		for i, site := range names {
+			gen, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(e*100 + i), Skew: 1.2})
+			if err != nil {
+				return err
+			}
+			if err := sys.Ingest(site, gen.Records(*flows)); err != nil {
+				return err
+			}
+		}
+		if err := sys.EndEpoch(); err != nil {
+			return err
+		}
+	}
+	from, to, _ := sys.DB.TimeBounds()
+	fmt.Printf("FlowDB ready: %d rows, sites %v, window [%s, %s)\n",
+		sys.DB.Len(), sys.DB.Locations(), from.Format(time.RFC3339), to.Format(time.RFC3339))
+	fmt.Println(`type a FlowQL statement, "help", or "quit"`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("flowql> ")
+		if !scanner.Scan() {
+			if err := scanner.Err(); err != nil && err != io.EOF {
+				return err
+			}
+			return nil
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch strings.ToLower(line) {
+		case "":
+			continue
+		case "quit", "exit":
+			return nil
+		case "help":
+			fmt.Print(helpText)
+			continue
+		}
+		res, err := sys.Query(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			continue
+		}
+		fmt.Print(flowql.Format(res))
+	}
+}
+
+const helpText = `FlowQL:
+  SELECT <op> [AT site0, site1] FROM <times> [WHERE <preds>]
+
+operators:
+  QUERY           popularity of the WHERE flow
+  DRILLDOWN       children of the WHERE flow
+  TOPK(k)         k most popular flows
+  ABOVE(x)        flows with score >= x bytes
+  HHH(phi)        hierarchical heavy hitters at fraction phi
+
+times:
+  ALL             everything in the DB
+  "2026-06-01T00:00:00Z" TO "2026-06-01T00:05:00Z"
+
+predicates (ANDed):
+  src = 10.0.0.0/8    dst = 192.168.1.5    sport = 443
+  dport = 53          proto = tcp|udp|icmp
+`

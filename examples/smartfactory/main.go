@@ -1,0 +1,160 @@
+// Command smartfactory plays through the paper's smart-factory use case
+// (Section II-A) end to end: machines stream temperature readings into an
+// edge data store; a trigger drives the local controller's real-time
+// control cycle (an overheating machine is stopped within one reading); the
+// slower adaptive cycle runs a predictive-maintenance analytics pipeline
+// that fits a degradation trend on the aggregated statistics and installs a
+// maintenance rule before the machine ever crosses its limit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"megadata/internal/analytics"
+	"megadata/internal/controller"
+	"megadata/internal/datastore"
+	"megadata/internal/primitive"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+const overheatLimit = 95.0
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	// The edge data store aggregates per-minute statistics per machine
+	// (Figure 4). It runs on a virtual clock that the sensor loop drives.
+	clock := simnet.NewClock(start)
+	store := datastore.New("line1-edge", clock.Now)
+
+	// The controller actuates machines (Figure 3a control cycle); each
+	// distinct actuation is printed once.
+	acted := make(map[string]bool)
+	ctl := controller.New("line1-ctl", controller.ActuatorFunc(
+		func(target string, action controller.Action, setpoint float64) {
+			key := target + action.String()
+			if acted[key] {
+				return
+			}
+			acted[key] = true
+			fmt.Printf("[controller] %s -> %s (setpoint %.0f)\n", target, action, setpoint)
+		}), nil)
+
+	machines := []string{"m0", "m1", "m2"}
+	for _, m := range machines {
+		m := m
+		err := store.Register(datastore.AggregatorConfig{
+			Name: "temps-" + m,
+			New: func() (primitive.Aggregator, error) {
+				return primitive.NewStats("temps-"+m, time.Minute, 0, 0)
+			},
+			Strategy: datastore.StrategyExpire,
+			TTL:      24 * time.Hour,
+		})
+		if err != nil {
+			return err
+		}
+		if err := store.Subscribe("line1/"+m+"/temp", "temps-"+m); err != nil {
+			return err
+		}
+		err = store.InstallTrigger(datastore.Trigger{
+			Name:   "overheat-" + m,
+			Stream: "line1/" + m + "/temp",
+			Condition: func(item any) bool {
+				r, ok := item.(primitive.Reading)
+				return ok && r.Value > overheatLimit
+			},
+			Fire: ctl.OnTrigger,
+		})
+		if err != nil {
+			return err
+		}
+		if err := ctl.Install(controller.Rule{
+			Name: "stop-" + m, App: "safety", Trigger: "overheat-" + m,
+			Actuator: "line1/" + m + "/motor", Action: controller.ActionStop, Priority: 10,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// m1 degrades (temperature drifts upward); m2 suffers a sudden fault.
+	sensors := make(map[string]*workload.Sensor, len(machines))
+	for i, m := range machines {
+		cfg := workload.SensorConfig{
+			Name: "line1/" + m + "/temp", Seed: int64(i), Base: 60, Noise: 1,
+			Interval: time.Second, Start: start,
+		}
+		if m == "m1" {
+			cfg.Drift = 10 // degrees per hour: the predictive-maintenance signal
+		}
+		s, err := workload.NewSensor(cfg)
+		if err != nil {
+			return err
+		}
+		if m == "m2" {
+			s.InjectFault(start.Add(30*time.Minute), start.Add(31*time.Minute), 50)
+		}
+		sensors[m] = s
+	}
+
+	// Stream two hours of readings (1/s per machine).
+	fmt.Println("== control cycle: streaming 2h of readings ==")
+	for i := 0; i < 7200; i++ {
+		clock.Advance(time.Second)
+		for _, m := range machines {
+			r := sensors[m].Next()
+			if err := store.Ingest(r.Sensor, primitive.Reading{At: r.At, Value: r.Value}); err != nil {
+				return err
+			}
+		}
+	}
+	stops := len(ctl.Log())
+	fmt.Printf("trigger-driven actuations: %d (m2's fault was caught in real time)\n\n", stops)
+
+	// Adaptive cycle (Figure 3a right): the analytics pipeline reads the
+	// aggregated per-minute means and fits a degradation trend per
+	// machine.
+	fmt.Println("== adaptive cycle: predictive maintenance ==")
+	for _, m := range machines {
+		res, err := store.Query("temps-"+m,
+			primitive.StatsQuery{From: start, To: start.Add(2 * time.Hour), Stat: primitive.StatMean},
+			start, start.Add(2*time.Hour))
+		if err != nil {
+			return err
+		}
+		points := res.([]primitive.StatPoint)
+		tp := make([]analytics.TrendPoint, len(points))
+		for i, p := range points {
+			tp[i] = analytics.TrendPoint{X: p.Start.Sub(start).Hours(), Y: p.Value}
+		}
+		trend, err := analytics.FitTrend(tp)
+		if err != nil {
+			return err
+		}
+		hrs, rising := trend.CrossingX(overheatLimit)
+		if !rising || hrs > 24 {
+			fmt.Printf("  %s: healthy (slope %+.2f degrees/h)\n", m, trend.Slope)
+			continue
+		}
+		fmt.Printf("  %s: predicted to reach %.0f degrees in %.1fh -> scheduling maintenance\n",
+			m, overheatLimit, hrs)
+		if err := ctl.Install(controller.Rule{
+			Name: "maint-" + m, App: "predictive-maintenance",
+			Trigger: "overheat-" + m, Actuator: "line1/" + m + "/motor",
+			Action: controller.ActionSlowDown, Setpoint: 50, Priority: 5,
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\ninstalled rules: %d\n", len(ctl.Rules()))
+	return nil
+}

@@ -1,0 +1,118 @@
+package megadata
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"megadata/internal/baseline"
+	"megadata/internal/federation"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowtree"
+	"megadata/internal/replication"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+// BenchmarkFig6_FederatedQuery measures the §IV cross-store query path:
+// ship-always versus replica-served after break-even replication.
+func BenchmarkFig6_FederatedQuery(b *testing.B) {
+	build := func(policy replication.Policy) *federation.Federation {
+		net := simnet.NewNetwork()
+		clock := simnet.NewClock(time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC))
+		fed := federation.New(net, clock, policy)
+		for i, site := range []simnet.SiteID{"edge", "dc"} {
+			db := flowdb.New()
+			g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := flowtree.New(2048)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range g.Records(5000) {
+				tr.Add(r)
+			}
+			if err := db.Insert(flowdb.Row{
+				Location: string(site), Start: clock.Now(), Width: time.Hour, Tree: tr,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			fed.AddSite(site, db)
+		}
+		if err := net.Connect("edge", "dc", simnet.Link{BytesPerSecond: 1e7, Latency: 20 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+		return fed
+	}
+	b.Run("ship-always", func(b *testing.B) {
+		fed := build(replication.Never{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fed.Query("edge", `SELECT TOPK(10) AT dc FROM ALL`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache-served", func(b *testing.B) {
+		fed := build(replication.Never{})
+		cache, err := federation.NewResultCache(1 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fed.SetCache(cache)
+		// Prime the cache.
+		if _, _, err := fed.Query("edge", `SELECT TOPK(10) AT dc FROM ALL`); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fed.Query("edge", `SELECT TOPK(10) AT dc FROM ALL`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replica-served", func(b *testing.B) {
+		fed := build(replication.Always{})
+		// Prime the replica.
+		if _, _, err := fed.Query("edge", `SELECT TOPK(10) AT dc FROM ALL`); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fed.Query("edge", `SELECT TOPK(10) AT dc FROM ALL`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig5_MemoryVsExact contrasts the Flowtree summary footprint with
+// the exact per-flow store at increasing trace sizes — the "mega-dataset"
+// motivation in numbers (E2).
+func BenchmarkFig5_MemoryVsExact(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 7, Skew: 1.2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs := g.Records(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				exact := baseline.New()
+				tree, err := flowtree.New(4096)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range recs {
+					exact.Add(r)
+					tree.Add(r)
+				}
+				b.ReportMetric(float64(exact.MemoryBytes()), "exactB")
+				b.ReportMetric(float64(tree.SizeBytes()), "treeB")
+			}
+		})
+	}
+}

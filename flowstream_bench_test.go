@@ -1,0 +1,51 @@
+package megadata
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"megadata/internal/flowstream"
+	"megadata/internal/workload"
+)
+
+// benchFlowstream measures the Figure 5 path: ingest at every site, seal
+// the epoch, export to the center, and answer one FlowQL query.
+func benchFlowstream(b *testing.B, sites, flowsPerSite int) {
+	b.Helper()
+	names := make([]string, sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("site%d", i)
+	}
+	gens := make([]*workload.FlowGen, sites)
+	for i := range gens {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Skew: 1.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens[i] = g
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := flowstream.New(flowstream.Config{
+			Sites: names, TreeBudget: 4096, Epoch: time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for s, site := range names {
+			if err := sys.Ingest(site, gens[s].Records(flowsPerSite)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sys.EndEpoch(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Query(`SELECT TOPK(10) FROM ALL`); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sites*flowsPerSite), "flows/op")
+}

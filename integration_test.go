@@ -1,0 +1,406 @@
+package megadata
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"megadata/internal/analytics"
+	"megadata/internal/baseline"
+	"megadata/internal/controller"
+	"megadata/internal/datastore"
+	"megadata/internal/federation"
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowstream"
+	"megadata/internal/flowtree"
+	"megadata/internal/lineage"
+	"megadata/internal/manager"
+	"megadata/internal/primitive"
+	"megadata/internal/privacy"
+	"megadata/internal/replication"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+var integrationStart = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// TestIntegrationNetworkMonitoringPipeline runs the whole Figure 5 story
+// and cross-checks every FlowQL answer against the exact baseline.
+func TestIntegrationNetworkMonitoringPipeline(t *testing.T) {
+	sites := []string{"r0", "r1", "r2"}
+	sys, err := flowstream.New(flowstream.Config{
+		Sites: sites, TreeBudget: 0, Epoch: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := baseline.New()
+	for epoch := 0; epoch < 4; epoch++ {
+		for i, site := range sites {
+			g, err := workload.NewFlowGen(workload.FlowConfig{
+				Seed: int64(epoch*7 + i), Sources: 1024, Destinations: 256,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := g.Records(2000)
+			for _, r := range recs {
+				exact.Add(r)
+			}
+			if err := sys.Ingest(site, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Global totals agree with ground truth.
+	res, err := sys.Query(`SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters != exact.Total() {
+		t.Fatalf("pipeline total %+v != exact %+v", res.Counters, exact.Total())
+	}
+	// Prefix-restricted totals agree too (no compression configured).
+	for _, prefix := range []string{"10.0.0.0/8", "10.0.0.0/16", "10.0.1.0/24"} {
+		res, err := sys.Query(`SELECT QUERY FROM ALL WHERE src = ` + prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var key flow.Key
+		var a, b2, c, d byte
+		var bits uint8
+		if _, err := fmt.Sscanf(prefix, "%d.%d.%d.%d/%d", &a, &b2, &c, &d, &bits); err != nil {
+			t.Fatal(err)
+		}
+		key = flow.Key{
+			SrcIP:     flow.IPv4(uint32(a)<<24 | uint32(b2)<<16 | uint32(c)<<8 | uint32(d)),
+			SrcPrefix: bits, WildProto: true, WildSrcPort: true, WildDstPort: true,
+		}
+		if want := exact.Query(key); res.Counters != want {
+			t.Errorf("prefix %s: pipeline %+v != exact %+v", prefix, res.Counters, want)
+		}
+	}
+}
+
+// TestIntegrationFaultySensorStory exercises the Section III-C lineage use
+// case end to end: a faulty sensor contaminates an aggregate, an
+// application detects the anomaly, lineage walks upstream to the sensor and
+// downstream to the affected applications, and the offending application's
+// rules are retracted from the controller.
+func TestIntegrationFaultySensorStory(t *testing.T) {
+	clock := simnet.NewClock(integrationStart)
+	store := datastore.New("edge", clock.Now)
+	if err := store.Register(datastore.AggregatorConfig{
+		Name: "temps",
+		New: func() (primitive.Aggregator, error) {
+			return primitive.NewStats("temps", time.Minute, 0, 0)
+		},
+		Strategy: datastore.StrategyExpire, TTL: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sensor := range []string{"s0", "s1"} {
+		if err := store.Subscribe(sensor, "temps"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Lineage graph mirrors the deployment.
+	graph := lineage.NewSchemaGraph()
+	graph.AddNode("s0", lineage.KindSensor)
+	graph.AddNode("s1", lineage.KindSensor)
+	graph.AddNode("temps", lineage.KindAggregator)
+	graph.AddNode("monitor-app", lineage.KindApplication)
+	for _, tr := range []lineage.Transform{
+		{Src: "s0", Dst: "temps", Format: "reading"},
+		{Src: "s1", Dst: "temps", Format: "reading"},
+		{Src: "temps", Dst: "monitor-app", Format: "timebins-60s"},
+	} {
+		if err := graph.AddTransform(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctl := controller.New("ctl", nil, clock.Now)
+	if err := ctl.Install(controller.Rule{
+		Name: "tune", App: "monitor-app", Trigger: "drift", Actuator: "m0",
+		Action: controller.ActionSet, Setpoint: 42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// s0 is healthy; s1 is faulty (reads 400 degrees).
+	healthy, err := workload.NewSensor(workload.SensorConfig{
+		Name: "s0", Seed: 1, Base: 60, Noise: 1, Interval: time.Second, Start: integrationStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := workload.NewSensor(workload.SensorConfig{
+		Name: "s1", Seed: 2, Base: 400, Noise: 1, Interval: time.Second, Start: integrationStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		clock.Advance(time.Second)
+		r := healthy.Next()
+		if err := store.Ingest("s0", primitive.Reading{At: r.At, Value: r.Value}); err != nil {
+			t.Fatal(err)
+		}
+		r = faulty.Next()
+		if err := store.Ingest("s1", primitive.Reading{At: r.At, Value: r.Value}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The application sees an absurd mean and investigates.
+	res, err := store.Query("temps",
+		primitive.StatsQuery{From: integrationStart, To: integrationStart.Add(time.Hour), Stat: primitive.StatMean},
+		integrationStart, integrationStart.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := res.([]primitive.StatPoint)
+	if len(points) == 0 || points[0].Value < 100 {
+		t.Fatalf("contamination not visible: %v", points)
+	}
+	// Lineage: which sensors feed this aggregate?
+	suspects := graph.Upstream("temps")
+	if len(suspects) != 2 {
+		t.Fatalf("suspects = %v", suspects)
+	}
+	// Which applications consumed contaminated data?
+	contaminated := graph.Downstream("s1")
+	foundApp := false
+	for _, n := range contaminated {
+		if n == "monitor-app" {
+			foundApp = true
+		}
+	}
+	if !foundApp {
+		t.Fatalf("downstream of faulty sensor = %v", contaminated)
+	}
+	// Retract the contaminated application's rules (the paper's "retract
+	// erroneous rules").
+	if n := ctl.RemoveApp("monitor-app"); n != 1 {
+		t.Errorf("retracted %d rules", n)
+	}
+	if len(ctl.Rules()) != 0 {
+		t.Error("rules remain after retraction")
+	}
+}
+
+// TestIntegrationManagerAdaptsFederation runs the manager's two control
+// knobs together: budget-driven granularity adaptation and access-driven
+// replication inside a federation.
+func TestIntegrationManagerAdaptsFederation(t *testing.T) {
+	net := simnet.NewNetwork()
+	clock := simnet.NewClock(integrationStart)
+	fed := federation.New(net, clock, replication.BreakEven{})
+
+	// Build two sites with real traffic.
+	for i, site := range []simnet.SiteID{"edge", "dc"} {
+		db := flowdb.New()
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Sources: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := flowtree.New(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range g.Records(3000) {
+			tr.Add(r)
+		}
+		if err := db.Insert(flowdb.Row{
+			Location: string(site), Start: integrationStart, Width: time.Hour, Tree: tr,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		fed.AddSite(site, db)
+	}
+	if err := net.Connect("edge", "dc", simnet.Link{BytesPerSecond: 1e6, Latency: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Repeated cross-site queries must eventually replicate under
+	// break-even and stop paying WAN latency.
+	var lastStats federation.QueryStats
+	for i := 0; i < 50; i++ {
+		_, stats, err := fed.Query("edge", `SELECT TOPK(10) AT dc FROM ALL`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastStats = stats
+	}
+	if lastStats.ShippedSites != 0 {
+		t.Errorf("queries still shipping after 50 accesses under break-even: %+v", lastStats)
+	}
+	// Break-even bound: WAN bytes <= shipped-before-replication +
+	// replica <= 2x replica + one result.
+	if _, ok := fed.ReplicaAsOf("edge", "dc"); !ok {
+		t.Error("no replica installed")
+	}
+
+	// Manager budget adaptation on a live data store.
+	m := manager.New(clock.Now)
+	s := datastore.New("edge-store", clock.Now)
+	if err := s.Register(datastore.AggregatorConfig{
+		Name: "flows",
+		New: func() (primitive.Aggregator, error) {
+			return primitive.NewFlowtree("flows", 100000)
+		},
+		Strategy: datastore.StrategyRoundRobin, BudgetBytes: 1 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.AttachStore(s, 80000)
+	if err := m.Require(manager.Requirement{App: "netops", Store: "edge-store", Aggregator: "flows", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	live, err := s.Live("flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Granularity() != 2000 { // 80000 bytes / 40 per node
+		t.Errorf("adapted granularity = %d, want 2000", live.Granularity())
+	}
+}
+
+// TestIntegrationPrivacyOnExportPath verifies that a privacy policy applied
+// at the export boundary keeps totals intact while hiding hosts, matching
+// the Section III-C claim that local controllers keep full detail while
+// analytics sees coarsened data.
+func TestIntegrationPrivacyOnExportPath(t *testing.T) {
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 11, Sources: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Records(5000)
+	local, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		local.Add(r)
+	}
+	policy := privacy.PolicyFor(privacy.AudienceGlobalAnalytics)
+	export, err := privacy.Apply(local, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Export goes through the wire codec like any other summary.
+	wire := export.AppendBinary(nil)
+	remote, err := flowtree.Decode(wire, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Total() != local.Total() {
+		t.Errorf("privacy-filtered export lost weight: %+v vs %+v", remote.Total(), local.Total())
+	}
+	if leaks := privacy.Leaks(remote, policy); len(leaks) != 0 {
+		t.Errorf("wire round-trip leaked %d keys", len(leaks))
+	}
+	// The local (controller) view still answers exact-host queries.
+	probe := recs[0].Key
+	if local.Query(probe).IsZero() {
+		t.Error("local view lost exact detail")
+	}
+	if !remote.Query(probe).IsZero() && policy.MaxSrcPrefix < 32 {
+		// The exported tree may still cover the probe through a
+		// coarse ancestor; what it must not do is hold the exact key.
+		for _, e := range remote.Entries() {
+			if e.Key == probe {
+				t.Error("exact host key crossed the privacy boundary")
+			}
+		}
+	}
+}
+
+// TestIntegrationAnalyticsPipelineFromStore runs a Figure 2a analytics
+// pipeline fed by data-store output through the pub-sub bus.
+func TestIntegrationAnalyticsPipelineFromStore(t *testing.T) {
+	bus := analytics.NewBus(64)
+	defer bus.Close()
+	sub, err := bus.Subscribe("temps/means")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock := simnet.NewClock(integrationStart)
+	store := datastore.New("edge", clock.Now)
+	if err := store.Register(datastore.AggregatorConfig{
+		Name: "temps",
+		New: func() (primitive.Aggregator, error) {
+			return primitive.NewStats("temps", time.Minute, 0, 0)
+		},
+		Strategy: datastore.StrategyExpire, TTL: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Subscribe("t", "temps"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.NewSensor(workload.SensorConfig{
+		Name: "t", Seed: 3, Base: 50, Noise: 0.1, Drift: 6,
+		Interval: time.Second, Start: integrationStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1800; i++ { // 30 minutes
+		clock.Advance(time.Second)
+		r := s.Next()
+		if err := store.Ingest("t", primitive.Reading{At: r.At, Value: r.Value}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Publish the per-minute means onto the bus (transfer stage).
+	res, err := store.Query("temps",
+		primitive.StatsQuery{From: integrationStart, To: integrationStart.Add(time.Hour), Stat: primitive.StatMean},
+		integrationStart, integrationStart.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.([]primitive.StatPoint) {
+		bus.Publish("temps/means", p)
+	}
+
+	// Process stage: collect, filter, infer.
+	var points []analytics.TrendPoint
+	pipe, err := analytics.NewPipeline("maintenance",
+		analytics.Filter(func(item any) bool {
+			_, ok := item.(primitive.StatPoint)
+			return ok
+		}),
+		analytics.Apply(func(item any) {
+			p := item.(primitive.StatPoint)
+			points = append(points, analytics.TrendPoint{
+				X: p.Start.Sub(integrationStart).Hours(), Y: p.Value,
+			})
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(sub) > 0 {
+		if _, _, err := pipe.Process(<-sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trend, err := analytics.FitTrend(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trend.Slope < 4 || trend.Slope > 8 {
+		t.Errorf("recovered drift slope = %v, want about 6", trend.Slope)
+	}
+}

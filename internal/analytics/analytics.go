@@ -1,0 +1,279 @@
+// Package analytics implements the Analytics building block of Figure 2a:
+// transfer primitives (publish-subscribe, scatter-gather) and processing
+// primitives (map, filter, reduce, apply) composed into pipelines that
+// carry data from data stores to applications. A small inference helper
+// (least-squares trend extrapolation) stands in for the paper's "machine
+// learning" box and powers the predictive-maintenance example.
+package analytics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Stage transforms one item; ok=false drops the item (filter semantics).
+type Stage func(item any) (out any, ok bool, err error)
+
+// Map lifts a pure transformation into a Stage.
+func Map(fn func(any) any) Stage {
+	return func(item any) (any, bool, error) {
+		return fn(item), true, nil
+	}
+}
+
+// Filter lifts a predicate into a Stage.
+func Filter(pred func(any) bool) Stage {
+	return func(item any) (any, bool, error) {
+		if !pred(item) {
+			return nil, false, nil
+		}
+		return item, true, nil
+	}
+}
+
+// Apply lifts a side-effecting observer into a Stage (the paper's "apply").
+func Apply(fn func(any)) Stage {
+	return func(item any) (any, bool, error) {
+		fn(item)
+		return item, true, nil
+	}
+}
+
+// Pipeline is an ordered chain of stages.
+type Pipeline struct {
+	name   string
+	stages []Stage
+}
+
+// NewPipeline builds a pipeline from stages.
+func NewPipeline(name string, stages ...Stage) (*Pipeline, error) {
+	if name == "" {
+		return nil, errors.New("analytics: pipeline needs a name")
+	}
+	for i, s := range stages {
+		if s == nil {
+			return nil, fmt.Errorf("analytics: pipeline %q: stage %d is nil", name, i)
+		}
+	}
+	return &Pipeline{name: name, stages: stages}, nil
+}
+
+// Name returns the pipeline name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Process runs one item through all stages.
+func (p *Pipeline) Process(item any) (any, bool, error) {
+	cur := item
+	for i, s := range p.stages {
+		out, ok, err := s(cur)
+		if err != nil {
+			return nil, false, fmt.Errorf("analytics: pipeline %q stage %d: %w", p.name, i, err)
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		cur = out
+	}
+	return cur, true, nil
+}
+
+// ProcessAll runs a batch through the pipeline, keeping survivors.
+func (p *Pipeline) ProcessAll(items []any) ([]any, error) {
+	out := make([]any, 0, len(items))
+	for _, it := range items {
+		res, ok, err := p.Process(it)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// Reduce folds a batch into an accumulator (the paper's "reduce").
+func Reduce[T any](items []any, init T, fn func(acc T, item any) T) T {
+	acc := init
+	for _, it := range items {
+		acc = fn(acc, it)
+	}
+	return acc
+}
+
+// ScatterGather fans work out over shards and gathers the results in shard
+// order (the paper's "scatter & gather" transfer primitive). Errors from
+// any shard abort the gather.
+func ScatterGather[In, Out any](shards []In, fn func(shard In) (Out, error)) ([]Out, error) {
+	type res struct {
+		i   int
+		out Out
+		err error
+	}
+	ch := make(chan res)
+	for i, shard := range shards {
+		go func(i int, shard In) {
+			out, err := fn(shard)
+			ch <- res{i: i, out: out, err: err}
+		}(i, shard)
+	}
+	outs := make([]Out, len(shards))
+	var firstErr error
+	for range shards {
+		r := <-ch
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("analytics: shard %d: %w", r.i, r.err)
+		}
+		outs[r.i] = r.out
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// Bus is a topic-based publish-subscribe transfer primitive. Subscribers
+// receive every message published to their topic after subscription;
+// slow subscribers drop messages once their buffer fills (monitoring
+// semantics: freshness over completeness).
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[string][]chan any
+	buffer int
+	closed bool
+	// dropped counts messages lost to full subscriber buffers.
+	dropped uint64
+}
+
+// NewBus builds a bus with the given per-subscriber buffer (minimum 1).
+func NewBus(buffer int) *Bus {
+	if buffer < 1 {
+		buffer = 1
+	}
+	return &Bus{subs: make(map[string][]chan any), buffer: buffer}
+}
+
+// Subscribe returns a channel of future messages on topic.
+func (b *Bus) Subscribe(topic string) (<-chan any, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, errors.New("analytics: bus is closed")
+	}
+	ch := make(chan any, b.buffer)
+	b.subs[topic] = append(b.subs[topic], ch)
+	return ch, nil
+}
+
+// Publish delivers item to all current subscribers of topic, dropping to
+// full subscribers. It reports how many subscribers received the item.
+func (b *Bus) Publish(topic string, item any) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	n := 0
+	for _, ch := range b.subs[topic] {
+		select {
+		case ch <- item:
+			n++
+		default:
+			b.dropped++
+		}
+	}
+	return n
+}
+
+// Dropped returns the number of messages lost to full buffers.
+func (b *Bus) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Topics returns the topics with at least one subscriber, sorted.
+func (b *Bus) Topics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.subs))
+	for t, chans := range b.subs {
+		if len(chans) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close closes all subscriber channels; subsequent publishes are dropped.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, chans := range b.subs {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+	b.subs = make(map[string][]chan any)
+}
+
+// TrendPoint is one (x, y) observation for trend inference.
+type TrendPoint struct {
+	X float64
+	Y float64
+}
+
+// Trend is a least-squares line fit: Y = Slope*X + Intercept — the
+// inference stage of the predictive-maintenance pipeline (a degrading
+// machine shows a rising temperature trend; the crossing time of a safety
+// threshold is the predicted failure time).
+type Trend struct {
+	Slope     float64
+	Intercept float64
+	N         int
+}
+
+// FitTrend fits a least-squares line; it needs at least two points with
+// distinct X.
+func FitTrend(points []TrendPoint) (Trend, error) {
+	if len(points) < 2 {
+		return Trend{}, errors.New("analytics: trend needs at least two points")
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range points {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		sxy += p.X * p.Y
+	}
+	n := float64(len(points))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Trend{}, errors.New("analytics: trend needs distinct x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	return Trend{
+		Slope:     slope,
+		Intercept: (sy - slope*sx) / n,
+		N:         len(points),
+	}, nil
+}
+
+// At evaluates the fitted line at x.
+func (t Trend) At(x float64) float64 { return t.Slope*x + t.Intercept }
+
+// CrossingX returns the x at which the line reaches threshold; ok is false
+// for flat or receding trends.
+func (t Trend) CrossingX(threshold float64) (float64, bool) {
+	if t.Slope <= 0 {
+		return 0, false
+	}
+	return (threshold - t.Intercept) / t.Slope, true
+}

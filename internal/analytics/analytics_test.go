@@ -1,0 +1,209 @@
+package analytics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(""); err == nil {
+		t.Error("empty name must error")
+	}
+	if _, err := NewPipeline("p", nil); err == nil {
+		t.Error("nil stage must error")
+	}
+}
+
+func TestPipelineMapFilterApply(t *testing.T) {
+	var seen []int
+	p, err := NewPipeline("p",
+		Filter(func(item any) bool { return item.(int)%2 == 0 }),
+		Map(func(item any) any { return item.(int) * 10 }),
+		Apply(func(item any) { seen = append(seen, item.(int)) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.ProcessAll([]any{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].(int) != 20 || out[1].(int) != 40 {
+		t.Errorf("out = %v", out)
+	}
+	if len(seen) != 2 {
+		t.Errorf("apply saw %v", seen)
+	}
+	if p.Name() != "p" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPipelineErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	p, _ := NewPipeline("p", func(any) (any, bool, error) { return nil, false, boom })
+	if _, _, err := p.Process(1); !errors.Is(err, boom) {
+		t.Errorf("Process err = %v", err)
+	}
+	if _, err := p.ProcessAll([]any{1}); !errors.Is(err, boom) {
+		t.Errorf("ProcessAll err = %v", err)
+	}
+	if !strings.Contains(p.mustErr(t).Error(), `pipeline "p" stage 0`) {
+		t.Errorf("error lacks context: %v", p.mustErr(t))
+	}
+}
+
+func (p *Pipeline) mustErr(t *testing.T) error {
+	t.Helper()
+	_, _, err := p.Process(1)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	return err
+}
+
+func TestReduce(t *testing.T) {
+	sum := Reduce([]any{1, 2, 3}, 0, func(acc int, item any) int { return acc + item.(int) })
+	if sum != 6 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestScatterGatherOrderAndErrors(t *testing.T) {
+	out, err := ScatterGather([]int{1, 2, 3, 4}, func(n int) (int, error) {
+		time.Sleep(time.Duration(4-n) * time.Millisecond) // reverse finish order
+		return n * n, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != (i+1)*(i+1) {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+	boom := errors.New("shard failed")
+	_, err = ScatterGather([]int{1, 2}, func(n int) (int, error) {
+		if n == 2 {
+			return 0, boom
+		}
+		return n, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBusPubSub(t *testing.T) {
+	b := NewBus(4)
+	ch1, err := b.Subscribe("flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, _ := b.Subscribe("flows")
+	other, _ := b.Subscribe("other")
+	if n := b.Publish("flows", 42); n != 2 {
+		t.Errorf("delivered to %d", n)
+	}
+	if got := <-ch1; got.(int) != 42 {
+		t.Errorf("ch1 got %v", got)
+	}
+	if got := <-ch2; got.(int) != 42 {
+		t.Errorf("ch2 got %v", got)
+	}
+	select {
+	case got := <-other:
+		t.Errorf("other topic received %v", got)
+	default:
+	}
+	topics := b.Topics()
+	if len(topics) != 2 || topics[0] != "flows" || topics[1] != "other" {
+		t.Errorf("Topics = %v", topics)
+	}
+}
+
+func TestBusDropsWhenFull(t *testing.T) {
+	b := NewBus(1)
+	_, _ = b.Subscribe("t")
+	b.Publish("t", 1) // fills buffer
+	b.Publish("t", 2) // dropped
+	if b.Dropped() != 1 {
+		t.Errorf("Dropped = %d", b.Dropped())
+	}
+}
+
+func TestBusClose(t *testing.T) {
+	b := NewBus(1)
+	ch, _ := b.Subscribe("t")
+	b.Close()
+	if _, ok := <-ch; ok {
+		t.Error("channel not closed")
+	}
+	if n := b.Publish("t", 1); n != 0 {
+		t.Error("publish after close delivered")
+	}
+	if _, err := b.Subscribe("t"); err == nil {
+		t.Error("subscribe after close must error")
+	}
+	b.Close() // idempotent
+}
+
+func TestFitTrend(t *testing.T) {
+	// y = 2x + 1 exactly.
+	points := []TrendPoint{{0, 1}, {1, 3}, {2, 5}, {3, 7}}
+	tr, err := FitTrend(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Slope-2) > 1e-9 || math.Abs(tr.Intercept-1) > 1e-9 {
+		t.Errorf("fit = %+v", tr)
+	}
+	if got := tr.At(10); math.Abs(got-21) > 1e-9 {
+		t.Errorf("At(10) = %v", got)
+	}
+	x, ok := tr.CrossingX(11)
+	if !ok || math.Abs(x-5) > 1e-9 {
+		t.Errorf("CrossingX = %v, %v", x, ok)
+	}
+}
+
+func TestFitTrendValidation(t *testing.T) {
+	if _, err := FitTrend(nil); err == nil {
+		t.Error("no points must error")
+	}
+	if _, err := FitTrend([]TrendPoint{{1, 1}}); err == nil {
+		t.Error("one point must error")
+	}
+	if _, err := FitTrend([]TrendPoint{{1, 1}, {1, 2}}); err == nil {
+		t.Error("vertical line must error")
+	}
+}
+
+func TestTrendFlatNoCrossing(t *testing.T) {
+	tr, err := FitTrend([]TrendPoint{{0, 5}, {1, 5}, {2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.CrossingX(10); ok {
+		t.Error("flat trend cannot cross a higher threshold")
+	}
+}
+
+func TestFitTrendNoisy(t *testing.T) {
+	// Rising noisy trend: slope recovered within tolerance.
+	var points []TrendPoint
+	for i := 0; i < 100; i++ {
+		noise := math.Sin(float64(i) * 12.9898) // deterministic pseudo-noise
+		points = append(points, TrendPoint{X: float64(i), Y: 0.5*float64(i) + noise})
+	}
+	tr, err := FitTrend(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Slope-0.5) > 0.05 {
+		t.Errorf("slope = %v, want about 0.5", tr.Slope)
+	}
+}

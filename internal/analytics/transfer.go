@@ -1,0 +1,163 @@
+package analytics
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file implements the remaining transfer primitives of Figure 2a:
+// request & reply (a synchronous query to a named service) and forward &
+// replicate (re-publishing a topic to other topics/buses).
+
+// Handler answers one request.
+type Handler func(req any) (any, error)
+
+// Replier is a registry of named request-reply services — the "request &
+// reply" box of Figure 2a. Safe for concurrent use.
+type Replier struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+}
+
+// ErrNoService is returned for calls to unregistered services.
+var ErrNoService = errors.New("analytics: no such service")
+
+// NewReplier builds an empty service registry.
+func NewReplier() *Replier {
+	return &Replier{handlers: make(map[string]Handler)}
+}
+
+// Register installs a handler under a service name, replacing any previous
+// one.
+func (r *Replier) Register(service string, h Handler) error {
+	if service == "" || h == nil {
+		return errors.New("analytics: service needs a name and handler")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[service] = h
+	return nil
+}
+
+// Call invokes a service synchronously.
+func (r *Replier) Call(service string, req any) (any, error) {
+	r.mu.Lock()
+	h, ok := r.handlers[service]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoService, service)
+	}
+	return h(req)
+}
+
+// CallTimeout invokes a service with a deadline, for handlers that may
+// block on remote state. The handler keeps running if it overruns; only the
+// caller gives up (fire-and-abandon semantics, documented trade-off of
+// in-process RPC).
+func (r *Replier) CallTimeout(service string, req any, d time.Duration) (any, error) {
+	type reply struct {
+		res any
+		err error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		res, err := r.Call(service, req)
+		ch <- reply{res: res, err: err}
+	}()
+	select {
+	case rep := <-ch:
+		return rep.res, rep.err
+	case <-time.After(d):
+		return nil, fmt.Errorf("analytics: call %q timed out after %v", service, d)
+	}
+}
+
+// Forwarder re-publishes messages from one topic onto others — the
+// "forward & replicate" box of Figure 2a. It owns a goroutine per forward
+// rule; Close stops them all.
+type Forwarder struct {
+	bus *Bus
+
+	mu      sync.Mutex
+	stops   []chan struct{}
+	done    sync.WaitGroup
+	closed  bool
+	forward uint64
+}
+
+// NewForwarder builds a forwarder over a bus.
+func NewForwarder(bus *Bus) *Forwarder {
+	return &Forwarder{bus: bus}
+}
+
+// Forward replicates every message on src to each dst topic, optionally
+// transforming it (nil transform forwards verbatim; a transform returning
+// ok=false drops the message).
+func (f *Forwarder) Forward(src string, transform func(any) (any, bool), dsts ...string) error {
+	if len(dsts) == 0 {
+		return errors.New("analytics: forward needs at least one destination")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("analytics: forwarder is closed")
+	}
+	in, err := f.bus.Subscribe(src)
+	if err != nil {
+		return err
+	}
+	stop := make(chan struct{})
+	f.stops = append(f.stops, stop)
+	f.done.Add(1)
+	go func() {
+		defer f.done.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case item, ok := <-in:
+				if !ok {
+					return
+				}
+				if transform != nil {
+					var keep bool
+					item, keep = transform(item)
+					if !keep {
+						continue
+					}
+				}
+				for _, d := range dsts {
+					f.bus.Publish(d, item)
+				}
+				f.mu.Lock()
+				f.forward++
+				f.mu.Unlock()
+			}
+		}
+	}()
+	return nil
+}
+
+// Forwarded returns the number of messages forwarded so far.
+func (f *Forwarder) Forwarded() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.forward
+}
+
+// Close stops all forwarding goroutines and waits for them to exit.
+func (f *Forwarder) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	for _, stop := range f.stops {
+		close(stop)
+	}
+	f.mu.Unlock()
+	f.done.Wait()
+}

@@ -1,0 +1,165 @@
+package analytics
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestReplierCall(t *testing.T) {
+	r := NewReplier()
+	if err := r.Register("", nil); err == nil {
+		t.Error("empty registration must error")
+	}
+	if err := r.Register("sum", func(req any) (any, error) {
+		xs := req.([]int)
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Call("sum", []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != 6 {
+		t.Errorf("Call = %v", res)
+	}
+	if _, err := r.Call("ghost", nil); !errors.Is(err, ErrNoService) {
+		t.Errorf("unknown service: %v", err)
+	}
+	// Handler errors propagate.
+	boom := errors.New("boom")
+	_ = r.Register("bad", func(any) (any, error) { return nil, boom })
+	if _, err := r.Call("bad", nil); !errors.Is(err, boom) {
+		t.Errorf("handler error: %v", err)
+	}
+	// Re-registration replaces.
+	_ = r.Register("sum", func(any) (any, error) { return 42, nil })
+	res, _ = r.Call("sum", nil)
+	if res.(int) != 42 {
+		t.Error("re-registration did not replace")
+	}
+}
+
+func TestReplierCallTimeout(t *testing.T) {
+	r := NewReplier()
+	_ = r.Register("slow", func(any) (any, error) {
+		time.Sleep(100 * time.Millisecond)
+		return "late", nil
+	})
+	if _, err := r.CallTimeout("slow", nil, 5*time.Millisecond); err == nil {
+		t.Error("slow call must time out")
+	}
+	_ = r.Register("fast", func(any) (any, error) { return "ok", nil })
+	res, err := r.CallTimeout("fast", nil, time.Second)
+	if err != nil || res.(string) != "ok" {
+		t.Errorf("fast call = %v, %v", res, err)
+	}
+}
+
+func TestForwarderReplicates(t *testing.T) {
+	bus := NewBus(16)
+	defer bus.Close()
+	f := NewForwarder(bus)
+	defer f.Close()
+
+	d1, _ := bus.Subscribe("copy1")
+	d2, _ := bus.Subscribe("copy2")
+	if err := f.Forward("src", nil, "copy1", "copy2"); err != nil {
+		t.Fatal(err)
+	}
+	bus.Publish("src", 7)
+	for _, ch := range []<-chan any{d1, d2} {
+		select {
+		case got := <-ch:
+			if got.(int) != 7 {
+				t.Errorf("forwarded %v", got)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("forward timed out")
+		}
+	}
+	// Counter eventually reflects the forward.
+	deadline := time.Now().Add(time.Second)
+	for f.Forwarded() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if f.Forwarded() == 0 {
+		t.Error("Forwarded = 0")
+	}
+}
+
+func TestForwarderTransformAndDrop(t *testing.T) {
+	bus := NewBus(16)
+	defer bus.Close()
+	f := NewForwarder(bus)
+	defer f.Close()
+
+	dst, _ := bus.Subscribe("out")
+	err := f.Forward("in", func(item any) (any, bool) {
+		n := item.(int)
+		if n%2 != 0 {
+			return nil, false
+		}
+		return n * 10, true
+	}, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		bus.Publish("in", i)
+	}
+	var got []int
+	timeout := time.After(time.Second)
+	for len(got) < 2 {
+		select {
+		case item := <-dst:
+			got = append(got, item.(int))
+		case <-timeout:
+			t.Fatalf("received %v before timeout", got)
+		}
+	}
+	if got[0] != 20 || got[1] != 40 {
+		t.Errorf("transformed = %v", got)
+	}
+}
+
+func TestForwarderValidationAndClose(t *testing.T) {
+	bus := NewBus(1)
+	f := NewForwarder(bus)
+	if err := f.Forward("src", nil); err == nil {
+		t.Error("no destinations must error")
+	}
+	if err := f.Forward("src", nil, "dst"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close() // idempotent
+	if err := f.Forward("src", nil, "dst"); err == nil {
+		t.Error("forward after close must error")
+	}
+	bus.Close()
+}
+
+func TestForwarderStopsOnBusClose(t *testing.T) {
+	bus := NewBus(1)
+	f := NewForwarder(bus)
+	if err := f.Forward("src", nil, "dst"); err != nil {
+		t.Fatal(err)
+	}
+	bus.Close() // closes subscriber channels; goroutine must exit
+	done := make(chan struct{})
+	go func() {
+		f.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("forwarder did not stop after bus close")
+	}
+}

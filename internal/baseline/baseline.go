@@ -1,0 +1,96 @@
+// Package baseline provides the exact, unbounded flow store every Flowtree
+// result is compared against in the experiments: a hash map from exact flow
+// keys to counters. It answers the same queries by brute force, which makes
+// it the ground truth for accuracy (E4) and the memory/throughput foil for
+// the Fig. 5 pipeline (E2). It deliberately implements none of the paper's
+// five computing-primitive properties — that contrast is the point.
+package baseline
+
+import (
+	"sort"
+
+	"megadata/internal/flow"
+)
+
+// ExactStore maps exact flow keys to their accumulated counters.
+type ExactStore struct {
+	flows map[flow.Key]flow.Counters
+	total flow.Counters
+}
+
+// New builds an empty exact store.
+func New() *ExactStore {
+	return &ExactStore{flows: make(map[flow.Key]flow.Counters)}
+}
+
+// Add accumulates one record.
+func (s *ExactStore) Add(r flow.Record) {
+	c := s.flows[r.Key]
+	add := flow.CountersOf(r)
+	c.Add(add)
+	s.flows[r.Key] = c
+	s.total.Add(add)
+}
+
+// Len returns the number of distinct exact flows.
+func (s *ExactStore) Len() int { return len(s.flows) }
+
+// Total returns the exact totals.
+func (s *ExactStore) Total() flow.Counters { return s.total }
+
+// Query returns the exact aggregate of all flows generalized by key —
+// a full scan, O(distinct flows).
+func (s *ExactStore) Query(key flow.Key) flow.Counters {
+	var out flow.Counters
+	for k, c := range s.flows {
+		if key.Generalizes(k) {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// Entry is one exact flow with its counters.
+type Entry struct {
+	Key      flow.Key
+	Counters flow.Counters
+}
+
+// TopK returns the k heaviest exact flows by score.
+func (s *ExactStore) TopK(k int, score flow.Score) []Entry {
+	out := make([]Entry, 0, len(s.flows))
+	for key, c := range s.flows {
+		out = append(out, Entry{Key: key, Counters: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Counters.ScoreWith(score), out[j].Counters.ScoreWith(score)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// MemoryBytes estimates the store's footprint (key + counters + map
+// overhead per entry).
+func (s *ExactStore) MemoryBytes() uint64 {
+	const perEntry = 16 /* key */ + 24 /* counters */ + 48 /* map overhead */
+	return uint64(len(s.flows)) * perEntry
+}
+
+// Merge folds another exact store into s.
+func (s *ExactStore) Merge(other *ExactStore) {
+	if other == nil {
+		return
+	}
+	for k, c := range other.flows {
+		cur := s.flows[k]
+		cur.Add(c)
+		s.flows[k] = cur
+	}
+	s.total.Add(other.total)
+}

@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"testing"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+	"megadata/internal/workload"
+)
+
+func TestExactStoreBasics(t *testing.T) {
+	s := New()
+	r := flow.Record{Key: flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80101, 4000, 443), Packets: 2, Bytes: 100}
+	s.Add(r)
+	s.Add(r)
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Total() != (flow.Counters{Packets: 4, Bytes: 200, Flows: 2}) {
+		t.Errorf("Total = %+v", s.Total())
+	}
+	got := s.Query(r.Key)
+	if got.Bytes != 200 {
+		t.Errorf("Query = %+v", got)
+	}
+	// Prefix query.
+	q := flow.Key{SrcIP: 0x0A000000, SrcPrefix: 8, WildProto: true, WildSrcPort: true, WildDstPort: true}
+	if s.Query(q).Bytes != 200 {
+		t.Errorf("prefix Query = %+v", s.Query(q))
+	}
+	if s.Query(flow.Exact(flow.ProtoUDP, 1, 2, 3, 4)).Bytes != 0 {
+		t.Error("absent key returned weight")
+	}
+}
+
+func TestExactStoreAgreesWithFlowtree(t *testing.T) {
+	// The exact store and an unbudgeted Flowtree must agree on every
+	// query — this is what makes ExactStore a valid ground truth.
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 5, Sources: 512, Destinations: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Records(5000)
+	s := New()
+	tr, _ := flowtree.New(0)
+	for _, r := range recs {
+		s.Add(r)
+		tr.Add(r)
+	}
+	if s.Total() != tr.Total() {
+		t.Fatalf("totals diverge: %+v vs %+v", s.Total(), tr.Total())
+	}
+	for _, r := range recs[:200] {
+		if s.Query(r.Key) != tr.Query(r.Key) {
+			t.Fatalf("exact query diverges at %v", r.Key)
+		}
+		p := flow.Key{SrcIP: r.Key.SrcIP.Mask(16), SrcPrefix: 16, WildProto: true, WildSrcPort: true, WildDstPort: true}
+		if s.Query(p) != tr.Query(p) {
+			t.Fatalf("prefix query diverges at %v: exact %+v, tree %+v", p, s.Query(p), tr.Query(p))
+		}
+	}
+}
+
+func TestExactStoreTopK(t *testing.T) {
+	s := New()
+	for i, bytes := range []uint64{10, 500, 50} {
+		s.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(i+1), 2, 3, 4),
+			Packets: 1, Bytes: bytes,
+		})
+	}
+	top := s.TopK(2, flow.ScoreBytes)
+	if len(top) != 2 || top[0].Counters.Bytes != 500 || top[1].Counters.Bytes != 50 {
+		t.Errorf("TopK = %+v", top)
+	}
+	if got := s.TopK(100, flow.ScoreBytes); len(got) != 3 {
+		t.Errorf("TopK(100) = %d entries", len(got))
+	}
+}
+
+func TestExactStoreMerge(t *testing.T) {
+	a, b := New(), New()
+	r := flow.Record{Key: flow.Exact(flow.ProtoTCP, 1, 2, 3, 4), Packets: 1, Bytes: 10}
+	a.Add(r)
+	b.Add(r)
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Query(r.Key).Bytes != 20 {
+		t.Errorf("merged = %+v", a.Query(r.Key))
+	}
+	if a.Total().Flows != 2 {
+		t.Errorf("merged total = %+v", a.Total())
+	}
+}
+
+func TestMemoryBytesGrows(t *testing.T) {
+	s := New()
+	if s.MemoryBytes() != 0 {
+		t.Error("empty store reports memory")
+	}
+	s.Add(flow.Record{Key: flow.Exact(flow.ProtoTCP, 1, 2, 3, 4), Packets: 1, Bytes: 1})
+	if s.MemoryBytes() == 0 {
+		t.Error("non-empty store reports zero memory")
+	}
+}

@@ -1,0 +1,253 @@
+// Package controller implements the local control logic of Section III-A
+// (Figure 3a): machines cannot wait for applications, so a controller close
+// to the machine reacts to data-store triggers in real time using rules
+// installed by applications. Rules are checked for conflicts before
+// installation, and runtime conflicts between matching rules are resolved
+// locally by priority — "conflicts between rules are resolved locally at
+// the controller".
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"megadata/internal/datastore"
+)
+
+// Action is what a rule does to an actuator when its trigger fires.
+type Action int
+
+// Supported actuation verbs.
+const (
+	ActionSet Action = iota + 1
+	ActionStop
+	ActionSlowDown
+	ActionAlert
+)
+
+// String returns the verb name.
+func (a Action) String() string {
+	switch a {
+	case ActionSet:
+		return "set"
+	case ActionStop:
+		return "stop"
+	case ActionSlowDown:
+		return "slowdown"
+	case ActionAlert:
+		return "alert"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Rule maps a trigger to an actuation. Applications install rules; the
+// controller validates them.
+type Rule struct {
+	// Name identifies the rule.
+	Name string
+	// App is the installing application (used for accountability and
+	// updates).
+	App string
+	// Trigger is the data-store trigger name this rule reacts to.
+	Trigger string
+	// Actuator names the physical target ("line1/m3/motor").
+	Actuator string
+	// Action is the verb; Setpoint applies to ActionSet and
+	// ActionSlowDown.
+	Action   Action
+	Setpoint float64
+	// Priority resolves runtime conflicts: the highest-priority matching
+	// rule wins. Ties across different actions are install-time
+	// conflicts.
+	Priority int
+}
+
+// Actuation is one record in the actuation log: what the controller did and
+// why.
+type Actuation struct {
+	At       time.Time
+	Rule     string
+	App      string
+	Trigger  string
+	Actuator string
+	Action   Action
+	Setpoint float64
+	// Suppressed lists lower-priority rules that matched but lost.
+	Suppressed []string
+}
+
+// ErrConflict is returned when an installed rule statically conflicts with
+// an existing rule.
+var ErrConflict = errors.New("controller: conflicting rule")
+
+// Actuator applies actions to the physical world (in this reproduction: the
+// simulation or example harness).
+type Actuator interface {
+	Apply(target string, action Action, setpoint float64)
+}
+
+// ActuatorFunc adapts a function to the Actuator interface.
+type ActuatorFunc func(target string, action Action, setpoint float64)
+
+// Apply implements Actuator.
+func (f ActuatorFunc) Apply(target string, action Action, setpoint float64) {
+	f(target, action, setpoint)
+}
+
+// Controller is the per-level control logic. Safe for concurrent use.
+type Controller struct {
+	name     string
+	actuator Actuator
+	now      func() time.Time
+
+	mu     sync.Mutex
+	rules  map[string]Rule
+	log    []Actuation
+	maxLog int
+}
+
+// New builds a controller driving the given actuator; now may be nil
+// (defaults to time.Now).
+func New(name string, actuator Actuator, now func() time.Time) *Controller {
+	if now == nil {
+		now = time.Now
+	}
+	return &Controller{
+		name:     name,
+		actuator: actuator,
+		now:      now,
+		rules:    make(map[string]Rule),
+		maxLog:   4096,
+	}
+}
+
+// Install validates and installs a rule. Conflicts are checked prior to
+// installation (Section III-A): two rules conflict when they react to the
+// same trigger on the same actuator with equal priority but different
+// effects — the controller would have no deterministic resolution.
+func (c *Controller) Install(r Rule) error {
+	if r.Name == "" || r.Trigger == "" || r.Actuator == "" {
+		return errors.New("controller: rule needs name, trigger and actuator")
+	}
+	if r.Action < ActionSet || r.Action > ActionAlert {
+		return fmt.Errorf("controller: rule %q: unknown action %d", r.Name, int(r.Action))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, other := range c.rules {
+		if other.Name == r.Name {
+			continue // replacing an app's own rule is an update
+		}
+		if other.Trigger == r.Trigger && other.Actuator == r.Actuator &&
+			other.Priority == r.Priority &&
+			(other.Action != r.Action || other.Setpoint != r.Setpoint) {
+			return fmt.Errorf("%w: %q vs %q on trigger %q actuator %q at priority %d",
+				ErrConflict, r.Name, other.Name, r.Trigger, r.Actuator, r.Priority)
+		}
+	}
+	c.rules[r.Name] = r
+	return nil
+}
+
+// Remove uninstalls a rule; removing an absent rule is a no-op.
+func (c *Controller) Remove(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.rules, name)
+}
+
+// RemoveApp uninstalls all rules of an application (rule retraction after
+// lineage detects a faulty source).
+func (c *Controller) RemoveApp(app string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for name, r := range c.rules {
+		if r.App == app {
+			delete(c.rules, name)
+			n++
+		}
+	}
+	return n
+}
+
+// Rules returns the installed rules sorted by name.
+func (c *Controller) Rules() []Rule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Rule, 0, len(c.rules))
+	for _, r := range c.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// OnTrigger handles a data-store trigger event: all rules for the trigger
+// are grouped by actuator, and per actuator the highest-priority rule
+// actuates while the others are logged as suppressed. OnTrigger has the
+// signature of datastore.Trigger.Fire's parameter and is normally wired as
+//
+//	store.InstallTrigger(datastore.Trigger{..., Fire: ctl.OnTrigger})
+func (c *Controller) OnTrigger(e datastore.TriggerEvent) {
+	c.mu.Lock()
+	byActuator := make(map[string][]Rule)
+	for _, r := range c.rules {
+		if r.Trigger == e.Trigger {
+			byActuator[r.Actuator] = append(byActuator[r.Actuator], r)
+		}
+	}
+	actuators := make([]string, 0, len(byActuator))
+	for a := range byActuator {
+		actuators = append(actuators, a)
+	}
+	sort.Strings(actuators)
+	var toApply []Actuation
+	for _, a := range actuators {
+		rules := byActuator[a]
+		sort.Slice(rules, func(i, j int) bool {
+			if rules[i].Priority != rules[j].Priority {
+				return rules[i].Priority > rules[j].Priority
+			}
+			return rules[i].Name < rules[j].Name
+		})
+		winner := rules[0]
+		var suppressed []string
+		for _, loser := range rules[1:] {
+			suppressed = append(suppressed, loser.Name)
+		}
+		toApply = append(toApply, Actuation{
+			At: c.now(), Rule: winner.Name, App: winner.App,
+			Trigger: e.Trigger, Actuator: a,
+			Action: winner.Action, Setpoint: winner.Setpoint,
+			Suppressed: suppressed,
+		})
+	}
+	for _, act := range toApply {
+		c.log = append(c.log, act)
+	}
+	if len(c.log) > c.maxLog {
+		c.log = c.log[len(c.log)-c.maxLog:]
+	}
+	c.mu.Unlock()
+	// Actuate outside the lock: actuators may call back into the
+	// controller or block on the physical simulation.
+	for _, act := range toApply {
+		if c.actuator != nil {
+			c.actuator.Apply(act.Actuator, act.Action, act.Setpoint)
+		}
+	}
+}
+
+// Log returns a copy of the actuation log.
+func (c *Controller) Log() []Actuation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Actuation, len(c.log))
+	copy(out, c.log)
+	return out
+}

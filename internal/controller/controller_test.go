@@ -1,0 +1,200 @@
+package controller
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/datastore"
+	"megadata/internal/primitive"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+type recordingActuator struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (r *recordingActuator) Apply(target string, action Action, setpoint float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, target+":"+action.String())
+}
+
+func (r *recordingActuator) Calls() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.calls))
+	copy(out, r.calls)
+	return out
+}
+
+func TestInstallValidation(t *testing.T) {
+	c := New("ctl", nil, nil)
+	if err := c.Install(Rule{}); err == nil {
+		t.Error("empty rule must error")
+	}
+	if err := c.Install(Rule{Name: "r", Trigger: "t", Actuator: "a", Action: Action(99)}); err == nil {
+		t.Error("unknown action must error")
+	}
+	if err := c.Install(Rule{Name: "r", Trigger: "t", Actuator: "a", Action: ActionStop}); err != nil {
+		t.Errorf("valid rule: %v", err)
+	}
+}
+
+func TestInstallConflictDetection(t *testing.T) {
+	c := New("ctl", nil, nil)
+	base := Rule{Name: "r1", App: "app1", Trigger: "hot", Actuator: "m1", Action: ActionStop, Priority: 5}
+	if err := c.Install(base); err != nil {
+		t.Fatal(err)
+	}
+	// Same trigger/actuator/priority, different action: conflict.
+	conflict := Rule{Name: "r2", App: "app2", Trigger: "hot", Actuator: "m1", Action: ActionSlowDown, Setpoint: 50, Priority: 5}
+	if err := c.Install(conflict); !errors.Is(err, ErrConflict) {
+		t.Errorf("want ErrConflict, got %v", err)
+	}
+	// Different priority: allowed (deterministic resolution).
+	conflict.Priority = 3
+	if err := c.Install(conflict); err != nil {
+		t.Errorf("different priority: %v", err)
+	}
+	// Identical effect at same priority: allowed (idempotent rules).
+	same := Rule{Name: "r3", App: "app3", Trigger: "hot", Actuator: "m1", Action: ActionStop, Priority: 5}
+	if err := c.Install(same); err != nil {
+		t.Errorf("identical effect: %v", err)
+	}
+	// Updating an app's own rule under the same name: allowed, as long
+	// as the new effect does not conflict with a third rule.
+	update := base
+	update.Setpoint = 1
+	update.Action = ActionSlowDown
+	update.Priority = 7
+	if err := c.Install(update); err != nil {
+		t.Errorf("self-update: %v", err)
+	}
+	// But an update that now collides with another rule is rejected.
+	bad := base
+	bad.Action = ActionAlert // r3 holds (hot, m1, prio 5, stop)
+	if err := c.Install(bad); !errors.Is(err, ErrConflict) {
+		t.Errorf("conflicting self-update: %v", err)
+	}
+}
+
+func TestOnTriggerPriorityResolution(t *testing.T) {
+	act := &recordingActuator{}
+	c := New("ctl", act, func() time.Time { return t0 })
+	_ = c.Install(Rule{Name: "gentle", App: "opt", Trigger: "hot", Actuator: "m1", Action: ActionSlowDown, Setpoint: 50, Priority: 1})
+	_ = c.Install(Rule{Name: "hard", App: "safety", Trigger: "hot", Actuator: "m1", Action: ActionStop, Priority: 10})
+	_ = c.Install(Rule{Name: "other", App: "safety", Trigger: "cold", Actuator: "m1", Action: ActionAlert, Priority: 1})
+
+	c.OnTrigger(datastore.TriggerEvent{Trigger: "hot", Stream: "s", At: t0})
+
+	calls := act.Calls()
+	if len(calls) != 1 || calls[0] != "m1:stop" {
+		t.Fatalf("calls = %v", calls)
+	}
+	log := c.Log()
+	if len(log) != 1 {
+		t.Fatalf("log = %v", log)
+	}
+	if log[0].Rule != "hard" || len(log[0].Suppressed) != 1 || log[0].Suppressed[0] != "gentle" {
+		t.Errorf("log entry = %+v", log[0])
+	}
+}
+
+func TestOnTriggerMultipleActuators(t *testing.T) {
+	act := &recordingActuator{}
+	c := New("ctl", act, nil)
+	_ = c.Install(Rule{Name: "a", Trigger: "hot", Actuator: "m1", Action: ActionStop, Priority: 1})
+	_ = c.Install(Rule{Name: "b", Trigger: "hot", Actuator: "m2", Action: ActionAlert, Priority: 1})
+	c.OnTrigger(datastore.TriggerEvent{Trigger: "hot"})
+	calls := act.Calls()
+	if len(calls) != 2 {
+		t.Fatalf("calls = %v", calls)
+	}
+	// Deterministic actuator order.
+	if calls[0] != "m1:stop" || calls[1] != "m2:alert" {
+		t.Errorf("calls = %v", calls)
+	}
+}
+
+func TestOnTriggerNoMatch(t *testing.T) {
+	act := &recordingActuator{}
+	c := New("ctl", act, nil)
+	_ = c.Install(Rule{Name: "a", Trigger: "hot", Actuator: "m1", Action: ActionStop, Priority: 1})
+	c.OnTrigger(datastore.TriggerEvent{Trigger: "unrelated"})
+	if len(act.Calls()) != 0 {
+		t.Error("unrelated trigger actuated")
+	}
+	if len(c.Log()) != 0 {
+		t.Error("unrelated trigger logged")
+	}
+}
+
+func TestRemoveAndRemoveApp(t *testing.T) {
+	c := New("ctl", nil, nil)
+	_ = c.Install(Rule{Name: "a", App: "app1", Trigger: "t", Actuator: "m", Action: ActionStop})
+	_ = c.Install(Rule{Name: "b", App: "app1", Trigger: "t", Actuator: "m2", Action: ActionStop})
+	_ = c.Install(Rule{Name: "c", App: "app2", Trigger: "t", Actuator: "m3", Action: ActionStop})
+	c.Remove("c")
+	if len(c.Rules()) != 2 {
+		t.Errorf("rules after Remove = %v", c.Rules())
+	}
+	if n := c.RemoveApp("app1"); n != 2 {
+		t.Errorf("RemoveApp = %d", n)
+	}
+	if len(c.Rules()) != 0 {
+		t.Errorf("rules after RemoveApp = %v", c.Rules())
+	}
+	c.Remove("ghost") // no-op
+}
+
+func TestEndToEndWithDataStore(t *testing.T) {
+	// Figure 3a control cycle: sensor -> data store trigger ->
+	// controller -> actuator.
+	act := &recordingActuator{}
+	ctl := New("ctl", act, nil)
+	_ = ctl.Install(Rule{Name: "overheat-stop", App: "safety", Trigger: "overheat", Actuator: "m1/motor", Action: ActionStop, Priority: 10})
+
+	s := datastore.New("edge", nil)
+	err := s.Register(datastore.AggregatorConfig{
+		Name: "temp",
+		New: func() (primitive.Aggregator, error) {
+			return primitive.NewStats("temp", time.Minute, 0, 0)
+		},
+		Strategy: datastore.StrategyExpire,
+		TTL:      time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Subscribe("m1/temp", "temp")
+	_ = s.InstallTrigger(datastore.Trigger{
+		Name:   "overheat",
+		Stream: "m1/temp",
+		Condition: func(item any) bool {
+			r, ok := item.(primitive.Reading)
+			return ok && r.Value > 90
+		},
+		Fire: ctl.OnTrigger,
+	})
+	_ = s.Ingest("m1/temp", primitive.Reading{At: t0, Value: 60})
+	_ = s.Ingest("m1/temp", primitive.Reading{At: t0, Value: 95})
+	calls := act.Calls()
+	if len(calls) != 1 || calls[0] != "m1/motor:stop" {
+		t.Errorf("control cycle calls = %v", calls)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{
+		ActionSet: "set", ActionStop: "stop", ActionSlowDown: "slowdown",
+		ActionAlert: "alert", Action(9): "action(9)",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), got, want)
+		}
+	}
+}

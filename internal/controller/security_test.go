@@ -1,0 +1,126 @@
+package controller
+
+import (
+	"errors"
+	"testing"
+)
+
+func signedRule(t *testing.T, key []byte) SignedRule {
+	t.Helper()
+	r := Rule{
+		Name: "r1", App: "app1", Trigger: "hot", Actuator: "m1",
+		Action: ActionStop, Priority: 5,
+	}
+	return SignedRule{Rule: r, MAC: Sign(r, key)}
+}
+
+func TestVerifierRegisterValidation(t *testing.T) {
+	v := NewVerifier()
+	if err := v.RegisterKey("", []byte("k")); err == nil {
+		t.Error("empty app must error")
+	}
+	if err := v.RegisterKey("app", nil); err == nil {
+		t.Error("empty key must error")
+	}
+}
+
+func TestInstallSignedHappyPath(t *testing.T) {
+	key := []byte("app1-secret")
+	v := NewVerifier()
+	if err := v.RegisterKey("app1", key); err != nil {
+		t.Fatal(err)
+	}
+	c := New("ctl", nil, nil)
+	if err := c.InstallSigned(signedRule(t, key), v); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rules()) != 1 {
+		t.Error("rule not installed")
+	}
+}
+
+func TestInstallSignedRejectsForgery(t *testing.T) {
+	v := NewVerifier()
+	_ = v.RegisterKey("app1", []byte("real-key"))
+	c := New("ctl", nil, nil)
+
+	// Wrong key.
+	if err := c.InstallSigned(signedRule(t, []byte("wrong-key")), v); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("forged MAC: %v", err)
+	}
+	// Tampered rule under a valid MAC.
+	sr := signedRule(t, []byte("real-key"))
+	sr.Rule.Actuator = "someone-elses-machine"
+	if err := c.InstallSigned(sr, v); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered rule: %v", err)
+	}
+	// Unknown app.
+	sr = signedRule(t, []byte("real-key"))
+	sr.Rule.App = "ghost"
+	if err := c.InstallSigned(sr, v); !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("unknown app: %v", err)
+	}
+	if len(c.Rules()) != 0 {
+		t.Error("a rejected rule was installed")
+	}
+	if err := c.InstallSigned(sr, nil); err == nil {
+		t.Error("nil verifier must error")
+	}
+}
+
+func TestKeyRotationAndRevocation(t *testing.T) {
+	v := NewVerifier()
+	_ = v.RegisterKey("app1", []byte("old"))
+	c := New("ctl", nil, nil)
+	srOld := signedRule(t, []byte("old"))
+	if err := c.InstallSigned(srOld, v); err != nil {
+		t.Fatal(err)
+	}
+	// Rotate: old signatures stop verifying, new ones work.
+	_ = v.RegisterKey("app1", []byte("new"))
+	if err := c.InstallSigned(srOld, v); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("old key after rotation: %v", err)
+	}
+	if err := c.InstallSigned(signedRule(t, []byte("new")), v); err != nil {
+		t.Errorf("new key: %v", err)
+	}
+	// Revoke: everything from the app is rejected.
+	v.RevokeKey("app1")
+	if err := c.InstallSigned(signedRule(t, []byte("new")), v); !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("after revocation: %v", err)
+	}
+}
+
+func TestSignIsDeterministicAndFieldSensitive(t *testing.T) {
+	key := []byte("k")
+	base := Rule{Name: "n", App: "a", Trigger: "t", Actuator: "m", Action: ActionSet, Setpoint: 1.5, Priority: 3}
+	m1 := Sign(base, key)
+	m2 := Sign(base, key)
+	if string(m1) != string(m2) {
+		t.Error("Sign not deterministic")
+	}
+	variants := []Rule{base, base, base, base, base, base, base}
+	variants[1].Name = "n2"
+	variants[2].App = "a2"
+	variants[3].Trigger = "t2"
+	variants[4].Actuator = "m2"
+	variants[5].Setpoint = 2.5
+	variants[6].Priority = 4
+	seen := map[string]bool{}
+	for i, r := range variants {
+		mac := string(Sign(r, key))
+		if i > 0 && mac == string(m1) {
+			t.Errorf("variant %d has same MAC as base", i)
+		}
+		seen[mac] = true
+	}
+	if len(seen) != len(variants) {
+		t.Error("MAC collisions across field variants")
+	}
+	// Length-prefix canonicalization: ("ab","c") != ("a","bc").
+	r1 := Rule{Name: "ab", App: "c", Trigger: "t", Actuator: "m", Action: ActionStop}
+	r2 := Rule{Name: "a", App: "bc", Trigger: "t", Actuator: "m", Action: ActionStop}
+	if string(Sign(r1, key)) == string(Sign(r2, key)) {
+		t.Error("canonicalization is ambiguous")
+	}
+}

@@ -1,0 +1,465 @@
+// Package datastore implements the data store of Section IV (Figure 4): the
+// only entity in the architecture that persistently stores data. It selects
+// and collects data from sensor streams, feeds subscribed aggregators
+// (computing-primitive instances), evaluates application-installed triggers
+// on the incoming data, seals aggregator epochs into one of the three
+// storage strategies, and answers queries by combining the live epoch with
+// stored epochs.
+package datastore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"megadata/internal/primitive"
+	"megadata/internal/storage"
+)
+
+// Errors returned by the data store.
+var (
+	ErrUnknownAggregator = errors.New("datastore: unknown aggregator")
+	ErrUnknownStream     = errors.New("datastore: unknown stream")
+	ErrDuplicate         = errors.New("datastore: duplicate name")
+)
+
+// Strategy selects how sealed epochs are retained (§IV storage strategies).
+type Strategy int
+
+// The three §IV storage strategies.
+const (
+	// StrategyExpire keeps epochs for a fixed duration (strategy 1).
+	StrategyExpire Strategy = iota + 1
+	// StrategyRoundRobin keeps epochs in a fixed byte budget, evicting
+	// the oldest (strategy 2).
+	StrategyRoundRobin
+	// StrategyHierarchical keeps a ring of fine epochs and folds evicted
+	// ones into coarser epochs (strategy 3).
+	StrategyHierarchical
+)
+
+// Factory builds a fresh aggregator instance for a new epoch.
+type Factory func() (primitive.Aggregator, error)
+
+// AggregatorConfig registers one computing-primitive instance.
+type AggregatorConfig struct {
+	// Name identifies the aggregator within the store.
+	Name string
+	// New builds the per-epoch instance.
+	New Factory
+	// Strategy selects epoch retention.
+	Strategy Strategy
+	// TTL applies to StrategyExpire.
+	TTL time.Duration
+	// BudgetBytes applies to StrategyRoundRobin and, per level, to
+	// StrategyHierarchical.
+	BudgetBytes uint64
+	// EpochWidth is the sealing interval (informational; sealing is
+	// driven by the caller's clock).
+	EpochWidth time.Duration
+	// CoarseLevels configures StrategyHierarchical: widths must be
+	// increasing multiples of EpochWidth.
+	CoarseLevels []storage.Level
+}
+
+// aggState is the live state of one registered aggregator.
+type aggState struct {
+	cfg     AggregatorConfig
+	current primitive.Aggregator
+	ttl     *storage.TTLStore[primitive.Aggregator]
+	ring    *storage.RingStore[primitive.Aggregator]
+	hier    *storage.HierarchicalStore[primitive.Aggregator]
+	epoch   time.Time
+	queries uint64
+	adds    uint64
+}
+
+// TriggerEvent is delivered to trigger subscribers (normally the
+// controller) when a trigger matches.
+type TriggerEvent struct {
+	Trigger string
+	Stream  string
+	Item    any
+	At      time.Time
+}
+
+// Trigger is an application-installed real-time condition on a stream
+// (Figure 4: applications install triggers; matches activate the
+// controller).
+type Trigger struct {
+	Name   string
+	Stream string
+	// Condition reports whether the item fires the trigger.
+	Condition func(item any) bool
+	// Fire receives the event synchronously on the ingest path; it must
+	// be fast (typically a channel send or controller call).
+	Fire func(TriggerEvent)
+}
+
+// Store is one data store instance. All methods are safe for concurrent
+// use.
+type Store struct {
+	name string
+	now  func() time.Time
+
+	mu       sync.Mutex
+	aggs     map[string]*aggState
+	streams  map[string][]string // stream -> subscribed aggregator names
+	triggers []Trigger
+	raw      map[string]*rawRing // streams with raw retention enabled
+}
+
+// New builds a data store; now may be nil (defaults to time.Now), and is
+// injected in tests and simulations (simnet clock).
+func New(name string, now func() time.Time) *Store {
+	if now == nil {
+		now = time.Now
+	}
+	return &Store{
+		name:    name,
+		now:     now,
+		aggs:    make(map[string]*aggState),
+		streams: make(map[string][]string),
+		raw:     make(map[string]*rawRing),
+	}
+}
+
+// Name returns the store's name.
+func (s *Store) Name() string { return s.name }
+
+// Register installs an aggregator with its retention strategy.
+func (s *Store) Register(cfg AggregatorConfig) error {
+	if cfg.Name == "" || cfg.New == nil {
+		return errors.New("datastore: aggregator config needs name and factory")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.aggs[cfg.Name]; ok {
+		return fmt.Errorf("%w: aggregator %q", ErrDuplicate, cfg.Name)
+	}
+	cur, err := cfg.New()
+	if err != nil {
+		return fmt.Errorf("datastore: build aggregator %q: %w", cfg.Name, err)
+	}
+	st := &aggState{cfg: cfg, current: cur, epoch: s.now()}
+	switch cfg.Strategy {
+	case StrategyExpire:
+		ttl, err := storage.NewTTLStore[primitive.Aggregator](cfg.TTL, s.now)
+		if err != nil {
+			return fmt.Errorf("datastore: aggregator %q: %w", cfg.Name, err)
+		}
+		st.ttl = ttl
+	case StrategyRoundRobin:
+		ring, err := storage.NewRingStore[primitive.Aggregator](cfg.BudgetBytes)
+		if err != nil {
+			return fmt.Errorf("datastore: aggregator %q: %w", cfg.Name, err)
+		}
+		st.ring = ring
+	case StrategyHierarchical:
+		merge := func(a, b primitive.Aggregator) (primitive.Aggregator, uint64) {
+			// Coarsening folds the evicted epoch into the coarse
+			// one; a failed merge keeps the coarse epoch as is.
+			_ = a.Merge(b)
+			return a, a.SizeBytes()
+		}
+		hier, err := storage.NewHierarchicalStore[primitive.Aggregator](cfg.CoarseLevels, merge)
+		if err != nil {
+			return fmt.Errorf("datastore: aggregator %q: %w", cfg.Name, err)
+		}
+		st.hier = hier
+	default:
+		return fmt.Errorf("datastore: aggregator %q: unknown strategy %d", cfg.Name, cfg.Strategy)
+	}
+	s.aggs[cfg.Name] = st
+	return nil
+}
+
+// Subscribe routes a stream to an aggregator ("aggregators ... that have
+// subscribed to the respective data streams").
+func (s *Store) Subscribe(stream, aggregator string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.aggs[aggregator]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+	}
+	for _, existing := range s.streams[stream] {
+		if existing == aggregator {
+			return nil
+		}
+	}
+	s.streams[stream] = append(s.streams[stream], aggregator)
+	return nil
+}
+
+// InstallTrigger registers a trigger on a stream.
+func (s *Store) InstallTrigger(t Trigger) error {
+	if t.Name == "" || t.Condition == nil || t.Fire == nil {
+		return errors.New("datastore: trigger needs name, condition and fire")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, existing := range s.triggers {
+		if existing.Name == t.Name {
+			return fmt.Errorf("%w: trigger %q", ErrDuplicate, t.Name)
+		}
+	}
+	s.triggers = append(s.triggers, t)
+	return nil
+}
+
+// RemoveTrigger uninstalls a trigger by name; removing an absent trigger is
+// a no-op.
+func (s *Store) RemoveTrigger(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, t := range s.triggers {
+		if t.Name == name {
+			s.triggers = append(s.triggers[:i], s.triggers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Ingest pushes one item from a stream into all subscribed aggregators and
+// evaluates the stream's triggers. Unknown streams are an error (sensors
+// must be subscribed first, Figure 3b: "un-/subscribe").
+func (s *Store) Ingest(stream string, item any) error {
+	s.mu.Lock()
+	names, ok := s.streams[stream]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownStream, stream)
+	}
+	var firstErr error
+	for _, n := range names {
+		st := s.aggs[n]
+		st.adds++
+		if err := st.current.Add(item); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("datastore: aggregator %q: %w", n, err)
+		}
+	}
+	// Collect matching triggers under the lock, fire outside it so that
+	// controllers can query the store from the callback.
+	var fired []Trigger
+	at := s.now()
+	if ring, ok := s.raw[stream]; ok {
+		ring.add(at, item)
+	}
+	for _, t := range s.triggers {
+		if t.Stream == stream && t.Condition(item) {
+			fired = append(fired, t)
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range fired {
+		t.Fire(TriggerEvent{Trigger: t.Name, Stream: stream, Item: item, At: at})
+	}
+	return firstErr
+}
+
+// Seal closes the current epoch of the named aggregator: the live summary
+// moves into the retention store with the epoch interval [start, now) and a
+// fresh instance takes over.
+func (s *Store) Seal(aggregator string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.aggs[aggregator]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+	}
+	now := s.now()
+	width := now.Sub(st.epoch)
+	if width <= 0 {
+		width = time.Nanosecond
+	}
+	next, err := st.cfg.New()
+	if err != nil {
+		return fmt.Errorf("datastore: reseed aggregator %q: %w", aggregator, err)
+	}
+	ep := storage.Epoch[primitive.Aggregator]{
+		Start:   st.epoch,
+		Width:   width,
+		Size:    st.current.SizeBytes(),
+		Payload: st.current,
+	}
+	switch {
+	case st.ttl != nil:
+		st.ttl.Put(ep)
+	case st.ring != nil:
+		if err := st.ring.Put(ep); err != nil {
+			return fmt.Errorf("datastore: seal %q: %w", aggregator, err)
+		}
+	case st.hier != nil:
+		if err := st.hier.Put(ep); err != nil {
+			return fmt.Errorf("datastore: seal %q: %w", aggregator, err)
+		}
+	}
+	st.current = next
+	st.epoch = now
+	return nil
+}
+
+// SealAll seals every registered aggregator.
+func (s *Store) SealAll() error {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.aggs))
+	for n := range s.aggs {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		if err := s.Seal(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// epochsInRange returns the stored epochs of st overlapping [from, to).
+func (st *aggState) epochsInRange(from, to time.Time) []storage.Epoch[primitive.Aggregator] {
+	switch {
+	case st.ttl != nil:
+		return st.ttl.Range(from, to)
+	case st.ring != nil:
+		return st.ring.Range(from, to)
+	case st.hier != nil:
+		st.hier.Flush()
+		return st.hier.Range(from, to)
+	default:
+		return nil
+	}
+}
+
+// Query answers q against the named aggregator over [from, to): stored
+// epochs overlapping the window and the live epoch are merged into a fresh
+// instance, which then answers the query. This is the paper's combinable-
+// summaries property doing the work of time-range queries.
+func (s *Store) Query(aggregator string, q any, from, to time.Time) (any, error) {
+	s.mu.Lock()
+	st, ok := s.aggs[aggregator]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+	}
+	st.queries++
+	combined, err := st.cfg.New()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("datastore: build query scratch: %w", err)
+	}
+	for _, ep := range st.epochsInRange(from, to) {
+		if err := combined.Merge(ep.Payload); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("datastore: merge epoch at %v: %w", ep.Start, err)
+		}
+	}
+	// The live epoch covers [st.epoch, now] and counts when it overlaps
+	// the window.
+	if st.epoch.Before(to) && !s.now().Before(from) {
+		if err := combined.Merge(st.current); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+		}
+	}
+	s.mu.Unlock()
+	return combined.Query(q)
+}
+
+// QueryLive answers q against only the live epoch (the controller's
+// real-time path).
+func (s *Store) QueryLive(aggregator string, q any) (any, error) {
+	s.mu.Lock()
+	st, ok := s.aggs[aggregator]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+	}
+	defer s.mu.Unlock()
+	st.queries++
+	return st.current.Query(q)
+}
+
+// Live returns the live aggregator instance for specialized operations
+// (e.g. Flowtree export). Callers must not retain it across Seal.
+func (s *Store) Live(aggregator string) (primitive.Aggregator, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.aggs[aggregator]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+	}
+	return st.current, nil
+}
+
+// Stats describes one aggregator's resource usage and activity.
+type Stats struct {
+	Name         string
+	Kind         primitive.Kind
+	Adds         uint64
+	Queries      uint64
+	LiveBytes    uint64
+	StoredBytes  uint64
+	StoredEpochs int
+	Horizon      time.Duration
+}
+
+// StatsOf returns usage statistics for one aggregator.
+func (s *Store) StatsOf(aggregator string) (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.aggs[aggregator]
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+	}
+	out := Stats{
+		Name:      aggregator,
+		Kind:      st.current.Kind(),
+		Adds:      st.adds,
+		Queries:   st.queries,
+		LiveBytes: st.current.SizeBytes(),
+	}
+	switch {
+	case st.ttl != nil:
+		out.StoredBytes = st.ttl.UsedBytes()
+		out.StoredEpochs = st.ttl.Len()
+	case st.ring != nil:
+		out.StoredBytes = st.ring.UsedBytes()
+		out.StoredEpochs = st.ring.Len()
+		out.Horizon = st.ring.Horizon()
+	case st.hier != nil:
+		out.StoredBytes = st.hier.UsedBytes()
+		out.Horizon = st.hier.Horizon()
+		for _, n := range st.hier.LevelLens() {
+			out.StoredEpochs += n
+		}
+	}
+	return out, nil
+}
+
+// Aggregators lists the registered aggregator names.
+func (s *Store) Aggregators() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.aggs))
+	for n := range s.aggs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Adapt forwards an adaptation hint to one aggregator (manager control
+// path, Figure 3b "change parameter").
+func (s *Store) Adapt(aggregator string, hint primitive.AdaptHint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.aggs[aggregator]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+	}
+	st.current.Adapt(hint)
+	return nil
+}

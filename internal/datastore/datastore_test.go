@@ -1,0 +1,561 @@
+package datastore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/primitive"
+	"megadata/internal/storage"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// testClock is an adjustable clock for the store.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func statsFactory(width time.Duration) Factory {
+	return func() (primitive.Aggregator, error) {
+		return primitive.NewStats("stats", width, 0, 0)
+	}
+}
+
+func flowtreeFactory(budget int) Factory {
+	return func() (primitive.Aggregator, error) {
+		return primitive.NewFlowtree("ft", budget)
+	}
+}
+
+func newStatsStore(t *testing.T, clock *testClock, strategy Strategy) *Store {
+	t.Helper()
+	s := New("edge", clock.Now)
+	cfg := AggregatorConfig{
+		Name:        "temp",
+		New:         statsFactory(time.Minute),
+		Strategy:    strategy,
+		TTL:         time.Hour,
+		BudgetBytes: 1 << 20,
+		EpochWidth:  time.Minute,
+		CoarseLevels: []storage.Level{
+			{Width: time.Minute, BudgetBytes: 1 << 18},
+			{Width: 10 * time.Minute, BudgetBytes: 1 << 18},
+		},
+	}
+	if err := s.Register(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("sensor/temp", "temp"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := New("x", nil)
+	if err := s.Register(AggregatorConfig{}); err == nil {
+		t.Error("empty config must error")
+	}
+	cfg := AggregatorConfig{Name: "a", New: statsFactory(time.Minute), Strategy: Strategy(99)}
+	if err := s.Register(cfg); err == nil {
+		t.Error("unknown strategy must error")
+	}
+	cfg.Strategy = StrategyExpire
+	cfg.TTL = time.Hour
+	if err := s.Register(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(cfg); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if err := s.Register(AggregatorConfig{Name: "b", New: statsFactory(time.Minute), Strategy: StrategyExpire}); err == nil {
+		t.Error("TTL strategy without TTL must error")
+	}
+	if err := s.Register(AggregatorConfig{Name: "c", New: statsFactory(time.Minute), Strategy: StrategyRoundRobin}); err == nil {
+		t.Error("ring strategy without budget must error")
+	}
+}
+
+func TestSubscribeUnknownAggregator(t *testing.T) {
+	s := New("x", nil)
+	if err := s.Subscribe("stream", "missing"); !errors.Is(err, ErrUnknownAggregator) {
+		t.Errorf("want ErrUnknownAggregator, got %v", err)
+	}
+}
+
+func TestIngestRoutesToSubscribers(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyExpire)
+	for i := 0; i < 10; i++ {
+		err := s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Ingest("ghost", primitive.Reading{}); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("unknown stream: %v", err)
+	}
+	res, err := s.QueryLive("temp", primitive.StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: primitive.StatCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := res.([]primitive.StatPoint)
+	if len(points) != 1 || points[0].Value != 10 {
+		t.Errorf("live count = %v", points)
+	}
+	st, err := s.StatsOf("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Adds != 10 || st.Queries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Kind != primitive.KindStats {
+		t.Errorf("kind = %v", st.Kind)
+	}
+}
+
+func TestIngestWrongTypeSurfacesError(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyExpire)
+	if err := s.Ingest("sensor/temp", "garbage"); err == nil {
+		t.Error("type mismatch must surface")
+	}
+}
+
+func TestSealAndRangeQuery(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyExpire)
+	// Epoch 1: 5 readings.
+	for i := 0; i < 5; i++ {
+		_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 1})
+	}
+	clock.Advance(time.Minute)
+	if err := s.Seal("temp"); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 2: 3 readings.
+	for i := 0; i < 3; i++ {
+		_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 1})
+	}
+	// Query across both epochs.
+	res, err := s.Query("temp", primitive.StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: primitive.StatCount}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range res.([]primitive.StatPoint) {
+		total += p.Value
+	}
+	if total != 8 {
+		t.Errorf("cross-epoch count = %v, want 8", total)
+	}
+	// Query the sealed epoch only.
+	res, err = s.Query("temp", primitive.StatsQuery{From: t0, To: t0.Add(time.Minute), Stat: primitive.StatCount}, t0, t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, p := range res.([]primitive.StatPoint) {
+		total += p.Value
+	}
+	if total != 5 {
+		t.Errorf("sealed-epoch count = %v, want 5", total)
+	}
+}
+
+func TestSealUnknown(t *testing.T) {
+	s := New("x", nil)
+	if err := s.Seal("nope"); !errors.Is(err, ErrUnknownAggregator) {
+		t.Errorf("seal unknown: %v", err)
+	}
+}
+
+func TestTTLExpiryDropsOldEpochs(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyExpire) // TTL 1h
+	_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 1})
+	clock.Advance(time.Minute)
+	_ = s.Seal("temp")
+	clock.Advance(2 * time.Hour) // expire
+	_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 1})
+	clock.Advance(time.Minute)
+	_ = s.Seal("temp")
+	st, _ := s.StatsOf("temp")
+	if st.StoredEpochs != 1 {
+		t.Errorf("stored epochs = %d, want 1 (old epoch expired)", st.StoredEpochs)
+	}
+}
+
+func TestHierarchicalStrategyRetainsWeight(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := New("edge", clock.Now)
+	cfg := AggregatorConfig{
+		Name:     "temp",
+		New:      statsFactory(time.Minute),
+		Strategy: StrategyHierarchical,
+		CoarseLevels: []storage.Level{
+			{Width: time.Minute, BudgetBytes: 5 * 100},
+			{Width: 10 * time.Minute, BudgetBytes: 1 << 20},
+		},
+	}
+	if err := s.Register(cfg); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Subscribe("sensor/temp", "temp")
+	// 30 epochs, one reading each; the fine ring holds only ~5.
+	for i := 0; i < 30; i++ {
+		_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 1})
+		clock.Advance(time.Minute)
+		if err := s.Seal("temp"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Query("temp", primitive.StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: primitive.StatCount}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range res.([]primitive.StatPoint) {
+		total += p.Value
+	}
+	if total != 30 {
+		t.Errorf("hierarchical strategy lost readings: %v/30", total)
+	}
+}
+
+func TestTriggersFireOnMatch(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyExpire)
+	var events []TriggerEvent
+	trigger := Trigger{
+		Name:   "overheat",
+		Stream: "sensor/temp",
+		Condition: func(item any) bool {
+			r, ok := item.(primitive.Reading)
+			return ok && r.Value > 90
+		},
+		Fire: func(e TriggerEvent) { events = append(events, e) },
+	}
+	if err := s.InstallTrigger(trigger); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallTrigger(trigger); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate trigger: %v", err)
+	}
+	if err := s.InstallTrigger(Trigger{Name: "bad"}); err == nil {
+		t.Error("incomplete trigger must error")
+	}
+	_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 50})
+	_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 95})
+	_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 99})
+	if len(events) != 2 {
+		t.Fatalf("fired %d times, want 2", len(events))
+	}
+	if events[0].Trigger != "overheat" || events[0].Stream != "sensor/temp" {
+		t.Errorf("event = %+v", events[0])
+	}
+	s.RemoveTrigger("overheat")
+	_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 99})
+	if len(events) != 2 {
+		t.Error("removed trigger still fired")
+	}
+	s.RemoveTrigger("ghost") // no-op
+}
+
+func TestTriggerCanQueryStore(t *testing.T) {
+	// Controllers query the store from the trigger callback; this must
+	// not deadlock.
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyExpire)
+	done := false
+	_ = s.InstallTrigger(Trigger{
+		Name:      "t",
+		Stream:    "sensor/temp",
+		Condition: func(any) bool { return true },
+		Fire: func(TriggerEvent) {
+			if _, err := s.QueryLive("temp", primitive.StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: primitive.StatCount}); err != nil {
+				t.Errorf("query from trigger: %v", err)
+			}
+			done = true
+		},
+	})
+	_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 1})
+	if !done {
+		t.Error("trigger did not fire")
+	}
+}
+
+func TestFlowtreeStoreRoundRobin(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := New("router", clock.Now)
+	err := s.Register(AggregatorConfig{
+		Name: "flows", New: flowtreeFactory(1024),
+		Strategy: StrategyRoundRobin, BudgetBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Subscribe("router/flows", "flows")
+	rec := flow.Record{Key: flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80101, 40000, 443), Packets: 1, Bytes: 1000}
+	for epoch := 0; epoch < 3; epoch++ {
+		for i := 0; i < 100; i++ {
+			if err := s.Ingest("router/flows", rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clock.Advance(time.Minute)
+		if err := s.Seal("flows"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Query("flows", primitive.FlowQuery{Key: rec.Key}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.(flow.Counters); got.Bytes != 300000 {
+		t.Errorf("cross-epoch flow bytes = %d, want 300000", got.Bytes)
+	}
+	st, _ := s.StatsOf("flows")
+	if st.StoredEpochs != 3 {
+		t.Errorf("stored epochs = %d", st.StoredEpochs)
+	}
+	if st.Horizon != 3*time.Minute {
+		t.Errorf("horizon = %v", st.Horizon)
+	}
+}
+
+func TestAdaptForwarding(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := New("x", clock.Now)
+	_ = s.Register(AggregatorConfig{
+		Name: "flows", New: flowtreeFactory(10000),
+		Strategy: StrategyRoundRobin, BudgetBytes: 1 << 20,
+	})
+	if err := s.Adapt("flows", primitive.AdaptHint{TargetBytes: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	live, err := s.Live("flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Granularity() != 100 {
+		t.Errorf("adapted granularity = %d", live.Granularity())
+	}
+	if err := s.Adapt("nope", primitive.AdaptHint{}); !errors.Is(err, ErrUnknownAggregator) {
+		t.Errorf("adapt unknown: %v", err)
+	}
+	if _, err := s.Live("nope"); !errors.Is(err, ErrUnknownAggregator) {
+		t.Errorf("live unknown: %v", err)
+	}
+}
+
+func TestAggregatorsListing(t *testing.T) {
+	s := New("x", nil)
+	_ = s.Register(AggregatorConfig{Name: "b", New: statsFactory(time.Minute), Strategy: StrategyExpire, TTL: time.Hour})
+	_ = s.Register(AggregatorConfig{Name: "a", New: statsFactory(time.Minute), Strategy: StrategyExpire, TTL: time.Hour})
+	got := s.Aggregators()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Aggregators = %v", got)
+	}
+}
+
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyExpire)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 1})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_, _ = s.QueryLive("temp", primitive.StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: primitive.StatCount})
+			_ = s.Seal("temp")
+		}
+	}()
+	wg.Wait()
+	res, err := s.Query("temp", primitive.StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: primitive.StatCount}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range res.([]primitive.StatPoint) {
+		total += p.Value
+	}
+	if total != 2000 {
+		t.Errorf("concurrent total = %v, want 2000", total)
+	}
+}
+
+func TestRawAccess(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyExpire)
+	if err := s.EnableRaw("sensor/temp", 0); err == nil {
+		t.Error("zero capacity must error")
+	}
+	if _, err := s.Raw("sensor/temp", t0, t0.Add(time.Hour)); err == nil {
+		t.Error("raw access before enabling must error")
+	}
+	if err := s.EnableRaw("sensor/temp", 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Second)
+		_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: float64(i)})
+	}
+	items, err := s.Raw("sensor/temp", t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounded window: only the last 5 survive, oldest first.
+	if len(items) != 5 {
+		t.Fatalf("raw items = %d, want 5", len(items))
+	}
+	if items[0].Item.(primitive.Reading).Value != 5 || items[4].Item.(primitive.Reading).Value != 9 {
+		t.Errorf("raw window = %v .. %v", items[0].Item, items[4].Item)
+	}
+	if items[0].At.After(items[4].At) {
+		t.Error("raw items not oldest-first")
+	}
+	// Time filtering.
+	items, _ = s.Raw("sensor/temp", t0.Add(9*time.Second), t0.Add(10*time.Second))
+	if len(items) != 1 {
+		t.Errorf("windowed raw = %d items", len(items))
+	}
+	// Resizing keeps the newest items.
+	if err := s.EnableRaw("sensor/temp", 2); err != nil {
+		t.Fatal(err)
+	}
+	items, _ = s.Raw("sensor/temp", t0, t0.Add(time.Hour))
+	if len(items) != 2 || items[1].Item.(primitive.Reading).Value != 9 {
+		t.Errorf("resized raw = %v", items)
+	}
+	s.DisableRaw("sensor/temp")
+	if _, err := s.Raw("sensor/temp", t0, t0.Add(time.Hour)); err == nil {
+		t.Error("raw access after disable must error")
+	}
+}
+
+func TestSealAllAndName(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := New("edge-7", clock.Now)
+	if s.Name() != "edge-7" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	for _, n := range []string{"a", "b"} {
+		if err := s.Register(AggregatorConfig{
+			Name: n, New: statsFactory(time.Minute),
+			Strategy: StrategyExpire, TTL: time.Hour,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Subscribe("s", n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = s.Ingest("s", primitive.Reading{At: t0, Value: 1})
+	clock.Advance(time.Minute)
+	if err := s.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b"} {
+		st, err := s.StatsOf(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.StoredEpochs != 1 {
+			t.Errorf("%s stored epochs = %d", n, st.StoredEpochs)
+		}
+	}
+	// Double subscription is idempotent.
+	if err := s.Subscribe("s", "a"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Ingest("s", primitive.Reading{At: clock.Now(), Value: 1})
+	st, _ := s.StatsOf("a")
+	if st.Adds != 2 {
+		t.Errorf("idempotent subscribe double-delivered: adds = %d", st.Adds)
+	}
+}
+
+func TestQueryUnknownAndLiveUnknown(t *testing.T) {
+	s := New("x", nil)
+	if _, err := s.Query("ghost", nil, t0, t0.Add(time.Hour)); !errors.Is(err, ErrUnknownAggregator) {
+		t.Errorf("Query unknown: %v", err)
+	}
+	if _, err := s.QueryLive("ghost", nil); !errors.Is(err, ErrUnknownAggregator) {
+		t.Errorf("QueryLive unknown: %v", err)
+	}
+	if _, err := s.StatsOf("ghost"); !errors.Is(err, ErrUnknownAggregator) {
+		t.Errorf("StatsOf unknown: %v", err)
+	}
+}
+
+func TestQueryMergeErrorSurfaces(t *testing.T) {
+	// A factory whose fresh instances cannot merge with sealed epochs
+	// (different bin widths) must surface the error at Query time.
+	clock := &testClock{now: t0}
+	s := New("x", clock.Now)
+	width := time.Minute
+	if err := s.Register(AggregatorConfig{
+		Name: "shifty",
+		New: func() (primitive.Aggregator, error) {
+			w := width
+			width *= 2 // every instance is built differently: a config bug
+			return primitive.NewStats("shifty", w, 0, 0)
+		},
+		Strategy: StrategyExpire, TTL: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Subscribe("s", "shifty")
+	_ = s.Ingest("s", primitive.Reading{At: t0, Value: 1})
+	clock.Advance(time.Minute)
+	if err := s.Seal("shifty"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("shifty", primitive.StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: primitive.StatCount}, t0, t0.Add(time.Hour)); err == nil {
+		t.Error("merge failure must surface")
+	}
+}
+
+func TestStatsOfHierarchicalFields(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyHierarchical)
+	for i := 0; i < 3; i++ {
+		_ = s.Ingest("sensor/temp", primitive.Reading{At: clock.Now(), Value: 1})
+		clock.Advance(time.Minute)
+		_ = s.Seal("temp")
+	}
+	st, err := s.StatsOf("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoredEpochs == 0 {
+		t.Errorf("hierarchical StatsOf epochs = %+v", st)
+	}
+}

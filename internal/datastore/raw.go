@@ -1,0 +1,110 @@
+package datastore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Figure 4 shows a "Raw Access" box beside the aggregators: data stores may
+// retain a bounded window of raw items per stream so that applications can
+// inspect recent unaggregated data (e.g. the exact readings around a
+// trigger). Raw retention is strictly bounded — the whole point of the
+// architecture is that raw data cannot be kept for long.
+
+// rawItem is one retained raw element.
+type rawItem struct {
+	At   time.Time
+	Item any
+}
+
+// rawRing is a fixed-capacity ring of raw items.
+type rawRing struct {
+	buf   []rawItem
+	next  int
+	count int
+}
+
+func newRawRing(capacity int) *rawRing {
+	return &rawRing{buf: make([]rawItem, capacity)}
+}
+
+func (r *rawRing) add(at time.Time, item any) {
+	r.buf[r.next] = rawItem{At: at, Item: item}
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// items returns the retained items oldest first.
+func (r *rawRing) items() []rawItem {
+	out := make([]rawItem, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// EnableRaw turns on raw retention for a stream, keeping the most recent
+// capacity items. Enabling an already-enabled stream resizes its window
+// (existing items are kept up to the new capacity).
+func (s *Store) EnableRaw(stream string, capacity int) error {
+	if capacity <= 0 {
+		return errors.New("datastore: raw capacity must be positive")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.raw[stream]
+	ring := newRawRing(capacity)
+	if old != nil {
+		items := old.items()
+		if len(items) > capacity {
+			items = items[len(items)-capacity:]
+		}
+		for _, it := range items {
+			ring.add(it.At, it.Item)
+		}
+	}
+	s.raw[stream] = ring
+	return nil
+}
+
+// DisableRaw turns off raw retention for a stream and drops its window.
+func (s *Store) DisableRaw(stream string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.raw, stream)
+}
+
+// RawItem is one raw element returned by Raw.
+type RawItem struct {
+	At   time.Time
+	Item any
+}
+
+// Raw returns the retained raw items of a stream in [from, to), oldest
+// first. Streams without raw retention return an error (the caller asked
+// for data the store never kept — Section IV: deleted data cannot be
+// recovered).
+func (s *Store) Raw(stream string, from, to time.Time) ([]RawItem, error) {
+	s.mu.Lock()
+	ring, ok := s.raw[stream]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("datastore: raw access not enabled for stream %q", stream)
+	}
+	items := ring.items()
+	s.mu.Unlock()
+	var out []RawItem
+	for _, it := range items {
+		if !it.At.Before(from) && it.At.Before(to) {
+			out = append(out, RawItem{At: it.At, Item: it.Item})
+		}
+	}
+	return out, nil
+}

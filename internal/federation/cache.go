@@ -1,0 +1,140 @@
+package federation
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+
+	"megadata/internal/flowtree"
+	"megadata/internal/simnet"
+)
+
+// Section VII: "The performance can be improved both by reactively caching
+// earlier results and by proactively replicating data ... caching is the
+// more constrained approach, as it can only help for repeat queries. (Note,
+// that the approaches are not mutually exclusive, but can be combined.)"
+//
+// ResultCache is that reactive half: an LRU over shipped sub-query results
+// keyed by (origin site, time window). A hit serves the remote site's
+// contribution locally without WAN traffic; replication remains the
+// proactive half and both compose inside Federation.Query.
+
+// cacheKey identifies one cacheable sub-query result.
+type cacheKey struct {
+	origin simnet.SiteID
+	from   time.Time
+	to     time.Time
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	tree *flowtree.Tree
+	size uint64
+}
+
+// ResultCache is a byte-bounded LRU of sub-query results. Safe for
+// concurrent use.
+type ResultCache struct {
+	mu       sync.Mutex
+	capacity uint64
+	used     uint64
+	order    *list.List // front = most recent
+	entries  map[cacheKey]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+// NewResultCache builds a cache bounded to capacity bytes.
+func NewResultCache(capacityBytes uint64) (*ResultCache, error) {
+	if capacityBytes == 0 {
+		return nil, errors.New("federation: cache capacity must be positive")
+	}
+	return &ResultCache{
+		capacity: capacityBytes,
+		order:    list.New(),
+		entries:  make(map[cacheKey]*list.Element),
+	}, nil
+}
+
+// get returns a cached tree (cloned, so callers can merge-mutate freely).
+func (c *ResultCache) get(key cacheKey) (*flowtree.Tree, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).tree.Clone(), true
+}
+
+// put stores a result, evicting least-recently-used entries to fit. Results
+// larger than the whole cache are not stored.
+func (c *ResultCache) put(key cacheKey, tree *flowtree.Tree) {
+	size := tree.SizeBytes()
+	if size > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.used -= old.size
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+	for c.used+size > c.capacity && c.order.Len() > 0 {
+		back := c.order.Back()
+		ent := back.Value.(*cacheEntry)
+		c.used -= ent.size
+		c.order.Remove(back)
+		delete(c.entries, ent.key)
+	}
+	ent := &cacheEntry{key: key, tree: tree.Clone(), size: size}
+	c.entries[key] = c.order.PushFront(ent)
+	c.used += size
+}
+
+// invalidateOrigin drops all entries for one origin site (called when that
+// site publishes new epochs).
+func (c *ResultCache) invalidateOrigin(origin simnet.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if key.origin == origin {
+			ent := el.Value.(*cacheEntry)
+			c.used -= ent.size
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
+// Stats reports hit/miss counts and current footprint.
+func (c *ResultCache) Stats() (hits, misses uint64, usedBytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used
+}
+
+// SetCache attaches a reactive result cache to the federation (nil
+// detaches). Caching composes with whatever replication policy is active.
+func (f *Federation) SetCache(c *ResultCache) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cache = c
+}
+
+// InvalidateCacheFor drops cached results originating at origin; callers
+// invoke it alongside InvalidateReplica when origin publishes new data.
+func (f *Federation) InvalidateCacheFor(origin simnet.SiteID) {
+	f.mu.Lock()
+	c := f.cache
+	f.mu.Unlock()
+	if c != nil {
+		c.invalidateOrigin(origin)
+	}
+}

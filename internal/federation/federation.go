@@ -1,0 +1,395 @@
+// Package federation implements the cross-data-store query path of
+// Section IV: "data in one data store may have to be combined with data
+// from other data stores to answer queries across the distributed
+// mega-dataset. In this case, the data store has the choice of (1) shipping
+// the query to the data or (2) replicating the respective aggregator(s)."
+//
+// Each site hosts a FlowDB of its own summaries. A federated query names
+// the sites it needs; sub-queries for remote sites are either answered from
+// a local replica (if the manager's replication policy has installed one)
+// or shipped: executed remotely, with the result's byte volume metered over
+// the simulated WAN and recorded as an access — which is exactly what
+// drives the adaptive-replication decision of Section VII.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"megadata/internal/flowdb"
+	"megadata/internal/flowql"
+	"megadata/internal/flowtree"
+	"megadata/internal/replication"
+	"megadata/internal/simnet"
+)
+
+// Errors returned by the federation.
+var (
+	ErrUnknownSite = errors.New("federation: unknown site")
+)
+
+// Site is one federated data store location.
+type Site struct {
+	ID simnet.SiteID
+	DB *flowdb.DB
+	// replicas holds copies of remote sites' rows, keyed by origin.
+	replicas map[simnet.SiteID]*flowdb.DB
+	// replicaAsOf records the freshness of each replica.
+	replicaAsOf map[simnet.SiteID]time.Time
+}
+
+// QueryStats describes how one federated query was served.
+type QueryStats struct {
+	// LocalSites were answered from this site's own DB or a replica.
+	LocalSites int
+	// CachedSites were answered from the reactive result cache
+	// (Section VII's "reactively caching earlier results").
+	CachedSites int
+	// ShippedSites required a remote sub-query.
+	ShippedSites int
+	// ShippedBytes is the result volume moved for this query.
+	ShippedBytes uint64
+	// ReplicatedSites is how many replications this query triggered.
+	ReplicatedSites int
+	// ReplicaBytes is the volume moved by those replications.
+	ReplicaBytes uint64
+	// Latency is the critical-path time: the slowest shipped sub-query
+	// (replication is asynchronous, Figure 6).
+	Latency time.Duration
+}
+
+// Federation connects sites for cross-site queries. Safe for concurrent
+// use.
+type Federation struct {
+	mu     sync.Mutex
+	net    *simnet.Network
+	clock  *simnet.Clock
+	sites  map[simnet.SiteID]*Site
+	policy replication.Policy
+	cache  *ResultCache
+	// access tracks per (asker, origin) replication state.
+	access map[[2]simnet.SiteID]*accessState
+}
+
+type accessState struct {
+	accesses int
+	shipped  uint64
+}
+
+// New builds a federation over a network; policy decides replication
+// (nil = never replicate).
+func New(net *simnet.Network, clock *simnet.Clock, policy replication.Policy) *Federation {
+	if policy == nil {
+		policy = replication.Never{}
+	}
+	return &Federation{
+		net:    net,
+		clock:  clock,
+		sites:  make(map[simnet.SiteID]*Site),
+		policy: policy,
+		access: make(map[[2]simnet.SiteID]*accessState),
+	}
+}
+
+// AddSite registers a site and its local FlowDB.
+func (f *Federation) AddSite(id simnet.SiteID, db *flowdb.DB) *Site {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := &Site{
+		ID: id, DB: db,
+		replicas:    make(map[simnet.SiteID]*flowdb.DB),
+		replicaAsOf: make(map[simnet.SiteID]time.Time),
+	}
+	f.sites[id] = s
+	f.net.AddSite(id)
+	return s
+}
+
+// Sites lists registered site ids, sorted.
+func (f *Federation) Sites() []simnet.SiteID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]simnet.SiteID, 0, len(f.sites))
+	for id := range f.sites {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// dbSizeBytes estimates the wire size of shipping every row of a DB.
+func dbSizeBytes(db *flowdb.DB) uint64 {
+	var total uint64
+	for _, r := range db.Rows() {
+		total += r.Tree.SizeBytes()
+	}
+	return total
+}
+
+// Query executes a FlowQL statement at site `at`. The statement's AT clause
+// names the sites whose data is needed (empty = all sites). Per remote
+// site: replica if available, otherwise ship the sub-query and meter the
+// result; each shipped access may trigger replication per the policy.
+func (f *Federation) Query(at simnet.SiteID, statement string) (*flowql.Result, QueryStats, error) {
+	q, err := flowql.Parse(statement)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	f.mu.Lock()
+	asker, ok := f.sites[at]
+	if !ok {
+		f.mu.Unlock()
+		return nil, QueryStats{}, fmt.Errorf("%w: %q", ErrUnknownSite, at)
+	}
+	var targets []*Site
+	if len(q.Locations) == 0 {
+		for _, s := range f.sites {
+			targets = append(targets, s)
+		}
+	} else {
+		for _, loc := range q.Locations {
+			s, ok := f.sites[simnet.SiteID(loc)]
+			if !ok {
+				f.mu.Unlock()
+				return nil, QueryStats{}, fmt.Errorf("%w: %q", ErrUnknownSite, loc)
+			}
+			targets = append(targets, s)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ID < targets[j].ID })
+	f.mu.Unlock()
+
+	from, to := q.From, q.To
+	if q.All {
+		from = time.Time{}
+		to = time.Unix(1<<62, 0)
+	}
+
+	var stats QueryStats
+	var merged *flowtree.Tree
+	absorb := func(t *flowtree.Tree) error {
+		if merged == nil {
+			merged = t
+			return nil
+		}
+		return merged.Merge(t)
+	}
+	for _, target := range targets {
+		var tree *flowtree.Tree
+		cached := func() *flowtree.Tree {
+			if target.ID == at || f.replicaOf(asker, target.ID) != nil {
+				return nil
+			}
+			return f.cachedResult(target.ID, from, to)
+		}()
+		switch {
+		case target.ID == at:
+			stats.LocalSites++
+			tree, err = selectOrNil(target.DB, from, to)
+		case f.replicaOf(asker, target.ID) != nil:
+			stats.LocalSites++
+			tree, err = selectOrNil(f.replicaOf(asker, target.ID), from, to)
+		case cached != nil:
+			stats.CachedSites++
+			tree = cached
+		default:
+			// Ship the sub-query (Figure 6 steps B-C).
+			stats.ShippedSites++
+			tree, err = selectOrNil(target.DB, from, to)
+			if err != nil {
+				break
+			}
+			var vol uint64
+			if tree != nil {
+				vol = tree.SizeBytes()
+			}
+			stats.ShippedBytes += vol
+			d, terr := f.net.Transfer(target.ID, at, vol)
+			if terr != nil {
+				return nil, stats, fmt.Errorf("federation: ship result %s->%s: %w", target.ID, at, terr)
+			}
+			if d > stats.Latency {
+				stats.Latency = d
+			}
+			if tree != nil {
+				f.cacheResult(target.ID, from, to, tree)
+			}
+			replicated, rerr := f.recordAccess(asker, target, vol)
+			if rerr != nil {
+				return nil, stats, rerr
+			}
+			if replicated {
+				stats.ReplicatedSites++
+				stats.ReplicaBytes += dbSizeBytes(target.DB)
+			}
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+		if tree != nil {
+			if err := absorb(tree); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	if merged == nil {
+		return nil, stats, flowdb.ErrNoData
+	}
+	// Answer the operator over the merged view via a scratch DB.
+	scratch := flowdb.New()
+	w := to.Sub(from)
+	if q.All {
+		w = time.Hour
+		from = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if err := scratch.Insert(flowdb.Row{Location: "merged", Start: from, Width: w, Tree: merged}); err != nil {
+		return nil, stats, err
+	}
+	q2 := *q
+	q2.Locations = nil
+	q2.All = true
+	res, err := flowql.Execute(scratch, &q2)
+	if err != nil {
+		return nil, stats, err
+	}
+	return res, stats, nil
+}
+
+// selectOrNil merges a DB's rows in range; no data yields a nil tree
+// rather than an error (a site may legitimately be empty for the window).
+func selectOrNil(db *flowdb.DB, from, to time.Time) (*flowtree.Tree, error) {
+	t, err := db.Select(nil, from, to)
+	if err != nil {
+		if errors.Is(err, flowdb.ErrNoData) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+// cachedResult returns a cached sub-query result for (origin, window),
+// nil on miss or when no cache is attached.
+func (f *Federation) cachedResult(origin simnet.SiteID, from, to time.Time) *flowtree.Tree {
+	f.mu.Lock()
+	c := f.cache
+	f.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	t, ok := c.get(cacheKey{origin: origin, from: from, to: to})
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+// cacheResult stores a shipped sub-query result.
+func (f *Federation) cacheResult(origin simnet.SiteID, from, to time.Time, tree *flowtree.Tree) {
+	f.mu.Lock()
+	c := f.cache
+	f.mu.Unlock()
+	if c != nil {
+		c.put(cacheKey{origin: origin, from: from, to: to}, tree)
+	}
+}
+
+// replicaOf returns the asker's replica of origin, nil when absent.
+func (f *Federation) replicaOf(asker *Site, origin simnet.SiteID) *flowdb.DB {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return asker.replicas[origin]
+}
+
+// recordAccess updates ski-rental state and replicates when the policy
+// fires (Figure 6 steps 1-4).
+func (f *Federation) recordAccess(asker *Site, origin *Site, vol uint64) (bool, error) {
+	f.mu.Lock()
+	key := [2]simnet.SiteID{asker.ID, origin.ID}
+	st, ok := f.access[key]
+	if !ok {
+		st = &accessState{}
+		f.access[key] = st
+	}
+	st.accesses++
+	st.shipped += vol
+	partBytes := dbSizeBytes(origin.DB)
+	if partBytes == 0 {
+		partBytes = 1
+	}
+	fire := f.policy.ShouldReplicate(replication.State{
+		Accesses:       st.accesses,
+		ShippedBytes:   st.shipped,
+		PartitionBytes: partBytes,
+	})
+	f.mu.Unlock()
+	if !fire {
+		return false, nil
+	}
+	return true, f.Replicate(asker.ID, origin.ID)
+}
+
+// Replicate copies every row of origin's DB to asker as a replica,
+// metering the transfer (Figure 6 step 4). Subsequent queries for origin
+// are served locally at asker.
+func (f *Federation) Replicate(asker, origin simnet.SiteID) error {
+	f.mu.Lock()
+	a, ok := f.sites[asker]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownSite, asker)
+	}
+	o, ok := f.sites[origin]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownSite, origin)
+	}
+	rows := o.DB.Rows()
+	f.mu.Unlock()
+
+	replica := flowdb.New()
+	var bytes uint64
+	for _, r := range rows {
+		bytes += r.Tree.SizeBytes()
+		if err := replica.Insert(flowdb.Row{
+			Location: r.Location, Start: r.Start, Width: r.Width, Tree: r.Tree.Clone(),
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := f.net.Transfer(origin, asker, bytes); err != nil {
+		return fmt.Errorf("federation: replicate %s->%s: %w", origin, asker, err)
+	}
+	f.mu.Lock()
+	a.replicas[origin] = replica
+	a.replicaAsOf[origin] = f.clock.Now()
+	f.mu.Unlock()
+	return nil
+}
+
+// InvalidateReplica drops asker's replica of origin (e.g. after origin
+// sealed new epochs); the next query ships again.
+func (f *Federation) InvalidateReplica(asker, origin simnet.SiteID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if a, ok := f.sites[asker]; ok {
+		delete(a.replicas, origin)
+		delete(a.replicaAsOf, origin)
+	}
+}
+
+// ReplicaAsOf reports when asker's replica of origin was installed; ok is
+// false when there is no replica.
+func (f *Federation) ReplicaAsOf(asker, origin simnet.SiteID) (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, ok := f.sites[asker]
+	if !ok {
+		return time.Time{}, false
+	}
+	t, ok := a.replicaAsOf[origin]
+	return t, ok
+}

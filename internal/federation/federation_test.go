@@ -1,0 +1,331 @@
+package federation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowtree"
+	"megadata/internal/replication"
+	"megadata/internal/simnet"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func siteDB(t *testing.T, src string, bytes uint64, epochs int) *flowdb.DB {
+	t.Helper()
+	db := flowdb.New()
+	ip, err := flow.ParseIPv4(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < epochs; e++ {
+		tr, err := flowtree.New(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, ip, 0xC0A80105, 40000, 443),
+			Packets: 1, Bytes: bytes,
+		})
+		if err := db.Insert(flowdb.Row{
+			Location: "local", Start: t0.Add(time.Duration(e) * time.Hour),
+			Width: time.Hour, Tree: tr,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func newFed(t *testing.T, policy replication.Policy) (*Federation, *simnet.Network) {
+	t.Helper()
+	net := simnet.NewNetwork()
+	clock := simnet.NewClock(t0)
+	f := New(net, clock, policy)
+	f.AddSite("edge", siteDB(t, "10.1.0.1", 1000, 2))
+	f.AddSite("dc", siteDB(t, "10.2.0.1", 4000, 2))
+	if err := net.Connect("edge", "dc", simnet.Link{BytesPerSecond: 1e6, Latency: 30 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	return f, net
+}
+
+func TestQueryLocalOnly(t *testing.T) {
+	f, net := newFed(t, nil)
+	res, stats, err := f.Query("edge", `SELECT QUERY AT edge FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 2000 {
+		t.Errorf("local bytes = %d", res.Counters.Bytes)
+	}
+	if stats.ShippedSites != 0 || stats.LocalSites != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if net.TotalStats().Bytes != 0 {
+		t.Error("local query moved WAN bytes")
+	}
+}
+
+func TestQueryShipsRemote(t *testing.T) {
+	f, net := newFed(t, nil) // never replicate
+	res, stats, err := f.Query("edge", `SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 10000 {
+		t.Errorf("federated bytes = %d, want 10000", res.Counters.Bytes)
+	}
+	if stats.ShippedSites != 1 || stats.LocalSites != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.ShippedBytes == 0 || stats.Latency == 0 {
+		t.Errorf("shipping not metered: %+v", stats)
+	}
+	if net.TotalStats().Bytes != stats.ShippedBytes {
+		t.Errorf("net metered %d, stats say %d", net.TotalStats().Bytes, stats.ShippedBytes)
+	}
+	// Never policy: no replica appears no matter how often we ask.
+	for i := 0; i < 5; i++ {
+		if _, _, err := f.Query("edge", `SELECT QUERY FROM ALL`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := f.ReplicaAsOf("edge", "dc"); ok {
+		t.Error("never policy installed a replica")
+	}
+}
+
+func TestQueryTriggersReplication(t *testing.T) {
+	f, net := newFed(t, replication.CountThreshold{N: 2})
+	// First query ships; second ships and replicates; third is local.
+	var statsSeq []QueryStats
+	for i := 0; i < 3; i++ {
+		_, stats, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsSeq = append(statsSeq, stats)
+	}
+	if statsSeq[0].ShippedSites != 1 || statsSeq[0].ReplicatedSites != 0 {
+		t.Errorf("q1 = %+v", statsSeq[0])
+	}
+	if statsSeq[1].ReplicatedSites != 1 {
+		t.Errorf("q2 = %+v", statsSeq[1])
+	}
+	if statsSeq[2].ShippedSites != 0 || statsSeq[2].LocalSites != 1 {
+		t.Errorf("q3 = %+v", statsSeq[2])
+	}
+	if statsSeq[2].Latency != 0 {
+		t.Errorf("replica-served query has WAN latency %v", statsSeq[2].Latency)
+	}
+	if _, ok := f.ReplicaAsOf("edge", "dc"); !ok {
+		t.Error("replica not recorded")
+	}
+	// The replica answers with the same numbers as shipping did.
+	res, _, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 8000 {
+		t.Errorf("replica answer = %d, want 8000", res.Counters.Bytes)
+	}
+	// WAN accounting: 2 shipped results + 1 replication.
+	if net.TotalStats().Transfers != 3 {
+		t.Errorf("transfers = %d, want 3", net.TotalStats().Transfers)
+	}
+}
+
+func TestInvalidateReplica(t *testing.T) {
+	f, _ := newFed(t, replication.Always{})
+	if _, _, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.ReplicaAsOf("edge", "dc"); !ok {
+		t.Fatal("always policy did not replicate")
+	}
+	f.InvalidateReplica("edge", "dc")
+	if _, ok := f.ReplicaAsOf("edge", "dc"); ok {
+		t.Error("replica survived invalidation")
+	}
+	_, stats, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShippedSites != 1 {
+		t.Errorf("post-invalidation stats = %+v", stats)
+	}
+}
+
+func TestReplicaIsolation(t *testing.T) {
+	// New rows at the origin must NOT appear through a stale replica.
+	f, _ := newFed(t, replication.Always{})
+	if _, _, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`); err != nil {
+		t.Fatal(err)
+	}
+	// Origin gains a new epoch after replication.
+	dcDB := f.sites["dc"].DB
+	tr, _ := flowtree.New(0)
+	tr.Add(flow.Record{Key: flow.Exact(flow.ProtoTCP, 0x0A020001, 0xC0A80105, 40000, 443), Packets: 1, Bytes: 50000})
+	_ = dcDB.Insert(flowdb.Row{Location: "local", Start: t0.Add(48 * time.Hour), Width: time.Hour, Tree: tr})
+
+	res, _, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 8000 {
+		t.Errorf("stale replica returned %d (origin now has 58000)", res.Counters.Bytes)
+	}
+	// After invalidation the fresh data is visible again.
+	f.InvalidateReplica("edge", "dc")
+	res, _, err = f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 58000 {
+		t.Errorf("post-invalidation = %d, want 58000", res.Counters.Bytes)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	f, _ := newFed(t, nil)
+	if _, _, err := f.Query("ghost", `SELECT QUERY FROM ALL`); !errors.Is(err, ErrUnknownSite) {
+		t.Errorf("unknown asker: %v", err)
+	}
+	if _, _, err := f.Query("edge", `SELECT QUERY AT ghost FROM ALL`); !errors.Is(err, ErrUnknownSite) {
+		t.Errorf("unknown target: %v", err)
+	}
+	if _, _, err := f.Query("edge", `garbage`); err == nil {
+		t.Error("parse error must surface")
+	}
+	if err := f.Replicate("ghost", "dc"); !errors.Is(err, ErrUnknownSite) {
+		t.Errorf("replicate unknown: %v", err)
+	}
+}
+
+func TestSitesListing(t *testing.T) {
+	f, _ := newFed(t, nil)
+	got := f.Sites()
+	if len(got) != 2 || got[0] != "dc" || got[1] != "edge" {
+		t.Errorf("Sites = %v", got)
+	}
+}
+
+func TestTimeWindowedFederatedQuery(t *testing.T) {
+	f, _ := newFed(t, nil)
+	// Only the first epoch (each site has 2 epochs of 1h from t0).
+	res, _, err := f.Query("edge", `SELECT QUERY FROM "2026-06-01T00:00:00Z" TO "2026-06-01T01:00:00Z"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 5000 {
+		t.Errorf("windowed bytes = %d, want 5000 (1000+4000)", res.Counters.Bytes)
+	}
+}
+
+func TestResultCacheServesRepeatQueries(t *testing.T) {
+	f, net := newFed(t, nil) // never replicate: caching is the only relief
+	cache, err := NewResultCache(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetCache(cache)
+
+	_, s1, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ShippedSites != 1 || s1.CachedSites != 0 {
+		t.Fatalf("first query stats = %+v", s1)
+	}
+	bytesAfterFirst := net.TotalStats().Bytes
+
+	res, s2, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.CachedSites != 1 || s2.ShippedSites != 0 {
+		t.Fatalf("repeat query stats = %+v", s2)
+	}
+	if net.TotalStats().Bytes != bytesAfterFirst {
+		t.Error("cache hit still moved WAN bytes")
+	}
+	if res.Counters.Bytes != 8000 {
+		t.Errorf("cached answer = %d, want 8000", res.Counters.Bytes)
+	}
+	hits, misses, used := cache.Stats()
+	if hits != 1 || misses < 1 || used == 0 {
+		t.Errorf("cache stats: hits=%d misses=%d used=%d", hits, misses, used)
+	}
+	// A different window is a different key: it ships again.
+	_, s3, err := f.Query("edge", `SELECT QUERY AT dc FROM "2026-06-01T00:00:00Z" TO "2026-06-01T01:00:00Z"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.ShippedSites != 1 {
+		t.Errorf("different-window stats = %+v", s3)
+	}
+	// Invalidation forces the next repeat to ship.
+	f.InvalidateCacheFor("dc")
+	_, s4, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.ShippedSites != 1 || s4.CachedSites != 0 {
+		t.Errorf("post-invalidation stats = %+v", s4)
+	}
+}
+
+func TestResultCacheEviction(t *testing.T) {
+	if _, err := NewResultCache(0); err == nil {
+		t.Error("zero capacity must error")
+	}
+	cache, _ := NewResultCache(60) // tiny: one small tree at most
+	f, _ := newFed(t, nil)
+	f.SetCache(cache)
+	// Two distinct windows from dc: the second insert evicts the first.
+	if _, _, err := f.Query("edge", `SELECT QUERY AT dc FROM "2026-06-01T00:00:00Z" TO "2026-06-01T01:00:00Z"`); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Query("edge", `SELECT QUERY AT dc FROM "2026-06-01T01:00:00Z" TO "2026-06-01T02:00:00Z"`); err != nil {
+		t.Fatal(err)
+	}
+	_, _, used := cache.Stats()
+	if used > 60 {
+		t.Errorf("cache exceeded capacity: %d", used)
+	}
+	// The first window was evicted: repeat ships again.
+	_, s, err := f.Query("edge", `SELECT QUERY AT dc FROM "2026-06-01T00:00:00Z" TO "2026-06-01T01:00:00Z"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ShippedSites != 1 {
+		t.Errorf("evicted entry served from cache: %+v", s)
+	}
+}
+
+func TestCacheHitIsolation(t *testing.T) {
+	// Mutating a query answer must not corrupt the cache (entries are
+	// cloned on get and put).
+	cache, _ := NewResultCache(1 << 20)
+	f, _ := newFed(t, nil)
+	f.SetCache(cache)
+	if _, _, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`); err != nil {
+		t.Fatal(err)
+	}
+	// Hit twice; both answers must agree.
+	r1, _, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := f.Query("edge", `SELECT QUERY AT dc FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Counters != r2.Counters {
+		t.Errorf("cache hits disagree: %+v vs %+v", r1.Counters, r2.Counters)
+	}
+}

@@ -1,0 +1,268 @@
+// Package flow models generalized network flows as described in Section VI
+// of the paper. A flow is a vector of features (protocol, source and
+// destination IP, source and destination port); each feature can be
+// generalized with a mask, e.g. an IP address generalizes to the prefixes
+// that contain it. Generalization induces a lattice over flows: flow A is an
+// ancestor of flow B when every feature of A is a generalization of the
+// corresponding feature of B. Flowtree (internal/flowtree) arranges observed
+// flows inside this lattice.
+package flow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IPv4 is an IPv4 address in host byte order.
+type IPv4 uint32
+
+// ParseIPv4 parses dotted-quad notation ("a.b.c.d") into an IPv4.
+func ParseIPv4(s string) (IPv4, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("parse ipv4 %q: want 4 octets, got %d", s, len(parts))
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("parse ipv4 %q: octet %q: %w", s, p, err)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return IPv4(v), nil
+}
+
+// String renders the address in dotted-quad notation.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Mask keeps the top n bits of the address, zeroing the rest.
+func (ip IPv4) Mask(n uint8) IPv4 {
+	if n >= 32 {
+		return ip
+	}
+	if n == 0 {
+		return 0
+	}
+	return ip & IPv4(^uint32(0)<<(32-n))
+}
+
+// Proto identifies a transport protocol. Only the values that matter for the
+// workloads are named; any IANA protocol number is representable.
+type Proto uint8
+
+// Common transport protocols.
+const (
+	ProtoICMP Proto = 1
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+)
+
+// String returns the conventional protocol name, or the decimal number.
+func (p Proto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return strconv.Itoa(int(p))
+	}
+}
+
+// Key is a generalized 5-feature flow: the feature values plus, for each
+// maskable feature, the mask width currently applied. A fully specific flow
+// has SrcPrefix = DstPrefix = 32 and all Wild* bits false. The zero Key is
+// the root of the generalization lattice: every feature fully wildcarded.
+type Key struct {
+	Proto   Proto
+	SrcIP   IPv4
+	DstIP   IPv4
+	SrcPort uint16
+	DstPort uint16
+
+	// SrcPrefix and DstPrefix are the prefix lengths (0..32) applied to
+	// SrcIP and DstIP. The address fields always store already-masked
+	// values so that Key is directly comparable.
+	SrcPrefix uint8
+	DstPrefix uint8
+
+	// WildProto, WildSrcPort and WildDstPort generalize the non-IP
+	// features away entirely (ports and protocol have no intermediate
+	// prefix structure in this model; they are either exact or wild).
+	WildProto   bool
+	WildSrcPort bool
+	WildDstPort bool
+}
+
+// Exact builds a fully specific 5-feature key.
+func Exact(proto Proto, src, dst IPv4, sport, dport uint16) Key {
+	return Key{
+		Proto:     proto,
+		SrcIP:     src,
+		DstIP:     dst,
+		SrcPort:   sport,
+		DstPort:   dport,
+		SrcPrefix: 32,
+		DstPrefix: 32,
+	}
+}
+
+// Root returns the top of the lattice: all features wildcarded.
+func Root() Key {
+	return Key{WildProto: true, WildSrcPort: true, WildDstPort: true}
+}
+
+// normalize zeroes fields hidden behind wildcards/masks so that equal
+// generalizations compare equal.
+func (k Key) normalize() Key {
+	k.SrcIP = k.SrcIP.Mask(k.SrcPrefix)
+	k.DstIP = k.DstIP.Mask(k.DstPrefix)
+	if k.WildProto {
+		k.Proto = 0
+	}
+	if k.WildSrcPort {
+		k.SrcPort = 0
+	}
+	if k.WildDstPort {
+		k.DstPort = 0
+	}
+	return k
+}
+
+// IsRoot reports whether k is the fully wildcarded key.
+func (k Key) IsRoot() bool {
+	k = k.normalize()
+	return k.SrcPrefix == 0 && k.DstPrefix == 0 && k.WildProto && k.WildSrcPort && k.WildDstPort
+}
+
+// IsExact reports whether every feature of k is fully specified.
+func (k Key) IsExact() bool {
+	return k.SrcPrefix == 32 && k.DstPrefix == 32 &&
+		!k.WildProto && !k.WildSrcPort && !k.WildDstPort
+}
+
+// Generalizes reports whether k is equal to, or an ancestor of, other in the
+// feature lattice: every feature of k must contain the corresponding feature
+// of other.
+func (k Key) Generalizes(other Key) bool {
+	k = k.normalize()
+	other = other.normalize()
+	if k.SrcPrefix > other.SrcPrefix || k.DstPrefix > other.DstPrefix {
+		return false
+	}
+	if other.SrcIP.Mask(k.SrcPrefix) != k.SrcIP || other.DstIP.Mask(k.DstPrefix) != k.DstIP {
+		return false
+	}
+	if !k.WildProto && (other.WildProto || k.Proto != other.Proto) {
+		return false
+	}
+	if !k.WildSrcPort && (other.WildSrcPort || k.SrcPort != other.SrcPort) {
+		return false
+	}
+	if !k.WildDstPort && (other.WildDstPort || k.DstPort != other.DstPort) {
+		return false
+	}
+	return true
+}
+
+// GeneralizeStep returns the next generalization of k on the canonical chain
+// used by Flowtree, and ok=false when k is already the root. The canonical
+// chain generalizes, in order: source port, destination port, protocol, then
+// alternately shortens the source and destination prefixes by stepBits.
+//
+// A deterministic chain (rather than the full lattice) keeps every observed
+// flow on a single root path, which is what makes Flowtree a tree rather
+// than a DAG.
+func (k Key) GeneralizeStep(stepBits uint8) (parent Key, ok bool) {
+	if stepBits == 0 {
+		stepBits = 8
+	}
+	k = k.normalize()
+	switch {
+	case !k.WildSrcPort:
+		k.WildSrcPort = true
+		k.SrcPort = 0
+	case !k.WildDstPort:
+		k.WildDstPort = true
+		k.DstPort = 0
+	case !k.WildProto:
+		k.WildProto = true
+		k.Proto = 0
+	case k.SrcPrefix >= k.DstPrefix && k.SrcPrefix > 0:
+		k.SrcPrefix = sub(k.SrcPrefix, stepBits)
+		k.SrcIP = k.SrcIP.Mask(k.SrcPrefix)
+	case k.DstPrefix > 0:
+		k.DstPrefix = sub(k.DstPrefix, stepBits)
+		k.DstIP = k.DstIP.Mask(k.DstPrefix)
+	default:
+		return k, false
+	}
+	return k, true
+}
+
+func sub(a, b uint8) uint8 {
+	if b >= a {
+		return 0
+	}
+	return a - b
+}
+
+// Chain returns the full generalization chain from k (exclusive) to the root
+// (inclusive), using GeneralizeStep with stepBits.
+func (k Key) Chain(stepBits uint8) []Key {
+	var out []Key
+	cur := k
+	for {
+		next, ok := cur.GeneralizeStep(stepBits)
+		if !ok {
+			return out
+		}
+		out = append(out, next)
+		cur = next
+	}
+}
+
+// Depth is the number of generalization steps from the root down to k,
+// following the canonical chain. Depth(Root)=0.
+func (k Key) Depth(stepBits uint8) int {
+	return len(k.Chain(stepBits))
+}
+
+// String renders the key in a compact firewall-rule-like syntax, e.g.
+// "tcp 10.0.0.0/8:*->192.168.1.5/32:443".
+func (k Key) String() string {
+	k = k.normalize()
+	var b strings.Builder
+	if k.WildProto {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(k.Proto.String())
+	}
+	b.WriteByte(' ')
+	b.WriteString(k.SrcIP.String())
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(int(k.SrcPrefix)))
+	b.WriteByte(':')
+	if k.WildSrcPort {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(strconv.Itoa(int(k.SrcPort)))
+	}
+	b.WriteString("->")
+	b.WriteString(k.DstIP.String())
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(int(k.DstPrefix)))
+	b.WriteByte(':')
+	if k.WildDstPort {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(strconv.Itoa(int(k.DstPort)))
+	}
+	return b.String()
+}

@@ -1,0 +1,316 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIPv4(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    IPv4
+		wantErr bool
+	}{
+		{in: "0.0.0.0", want: 0},
+		{in: "255.255.255.255", want: 0xFFFFFFFF},
+		{in: "10.0.0.1", want: 0x0A000001},
+		{in: "192.168.1.5", want: 0xC0A80105},
+		{in: "1.2.3", wantErr: true},
+		{in: "1.2.3.4.5", wantErr: true},
+		{in: "256.0.0.1", wantErr: true},
+		{in: "a.b.c.d", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseIPv4(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseIPv4(%q): want error, got %v", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseIPv4(%q): unexpected error %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseIPv4(%q) = %#x, want %#x", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IPv4(v)
+		back, err := ParseIPv4(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4Mask(t *testing.T) {
+	ip := mustIP(t, "10.20.30.40")
+	tests := []struct {
+		bits uint8
+		want string
+	}{
+		{bits: 32, want: "10.20.30.40"},
+		{bits: 24, want: "10.20.30.0"},
+		{bits: 16, want: "10.20.0.0"},
+		{bits: 8, want: "10.0.0.0"},
+		{bits: 0, want: "0.0.0.0"},
+		{bits: 28, want: "10.20.30.32"},
+		{bits: 40, want: "10.20.30.40"}, // clamped
+	}
+	for _, tt := range tests {
+		if got := ip.Mask(tt.bits).String(); got != tt.want {
+			t.Errorf("Mask(%d) = %s, want %s", tt.bits, got, tt.want)
+		}
+	}
+}
+
+func mustIP(t *testing.T, s string) IPv4 {
+	t.Helper()
+	ip, err := ParseIPv4(s)
+	if err != nil {
+		t.Fatalf("ParseIPv4(%q): %v", s, err)
+	}
+	return ip
+}
+
+func testKey(t *testing.T) Key {
+	t.Helper()
+	return Exact(ProtoTCP, mustIP(t, "10.1.2.3"), mustIP(t, "192.168.1.5"), 51000, 443)
+}
+
+func TestGeneralizesReflexive(t *testing.T) {
+	k := testKey(t)
+	if !k.Generalizes(k) {
+		t.Error("key must generalize itself")
+	}
+}
+
+func TestRootGeneralizesEverything(t *testing.T) {
+	root := Root()
+	if !root.IsRoot() {
+		t.Fatal("Root() is not IsRoot")
+	}
+	k := testKey(t)
+	if !root.Generalizes(k) {
+		t.Error("root must generalize any exact key")
+	}
+	if k.Generalizes(root) {
+		t.Error("exact key must not generalize root")
+	}
+}
+
+func TestGeneralizeStepChainEndsAtRoot(t *testing.T) {
+	k := testKey(t)
+	chain := k.Chain(8)
+	if len(chain) == 0 {
+		t.Fatal("chain of exact key is empty")
+	}
+	last := chain[len(chain)-1]
+	if !last.IsRoot() {
+		t.Errorf("chain must end at root, ended at %v", last)
+	}
+	// Each element must strictly generalize the previous one and the
+	// original key.
+	prev := k
+	for i, c := range chain {
+		if !c.Generalizes(prev) {
+			t.Errorf("chain[%d]=%v does not generalize %v", i, c, prev)
+		}
+		if !c.Generalizes(k) {
+			t.Errorf("chain[%d]=%v does not generalize original %v", i, c, k)
+		}
+		if c == prev {
+			t.Errorf("chain[%d] did not make progress", i)
+		}
+		prev = c
+	}
+}
+
+func TestGeneralizeStepAtRoot(t *testing.T) {
+	if _, ok := Root().GeneralizeStep(8); ok {
+		t.Error("GeneralizeStep at root must report ok=false")
+	}
+}
+
+func TestChainDepthByStep(t *testing.T) {
+	k := testKey(t)
+	// 3 wildcard steps + 4 source prefix steps + 4 dest prefix steps.
+	if got, want := k.Depth(8), 11; got != want {
+		t.Errorf("Depth(8) = %d, want %d", got, want)
+	}
+	// With 4-bit steps the prefixes need 8 steps each.
+	if got, want := k.Depth(4), 19; got != want {
+		t.Errorf("Depth(4) = %d, want %d", got, want)
+	}
+}
+
+func TestGeneralizesPrefixSemantics(t *testing.T) {
+	a := Key{SrcIP: mustIP(t, "10.0.0.0"), SrcPrefix: 8, DstPrefix: 0, WildProto: true, WildSrcPort: true, WildDstPort: true}
+	inside := testKey(t) // src 10.1.2.3
+	outside := Exact(ProtoTCP, mustIP(t, "11.1.2.3"), mustIP(t, "192.168.1.5"), 51000, 443)
+	if !a.Generalizes(inside) {
+		t.Errorf("%v should generalize %v", a, inside)
+	}
+	if a.Generalizes(outside) {
+		t.Errorf("%v should not generalize %v", a, outside)
+	}
+}
+
+func TestGeneralizesAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := randomKey(rng)
+		b := randomKey(rng)
+		if a.normalize() == b.normalize() {
+			continue
+		}
+		if a.Generalizes(b) && b.Generalizes(a) {
+			t.Fatalf("distinct keys generalize each other: %v / %v", a, b)
+		}
+	}
+}
+
+func TestGeneralizesTransitiveAlongChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		k := randomExact(rng)
+		chain := k.Chain(8)
+		for j := 0; j+1 < len(chain); j++ {
+			if !chain[j+1].Generalizes(chain[j]) {
+				t.Fatalf("chain not monotone at %d: %v vs %v", j, chain[j+1], chain[j])
+			}
+		}
+	}
+}
+
+func randomExact(rng *rand.Rand) Key {
+	return Exact(
+		Proto(rng.Intn(256)),
+		IPv4(rng.Uint32()),
+		IPv4(rng.Uint32()),
+		uint16(rng.Intn(65536)),
+		uint16(rng.Intn(65536)),
+	)
+}
+
+func randomKey(rng *rand.Rand) Key {
+	k := randomExact(rng)
+	k.SrcPrefix = uint8(rng.Intn(33))
+	k.DstPrefix = uint8(rng.Intn(33))
+	k.WildProto = rng.Intn(2) == 0
+	k.WildSrcPort = rng.Intn(2) == 0
+	k.WildDstPort = rng.Intn(2) == 0
+	return k.normalize()
+}
+
+func TestKeyString(t *testing.T) {
+	k := testKey(t)
+	want := "tcp 10.1.2.3/32:51000->192.168.1.5/32:443"
+	if got := k.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	g, _ := k.GeneralizeStep(8)
+	want = "tcp 10.1.2.3/32:*->192.168.1.5/32:443"
+	if got := g.String(); got != want {
+		t.Errorf("String() after one step = %q, want %q", got, want)
+	}
+	if got, want := Root().String(), "* 0.0.0.0/0:*->0.0.0.0/0:*"; got != want {
+		t.Errorf("Root().String() = %q, want %q", got, want)
+	}
+}
+
+func TestKeyBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 1000; i++ {
+		k := randomKey(rng)
+		buf := k.AppendBinary(nil)
+		got, n, err := KeyFromBinary(buf)
+		if err != nil {
+			t.Fatalf("KeyFromBinary: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d, want %d", n, len(buf))
+		}
+		if got != k {
+			t.Fatalf("round trip: got %v, want %v", got, k)
+		}
+	}
+}
+
+func TestKeyFromBinaryErrors(t *testing.T) {
+	if _, _, err := KeyFromBinary(make([]byte, 3)); err == nil {
+		t.Error("short buffer must error")
+	}
+	k := Exact(ProtoTCP, 0, 0, 1, 2)
+	buf := k.AppendBinary(nil)
+	buf[13] = 40 // corrupt prefix
+	if _, _, err := KeyFromBinary(buf); err == nil {
+		t.Error("out-of-range prefix must error")
+	}
+}
+
+func TestCountersAddSub(t *testing.T) {
+	a := Counters{Packets: 10, Bytes: 100, Flows: 1}
+	b := Counters{Packets: 4, Bytes: 250, Flows: 2}
+	a.Add(b)
+	if a != (Counters{Packets: 14, Bytes: 350, Flows: 3}) {
+		t.Errorf("Add: got %+v", a)
+	}
+	a.Sub(Counters{Packets: 20, Bytes: 300, Flows: 1})
+	if a != (Counters{Packets: 0, Bytes: 50, Flows: 2}) {
+		t.Errorf("Sub must saturate: got %+v", a)
+	}
+	if !(Counters{}).IsZero() {
+		t.Error("zero Counters must be IsZero")
+	}
+	if a.IsZero() {
+		t.Error("non-zero Counters must not be IsZero")
+	}
+}
+
+func TestScores(t *testing.T) {
+	c := Counters{Packets: 3, Bytes: 1500, Flows: 2}
+	if got := c.ScoreWith(ScoreBytes); got != 1500 {
+		t.Errorf("ScoreBytes = %d", got)
+	}
+	if got := c.ScoreWith(ScorePackets); got != 3 {
+		t.Errorf("ScorePackets = %d", got)
+	}
+	if got := c.ScoreWith(ScoreFlows); got != 2 {
+		t.Errorf("ScoreFlows = %d", got)
+	}
+}
+
+func TestCountersOf(t *testing.T) {
+	r := Record{Key: Root(), Packets: 7, Bytes: 900}
+	c := CountersOf(r)
+	if c != (Counters{Packets: 7, Bytes: 900, Flows: 1}) {
+		t.Errorf("CountersOf = %+v", c)
+	}
+}
+
+func TestGeneralizeStepNormalizesHiddenBits(t *testing.T) {
+	// A key whose address has bits below the mask must compare equal to
+	// the same generalization built from a clean address.
+	dirty := Key{
+		Proto: ProtoUDP, SrcIP: mustIP(t, "10.1.2.3"), DstIP: mustIP(t, "10.9.9.9"),
+		SrcPort: 5, DstPort: 6, SrcPrefix: 8, DstPrefix: 8,
+	}
+	clean := Key{
+		Proto: ProtoUDP, SrcIP: mustIP(t, "10.0.0.0"), DstIP: mustIP(t, "10.0.0.0"),
+		SrcPort: 5, DstPort: 6, SrcPrefix: 8, DstPrefix: 8,
+	}
+	dp, _ := dirty.GeneralizeStep(8)
+	cp, _ := clean.GeneralizeStep(8)
+	if dp != cp {
+		t.Errorf("normalization failed: %v vs %v", dp, cp)
+	}
+}

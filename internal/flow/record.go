@@ -1,0 +1,133 @@
+package flow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Record is one observed flow export: a fully specific key plus its measured
+// popularity (packets, bytes) and the time of observation. Records are what
+// routers (or the workload generator standing in for them) push into data
+// stores.
+type Record struct {
+	Key     Key
+	Packets uint64
+	Bytes   uint64
+	// Start is the epoch the record belongs to (flow exports are binned
+	// per aggregation interval).
+	Start time.Time
+}
+
+// Score selects the popularity metric of a flow record, per the paper:
+// "packet count, flow count, byte count, or combinations thereof".
+type Score func(packets, bytes, flows uint64) uint64
+
+// Built-in popularity scores.
+var (
+	// ScoreBytes ranks flows by byte volume.
+	ScoreBytes Score = func(_, bytes, _ uint64) uint64 { return bytes }
+	// ScorePackets ranks flows by packet count.
+	ScorePackets Score = func(packets, _, _ uint64) uint64 { return packets }
+	// ScoreFlows ranks flows by the number of distinct flow records.
+	ScoreFlows Score = func(_, _, flows uint64) uint64 { return flows }
+)
+
+// Counters is the additive popularity annotation carried by every Flowtree
+// node and by FlowDB rows.
+type Counters struct {
+	Packets uint64
+	Bytes   uint64
+	Flows   uint64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Packets += other.Packets
+	c.Bytes += other.Bytes
+	c.Flows += other.Flows
+}
+
+// Sub subtracts other from c, saturating at zero (Diff semantics: popularity
+// scores never go negative).
+func (c *Counters) Sub(other Counters) {
+	c.Packets = satSub(c.Packets, other.Packets)
+	c.Bytes = satSub(c.Bytes, other.Bytes)
+	c.Flows = satSub(c.Flows, other.Flows)
+}
+
+func satSub(a, b uint64) uint64 {
+	if b >= a {
+		return 0
+	}
+	return a - b
+}
+
+// IsZero reports whether all counters are zero.
+func (c Counters) IsZero() bool {
+	return c.Packets == 0 && c.Bytes == 0 && c.Flows == 0
+}
+
+// ScoreWith applies a Score function to the counters.
+func (c Counters) ScoreWith(s Score) uint64 {
+	return s(c.Packets, c.Bytes, c.Flows)
+}
+
+// CountersOf builds the Counters contribution of a single record.
+func CountersOf(r Record) Counters {
+	return Counters{Packets: r.Packets, Bytes: r.Bytes, Flows: 1}
+}
+
+// keyWireSize is the fixed encoding size of a Key on the wire.
+const keyWireSize = 4 + 4 + 2 + 2 + 1 + 1 + 1 + 1
+
+// AppendBinary appends a fixed-width binary encoding of the key, suitable
+// for hashing and for the simnet wire format.
+func (k Key) AppendBinary(dst []byte) []byte {
+	k = k.normalize()
+	var buf [keyWireSize]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(k.SrcIP))
+	binary.BigEndian.PutUint32(buf[4:], uint32(k.DstIP))
+	binary.BigEndian.PutUint16(buf[8:], k.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:], k.DstPort)
+	buf[12] = byte(k.Proto)
+	buf[13] = k.SrcPrefix
+	buf[14] = k.DstPrefix
+	var wild byte
+	if k.WildProto {
+		wild |= 1
+	}
+	if k.WildSrcPort {
+		wild |= 2
+	}
+	if k.WildDstPort {
+		wild |= 4
+	}
+	buf[15] = wild
+	return append(dst, buf[:]...)
+}
+
+// KeyFromBinary decodes a key encoded by AppendBinary and returns the number
+// of bytes consumed.
+func KeyFromBinary(src []byte) (Key, int, error) {
+	if len(src) < keyWireSize {
+		return Key{}, 0, fmt.Errorf("decode flow key: need %d bytes, have %d", keyWireSize, len(src))
+	}
+	k := Key{
+		SrcIP:     IPv4(binary.BigEndian.Uint32(src[0:])),
+		DstIP:     IPv4(binary.BigEndian.Uint32(src[4:])),
+		SrcPort:   binary.BigEndian.Uint16(src[8:]),
+		DstPort:   binary.BigEndian.Uint16(src[10:]),
+		Proto:     Proto(src[12]),
+		SrcPrefix: src[13],
+		DstPrefix: src[14],
+	}
+	if k.SrcPrefix > 32 || k.DstPrefix > 32 {
+		return Key{}, 0, fmt.Errorf("decode flow key: prefix out of range (%d,%d)", k.SrcPrefix, k.DstPrefix)
+	}
+	wild := src[15]
+	k.WildProto = wild&1 != 0
+	k.WildSrcPort = wild&2 != 0
+	k.WildDstPort = wild&4 != 0
+	return k.normalize(), keyWireSize, nil
+}

@@ -1,0 +1,163 @@
+// Package flowdb implements FlowDB (Section VI): an analytic engine that
+// takes Flowtree summaries as input, stores and indexes them by location
+// and time interval, and uses them to answer FlowQL queries. FlowDB is
+// where exported Flowtrees from many data stores and epochs meet (Figure 5,
+// step 4).
+package flowdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"megadata/internal/flowtree"
+)
+
+// Row is one indexed summary: a Flowtree covering [Start, Start+Width) at
+// one location.
+type Row struct {
+	Location string
+	Start    time.Time
+	Width    time.Duration
+	Tree     *flowtree.Tree
+}
+
+// End returns the exclusive end of the row's interval.
+func (r Row) End() time.Time { return r.Start.Add(r.Width) }
+
+// Errors returned by FlowDB.
+var (
+	ErrBadRow = errors.New("flowdb: invalid row")
+	ErrNoData = errors.New("flowdb: no summaries match")
+)
+
+// DB is an in-memory FlowDB. Safe for concurrent use.
+type DB struct {
+	mu   sync.Mutex
+	rows []Row
+}
+
+// New builds an empty FlowDB.
+func New() *DB {
+	return &DB{}
+}
+
+// Insert indexes a summary. The tree is stored as-is; callers that keep
+// mutating a live tree must insert a Clone.
+func (db *DB) Insert(r Row) error {
+	if r.Location == "" || r.Tree == nil || r.Width <= 0 {
+		return fmt.Errorf("%w: need location, tree and positive width", ErrBadRow)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.rows = append(db.rows, r)
+	sort.Slice(db.rows, func(i, j int) bool {
+		if !db.rows[i].Start.Equal(db.rows[j].Start) {
+			return db.rows[i].Start.Before(db.rows[j].Start)
+		}
+		return db.rows[i].Location < db.rows[j].Location
+	})
+	return nil
+}
+
+// Len returns the number of indexed rows.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.rows)
+}
+
+// Locations returns the distinct locations present, sorted.
+func (db *DB) Locations() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	seen := map[string]bool{}
+	for _, r := range db.rows {
+		seen[r.Location] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TimeBounds returns the earliest start and latest end across all rows;
+// ok is false when the DB is empty.
+func (db *DB) TimeBounds() (from, to time.Time, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.rows) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	from = db.rows[0].Start
+	to = db.rows[0].End()
+	for _, r := range db.rows[1:] {
+		if r.End().After(to) {
+			to = r.End()
+		}
+	}
+	return from, to, true
+}
+
+// Select merges all summaries overlapping [from, to) at the given locations
+// (nil or empty = all locations) into a fresh tree — the paper's
+// "A12 = compress(A1 ∪ A2)" across both time and space. The result inherits
+// the first matching tree's configuration.
+func (db *DB) Select(locations []string, from, to time.Time) (*flowtree.Tree, error) {
+	want := map[string]bool{}
+	for _, l := range locations {
+		want[l] = true
+	}
+	db.mu.Lock()
+	var matches []Row
+	for _, r := range db.rows {
+		if len(want) > 0 && !want[r.Location] {
+			continue
+		}
+		if r.End().After(from) && r.Start.Before(to) {
+			matches = append(matches, r)
+		}
+	}
+	db.mu.Unlock()
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("%w: locations=%v window=[%v,%v)", ErrNoData, locations, from, to)
+	}
+	merged := matches[0].Tree.Clone()
+	for _, r := range matches[1:] {
+		if err := merged.Merge(r.Tree); err != nil {
+			return nil, fmt.Errorf("flowdb: merge row %s@%v: %w", r.Location, r.Start, err)
+		}
+	}
+	return merged, nil
+}
+
+// Rows returns a copy of the index (diagnostics and tests).
+func (db *DB) Rows() []Row {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]Row, len(db.rows))
+	copy(out, db.rows)
+	return out
+}
+
+// Evict drops rows whose end is before cutoff, returning how many were
+// dropped (FlowDB retention is managed by the hosting data store).
+func (db *DB) Evict(cutoff time.Time) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	kept := db.rows[:0]
+	dropped := 0
+	for _, r := range db.rows {
+		if r.End().Before(cutoff) {
+			dropped++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	db.rows = kept
+	return dropped
+}

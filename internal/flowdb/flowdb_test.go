@@ -1,0 +1,174 @@
+package flowdb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func tree(t *testing.T, bytes uint64, opts ...flowtree.Option) *flowtree.Tree {
+	t.Helper()
+	tr, err := flowtree.New(0, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Add(flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80105, 40000, 443),
+		Packets: 1, Bytes: bytes,
+	})
+	return tr
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := New()
+	cases := []Row{
+		{},
+		{Location: "a", Width: time.Hour},    // nil tree
+		{Location: "a", Tree: tree(t, 1)},    // zero width
+		{Tree: tree(t, 1), Width: time.Hour}, // no location
+		{Location: "a", Tree: tree(t, 1), Width: -1}, // negative width
+	}
+	for i, r := range cases {
+		if err := db.Insert(r); !errors.Is(err, ErrBadRow) {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestSelectMergesOverlapping(t *testing.T) {
+	db := New()
+	_ = db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 100)})
+	_ = db.Insert(Row{Location: "a", Start: t0.Add(time.Hour), Width: time.Hour, Tree: tree(t, 200)})
+	_ = db.Insert(Row{Location: "b", Start: t0, Width: time.Hour, Tree: tree(t, 400)})
+
+	all, err := db.Select(nil, t0, t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Total().Bytes != 700 {
+		t.Errorf("all = %d", all.Total().Bytes)
+	}
+	onlyA, err := db.Select([]string{"a"}, t0, t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onlyA.Total().Bytes != 300 {
+		t.Errorf("a = %d", onlyA.Total().Bytes)
+	}
+	// A window strictly inside the first epoch still picks it up
+	// (overlap semantics).
+	sub, err := db.Select([]string{"a"}, t0.Add(10*time.Minute), t0.Add(20*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Total().Bytes != 100 {
+		t.Errorf("sub-window = %d", sub.Total().Bytes)
+	}
+}
+
+func TestSelectIsolation(t *testing.T) {
+	// Select must return an independent tree: mutating it must not
+	// corrupt the stored rows.
+	db := New()
+	_ = db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 100)})
+	got, err := db.Select(nil, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Add(flow.Record{Key: flow.Exact(flow.ProtoUDP, 1, 2, 3, 4), Packets: 1, Bytes: 999})
+	again, _ := db.Select(nil, t0, t0.Add(time.Hour))
+	if again.Total().Bytes != 100 {
+		t.Errorf("stored row mutated: %d", again.Total().Bytes)
+	}
+}
+
+func TestSelectStepMismatch(t *testing.T) {
+	db := New()
+	_ = db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 1)})
+	_ = db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 1, flowtree.WithStepBits(4))})
+	if _, err := db.Select(nil, t0, t0.Add(time.Hour)); err == nil {
+		t.Error("merging different-step trees must error")
+	}
+}
+
+func TestRowsSortedDeterministically(t *testing.T) {
+	db := New()
+	_ = db.Insert(Row{Location: "b", Start: t0, Width: time.Hour, Tree: tree(t, 1)})
+	_ = db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 1)})
+	_ = db.Insert(Row{Location: "c", Start: t0.Add(-time.Hour), Width: time.Hour, Tree: tree(t, 1)})
+	rows := db.Rows()
+	if rows[0].Location != "c" || rows[1].Location != "a" || rows[2].Location != "b" {
+		t.Errorf("order = %v,%v,%v", rows[0].Location, rows[1].Location, rows[2].Location)
+	}
+}
+
+func TestConcurrentInsertSelect(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = db.Insert(Row{
+					Location: string(rune('a' + w)),
+					Start:    t0.Add(time.Duration(i) * time.Minute),
+					Width:    time.Minute,
+					Tree:     tree(t, 10),
+				})
+				_, _ = db.Select(nil, t0, t0.Add(time.Hour))
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Len() != 200 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	merged, err := db.Select(nil, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Total().Bytes != 2000 {
+		t.Errorf("merged bytes = %d", merged.Total().Bytes)
+	}
+}
+
+func TestLocationsTimeBoundsEvict(t *testing.T) {
+	db := New()
+	if _, _, ok := db.TimeBounds(); ok {
+		t.Error("empty DB reported bounds")
+	}
+	if got := db.Locations(); len(got) != 0 {
+		t.Errorf("empty Locations = %v", got)
+	}
+	_ = db.Insert(Row{Location: "b", Start: t0, Width: time.Hour, Tree: tree(t, 1)})
+	_ = db.Insert(Row{Location: "a", Start: t0.Add(2 * time.Hour), Width: time.Hour, Tree: tree(t, 1)})
+	locs := db.Locations()
+	if len(locs) != 2 || locs[0] != "a" || locs[1] != "b" {
+		t.Errorf("Locations = %v", locs)
+	}
+	from, to, ok := db.TimeBounds()
+	if !ok || !from.Equal(t0) || !to.Equal(t0.Add(3*time.Hour)) {
+		t.Errorf("TimeBounds = %v %v %v", from, to, ok)
+	}
+	if n := db.Evict(t0.Add(90 * time.Minute)); n != 1 {
+		t.Errorf("Evict = %d", n)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len after Evict = %d", db.Len())
+	}
+	// Evicting everything leaves an empty, reusable DB.
+	if n := db.Evict(t0.Add(100 * time.Hour)); n != 1 {
+		t.Errorf("second Evict = %d", n)
+	}
+	if _, _, ok := db.TimeBounds(); ok {
+		t.Error("bounds after full evict")
+	}
+}

@@ -1,0 +1,39 @@
+package flowql_test
+
+import (
+	"fmt"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowql"
+	"megadata/internal/flowtree"
+)
+
+// Example demonstrates FlowQL end to end: index per-site summaries in
+// FlowDB, then answer an operator + time window + feature restriction.
+func Example() {
+	start := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	db := flowdb.New()
+	tree, _ := flowtree.New(0)
+	src, _ := flow.ParseIPv4("10.1.2.3")
+	dst, _ := flow.ParseIPv4("192.168.1.5")
+	tree.Add(flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, src, dst, 40000, 443),
+		Packets: 10, Bytes: 5000,
+	})
+	if err := db.Insert(flowdb.Row{
+		Location: "berlin", Start: start, Width: time.Hour, Tree: tree,
+	}); err != nil {
+		panic(err)
+	}
+
+	res, err := flowql.Run(db,
+		`SELECT QUERY AT berlin FROM ALL WHERE src = 10.0.0.0/8 AND dport = 443`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bytes=%d flows=%d\n", res.Counters.Bytes, res.Counters.Flows)
+	// Output:
+	// bytes=5000 flows=1
+}

@@ -1,0 +1,128 @@
+package flowql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowtree"
+)
+
+// Result is the answer to a FlowQL query. Exactly one of the payload
+// fields is populated, according to Op.
+type Result struct {
+	Op OpKind
+	// Counters answers OpQuery.
+	Counters flow.Counters
+	// Entries answers OpDrilldown, OpTopK and OpAbove.
+	Entries []flowtree.Entry
+	// HHH answers OpHHH.
+	HHH []flowtree.HHHEntry
+	// Merged is the number of summaries combined to answer the query.
+	Merged int
+	// Window is the effective time window.
+	From, To time.Time
+}
+
+// Execute runs a parsed query against a FlowDB.
+func Execute(db *flowdb.DB, q *Query) (*Result, error) {
+	from, to := q.From, q.To
+	if q.All {
+		var ok bool
+		from, to, ok = db.TimeBounds()
+		if !ok {
+			return nil, flowdb.ErrNoData
+		}
+	}
+	merged, err := db.Select(q.Locations, from, to)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Op: q.Op, From: from, To: to, Merged: db.Len()}
+	switch q.Op {
+	case OpQuery:
+		res.Counters = merged.Query(q.Where)
+	case OpDrilldown:
+		entries, ok := merged.Drilldown(q.Where)
+		if !ok {
+			return nil, fmt.Errorf("flowql: DRILLDOWN: no node at %v (compressed away or never seen)", q.Where)
+		}
+		res.Entries = entries
+	case OpTopK:
+		res.Entries = filterEntries(merged.TopK(q.K*4), q.Where, q.K)
+	case OpAbove:
+		res.Entries = filterEntries(merged.AboveX(q.X), q.Where, 0)
+	case OpHHH:
+		all := merged.HHH(q.Phi)
+		if q.Where.IsRoot() {
+			res.HHH = all
+		} else {
+			for _, h := range all {
+				if q.Where.Generalizes(h.Key) {
+					res.HHH = append(res.HHH, h)
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("flowql: unknown operator %v", q.Op)
+	}
+	return res, nil
+}
+
+// filterEntries keeps entries covered by the WHERE restriction; limit > 0
+// truncates.
+func filterEntries(entries []flowtree.Entry, where flow.Key, limit int) []flowtree.Entry {
+	if where.IsRoot() {
+		if limit > 0 && len(entries) > limit {
+			return entries[:limit]
+		}
+		return entries
+	}
+	var out []flowtree.Entry
+	for _, e := range entries {
+		if where.Generalizes(e.Key) {
+			out = append(out, e)
+			if limit > 0 && len(out) == limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Run parses and executes a FlowQL statement (the Figure 5 API, step 5).
+func Run(db *flowdb.DB, statement string) (*Result, error) {
+	q, err := Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(db, q)
+}
+
+// Format renders a result as a human-readable table (used by the FlowQL
+// shell).
+func Format(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s over [%s, %s)\n", res.Op, res.From.Format(time.RFC3339), res.To.Format(time.RFC3339))
+	switch res.Op {
+	case OpQuery:
+		fmt.Fprintf(&b, "packets=%d bytes=%d flows=%d\n", res.Counters.Packets, res.Counters.Bytes, res.Counters.Flows)
+	case OpHHH:
+		fmt.Fprintf(&b, "%-48s %12s %12s\n", "flow", "discounted", "bytes")
+		for _, h := range res.HHH {
+			fmt.Fprintf(&b, "%-48s %12d %12d\n", h.Key.String(), h.Discounted, h.Counters.Bytes)
+		}
+		fmt.Fprintf(&b, "(%d heavy hitters)\n", len(res.HHH))
+	default:
+		fmt.Fprintf(&b, "%-48s %12s %12s %8s\n", "flow", "bytes", "packets", "flows")
+		for _, e := range res.Entries {
+			fmt.Fprintf(&b, "%-48s %12d %12d %8d\n", e.Key.String(),
+				e.Counters.Bytes, e.Counters.Packets, e.Counters.Flows)
+		}
+		fmt.Fprintf(&b, "(%s rows)\n", strconv.Itoa(len(res.Entries)))
+	}
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package flowql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowtree"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestParseOperators(t *testing.T) {
+	tests := []struct {
+		in  string
+		op  OpKind
+		arg any
+	}{
+		{in: `SELECT QUERY FROM ALL`, op: OpQuery},
+		{in: `SELECT DRILLDOWN FROM ALL`, op: OpDrilldown},
+		{in: `SELECT TOPK(10) FROM ALL`, op: OpTopK, arg: 10},
+		{in: `SELECT ABOVE(5000) FROM ALL`, op: OpAbove, arg: uint64(5000)},
+		{in: `SELECT HHH(0.05) FROM ALL`, op: OpHHH, arg: 0.05},
+		{in: `select topk(3) from all`, op: OpTopK, arg: 3}, // case-insensitive
+	}
+	for _, tt := range tests {
+		q, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if q.Op != tt.op {
+			t.Errorf("Parse(%q).Op = %v, want %v", tt.in, q.Op, tt.op)
+		}
+		switch want := tt.arg.(type) {
+		case int:
+			if q.K != want {
+				t.Errorf("Parse(%q).K = %d", tt.in, q.K)
+			}
+		case uint64:
+			if q.X != want {
+				t.Errorf("Parse(%q).X = %d", tt.in, q.X)
+			}
+		case float64:
+			if q.Phi != want {
+				t.Errorf("Parse(%q).Phi = %v", tt.in, q.Phi)
+			}
+		}
+		if !q.All {
+			t.Errorf("Parse(%q).All = false", tt.in)
+		}
+	}
+}
+
+func TestParseTimeWindow(t *testing.T) {
+	q, err := Parse(`SELECT QUERY FROM "2026-06-01T00:00:00Z" TO "2026-06-01T01:00:00Z"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.All {
+		t.Error("All should be false with explicit window")
+	}
+	if !q.From.Equal(t0) || !q.To.Equal(t0.Add(time.Hour)) {
+		t.Errorf("window = [%v, %v)", q.From, q.To)
+	}
+}
+
+func TestParseLocations(t *testing.T) {
+	q, err := Parse(`SELECT QUERY AT site1, site2 FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Locations) != 2 || q.Locations[0] != "site1" || q.Locations[1] != "site2" {
+		t.Errorf("Locations = %v", q.Locations)
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	q, err := Parse(`SELECT QUERY FROM ALL WHERE src = 10.1.0.0/16 AND dport = 443 AND proto = tcp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where.SrcPrefix != 16 || q.Where.SrcIP.String() != "10.1.0.0" {
+		t.Errorf("src = %v/%d", q.Where.SrcIP, q.Where.SrcPrefix)
+	}
+	if q.Where.WildDstPort || q.Where.DstPort != 443 {
+		t.Errorf("dport = %d wild=%v", q.Where.DstPort, q.Where.WildDstPort)
+	}
+	if q.Where.WildProto || q.Where.Proto != flow.ProtoTCP {
+		t.Errorf("proto = %v", q.Where.Proto)
+	}
+	// dst stays wild.
+	if q.Where.DstPrefix != 0 {
+		t.Errorf("dst prefix = %d", q.Where.DstPrefix)
+	}
+	// Host address without /n means /32.
+	q, err = Parse(`SELECT QUERY FROM ALL WHERE dst = 192.168.1.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where.DstPrefix != 32 || q.Where.DstIP.String() != "192.168.1.5" {
+		t.Errorf("dst = %v/%d", q.Where.DstIP, q.Where.DstPrefix)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`QUERY FROM ALL`,           // missing SELECT
+		`SELECT NOPE FROM ALL`,     // unknown op
+		`SELECT TOPK FROM ALL`,     // missing arg
+		`SELECT TOPK(0) FROM ALL`,  // non-positive
+		`SELECT HHH(2.0) FROM ALL`, // out of range
+		`SELECT HHH(0.5)`,          // missing FROM
+		`SELECT QUERY FROM "not-a-time" TO "2026-06-01T01:00:00Z"`,
+		`SELECT QUERY FROM "2026-06-01T01:00:00Z" TO "2026-06-01T00:00:00Z"`, // empty window
+		`SELECT QUERY FROM ALL WHERE nonsense = 5`,
+		`SELECT QUERY FROM ALL WHERE src = 10.0.0`,      // bad IP
+		`SELECT QUERY FROM ALL WHERE src = 10.0.0.0/64`, // bad prefix
+		`SELECT QUERY FROM ALL WHERE dport = 70000`,     // bad port
+		`SELECT QUERY FROM ALL WHERE proto = carrier`,   // bad proto
+		`SELECT QUERY FROM ALL trailing`,                // junk at end
+		`SELECT QUERY FROM "2026-06-01T00:00:00Z`,       // unterminated string
+		`SELECT QUERY FROM ALL WHERE src = 10.0.0.0 @`,  // bad character
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q) error is %T, want *SyntaxError", in, err)
+			}
+		}
+	}
+}
+
+// buildDB builds a two-site FlowDB with two epochs each.
+func buildDB(t *testing.T) *flowdb.DB {
+	t.Helper()
+	db := flowdb.New()
+	mk := func(srcs []string, bytes uint64) *flowtree.Tree {
+		tr, err := flowtree.New(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range srcs {
+			ip, err := flow.ParseIPv4(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst, _ := flow.ParseIPv4("192.168.1.5")
+			tr.Add(flow.Record{
+				Key:     flow.Exact(flow.ProtoTCP, ip, dst, 40000, 443),
+				Packets: bytes / 1000, Bytes: bytes,
+			})
+		}
+		return tr
+	}
+	rows := []flowdb.Row{
+		{Location: "berlin", Start: t0, Width: time.Hour, Tree: mk([]string{"10.1.0.1", "10.1.0.2"}, 1000)},
+		{Location: "berlin", Start: t0.Add(time.Hour), Width: time.Hour, Tree: mk([]string{"10.1.0.1"}, 2000)},
+		{Location: "paris", Start: t0, Width: time.Hour, Tree: mk([]string{"10.2.0.1"}, 4000)},
+		{Location: "paris", Start: t0.Add(time.Hour), Width: time.Hour, Tree: mk([]string{"10.2.0.1"}, 8000)},
+	}
+	for _, r := range rows {
+		if err := db.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestExecuteQueryAcrossSitesAndTime(t *testing.T) {
+	db := buildDB(t)
+	res, err := Run(db, `SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 16000 {
+		t.Errorf("total bytes = %d, want 16000", res.Counters.Bytes)
+	}
+	// Restrict to one site.
+	res, err = Run(db, `SELECT QUERY AT berlin FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 4000 {
+		t.Errorf("berlin bytes = %d, want 4000", res.Counters.Bytes)
+	}
+	// Restrict to one epoch.
+	res, err = Run(db, `SELECT QUERY FROM "2026-06-01T00:00:00Z" TO "2026-06-01T01:00:00Z"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 6000 {
+		t.Errorf("epoch-1 bytes = %d, want 6000 (berlin 2x1000 + paris 4000)", res.Counters.Bytes)
+	}
+	// Restrict by feature.
+	res, err = Run(db, `SELECT QUERY FROM ALL WHERE src = 10.1.0.0/16`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 4000 {
+		t.Errorf("10.1/16 bytes = %d, want 4000", res.Counters.Bytes)
+	}
+}
+
+func TestExecuteTopKWithWhere(t *testing.T) {
+	db := buildDB(t)
+	res, err := Run(db, `SELECT TOPK(1) FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 {
+		t.Fatalf("entries = %v", res.Entries)
+	}
+	// 10.2.0.1 has 12000 bytes total; it must win.
+	if res.Entries[0].Key.SrcIP.String() != "10.2.0.1" {
+		t.Errorf("top flow = %v", res.Entries[0].Key)
+	}
+	// Filtered to the berlin prefix, the winner is 10.1.0.1 (3000).
+	res, err = Run(db, `SELECT TOPK(1) FROM ALL WHERE src = 10.1.0.0/16`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 1 || res.Entries[0].Key.SrcIP.String() != "10.1.0.1" {
+		t.Errorf("filtered top = %+v", res.Entries)
+	}
+}
+
+func TestExecuteAboveAndHHH(t *testing.T) {
+	db := buildDB(t)
+	res, err := Run(db, `SELECT ABOVE(12000) FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) == 0 {
+		t.Error("ABOVE(12000) empty")
+	}
+	for _, e := range res.Entries {
+		if e.Counters.Bytes < 12000 {
+			t.Errorf("entry below threshold: %+v", e)
+		}
+	}
+	res, err = Run(db, `SELECT HHH(0.5) FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HHH) == 0 {
+		t.Error("HHH(0.5) empty")
+	}
+	// Where-filtered HHH keeps only covered keys.
+	res, err = Run(db, `SELECT HHH(0.1) FROM ALL WHERE src = 10.2.0.0/16`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.HHH {
+		if h.Key.SrcIP.Mask(16).String() != "10.2.0.0" {
+			t.Errorf("HHH outside WHERE: %v", h.Key)
+		}
+	}
+}
+
+func TestExecuteDrilldown(t *testing.T) {
+	db := buildDB(t)
+	res, err := Run(db, `SELECT DRILLDOWN FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) == 0 {
+		t.Error("root drilldown empty")
+	}
+	if _, err := Run(db, `SELECT DRILLDOWN FROM ALL WHERE src = 99.99.0.0/16`); err == nil {
+		t.Error("drilldown at absent node must error")
+	}
+}
+
+func TestExecuteNoData(t *testing.T) {
+	db := flowdb.New()
+	if _, err := Run(db, `SELECT QUERY FROM ALL`); !errors.Is(err, flowdb.ErrNoData) {
+		t.Errorf("empty db: %v", err)
+	}
+	db = buildDB(t)
+	if _, err := Run(db, `SELECT QUERY AT nowhere FROM ALL`); !errors.Is(err, flowdb.ErrNoData) {
+		t.Errorf("unknown location: %v", err)
+	}
+	if _, err := Run(db, `SELECT QUERY FROM "2030-01-01T00:00:00Z" TO "2030-01-02T00:00:00Z"`); !errors.Is(err, flowdb.ErrNoData) {
+		t.Errorf("empty window: %v", err)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	db := buildDB(t)
+	for _, stmt := range []string{
+		`SELECT QUERY FROM ALL`,
+		`SELECT TOPK(3) FROM ALL`,
+		`SELECT HHH(0.3) FROM ALL`,
+	} {
+		res, err := Run(db, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := Format(res)
+		if !strings.Contains(out, res.Op.String()) {
+			t.Errorf("Format(%s) missing op header: %q", stmt, out)
+		}
+	}
+}
+
+func TestFlowDBBasics(t *testing.T) {
+	db := buildDB(t)
+	if db.Len() != 4 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	locs := db.Locations()
+	if len(locs) != 2 || locs[0] != "berlin" || locs[1] != "paris" {
+		t.Errorf("Locations = %v", locs)
+	}
+	from, to, ok := db.TimeBounds()
+	if !ok || !from.Equal(t0) || !to.Equal(t0.Add(2*time.Hour)) {
+		t.Errorf("TimeBounds = %v %v %v", from, to, ok)
+	}
+	if err := db.Insert(flowdb.Row{}); !errors.Is(err, flowdb.ErrBadRow) {
+		t.Errorf("bad row: %v", err)
+	}
+	if n := db.Evict(t0.Add(90 * time.Minute)); n != 2 {
+		t.Errorf("Evict = %d, want 2", n)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len after evict = %d", db.Len())
+	}
+}

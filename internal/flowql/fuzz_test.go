@@ -1,0 +1,97 @@
+package flowql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the parser random byte strings: it must
+// return (query, nil) or (nil, error), never panic. FlowQL statements
+// arrive from applications over the network (Figure 5 step 5), so the
+// parser is attacker-facing.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", input, r)
+			}
+		}()
+		q, err := Parse(input)
+		return (q == nil) != (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsOnMutatedValid mutates valid statements: truncation,
+// duplication and random splices of real token material hit far more parser
+// states than uniform random bytes.
+func TestParseNeverPanicsOnMutatedValid(t *testing.T) {
+	seeds := []string{
+		`SELECT QUERY FROM ALL`,
+		`SELECT TOPK(10) AT site1, site2 FROM ALL WHERE src = 10.0.0.0/8`,
+		`SELECT HHH(0.05) FROM "2026-06-01T00:00:00Z" TO "2026-06-01T01:00:00Z"`,
+		`SELECT ABOVE(5000) FROM ALL WHERE dport = 443 AND proto = tcp AND dst = 192.168.1.5`,
+		`SELECT DRILLDOWN FROM ALL WHERE src = 10.1.0.0/16`,
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		s := seeds[rng.Intn(len(seeds))]
+		switch rng.Intn(4) {
+		case 0: // truncate
+			if len(s) > 0 {
+				s = s[:rng.Intn(len(s))]
+			}
+		case 1: // splice two seeds
+			other := seeds[rng.Intn(len(seeds))]
+			cut1, cut2 := rng.Intn(len(s)+1), rng.Intn(len(other)+1)
+			s = s[:cut1] + other[cut2:]
+		case 2: // corrupt one byte
+			if len(s) > 0 {
+				b := []byte(s)
+				b[rng.Intn(len(b))] = byte(rng.Intn(256))
+				s = string(b)
+			}
+		case 3: // duplicate a token
+			parts := strings.Fields(s)
+			if len(parts) > 0 {
+				i := rng.Intn(len(parts))
+				parts = append(parts[:i+1], parts[i:]...)
+				s = strings.Join(parts, " ")
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", s, r)
+				}
+			}()
+			_, _ = Parse(s)
+		}()
+	}
+}
+
+// TestParseValidCornerStatements exercises grammar corners that the main
+// tests do not: whitespace, quoting styles, and boundary values.
+func TestParseValidCornerStatements(t *testing.T) {
+	valid := []string{
+		`select query from all`,
+		"SELECT\tQUERY\nFROM\tALL",
+		`SELECT QUERY FROM '2026-06-01T00:00:00Z' TO '2026-06-02T00:00:00Z'`, // single quotes
+		`SELECT HHH(1) FROM ALL`, // integer phi
+		`SELECT HHH(0.999) FROM ALL`,
+		`SELECT QUERY FROM ALL WHERE src = 0.0.0.0/0`, // root prefix
+		`SELECT QUERY FROM ALL WHERE dport = 0`,       // port zero
+		`SELECT QUERY FROM ALL WHERE dport = 65535`,   // max port
+		`SELECT QUERY FROM ALL WHERE src = 255.255.255.255/32`,
+		`SELECT TOPK(1) AT a FROM ALL`,
+	}
+	for _, s := range valid {
+		if _, err := Parse(s); err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+		}
+	}
+}

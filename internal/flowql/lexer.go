@@ -1,0 +1,149 @@
+// Package flowql implements FlowQL, the SQL-like query language of
+// Section VI: the user chooses an operator via the SELECT clause, one or
+// multiple time periods via the FROM clause, and the feature set (with
+// restrictions such as "src = 10.1.0.0/16") via the WHERE clause. An
+// optional AT clause selects locations.
+//
+// Grammar (EBNF):
+//
+//	query     = "SELECT" op [ "AT" locs ] "FROM" times [ "WHERE" preds ] ;
+//	op        = "QUERY" | "DRILLDOWN" | "TOPK" "(" int ")"
+//	          | "ABOVE" "(" int ")" | "HHH" "(" float ")" ;
+//	locs      = ident { "," ident } ;
+//	times     = "ALL" | string "TO" string ;        (RFC 3339 timestamps)
+//	preds     = pred { "AND" pred } ;
+//	pred      = feature "=" value ;
+//	feature   = "src" | "dst" | "sport" | "dport" | "proto" ;
+package flowql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokLParen
+	tokRParen
+	tokEquals
+	tokSlash
+	tokDot
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return ","
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokEquals:
+		return "="
+	case tokSlash:
+		return "/"
+	case tokDot:
+		return "."
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexed unit with its source position (byte offset).
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("flowql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokEquals, text: "=", pos: i})
+			i++
+		case c == '/':
+			toks = append(toks, token{kind: tokSlash, text: "/", pos: i})
+			i++
+		case c == '.':
+			toks = append(toks, token{kind: tokDot, text: ".", pos: i})
+			i++
+		case c == '"' || c == '\'':
+			quote := byte(c)
+			end := i + 1
+			for end < len(input) && input[end] != quote {
+				end++
+			}
+			if end >= len(input) {
+				return nil, &SyntaxError{Pos: i, Msg: "unterminated string"}
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : end], pos: i})
+			i = end + 1
+		case unicode.IsDigit(c):
+			end := i
+			for end < len(input) && (unicode.IsDigit(rune(input[end]))) {
+				end++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:end], pos: i})
+			i = end
+		case unicode.IsLetter(c) || c == '_':
+			end := i
+			for end < len(input) && (unicode.IsLetter(rune(input[end])) || unicode.IsDigit(rune(input[end])) || input[end] == '_' || input[end] == '-') {
+				end++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:end], pos: i})
+			i = end
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+// keywordIs reports whether t is the given case-insensitive keyword.
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

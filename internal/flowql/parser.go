@@ -1,0 +1,392 @@
+package flowql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"megadata/internal/flow"
+)
+
+// OpKind selects the Flowtree operator of a query (Table II).
+type OpKind int
+
+// FlowQL operators.
+const (
+	OpQuery OpKind = iota + 1
+	OpDrilldown
+	OpTopK
+	OpAbove
+	OpHHH
+)
+
+// String returns the operator name.
+func (o OpKind) String() string {
+	switch o {
+	case OpQuery:
+		return "QUERY"
+	case OpDrilldown:
+		return "DRILLDOWN"
+	case OpTopK:
+		return "TOPK"
+	case OpAbove:
+		return "ABOVE"
+	case OpHHH:
+		return "HHH"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Query is the parsed form of a FlowQL statement.
+type Query struct {
+	Op  OpKind
+	K   int     // TOPK argument
+	X   uint64  // ABOVE argument
+	Phi float64 // HHH argument
+	// Locations from the AT clause; empty = all locations.
+	Locations []string
+	// All is true for FROM ALL; otherwise [From, To) bounds the window.
+	All  bool
+	From time.Time
+	To   time.Time
+	// Where is the feature restriction as a generalized flow key; the
+	// zero restriction is the root (match everything).
+	Where flow.Key
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one FlowQL statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errorf("unexpected %s after end of query", p.cur().kind)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token        { return p.toks[p.i] }
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !keywordIs(p.cur(), kw) {
+		return p.errorf("expected %s, got %q", kw, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errorf("expected %s, got %q", k, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Where: flow.Root()}
+	if err := p.parseOp(q); err != nil {
+		return nil, err
+	}
+	if keywordIs(p.cur(), "AT") {
+		p.advance()
+		if err := p.parseLocations(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseTimes(q); err != nil {
+		return nil, err
+	}
+	if keywordIs(p.cur(), "WHERE") {
+		p.advance()
+		if err := p.parsePredicates(q); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseOp(q *Query) error {
+	t := p.cur()
+	switch {
+	case keywordIs(t, "QUERY"):
+		q.Op = OpQuery
+		p.advance()
+	case keywordIs(t, "DRILLDOWN"):
+		q.Op = OpDrilldown
+		p.advance()
+	case keywordIs(t, "TOPK"):
+		p.advance()
+		n, err := p.parseIntArg()
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return p.errorf("TOPK argument must be positive")
+		}
+		q.Op = OpTopK
+		q.K = n
+	case keywordIs(t, "ABOVE"):
+		p.advance()
+		n, err := p.parseIntArg()
+		if err != nil {
+			return err
+		}
+		q.Op = OpAbove
+		q.X = uint64(n)
+	case keywordIs(t, "HHH"):
+		p.advance()
+		f, err := p.parseFloatArg()
+		if err != nil {
+			return err
+		}
+		if f <= 0 || f > 1 {
+			return p.errorf("HHH argument must be in (0,1]")
+		}
+		q.Op = OpHHH
+		q.Phi = f
+	default:
+		return p.errorf("expected operator (QUERY, DRILLDOWN, TOPK, ABOVE, HHH), got %q", t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseIntArg() (int, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return 0, err
+	}
+	numTok, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(numTok.text)
+	if err != nil {
+		return 0, p.errorf("bad integer %q", numTok.text)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (p *parser) parseFloatArg() (float64, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return 0, err
+	}
+	intTok, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	text := intTok.text
+	if p.at(tokDot) {
+		p.advance()
+		fracTok, err := p.expect(tokNumber)
+		if err != nil {
+			return 0, err
+		}
+		text = text + "." + fracTok.text
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, p.errorf("bad number %q", text)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+func (p *parser) parseLocations(q *Query) error {
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		q.Locations = append(q.Locations, t.text)
+		if !p.at(tokComma) {
+			return nil
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseTimes(q *Query) error {
+	if keywordIs(p.cur(), "ALL") {
+		p.advance()
+		q.All = true
+		return nil
+	}
+	fromTok, err := p.expect(tokString)
+	if err != nil {
+		return p.errorf("FROM needs ALL or quoted RFC 3339 timestamps")
+	}
+	from, err := time.Parse(time.RFC3339, fromTok.text)
+	if err != nil {
+		return &SyntaxError{Pos: fromTok.pos, Msg: fmt.Sprintf("bad timestamp %q: %v", fromTok.text, err)}
+	}
+	if err := p.expectKeyword("TO"); err != nil {
+		return err
+	}
+	toTok, err := p.expect(tokString)
+	if err != nil {
+		return err
+	}
+	to, err := time.Parse(time.RFC3339, toTok.text)
+	if err != nil {
+		return &SyntaxError{Pos: toTok.pos, Msg: fmt.Sprintf("bad timestamp %q: %v", toTok.text, err)}
+	}
+	if !to.After(from) {
+		return &SyntaxError{Pos: toTok.pos, Msg: "time window is empty"}
+	}
+	q.From, q.To = from, to
+	return nil
+}
+
+func (p *parser) parsePredicates(q *Query) error {
+	for {
+		if err := p.parsePredicate(q); err != nil {
+			return err
+		}
+		if !keywordIs(p.cur(), "AND") {
+			return nil
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parsePredicate(q *Query) error {
+	featTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokEquals); err != nil {
+		return err
+	}
+	switch strings.ToLower(featTok.text) {
+	case "src":
+		ip, bits, err := p.parseCIDR()
+		if err != nil {
+			return err
+		}
+		q.Where.SrcIP = ip.Mask(bits)
+		q.Where.SrcPrefix = bits
+	case "dst":
+		ip, bits, err := p.parseCIDR()
+		if err != nil {
+			return err
+		}
+		q.Where.DstIP = ip.Mask(bits)
+		q.Where.DstPrefix = bits
+	case "sport":
+		n, err := p.parsePort()
+		if err != nil {
+			return err
+		}
+		q.Where.SrcPort = n
+		q.Where.WildSrcPort = false
+	case "dport":
+		n, err := p.parsePort()
+		if err != nil {
+			return err
+		}
+		q.Where.DstPort = n
+		q.Where.WildDstPort = false
+	case "proto":
+		protoTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		switch strings.ToLower(protoTok.text) {
+		case "tcp":
+			q.Where.Proto = flow.ProtoTCP
+		case "udp":
+			q.Where.Proto = flow.ProtoUDP
+		case "icmp":
+			q.Where.Proto = flow.ProtoICMP
+		default:
+			return &SyntaxError{Pos: protoTok.pos, Msg: fmt.Sprintf("unknown protocol %q", protoTok.text)}
+		}
+		q.Where.WildProto = false
+	default:
+		return &SyntaxError{Pos: featTok.pos, Msg: fmt.Sprintf("unknown feature %q (want src, dst, sport, dport, proto)", featTok.text)}
+	}
+	return nil
+}
+
+// parseCIDR consumes a.b.c.d or a.b.c.d/n.
+func (p *parser) parseCIDR() (flow.IPv4, uint8, error) {
+	var parts [4]string
+	for i := 0; i < 4; i++ {
+		numTok, err := p.expect(tokNumber)
+		if err != nil {
+			return 0, 0, err
+		}
+		parts[i] = numTok.text
+		if i < 3 {
+			if _, err := p.expect(tokDot); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	ip, err := flow.ParseIPv4(strings.Join(parts[:], "."))
+	if err != nil {
+		return 0, 0, p.errorf("%v", err)
+	}
+	bits := uint8(32)
+	if p.at(tokSlash) {
+		p.advance()
+		nTok, err := p.expect(tokNumber)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, err := strconv.Atoi(nTok.text)
+		if err != nil || n < 0 || n > 32 {
+			return 0, 0, &SyntaxError{Pos: nTok.pos, Msg: fmt.Sprintf("bad prefix length %q", nTok.text)}
+		}
+		bits = uint8(n)
+	}
+	return ip, bits, nil
+}
+
+func (p *parser) parsePort() (uint16, error) {
+	numTok, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(numTok.text)
+	if err != nil || n < 0 || n > 65535 {
+		return 0, &SyntaxError{Pos: numTok.pos, Msg: fmt.Sprintf("bad port %q", numTok.text)}
+	}
+	return uint16(n), nil
+}

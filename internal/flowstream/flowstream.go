@@ -1,0 +1,188 @@
+// Package flowstream wires the complete Flowstream system of Figure 5:
+// (1) routers send raw flow data to per-site data stores, (2) each store
+// aggregates with a Flowtree computing primitive, (3) sealed epoch
+// summaries are exported over the (simulated) WAN to a central data store,
+// (4) FlowDB stores and indexes them, and (5) applications query the result
+// through the FlowQL API.
+package flowstream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"megadata/internal/datastore"
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowql"
+	"megadata/internal/flowtree"
+	"megadata/internal/primitive"
+	"megadata/internal/simnet"
+)
+
+// Config parameterizes a Flowstream deployment.
+type Config struct {
+	// Sites are the router/data-store locations (Figure 5 left).
+	Sites []string
+	// Central is the site hosting FlowDB (defaults to "central").
+	Central string
+	// TreeBudget is the per-site Flowtree node budget (0 = unlimited).
+	TreeBudget int
+	// Epoch is the summarization interval.
+	Epoch time.Duration
+	// Link characterizes every site-to-central link.
+	Link simnet.Link
+	// Start initializes the virtual clock.
+	Start time.Time
+}
+
+// aggName is the Flowtree aggregator registered at every site store.
+const aggName = "flowtree"
+
+// System is a running Flowstream instance.
+type System struct {
+	cfg     Config
+	Clock   *simnet.Clock
+	Net     *simnet.Network
+	DB      *flowdb.DB
+	stores  map[string]*datastore.Store
+	central simnet.SiteID
+	epoch   int
+}
+
+// New builds and connects a Flowstream deployment.
+func New(cfg Config) (*System, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, errors.New("flowstream: need at least one site")
+	}
+	if cfg.Central == "" {
+		cfg.Central = "central"
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = time.Minute
+	}
+	if cfg.Link.BytesPerSecond <= 0 {
+		cfg.Link = simnet.Link{BytesPerSecond: 10e6, Latency: 20 * time.Millisecond}
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	s := &System{
+		cfg:     cfg,
+		Clock:   simnet.NewClock(cfg.Start),
+		Net:     simnet.NewNetwork(),
+		DB:      flowdb.New(),
+		stores:  make(map[string]*datastore.Store, len(cfg.Sites)),
+		central: simnet.SiteID(cfg.Central),
+	}
+	s.Net.AddSite(s.central)
+	for _, site := range cfg.Sites {
+		if site == cfg.Central {
+			return nil, fmt.Errorf("flowstream: site %q collides with the central site", site)
+		}
+		if _, dup := s.stores[site]; dup {
+			return nil, fmt.Errorf("flowstream: duplicate site %q", site)
+		}
+		store := datastore.New(site, s.Clock.Now)
+		budget := cfg.TreeBudget
+		err := store.Register(datastore.AggregatorConfig{
+			Name: aggName,
+			New: func() (primitive.Aggregator, error) {
+				return primitive.NewFlowtree(aggName, budget)
+			},
+			Strategy:    datastore.StrategyRoundRobin,
+			BudgetBytes: 64 << 20,
+			EpochWidth:  cfg.Epoch,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("flowstream: site %q: %w", site, err)
+		}
+		if err := store.Subscribe("router", aggName); err != nil {
+			return nil, err
+		}
+		s.stores[site] = store
+		s.Net.AddSite(simnet.SiteID(site))
+		if err := s.Net.Connect(simnet.SiteID(site), s.central, cfg.Link); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Store returns a site's data store (installing triggers, diagnostics).
+func (s *System) Store(site string) (*datastore.Store, error) {
+	st, ok := s.stores[site]
+	if !ok {
+		return nil, fmt.Errorf("flowstream: unknown site %q", site)
+	}
+	return st, nil
+}
+
+// Ingest pushes router flow records into a site's data store (Figure 5
+// steps 1-2).
+func (s *System) Ingest(site string, recs []flow.Record) error {
+	st, err := s.Store(site)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := st.Ingest("router", r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EndEpoch closes the current epoch everywhere: each site seals its
+// Flowtree, serializes it, ships it to the central site over the metered
+// WAN (step 3) and indexes it in FlowDB (step 4). The virtual clock then
+// advances by one epoch.
+func (s *System) EndEpoch() error {
+	epochStart := s.cfg.Start.Add(time.Duration(s.epoch) * s.cfg.Epoch)
+	s.Clock.AdvanceTo(epochStart.Add(s.cfg.Epoch))
+	for _, site := range s.cfg.Sites {
+		st := s.stores[site]
+		live, err := st.Live(aggName)
+		if err != nil {
+			return err
+		}
+		ft, ok := live.(*primitive.FlowtreeAggregator)
+		if !ok {
+			return fmt.Errorf("flowstream: site %q aggregator is %T", site, live)
+		}
+		wire := ft.Tree().AppendBinary(nil)
+		if _, err := s.Net.Transfer(simnet.SiteID(site), s.central, uint64(len(wire))); err != nil {
+			return fmt.Errorf("flowstream: export %q: %w", site, err)
+		}
+		tree, err := flowtree.Decode(wire, 0)
+		if err != nil {
+			return fmt.Errorf("flowstream: decode export of %q: %w", site, err)
+		}
+		if err := s.DB.Insert(flowdb.Row{
+			Location: site,
+			Start:    epochStart,
+			Width:    s.cfg.Epoch,
+			Tree:     tree,
+		}); err != nil {
+			return err
+		}
+		if err := st.Seal(aggName); err != nil {
+			return err
+		}
+	}
+	s.epoch++
+	return nil
+}
+
+// Epoch returns the index of the current (open) epoch.
+func (s *System) Epoch() int { return s.epoch }
+
+// Query answers a FlowQL statement against the central FlowDB (step 5).
+func (s *System) Query(statement string) (*flowql.Result, error) {
+	return flowql.Run(s.DB, statement)
+}
+
+// WANBytes reports the bytes shipped to the central site so far.
+func (s *System) WANBytes() uint64 {
+	return s.Net.TotalStats().Bytes
+}

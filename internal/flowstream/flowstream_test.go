@@ -1,0 +1,165 @@
+package flowstream
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no sites must error")
+	}
+	if _, err := New(Config{Sites: []string{"central"}, Central: "central"}); err == nil {
+		t.Error("site/central collision must error")
+	}
+	if _, err := New(Config{Sites: []string{"a", "a"}}); err == nil {
+		t.Error("duplicate site must error")
+	}
+}
+
+func TestEndToEndPath(t *testing.T) {
+	// The full Figure 5 path: ingest at two sites over three epochs,
+	// then answer FlowQL queries at the center.
+	sys, err := New(Config{Sites: []string{"berlin", "paris"}, TreeBudget: 0, Epoch: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total flow.Counters
+	for epoch := 0; epoch < 3; epoch++ {
+		for i, site := range []string{"berlin", "paris"} {
+			g, err := workload.NewFlowGen(workload.FlowConfig{
+				Seed: int64(epoch*10 + i), Sources: 512, Destinations: 128,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := g.Records(1000)
+			for _, r := range recs {
+				total.Add(flow.CountersOf(r))
+			}
+			if err := sys.Ingest(site, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.Epoch() != 3 {
+		t.Errorf("Epoch = %d", sys.Epoch())
+	}
+	if sys.DB.Len() != 6 {
+		t.Errorf("FlowDB rows = %d, want 6", sys.DB.Len())
+	}
+	res, err := sys.Query(`SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters != total {
+		t.Errorf("central total = %+v, want %+v", res.Counters, total)
+	}
+	// Per-site restriction.
+	res, err = sys.Query(`SELECT QUERY AT berlin FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes >= total.Bytes {
+		t.Error("site-restricted query returned global volume")
+	}
+	// The WAN was actually metered.
+	if sys.WANBytes() == 0 {
+		t.Error("no WAN bytes metered")
+	}
+	// Top-k at the center works.
+	res, err = sys.Query(`SELECT TOPK(5) FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 5 {
+		t.Errorf("TopK entries = %d", len(res.Entries))
+	}
+}
+
+func TestBudgetCapsExportVolume(t *testing.T) {
+	// Figure 5 claim: Flowtree keeps summaries succinct. With a node
+	// budget, WAN export volume must be far below the raw record volume.
+	run := func(budget int) uint64 {
+		sys, err := New(Config{Sites: []string{"site"}, TreeBudget: budget, Epoch: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := workload.NewFlowGen(workload.FlowConfig{Seed: 1, Skew: 1.2})
+		if err := sys.Ingest("site", g.Records(20000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.WANBytes()
+	}
+	full := run(0)
+	small := run(1024)
+	if small*4 > full {
+		t.Errorf("budgeted export %d not clearly below full %d", small, full)
+	}
+	// 20k records at ~40 wire bytes each would be ~800 KB raw.
+	rawBytes := uint64(20000 * 40)
+	if small > rawBytes/4 {
+		t.Errorf("budgeted export %d too close to raw volume %d", small, rawBytes)
+	}
+}
+
+func TestEpochIsolation(t *testing.T) {
+	sys, err := New(Config{Sites: []string{"s"}, Epoch: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(bytes uint64) []flow.Record {
+		return []flow.Record{{
+			Key:     flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80101, 40000, 443),
+			Packets: 1, Bytes: bytes,
+		}}
+	}
+	_ = sys.Ingest("s", mk(100))
+	_ = sys.EndEpoch()
+	_ = sys.Ingest("s", mk(900))
+	_ = sys.EndEpoch()
+
+	start := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	q := fmt.Sprintf(`SELECT QUERY FROM "%s" TO "%s"`,
+		start.Format(time.RFC3339), start.Add(time.Minute).Format(time.RFC3339))
+	res, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 100 {
+		t.Errorf("epoch 0 bytes = %d, want 100", res.Counters.Bytes)
+	}
+	res, err = sys.Query(`SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 1000 {
+		t.Errorf("all-time bytes = %d, want 1000", res.Counters.Bytes)
+	}
+}
+
+func TestStoreAccess(t *testing.T) {
+	sys, err := New(Config{Sites: []string{"s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Store("s"); err != nil {
+		t.Errorf("Store(s): %v", err)
+	}
+	if _, err := sys.Store("ghost"); err == nil {
+		t.Error("unknown site must error")
+	}
+	if err := sys.Ingest("ghost", nil); err == nil {
+		t.Error("ingest at unknown site must error")
+	}
+}

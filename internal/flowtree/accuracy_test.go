@@ -1,0 +1,148 @@
+package flowtree
+
+import (
+	"sort"
+	"testing"
+
+	"megadata/internal/flow"
+	"megadata/internal/workload"
+)
+
+// topKRecall measures how many of the true top-k exact flows (by bytes)
+// survive in a budgeted tree's TopK report (experiment E4: "distinguish
+// heavy hitters from non-popular flows").
+func topKRecall(t *testing.T, budget, k int) float64 {
+	t.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 77, Skew: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Records(30000)
+	tree, err := New(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[flow.Key]uint64)
+	for _, r := range recs {
+		tree.Add(r)
+		truth[r.Key] += r.Bytes
+	}
+	type kv struct {
+		k flow.Key
+		v uint64
+	}
+	sorted := make([]kv, 0, len(truth))
+	for key, v := range truth {
+		sorted = append(sorted, kv{k: key, v: v})
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].v > sorted[j].v })
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	reported := tree.TopK(2 * k)
+	var hit int
+	for _, kv := range sorted {
+		// A true heavy flow counts as distinguished when a reported
+		// top entry covers it at some surviving granularity other than
+		// the root: compression may have folded the exact 5-tuple into
+		// a nearby generalization, but the paper only asks that heavy
+		// hitters remain distinguishable from non-popular flows.
+		for _, e := range reported {
+			if !e.Key.IsRoot() && e.Key.Generalizes(kv.k) {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(sorted))
+}
+
+// prefixQueryError measures the mean relative error of Query over /16
+// source prefixes against an uncompressed tree.
+func prefixQueryError(t *testing.T, budget int) float64 {
+	t.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 78, Skew: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Records(20000)
+	full, _ := New(0)
+	small, err := New(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		full.Add(r)
+		small.Add(r)
+	}
+	probes := map[flow.Key]bool{}
+	for _, r := range recs[:500] {
+		k := flow.Key{SrcIP: r.Key.SrcIP.Mask(16), SrcPrefix: 16, WildProto: true, WildSrcPort: true, WildDstPort: true}
+		probes[k] = true
+	}
+	var errSum float64
+	var n int
+	for k := range probes {
+		truth := full.Query(k).Bytes
+		if truth == 0 {
+			continue
+		}
+		approx := small.Query(k).Bytes
+		if approx > truth {
+			t.Fatalf("compressed Query exceeds truth at %v: %d > %d", k, approx, truth)
+		}
+		errSum += float64(truth-approx) / float64(truth)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no probes")
+	}
+	return errSum / float64(n)
+}
+
+func TestTopKRecallImprovesWithBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy sweep is slow")
+	}
+	rSmall := topKRecall(t, 256, 50)
+	rLarge := topKRecall(t, 8192, 50)
+	if rLarge < rSmall-0.05 {
+		t.Errorf("recall must not degrade with budget: small=%.2f large=%.2f", rSmall, rLarge)
+	}
+	if rLarge < 0.8 {
+		t.Errorf("top-k recall at generous budget too low: %.2f", rLarge)
+	}
+}
+
+func TestPrefixQueryErrorShrinksWithBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy sweep is slow")
+	}
+	eSmall := prefixQueryError(t, 512)
+	eLarge := prefixQueryError(t, 8192)
+	if eLarge > eSmall+0.05 {
+		t.Errorf("error must not grow with budget: small=%.3f large=%.3f", eSmall, eLarge)
+	}
+	if eLarge > 0.5 {
+		t.Errorf("query error at generous budget too high: %.3f", eLarge)
+	}
+}
+
+func TestCompressionMemoryShape(t *testing.T) {
+	// E2/E4 shape: a budgeted tree must be dramatically smaller than the
+	// exact tree on skewed traffic while keeping the total.
+	g, _ := workload.NewFlowGen(workload.FlowConfig{Seed: 79, Skew: 1.1})
+	recs := g.Records(30000)
+	full, _ := New(0)
+	small, _ := New(2048)
+	for _, r := range recs {
+		full.Add(r)
+		small.Add(r)
+	}
+	if small.SizeBytes()*4 > full.SizeBytes() {
+		t.Errorf("budgeted tree %dB not clearly smaller than full %dB", small.SizeBytes(), full.SizeBytes())
+	}
+	if small.Total() != full.Total() {
+		t.Error("totals diverged")
+	}
+}

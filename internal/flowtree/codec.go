@@ -1,0 +1,97 @@
+package flowtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"megadata/internal/flow"
+)
+
+// Wire format: a fixed header followed by one record per node with non-zero
+// own weight. This is what data stores exchange when exporting Flowtrees
+// across the hierarchy (Figure 5, step 3) and what replication ships.
+const (
+	_wireMagic   = 0x464C5754 // "FLWT"
+	_wireVersion = 1
+	// nodeWireSize is 16 bytes of key + 3*8 bytes of counters.
+	nodeWireSize = 16 + 24
+)
+
+// ErrCodec is returned for malformed Flowtree wire data.
+var ErrCodec = errors.New("flowtree: malformed wire data")
+
+// AppendBinary serializes the tree's weighted nodes.
+func (t *Tree) AppendBinary(dst []byte) []byte {
+	entries := t.Entries()
+	var hdr [14]byte
+	binary.BigEndian.PutUint32(hdr[0:], _wireMagic)
+	hdr[4] = _wireVersion
+	hdr[5] = t.stepBits
+	binary.BigEndian.PutUint64(hdr[6:], uint64(len(entries)))
+	dst = append(dst, hdr[:]...)
+	for _, e := range entries {
+		dst = e.Key.AppendBinary(dst)
+		var c [24]byte
+		binary.BigEndian.PutUint64(c[0:], e.Counters.Packets)
+		binary.BigEndian.PutUint64(c[8:], e.Counters.Bytes)
+		binary.BigEndian.PutUint64(c[16:], e.Counters.Flows)
+		dst = append(dst, c[:]...)
+	}
+	return dst
+}
+
+// SizeBytes returns the serialized size without serializing — the byte
+// volume metered by simnet when the tree is shipped.
+func (t *Tree) SizeBytes() uint64 {
+	var n uint64
+	t.walk(func(nd *node) bool {
+		if !nd.own.IsZero() {
+			n++
+		}
+		return true
+	})
+	return 14 + n*nodeWireSize
+}
+
+// Decode reconstructs a tree from wire data produced by AppendBinary. The
+// result uses the supplied budget and options; the generalization step is
+// taken from the wire header.
+func Decode(src []byte, budget int, opts ...Option) (*Tree, error) {
+	if len(src) < 14 {
+		return nil, fmt.Errorf("%w: short header", ErrCodec)
+	}
+	if binary.BigEndian.Uint32(src[0:]) != _wireMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCodec)
+	}
+	if src[4] != _wireVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, src[4])
+	}
+	stepBits := src[5]
+	count := binary.BigEndian.Uint64(src[6:])
+	src = src[14:]
+	if uint64(len(src)) != count*nodeWireSize {
+		return nil, fmt.Errorf("%w: body is %d bytes, want %d", ErrCodec, len(src), count*nodeWireSize)
+	}
+	opts = append([]Option{WithStepBits(stepBits)}, opts...)
+	t, err := New(budget, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		key, n, err := flow.KeyFromBinary(src)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+		}
+		src = src[n:]
+		c := flow.Counters{
+			Packets: binary.BigEndian.Uint64(src[0:]),
+			Bytes:   binary.BigEndian.Uint64(src[8:]),
+			Flows:   binary.BigEndian.Uint64(src[16:]),
+		}
+		src = src[24:]
+		t.addCounters(key, c)
+	}
+	t.maybeCompress()
+	return t, nil
+}

@@ -1,0 +1,50 @@
+package flowtree_test
+
+import (
+	"fmt"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+)
+
+// Example demonstrates the core Flowtree lifecycle: ingest flows, query at
+// any generalization level, merge two sites, and compress under a budget.
+func Example() {
+	mustIP := func(s string) flow.IPv4 {
+		ip, err := flow.ParseIPv4(s)
+		if err != nil {
+			panic(err)
+		}
+		return ip
+	}
+	berlin, _ := flowtree.New(0)
+	paris, _ := flowtree.New(0)
+	berlin.Add(flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, mustIP("10.1.2.3"), mustIP("192.168.1.5"), 40000, 443),
+		Packets: 10, Bytes: 5000,
+	})
+	paris.Add(flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, mustIP("10.1.9.9"), mustIP("192.168.1.5"), 41000, 443),
+		Packets: 2, Bytes: 1000,
+	})
+
+	// Merge across locations (Table II: Merge), then query the shared
+	// /16 source prefix.
+	if err := berlin.Merge(paris); err != nil {
+		panic(err)
+	}
+	q := flow.Key{
+		SrcIP: mustIP("10.1.0.0"), SrcPrefix: 16,
+		WildProto: true, WildSrcPort: true, WildDstPort: true,
+	}
+	fmt.Printf("10.1.0.0/16 carries %d bytes in %d flows\n",
+		berlin.Query(q).Bytes, berlin.Query(q).Flows)
+
+	// Compress to a tiny budget: totals survive, attribution coarsens.
+	berlin.CompressTo(4)
+	fmt.Printf("after compress: %d nodes, total still %d bytes\n",
+		berlin.Len(), berlin.Total().Bytes)
+	// Output:
+	// 10.1.0.0/16 carries 6000 bytes in 2 flows
+	// after compress: 4 nodes, total still 6000 bytes
+}

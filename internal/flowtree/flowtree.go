@@ -1,0 +1,560 @@
+// Package flowtree implements Flowtree, the paper's exemplar novel
+// computing primitive (Section VI): a self-adjusting tree over generalized
+// flows. Each observed flow and each canonical generalization of it is a
+// node; a node's parent is its most specific generalized flow. Every node
+// carries a popularity annotation (packet/byte/flow counters); the
+// popularity score of a node is its own weight plus that of its children.
+//
+// The tree self-adapts to the incoming data through a node budget: when the
+// number of nodes exceeds the budget, the least popular leaves are folded
+// into their parents (Compress), so hot traffic regions stay specific while
+// cold regions are represented at coarser prefixes. All Table II operators
+// are provided: Merge, Compress, Diff, Query, Drilldown, Top-k, Above-x and
+// HHH.
+package flowtree
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"megadata/internal/flow"
+)
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithStepBits sets the prefix-shortening step of the canonical
+// generalization chain (default 8, i.e. octet boundaries — the natural
+// "domain knowledge" levels of IPv4 subnetting).
+func WithStepBits(bits uint8) Option {
+	return func(t *Tree) { t.stepBits = bits }
+}
+
+// WithScore sets the popularity score used for compression and ranking
+// (default flow.ScoreBytes).
+func WithScore(s flow.Score) Option {
+	return func(t *Tree) { t.score = s }
+}
+
+// WithCompressTarget sets the fraction of the budget the tree compresses
+// down to when the budget is exceeded (default 0.75; folding to exactly the
+// budget would compress on every insert).
+func WithCompressTarget(f float64) Option {
+	return func(t *Tree) { t.compressTarget = f }
+}
+
+// node is one generalized flow in the tree.
+type node struct {
+	key      flow.Key
+	own      flow.Counters // weight attributed directly to this key
+	agg      flow.Counters // own + descendants (the paper's popularity score)
+	parent   *node
+	children map[flow.Key]*node
+}
+
+func (n *node) isLeaf() bool { return len(n.children) == 0 }
+
+// Tree is a Flowtree instance. It is not safe for concurrent use; the data
+// store serializes access.
+type Tree struct {
+	budget         int
+	stepBits       uint8
+	compressTarget float64
+	score          flow.Score
+	root           *node
+	nodes          map[flow.Key]*node
+	inserted       uint64 // records ever added (diagnostics)
+}
+
+// New builds a Flowtree with a node budget (0 = unlimited).
+func New(budget int, opts ...Option) (*Tree, error) {
+	if budget < 0 {
+		return nil, errors.New("flowtree: budget must be >= 0")
+	}
+	t := &Tree{
+		budget:         budget,
+		stepBits:       8,
+		compressTarget: 0.75,
+		score:          flow.ScoreBytes,
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	if t.stepBits == 0 || t.stepBits > 32 {
+		return nil, fmt.Errorf("flowtree: step bits %d out of range", t.stepBits)
+	}
+	if t.compressTarget <= 0 || t.compressTarget > 1 {
+		return nil, errors.New("flowtree: compress target must be in (0,1]")
+	}
+	if budget > 0 && budget < 2 {
+		return nil, errors.New("flowtree: budget must be at least 2 nodes")
+	}
+	root := &node{key: flow.Root(), children: make(map[flow.Key]*node)}
+	t.root = root
+	t.nodes = map[flow.Key]*node{root.key: root}
+	return t, nil
+}
+
+// Add ingests one flow record.
+func (t *Tree) Add(rec flow.Record) {
+	t.inserted++
+	t.addCounters(rec.Key, flow.CountersOf(rec))
+	t.maybeCompress()
+}
+
+// AddCounters ingests a pre-aggregated weight at an arbitrary (possibly
+// generalized) key. Used by Merge and by data-store re-aggregation.
+func (t *Tree) AddCounters(key flow.Key, c flow.Counters) {
+	t.addCounters(key, c)
+	t.maybeCompress()
+}
+
+func (t *Tree) addCounters(key flow.Key, c flow.Counters) {
+	n := t.ensure(key)
+	n.own.Add(c)
+	for cur := n; cur != nil; cur = cur.parent {
+		cur.agg.Add(c)
+	}
+}
+
+// ensure returns the node for key, creating it and all missing canonical
+// ancestors. The ancestors inherit the descendants' aggregate lazily: agg
+// updates happen in addCounters.
+func (t *Tree) ensure(key flow.Key) *node {
+	if n, ok := t.nodes[key]; ok {
+		return n
+	}
+	// Build the missing part of the chain from key upward.
+	missing := []flow.Key{key}
+	var attach *node
+	cur := key
+	for {
+		parent, ok := cur.GeneralizeStep(t.stepBits)
+		if !ok {
+			attach = t.root
+			break
+		}
+		if p, exists := t.nodes[parent]; exists {
+			attach = p
+			break
+		}
+		missing = append(missing, parent)
+		cur = parent
+	}
+	// Create from most general to most specific.
+	for i := len(missing) - 1; i >= 0; i-- {
+		n := &node{key: missing[i], parent: attach, children: make(map[flow.Key]*node)}
+		attach.children[n.key] = n
+		t.nodes[n.key] = n
+		// New interior nodes start empty; any existing weight under
+		// them is impossible because chains are complete (children of
+		// attach are never re-parented).
+		attach = n
+	}
+	return attach
+}
+
+// Len returns the number of nodes (including the root).
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Inserted returns the number of records ever added.
+func (t *Tree) Inserted() uint64 { return t.inserted }
+
+// Budget returns the node budget (0 = unlimited).
+func (t *Tree) Budget() int { return t.budget }
+
+// SetBudget changes the node budget and compresses immediately if the tree
+// is over it (the manager uses this to adapt granularity at run time,
+// paper property 3).
+func (t *Tree) SetBudget(budget int) error {
+	if budget < 0 || (budget > 0 && budget < 2) {
+		return errors.New("flowtree: budget must be 0 or >= 2")
+	}
+	t.budget = budget
+	t.maybeCompress()
+	return nil
+}
+
+// Total returns the aggregate counters over the whole tree.
+func (t *Tree) Total() flow.Counters { return t.root.agg }
+
+func (t *Tree) maybeCompress() {
+	if t.budget > 0 && len(t.nodes) > t.budget {
+		t.CompressTo(int(float64(t.budget) * t.compressTarget))
+	}
+}
+
+// foldHeap orders leaves by ascending score; entries may be stale and are
+// revalidated when popped.
+type foldHeap struct {
+	items []foldItem
+	score flow.Score
+}
+
+type foldItem struct {
+	n *node
+	s uint64
+}
+
+func (h foldHeap) Len() int            { return len(h.items) }
+func (h foldHeap) Less(i, j int) bool  { return h.items[i].s < h.items[j].s }
+func (h foldHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *foldHeap) Push(x interface{}) { h.items = append(h.items, x.(foldItem)) }
+func (h *foldHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// CompressTo folds least-popular leaves into their parents until at most
+// target nodes remain (Table II: Compress — "summarize the lower level
+// nodes"). The root is never folded. Weight is preserved exactly; only the
+// attribution granularity coarsens.
+func (t *Tree) CompressTo(target int) {
+	if target < 1 {
+		target = 1
+	}
+	if len(t.nodes) <= target {
+		return
+	}
+	h := &foldHeap{score: t.score}
+	h.items = make([]foldItem, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		if n.isLeaf() && n != t.root {
+			h.items = append(h.items, foldItem{n: n, s: n.agg.ScoreWith(t.score)})
+		}
+	}
+	heap.Init(h)
+	for len(t.nodes) > target && h.Len() > 0 {
+		it := heap.Pop(h).(foldItem)
+		n := it.n
+		// Revalidate: the node may have been folded already, stopped
+		// being a leaf (cannot happen during compression), or changed
+		// score by absorbing a folded child.
+		if t.nodes[n.key] != n || !n.isLeaf() || n == t.root {
+			continue
+		}
+		if cur := n.agg.ScoreWith(t.score); cur != it.s {
+			heap.Push(h, foldItem{n: n, s: cur})
+			continue
+		}
+		p := n.parent
+		p.own.Add(n.own)
+		delete(p.children, n.key)
+		delete(t.nodes, n.key)
+		if p.isLeaf() && p != t.root {
+			heap.Push(h, foldItem{n: p, s: p.agg.ScoreWith(t.score)})
+		}
+	}
+}
+
+// Compress folds down to the configured budget target (no-op when
+// unlimited).
+func (t *Tree) Compress() {
+	if t.budget > 0 {
+		t.CompressTo(int(float64(t.budget) * t.compressTarget))
+	}
+}
+
+// Merge joins another Flowtree into t (Table II: Merge — across time or
+// location). Every node's own weight is re-inserted at its key; the node
+// budget then re-compresses as needed, which is exactly the paper's
+// "A12 = compress(A1 ∪ A2)" construction.
+func (t *Tree) Merge(other *Tree) error {
+	if other == nil {
+		return nil
+	}
+	if other.stepBits != t.stepBits {
+		return errors.New("flowtree: merging trees with different generalization steps")
+	}
+	other.walk(func(n *node) bool {
+		if !n.own.IsZero() {
+			t.addCounters(n.key, n.own)
+		}
+		return true
+	})
+	t.maybeCompress()
+	return nil
+}
+
+// Diff subtracts the popularity of flows appearing in other from t
+// (Table II: Diff). Subtraction is exact where both trees hold the same
+// key and saturates at zero; weight held at keys absent from t is ignored
+// (t has no information about flows it never saw).
+func (t *Tree) Diff(other *Tree) error {
+	if other == nil {
+		return nil
+	}
+	if other.stepBits != t.stepBits {
+		return errors.New("flowtree: diffing trees with different generalization steps")
+	}
+	other.walk(func(on *node) bool {
+		if on.own.IsZero() {
+			return true
+		}
+		if n, ok := t.nodes[on.key]; ok {
+			n.own.Sub(on.own)
+		}
+		return true
+	})
+	t.recomputeAgg(t.root)
+	return nil
+}
+
+// recomputeAgg rebuilds aggregate counters bottom-up after bulk own-weight
+// edits.
+func (t *Tree) recomputeAgg(n *node) flow.Counters {
+	agg := n.own
+	for _, c := range n.children {
+		agg.Add(t.recomputeAgg(c))
+	}
+	n.agg = agg
+	return agg
+}
+
+// walk visits nodes pre-order (parents before children); fn returning false
+// prunes the subtree.
+func (t *Tree) walk(fn func(*node) bool) {
+	var rec func(*node)
+	rec = func(n *node) {
+		if !fn(n) {
+			return
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+}
+
+// Entry is one reported flow with its popularity.
+type Entry struct {
+	Key flow.Key
+	// Counters is the popularity annotation (own + descendants unless
+	// stated otherwise by the reporting operator).
+	Counters flow.Counters
+}
+
+// Query returns the popularity score of a single flow (Table II: Query):
+// the total weight of all stored flows that key generalizes. After
+// compression the result is a lower bound — weight folded into ancestors
+// coarser than key can no longer be attributed below it.
+func (t *Tree) Query(key flow.Key) flow.Counters {
+	var total flow.Counters
+	var rec func(*node)
+	rec = func(n *node) {
+		if key.Generalizes(n.key) {
+			total.Add(n.agg)
+			return
+		}
+		if !overlaps(key, n.key) {
+			return
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	return total
+}
+
+// overlaps reports whether some fully specific flow is contained in both
+// keys.
+func overlaps(a, b flow.Key) bool {
+	minPfx := a.SrcPrefix
+	if b.SrcPrefix < minPfx {
+		minPfx = b.SrcPrefix
+	}
+	if a.SrcIP.Mask(minPfx) != b.SrcIP.Mask(minPfx) {
+		return false
+	}
+	minPfx = a.DstPrefix
+	if b.DstPrefix < minPfx {
+		minPfx = b.DstPrefix
+	}
+	if a.DstIP.Mask(minPfx) != b.DstIP.Mask(minPfx) {
+		return false
+	}
+	if !a.WildProto && !b.WildProto && a.Proto != b.Proto {
+		return false
+	}
+	if !a.WildSrcPort && !b.WildSrcPort && a.SrcPort != b.SrcPort {
+		return false
+	}
+	if !a.WildDstPort && !b.WildDstPort && a.DstPort != b.DstPort {
+		return false
+	}
+	return true
+}
+
+// Drilldown returns the children of the node at key with their popularity
+// scores (Table II: Drilldown), sorted by descending score. ok is false
+// when key has no node (e.g. compressed away).
+func (t *Tree) Drilldown(key flow.Key) ([]Entry, bool) {
+	n, exists := t.nodes[key]
+	if !exists {
+		return nil, false
+	}
+	out := make([]Entry, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, Entry{Key: c.key, Counters: c.agg})
+	}
+	t.sortEntries(out)
+	return out, true
+}
+
+// TopK returns the k flows with the highest directly attributed popularity
+// (Table II: Top-k). Ranking uses own weight (including weight folded in by
+// compression) rather than subtree aggregates, which would always rank the
+// root first.
+func (t *Tree) TopK(k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Entry, 0, len(t.nodes))
+	t.walk(func(n *node) bool {
+		if !n.own.IsZero() {
+			out = append(out, Entry{Key: n.key, Counters: n.own})
+		}
+		return true
+	})
+	t.sortEntries(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// AboveX returns all flows whose popularity score (own + descendants) is
+// at least x under the tree's score function (Table II: Above-x).
+func (t *Tree) AboveX(x uint64) []Entry {
+	var out []Entry
+	t.walk(func(n *node) bool {
+		if n.agg.ScoreWith(t.score) >= x {
+			out = append(out, Entry{Key: n.key, Counters: n.agg})
+			return true
+		}
+		// Children can never exceed a parent's aggregate; prune.
+		return false
+	})
+	t.sortEntries(out)
+	return out
+}
+
+// HHHEntry is one hierarchical heavy hitter.
+type HHHEntry struct {
+	Key flow.Key
+	// Counters is the full subtree weight.
+	Counters flow.Counters
+	// Discounted is the subtree score minus descendant HHHs, the value
+	// compared against the threshold.
+	Discounted uint64
+}
+
+// HHH returns all flows across the tree with a substantial popularity score
+// (Table II: HHH): nodes whose subtree score, discounted by descendant
+// heavy hitters, reaches phi * total.
+func (t *Tree) HHH(phi float64) []HHHEntry {
+	threshold := uint64(phi * float64(t.root.agg.ScoreWith(t.score)))
+	if threshold == 0 {
+		threshold = 1
+	}
+	var out []HHHEntry
+	var rec func(n *node) uint64
+	rec = func(n *node) uint64 {
+		var claimed uint64
+		for _, c := range n.children {
+			claimed += rec(c)
+		}
+		score := n.agg.ScoreWith(t.score)
+		discounted := score - claimed
+		if discounted >= threshold {
+			out = append(out, HHHEntry{Key: n.key, Counters: n.agg, Discounted: discounted})
+			return score
+		}
+		return claimed
+	}
+	rec(t.root)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Discounted != out[j].Discounted {
+			return out[i].Discounted > out[j].Discounted
+		}
+		return keyLess(out[i].Key, out[j].Key)
+	})
+	return out
+}
+
+// keyLess is an arbitrary-but-deterministic total order over keys used for
+// stable tie-breaking (cheaper than comparing String renderings).
+func keyLess(a, b flow.Key) bool {
+	switch {
+	case a.SrcIP != b.SrcIP:
+		return a.SrcIP < b.SrcIP
+	case a.DstIP != b.DstIP:
+		return a.DstIP < b.DstIP
+	case a.SrcPort != b.SrcPort:
+		return a.SrcPort < b.SrcPort
+	case a.DstPort != b.DstPort:
+		return a.DstPort < b.DstPort
+	case a.Proto != b.Proto:
+		return a.Proto < b.Proto
+	case a.SrcPrefix != b.SrcPrefix:
+		return a.SrcPrefix < b.SrcPrefix
+	case a.DstPrefix != b.DstPrefix:
+		return a.DstPrefix < b.DstPrefix
+	case a.WildProto != b.WildProto:
+		return !a.WildProto
+	case a.WildSrcPort != b.WildSrcPort:
+		return !a.WildSrcPort
+	default:
+		return !a.WildDstPort && b.WildDstPort
+	}
+}
+
+func (t *Tree) sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		si, sj := entries[i].Counters.ScoreWith(t.score), entries[j].Counters.ScoreWith(t.score)
+		if si != sj {
+			return si > sj
+		}
+		return keyLess(entries[i].Key, entries[j].Key)
+	})
+}
+
+// Entries returns every node with non-zero own weight (the tree's exact
+// content at current granularity), unsorted.
+func (t *Tree) Entries() []Entry {
+	var out []Entry
+	t.walk(func(n *node) bool {
+		if !n.own.IsZero() {
+			out = append(out, Entry{Key: n.key, Counters: n.own})
+		}
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	cp, err := New(t.budget, WithStepBits(t.stepBits), WithScore(t.score), WithCompressTarget(t.compressTarget))
+	if err != nil {
+		// New only fails on invalid parameters, which t already
+		// validated.
+		panic(fmt.Sprintf("flowtree: clone: %v", err))
+	}
+	t.walk(func(n *node) bool {
+		if !n.own.IsZero() {
+			cp.addCounters(n.key, n.own)
+		}
+		return true
+	})
+	cp.inserted = t.inserted
+	return cp
+}
+
+// StepBits returns the generalization step.
+func (t *Tree) StepBits() uint8 { return t.stepBits }

@@ -1,0 +1,462 @@
+package flowtree
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/workload"
+)
+
+func mustIP(t *testing.T, s string) flow.IPv4 {
+	t.Helper()
+	ip, err := flow.ParseIPv4(s)
+	if err != nil {
+		t.Fatalf("ParseIPv4(%q): %v", s, err)
+	}
+	return ip
+}
+
+func rec(t *testing.T, src, dst string, dport uint16, bytes uint64) flow.Record {
+	t.Helper()
+	return flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, mustIP(t, src), mustIP(t, dst), 40000, dport),
+		Packets: bytes / 1000,
+		Bytes:   bytes,
+	}
+}
+
+func genRecords(seed int64, n int) []flow.Record {
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: seed, Sources: 4096, Destinations: 1024})
+	if err != nil {
+		panic(err)
+	}
+	return g.Records(n)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("negative budget must error")
+	}
+	if _, err := New(1); err == nil {
+		t.Error("budget 1 must error")
+	}
+	if _, err := New(0, WithStepBits(33)); err == nil {
+		t.Error("step 33 must error")
+	}
+	if _, err := New(0, WithCompressTarget(0)); err == nil {
+		t.Error("compress target 0 must error")
+	}
+	if _, err := New(0, WithCompressTarget(1.5)); err == nil {
+		t.Error("compress target >1 must error")
+	}
+}
+
+func TestAddAndQueryExact(t *testing.T) {
+	tr, _ := New(0)
+	r := rec(t, "10.1.2.3", "192.168.1.5", 443, 5000)
+	tr.Add(r)
+	tr.Add(r)
+	got := tr.Query(r.Key)
+	if got.Bytes != 10000 || got.Flows != 2 {
+		t.Errorf("Query = %+v", got)
+	}
+	if tr.Inserted() != 2 {
+		t.Errorf("Inserted = %d", tr.Inserted())
+	}
+}
+
+func TestQueryPrefixAggregation(t *testing.T) {
+	tr, _ := New(0)
+	tr.Add(rec(t, "10.1.2.3", "192.168.1.5", 443, 1000))
+	tr.Add(rec(t, "10.1.2.4", "192.168.1.5", 443, 2000))
+	tr.Add(rec(t, "10.9.9.9", "192.168.1.5", 443, 4000))
+	tr.Add(rec(t, "11.0.0.1", "192.168.1.5", 443, 8000))
+
+	// All of 10.0.0.0/8, any destination.
+	q := flow.Key{SrcIP: mustIP(t, "10.0.0.0"), SrcPrefix: 8, WildProto: true, WildSrcPort: true, WildDstPort: true}
+	if got := tr.Query(q); got.Bytes != 7000 {
+		t.Errorf("Query(10/8) = %+v, want 7000 bytes", got)
+	}
+	// Root sees everything.
+	if got := tr.Query(flow.Root()); got.Bytes != 15000 {
+		t.Errorf("Query(root) = %+v", got)
+	}
+	// Non-canonical query: destination port 443 with everything else wild.
+	q443 := flow.Root()
+	q443.WildDstPort = false
+	q443.DstPort = 443
+	if got := tr.Query(q443); got.Bytes != 15000 {
+		t.Errorf("Query(dport 443) = %+v", got)
+	}
+	q80 := flow.Root()
+	q80.WildDstPort = false
+	q80.DstPort = 80
+	if got := tr.Query(q80); got.Bytes != 0 {
+		t.Errorf("Query(dport 80) = %+v", got)
+	}
+}
+
+func TestRootAggregateInvariant(t *testing.T) {
+	tr, _ := New(0)
+	var want flow.Counters
+	for _, r := range genRecords(1, 2000) {
+		tr.Add(r)
+		want.Add(flow.CountersOf(r))
+	}
+	if got := tr.Total(); got != want {
+		t.Errorf("Total = %+v, want %+v", got, want)
+	}
+}
+
+func TestCompressPreservesTotal(t *testing.T) {
+	tr, _ := New(0)
+	for _, r := range genRecords(2, 5000) {
+		tr.Add(r)
+	}
+	before := tr.Total()
+	nodesBefore := tr.Len()
+	tr.CompressTo(100)
+	if tr.Len() > 100 {
+		t.Errorf("CompressTo(100) left %d nodes", tr.Len())
+	}
+	if tr.Len() >= nodesBefore {
+		t.Error("compression did not shrink the tree")
+	}
+	if got := tr.Total(); got != before {
+		t.Errorf("compression changed total: %+v -> %+v", before, got)
+	}
+}
+
+func TestBudgetAutoCompress(t *testing.T) {
+	tr, _ := New(500)
+	for _, r := range genRecords(3, 20000) {
+		tr.Add(r)
+	}
+	if tr.Len() > 500 {
+		t.Errorf("tree exceeded budget: %d nodes", tr.Len())
+	}
+	if tr.Budget() != 500 {
+		t.Errorf("Budget = %d", tr.Budget())
+	}
+}
+
+func TestCompressKeepsHeavyFlowsSpecific(t *testing.T) {
+	tr, _ := New(0)
+	heavy := rec(t, "10.1.2.3", "192.168.1.5", 443, 1_000_000)
+	tr.Add(heavy)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoUDP, flow.IPv4(rng.Uint32()), flow.IPv4(rng.Uint32()), uint16(rng.Intn(65536)), 53),
+			Packets: 1, Bytes: 100,
+		})
+	}
+	tr.CompressTo(200)
+	// The heavy exact flow must survive compression with its weight
+	// still attributed at (or below) a specific key.
+	got := tr.Query(heavy.Key)
+	if got.Bytes != 1_000_000 {
+		t.Errorf("heavy flow lost attribution after compress: %+v", got)
+	}
+}
+
+func TestSetBudget(t *testing.T) {
+	tr, _ := New(0)
+	for _, r := range genRecords(5, 5000) {
+		tr.Add(r)
+	}
+	if err := tr.SetBudget(100); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() > 100 {
+		t.Errorf("SetBudget did not compress: %d nodes", tr.Len())
+	}
+	if err := tr.SetBudget(-1); err == nil {
+		t.Error("negative budget must error")
+	}
+	if err := tr.SetBudget(1); err == nil {
+		t.Error("budget 1 must error")
+	}
+}
+
+func TestMergePreservesTotals(t *testing.T) {
+	a, _ := New(0)
+	b, _ := New(0)
+	var want flow.Counters
+	for i, r := range genRecords(6, 4000) {
+		if i%2 == 0 {
+			a.Add(r)
+		} else {
+			b.Add(r)
+		}
+		want.Add(flow.CountersOf(r))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Total(); got != want {
+		t.Errorf("merged total = %+v, want %+v", got, want)
+	}
+}
+
+func TestMergeMatchesUnion(t *testing.T) {
+	recs := genRecords(7, 3000)
+	a, _ := New(0)
+	b, _ := New(0)
+	u, _ := New(0)
+	for i, r := range recs {
+		if i%2 == 0 {
+			a.Add(r)
+		} else {
+			b.Add(r)
+		}
+		u.Add(r)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Every exact key must agree between merged and union trees.
+	for _, r := range recs {
+		got := a.Query(r.Key)
+		want := u.Query(r.Key)
+		if got != want {
+			t.Fatalf("Query(%v): merged %+v != union %+v", r.Key, got, want)
+		}
+	}
+}
+
+func TestMergeStepMismatch(t *testing.T) {
+	a, _ := New(0, WithStepBits(8))
+	b, _ := New(0, WithStepBits(4))
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different steps must error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil: %v", err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, _ := New(0)
+	b, _ := New(0)
+	r1 := rec(t, "10.1.2.3", "192.168.1.5", 443, 5000)
+	r2 := rec(t, "10.1.2.4", "192.168.1.5", 80, 3000)
+	a.Add(r1)
+	a.Add(r2)
+	b.Add(r1) // same flow observed elsewhere
+	if err := a.Diff(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Query(r1.Key); got.Bytes != 0 {
+		t.Errorf("diffed flow still has %+v", got)
+	}
+	if got := a.Query(r2.Key); got.Bytes != 3000 {
+		t.Errorf("unrelated flow changed: %+v", got)
+	}
+	// Saturation: diffing again must not underflow.
+	if err := a.Diff(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Query(r1.Key); got.Bytes != 0 {
+		t.Errorf("saturated diff = %+v", got)
+	}
+}
+
+func TestDrilldown(t *testing.T) {
+	tr, _ := New(0)
+	tr.Add(rec(t, "10.1.2.3", "192.168.1.5", 443, 9000))
+	tr.Add(rec(t, "10.1.2.4", "192.168.1.5", 443, 1000))
+	// Drill into the root: must return exactly its children, ordered by
+	// descending score.
+	kids, ok := tr.Drilldown(flow.Root())
+	if !ok {
+		t.Fatal("root drilldown failed")
+	}
+	if len(kids) != 1 {
+		t.Fatalf("root has %d children (canonical chain shares the first steps)", len(kids))
+	}
+	// Walk down the chain of the heavier flow to a branching point.
+	missing := flow.Exact(flow.ProtoTCP, mustIP(t, "1.2.3.4"), 0, 1, 2)
+	if _, ok := tr.Drilldown(missing); ok {
+		t.Error("drilldown at absent key must report ok=false")
+	}
+}
+
+func TestDrilldownOrdering(t *testing.T) {
+	tr, _ := New(0)
+	tr.Add(rec(t, "10.1.2.3", "192.168.1.5", 443, 1000))
+	tr.Add(rec(t, "10.200.2.3", "192.168.1.5", 443, 9000))
+	// Find a node with two children by walking from the root.
+	cur := flow.Root()
+	for {
+		kids, ok := tr.Drilldown(cur)
+		if !ok {
+			t.Fatal("walk fell off the tree")
+		}
+		if len(kids) == 0 {
+			t.Fatal("no branching point found")
+		}
+		if len(kids) >= 2 {
+			if kids[0].Counters.Bytes < kids[1].Counters.Bytes {
+				t.Errorf("drilldown not sorted: %v", kids)
+			}
+			return
+		}
+		cur = kids[0].Key
+	}
+}
+
+func TestTopK(t *testing.T) {
+	tr, _ := New(0)
+	tr.Add(rec(t, "10.1.2.3", "192.168.1.5", 443, 9000))
+	tr.Add(rec(t, "10.1.2.4", "192.168.1.5", 443, 5000))
+	tr.Add(rec(t, "10.1.2.5", "192.168.1.5", 443, 1000))
+	top := tr.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) = %d entries", len(top))
+	}
+	if top[0].Counters.Bytes != 9000 || top[1].Counters.Bytes != 5000 {
+		t.Errorf("TopK = %+v", top)
+	}
+	if got := tr.TopK(0); got != nil {
+		t.Errorf("TopK(0) = %v", got)
+	}
+	if got := tr.TopK(100); len(got) != 3 {
+		t.Errorf("TopK(100) = %d entries", len(got))
+	}
+}
+
+func TestAboveX(t *testing.T) {
+	tr, _ := New(0)
+	tr.Add(rec(t, "10.1.2.3", "192.168.1.5", 443, 9000))
+	tr.Add(rec(t, "10.1.2.4", "192.168.1.5", 443, 100))
+	got := tr.AboveX(9000)
+	// Every ancestor of the heavy flow also aggregates >= 9000.
+	if len(got) == 0 {
+		t.Fatal("AboveX(9000) empty")
+	}
+	for _, e := range got {
+		if e.Counters.Bytes < 9000 {
+			t.Errorf("entry below threshold: %+v", e)
+		}
+	}
+	// The exact heavy key must be among them.
+	found := false
+	heavy := flow.Exact(flow.ProtoTCP, mustIP(t, "10.1.2.3"), mustIP(t, "192.168.1.5"), 40000, 443)
+	for _, e := range got {
+		if e.Key == heavy {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("heavy exact flow missing from AboveX")
+	}
+	if len(tr.AboveX(1<<60)) != 0 {
+		t.Error("AboveX(huge) must be empty")
+	}
+}
+
+func TestHHH(t *testing.T) {
+	tr, _ := New(0)
+	// Heavy /24: 60 flows of 1000 bytes each in 10.1.1.0/24, plus
+	// diffuse noise elsewhere.
+	for i := 0; i < 60; i++ {
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(0x0A010100|uint32(i)), mustIP(t, "192.168.1.5"), uint16(30000+i), 443),
+			Packets: 1, Bytes: 1000,
+		})
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 40; i++ {
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(rng.Uint32()|0xB0000000), flow.IPv4(rng.Uint32()), uint16(rng.Intn(65536)), 80),
+			Packets: 1, Bytes: 1000,
+		})
+	}
+	hhs := tr.HHH(0.3) // threshold 30k of 100k
+	if len(hhs) == 0 {
+		t.Fatal("no HHHs found")
+	}
+	// Some reported HHH must cover the 10.1.1.0/24 heavy prefix and not
+	// be the root.
+	found := false
+	probe := flow.Exact(flow.ProtoTCP, mustIP(t, "10.1.1.7"), mustIP(t, "192.168.1.5"), 30007, 443)
+	for _, h := range hhs {
+		if !h.Key.IsRoot() && h.Key.Generalizes(probe) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no non-root HHH covers the heavy prefix: %+v", hhs)
+	}
+	// Discounted weights sum to at most the total.
+	var sum uint64
+	for _, h := range hhs {
+		sum += h.Discounted
+	}
+	if sum > tr.Total().Bytes {
+		t.Errorf("discounted sum %d exceeds total %d", sum, tr.Total().Bytes)
+	}
+}
+
+func TestHHHAfterCompression(t *testing.T) {
+	tr, _ := New(512)
+	g, _ := workload.NewFlowGen(workload.FlowConfig{Seed: 10, Skew: 1.3})
+	for _, r := range g.Records(20000) {
+		tr.Add(r)
+	}
+	hhs := tr.HHH(0.05)
+	if len(hhs) == 0 {
+		t.Fatal("no HHHs on skewed traffic")
+	}
+	for _, h := range hhs {
+		if h.Discounted > h.Counters.Bytes {
+			t.Errorf("discounted exceeds subtree weight: %+v", h)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr, _ := New(0)
+	r := rec(t, "10.1.2.3", "192.168.1.5", 443, 1000)
+	tr.Add(r)
+	cp := tr.Clone()
+	if cp.Total() != tr.Total() {
+		t.Fatalf("clone total mismatch")
+	}
+	cp.Add(r)
+	if cp.Total() == tr.Total() {
+		t.Error("mutating clone affected original")
+	}
+	if cp.Inserted() != tr.Inserted()+1 {
+		t.Errorf("clone Inserted = %d", cp.Inserted())
+	}
+}
+
+func TestScoreOption(t *testing.T) {
+	tr, _ := New(0, WithScore(flow.ScorePackets))
+	tr.Add(flow.Record{Key: flow.Exact(flow.ProtoTCP, 1, 2, 3, 4), Packets: 100, Bytes: 1})
+	tr.Add(flow.Record{Key: flow.Exact(flow.ProtoTCP, 5, 6, 7, 8), Packets: 1, Bytes: 100000})
+	top := tr.TopK(1)
+	if top[0].Counters.Packets != 100 {
+		t.Errorf("packet-score TopK = %+v", top)
+	}
+}
+
+func TestWorkloadIntegration(t *testing.T) {
+	tr, _ := New(4096)
+	g, _ := workload.NewFlowGen(workload.FlowConfig{Seed: 20, Skew: 1.2, Start: time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)})
+	var want flow.Counters
+	for _, r := range g.Records(50000) {
+		tr.Add(r)
+		want.Add(flow.CountersOf(r))
+	}
+	if got := tr.Total(); got != want {
+		t.Errorf("total after 50k inserts = %+v, want %+v", got, want)
+	}
+	if tr.Len() > 4096 {
+		t.Errorf("budget violated: %d", tr.Len())
+	}
+}

@@ -1,0 +1,211 @@
+package flowtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"megadata/internal/flow"
+)
+
+// randomRecord builds an exact record from raw generator values, clustering
+// addresses so that chains share structure.
+func randomRecord(src, dst uint32, sport, dport uint16, bytes uint32) flow.Record {
+	return flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(src&0x00FFFFFF|0x0A000000), flow.IPv4(dst&0x0000FFFF|0xC0A80000), sport, dport),
+		Packets: uint64(bytes/1000) + 1,
+		Bytes:   uint64(bytes) + 1,
+	}
+}
+
+// Property: the root aggregate always equals the sum of inserted counters,
+// regardless of insert order, duplication, or compression.
+func TestPropTotalConservation(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		tr, err := New(256)
+		if err != nil {
+			return false
+		}
+		var want flow.Counters
+		rng := rand.New(rand.NewSource(1))
+		for _, s := range seeds {
+			r := randomRecord(s, s*2654435761, uint16(s), uint16(s>>16), s%100000)
+			tr.Add(r)
+			want.Add(flow.CountersOf(r))
+			if rng.Intn(20) == 0 {
+				tr.CompressTo(64)
+			}
+		}
+		return tr.Total() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge is commutative in the totals and exact-key queries.
+func TestPropMergeCommutative(t *testing.T) {
+	f := func(xs, ys []uint32) bool {
+		a1, _ := New(0)
+		b1, _ := New(0)
+		a2, _ := New(0)
+		b2, _ := New(0)
+		var keys []flow.Key
+		for _, x := range xs {
+			r := randomRecord(x, x^0xDEAD, uint16(x), 443, x%10000)
+			a1.Add(r)
+			a2.Add(r)
+			keys = append(keys, r.Key)
+		}
+		for _, y := range ys {
+			r := randomRecord(y, y^0xBEEF, uint16(y), 80, y%10000)
+			b1.Add(r)
+			b2.Add(r)
+			keys = append(keys, r.Key)
+		}
+		if err := a1.Merge(b1); err != nil {
+			return false
+		}
+		if err := b2.Merge(a2); err != nil {
+			return false
+		}
+		if a1.Total() != b2.Total() {
+			return false
+		}
+		for _, k := range keys {
+			if a1.Query(k) != b2.Query(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Query at any generalization of an inserted key is at least the
+// weight inserted under that key (monotonicity along the lattice) as long
+// as no compression happened.
+func TestPropQueryMonotoneOnChain(t *testing.T) {
+	f := func(xs []uint32) bool {
+		tr, _ := New(0)
+		for _, x := range xs {
+			tr.Add(randomRecord(x, x*31, uint16(x%1000), 443, x%1000))
+		}
+		for _, x := range xs {
+			r := randomRecord(x, x*31, uint16(x%1000), 443, x%1000)
+			exact := tr.Query(r.Key)
+			for _, anc := range r.Key.Chain(8) {
+				up := tr.Query(anc)
+				if up.Bytes < exact.Bytes || up.Flows < exact.Flows {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compression never loses total weight and never exceeds the
+// requested node count.
+func TestPropCompressBounded(t *testing.T) {
+	f := func(xs []uint32, target8 uint8) bool {
+		target := int(target8)%200 + 2
+		tr, _ := New(0)
+		for _, x := range xs {
+			tr.Add(randomRecord(x, x*7, uint16(x), uint16(x>>8), x%5000))
+		}
+		before := tr.Total()
+		tr.CompressTo(target)
+		return tr.Len() <= max(target, 1) && tr.Total() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization round-trips totals and exact queries.
+func TestPropCodecRoundTrip(t *testing.T) {
+	f := func(xs []uint32) bool {
+		tr, _ := New(0)
+		var keys []flow.Key
+		for _, x := range xs {
+			r := randomRecord(x, x*13, uint16(x), 443, x%3000)
+			tr.Add(r)
+			keys = append(keys, r.Key)
+		}
+		buf := tr.AppendBinary(nil)
+		if uint64(len(buf)) != tr.SizeBytes() {
+			return false
+		}
+		back, err := Decode(buf, 0)
+		if err != nil {
+			return false
+		}
+		if back.Total() != tr.Total() {
+			return false
+		}
+		for _, k := range keys {
+			if back.Query(k) != tr.Query(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Diff(self) empties every exact key it knows about.
+func TestPropDiffSelfIsZero(t *testing.T) {
+	f := func(xs []uint32) bool {
+		tr, _ := New(0)
+		var keys []flow.Key
+		for _, x := range xs {
+			r := randomRecord(x, x*17, uint16(x), 22, x%9999)
+			tr.Add(r)
+			keys = append(keys, r.Key)
+		}
+		cp := tr.Clone()
+		if err := tr.Diff(cp); err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !tr.Query(k).IsZero() {
+				return false
+			}
+		}
+		return tr.Total().IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, err := Decode(nil, 0); err == nil {
+		t.Error("empty buffer must error")
+	}
+	tr, _ := New(0)
+	tr.Add(randomRecord(1, 2, 3, 4, 5))
+	buf := tr.AppendBinary(nil)
+	bad := make([]byte, len(buf))
+	copy(bad, buf)
+	bad[0] = 0xFF // magic
+	if _, err := Decode(bad, 0); err == nil {
+		t.Error("bad magic must error")
+	}
+	copy(bad, buf)
+	bad[4] = 99 // version
+	if _, err := Decode(bad, 0); err == nil {
+		t.Error("bad version must error")
+	}
+	if _, err := Decode(buf[:len(buf)-5], 0); err == nil {
+		t.Error("truncated body must error")
+	}
+}

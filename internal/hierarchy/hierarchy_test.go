@@ -1,0 +1,174 @@
+package hierarchy
+
+import (
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Levels: []string{"one"}}); err == nil {
+		t.Error("one level must error")
+	}
+	if _, err := New(Config{Levels: []string{"a", "b"}, Fanout: []int{1, 2}}); err == nil {
+		t.Error("fanout length mismatch must error")
+	}
+	if _, err := New(Config{Levels: []string{"a", "b"}, Fanout: []int{0}}); err == nil {
+		t.Error("zero fanout must error")
+	}
+}
+
+func TestFactoryTopologyShape(t *testing.T) {
+	h, err := NewFactory(3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := h.Leaves()
+	if len(leaves) != 12 {
+		t.Fatalf("leaves = %d, want 12", len(leaves))
+	}
+	for _, l := range leaves {
+		if l.Level != "machine" {
+			t.Errorf("leaf level = %s", l.Level)
+		}
+		// machine -> line -> factory -> cloud
+		depth := 0
+		for n := l; n.Parent != nil; n = n.Parent {
+			depth++
+		}
+		if depth != 3 {
+			t.Errorf("leaf depth = %d", depth)
+		}
+	}
+	if h.Root.Level != "cloud" {
+		t.Errorf("root level = %s", h.Root.Level)
+	}
+	if _, ok := h.Node(leaves[0].Site); !ok {
+		t.Error("Node lookup failed")
+	}
+	if _, ok := h.Node("ghost"); ok {
+		t.Error("ghost site found")
+	}
+}
+
+func TestNetworkMonitoringTopology(t *testing.T) {
+	h, err := NewNetworkMonitoring(3, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Leaves()); got != 24 {
+		t.Errorf("routers = %d, want 24", got)
+	}
+	if h.Leaves()[0].Level != "router" {
+		t.Errorf("leaf level = %s", h.Leaves()[0].Level)
+	}
+}
+
+func TestRollupMergesAllTraffic(t *testing.T) {
+	h, err := NewNetworkMonitoring(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want flow.Counters
+	for i, leaf := range h.Leaves() {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Sources: 256, Destinations: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := g.Records(500)
+		for _, r := range recs {
+			want.Add(flow.CountersOf(r))
+		}
+		if err := h.IngestAtLeaf(leaf, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	levels, err := h.Rollup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := h.RootTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Total(); got != want {
+		t.Errorf("root total = %+v, want %+v", got, want)
+	}
+	// Report covers router, region, network levels (leaves first).
+	if len(levels) != 3 || levels[0].Level != "router" || levels[2].Level != "network" {
+		t.Errorf("levels = %+v", levels)
+	}
+	if levels[0].Nodes != 4 || levels[1].Nodes != 2 || levels[2].Nodes != 1 {
+		t.Errorf("node counts = %+v", levels)
+	}
+	// The network metered every export.
+	var exported uint64
+	for _, l := range levels {
+		exported += l.Bytes
+	}
+	if got := h.Net.TotalStats().Bytes; got != exported {
+		t.Errorf("metered %d bytes, report says %d", got, exported)
+	}
+}
+
+func TestRollupBudgetReducesEgress(t *testing.T) {
+	// E10 shape: with a node budget, upper levels export far fewer bytes
+	// than the sum of raw leaf exports.
+	budgeted, err := NewNetworkMonitoring(2, 4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, leaf := range budgeted.Leaves() {
+		g, _ := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Skew: 1.2})
+		if err := budgeted.IngestAtLeaf(leaf, g.Records(3000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	levels, err := budgeted.Rollup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each level's per-node egress must stay bounded by the budget
+	// (~40 bytes per tree node).
+	for _, l := range levels {
+		perNode := l.Bytes / uint64(l.Nodes)
+		if perNode > 512*64 {
+			t.Errorf("level %s exports %d bytes/node (budget 512 nodes)", l.Level, perNode)
+		}
+	}
+	// Region level (fan-in 4) must not export 4x the router level's
+	// per-node bytes: compression caps it.
+	routerPer := levels[0].Bytes / uint64(levels[0].Nodes)
+	regionPer := levels[1].Bytes / uint64(levels[1].Nodes)
+	if regionPer > 2*routerPer {
+		t.Errorf("region per-node egress %d not compressed vs router %d", regionPer, routerPer)
+	}
+}
+
+func TestClockShared(t *testing.T) {
+	h, err := NewFactory(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := h.Clock.Now()
+	h.Clock.Advance(time.Minute)
+	if !h.Clock.Now().Equal(start.Add(time.Minute)) {
+		t.Error("clock did not advance")
+	}
+	// Data stores observe the same clock.
+	leaf := h.Leaves()[0]
+	if err := leaf.Store.Seal(AggregatorName); err != nil {
+		t.Fatal(err)
+	}
+	st, err := leaf.Store.StatsOf(AggregatorName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoredEpochs != 1 {
+		t.Errorf("stored epochs = %d", st.StoredEpochs)
+	}
+	_ = simnet.SiteID("") // keep import
+}

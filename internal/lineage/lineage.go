@@ -1,0 +1,249 @@
+// Package lineage implements the data-lineage mechanisms sketched in
+// Section III-C of the paper. Schema-level lineage tracks how data is
+// transformed on its way from sensors to applications (cheap, always on);
+// instance-level lineage tracks individual items through the system (costly,
+// so it is sampled).
+package lineage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeID names a processing stage (sensor, aggregator, analytics stage,
+// application) in the lineage graph.
+type NodeID string
+
+// NodeKind classifies lineage graph nodes.
+type NodeKind int
+
+// Node kinds, mirroring the architecture's building blocks.
+const (
+	KindSensor NodeKind = iota + 1
+	KindAggregator
+	KindStore
+	KindAnalytics
+	KindApplication
+	KindController
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSensor:
+		return "sensor"
+	case KindAggregator:
+		return "aggregator"
+	case KindStore:
+		return "store"
+	case KindAnalytics:
+		return "analytics"
+	case KindApplication:
+		return "application"
+	case KindController:
+		return "controller"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Transform is one schema-level edge: data moved from Src to Dst, changing
+// format.
+type Transform struct {
+	Src       NodeID
+	Dst       NodeID
+	Format    string // output format, e.g. "flowtree-v1", "timebins-60s"
+	Installed time.Time
+}
+
+// ErrUnknownNode is returned when an edge references an unregistered node.
+var ErrUnknownNode = errors.New("lineage: unknown node")
+
+// SchemaGraph is the schema-level lineage graph. Safe for concurrent use.
+type SchemaGraph struct {
+	mu    sync.Mutex
+	nodes map[NodeID]NodeKind
+	edges []Transform
+}
+
+// NewSchemaGraph builds an empty graph.
+func NewSchemaGraph() *SchemaGraph {
+	return &SchemaGraph{nodes: make(map[NodeID]NodeKind)}
+}
+
+// AddNode registers a processing stage.
+func (g *SchemaGraph) AddNode(id NodeID, kind NodeKind) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nodes[id] = kind
+}
+
+// AddTransform records a schema-level transformation edge.
+func (g *SchemaGraph) AddTransform(t Transform) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[t.Src]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, t.Src)
+	}
+	if _, ok := g.nodes[t.Dst]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, t.Dst)
+	}
+	g.edges = append(g.edges, t)
+	return nil
+}
+
+// Upstream returns every node from which data can reach id, i.e. the
+// candidate origins of a result observed at id. This answers the paper's
+// "identify faulty sensors" use: walk upstream from a bad result.
+func (g *SchemaGraph) Upstream(id NodeID) []NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seen := map[NodeID]bool{}
+	frontier := []NodeID{id}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, e := range g.edges {
+			if e.Dst == cur && !seen[e.Src] {
+				seen[e.Src] = true
+				frontier = append(frontier, e.Src)
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Downstream returns every node reachable from id, i.e. everything a faulty
+// sensor can have contaminated ("see how faulty data propagates").
+func (g *SchemaGraph) Downstream(id NodeID) []NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seen := map[NodeID]bool{}
+	frontier := []NodeID{id}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, e := range g.edges {
+			if e.Src == cur && !seen[e.Dst] {
+				seen[e.Dst] = true
+				frontier = append(frontier, e.Dst)
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathFormats returns the formats along edges into id (most recent format
+// per upstream node), answering "how did data come to its current format".
+func (g *SchemaGraph) PathFormats(id NodeID) map[NodeID]string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[NodeID]string)
+	for _, e := range g.edges {
+		if e.Dst == id {
+			out[e.Src] = e.Format
+		}
+	}
+	return out
+}
+
+// Hop is one instance-level trace step.
+type Hop struct {
+	Node NodeID
+	At   time.Time
+	Note string
+}
+
+// InstanceTracker samples individual items and records their path through
+// the system. Sampling bounds the "high overhead" the paper warns about:
+// only one in every Period items is traced.
+type InstanceTracker struct {
+	mu     sync.Mutex
+	period uint64
+	count  uint64
+	traces map[string][]Hop
+	// maxTraces bounds memory; oldest traces are dropped.
+	maxTraces int
+	order     []string
+}
+
+// NewInstanceTracker traces one in every period items and retains at most
+// maxTraces traces.
+func NewInstanceTracker(period uint64, maxTraces int) (*InstanceTracker, error) {
+	if period == 0 {
+		return nil, errors.New("lineage: sampling period must be positive")
+	}
+	if maxTraces <= 0 {
+		return nil, errors.New("lineage: maxTraces must be positive")
+	}
+	return &InstanceTracker{
+		period:    period,
+		traces:    make(map[string][]Hop),
+		maxTraces: maxTraces,
+	}, nil
+}
+
+// Observe decides whether the item identified by id should be traced.
+// The first hop is recorded when the answer is yes.
+func (t *InstanceTracker) Observe(id string, origin NodeID, at time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+	if t.count%t.period != 0 {
+		return false
+	}
+	if _, ok := t.traces[id]; !ok {
+		if len(t.order) >= t.maxTraces {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			delete(t.traces, oldest)
+		}
+		t.order = append(t.order, id)
+	}
+	t.traces[id] = append(t.traces[id], Hop{Node: origin, At: at})
+	return true
+}
+
+// Record appends a hop to an already traced item; untraced ids are ignored
+// (cheap no-op on the fast path).
+func (t *InstanceTracker) Record(id string, node NodeID, at time.Time, note string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.traces[id]; !ok {
+		return
+	}
+	t.traces[id] = append(t.traces[id], Hop{Node: node, At: at, Note: note})
+}
+
+// Trace returns the recorded hops of id, or nil when the item was not
+// sampled.
+func (t *InstanceTracker) Trace(id string) []Hop {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hops := t.traces[id]
+	out := make([]Hop, len(hops))
+	copy(out, hops)
+	return out
+}
+
+// Traced returns the ids of all retained traces, oldest first.
+func (t *InstanceTracker) Traced() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}

@@ -1,0 +1,161 @@
+package lineage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func buildGraph(t *testing.T) *SchemaGraph {
+	t.Helper()
+	g := NewSchemaGraph()
+	g.AddNode("sensor1", KindSensor)
+	g.AddNode("sensor2", KindSensor)
+	g.AddNode("agg", KindAggregator)
+	g.AddNode("store", KindStore)
+	g.AddNode("pipeline", KindAnalytics)
+	g.AddNode("app", KindApplication)
+	edges := []Transform{
+		{Src: "sensor1", Dst: "agg", Format: "raw"},
+		{Src: "sensor2", Dst: "agg", Format: "raw"},
+		{Src: "agg", Dst: "store", Format: "flowtree-v1"},
+		{Src: "store", Dst: "pipeline", Format: "flowtree-v1"},
+		{Src: "pipeline", Dst: "app", Format: "report"},
+	}
+	for _, e := range edges {
+		if err := g.AddTransform(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddTransformUnknownNode(t *testing.T) {
+	g := NewSchemaGraph()
+	g.AddNode("a", KindSensor)
+	err := g.AddTransform(Transform{Src: "a", Dst: "missing"})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("want ErrUnknownNode, got %v", err)
+	}
+	err = g.AddTransform(Transform{Src: "missing", Dst: "a"})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestUpstream(t *testing.T) {
+	g := buildGraph(t)
+	up := g.Upstream("app")
+	want := []NodeID{"agg", "pipeline", "sensor1", "sensor2", "store"}
+	if len(up) != len(want) {
+		t.Fatalf("Upstream(app) = %v", up)
+	}
+	for i := range want {
+		if up[i] != want[i] {
+			t.Errorf("Upstream[%d] = %s, want %s", i, up[i], want[i])
+		}
+	}
+	if got := g.Upstream("sensor1"); len(got) != 0 {
+		t.Errorf("Upstream(sensor1) = %v", got)
+	}
+}
+
+func TestDownstream(t *testing.T) {
+	g := buildGraph(t)
+	down := g.Downstream("sensor1")
+	want := []NodeID{"agg", "app", "pipeline", "store"}
+	if len(down) != len(want) {
+		t.Fatalf("Downstream(sensor1) = %v", down)
+	}
+	for i := range want {
+		if down[i] != want[i] {
+			t.Errorf("Downstream[%d] = %s, want %s", i, down[i], want[i])
+		}
+	}
+	if got := g.Downstream("app"); len(got) != 0 {
+		t.Errorf("Downstream(app) = %v", got)
+	}
+}
+
+func TestPathFormats(t *testing.T) {
+	g := buildGraph(t)
+	formats := g.PathFormats("agg")
+	if formats["sensor1"] != "raw" || formats["sensor2"] != "raw" {
+		t.Errorf("PathFormats(agg) = %v", formats)
+	}
+	if len(g.PathFormats("sensor1")) != 0 {
+		t.Error("sensor has no inbound formats")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	kinds := map[NodeKind]string{
+		KindSensor: "sensor", KindAggregator: "aggregator", KindStore: "store",
+		KindAnalytics: "analytics", KindApplication: "application", KindController: "controller",
+		NodeKind(99): "kind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestNewInstanceTrackerValidation(t *testing.T) {
+	if _, err := NewInstanceTracker(0, 5); err == nil {
+		t.Error("period 0 must error")
+	}
+	if _, err := NewInstanceTracker(10, 0); err == nil {
+		t.Error("maxTraces 0 must error")
+	}
+}
+
+func TestInstanceTrackerSampling(t *testing.T) {
+	tr, _ := NewInstanceTracker(10, 100)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tr.Observe(fmt.Sprintf("item%d", i), "sensor1", t0) {
+			sampled++
+		}
+	}
+	if sampled != 10 {
+		t.Errorf("sampled %d of 100 at period 10", sampled)
+	}
+}
+
+func TestInstanceTrackerRecordOnlyTraced(t *testing.T) {
+	tr, _ := NewInstanceTracker(1, 100) // trace everything
+	tr.Observe("a", "sensor1", t0)
+	tr.Record("a", "agg", t0.Add(time.Second), "aggregated")
+	tr.Record("ghost", "agg", t0, "ignored")
+	hops := tr.Trace("a")
+	if len(hops) != 2 {
+		t.Fatalf("Trace(a) = %d hops", len(hops))
+	}
+	if hops[1].Node != "agg" || hops[1].Note != "aggregated" {
+		t.Errorf("hop = %+v", hops[1])
+	}
+	if got := tr.Trace("ghost"); len(got) != 0 {
+		t.Errorf("ghost trace = %v", got)
+	}
+}
+
+func TestInstanceTrackerEviction(t *testing.T) {
+	tr, _ := NewInstanceTracker(1, 3)
+	for i := 0; i < 5; i++ {
+		tr.Observe(fmt.Sprintf("i%d", i), "s", t0)
+	}
+	traced := tr.Traced()
+	if len(traced) != 3 {
+		t.Fatalf("Traced = %v", traced)
+	}
+	if traced[0] != "i2" || traced[2] != "i4" {
+		t.Errorf("eviction order wrong: %v", traced)
+	}
+	if got := tr.Trace("i0"); len(got) != 0 {
+		t.Error("evicted trace still present")
+	}
+}

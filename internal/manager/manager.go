@@ -1,0 +1,297 @@
+// Package manager implements the control plane of Section III-B
+// (Figure 3b): the manager records application requirements (data source,
+// aggregation format, precision), decides which computing primitives are
+// installed and how they are configured, assigns per-store resource
+// budgets, tracks partition accesses and drives adaptive replication
+// (Section VII) through a pluggable policy.
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"megadata/internal/datastore"
+	"megadata/internal/primitive"
+	"megadata/internal/replication"
+	"megadata/internal/simnet"
+)
+
+// Requirement is one application's declared need (Figure 3b "app reqs"):
+// which store and aggregator it reads, and how many bytes of summary
+// precision it is worth.
+type Requirement struct {
+	App        string
+	Store      string
+	Aggregator string
+	// Weight apportions the store's byte budget among aggregators
+	// (higher = finer summaries for this requirement).
+	Weight float64
+	// QueriesPerSec the application expects to issue (self-adaptation
+	// input).
+	QueriesPerSec float64
+}
+
+// Errors returned by the manager.
+var (
+	ErrUnknownStore = errors.New("manager: unknown data store")
+	ErrNoPolicy     = errors.New("manager: no replication policy configured")
+)
+
+// ReplicateFunc executes a partition replication (Figure 6 step 4); the
+// manager only decides.
+type ReplicateFunc func(partition int, from, to simnet.SiteID) error
+
+// Manager is the architecture's control plane. Safe for concurrent use.
+type Manager struct {
+	now func() time.Time
+
+	mu     sync.Mutex
+	stores map[string]*datastore.Store
+	// budgets is the byte budget the manager may spend per store.
+	budgets map[string]uint64
+	reqs    []Requirement
+
+	// Replication state.
+	policy    replication.Policy
+	partBytes uint64
+	replicate ReplicateFunc
+	// partitions tracks per-(site, partition) access state.
+	partitions map[partKey]*partState
+	accessLog  []replication.Access
+}
+
+type partKey struct {
+	site      simnet.SiteID
+	partition int
+}
+
+type partState struct {
+	accesses   int
+	shipped    uint64
+	replicated bool
+}
+
+// New builds a manager; now may be nil (defaults to time.Now).
+func New(now func() time.Time) *Manager {
+	if now == nil {
+		now = time.Now
+	}
+	return &Manager{
+		now:        now,
+		stores:     make(map[string]*datastore.Store),
+		budgets:    make(map[string]uint64),
+		partitions: make(map[partKey]*partState),
+	}
+}
+
+// AttachStore registers a data store and its byte budget with the manager.
+func (m *Manager) AttachStore(s *datastore.Store, budgetBytes uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stores[s.Name()] = s
+	m.budgets[s.Name()] = budgetBytes
+}
+
+// Require records an application requirement. Requirements accumulate;
+// re-declaring (same app, store, aggregator) updates in place.
+func (m *Manager) Require(r Requirement) error {
+	if r.App == "" || r.Store == "" || r.Aggregator == "" {
+		return errors.New("manager: requirement needs app, store and aggregator")
+	}
+	if r.Weight <= 0 {
+		r.Weight = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.stores[r.Store]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownStore, r.Store)
+	}
+	for i, old := range m.reqs {
+		if old.App == r.App && old.Store == r.Store && old.Aggregator == r.Aggregator {
+			m.reqs[i] = r
+			return nil
+		}
+	}
+	m.reqs = append(m.reqs, r)
+	return nil
+}
+
+// DropApp removes all requirements of one application and returns how many
+// were dropped.
+func (m *Manager) DropApp(app string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.reqs[:0]
+	n := 0
+	for _, r := range m.reqs {
+		if r.App == app {
+			n++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	m.reqs = kept
+	return n
+}
+
+// Apply pushes adaptation hints to every aggregator with requirements:
+// each store's budget is split across its required aggregators in
+// proportion to the total requirement weight, and the expected query rates
+// are summed (Figure 3b "change parameter").
+func (m *Manager) Apply() error {
+	m.mu.Lock()
+	type target struct {
+		store *datastore.Store
+		agg   string
+		hint  primitive.AdaptHint
+	}
+	weightSum := make(map[string]float64) // per store
+	aggWeight := make(map[[2]string]float64)
+	aggQPS := make(map[[2]string]float64)
+	for _, r := range m.reqs {
+		weightSum[r.Store] += r.Weight
+		key := [2]string{r.Store, r.Aggregator}
+		aggWeight[key] += r.Weight
+		aggQPS[key] += r.QueriesPerSec
+	}
+	var targets []target
+	for key, w := range aggWeight {
+		store := m.stores[key[0]]
+		if store == nil {
+			continue
+		}
+		budget := m.budgets[key[0]]
+		share := uint64(float64(budget) * w / weightSum[key[0]])
+		targets = append(targets, target{
+			store: store,
+			agg:   key[1],
+			hint: primitive.AdaptHint{
+				TargetBytes:   share,
+				QueriesPerSec: aggQPS[key],
+			},
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].store.Name() != targets[j].store.Name() {
+			return targets[i].store.Name() < targets[j].store.Name()
+		}
+		return targets[i].agg < targets[j].agg
+	})
+	for _, t := range targets {
+		if err := t.store.Adapt(t.agg, t.hint); err != nil {
+			return fmt.Errorf("manager: adapt %s/%s: %w", t.store.Name(), t.agg, err)
+		}
+	}
+	return nil
+}
+
+// Requirements returns a copy of the current requirements.
+func (m *Manager) Requirements() []Requirement {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Requirement, len(m.reqs))
+	copy(out, m.reqs)
+	return out
+}
+
+// ConfigureReplication installs the adaptive-replication machinery: the
+// decision policy, the per-partition replication cost, and the executor.
+func (m *Manager) ConfigureReplication(p replication.Policy, partitionBytes uint64, fn ReplicateFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy = p
+	m.partBytes = partitionBytes
+	m.replicate = fn
+}
+
+// RecordAccess records one remote partition access (Figure 6 step 1) and
+// consults the policy (step 2); if the policy fires, replication is
+// initiated (steps 3-4). It reports whether the access was served locally
+// (already replicated).
+func (m *Manager) RecordAccess(remote, local simnet.SiteID, partition int, resultVol uint64) (local_ bool, err error) {
+	m.mu.Lock()
+	if m.policy == nil {
+		m.mu.Unlock()
+		return false, ErrNoPolicy
+	}
+	key := partKey{site: remote, partition: partition}
+	p, ok := m.partitions[key]
+	if !ok {
+		p = &partState{}
+		m.partitions[key] = p
+	}
+	m.accessLog = append(m.accessLog, replication.Access{
+		Partition: partition, At: m.now(), ResultVol: resultVol,
+	})
+	if p.replicated {
+		m.mu.Unlock()
+		return true, nil
+	}
+	p.accesses++
+	p.shipped += resultVol
+	shouldReplicate := m.policy.ShouldReplicate(replication.State{
+		Accesses:       p.accesses,
+		ShippedBytes:   p.shipped,
+		PartitionBytes: m.partBytes,
+	})
+	fn := m.replicate
+	m.mu.Unlock()
+	if !shouldReplicate {
+		return false, nil
+	}
+	if fn != nil {
+		if err := fn(partition, remote, local); err != nil {
+			return false, fmt.Errorf("manager: replicate partition %d: %w", partition, err)
+		}
+	}
+	m.mu.Lock()
+	p.replicated = true
+	m.mu.Unlock()
+	return false, nil
+}
+
+// AccessLog returns a copy of the recorded accesses (used to re-fit the
+// distribution-aware policy).
+func (m *Manager) AccessLog() []replication.Access {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]replication.Access, len(m.accessLog))
+	copy(out, m.accessLog)
+	return out
+}
+
+// RefitPolicy re-learns the distribution-aware threshold from the recorded
+// access log (Figure 6: "adjust prediction parameters").
+func (m *Manager) RefitPolicy() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.partBytes == 0 {
+		return ErrNoPolicy
+	}
+	vols := replication.VolumesOf(replication.TotalVolumes(m.accessLog))
+	if len(vols) == 0 {
+		return errors.New("manager: no recorded accesses to fit")
+	}
+	d, err := replication.FitDistAware(vols, m.partBytes)
+	if err != nil {
+		return err
+	}
+	m.policy = d
+	return nil
+}
+
+// Stores returns the attached store names, sorted.
+func (m *Manager) Stores() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.stores))
+	for n := range m.stores {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,212 @@
+package manager
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"megadata/internal/datastore"
+	"megadata/internal/primitive"
+	"megadata/internal/replication"
+	"megadata/internal/simnet"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func newStoreWithFlowtree(t *testing.T, name string, budget int) *datastore.Store {
+	t.Helper()
+	s := datastore.New(name, nil)
+	err := s.Register(datastore.AggregatorConfig{
+		Name: "flows",
+		New: func() (primitive.Aggregator, error) {
+			return primitive.NewFlowtree("flows", budget)
+		},
+		Strategy:    datastore.StrategyRoundRobin,
+		BudgetBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRequireValidation(t *testing.T) {
+	m := New(nil)
+	if err := m.Require(Requirement{}); err == nil {
+		t.Error("empty requirement must error")
+	}
+	if err := m.Require(Requirement{App: "a", Store: "missing", Aggregator: "x"}); !errors.Is(err, ErrUnknownStore) {
+		t.Errorf("unknown store: %v", err)
+	}
+}
+
+func TestRequireUpsert(t *testing.T) {
+	m := New(nil)
+	s := newStoreWithFlowtree(t, "edge", 1000)
+	m.AttachStore(s, 1<<16)
+	if err := m.Require(Requirement{App: "a", Store: "edge", Aggregator: "flows", Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Require(Requirement{App: "a", Store: "edge", Aggregator: "flows", Weight: 5}); err != nil {
+		t.Fatal(err)
+	}
+	reqs := m.Requirements()
+	if len(reqs) != 1 || reqs[0].Weight != 5 {
+		t.Errorf("requirements = %+v", reqs)
+	}
+	if n := m.DropApp("a"); n != 1 {
+		t.Errorf("DropApp = %d", n)
+	}
+	if len(m.Requirements()) != 0 {
+		t.Error("requirements not dropped")
+	}
+}
+
+func TestApplySplitsBudgetByWeight(t *testing.T) {
+	m := New(nil)
+	s := datastore.New("edge", nil)
+	for _, name := range []string{"flows", "temps"} {
+		name := name
+		err := s.Register(datastore.AggregatorConfig{
+			Name: name,
+			New: func() (primitive.Aggregator, error) {
+				return primitive.NewFlowtree(name, 100000)
+			},
+			Strategy:    datastore.StrategyRoundRobin,
+			BudgetBytes: 1 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.AttachStore(s, 40000) // bytes; flowtree ~40 bytes/node
+	_ = m.Require(Requirement{App: "hot", Store: "edge", Aggregator: "flows", Weight: 3})
+	_ = m.Require(Requirement{App: "cold", Store: "edge", Aggregator: "temps", Weight: 1})
+	if err := m.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	flows, _ := s.Live("flows")
+	temps, _ := s.Live("temps")
+	// flows gets 3/4 of 40000 = 30000 bytes -> budget 750 nodes;
+	// temps gets 1/4 = 10000 -> 250 nodes.
+	if flows.Granularity() != 750 {
+		t.Errorf("flows granularity = %d, want 750", flows.Granularity())
+	}
+	if temps.Granularity() != 250 {
+		t.Errorf("temps granularity = %d, want 250", temps.Granularity())
+	}
+}
+
+func TestApplyPropagatesAdaptError(t *testing.T) {
+	m := New(nil)
+	s := newStoreWithFlowtree(t, "edge", 100)
+	m.AttachStore(s, 1<<16)
+	_ = m.Require(Requirement{App: "a", Store: "edge", Aggregator: "flows"})
+	// Remove the aggregator's store mapping by requiring a ghost
+	// aggregator: Adapt on an unknown aggregator must surface.
+	_ = m.Require(Requirement{App: "a", Store: "edge", Aggregator: "ghost"})
+	if err := m.Apply(); err == nil {
+		t.Error("adapt error must propagate")
+	}
+}
+
+func TestRecordAccessDrivesReplication(t *testing.T) {
+	m := New(func() time.Time { return t0 })
+	var replicated []int
+	m.ConfigureReplication(replication.BreakEven{}, 1000, func(p int, from, to simnet.SiteID) error {
+		replicated = append(replicated, p)
+		return nil
+	})
+	// Ship 400 + 400 (below 1000), then 400 crosses the threshold.
+	for i := 0; i < 3; i++ {
+		local, err := m.RecordAccess("remote", "local", 7, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if local {
+			t.Errorf("access %d served locally before replication", i)
+		}
+	}
+	if len(replicated) != 1 || replicated[0] != 7 {
+		t.Fatalf("replications = %v", replicated)
+	}
+	// Further accesses are local.
+	local, err := m.RecordAccess("remote", "local", 7, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !local {
+		t.Error("post-replication access not local")
+	}
+	if len(m.AccessLog()) != 4 {
+		t.Errorf("access log = %d entries", len(m.AccessLog()))
+	}
+}
+
+func TestRecordAccessWithoutPolicy(t *testing.T) {
+	m := New(nil)
+	if _, err := m.RecordAccess("a", "b", 1, 1); !errors.Is(err, ErrNoPolicy) {
+		t.Errorf("no policy: %v", err)
+	}
+}
+
+func TestRecordAccessReplicationFailure(t *testing.T) {
+	m := New(nil)
+	boom := errors.New("wan down")
+	m.ConfigureReplication(replication.Always{}, 100, func(int, simnet.SiteID, simnet.SiteID) error {
+		return boom
+	})
+	if _, err := m.RecordAccess("r", "l", 1, 10); !errors.Is(err, boom) {
+		t.Errorf("replication failure: %v", err)
+	}
+	// Partition must not be marked replicated after a failure.
+	local, err := m.RecordAccess("r", "l", 1, 10)
+	if local {
+		t.Error("failed replication marked partition local")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("second attempt: %v", err)
+	}
+}
+
+func TestRefitPolicy(t *testing.T) {
+	m := New(func() time.Time { return t0 })
+	m.ConfigureReplication(replication.BreakEven{}, 1000, nil)
+	if err := m.RefitPolicy(); err == nil {
+		t.Error("refit without accesses must error")
+	}
+	// Record a cold world: every partition ships a few bytes once.
+	for p := 0; p < 50; p++ {
+		_, _ = m.RecordAccess("r", "l", p, 10)
+	}
+	if err := m.RefitPolicy(); err != nil {
+		t.Fatal(err)
+	}
+	// The new policy must be distribution-aware with a "never" style
+	// threshold (above the observed max volume).
+	d, ok := anyPolicy(m)
+	if !ok {
+		t.Fatal("policy is not DistAware after refit")
+	}
+	if d.Threshold() <= 10 {
+		t.Errorf("threshold = %d, want never-buy", d.Threshold())
+	}
+}
+
+// anyPolicy extracts the DistAware policy for inspection.
+func anyPolicy(m *Manager) (*replication.DistAware, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.policy.(*replication.DistAware)
+	return d, ok
+}
+
+func TestStoresListing(t *testing.T) {
+	m := New(nil)
+	m.AttachStore(datastore.New("zeta", nil), 1)
+	m.AttachStore(datastore.New("alpha", nil), 1)
+	got := m.Stores()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("Stores = %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+package manager
+
+import (
+	"errors"
+	"fmt"
+
+	"megadata/internal/hierarchy"
+	"megadata/internal/simnet"
+)
+
+// Section III-B: "The manager decides what data stores should be deployed
+// based on the needs of the applications and connects the Analytics
+// pipelines with the respective data stores." This file implements that
+// placement decision over a hierarchy: an application that needs data from
+// a set of leaf sites is served at the lowest site that already aggregates
+// all of them — the lowest common ancestor — so summaries travel the
+// minimum number of hierarchy levels.
+
+// AppNeed describes where one application's input data originates.
+type AppNeed struct {
+	App string
+	// Leaves are the sites whose data the application consumes.
+	Leaves []simnet.SiteID
+}
+
+// Placement is the decision for one application.
+type Placement struct {
+	App string
+	// Site hosts the application's merge store / analytics pipeline.
+	Site simnet.SiteID
+	// Level is the hierarchy level of that site.
+	Level string
+	// Depth is the site's distance from the root (0 = root/cloud).
+	Depth int
+}
+
+// Place computes placements for every application: the lowest common
+// ancestor of its leaves. Applications reading a single leaf run at that
+// leaf (maximum locality, Challenge 4); applications spanning sites move up
+// exactly as far as their span requires (Challenge 6).
+func Place(h *hierarchy.Hierarchy, needs []AppNeed) ([]Placement, error) {
+	if h == nil {
+		return nil, errors.New("manager: placement needs a hierarchy")
+	}
+	out := make([]Placement, 0, len(needs))
+	for _, need := range needs {
+		if need.App == "" || len(need.Leaves) == 0 {
+			return nil, fmt.Errorf("manager: app %q needs a name and at least one leaf", need.App)
+		}
+		nodes := make([]*hierarchy.Node, 0, len(need.Leaves))
+		for _, leaf := range need.Leaves {
+			n, ok := h.Node(leaf)
+			if !ok {
+				return nil, fmt.Errorf("manager: app %q: unknown site %q", need.App, leaf)
+			}
+			nodes = append(nodes, n)
+		}
+		lca := nodes[0]
+		for _, n := range nodes[1:] {
+			lca = commonAncestor(lca, n)
+		}
+		out = append(out, Placement{
+			App:   need.App,
+			Site:  lca.Site,
+			Level: lca.Level,
+			Depth: depthOf(lca),
+		})
+	}
+	return out, nil
+}
+
+func depthOf(n *hierarchy.Node) int {
+	d := 0
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		d++
+	}
+	return d
+}
+
+// commonAncestor returns the lowest common ancestor of a and b.
+func commonAncestor(a, b *hierarchy.Node) *hierarchy.Node {
+	da, db := depthOf(a), depthOf(b)
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		a = a.Parent
+		b = b.Parent
+	}
+	return a
+}

@@ -1,0 +1,86 @@
+package manager
+
+import (
+	"testing"
+
+	"megadata/internal/hierarchy"
+	"megadata/internal/simnet"
+)
+
+func TestPlaceValidation(t *testing.T) {
+	if _, err := Place(nil, nil); err == nil {
+		t.Error("nil hierarchy must error")
+	}
+	h, err := hierarchy.NewFactory(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(h, []AppNeed{{App: "a"}}); err == nil {
+		t.Error("no leaves must error")
+	}
+	if _, err := Place(h, []AppNeed{{App: "a", Leaves: []simnet.SiteID{"ghost"}}}); err == nil {
+		t.Error("unknown leaf must error")
+	}
+}
+
+func TestPlaceLocalityLevels(t *testing.T) {
+	// factory topology: cloud/factory0/line{0,1}/machine{0,1}
+	h, err := hierarchy.NewFactory(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := h.Leaves() // 4 machines, sorted by site path
+	sameLine := []simnet.SiteID{leaves[0].Site, leaves[1].Site}
+	crossLine := []simnet.SiteID{leaves[0].Site, leaves[3].Site}
+
+	got, err := Place(h, []AppNeed{
+		{App: "machine-local", Leaves: []simnet.SiteID{leaves[0].Site}},
+		{App: "line-scope", Leaves: sameLine},
+		{App: "factory-scope", Leaves: crossLine},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Level != "machine" || got[0].Site != leaves[0].Site {
+		t.Errorf("single-leaf app placed at %+v", got[0])
+	}
+	if got[1].Level != "line" {
+		t.Errorf("same-line app placed at %+v", got[1])
+	}
+	if got[2].Level != "factory" {
+		t.Errorf("cross-line app placed at %+v", got[2])
+	}
+	// Depths strictly decrease as scope widens.
+	if !(got[0].Depth > got[1].Depth && got[1].Depth > got[2].Depth) {
+		t.Errorf("depths not monotone: %d, %d, %d", got[0].Depth, got[1].Depth, got[2].Depth)
+	}
+}
+
+func TestPlaceNetworkTopologyGlobal(t *testing.T) {
+	h, err := hierarchy.NewNetworkMonitoring(3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := h.Leaves()
+	// Routers from different regions force placement at the network
+	// level (one below root: cloud -> network -> region -> router).
+	need := AppNeed{App: "traffic-matrix", Leaves: []simnet.SiteID{
+		leaves[0].Site, leaves[len(leaves)-1].Site,
+	}}
+	got, err := Place(h, []AppNeed{need})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Level != "network" {
+		t.Errorf("cross-region app placed at %+v", got[0])
+	}
+	// All leaves of one region stay at the region.
+	regionNeed := AppNeed{App: "regional", Leaves: []simnet.SiteID{leaves[0].Site, leaves[1].Site}}
+	got, err = Place(h, []AppNeed{regionNeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Level != "region" {
+		t.Errorf("regional app placed at %+v", got[0])
+	}
+}

@@ -1,0 +1,219 @@
+package primitive
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+)
+
+// These tests exercise the uniform parts of the Aggregator contract across
+// every implementation: identity, size accounting, merge mismatch
+// behaviour, and the granularity/adapt knobs the manager drives.
+
+func allAggregators(t *testing.T) []Aggregator {
+	t.Helper()
+	s, err := NewSample("sample", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStats("stats", time.Minute, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh, err := NewHeavyHitter("hh", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hhh, err := NewHHH("hhh", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := NewFlowtree("ft", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Aggregator{s, st, hh, hhh, ft}
+}
+
+func feed(t *testing.T, a Aggregator) {
+	t.Helper()
+	rec := flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80101, 4000, 443),
+		Packets: 2, Bytes: 100,
+	}
+	reading := Reading{At: time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC), Value: 1}
+	switch a.Kind() {
+	case KindSample, KindStats:
+		if err := a.Add(reading); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+	default:
+		if err := a.Add(rec); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestContractIdentity(t *testing.T) {
+	wantKinds := []Kind{KindSample, KindStats, KindHeavyHitter, KindHHH, KindFlowtree}
+	for i, a := range allAggregators(t) {
+		if a.Kind() != wantKinds[i] {
+			t.Errorf("%s: kind = %v, want %v", a.Name(), a.Kind(), wantKinds[i])
+		}
+		if a.Name() == "" {
+			t.Errorf("aggregator %d has empty name", i)
+		}
+	}
+}
+
+func TestContractSizeGrowsWithData(t *testing.T) {
+	for _, a := range allAggregators(t) {
+		before := a.SizeBytes()
+		feed(t, a)
+		feed(t, a)
+		if a.SizeBytes() < before {
+			t.Errorf("%s: size shrank on ingest (%d -> %d)", a.Name(), before, a.SizeBytes())
+		}
+		a.Reset()
+		if got := a.SizeBytes(); got > before+64 && a.Kind() != KindHeavyHitter {
+			// Heavy-hitter reports configured capacity, not content.
+			t.Errorf("%s: size after Reset = %d", a.Name(), got)
+		}
+	}
+}
+
+func TestContractCrossKindMergeFails(t *testing.T) {
+	aggs := allAggregators(t)
+	for i, a := range aggs {
+		for j, b := range aggs {
+			if i == j {
+				continue
+			}
+			if err := a.Merge(b); !errors.Is(err, ErrKindMismatch) {
+				t.Errorf("%s.Merge(%s) = %v, want ErrKindMismatch", a.Name(), b.Name(), err)
+			}
+		}
+	}
+}
+
+func TestContractSameKindMerge(t *testing.T) {
+	build := []func() (Aggregator, error){
+		func() (Aggregator, error) { return NewSample("s", 16, 2) },
+		func() (Aggregator, error) { return NewStats("st", time.Minute, 8, 4) },
+		func() (Aggregator, error) { return NewHeavyHitter("hh", 8) },
+		func() (Aggregator, error) { return NewHHH("hhh", 8) },
+		func() (Aggregator, error) { return NewFlowtree("ft", 64) },
+	}
+	for _, mk := range build {
+		a, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(t, a)
+		feed(t, b)
+		if err := a.Merge(b); err != nil {
+			t.Errorf("%s: same-kind merge: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestContractAdaptIgnoresEmptyHint(t *testing.T) {
+	for _, a := range allAggregators(t) {
+		feed(t, a)
+		g := a.Granularity()
+		a.Adapt(AdaptHint{})
+		if a.Granularity() != g {
+			t.Errorf("%s: empty hint changed granularity %d -> %d", a.Name(), g, a.Granularity())
+		}
+	}
+}
+
+func TestSampleRateAndHorizon(t *testing.T) {
+	s, _ := NewSample("s", 4, 1)
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 16; i++ {
+		_ = s.Add(Reading{At: t0.Add(time.Duration(i) * time.Second), Value: 1})
+	}
+	if got := s.Rate(); got != 0.25 {
+		t.Errorf("Rate = %v, want 0.25", got)
+	}
+	from, to := s.Horizon(t0)
+	if from.Before(t0) || to.After(t0.Add(16*time.Second)) || !from.Before(to) {
+		t.Errorf("Horizon = [%v, %v]", from, to)
+	}
+	empty, _ := NewSample("e", 4, 1)
+	f2, t2 := empty.Horizon(t0)
+	if !f2.Equal(t0) || !t2.Equal(t0) {
+		t.Errorf("empty Horizon = [%v, %v]", f2, t2)
+	}
+}
+
+func TestStatsGranularityKnob(t *testing.T) {
+	st, _ := NewStats("st", time.Minute, 8, 0)
+	if st.Granularity() != 8 {
+		t.Errorf("Granularity = %d", st.Granularity())
+	}
+	if err := st.SetGranularity(-1); err == nil {
+		t.Error("negative granularity must error")
+	}
+	if err := st.SetGranularity(3); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		_ = st.Add(Reading{At: t0.Add(time.Duration(i) * time.Minute), Value: 1})
+	}
+	res, _ := st.Query(StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: StatCount})
+	if got := len(res.([]StatPoint)); got != 3 {
+		t.Errorf("bins retained = %d, want 3", got)
+	}
+	st.Adapt(AdaptHint{TargetBytes: 128})
+	if st.Granularity() != 2 { // 128 / 64 per bin
+		t.Errorf("adapted granularity = %d", st.Granularity())
+	}
+	if st.Width() != time.Minute {
+		t.Errorf("Width = %v", st.Width())
+	}
+	if st.SizeBytes() == 0 {
+		t.Error("SizeBytes = 0 with data")
+	}
+	// Coarsen validation.
+	if _, err := st.Coarsen(0); err == nil {
+		t.Error("Coarsen(0) must error")
+	}
+}
+
+func TestHHHAdaptNoop(t *testing.T) {
+	h, _ := NewHHH("h", 8)
+	feed(t, h)
+	size := h.SizeBytes()
+	h.Adapt(AdaptHint{TargetBytes: 1})
+	if h.SizeBytes() != size {
+		t.Error("HHH Adapt must be a no-op")
+	}
+	if h.SizeBytes() == 0 {
+		t.Error("HHH SizeBytes = 0 with data")
+	}
+}
+
+func TestHeavyHitterMergeAcrossEpochs(t *testing.T) {
+	a, _ := NewHeavyHitter("a", 8)
+	b, _ := NewHeavyHitter("b", 8)
+	_ = a.Add(WeightedKey{Key: "x", Weight: 10})
+	_ = b.Add(WeightedKey{Key: "x", Weight: 20})
+	_ = b.Add(WeightedKey{Key: "y", Weight: 5})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := a.Query(TopKQuery{K: 2})
+	top := res.([]KeyCount)
+	if len(top) != 2 || top[0].Key != "x" || top[0].Count != 30 {
+		t.Errorf("merged top = %+v", top)
+	}
+}

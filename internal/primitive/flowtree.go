@@ -1,0 +1,157 @@
+package primitive
+
+import (
+	"errors"
+	"fmt"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+)
+
+// Flowtree query types, mapping Table II operators onto the generic
+// Aggregator.Query interface.
+type (
+	// FlowQuery returns the popularity counters of a single generalized
+	// flow (Table II: Query).
+	FlowQuery struct{ Key flow.Key }
+	// DrilldownQuery returns the children of a flow with their scores
+	// (Table II: Drilldown).
+	DrilldownQuery struct{ Key flow.Key }
+	// FlowTopKQuery returns the k most popular flows (Table II: Top-k).
+	FlowTopKQuery struct{ K int }
+	// AboveXQuery returns all flows scoring at least X (Table II:
+	// Above-x).
+	AboveXQuery struct{ X uint64 }
+	// FlowHHHQuery returns the hierarchical heavy hitters at fraction
+	// Phi (Table II: HHH).
+	FlowHHHQuery struct{ Phi float64 }
+)
+
+// FlowtreeAggregator adapts flowtree.Tree to the computing-primitive
+// interface. It is the paper's flagship example: arbitrary queries over
+// generalized flows, mergeable across time and sites, budget-adjustable
+// granularity, self-adapting through compression, and built on the domain
+// knowledge that flows generalize along subnet hierarchies.
+type FlowtreeAggregator struct {
+	name   string
+	budget int
+	opts   []flowtree.Option
+	tree   *flowtree.Tree
+}
+
+var _ Aggregator = (*FlowtreeAggregator)(nil)
+
+// NewFlowtree builds a Flowtree primitive with a node budget (0 =
+// unlimited).
+func NewFlowtree(name string, budget int, opts ...flowtree.Option) (*FlowtreeAggregator, error) {
+	if name == "" {
+		return nil, errors.New("primitive: flowtree aggregator needs a name")
+	}
+	tree, err := flowtree.New(budget, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &FlowtreeAggregator{name: name, budget: budget, opts: opts, tree: tree}, nil
+}
+
+// Name implements Aggregator.
+func (f *FlowtreeAggregator) Name() string { return f.name }
+
+// Kind implements Aggregator.
+func (f *FlowtreeAggregator) Kind() Kind { return KindFlowtree }
+
+// Add accepts flow.Record items.
+func (f *FlowtreeAggregator) Add(item any) error {
+	r, ok := item.(flow.Record)
+	if !ok {
+		return fmt.Errorf("%w: flowtree aggregator takes flow.Record, got %T", ErrWrongInput, item)
+	}
+	f.tree.Add(r)
+	return nil
+}
+
+// Query dispatches the Table II operators.
+func (f *FlowtreeAggregator) Query(q any) (any, error) {
+	switch qq := q.(type) {
+	case FlowQuery:
+		return f.tree.Query(qq.Key), nil
+	case DrilldownQuery:
+		entries, ok := f.tree.Drilldown(qq.Key)
+		if !ok {
+			return nil, fmt.Errorf("flowtree: no node at %v (compressed away or never seen)", qq.Key)
+		}
+		return entries, nil
+	case FlowTopKQuery:
+		return f.tree.TopK(qq.K), nil
+	case AboveXQuery:
+		return f.tree.AboveX(qq.X), nil
+	case FlowHHHQuery:
+		return f.tree.HHH(qq.Phi), nil
+	default:
+		return nil, fmt.Errorf("%w: flowtree aggregator got %T", ErrWrongQuery, q)
+	}
+}
+
+// Merge joins another Flowtree summary (Table II: Merge).
+func (f *FlowtreeAggregator) Merge(other Aggregator) error {
+	o, ok := other.(*FlowtreeAggregator)
+	if !ok {
+		return fmt.Errorf("%w: flowtree vs %s", ErrKindMismatch, other.Kind())
+	}
+	if err := f.tree.Merge(o.tree); err != nil {
+		return fmt.Errorf("%w: %v", ErrKindMismatch, err)
+	}
+	return nil
+}
+
+// Diff subtracts another Flowtree summary (Table II: Diff). It is exposed
+// beyond the Aggregator interface because only Flowtree defines it.
+func (f *FlowtreeAggregator) Diff(other *FlowtreeAggregator) error {
+	return f.tree.Diff(other.tree)
+}
+
+// Granularity is the node budget.
+func (f *FlowtreeAggregator) Granularity() int { return f.budget }
+
+// SetGranularity changes the node budget, compressing if needed.
+func (f *FlowtreeAggregator) SetGranularity(g int) error {
+	if err := f.tree.SetBudget(g); err != nil {
+		return err
+	}
+	f.budget = g
+	return nil
+}
+
+// Adapt targets the byte budget by adjusting the node budget (each
+// serialized node costs ~40 bytes).
+func (f *FlowtreeAggregator) Adapt(hint AdaptHint) {
+	if hint.TargetBytes == 0 {
+		return
+	}
+	want := int(hint.TargetBytes / 40)
+	if want < 2 {
+		want = 2
+	}
+	if want != f.budget {
+		_ = f.SetGranularity(want)
+	}
+}
+
+// SizeBytes implements Aggregator.
+func (f *FlowtreeAggregator) SizeBytes() uint64 { return f.tree.SizeBytes() }
+
+// Reset clears the tree for a new epoch, keeping configuration.
+func (f *FlowtreeAggregator) Reset() {
+	tree, err := flowtree.New(f.budget, f.opts...)
+	if err != nil {
+		panic(fmt.Sprintf("primitive: reset flowtree: %v", err))
+	}
+	f.tree = tree
+}
+
+// Tree exposes the underlying Flowtree for operators that the generic
+// interface cannot express (Diff, serialization, FlowDB export).
+func (f *FlowtreeAggregator) Tree() *flowtree.Tree { return f.tree }
+
+// Snapshot returns a deep copy of the current tree (sealing an epoch).
+func (f *FlowtreeAggregator) Snapshot() *flowtree.Tree { return f.tree.Clone() }

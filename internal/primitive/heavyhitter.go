@@ -1,0 +1,229 @@
+package primitive
+
+import (
+	"errors"
+	"fmt"
+
+	"megadata/internal/flow"
+	"megadata/internal/sketch"
+)
+
+// WeightedKey is the input of the heavy-hitter primitive: an opaque key and
+// a weight. Data stores derive it from flow records or business events.
+type WeightedKey struct {
+	Key    string
+	Weight uint64
+}
+
+// HeavyHitterAggregator wraps Space-Saving: top-k and above-phi queries
+// over arbitrary string keys ("heavy hitter detection" of Section V).
+type HeavyHitterAggregator struct {
+	name string
+	k    int
+	ss   *sketch.SpaceSaving
+}
+
+var _ Aggregator = (*HeavyHitterAggregator)(nil)
+
+// NewHeavyHitter builds a Space-Saving heavy-hitter primitive with k
+// counters.
+func NewHeavyHitter(name string, k int) (*HeavyHitterAggregator, error) {
+	if name == "" {
+		return nil, errors.New("primitive: heavy-hitter aggregator needs a name")
+	}
+	ss, err := sketch.NewSpaceSaving(k)
+	if err != nil {
+		return nil, err
+	}
+	return &HeavyHitterAggregator{name: name, k: k, ss: ss}, nil
+}
+
+// Name implements Aggregator.
+func (h *HeavyHitterAggregator) Name() string { return h.name }
+
+// Kind implements Aggregator.
+func (h *HeavyHitterAggregator) Kind() Kind { return KindHeavyHitter }
+
+// Add accepts WeightedKey items and flow.Record (keyed by source IP,
+// weighted by bytes).
+func (h *HeavyHitterAggregator) Add(item any) error {
+	switch it := item.(type) {
+	case WeightedKey:
+		h.ss.Add(it.Key, it.Weight)
+		return nil
+	case flow.Record:
+		h.ss.Add(it.Key.SrcIP.String(), it.Bytes)
+		return nil
+	default:
+		return fmt.Errorf("%w: heavy-hitter aggregator takes WeightedKey or flow.Record, got %T", ErrWrongInput, item)
+	}
+}
+
+// Query accepts TopKQuery and HHQuery, both returning []KeyCount.
+func (h *HeavyHitterAggregator) Query(q any) (any, error) {
+	switch qq := q.(type) {
+	case TopKQuery:
+		return toKeyCounts(h.ss.TopK(qq.K)), nil
+	case HHQuery:
+		return toKeyCounts(h.ss.HeavyHitters(qq.Phi)), nil
+	default:
+		return nil, fmt.Errorf("%w: heavy-hitter aggregator got %T", ErrWrongQuery, q)
+	}
+}
+
+func toKeyCounts(cs []sketch.Counter) []KeyCount {
+	out := make([]KeyCount, len(cs))
+	for i, c := range cs {
+		out[i] = KeyCount{Key: c.Key, Count: c.Count, Err: c.Err}
+	}
+	return out
+}
+
+// Merge combines another heavy-hitter summary.
+func (h *HeavyHitterAggregator) Merge(other Aggregator) error {
+	o, ok := other.(*HeavyHitterAggregator)
+	if !ok {
+		return fmt.Errorf("%w: heavyhitter vs %s", ErrKindMismatch, other.Kind())
+	}
+	h.ss.Merge(o.ss)
+	return nil
+}
+
+// Granularity is the number of counters.
+func (h *HeavyHitterAggregator) Granularity() int { return h.k }
+
+// SetGranularity rebuilds the summary with g counters, keeping the current
+// top keys (coarsening drops tail counters).
+func (h *HeavyHitterAggregator) SetGranularity(g int) error {
+	ns, err := sketch.NewSpaceSaving(g)
+	if err != nil {
+		return err
+	}
+	for _, c := range h.ss.TopK(g) {
+		ns.Add(c.Key, c.Count)
+	}
+	h.ss = ns
+	h.k = g
+	return nil
+}
+
+// Adapt resizes the counter table toward the byte target (~64 bytes per
+// counter).
+func (h *HeavyHitterAggregator) Adapt(hint AdaptHint) {
+	if hint.TargetBytes == 0 {
+		return
+	}
+	want := int(hint.TargetBytes / 64)
+	if want < 1 {
+		want = 1
+	}
+	if want != h.k {
+		_ = h.SetGranularity(want)
+	}
+}
+
+// SizeBytes implements Aggregator.
+func (h *HeavyHitterAggregator) SizeBytes() uint64 { return uint64(h.k) * 64 }
+
+// Reset clears counters for a new epoch.
+func (h *HeavyHitterAggregator) Reset() {
+	ss, err := sketch.NewSpaceSaving(h.k)
+	if err != nil {
+		panic(fmt.Sprintf("primitive: reset heavy-hitter: %v", err))
+	}
+	h.ss = ss
+}
+
+// HHHAggregator wraps the exact hierarchical heavy-hitter trie over source
+// addresses (the "HHH" box of Figure 4). Domain knowledge: the IPv4 prefix
+// hierarchy.
+type HHHAggregator struct {
+	name string
+	step uint8
+	trie *sketch.HHHTrie
+}
+
+var _ Aggregator = (*HHHAggregator)(nil)
+
+// NewHHH builds the trie-based HHH primitive; step is the prefix-length
+// stride and must divide 32.
+func NewHHH(name string, step uint8) (*HHHAggregator, error) {
+	if name == "" {
+		return nil, errors.New("primitive: hhh aggregator needs a name")
+	}
+	tr, err := sketch.NewHHHTrie(step)
+	if err != nil {
+		return nil, err
+	}
+	return &HHHAggregator{name: name, step: step, trie: tr}, nil
+}
+
+// Name implements Aggregator.
+func (h *HHHAggregator) Name() string { return h.name }
+
+// Kind implements Aggregator.
+func (h *HHHAggregator) Kind() Kind { return KindHHH }
+
+// Add accepts flow.Record, weighting source addresses by bytes.
+func (h *HHHAggregator) Add(item any) error {
+	r, ok := item.(flow.Record)
+	if !ok {
+		return fmt.Errorf("%w: hhh aggregator takes flow.Record, got %T", ErrWrongInput, item)
+	}
+	h.trie.Add(r.Key.SrcIP, r.Bytes)
+	return nil
+}
+
+// Query accepts HHQuery and returns []sketch.PrefixCount.
+func (h *HHHAggregator) Query(q any) (any, error) {
+	qq, ok := q.(HHQuery)
+	if !ok {
+		return nil, fmt.Errorf("%w: hhh aggregator got %T", ErrWrongQuery, q)
+	}
+	return h.trie.HeavyHitters(qq.Phi), nil
+}
+
+// Merge combines another HHH summary with the same stride.
+func (h *HHHAggregator) Merge(other Aggregator) error {
+	o, ok := other.(*HHHAggregator)
+	if !ok {
+		return fmt.Errorf("%w: hhh vs %s", ErrKindMismatch, other.Kind())
+	}
+	if err := h.trie.Merge(o.trie); err != nil {
+		return fmt.Errorf("%w: %v", ErrKindMismatch, err)
+	}
+	return nil
+}
+
+// Granularity is the prefix stride in bits.
+func (h *HHHAggregator) Granularity() int { return int(h.step) }
+
+// SetGranularity is not supported after data has been ingested (the trie's
+// levels are fixed); it succeeds only on an empty summary.
+func (h *HHHAggregator) SetGranularity(g int) error {
+	if h.trie.Total() > 0 {
+		return errors.New("primitive: hhh stride cannot change after ingest; applications must choose the level up front (Section V)")
+	}
+	tr, err := sketch.NewHHHTrie(uint8(g))
+	if err != nil {
+		return err
+	}
+	h.trie = tr
+	h.step = uint8(g)
+	return nil
+}
+
+// Adapt is a no-op: the trie is exact and its footprint is data-dependent.
+func (h *HHHAggregator) Adapt(AdaptHint) {}
+
+// SizeBytes implements Aggregator.
+func (h *HHHAggregator) SizeBytes() uint64 { return uint64(h.trie.Nodes()) * 48 }
+
+// Reset clears the trie for a new epoch.
+func (h *HHHAggregator) Reset() {
+	tr, err := sketch.NewHHHTrie(h.step)
+	if err != nil {
+		panic(fmt.Sprintf("primitive: reset hhh: %v", err))
+	}
+	h.trie = tr
+}

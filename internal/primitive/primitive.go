@@ -1,0 +1,162 @@
+// Package primitive defines the computing-primitive abstraction of
+// Section V: an aggregator that builds data summaries which (a) support
+// arbitrary queries, (b) can be combined with summaries from other
+// locations or times, (c) have an adjustable aggregation granularity,
+// (d) self-adapt to incoming data and queries, and (e) may use domain
+// knowledge for meaningful aggregation levels.
+//
+// Concrete primitives wrap the summaries from internal/sketch and
+// internal/flowtree: a random-sampling primitive (the paper's Section V-B
+// toy example), time-binned statistics, Space-Saving heavy hitters, an
+// exact hierarchical heavy-hitter trie, and Flowtree.
+package primitive
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Kind identifies an aggregator family. Merging is only defined within a
+// kind.
+type Kind int
+
+// Aggregator kinds (the boxes of Figure 4).
+const (
+	KindSample Kind = iota + 1
+	KindStats
+	KindHeavyHitter
+	KindHHH
+	KindFlowtree
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindSample:
+		return "sample"
+	case KindStats:
+		return "stats"
+	case KindHeavyHitter:
+		return "heavyhitter"
+	case KindHHH:
+		return "hhh"
+	case KindFlowtree:
+		return "flowtree"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Errors shared by all primitives.
+var (
+	// ErrWrongInput is returned by Add for unsupported item types.
+	ErrWrongInput = errors.New("primitive: unsupported input type")
+	// ErrWrongQuery is returned by Query for unsupported query types.
+	ErrWrongQuery = errors.New("primitive: unsupported query type")
+	// ErrKindMismatch is returned by Merge across kinds or
+	// incompatible configurations.
+	ErrKindMismatch = errors.New("primitive: cannot merge incompatible summaries")
+)
+
+// AdaptHint carries the feedback a primitive can self-adapt to (property d):
+// the observed input rate, the rate of queries, and the byte budget the
+// manager wants the summary to stay under.
+type AdaptHint struct {
+	InputPerSec   float64
+	QueriesPerSec float64
+	TargetBytes   uint64
+}
+
+// Aggregator is one computing-primitive instance inside a data store.
+// Implementations are not safe for concurrent use; the owning data store
+// serializes access.
+type Aggregator interface {
+	// Name identifies the instance inside its data store.
+	Name() string
+	// Kind identifies the aggregator family.
+	Kind() Kind
+	// Add ingests one stream element. Implementations document the
+	// accepted types and return ErrWrongInput otherwise.
+	Add(item any) error
+	// Query answers a query against the summary (property a).
+	// Implementations document the accepted query types and return
+	// ErrWrongQuery otherwise.
+	Query(q any) (any, error)
+	// Merge combines another summary of the same kind into this one
+	// (property b).
+	Merge(other Aggregator) error
+	// Granularity reports the current aggregation granularity knob;
+	// larger values mean finer summaries (property c).
+	Granularity() int
+	// SetGranularity adjusts the granularity knob (property c).
+	SetGranularity(g int) error
+	// Adapt lets the primitive re-organize itself according to observed
+	// data and query characteristics (property d).
+	Adapt(hint AdaptHint)
+	// SizeBytes approximates the summary footprint, the quantity the
+	// data store budgets and simnet meters.
+	SizeBytes() uint64
+	// Reset clears the summary for a new epoch, keeping configuration.
+	Reset()
+}
+
+// Reading is the numeric stream element consumed by sample and stats
+// primitives (sensor data).
+type Reading struct {
+	At    time.Time
+	Value float64
+}
+
+// RangeQuery selects elements in [From, To) whose value exceeds Threshold —
+// the query form of the paper's toy example.
+type RangeQuery struct {
+	From, To  time.Time
+	Threshold float64
+}
+
+// EstimateQuery asks for an extrapolated count of elements in [From, To)
+// above Threshold.
+type EstimateQuery struct {
+	From, To  time.Time
+	Threshold float64
+}
+
+// Stat selects a statistic for StatsQuery.
+type Stat int
+
+// Statistics available from the stats primitive.
+const (
+	StatCount Stat = iota + 1
+	StatSum
+	StatMean
+	StatMedian
+	StatStdDev
+	StatMin
+	StatMax
+)
+
+// StatsQuery asks for one statistic per time bin over [From, To).
+type StatsQuery struct {
+	From, To time.Time
+	Stat     Stat
+}
+
+// StatPoint is one bin's answer to a StatsQuery.
+type StatPoint struct {
+	Start time.Time
+	Value float64
+}
+
+// TopKQuery asks for the K heaviest keys.
+type TopKQuery struct{ K int }
+
+// HHQuery asks for all keys with at least Phi fraction of the total weight.
+type HHQuery struct{ Phi float64 }
+
+// KeyCount is one heavy-hitter answer row.
+type KeyCount struct {
+	Key   string
+	Count uint64
+	Err   uint64
+}

@@ -1,0 +1,373 @@
+package primitive
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+	"megadata/internal/sketch"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindSample: "sample", KindStats: "stats", KindHeavyHitter: "heavyhitter",
+		KindHHH: "hhh", KindFlowtree: "flowtree", Kind(42): "kind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestSampleAggregator(t *testing.T) {
+	s, err := NewSample("s", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind() != KindSample || s.Name() != "s" {
+		t.Error("identity wrong")
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Add(Reading{At: t0.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Add("nope"); !errors.Is(err, ErrWrongInput) {
+		t.Errorf("wrong input: %v", err)
+	}
+	res, err := s.Query(RangeQuery{From: t0, To: t0.Add(time.Hour), Threshold: 44.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, ok := res.([]Reading)
+	if !ok || len(readings) != 5 {
+		t.Errorf("RangeQuery = %v", res)
+	}
+	est, err := s.Query(EstimateQuery{From: t0, To: t0.Add(time.Hour), Threshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.(float64) != 50 {
+		t.Errorf("EstimateQuery = %v", est)
+	}
+	if _, err := s.Query(42); !errors.Is(err, ErrWrongQuery) {
+		t.Errorf("wrong query: %v", err)
+	}
+	if s.SizeBytes() != 50*24 {
+		t.Errorf("SizeBytes = %d", s.SizeBytes())
+	}
+	s.Reset()
+	if s.Seen() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestSampleMergeAndGranularity(t *testing.T) {
+	a, _ := NewSample("a", 100, 1)
+	b, _ := NewSample("b", 100, 2)
+	for i := 0; i < 30; i++ {
+		_ = a.Add(Reading{At: t0, Value: 1})
+		_ = b.Add(Reading{At: t0, Value: 2})
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Seen() != 60 {
+		t.Errorf("merged Seen = %d", a.Seen())
+	}
+	hh, _ := NewHeavyHitter("h", 10)
+	if err := a.Merge(hh); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("cross-kind merge: %v", err)
+	}
+	if err := a.SetGranularity(10); err != nil {
+		t.Fatal(err)
+	}
+	if a.Granularity() != 10 {
+		t.Errorf("Granularity = %d", a.Granularity())
+	}
+	if err := a.SetGranularity(0); err == nil {
+		t.Error("granularity 0 must error")
+	}
+}
+
+func TestSampleAdapt(t *testing.T) {
+	s, _ := NewSample("s", 1000, 1)
+	s.Adapt(AdaptHint{TargetBytes: 240})
+	if s.Granularity() != 10 {
+		t.Errorf("adapted capacity = %d, want 10", s.Granularity())
+	}
+	s.Adapt(AdaptHint{TargetBytes: 240, QueriesPerSec: 5})
+	if s.Granularity() != 20 {
+		t.Errorf("query-boosted capacity = %d, want 20", s.Granularity())
+	}
+	s.Adapt(AdaptHint{}) // no target: no change
+	if s.Granularity() != 20 {
+		t.Error("empty hint changed capacity")
+	}
+}
+
+func TestStatsAggregator(t *testing.T) {
+	s, err := NewStats("st", time.Minute, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = s.Add(Reading{At: t0.Add(time.Duration(i%2) * time.Minute), Value: float64(i)})
+	}
+	if err := s.Add(3); !errors.Is(err, ErrWrongInput) {
+		t.Errorf("wrong input: %v", err)
+	}
+	res, err := s.Query(StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: StatMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := res.([]StatPoint)
+	if len(points) != 2 {
+		t.Fatalf("points = %v", points)
+	}
+	// Bin 0 holds 0,2,4,6,8 (mean 4); bin 1 holds 1,3,5,7,9 (mean 5).
+	if points[0].Value != 4 || points[1].Value != 5 {
+		t.Errorf("means = %v", points)
+	}
+	for _, st := range []Stat{StatCount, StatSum, StatMedian, StatStdDev, StatMin, StatMax} {
+		if _, err := s.Query(StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: st}); err != nil {
+			t.Errorf("stat %d: %v", st, err)
+		}
+	}
+	if _, err := s.Query(StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: Stat(99)}); err == nil {
+		t.Error("unknown stat must error")
+	}
+	if _, err := s.Query("x"); !errors.Is(err, ErrWrongQuery) {
+		t.Errorf("wrong query: %v", err)
+	}
+}
+
+func TestStatsCoarsenAndMerge(t *testing.T) {
+	a, _ := NewStats("a", time.Minute, 0, 0)
+	b, _ := NewStats("b", time.Minute, 0, 0)
+	for i := 0; i < 10; i++ {
+		_ = a.Add(Reading{At: t0.Add(time.Duration(i) * time.Minute), Value: 1})
+		_ = b.Add(Reading{At: t0.Add(time.Duration(i) * time.Minute), Value: 3})
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := a.Query(StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: StatMean})
+	for _, p := range res.([]StatPoint) {
+		if p.Value != 2 {
+			t.Errorf("merged mean = %v", p.Value)
+		}
+	}
+	c, err := a.Coarsen(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.Query(StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: StatCount})
+	points := res.([]StatPoint)
+	if len(points) != 2 || points[0].Value != 10 {
+		t.Errorf("coarsened counts = %v", points)
+	}
+	if c.Width() != 5*time.Minute {
+		t.Errorf("coarse width = %v", c.Width())
+	}
+	s2, _ := NewStats("c", time.Hour, 0, 0)
+	if err := a.Merge(s2); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("width mismatch merge: %v", err)
+	}
+}
+
+func TestHeavyHitterAggregator(t *testing.T) {
+	h, err := NewHeavyHitter("hh", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h.Add(WeightedKey{Key: "a", Weight: 100})
+	_ = h.Add(WeightedKey{Key: "b", Weight: 10})
+	rec := flow.Record{Key: flow.Exact(flow.ProtoTCP, 0x0A000001, 2, 3, 4), Bytes: 500}
+	if err := h.Add(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add(3.14); !errors.Is(err, ErrWrongInput) {
+		t.Errorf("wrong input: %v", err)
+	}
+	res, err := h.Query(TopKQuery{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.([]KeyCount)
+	if len(top) != 2 || top[0].Key != "10.0.0.1" || top[0].Count != 500 {
+		t.Errorf("TopK = %v", top)
+	}
+	res, _ = h.Query(HHQuery{Phi: 0.15})
+	hh := res.([]KeyCount)
+	if len(hh) != 2 {
+		t.Errorf("HHQuery = %v", hh)
+	}
+	if _, err := h.Query("x"); !errors.Is(err, ErrWrongQuery) {
+		t.Errorf("wrong query: %v", err)
+	}
+}
+
+func TestHeavyHitterGranularityAndReset(t *testing.T) {
+	h, _ := NewHeavyHitter("hh", 100)
+	for i := 0; i < 50; i++ {
+		_ = h.Add(WeightedKey{Key: string(rune('a' + i%26)), Weight: uint64(i)})
+	}
+	if err := h.SetGranularity(5); err != nil {
+		t.Fatal(err)
+	}
+	if h.Granularity() != 5 {
+		t.Errorf("Granularity = %d", h.Granularity())
+	}
+	res, _ := h.Query(TopKQuery{K: 100})
+	if len(res.([]KeyCount)) > 5 {
+		t.Error("granularity not applied")
+	}
+	h.Adapt(AdaptHint{TargetBytes: 640})
+	if h.Granularity() != 10 {
+		t.Errorf("adapted k = %d", h.Granularity())
+	}
+	h.Reset()
+	res, _ = h.Query(TopKQuery{K: 10})
+	if len(res.([]KeyCount)) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestHHHAggregator(t *testing.T) {
+	h, err := NewHHH("hhh", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = h.Add(flow.Record{Key: flow.Exact(flow.ProtoTCP, flow.IPv4(0x0A010100|uint32(i)), 2, 3, 4), Bytes: 100})
+	}
+	if err := h.Add("x"); !errors.Is(err, ErrWrongInput) {
+		t.Errorf("wrong input: %v", err)
+	}
+	res, err := h.Query(HHQuery{Phi: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixes := res.([]sketch.PrefixCount)
+	if len(prefixes) == 0 {
+		t.Fatal("no HHH prefixes")
+	}
+	if _, err := h.Query(TopKQuery{K: 1}); !errors.Is(err, ErrWrongQuery) {
+		t.Errorf("wrong query: %v", err)
+	}
+	// Stride cannot change after ingest.
+	if err := h.SetGranularity(16); err == nil {
+		t.Error("stride change after ingest must error")
+	}
+	h.Reset()
+	if err := h.SetGranularity(16); err != nil {
+		t.Errorf("stride change after reset: %v", err)
+	}
+	if h.Granularity() != 16 {
+		t.Errorf("Granularity = %d", h.Granularity())
+	}
+}
+
+func TestFlowtreeAggregator(t *testing.T) {
+	f, err := NewFlowtree("ft", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := flow.Record{Key: flow.Exact(flow.ProtoTCP, 0x0A010203, 0xC0A80105, 40000, 443), Packets: 2, Bytes: 3000}
+	r2 := flow.Record{Key: flow.Exact(flow.ProtoTCP, 0x0A010204, 0xC0A80105, 40001, 443), Packets: 1, Bytes: 1000}
+	_ = f.Add(r1)
+	_ = f.Add(r2)
+	if err := f.Add(7); !errors.Is(err, ErrWrongInput) {
+		t.Errorf("wrong input: %v", err)
+	}
+
+	res, err := f.Query(FlowQuery{Key: r1.Key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(flow.Counters).Bytes != 3000 {
+		t.Errorf("FlowQuery = %+v", res)
+	}
+	if _, err := f.Query(DrilldownQuery{Key: flow.Root()}); err != nil {
+		t.Errorf("Drilldown at root: %v", err)
+	}
+	if _, err := f.Query(DrilldownQuery{Key: flow.Exact(flow.ProtoUDP, 1, 2, 3, 4)}); err == nil {
+		t.Error("Drilldown at absent key must error")
+	}
+	res, _ = f.Query(FlowTopKQuery{K: 1})
+	top, ok := res.([]flowtree.Entry)
+	if !ok || len(top) != 1 || top[0].Counters.Bytes != 3000 {
+		t.Errorf("FlowTopKQuery = %v", res)
+	}
+	res, _ = f.Query(AboveXQuery{X: 4000})
+	if entries := res.([]flowtree.Entry); len(entries) == 0 {
+		t.Error("AboveX(4000) empty; ancestors aggregate 4000 bytes")
+	}
+	res, _ = f.Query(FlowHHHQuery{Phi: 0.5})
+	if hhs := res.([]flowtree.HHHEntry); len(hhs) == 0 {
+		t.Error("HHH(0.5) empty")
+	}
+	if _, err := f.Query("x"); !errors.Is(err, ErrWrongQuery) {
+		t.Errorf("wrong query: %v", err)
+	}
+}
+
+func TestFlowtreeMergeDiffSnapshot(t *testing.T) {
+	a, _ := NewFlowtree("a", 0)
+	b, _ := NewFlowtree("b", 0)
+	r := flow.Record{Key: flow.Exact(flow.ProtoTCP, 0x0A010203, 0xC0A80105, 40000, 443), Packets: 1, Bytes: 1000}
+	_ = a.Add(r)
+	_ = b.Add(r)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := a.Query(FlowQuery{Key: r.Key})
+	if res.(flow.Counters).Bytes != 2000 {
+		t.Errorf("after merge: %+v", res)
+	}
+	if err := a.Diff(b); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = a.Query(FlowQuery{Key: r.Key})
+	if res.(flow.Counters).Bytes != 1000 {
+		t.Errorf("after diff: %+v", res)
+	}
+	snap := a.Snapshot()
+	_ = a.Add(r)
+	if snap.Total() == a.Tree().Total() {
+		t.Error("snapshot is not independent")
+	}
+	s, _ := NewSample("s", 10, 1)
+	if err := a.Merge(s); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("cross-kind merge: %v", err)
+	}
+}
+
+func TestFlowtreeGranularityAdapt(t *testing.T) {
+	f, _ := NewFlowtree("ft", 0)
+	for i := 0; i < 1000; i++ {
+		_ = f.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(0x0A000000|uint32(i)), 0xC0A80105, uint16(i), 443),
+			Packets: 1, Bytes: 100,
+		})
+	}
+	if err := f.SetGranularity(50); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tree().Len() > 50 {
+		t.Errorf("tree len %d after granularity 50", f.Tree().Len())
+	}
+	f.Adapt(AdaptHint{TargetBytes: 4000})
+	if f.Granularity() != 100 {
+		t.Errorf("adapted budget = %d", f.Granularity())
+	}
+	f.Reset()
+	if f.Tree().Len() != 1 {
+		t.Errorf("after reset len = %d", f.Tree().Len())
+	}
+}

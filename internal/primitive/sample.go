@@ -1,0 +1,147 @@
+package primitive
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"megadata/internal/sketch"
+)
+
+// SampleAggregator is the paper's Section V-B toy computing primitive: a
+// random-sampling summary of a numeric time series. It supports range
+// queries, combines by reservoir union, adjusts granularity through the
+// reservoir capacity, and self-adapts the capacity to the incoming rate and
+// query load. It uses no domain knowledge (the paper gives it as the
+// example of aggregation without domain knowledge).
+type SampleAggregator struct {
+	name string
+	cap  int
+	seed int64
+	res  *sketch.Reservoir
+}
+
+var _ Aggregator = (*SampleAggregator)(nil)
+
+// NewSample builds a sampling primitive with the given reservoir capacity.
+func NewSample(name string, capacity int, seed int64) (*SampleAggregator, error) {
+	if name == "" {
+		return nil, errors.New("primitive: sample aggregator needs a name")
+	}
+	res, err := sketch.NewReservoir(capacity, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &SampleAggregator{name: name, cap: capacity, seed: seed, res: res}, nil
+}
+
+// Name implements Aggregator.
+func (s *SampleAggregator) Name() string { return s.name }
+
+// Kind implements Aggregator.
+func (s *SampleAggregator) Kind() Kind { return KindSample }
+
+// Add accepts Reading items.
+func (s *SampleAggregator) Add(item any) error {
+	r, ok := item.(Reading)
+	if !ok {
+		return fmt.Errorf("%w: sample aggregator takes primitive.Reading, got %T", ErrWrongInput, item)
+	}
+	s.res.Add(r.At, r.Value)
+	return nil
+}
+
+// Query accepts RangeQuery (returns []Reading) and EstimateQuery (returns
+// float64).
+func (s *SampleAggregator) Query(q any) (any, error) {
+	switch qq := q.(type) {
+	case RangeQuery:
+		samples := s.res.Query(qq.From, qq.To, qq.Threshold)
+		out := make([]Reading, len(samples))
+		for i, sm := range samples {
+			out[i] = Reading{At: sm.At, Value: sm.Value}
+		}
+		return out, nil
+	case EstimateQuery:
+		return s.res.EstimateCount(qq.From, qq.To, qq.Threshold), nil
+	default:
+		return nil, fmt.Errorf("%w: sample aggregator got %T", ErrWrongQuery, q)
+	}
+}
+
+// Merge combines another sample summary (property b: "two time series can
+// be combined by combining individual data points").
+func (s *SampleAggregator) Merge(other Aggregator) error {
+	o, ok := other.(*SampleAggregator)
+	if !ok {
+		return fmt.Errorf("%w: sample vs %s", ErrKindMismatch, other.Kind())
+	}
+	s.res.Merge(o.res)
+	return nil
+}
+
+// Granularity is the reservoir capacity.
+func (s *SampleAggregator) Granularity() int { return s.cap }
+
+// SetGranularity resizes the reservoir ("the level of aggregation can be
+// changed by adjusting the sampling rate").
+func (s *SampleAggregator) SetGranularity(g int) error {
+	if err := s.res.Resize(g); err != nil {
+		return err
+	}
+	s.cap = g
+	return nil
+}
+
+// Adapt sizes the reservoir so its footprint stays near the target while
+// the effective sampling rate tracks the input rate ("the time granularity
+// required by incoming queries and the rate of the incoming data can be
+// used to adjust the sampling rate").
+func (s *SampleAggregator) Adapt(hint AdaptHint) {
+	if hint.TargetBytes == 0 {
+		return
+	}
+	// Each retained sample costs ~24 bytes (time + float + overhead).
+	want := int(hint.TargetBytes / 24)
+	if want < 1 {
+		want = 1
+	}
+	// More queries per second justify a finer sample, up to 2x.
+	if hint.QueriesPerSec > 1 {
+		want *= 2
+	}
+	if want != s.cap {
+		_ = s.res.Resize(want)
+		s.cap = want
+	}
+}
+
+// SizeBytes implements Aggregator.
+func (s *SampleAggregator) SizeBytes() uint64 {
+	return uint64(s.res.Len()) * 24
+}
+
+// Rate exposes the effective sampling rate (diagnostics, experiments).
+func (s *SampleAggregator) Rate() float64 { return s.res.Rate() }
+
+// Reset clears the reservoir for a new epoch.
+func (s *SampleAggregator) Reset() {
+	res, err := sketch.NewReservoir(s.cap, s.seed)
+	if err != nil {
+		// Capacity was already validated.
+		panic(fmt.Sprintf("primitive: reset sample: %v", err))
+	}
+	s.res = res
+}
+
+// Seen returns how many readings were offered in this epoch.
+func (s *SampleAggregator) Seen() uint64 { return s.res.Seen() }
+
+// Horizon is a helper bounding queries to the epoch.
+func (s *SampleAggregator) Horizon(from time.Time) (time.Time, time.Time) {
+	samples := s.res.Samples()
+	if len(samples) == 0 {
+		return from, from
+	}
+	return samples[0].At, samples[len(samples)-1].At
+}

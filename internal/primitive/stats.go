@@ -1,0 +1,164 @@
+package primitive
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"megadata/internal/sketch"
+)
+
+// StatsAggregator summarizes a numeric stream as per-time-bin statistics
+// (sum, mean, median, standard deviation) — the "simple statistics over
+// time bins" of Section V. Granularity is the number of bins retained;
+// coarsening re-bins at a wider width.
+type StatsAggregator struct {
+	name    string
+	width   time.Duration
+	maxBins int
+	perBin  int
+	bins    *sketch.TimeBins
+}
+
+var _ Aggregator = (*StatsAggregator)(nil)
+
+// NewStats builds a stats primitive binning at width and keeping maxBins
+// bins (0 = unlimited); perBinValues caps the raw values kept per bin for
+// medians.
+func NewStats(name string, width time.Duration, maxBins, perBinValues int) (*StatsAggregator, error) {
+	if name == "" {
+		return nil, errors.New("primitive: stats aggregator needs a name")
+	}
+	tb, err := sketch.NewTimeBins(width, maxBins, perBinValues)
+	if err != nil {
+		return nil, err
+	}
+	return &StatsAggregator{name: name, width: width, maxBins: maxBins, perBin: perBinValues, bins: tb}, nil
+}
+
+// Name implements Aggregator.
+func (s *StatsAggregator) Name() string { return s.name }
+
+// Kind implements Aggregator.
+func (s *StatsAggregator) Kind() Kind { return KindStats }
+
+// Add accepts Reading items.
+func (s *StatsAggregator) Add(item any) error {
+	r, ok := item.(Reading)
+	if !ok {
+		return fmt.Errorf("%w: stats aggregator takes primitive.Reading, got %T", ErrWrongInput, item)
+	}
+	s.bins.Add(r.At, r.Value)
+	return nil
+}
+
+// Query accepts StatsQuery and returns []StatPoint, one per bin in range.
+func (s *StatsAggregator) Query(q any) (any, error) {
+	qq, ok := q.(StatsQuery)
+	if !ok {
+		return nil, fmt.Errorf("%w: stats aggregator got %T", ErrWrongQuery, q)
+	}
+	bins := s.bins.Range(qq.From, qq.To)
+	out := make([]StatPoint, 0, len(bins))
+	for _, b := range bins {
+		v, err := statOf(b, qq.Stat)
+		if err != nil {
+			if errors.Is(err, sketch.ErrEmpty) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, StatPoint{Start: b.Start, Value: v})
+	}
+	return out, nil
+}
+
+func statOf(b *sketch.BinStats, st Stat) (float64, error) {
+	switch st {
+	case StatCount:
+		return float64(b.Count()), nil
+	case StatSum:
+		return b.Sum(), nil
+	case StatMean:
+		return b.Mean()
+	case StatMedian:
+		return b.Median()
+	case StatStdDev:
+		return b.StdDev()
+	case StatMin:
+		return b.Min()
+	case StatMax:
+		return b.Max()
+	default:
+		return 0, fmt.Errorf("%w: unknown stat %d", ErrWrongQuery, int(st))
+	}
+}
+
+// Merge combines another stats summary with the same bin width.
+func (s *StatsAggregator) Merge(other Aggregator) error {
+	o, ok := other.(*StatsAggregator)
+	if !ok {
+		return fmt.Errorf("%w: stats vs %s", ErrKindMismatch, other.Kind())
+	}
+	if err := s.bins.Merge(o.bins); err != nil {
+		return fmt.Errorf("%w: %v", ErrKindMismatch, err)
+	}
+	return nil
+}
+
+// Granularity is the maximum number of retained bins.
+func (s *StatsAggregator) Granularity() int { return s.maxBins }
+
+// SetGranularity changes the bin budget.
+func (s *StatsAggregator) SetGranularity(g int) error {
+	if g < 0 {
+		return errors.New("primitive: stats granularity must be >= 0")
+	}
+	s.maxBins = g
+	s.bins.MaxBins = g
+	return nil
+}
+
+// Coarsen re-bins the summary at a multiple of the current width,
+// returning a new aggregator (used by hierarchical storage).
+func (s *StatsAggregator) Coarsen(factor int) (*StatsAggregator, error) {
+	nb, err := s.bins.Coarsen(factor)
+	if err != nil {
+		return nil, err
+	}
+	return &StatsAggregator{
+		name: s.name, width: s.width * time.Duration(factor),
+		maxBins: s.maxBins, perBin: s.perBin, bins: nb,
+	}, nil
+}
+
+// Adapt shrinks the bin budget when the footprint exceeds the target.
+func (s *StatsAggregator) Adapt(hint AdaptHint) {
+	if hint.TargetBytes == 0 {
+		return
+	}
+	perBinCost := uint64(64 + 8*s.perBin)
+	want := int(hint.TargetBytes / perBinCost)
+	if want < 1 {
+		want = 1
+	}
+	s.maxBins = want
+	s.bins.MaxBins = want
+}
+
+// SizeBytes implements Aggregator.
+func (s *StatsAggregator) SizeBytes() uint64 {
+	return uint64(len(s.bins.Bins())) * uint64(64+8*s.perBin)
+}
+
+// Reset clears all bins for a new epoch.
+func (s *StatsAggregator) Reset() {
+	tb, err := sketch.NewTimeBins(s.width, s.maxBins, s.perBin)
+	if err != nil {
+		panic(fmt.Sprintf("primitive: reset stats: %v", err))
+	}
+	s.bins = tb
+}
+
+// Width returns the bin width.
+func (s *StatsAggregator) Width() time.Duration { return s.width }

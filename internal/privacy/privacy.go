@@ -1,0 +1,185 @@
+// Package privacy implements the privacy enforcement sketched in
+// Section III-C: "privacy can be enforced by limiting what summaries can be
+// shared with the analytics component and at what granularity. Other
+// summaries and more precise data may still be used by a local Controller."
+//
+// An ExportPolicy describes the minimum aggregation granularity a consumer
+// class may receive; Apply rewrites a Flowtree summary to satisfy it by
+// generalizing every key to the allowed granularity and suppressing groups
+// that remain too small (a k-anonymity-style floor).
+package privacy
+
+import (
+	"errors"
+	"fmt"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+)
+
+// Audience classifies summary consumers by trust.
+type Audience int
+
+// Consumer classes, ordered by decreasing trust.
+const (
+	// AudienceController is the machine-local control loop: full detail.
+	AudienceController Audience = iota + 1
+	// AudienceSiteAnalytics runs within the same administrative domain.
+	AudienceSiteAnalytics
+	// AudienceGlobalAnalytics crosses domains (e.g. factory → corporate
+	// cloud): coarsest view.
+	AudienceGlobalAnalytics
+)
+
+// String returns the audience name.
+func (a Audience) String() string {
+	switch a {
+	case AudienceController:
+		return "controller"
+	case AudienceSiteAnalytics:
+		return "site-analytics"
+	case AudienceGlobalAnalytics:
+		return "global-analytics"
+	default:
+		return fmt.Sprintf("audience(%d)", int(a))
+	}
+}
+
+// ExportPolicy bounds the granularity of an exported summary.
+type ExportPolicy struct {
+	// MaxSrcPrefix and MaxDstPrefix cap address specificity: a /32 key
+	// exported under MaxSrcPrefix=16 becomes a /16 key.
+	MaxSrcPrefix uint8
+	MaxDstPrefix uint8
+	// HidePorts wildcards source and destination ports.
+	HidePorts bool
+	// HideProto wildcards the protocol.
+	HideProto bool
+	// MinGroupFlows suppresses exported keys whose flow count is below
+	// this floor (k-anonymity style: a group smaller than k at the
+	// coarsened granularity is folded into its parent rather than
+	// revealed). 0 disables suppression.
+	MinGroupFlows uint64
+}
+
+// Validate checks policy consistency.
+func (p ExportPolicy) Validate() error {
+	if p.MaxSrcPrefix > 32 || p.MaxDstPrefix > 32 {
+		return errors.New("privacy: prefix caps must be <= 32")
+	}
+	return nil
+}
+
+// PolicyFor returns the default policy for an audience: controllers see
+// everything, site analytics loses exact hosts and ports, global analytics
+// sees /8-aggregates with a group-size floor.
+func PolicyFor(a Audience) ExportPolicy {
+	switch a {
+	case AudienceController:
+		return ExportPolicy{MaxSrcPrefix: 32, MaxDstPrefix: 32}
+	case AudienceSiteAnalytics:
+		return ExportPolicy{MaxSrcPrefix: 24, MaxDstPrefix: 24, HidePorts: true}
+	default:
+		return ExportPolicy{
+			MaxSrcPrefix: 8, MaxDstPrefix: 8,
+			HidePorts: true, HideProto: true,
+			MinGroupFlows: 5,
+		}
+	}
+}
+
+// generalize caps one key to the policy's granularity.
+func (p ExportPolicy) generalize(k flow.Key) flow.Key {
+	if k.SrcPrefix > p.MaxSrcPrefix {
+		k.SrcPrefix = p.MaxSrcPrefix
+		k.SrcIP = k.SrcIP.Mask(p.MaxSrcPrefix)
+	}
+	if k.DstPrefix > p.MaxDstPrefix {
+		k.DstPrefix = p.MaxDstPrefix
+		k.DstIP = k.DstIP.Mask(p.MaxDstPrefix)
+	}
+	if p.HidePorts {
+		k.WildSrcPort = true
+		k.SrcPort = 0
+		k.WildDstPort = true
+		k.DstPort = 0
+	}
+	if p.HideProto {
+		k.WildProto = true
+		k.Proto = 0
+	}
+	return k
+}
+
+// Apply rewrites a Flowtree summary under the policy: every weighted node
+// is re-attributed at its generalized key, and (if MinGroupFlows is set)
+// keys whose coarsened group still holds fewer flows are folded one
+// generalization step further until the floor is met or the root absorbs
+// them. Totals are preserved exactly; only attribution coarsens.
+func Apply(t *flowtree.Tree, p ExportPolicy) (*flowtree.Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out, err := flowtree.New(0, flowtree.WithStepBits(t.StepBits()))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range t.Entries() {
+		out.AddCounters(p.generalize(e.Key), e.Counters)
+	}
+	if p.MinGroupFlows == 0 {
+		return out, nil
+	}
+	// Iteratively fold under-floor groups upward. Each pass rebuilds the
+	// tree with offending keys generalized one step; the loop terminates
+	// because every fold strictly reduces key depth.
+	for pass := 0; pass < 64; pass++ {
+		offenders := 0
+		next, err := flowtree.New(0, flowtree.WithStepBits(t.StepBits()))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range out.Entries() {
+			key := e.Key
+			// The group size at this key is its subtree flow count.
+			if !key.IsRoot() && out.Query(key).Flows < p.MinGroupFlows {
+				if parent, ok := key.GeneralizeStep(t.StepBits()); ok {
+					key = parent
+					offenders++
+				}
+			}
+			next.AddCounters(key, e.Counters)
+		}
+		out = next
+		if offenders == 0 {
+			return out, nil
+		}
+	}
+	return nil, errors.New("privacy: group folding did not converge")
+}
+
+// Leaks reports the keys in an exported summary that violate the policy —
+// used by tests and by audit tooling. An empty result means the summary is
+// compliant.
+func Leaks(t *flowtree.Tree, p ExportPolicy) []flow.Key {
+	var out []flow.Key
+	for _, e := range t.Entries() {
+		k := e.Key
+		if k.SrcPrefix > p.MaxSrcPrefix || k.DstPrefix > p.MaxDstPrefix {
+			out = append(out, k)
+			continue
+		}
+		if p.HidePorts && (!k.WildSrcPort || !k.WildDstPort) {
+			out = append(out, k)
+			continue
+		}
+		if p.HideProto && !k.WildProto {
+			out = append(out, k)
+			continue
+		}
+		if p.MinGroupFlows > 0 && !k.IsRoot() && t.Query(k).Flows < p.MinGroupFlows {
+			out = append(out, k)
+		}
+	}
+	return out
+}

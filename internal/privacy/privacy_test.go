@@ -1,0 +1,161 @@
+package privacy
+
+import (
+	"testing"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+	"megadata/internal/workload"
+)
+
+func buildTree(t *testing.T, n int) *flowtree.Tree {
+	t.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 3, Sources: 512, Destinations: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range g.Records(n) {
+		tr.Add(r)
+	}
+	return tr
+}
+
+func TestValidate(t *testing.T) {
+	if err := (ExportPolicy{MaxSrcPrefix: 33}).Validate(); err == nil {
+		t.Error("prefix > 32 must error")
+	}
+	if err := (ExportPolicy{MaxSrcPrefix: 32, MaxDstPrefix: 32}).Validate(); err != nil {
+		t.Errorf("valid policy: %v", err)
+	}
+}
+
+func TestAudienceString(t *testing.T) {
+	for a, want := range map[Audience]string{
+		AudienceController:      "controller",
+		AudienceSiteAnalytics:   "site-analytics",
+		AudienceGlobalAnalytics: "global-analytics",
+		Audience(9):             "audience(9)",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("%d = %q, want %q", int(a), got, want)
+		}
+	}
+}
+
+func TestApplyPreservesTotals(t *testing.T) {
+	tr := buildTree(t, 5000)
+	for _, aud := range []Audience{AudienceController, AudienceSiteAnalytics, AudienceGlobalAnalytics} {
+		got, err := Apply(tr, PolicyFor(aud))
+		if err != nil {
+			t.Fatalf("%v: %v", aud, err)
+		}
+		if got.Total() != tr.Total() {
+			t.Errorf("%v: total %+v, want %+v", aud, got.Total(), tr.Total())
+		}
+	}
+}
+
+func TestApplyGeneralizesKeys(t *testing.T) {
+	tr := buildTree(t, 2000)
+	p := PolicyFor(AudienceSiteAnalytics) // /24, ports hidden
+	got, err := Apply(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaks := Leaks(got, p); len(leaks) != 0 {
+		t.Fatalf("policy violated by %d keys, e.g. %v", len(leaks), leaks[0])
+	}
+	// The unfiltered tree must leak under the same policy (sanity check
+	// that Leaks can detect anything at all).
+	if leaks := Leaks(tr, p); len(leaks) == 0 {
+		t.Error("raw tree reported compliant")
+	}
+}
+
+func TestControllerPolicyIsIdentity(t *testing.T) {
+	tr := buildTree(t, 1000)
+	got, err := Apply(tr, PolicyFor(AudienceController))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every original exact flow stays queryable at full precision.
+	for _, e := range tr.Entries() {
+		if got.Query(e.Key) != tr.Query(e.Key) {
+			t.Fatalf("controller view altered %v", e.Key)
+		}
+	}
+}
+
+func TestGlobalPolicySuppressesSmallGroups(t *testing.T) {
+	// Two lonely flows in 11.0.0.0/8 (below floor 5) plus a crowd in
+	// 10.0.0.0/8.
+	tr, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(0x0A000000|uint32(i)), 0xC0A80101, uint16(i), 443),
+			Packets: 1, Bytes: 100,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(0x0B000000|uint32(i)), 0xC0A80101, uint16(i), 443),
+			Packets: 1, Bytes: 100,
+		})
+	}
+	p := PolicyFor(AudienceGlobalAnalytics)
+	got, err := Apply(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaks := Leaks(got, p); len(leaks) != 0 {
+		t.Fatalf("suppression failed: %v", leaks)
+	}
+	// Total conserved even with suppression.
+	if got.Total() != tr.Total() {
+		t.Errorf("total = %+v, want %+v", got.Total(), tr.Total())
+	}
+	// The big group remains visible at /8.
+	q := flow.Key{SrcIP: 0x0A000000, SrcPrefix: 8, WildProto: true, WildSrcPort: true, WildDstPort: true}
+	if got.Query(q).Flows != 50 {
+		t.Errorf("big group flows = %d", got.Query(q).Flows)
+	}
+}
+
+func TestApplyOnCompressedTree(t *testing.T) {
+	tr := buildTree(t, 10000)
+	tr.CompressTo(256)
+	p := PolicyFor(AudienceGlobalAnalytics)
+	got, err := Apply(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != tr.Total() {
+		t.Error("total lost on compressed input")
+	}
+	if leaks := Leaks(got, p); len(leaks) != 0 {
+		t.Errorf("leaks on compressed input: %d", len(leaks))
+	}
+}
+
+func TestLeaksDetectsEachDimension(t *testing.T) {
+	tr, _ := flowtree.New(0)
+	tr.Add(flow.Record{Key: flow.Exact(flow.ProtoTCP, 0x0A000001, 0x0B000001, 1234, 443), Packets: 1, Bytes: 1})
+	cases := []ExportPolicy{
+		{MaxSrcPrefix: 16, MaxDstPrefix: 32},                  // src too specific
+		{MaxSrcPrefix: 32, MaxDstPrefix: 16},                  // dst too specific
+		{MaxSrcPrefix: 32, MaxDstPrefix: 32, HidePorts: true}, // ports visible
+		{MaxSrcPrefix: 32, MaxDstPrefix: 32, HideProto: true}, // proto visible
+	}
+	for i, p := range cases {
+		if len(Leaks(tr, p)) == 0 {
+			t.Errorf("case %d: leak not detected", i)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package replication implements the transfer optimization of Section VII
+// (Figure 6): data stores trade off the cost of repeatedly shipping query
+// results against the one-time cost of replicating a partition. The
+// decision is the classical ski-rental problem — shipping results is
+// renting, replication is buying.
+//
+// The package provides the deterministic break-even rule (Karlin et al.:
+// buy when the money spent on rent equals the price of buying, which is
+// 2-competitive), the paper's simple count/volume heuristics, a
+// distribution-aware threshold in the style of Fujiwara/Iwama that learns
+// the per-partition volume distribution from older partitions (exactly the
+// mechanism Section VII sketches), the trivial never/always baselines, and
+// the offline optimum for competitive-ratio reporting.
+package replication
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// Access describes one remote access to a partition, as recorded by the
+// manager (Figure 6: "access records for partition").
+type Access struct {
+	Partition int
+	At        time.Time
+	// ResultVol is the bytes shipped if the partition is not local.
+	ResultVol uint64
+}
+
+// State is the per-partition information a policy may consult.
+type State struct {
+	// Accesses is the number of remote accesses so far (including the
+	// current one).
+	Accesses int
+	// ShippedBytes is the total result volume shipped so far (including
+	// the current access).
+	ShippedBytes uint64
+	// PartitionBytes is the cost of replicating the partition.
+	PartitionBytes uint64
+}
+
+// Policy decides, after each remote access, whether to replicate the
+// partition now.
+type Policy interface {
+	// Name identifies the policy in experiment reports.
+	Name() string
+	// ShouldReplicate is consulted after every remote access.
+	ShouldReplicate(s State) bool
+}
+
+// Never ships every query result and never replicates (pure query
+// shipping, the paper's option 1).
+type Never struct{}
+
+// Name implements Policy.
+func (Never) Name() string { return "never" }
+
+// ShouldReplicate implements Policy.
+func (Never) ShouldReplicate(State) bool { return false }
+
+// Always replicates a partition on its first access (eager replication).
+type Always struct{}
+
+// Name implements Policy.
+func (Always) Name() string { return "always" }
+
+// ShouldReplicate implements Policy.
+func (Always) ShouldReplicate(State) bool { return true }
+
+// CountThreshold replicates after N accesses — the paper's "replicate when
+// the data ... has been accessed at least n number of times".
+type CountThreshold struct{ N int }
+
+// Name implements Policy.
+func (CountThreshold) Name() string { return "count-threshold" }
+
+// ShouldReplicate implements Policy.
+func (c CountThreshold) ShouldReplicate(s State) bool { return s.Accesses >= c.N }
+
+// BreakEven replicates once the shipped bytes reach the replication cost —
+// the deterministic ski-rental rule ("buy the ski-set when money equal to
+// the price of buying has been spent on rent"), worst-case 2-competitive.
+type BreakEven struct{}
+
+// Name implements Policy.
+func (BreakEven) Name() string { return "break-even" }
+
+// ShouldReplicate implements Policy.
+func (BreakEven) ShouldReplicate(s State) bool {
+	return s.ShippedBytes >= s.PartitionBytes
+}
+
+// VolumeFraction replicates when the shipped bytes reach fraction P of the
+// partition size — the paper's "at least p percent of its own storage
+// volume" heuristic. P=1 degenerates to BreakEven.
+type VolumeFraction struct{ P float64 }
+
+// Name implements Policy.
+func (VolumeFraction) Name() string { return "volume-fraction" }
+
+// ShouldReplicate implements Policy.
+func (v VolumeFraction) ShouldReplicate(s State) bool {
+	return float64(s.ShippedBytes) >= v.P*float64(s.PartitionBytes)
+}
+
+// DistAware picks the average-case optimal threshold for the empirical
+// distribution of per-partition total shipped volume, learned from older
+// partitions (Section VII: "the aggregate result size for older partitions
+// are from a distribution that can be used to predict future access for
+// partitions created at a later date").
+type DistAware struct {
+	threshold uint64
+}
+
+// Name implements Policy.
+func (*DistAware) Name() string { return "dist-aware" }
+
+// ShouldReplicate implements Policy.
+func (d *DistAware) ShouldReplicate(s State) bool {
+	return s.ShippedBytes >= d.threshold
+}
+
+// Threshold returns the learned threshold (diagnostics).
+func (d *DistAware) Threshold() uint64 { return d.threshold }
+
+// FitDistAware learns the threshold from training volumes: the total
+// shipped bytes each training partition would have generated without
+// replication. partitionBytes is the replication cost B.
+//
+// For threshold T the realized cost on a partition with total volume V is
+//
+//	cost(V, T) = V                if V < T   (never bought)
+//	           = T' + B           otherwise  (bought after shipping T'≥T)
+//
+// where T' is the volume shipped when the threshold is crossed; we
+// approximate T' by T (volumes are many small results). The expected cost
+// under the empirical distribution is minimized exactly by scanning the
+// candidate thresholds {0, v_1..v_n, ∞}.
+func FitDistAware(trainingVolumes []uint64, partitionBytes uint64) (*DistAware, error) {
+	if len(trainingVolumes) == 0 {
+		return nil, errors.New("replication: dist-aware needs training volumes")
+	}
+	if partitionBytes == 0 {
+		return nil, errors.New("replication: partition bytes must be positive")
+	}
+	vols := make([]uint64, len(trainingVolumes))
+	copy(vols, trainingVolumes)
+	sort.Slice(vols, func(i, j int) bool { return vols[i] < vols[j] })
+	n := float64(len(vols))
+
+	// prefix[i] = sum of vols[:i].
+	prefix := make([]uint64, len(vols)+1)
+	for i, v := range vols {
+		prefix[i+1] = prefix[i] + v
+	}
+	expectedCost := func(t uint64) float64 {
+		// Partitions with V < t pay V; the rest pay t + B.
+		i := sort.Search(len(vols), func(i int) bool { return vols[i] >= t })
+		below := float64(prefix[i])
+		nAbove := n - float64(i)
+		return (below + nAbove*float64(t+partitionBytes)) / n
+	}
+	// Candidates: buy immediately (t=0), never buy (t=maxVol+1, so no
+	// training partition would buy), or any observed volume.
+	best := uint64(0)
+	bestCost := expectedCost(0)
+	for _, v := range vols {
+		if c := expectedCost(v); c < bestCost {
+			bestCost = c
+			best = v
+		}
+	}
+	never := vols[len(vols)-1] + 1
+	// "Never" means paying V always: expected cost = mean(V).
+	if meanCost := float64(prefix[len(vols)]) / n; meanCost < bestCost {
+		bestCost = meanCost
+		best = never
+	}
+	return &DistAware{threshold: best}, nil
+}
+
+// OfflineOptimalBytes returns the clairvoyant WAN cost of one partition
+// whose total future result volume is vol: ship everything when that is
+// cheaper than replicating up front, otherwise replicate immediately.
+func OfflineOptimalBytes(vol, partitionBytes uint64) uint64 {
+	if vol < partitionBytes {
+		return vol
+	}
+	return partitionBytes
+}

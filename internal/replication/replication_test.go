@@ -1,0 +1,269 @@
+package replication
+
+import (
+	"testing"
+	"time"
+
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func accessesAt(partition int, vols ...uint64) []Access {
+	out := make([]Access, len(vols))
+	for i, v := range vols {
+		out[i] = Access{Partition: partition, At: t0.Add(time.Duration(i) * time.Minute), ResultVol: v}
+	}
+	return out
+}
+
+func TestNeverAlways(t *testing.T) {
+	cfg := SimConfig{PartitionBytes: 1000}
+	trace := accessesAt(0, 100, 100, 100)
+
+	never, err := Simulate(cfg, Never{}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.WANBytes != 300 || never.Replications != 0 || never.RemoteQueries != 3 {
+		t.Errorf("never = %+v", never)
+	}
+	always, err := Simulate(cfg, Always{}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First access ships 100 and replicates; two local queries follow.
+	if always.WANBytes != 1100 || always.Replications != 1 || always.LocalQueries != 2 {
+		t.Errorf("always = %+v", always)
+	}
+}
+
+func TestBreakEvenRule(t *testing.T) {
+	cfg := SimConfig{PartitionBytes: 1000}
+	// 12 accesses of 100 bytes: break-even triggers at the 10th
+	// (shipped=1000); accesses 11, 12 are local.
+	trace := accessesAt(0, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100)
+	res, err := Simulate(cfg, BreakEven{}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteQueries != 10 || res.LocalQueries != 2 {
+		t.Errorf("queries = %d remote, %d local", res.RemoteQueries, res.LocalQueries)
+	}
+	if res.WANBytes != 1000+1000 {
+		t.Errorf("WANBytes = %d, want 2000", res.WANBytes)
+	}
+	// Offline optimal: total volume 1200 >= 1000, so replicate at t=0:
+	// cost 1000. Break-even pays exactly 2x here.
+	if res.OptimalBytes != 1000 {
+		t.Errorf("OptimalBytes = %d", res.OptimalBytes)
+	}
+	if got := res.CompetitiveRatio(); got != 2 {
+		t.Errorf("competitive ratio = %v", got)
+	}
+}
+
+func TestBreakEvenNeverWorseThanTwiceOptimalPlusSlack(t *testing.T) {
+	// Property over a realistic trace: bytes(BreakEven) <= 2*OPT + one
+	// maximal result volume per partition (discretization slack).
+	tr, err := workload.NewQueryTrace(workload.QueryTraceConfig{Seed: 42, Partitions: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimConfig{PartitionBytes: tr.Config.PartitionBytes}
+	res, err := Simulate(cfg, BreakEven{}, toAccesses(tr.Accesses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxVol uint64
+	for _, a := range tr.Accesses {
+		if a.ResultVol > maxVol {
+			maxVol = a.ResultVol
+		}
+	}
+	slack := uint64(150) * maxVol
+	if res.WANBytes > 2*res.OptimalBytes+slack {
+		t.Errorf("break-even bytes %d exceed 2*OPT+slack (%d)", res.WANBytes, 2*res.OptimalBytes+slack)
+	}
+}
+
+func toAccesses(in []workload.Access) []Access {
+	out := make([]Access, len(in))
+	for i, a := range in {
+		out[i] = Access{Partition: a.Partition, At: a.At, ResultVol: a.ResultVol}
+	}
+	return out
+}
+
+func TestCountThresholdAndVolumeFraction(t *testing.T) {
+	cfg := SimConfig{PartitionBytes: 1000}
+	trace := accessesAt(0, 10, 10, 10, 10, 10)
+	res, _ := Simulate(cfg, CountThreshold{N: 3}, trace)
+	if res.RemoteQueries != 3 || res.LocalQueries != 2 {
+		t.Errorf("count-threshold: %+v", res)
+	}
+	res, _ = Simulate(cfg, VolumeFraction{P: 0.02}, trace)
+	// 2% of 1000 = 20 bytes: crossed at the second access.
+	if res.RemoteQueries != 2 || res.LocalQueries != 3 {
+		t.Errorf("volume-fraction: %+v", res)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{}, Never{}, nil); err == nil {
+		t.Error("zero partition bytes must error")
+	}
+	if _, err := Simulate(SimConfig{PartitionBytes: 1}, nil, nil); err == nil {
+		t.Error("nil policy must error")
+	}
+}
+
+func TestSimulateWithNetworkMetersBytes(t *testing.T) {
+	net := simnet.NewNetwork()
+	net.AddSite("edge")
+	net.AddSite("dc")
+	if err := net.Connect("edge", "dc", simnet.Link{BytesPerSecond: 1e6, Latency: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimConfig{PartitionBytes: 500, Local: "edge", Remote: "dc", Net: net}
+	trace := accessesAt(0, 300, 300)
+	res, err := Simulate(cfg, BreakEven{}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Access 1 ships 300; access 2 ships 300 (shipped=600 >= 500) then
+	// replicates.
+	if res.WANBytes != 1100 {
+		t.Errorf("WANBytes = %d", res.WANBytes)
+	}
+	if got := net.TotalStats().Bytes; got != res.WANBytes {
+		t.Errorf("network metered %d, result says %d", got, res.WANBytes)
+	}
+	if res.MeanLatency == 0 {
+		t.Error("latency not measured")
+	}
+	if res.P95Latency < res.MeanLatency/2 {
+		t.Errorf("p95 %v suspiciously below mean %v", res.P95Latency, res.MeanLatency)
+	}
+}
+
+func TestFitDistAwareValidation(t *testing.T) {
+	if _, err := FitDistAware(nil, 100); err == nil {
+		t.Error("no training data must error")
+	}
+	if _, err := FitDistAware([]uint64{1}, 0); err == nil {
+		t.Error("zero partition bytes must error")
+	}
+}
+
+func TestFitDistAwareBimodal(t *testing.T) {
+	// Training: half the partitions ship ~40 bytes total, half ~10000.
+	// B = 1000. Buying early is right for hot partitions, never for
+	// cold; the best single threshold is small (buy almost immediately
+	// once any volume shows up beyond the cold level).
+	var training []uint64
+	for i := 0; i < 50; i++ {
+		training = append(training, 40)
+		training = append(training, 10000)
+	}
+	d, err := FitDistAware(training, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected cost at t: cold pay min(40, t+1000 if 40>=t)... the
+	// optimum must separate the modes: 40 < t <= 10000 region, and the
+	// scan picks a candidate = an observed volume. Candidates: 0
+	// (cost 1000+..), 40 (cold pay 40+1000? no: V=40 >= t=40 -> buys...
+	// cost 1040; hot 1040: mean 1040), 10000: cold pay 40, hot pay
+	// 11000 -> mean 5520. Never: mean (40+10000)/2 = 5020. Buy-at-0:
+	// 1000. t=40: 1040. So best is t=0: replicate immediately.
+	if d.Threshold() != 0 {
+		t.Errorf("threshold = %d, want 0 (immediate replication)", d.Threshold())
+	}
+}
+
+func TestFitDistAwareColdWorld(t *testing.T) {
+	// All partitions ship only 10 bytes: never replicate.
+	training := make([]uint64, 100)
+	for i := range training {
+		training[i] = 10
+	}
+	d, err := FitDistAware(training, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() <= 10 {
+		t.Errorf("threshold = %d, want above max volume (never buy)", d.Threshold())
+	}
+}
+
+func TestDistAwareBeatsBreakEvenOnAverage(t *testing.T) {
+	// E3 shape: the distribution-aware threshold, trained on the first
+	// half of the trace, must beat the break-even rule on total WAN
+	// bytes over the second half (the average case, Fujiwara/Iwama).
+	tr, err := workload.NewQueryTrace(workload.QueryTraceConfig{
+		Seed: 7, Partitions: 400, HotMeanAccesses: 80, ColdMeanAccesses: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := tr.Config.Start.Add(tr.Config.Horizon / 2)
+	trainW, evalW := tr.SplitAt(mid)
+	training := VolumesOf(TotalVolumes(toAccesses(trainW)))
+	d, err := FitDistAware(training, tr.Config.PartitionBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimConfig{PartitionBytes: tr.Config.PartitionBytes}
+	evalAccesses := toAccesses(evalW)
+	distRes, err := Simulate(cfg, d, evalAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beRes, err := Simulate(cfg, BreakEven{}, evalAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distRes.WANBytes > beRes.WANBytes {
+		t.Errorf("dist-aware (%d bytes, threshold %d) worse than break-even (%d bytes)",
+			distRes.WANBytes, d.Threshold(), beRes.WANBytes)
+	}
+}
+
+func TestOfflineOptimalBytes(t *testing.T) {
+	if got := OfflineOptimalBytes(500, 1000); got != 500 {
+		t.Errorf("cheap partition: %d", got)
+	}
+	if got := OfflineOptimalBytes(5000, 1000); got != 1000 {
+		t.Errorf("hot partition: %d", got)
+	}
+	if got := OfflineOptimalBytes(1000, 1000); got != 1000 {
+		t.Errorf("boundary: %d", got)
+	}
+}
+
+func TestTotalVolumes(t *testing.T) {
+	acc := []Access{
+		{Partition: 1, ResultVol: 10},
+		{Partition: 1, ResultVol: 20},
+		{Partition: 2, ResultVol: 5},
+	}
+	m := TotalVolumes(acc)
+	if m[1] != 30 || m[2] != 5 {
+		t.Errorf("TotalVolumes = %v", m)
+	}
+	vols := VolumesOf(m)
+	if len(vols) != 2 || vols[0] != 5 || vols[1] != 30 {
+		t.Errorf("VolumesOf = %v", vols)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	d := &DistAware{}
+	for _, p := range []Policy{Never{}, Always{}, BreakEven{}, CountThreshold{N: 1}, VolumeFraction{P: 0.5}, d} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}

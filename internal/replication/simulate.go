@@ -1,0 +1,153 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"megadata/internal/simnet"
+)
+
+// SimConfig configures a replication simulation between a local data store
+// (where queries arrive) and a remote one (where partitions live) —
+// the Figure 6 setup.
+type SimConfig struct {
+	// PartitionBytes is the replication cost of one partition.
+	PartitionBytes uint64
+	// Local and Remote are the two sites; the network must connect them.
+	Local, Remote simnet.SiteID
+	// Net meters transfers; nil runs unmetered (bytes only).
+	Net *simnet.Network
+}
+
+// SimResult aggregates one simulated run.
+type SimResult struct {
+	Policy string
+	// WANBytes is the total bytes moved across the network (results +
+	// replications).
+	WANBytes uint64
+	// ResultBytes and ReplicaBytes split WANBytes by cause.
+	ResultBytes  uint64
+	ReplicaBytes uint64
+	// Replications is the number of partitions replicated.
+	Replications int
+	// RemoteQueries and LocalQueries split the accesses by where they
+	// were served.
+	RemoteQueries int
+	LocalQueries  int
+	// MeanLatency and P95Latency are over all queries (local queries
+	// cost zero).
+	MeanLatency time.Duration
+	P95Latency  time.Duration
+	// OptimalBytes is the clairvoyant lower bound for the same trace.
+	OptimalBytes uint64
+}
+
+// CompetitiveRatio is WANBytes / OptimalBytes.
+func (r SimResult) CompetitiveRatio() float64 {
+	if r.OptimalBytes == 0 {
+		return 1
+	}
+	return float64(r.WANBytes) / float64(r.OptimalBytes)
+}
+
+// Simulate replays the access trace under the policy. Accesses must be
+// time-ordered (workload.QueryTrace produces them sorted).
+func Simulate(cfg SimConfig, policy Policy, accesses []Access) (SimResult, error) {
+	if cfg.PartitionBytes == 0 {
+		return SimResult{}, errors.New("replication: partition bytes must be positive")
+	}
+	if policy == nil {
+		return SimResult{}, errors.New("replication: nil policy")
+	}
+	type pstate struct {
+		replicated bool
+		accesses   int
+		shipped    uint64
+		totalVol   uint64
+	}
+	parts := make(map[int]*pstate)
+	res := SimResult{Policy: policy.Name()}
+	var latencies []time.Duration
+	for _, a := range accesses {
+		p, ok := parts[a.Partition]
+		if !ok {
+			p = &pstate{}
+			parts[a.Partition] = p
+		}
+		p.totalVol += a.ResultVol
+		if p.replicated {
+			res.LocalQueries++
+			latencies = append(latencies, 0)
+			continue
+		}
+		// Serve remotely: ship the result.
+		p.accesses++
+		p.shipped += a.ResultVol
+		res.RemoteQueries++
+		res.ResultBytes += a.ResultVol
+		if cfg.Net != nil {
+			d, err := cfg.Net.Transfer(cfg.Remote, cfg.Local, a.ResultVol)
+			if err != nil {
+				return SimResult{}, fmt.Errorf("replication: ship result: %w", err)
+			}
+			latencies = append(latencies, d)
+		} else {
+			latencies = append(latencies, 0)
+		}
+		// Consult the policy (Figure 6: predict future accesses,
+		// compare against threshold, start replication).
+		st := State{
+			Accesses:       p.accesses,
+			ShippedBytes:   p.shipped,
+			PartitionBytes: cfg.PartitionBytes,
+		}
+		if policy.ShouldReplicate(st) {
+			p.replicated = true
+			res.Replications++
+			res.ReplicaBytes += cfg.PartitionBytes
+			if cfg.Net != nil {
+				// Replication is asynchronous (Figure 6) and does
+				// not add to the query's latency.
+				if _, err := cfg.Net.Transfer(cfg.Remote, cfg.Local, cfg.PartitionBytes); err != nil {
+					return SimResult{}, fmt.Errorf("replication: replicate partition: %w", err)
+				}
+			}
+		}
+	}
+	res.WANBytes = res.ResultBytes + res.ReplicaBytes
+	for _, p := range parts {
+		res.OptimalBytes += OfflineOptimalBytes(p.totalVol, cfg.PartitionBytes)
+	}
+	if len(latencies) > 0 {
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatency = sum / time.Duration(len(latencies))
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P95Latency = latencies[(len(latencies)*95)/100]
+	}
+	return res, nil
+}
+
+// TotalVolumes computes each partition's total result volume in a trace —
+// the training signal for FitDistAware.
+func TotalVolumes(accesses []Access) map[int]uint64 {
+	out := make(map[int]uint64)
+	for _, a := range accesses {
+		out[a.Partition] += a.ResultVol
+	}
+	return out
+}
+
+// VolumesOf flattens a TotalVolumes map into a slice (training input).
+func VolumesOf(m map[int]uint64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,124 @@
+package sketch
+
+import (
+	"errors"
+	"hash/maphash"
+	"math"
+)
+
+// CountMin is a Count-Min sketch: a width×depth array of counters giving
+// point estimates with additive error eps*Total at probability 1-delta.
+// It backs approximate Query answers when a Flowtree has compressed the
+// exact node away, and serves as an approximate baseline in experiments.
+type CountMin struct {
+	width uint64
+	depth int
+	rows  [][]uint64
+	seeds []maphash.Seed
+	total uint64
+}
+
+// NewCountMin builds a sketch with the given dimensions.
+func NewCountMin(width uint64, depth int) (*CountMin, error) {
+	if width == 0 || depth <= 0 {
+		return nil, errors.New("sketch: count-min needs positive width and depth")
+	}
+	cm := &CountMin{
+		width: width,
+		depth: depth,
+		rows:  make([][]uint64, depth),
+		seeds: make([]maphash.Seed, depth),
+	}
+	for i := range cm.rows {
+		cm.rows[i] = make([]uint64, width)
+		cm.seeds[i] = maphash.MakeSeed()
+	}
+	return cm, nil
+}
+
+// NewCountMinWithError sizes the sketch for additive error eps*N with
+// failure probability delta (standard w=ceil(e/eps), d=ceil(ln(1/delta))).
+func NewCountMinWithError(eps, delta float64) (*CountMin, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return nil, errors.New("sketch: count-min eps and delta must be in (0,1)")
+	}
+	w := uint64(math.Ceil(math.E / eps))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMin(w, d)
+}
+
+func (cm *CountMin) index(row int, key []byte) uint64 {
+	var h maphash.Hash
+	h.SetSeed(cm.seeds[row])
+	_, _ = h.Write(key)
+	return h.Sum64() % cm.width
+}
+
+// Add increments key by weight.
+func (cm *CountMin) Add(key []byte, weight uint64) {
+	cm.total += weight
+	for i := 0; i < cm.depth; i++ {
+		cm.rows[i][cm.index(i, key)] += weight
+	}
+}
+
+// Estimate returns the (over-)estimate of key's total weight.
+func (cm *CountMin) Estimate(key []byte) uint64 {
+	est := uint64(math.MaxUint64)
+	for i := 0; i < cm.depth; i++ {
+		if v := cm.rows[i][cm.index(i, key)]; v < est {
+			est = v
+		}
+	}
+	if est == math.MaxUint64 {
+		return 0
+	}
+	return est
+}
+
+// Total returns the total weight added.
+func (cm *CountMin) Total() uint64 { return cm.total }
+
+// Merge folds another sketch into cm. Both sketches must share dimensions
+// and seeds; in practice merge partners are created by Clone.
+func (cm *CountMin) Merge(other *CountMin) error {
+	if other == nil {
+		return nil
+	}
+	if other.width != cm.width || other.depth != cm.depth {
+		return errors.New("sketch: merging count-min of different dimensions")
+	}
+	for i := range cm.seeds {
+		if cm.seeds[i] != other.seeds[i] {
+			return errors.New("sketch: merging count-min with different hash seeds")
+		}
+	}
+	for i := range cm.rows {
+		for j := range cm.rows[i] {
+			cm.rows[i][j] += other.rows[i][j]
+		}
+	}
+	cm.total += other.total
+	return nil
+}
+
+// Clone returns an empty sketch with the same dimensions and seeds, suitable
+// for building a mergeable sibling at another site.
+func (cm *CountMin) Clone() *CountMin {
+	out := &CountMin{
+		width: cm.width,
+		depth: cm.depth,
+		rows:  make([][]uint64, cm.depth),
+		seeds: make([]maphash.Seed, cm.depth),
+	}
+	copy(out.seeds, cm.seeds)
+	for i := range out.rows {
+		out.rows[i] = make([]uint64, cm.width)
+	}
+	return out
+}
+
+// MemoryBytes returns the approximate memory footprint of the counters.
+func (cm *CountMin) MemoryBytes() uint64 {
+	return cm.width * uint64(cm.depth) * 8
+}

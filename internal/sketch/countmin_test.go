@@ -1,0 +1,140 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"megadata/internal/flow"
+)
+
+func TestNewCountMinValidation(t *testing.T) {
+	if _, err := NewCountMin(0, 3); err == nil {
+		t.Error("zero width must error")
+	}
+	if _, err := NewCountMin(16, 0); err == nil {
+		t.Error("zero depth must error")
+	}
+	if _, err := NewCountMinWithError(0, 0.1); err == nil {
+		t.Error("eps=0 must error")
+	}
+	if _, err := NewCountMinWithError(0.1, 1); err == nil {
+		t.Error("delta=1 must error")
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm, err := NewCountMin(512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[uint32]uint64)
+	rng := rand.New(rand.NewSource(3))
+	var key [4]byte
+	for i := 0; i < 50000; i++ {
+		k := rng.Uint32() % 2000
+		binary.BigEndian.PutUint32(key[:], k)
+		cm.Add(key[:], 1)
+		truth[k]++
+	}
+	for k, actual := range truth {
+		binary.BigEndian.PutUint32(key[:], k)
+		if est := cm.Estimate(key[:]); est < actual {
+			t.Fatalf("count-min underestimated key %d: est=%d actual=%d", k, est, actual)
+		}
+	}
+	if cm.Total() != 50000 {
+		t.Errorf("Total = %d", cm.Total())
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// eps = e/width; with width=2048 over 100k adds the additive error
+	// per row pair is ~ e*N/w ≈ 133. Check the min-estimate stays well
+	// within a loose multiple of that.
+	cm, err := NewCountMinWithError(0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key [4]byte
+	rng := rand.New(rand.NewSource(4))
+	truth := make(map[uint32]uint64)
+	for i := 0; i < 100000; i++ {
+		k := rng.Uint32() % 5000
+		binary.BigEndian.PutUint32(key[:], k)
+		cm.Add(key[:], 1)
+		truth[k]++
+	}
+	bound := uint64(0.001*float64(cm.Total())) * 10 // generous
+	var violations int
+	for k, actual := range truth {
+		binary.BigEndian.PutUint32(key[:], k)
+		if est := cm.Estimate(key[:]); est > actual+bound {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Errorf("%d estimates exceeded 10x the eps bound", violations)
+	}
+}
+
+func TestCountMinEmptyEstimate(t *testing.T) {
+	cm, _ := NewCountMin(16, 2)
+	if est := cm.Estimate([]byte("nothing")); est != 0 {
+		t.Errorf("empty sketch estimate = %d", est)
+	}
+}
+
+func TestCountMinMergeRequiresSameSeeds(t *testing.T) {
+	a, _ := NewCountMin(16, 2)
+	b, _ := NewCountMin(16, 2)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging independently seeded sketches must error")
+	}
+	c, _ := NewCountMin(32, 2)
+	if err := a.Merge(c); err == nil {
+		t.Error("merging different widths must error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil: %v", err)
+	}
+}
+
+func TestCountMinCloneMerge(t *testing.T) {
+	a, _ := NewCountMin(256, 3)
+	b := a.Clone()
+	key1 := []byte("k1")
+	key2 := []byte("k2")
+	a.Add(key1, 10)
+	b.Add(key1, 5)
+	b.Add(key2, 7)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if est := a.Estimate(key1); est < 15 {
+		t.Errorf("Estimate(k1) = %d, want >= 15", est)
+	}
+	if est := a.Estimate(key2); est < 7 {
+		t.Errorf("Estimate(k2) = %d, want >= 7", est)
+	}
+	if a.Total() != 22 {
+		t.Errorf("Total = %d", a.Total())
+	}
+}
+
+func TestCountMinMemoryBytes(t *testing.T) {
+	cm, _ := NewCountMin(128, 4)
+	if got := cm.MemoryBytes(); got != 128*4*8 {
+		t.Errorf("MemoryBytes = %d", got)
+	}
+}
+
+func TestCountMinFlowKeys(t *testing.T) {
+	cm, _ := NewCountMin(1024, 4)
+	k := flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80105, 1234, 443)
+	buf := k.AppendBinary(nil)
+	cm.Add(buf, 42)
+	if est := cm.Estimate(buf); est < 42 {
+		t.Errorf("flow key estimate = %d", est)
+	}
+}

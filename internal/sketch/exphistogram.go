@@ -1,0 +1,114 @@
+package sketch
+
+import (
+	"errors"
+	"time"
+)
+
+// ExpHistogram is a Datar-Gionis-Indyk-Motwani exponential histogram: it
+// approximates the count of events in a sliding time window using
+// O(k·log N) buckets, with relative error at most 1/k. Data stores use it
+// for rate estimates over sliding windows ("events in the last minute")
+// where time bins would be too coarse and exact queues too large.
+type ExpHistogram struct {
+	window time.Duration
+	k      int // bucket-merge threshold: error <= 1/k
+	// buckets are kept newest first; each holds a power-of-two count.
+	buckets []ehBucket
+	total   uint64 // sum of bucket counts (maintenance aid)
+}
+
+type ehBucket struct {
+	count uint64
+	// last is the timestamp of the most recent event in the bucket.
+	last time.Time
+}
+
+// NewExpHistogram builds a sliding-window counter with the given window
+// and error parameter k (error <= 1/k; k >= 1).
+func NewExpHistogram(window time.Duration, k int) (*ExpHistogram, error) {
+	if window <= 0 {
+		return nil, errors.New("sketch: exp histogram window must be positive")
+	}
+	if k < 1 {
+		return nil, errors.New("sketch: exp histogram k must be >= 1")
+	}
+	return &ExpHistogram{window: window, k: k}, nil
+}
+
+// Add records one event at time t. Events must arrive in non-decreasing
+// time order.
+func (h *ExpHistogram) Add(t time.Time) {
+	h.expire(t)
+	h.buckets = append([]ehBucket{{count: 1, last: t}}, h.buckets...)
+	h.total++
+	// Merge: at most k+1 buckets of each size; merging two size-c
+	// buckets makes one of size 2c whose "last" is the newer of the two
+	// (the older timestamp is forgotten, which is where the bounded
+	// error comes from).
+	for size := uint64(1); ; size *= 2 {
+		idxs := make([]int, 0, h.k+2)
+		for i, b := range h.buckets {
+			if b.count == size {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) <= h.k+1 {
+			if len(idxs) == 0 && size > h.maxBucket() {
+				break
+			}
+			continue
+		}
+		// Merge the two oldest buckets of this size.
+		oldest := idxs[len(idxs)-1]
+		second := idxs[len(idxs)-2]
+		h.buckets[second].count = size * 2
+		// second is newer than oldest; keep its timestamp.
+		h.buckets = append(h.buckets[:oldest], h.buckets[oldest+1:]...)
+	}
+}
+
+func (h *ExpHistogram) maxBucket() uint64 {
+	var m uint64
+	for _, b := range h.buckets {
+		if b.count > m {
+			m = b.count
+		}
+	}
+	return m
+}
+
+// expire drops buckets entirely outside the window ending at now.
+func (h *ExpHistogram) expire(now time.Time) {
+	cutoff := now.Add(-h.window)
+	for len(h.buckets) > 0 {
+		last := h.buckets[len(h.buckets)-1]
+		if last.last.After(cutoff) {
+			return
+		}
+		h.total -= last.count
+		h.buckets = h.buckets[:len(h.buckets)-1]
+	}
+}
+
+// Estimate returns the approximate number of events in (now-window, now].
+// The oldest surviving bucket straddles the window boundary, so half its
+// count is charged — the standard DGIM estimate.
+func (h *ExpHistogram) Estimate(now time.Time) uint64 {
+	h.expire(now)
+	if len(h.buckets) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, b := range h.buckets[:len(h.buckets)-1] {
+		sum += b.count
+	}
+	oldest := h.buckets[len(h.buckets)-1]
+	return sum + (oldest.count+1)/2
+}
+
+// Buckets returns the current bucket count (memory proxy).
+func (h *ExpHistogram) Buckets() int { return len(h.buckets) }
+
+// Window returns the configured sliding window.
+func (h *ExpHistogram) Window() time.Duration { return h.window }

@@ -1,0 +1,104 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewExpHistogramValidation(t *testing.T) {
+	if _, err := NewExpHistogram(0, 2); err == nil {
+		t.Error("zero window must error")
+	}
+	if _, err := NewExpHistogram(time.Minute, 0); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+func TestExpHistogramExactWhenSmall(t *testing.T) {
+	h, _ := NewExpHistogram(time.Minute, 4)
+	now := t0
+	for i := 0; i < 5; i++ {
+		now = now.Add(time.Second)
+		h.Add(now)
+	}
+	got := h.Estimate(now)
+	// With few events, buckets are all size 1 except possibly merges;
+	// error bound is 1/k = 25%, but for 5 events it should be 4..5.
+	if got < 4 || got > 5 {
+		t.Errorf("Estimate = %d, want about 5", got)
+	}
+}
+
+func TestExpHistogramSlidesWindow(t *testing.T) {
+	h, _ := NewExpHistogram(time.Minute, 4)
+	now := t0
+	for i := 0; i < 100; i++ {
+		now = now.Add(time.Second)
+		h.Add(now)
+	}
+	// All events are within the last 100s; the window is 60s, so about
+	// 60 remain.
+	got := float64(h.Estimate(now))
+	if math.Abs(got-60) > 20 {
+		t.Errorf("Estimate = %v, want about 60", got)
+	}
+	// After a long quiet period everything expires.
+	if got := h.Estimate(now.Add(time.Hour)); got != 0 {
+		t.Errorf("Estimate after expiry = %d", got)
+	}
+}
+
+func TestExpHistogramErrorBound(t *testing.T) {
+	// Uniform arrivals: estimate within ~1/k + boundary slack of truth.
+	for _, k := range []int{2, 8} {
+		h, _ := NewExpHistogram(10*time.Second, k)
+		now := t0
+		for i := 0; i < 10000; i++ {
+			now = now.Add(time.Millisecond)
+			h.Add(now)
+		}
+		truth := 10000.0 // all 10s of events are inside the 10s window
+		got := float64(h.Estimate(now))
+		relErr := math.Abs(got-truth) / truth
+		bound := 1.0/float64(k) + 0.05
+		if relErr > bound {
+			t.Errorf("k=%d: relative error %.3f exceeds %.3f (est %v)", k, relErr, bound, got)
+		}
+	}
+}
+
+func TestExpHistogramLogarithmicBuckets(t *testing.T) {
+	h, _ := NewExpHistogram(time.Hour, 2)
+	now := t0
+	n := 1 << 14
+	for i := 0; i < n; i++ {
+		now = now.Add(time.Millisecond)
+		h.Add(now)
+	}
+	// O(k log n) buckets: for k=2, n=16384 expect well under 100.
+	if h.Buckets() > 100 {
+		t.Errorf("buckets = %d for n=%d", h.Buckets(), n)
+	}
+	if h.Window() != time.Hour {
+		t.Errorf("Window = %v", h.Window())
+	}
+}
+
+func TestExpHistogramBurstThenQuiet(t *testing.T) {
+	h, _ := NewExpHistogram(time.Minute, 4)
+	now := t0
+	// Burst of 1000 events in one second.
+	for i := 0; i < 1000; i++ {
+		now = now.Add(time.Millisecond)
+		h.Add(now)
+	}
+	est := float64(h.Estimate(now))
+	if math.Abs(est-1000) > 300 {
+		t.Errorf("burst estimate = %v", est)
+	}
+	// 61 seconds later the burst has left the window.
+	if got := h.Estimate(now.Add(61 * time.Second)); got != 0 {
+		t.Errorf("post-burst estimate = %d", got)
+	}
+}

@@ -1,0 +1,172 @@
+package sketch
+
+import (
+	"errors"
+	"sort"
+
+	"megadata/internal/flow"
+)
+
+// PrefixCount is one hierarchical heavy hitter: an address prefix and its
+// (discounted) weight.
+type PrefixCount struct {
+	Addr flow.IPv4
+	Bits uint8
+	// Count is the total weight falling under the prefix.
+	Count uint64
+	// Discounted is the weight after subtracting descendant HHHs, the
+	// quantity compared against the threshold.
+	Discounted uint64
+}
+
+// HHHTrie is an exact one-dimensional hierarchical heavy-hitter structure
+// over IPv4 addresses: a binary trie with per-node weights, aligned to a
+// configurable step in prefix length. It is the exact baseline against which
+// Flowtree's approximate HHH operator is evaluated (experiment E4), and also
+// the "HHH" aggregator box of Figure 4.
+type HHHTrie struct {
+	step  uint8
+	total uint64
+	root  *trieNode
+	nodes int
+}
+
+type trieNode struct {
+	weight   uint64 // weight of items ending exactly here
+	subtotal uint64 // weight of items at or below
+	children map[byte]*trieNode
+}
+
+// NewHHHTrie builds a trie that materializes prefix levels every step bits
+// (step must divide 32).
+func NewHHHTrie(step uint8) (*HHHTrie, error) {
+	if step == 0 || 32%step != 0 {
+		return nil, errors.New("sketch: hhh trie step must divide 32")
+	}
+	return &HHHTrie{step: step, root: newTrieNode(), nodes: 1}, nil
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{children: make(map[byte]*trieNode)}
+}
+
+// Add records weight for the address.
+func (t *HHHTrie) Add(addr flow.IPv4, weight uint64) {
+	t.total += weight
+	node := t.root
+	node.subtotal += weight
+	for bits := t.step; bits <= 32; bits += t.step {
+		label := byte(uint32(addr) >> (32 - bits) & ((1 << t.step) - 1))
+		child, ok := node.children[label]
+		if !ok {
+			child = newTrieNode()
+			node.children[label] = child
+			t.nodes++
+		}
+		child.subtotal += weight
+		node = child
+		if bits == 32 {
+			break
+		}
+	}
+	node.weight += weight
+}
+
+// Total returns the total weight.
+func (t *HHHTrie) Total() uint64 { return t.total }
+
+// Nodes returns the number of trie nodes (memory proxy).
+func (t *HHHTrie) Nodes() int { return t.nodes }
+
+// CountPrefix returns the exact weight under addr/bits (bits must be a
+// multiple of step).
+func (t *HHHTrie) CountPrefix(addr flow.IPv4, bits uint8) (uint64, error) {
+	if bits%t.step != 0 || bits > 32 {
+		return 0, errors.New("sketch: prefix length not aligned to trie step")
+	}
+	node := t.root
+	for b := t.step; b <= bits; b += t.step {
+		label := byte(uint32(addr) >> (32 - b) & ((1 << t.step) - 1))
+		child, ok := node.children[label]
+		if !ok {
+			return 0, nil
+		}
+		node = child
+	}
+	return node.subtotal, nil
+}
+
+// HeavyHitters computes the exact hierarchical heavy hitters at threshold
+// phi*Total using the standard discounted bottom-up definition: a prefix is
+// an HHH when its weight, after subtracting the weight of descendant HHHs,
+// is at least the threshold.
+func (t *HHHTrie) HeavyHitters(phi float64) []PrefixCount {
+	threshold := uint64(phi * float64(t.total))
+	if threshold == 0 {
+		threshold = 1
+	}
+	var out []PrefixCount
+	t.hhh(t.root, 0, 0, threshold, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bits != out[j].Bits {
+			return out[i].Bits > out[j].Bits
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// hhh returns the weight under node already claimed by descendant HHHs.
+func (t *HHHTrie) hhh(node *trieNode, addr uint32, bits uint8, threshold uint64, out *[]PrefixCount) uint64 {
+	var claimed uint64
+	if bits < 32 {
+		keys := make([]byte, 0, len(node.children))
+		for label := range node.children {
+			keys = append(keys, label)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, label := range keys {
+			child := node.children[label]
+			childAddr := addr | uint32(label)<<(32-bits-t.step)
+			claimed += t.hhh(child, childAddr, bits+t.step, threshold, out)
+		}
+	}
+	discounted := node.subtotal - claimed
+	if discounted >= threshold {
+		*out = append(*out, PrefixCount{
+			Addr:       flow.IPv4(addr),
+			Bits:       bits,
+			Count:      node.subtotal,
+			Discounted: discounted,
+		})
+		return node.subtotal
+	}
+	return claimed
+}
+
+// Merge folds another trie (same step) into t.
+func (t *HHHTrie) Merge(other *HHHTrie) error {
+	if other == nil {
+		return nil
+	}
+	if other.step != t.step {
+		return errors.New("sketch: merging hhh tries with different steps")
+	}
+	t.total += other.total
+	t.mergeNode(t.root, other.root)
+	return nil
+}
+
+func (t *HHHTrie) mergeNode(dst, src *trieNode) {
+	dst.weight += src.weight
+	dst.subtotal += src.subtotal
+	for label, sc := range src.children {
+		dc, ok := dst.children[label]
+		if !ok {
+			dc = newTrieNode()
+			dst.children[label] = dc
+			t.nodes++
+		}
+		t.mergeNode(dc, sc)
+	}
+}

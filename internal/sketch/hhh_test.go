@@ -1,0 +1,200 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"megadata/internal/flow"
+)
+
+func ip(t *testing.T, s string) flow.IPv4 {
+	t.Helper()
+	v, err := flow.ParseIPv4(s)
+	if err != nil {
+		t.Fatalf("ParseIPv4(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestNewHHHTrieValidation(t *testing.T) {
+	if _, err := NewHHHTrie(0); err == nil {
+		t.Error("step 0 must error")
+	}
+	if _, err := NewHHHTrie(5); err == nil {
+		t.Error("step 5 must error (does not divide 32)")
+	}
+	for _, s := range []uint8{1, 2, 4, 8, 16, 32} {
+		if _, err := NewHHHTrie(s); err != nil {
+			t.Errorf("step %d: %v", s, err)
+		}
+	}
+}
+
+func TestHHHTrieCountPrefix(t *testing.T) {
+	tr, _ := NewHHHTrie(8)
+	tr.Add(ip(t, "10.1.1.1"), 100)
+	tr.Add(ip(t, "10.1.2.2"), 50)
+	tr.Add(ip(t, "10.2.0.1"), 25)
+	tr.Add(ip(t, "11.0.0.1"), 10)
+
+	tests := []struct {
+		prefix string
+		bits   uint8
+		want   uint64
+	}{
+		{prefix: "10.0.0.0", bits: 8, want: 175},
+		{prefix: "10.1.0.0", bits: 16, want: 150},
+		{prefix: "10.1.1.0", bits: 24, want: 100},
+		{prefix: "10.1.1.1", bits: 32, want: 100},
+		{prefix: "11.0.0.0", bits: 8, want: 10},
+		{prefix: "12.0.0.0", bits: 8, want: 0},
+		{prefix: "0.0.0.0", bits: 0, want: 185},
+	}
+	for _, tt := range tests {
+		got, err := tr.CountPrefix(ip(t, tt.prefix), tt.bits)
+		if err != nil {
+			t.Errorf("CountPrefix(%s/%d): %v", tt.prefix, tt.bits, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("CountPrefix(%s/%d) = %d, want %d", tt.prefix, tt.bits, got, tt.want)
+		}
+	}
+	if _, err := tr.CountPrefix(ip(t, "10.0.0.0"), 12); err == nil {
+		t.Error("misaligned prefix must error")
+	}
+}
+
+func TestHHHTrieHeavyHittersDiscounted(t *testing.T) {
+	tr, _ := NewHHHTrie(8)
+	// One dominant /32 inside 10.1.1.0/24 plus diffuse weight across
+	// 10.0.0.0/8.
+	tr.Add(ip(t, "10.1.1.1"), 500)
+	for i := 0; i < 100; i++ {
+		tr.Add(flow.IPv4(0x0A000000|uint32(i*7919%65536)), 5)
+	}
+	// total = 1000; threshold 30% = 300.
+	hhs := tr.HeavyHitters(0.3)
+	// The /32 (500) qualifies. Its ancestors only keep 500 discounted
+	// weight... 10.0.0.0/8 has subtotal 1000, minus claimed 500 = 500,
+	// which also qualifies. The root has 1000-... depends on claims.
+	foundExact := false
+	for _, h := range hhs {
+		if h.Bits == 32 && h.Addr == ip(t, "10.1.1.1") {
+			foundExact = true
+			if h.Discounted != 500 {
+				t.Errorf("exact HHH discounted = %d", h.Discounted)
+			}
+		}
+	}
+	if !foundExact {
+		t.Errorf("dominant /32 missing from HHH set: %+v", hhs)
+	}
+	// Sum of discounted weights of all HHHs can never exceed total.
+	var sum uint64
+	for _, h := range hhs {
+		sum += h.Discounted
+	}
+	if sum > tr.Total() {
+		t.Errorf("discounted sum %d exceeds total %d", sum, tr.Total())
+	}
+}
+
+func TestHHHTrieHeavyHittersDiffuse(t *testing.T) {
+	// Weight spread evenly over one /24: no single /32 qualifies at 10%,
+	// but the /24 must.
+	tr, _ := NewHHHTrie(8)
+	for i := 0; i < 256; i++ {
+		tr.Add(flow.IPv4(0xC0A80100|uint32(i)), 1)
+	}
+	hhs := tr.HeavyHitters(0.10)
+	for _, h := range hhs {
+		if h.Bits == 32 {
+			t.Errorf("no /32 should qualify, got %v/%d", h.Addr, h.Bits)
+		}
+	}
+	found24 := false
+	for _, h := range hhs {
+		if h.Bits == 24 && h.Addr == ip(t, "192.168.1.0") {
+			found24 = true
+			if h.Discounted != 256 {
+				t.Errorf("/24 discounted = %d, want 256", h.Discounted)
+			}
+		}
+	}
+	if !found24 {
+		t.Errorf("diffuse /24 missing: %+v", hhs)
+	}
+}
+
+func TestHHHTrieMerge(t *testing.T) {
+	a, _ := NewHHHTrie(8)
+	b, _ := NewHHHTrie(8)
+	a.Add(ip(t, "10.0.0.1"), 10)
+	b.Add(ip(t, "10.0.0.1"), 15)
+	b.Add(ip(t, "10.0.0.2"), 5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 30 {
+		t.Errorf("merged Total = %d", a.Total())
+	}
+	got, _ := a.CountPrefix(ip(t, "10.0.0.1"), 32)
+	if got != 25 {
+		t.Errorf("merged /32 count = %d", got)
+	}
+	got, _ = a.CountPrefix(ip(t, "10.0.0.0"), 24)
+	if got != 30 {
+		t.Errorf("merged /24 count = %d", got)
+	}
+	c, _ := NewHHHTrie(16)
+	if err := a.Merge(c); err == nil {
+		t.Error("merging different steps must error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil: %v", err)
+	}
+}
+
+func TestHHHTrieMergeEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, _ := NewHHHTrie(8)
+	b, _ := NewHHHTrie(8)
+	u, _ := NewHHHTrie(8)
+	for i := 0; i < 2000; i++ {
+		addr := flow.IPv4(rng.Uint32() & 0x0FFF00FF) // cluster prefixes
+		w := uint64(rng.Intn(100) + 1)
+		if i%2 == 0 {
+			a.Add(addr, w)
+		} else {
+			b.Add(addr, w)
+		}
+		u.Add(addr, w)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ah := a.HeavyHitters(0.01)
+	uh := u.HeavyHitters(0.01)
+	if len(ah) != len(uh) {
+		t.Fatalf("merged HHH set size %d != union %d", len(ah), len(uh))
+	}
+	for i := range ah {
+		if ah[i] != uh[i] {
+			t.Errorf("HHH[%d]: merged %+v != union %+v", i, ah[i], uh[i])
+		}
+	}
+}
+
+func TestHHHTrieNodesGrow(t *testing.T) {
+	tr, _ := NewHHHTrie(8)
+	before := tr.Nodes()
+	tr.Add(ip(t, "1.2.3.4"), 1)
+	if tr.Nodes() != before+4 {
+		t.Errorf("adding one /32 should create 4 nodes, got %d new", tr.Nodes()-before)
+	}
+	tr.Add(ip(t, "1.2.3.5"), 1) // shares 3 levels
+	if tr.Nodes() != before+5 {
+		t.Errorf("sibling /32 should add 1 node, total new = %d", tr.Nodes()-before)
+	}
+}

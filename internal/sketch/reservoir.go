@@ -1,0 +1,155 @@
+package sketch
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Sample is one element retained by a Reservoir: a timestamped value.
+type Sample struct {
+	At    time.Time
+	Value float64
+}
+
+// Reservoir is Vitter's algorithm-R reservoir sample over a stream of
+// timestamped values. It is the simplest "computing primitive" in the
+// paper's sense (the Section V-B toy example): it answers range queries,
+// two reservoirs can be combined, and the effective sampling rate adjusts
+// itself as the stream grows.
+type Reservoir struct {
+	cap   int
+	seen  uint64
+	items []Sample
+	rng   *rand.Rand
+}
+
+// NewReservoir builds a reservoir holding at most capacity samples, using
+// seed for the internal PRNG (deterministic across runs for a fixed seed).
+func NewReservoir(capacity int, seed int64) (*Reservoir, error) {
+	if capacity <= 0 {
+		return nil, errors.New("sketch: reservoir capacity must be positive")
+	}
+	return &Reservoir{
+		cap:   capacity,
+		items: make([]Sample, 0, capacity),
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(at time.Time, v float64) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, Sample{At: at, Value: v})
+		return
+	}
+	// Replace a random element with probability cap/seen.
+	j := r.rng.Int63n(int64(r.seen))
+	if j < int64(r.cap) {
+		r.items[j] = Sample{At: at, Value: v}
+	}
+}
+
+// Seen returns the number of observations offered so far.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Len returns the number of samples currently retained.
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Rate returns the effective sampling rate (retained / seen), 1 when the
+// stream still fits.
+func (r *Reservoir) Rate() float64 {
+	if r.seen == 0 {
+		return 1
+	}
+	if r.seen <= uint64(r.cap) {
+		return 1
+	}
+	return float64(r.cap) / float64(r.seen)
+}
+
+// Samples returns a copy of the retained samples sorted by time.
+func (r *Reservoir) Samples() []Sample {
+	out := make([]Sample, len(r.items))
+	copy(out, r.items)
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// Query returns the retained samples in [from, to) whose value exceeds
+// threshold — the query form used by the paper's toy example ("selecting
+// all data points in a given time frame that exceed a given value").
+func (r *Reservoir) Query(from, to time.Time, threshold float64) []Sample {
+	var out []Sample
+	for _, s := range r.items {
+		if !s.At.Before(from) && s.At.Before(to) && s.Value > threshold {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// EstimateCount extrapolates how many stream elements in [from, to) exceeded
+// threshold, scaling the retained matches by the inverse sampling rate.
+func (r *Reservoir) EstimateCount(from, to time.Time, threshold float64) float64 {
+	matches := len(r.Query(from, to, threshold))
+	rate := r.Rate()
+	if rate == 0 {
+		return 0
+	}
+	return float64(matches) / rate
+}
+
+// Merge combines two reservoirs into a statistically valid sample of the
+// union stream: each retained element is kept with probability proportional
+// to its origin stream's share of the combined stream.
+func (r *Reservoir) Merge(other *Reservoir) {
+	if other == nil || other.seen == 0 {
+		return
+	}
+	total := r.seen + other.seen
+	merged := make([]Sample, 0, r.cap)
+	// Weighted coin per slot: draw from r with probability seen_r/total.
+	ri, oi := 0, 0
+	rItems := r.items
+	oItems := other.items
+	for len(merged) < r.cap && (ri < len(rItems) || oi < len(oItems)) {
+		pickR := false
+		switch {
+		case ri >= len(rItems):
+			pickR = false
+		case oi >= len(oItems):
+			pickR = true
+		default:
+			pickR = uint64(r.rng.Int63n(int64(total))) < r.seen
+		}
+		if pickR {
+			merged = append(merged, rItems[ri])
+			ri++
+		} else {
+			merged = append(merged, oItems[oi])
+			oi++
+		}
+	}
+	r.items = merged
+	r.seen = total
+}
+
+// Resize changes the capacity (adjustable aggregation granularity). When
+// shrinking, a uniform sub-sample is retained.
+func (r *Reservoir) Resize(capacity int) error {
+	if capacity <= 0 {
+		return errors.New("sketch: reservoir capacity must be positive")
+	}
+	if capacity < len(r.items) {
+		r.rng.Shuffle(len(r.items), func(i, j int) {
+			r.items[i], r.items[j] = r.items[j], r.items[i]
+		})
+		r.items = r.items[:capacity]
+	}
+	r.cap = capacity
+	return nil
+}

@@ -1,0 +1,164 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, 1); err == nil {
+		t.Error("zero capacity must error")
+	}
+	if _, err := NewReservoir(-5, 1); err == nil {
+		t.Error("negative capacity must error")
+	}
+}
+
+func TestReservoirUnderCapacityKeepsAll(t *testing.T) {
+	r, _ := NewReservoir(100, 1)
+	for i := 0; i < 50; i++ {
+		r.Add(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	if r.Len() != 50 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if r.Rate() != 1 {
+		t.Errorf("Rate = %v", r.Rate())
+	}
+	if r.Seen() != 50 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirBoundedAndRate(t *testing.T) {
+	r, _ := NewReservoir(64, 1)
+	n := 10000
+	for i := 0; i < n; i++ {
+		r.Add(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	if r.Len() != 64 {
+		t.Errorf("Len = %d, want 64", r.Len())
+	}
+	want := 64.0 / float64(n)
+	if math.Abs(r.Rate()-want) > 1e-12 {
+		t.Errorf("Rate = %v, want %v", r.Rate(), want)
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// With many trials, the mean of sampled values should track the
+	// stream mean. Run 30 reservoirs of capacity 50 over 0..999.
+	var grand float64
+	var count int
+	for seed := int64(0); seed < 30; seed++ {
+		r, _ := NewReservoir(50, seed)
+		for i := 0; i < 1000; i++ {
+			r.Add(t0, float64(i))
+		}
+		for _, s := range r.Samples() {
+			grand += s.Value
+			count++
+		}
+	}
+	mean := grand / float64(count)
+	if math.Abs(mean-499.5) > 40 {
+		t.Errorf("sample mean %v too far from stream mean 499.5", mean)
+	}
+}
+
+func TestReservoirQuery(t *testing.T) {
+	r, _ := NewReservoir(1000, 1)
+	for i := 0; i < 100; i++ {
+		r.Add(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	got := r.Query(t0.Add(10*time.Second), t0.Add(20*time.Second), 14)
+	// times 10..19, values > 14 => 15..19
+	if len(got) != 5 {
+		t.Fatalf("Query returned %d samples", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].At.Before(got[i-1].At) {
+			t.Error("Query results not time-sorted")
+		}
+	}
+}
+
+func TestReservoirEstimateCount(t *testing.T) {
+	r, _ := NewReservoir(200, 7)
+	n := 20000
+	for i := 0; i < n; i++ {
+		r.Add(t0, float64(i%100)) // 20% of values are >= 80
+	}
+	est := r.EstimateCount(t0.Add(-time.Hour), t0.Add(time.Hour), 79.5)
+	want := 0.2 * float64(n)
+	if math.Abs(est-want)/want > 0.35 {
+		t.Errorf("EstimateCount = %v, want about %v", est, want)
+	}
+}
+
+func TestReservoirMerge(t *testing.T) {
+	a, _ := NewReservoir(100, 1)
+	b, _ := NewReservoir(100, 2)
+	for i := 0; i < 5000; i++ {
+		a.Add(t0, 1) // stream A is all ones
+		b.Add(t0, 2) // stream B is all twos
+	}
+	a.Merge(b)
+	if a.Seen() != 10000 {
+		t.Errorf("merged Seen = %d", a.Seen())
+	}
+	if a.Len() != 100 {
+		t.Errorf("merged Len = %d", a.Len())
+	}
+	var ones, twos int
+	for _, s := range a.Samples() {
+		switch s.Value {
+		case 1:
+			ones++
+		case 2:
+			twos++
+		}
+	}
+	// Streams have equal weight; the mix should be roughly even.
+	if ones < 25 || twos < 25 {
+		t.Errorf("merge not balanced: %d ones, %d twos", ones, twos)
+	}
+}
+
+func TestReservoirMergeEmpty(t *testing.T) {
+	a, _ := NewReservoir(10, 1)
+	a.Add(t0, 1)
+	a.Merge(nil)
+	b, _ := NewReservoir(10, 2)
+	a.Merge(b)
+	if a.Len() != 1 || a.Seen() != 1 {
+		t.Errorf("merge with empty changed state: len=%d seen=%d", a.Len(), a.Seen())
+	}
+}
+
+func TestReservoirResize(t *testing.T) {
+	r, _ := NewReservoir(100, 1)
+	for i := 0; i < 100; i++ {
+		r.Add(t0, float64(i))
+	}
+	if err := r.Resize(10); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 10 {
+		t.Errorf("Len after shrink = %d", r.Len())
+	}
+	if err := r.Resize(0); err == nil {
+		t.Error("Resize(0) must error")
+	}
+	// Growing works and subsequent adds fill the new room.
+	if err := r.Resize(20); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Add(t0, 1)
+	}
+	if r.Len() != 20 {
+		t.Errorf("Len after grow+add = %d", r.Len())
+	}
+}

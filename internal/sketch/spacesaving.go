@@ -1,0 +1,197 @@
+package sketch
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+)
+
+// Counter is one tracked item in a Space-Saving summary: the estimated count
+// and the maximum possible overestimation error.
+type Counter struct {
+	Key   string
+	Count uint64
+	Err   uint64
+}
+
+// SpaceSaving implements the Metwally/Agrawal/El Abbadi Space-Saving
+// algorithm for heavy-hitter detection with k counters: the estimate of any
+// item is off by at most N/k where N is the total stream weight. This is the
+// non-hierarchical heavy-hitter aggregator box of Figure 4.
+type SpaceSaving struct {
+	k     int
+	total uint64
+	byKey map[string]*ssEntry
+	h     ssHeap
+}
+
+type ssEntry struct {
+	key   string
+	count uint64
+	err   uint64
+	idx   int
+}
+
+type ssHeap []*ssEntry
+
+func (h ssHeap) Len() int            { return len(h) }
+func (h ssHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h ssHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *ssHeap) Push(x interface{}) { e := x.(*ssEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *ssHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NewSpaceSaving builds a Space-Saving summary with k counters.
+func NewSpaceSaving(k int) (*SpaceSaving, error) {
+	if k <= 0 {
+		return nil, errors.New("sketch: space-saving needs at least one counter")
+	}
+	return &SpaceSaving{k: k, byKey: make(map[string]*ssEntry, k)}, nil
+}
+
+// Add increments key by weight.
+func (s *SpaceSaving) Add(key string, weight uint64) {
+	s.total += weight
+	if e, ok := s.byKey[key]; ok {
+		e.count += weight
+		heap.Fix(&s.h, e.idx)
+		return
+	}
+	if len(s.h) < s.k {
+		e := &ssEntry{key: key, count: weight}
+		s.byKey[key] = e
+		heap.Push(&s.h, e)
+		return
+	}
+	// Evict the minimum counter; its count becomes the new key's error.
+	min := s.h[0]
+	delete(s.byKey, min.key)
+	min.err = min.count
+	min.count += weight
+	min.key = key
+	s.byKey[key] = min
+	heap.Fix(&s.h, 0)
+}
+
+// Total returns the total stream weight observed.
+func (s *SpaceSaving) Total() uint64 { return s.total }
+
+// Estimate returns the estimated count of key and whether it is currently
+// tracked. Untracked keys have estimate at most Total()/k.
+func (s *SpaceSaving) Estimate(key string) (uint64, bool) {
+	if e, ok := s.byKey[key]; ok {
+		return e.count, true
+	}
+	return 0, false
+}
+
+// GuaranteedError returns the maximum overestimation of any reported count.
+func (s *SpaceSaving) GuaranteedError() uint64 {
+	if len(s.h) < s.k {
+		return 0
+	}
+	return s.h[0].count // min counter bounds the error
+}
+
+// TopK returns up to n counters with the highest estimated counts,
+// descending.
+func (s *SpaceSaving) TopK(n int) []Counter {
+	out := make([]Counter, 0, len(s.h))
+	for _, e := range s.h {
+		out = append(out, Counter{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// HeavyHitters returns the counters whose guaranteed count (estimate minus
+// error) is at least phi*Total.
+func (s *SpaceSaving) HeavyHitters(phi float64) []Counter {
+	threshold := uint64(phi * float64(s.total))
+	var out []Counter
+	for _, e := range s.h {
+		if e.count-e.err >= threshold && e.count > 0 {
+			out = append(out, Counter{Key: e.key, Count: e.count, Err: e.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Merge folds another Space-Saving summary into s (combinable summaries).
+// The merged summary keeps the k largest combined counters; error bounds are
+// combined conservatively.
+func (s *SpaceSaving) Merge(other *SpaceSaving) {
+	if other == nil {
+		return
+	}
+	// The error for keys absent from one summary is bounded by that
+	// summary's minimum counter.
+	sMin := s.GuaranteedError()
+	oMin := other.GuaranteedError()
+	combined := make(map[string]Counter, len(s.h)+len(other.h))
+	for _, e := range s.h {
+		c := combined[e.key]
+		c.Key = e.key
+		c.Count += e.count
+		c.Err += e.err
+		combined[e.key] = c
+	}
+	for _, e := range other.h {
+		c, ok := combined[e.key]
+		c.Key = e.key
+		c.Count += e.count
+		c.Err += e.err
+		if !ok {
+			// Key was untracked in s: it may have up to sMin weight there.
+			c.Err += sMin
+		}
+		combined[e.key] = c
+	}
+	for key, c := range combined {
+		if _, ok := other.byKey[key]; !ok {
+			c.Err += oMin
+			combined[key] = c
+		}
+	}
+	list := make([]Counter, 0, len(combined))
+	for _, c := range combined {
+		list = append(list, c)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Count != list[j].Count {
+			return list[i].Count > list[j].Count
+		}
+		return list[i].Key < list[j].Key
+	})
+	if len(list) > s.k {
+		list = list[:s.k]
+	}
+	s.byKey = make(map[string]*ssEntry, s.k)
+	s.h = s.h[:0]
+	for _, c := range list {
+		e := &ssEntry{key: c.Key, count: c.Count, err: c.Err}
+		s.byKey[c.Key] = e
+		heap.Push(&s.h, e)
+	}
+	s.total += other.total
+}

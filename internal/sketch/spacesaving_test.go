@@ -1,0 +1,163 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestNewSpaceSavingValidation(t *testing.T) {
+	if _, err := NewSpaceSaving(0); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+func TestSpaceSavingExactUnderCapacity(t *testing.T) {
+	s, _ := NewSpaceSaving(10)
+	s.Add("a", 5)
+	s.Add("b", 3)
+	s.Add("a", 2)
+	if got, ok := s.Estimate("a"); !ok || got != 7 {
+		t.Errorf("Estimate(a) = %d, %v", got, ok)
+	}
+	if got, ok := s.Estimate("b"); !ok || got != 3 {
+		t.Errorf("Estimate(b) = %d, %v", got, ok)
+	}
+	if _, ok := s.Estimate("zzz"); ok {
+		t.Error("untracked key reported as tracked")
+	}
+	if s.GuaranteedError() != 0 {
+		t.Errorf("error must be 0 under capacity, got %d", s.GuaranteedError())
+	}
+	if s.Total() != 10 {
+		t.Errorf("Total = %d", s.Total())
+	}
+}
+
+func TestSpaceSavingOverestimatesOnly(t *testing.T) {
+	s, _ := NewSpaceSaving(8)
+	truth := make(map[string]uint64)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		var key string
+		if rng.Float64() < 0.6 {
+			key = fmt.Sprintf("hot%d", rng.Intn(4))
+		} else {
+			key = fmt.Sprintf("cold%d", rng.Intn(500))
+		}
+		s.Add(key, 1)
+		truth[key]++
+	}
+	for key, actual := range truth {
+		est, ok := s.Estimate(key)
+		if !ok {
+			continue
+		}
+		if est < actual {
+			t.Errorf("space-saving must never underestimate tracked keys: %s est=%d actual=%d", key, est, actual)
+		}
+		if est > actual+s.GuaranteedError() {
+			t.Errorf("estimate exceeds error bound: %s est=%d actual=%d bound=%d", key, est, actual, s.GuaranteedError())
+		}
+	}
+	// Hot keys must all be tracked: each has ~12% of a 20k stream, far
+	// above N/k = 12.5%... actually N/k = 2500 = 12.5%; hot keys have
+	// ~3000 each, so all four should be present in the top-k.
+	top := s.TopK(4)
+	for _, c := range top {
+		if len(c.Key) < 3 || c.Key[:3] != "hot" {
+			t.Errorf("top-4 contains non-hot key %q", c.Key)
+		}
+	}
+}
+
+func TestSpaceSavingTopKOrdering(t *testing.T) {
+	s, _ := NewSpaceSaving(10)
+	s.Add("a", 1)
+	s.Add("b", 5)
+	s.Add("c", 3)
+	top := s.TopK(2)
+	if len(top) != 2 || top[0].Key != "b" || top[1].Key != "c" {
+		t.Errorf("TopK = %+v", top)
+	}
+	all := s.TopK(100)
+	if len(all) != 3 {
+		t.Errorf("TopK(100) = %d entries", len(all))
+	}
+}
+
+func TestSpaceSavingHeavyHitters(t *testing.T) {
+	s, _ := NewSpaceSaving(20)
+	s.Add("big", 900)
+	for i := 0; i < 10; i++ {
+		s.Add(fmt.Sprintf("small%d", i), 10)
+	}
+	hh := s.HeavyHitters(0.5)
+	if len(hh) != 1 || hh[0].Key != "big" {
+		t.Errorf("HeavyHitters(0.5) = %+v", hh)
+	}
+	hh = s.HeavyHitters(0.001)
+	if len(hh) != 11 {
+		t.Errorf("HeavyHitters(0.001) = %d entries", len(hh))
+	}
+}
+
+func TestSpaceSavingMerge(t *testing.T) {
+	a, _ := NewSpaceSaving(10)
+	b, _ := NewSpaceSaving(10)
+	a.Add("x", 100)
+	a.Add("y", 50)
+	b.Add("x", 30)
+	b.Add("z", 80)
+	a.Merge(b)
+	if a.Total() != 260 {
+		t.Errorf("merged Total = %d", a.Total())
+	}
+	if est, ok := a.Estimate("x"); !ok || est != 130 {
+		t.Errorf("Estimate(x) = %d, %v", est, ok)
+	}
+	if est, ok := a.Estimate("z"); !ok || est != 80 {
+		t.Errorf("Estimate(z) = %d, %v", est, ok)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestSpaceSavingMergeKeepsTopK(t *testing.T) {
+	a, _ := NewSpaceSaving(3)
+	b, _ := NewSpaceSaving(3)
+	a.Add("a", 10)
+	a.Add("b", 20)
+	a.Add("c", 30)
+	b.Add("d", 40)
+	b.Add("e", 50)
+	b.Add("f", 60)
+	a.Merge(b)
+	top := a.TopK(10)
+	if len(top) != 3 {
+		t.Fatalf("merged summary kept %d counters, want 3", len(top))
+	}
+	if top[0].Key != "f" || top[1].Key != "e" || top[2].Key != "d" {
+		t.Errorf("merged top = %+v", top)
+	}
+}
+
+func TestSpaceSavingEvictionErrTracking(t *testing.T) {
+	s, _ := NewSpaceSaving(2)
+	s.Add("a", 10)
+	s.Add("b", 5)
+	s.Add("c", 1) // evicts b (min=5): c gets count 6, err 5
+	est, ok := s.Estimate("c")
+	if !ok || est != 6 {
+		t.Errorf("Estimate(c) = %d, %v", est, ok)
+	}
+	top := s.TopK(2)
+	var c Counter
+	for _, e := range top {
+		if e.Key == "c" {
+			c = e
+		}
+	}
+	if c.Err != 5 {
+		t.Errorf("c.Err = %d, want 5", c.Err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package sketch implements the classical streaming summaries that Section V
+// of the paper lists as existing aggregation methods: simple statistics over
+// time bins (sum, mean, median, standard deviation), sampling, heavy-hitter
+// detection (Space-Saving), count-min sketches and hierarchical heavy
+// hitters. They serve both as aggregator implementations inside data stores
+// and as exact/approximate baselines in the experiments.
+package sketch
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrEmpty is returned by queries over summaries that have seen no data.
+var ErrEmpty = errors.New("sketch: empty summary")
+
+// BinStats accumulates sum/mean/stddev and an exact median over a single
+// time bin. It keeps all values for the median; TimeBins (below) bounds
+// total memory by limiting the number of bins and samples per bin.
+type BinStats struct {
+	Start  time.Time
+	count  uint64
+	sum    float64
+	sumSq  float64
+	min    float64
+	max    float64
+	values []float64 // retained for exact median; may be capped
+	capped bool
+	maxVal int
+}
+
+// NewBinStats returns a bin that retains at most maxValues raw values for
+// the median (0 means unlimited).
+func NewBinStats(start time.Time, maxValues int) *BinStats {
+	return &BinStats{Start: start, maxVal: maxValues, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one observation.
+func (b *BinStats) Add(v float64) {
+	b.count++
+	b.sum += v
+	b.sumSq += v * v
+	if v < b.min {
+		b.min = v
+	}
+	if v > b.max {
+		b.max = v
+	}
+	if b.maxVal == 0 || len(b.values) < b.maxVal {
+		b.values = append(b.values, v)
+	} else {
+		b.capped = true
+	}
+}
+
+// Count returns the number of observations.
+func (b *BinStats) Count() uint64 { return b.count }
+
+// Sum returns the sum of observations.
+func (b *BinStats) Sum() float64 { return b.sum }
+
+// Mean returns the arithmetic mean.
+func (b *BinStats) Mean() (float64, error) {
+	if b.count == 0 {
+		return 0, ErrEmpty
+	}
+	return b.sum / float64(b.count), nil
+}
+
+// Min returns the smallest observation.
+func (b *BinStats) Min() (float64, error) {
+	if b.count == 0 {
+		return 0, ErrEmpty
+	}
+	return b.min, nil
+}
+
+// Max returns the largest observation.
+func (b *BinStats) Max() (float64, error) {
+	if b.count == 0 {
+		return 0, ErrEmpty
+	}
+	return b.max, nil
+}
+
+// StdDev returns the population standard deviation.
+func (b *BinStats) StdDev() (float64, error) {
+	if b.count == 0 {
+		return 0, ErrEmpty
+	}
+	mean := b.sum / float64(b.count)
+	variance := b.sumSq/float64(b.count) - mean*mean
+	if variance < 0 { // numeric noise
+		variance = 0
+	}
+	return math.Sqrt(variance), nil
+}
+
+// Median returns the median of the retained values. When the bin was capped
+// the result is the median of the retained prefix (an approximation).
+func (b *BinStats) Median() (float64, error) {
+	if len(b.values) == 0 {
+		return 0, ErrEmpty
+	}
+	vals := make([]float64, len(b.values))
+	copy(vals, b.values)
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2], nil
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2, nil
+}
+
+// Capped reports whether the bin dropped raw values for the median.
+func (b *BinStats) Capped() bool { return b.capped }
+
+// Merge folds other into b (combinable summaries, paper property 2).
+// Median accuracy degrades gracefully: retained values are concatenated up
+// to the cap.
+func (b *BinStats) Merge(other *BinStats) {
+	if other == nil {
+		return
+	}
+	b.count += other.count
+	b.sum += other.sum
+	b.sumSq += other.sumSq
+	if other.count > 0 {
+		if other.min < b.min {
+			b.min = other.min
+		}
+		if other.max > b.max {
+			b.max = other.max
+		}
+	}
+	for _, v := range other.values {
+		if b.maxVal == 0 || len(b.values) < b.maxVal {
+			b.values = append(b.values, v)
+		} else {
+			b.capped = true
+			break
+		}
+	}
+	if other.Start.Before(b.Start) {
+		b.Start = other.Start
+	}
+}
+
+// TimeBins is a bounded sequence of BinStats at a fixed width, evicting the
+// oldest bin when the bin budget is exceeded (round-robin storage, §IV
+// strategy 2).
+type TimeBins struct {
+	Width   time.Duration
+	MaxBins int
+	perBin  int
+	bins    []*BinStats
+}
+
+// NewTimeBins builds a bounded time-binned statistics summary. width must be
+// positive; maxBins <= 0 means unlimited; perBinValues caps the raw values
+// each bin retains for its median.
+func NewTimeBins(width time.Duration, maxBins, perBinValues int) (*TimeBins, error) {
+	if width <= 0 {
+		return nil, errors.New("sketch: time bin width must be positive")
+	}
+	return &TimeBins{Width: width, MaxBins: maxBins, perBin: perBinValues}, nil
+}
+
+// binStart floors t to the bin grid.
+func (tb *TimeBins) binStart(t time.Time) time.Time {
+	return t.Truncate(tb.Width)
+}
+
+// Add records an observation at time t.
+func (tb *TimeBins) Add(t time.Time, v float64) {
+	start := tb.binStart(t)
+	// Bins arrive mostly in order; search from the back.
+	for i := len(tb.bins) - 1; i >= 0; i-- {
+		if tb.bins[i].Start.Equal(start) {
+			tb.bins[i].Add(v)
+			return
+		}
+		if tb.bins[i].Start.Before(start) {
+			break
+		}
+	}
+	nb := NewBinStats(start, tb.perBin)
+	nb.Add(v)
+	tb.bins = append(tb.bins, nb)
+	sort.Slice(tb.bins, func(i, j int) bool { return tb.bins[i].Start.Before(tb.bins[j].Start) })
+	if tb.MaxBins > 0 && len(tb.bins) > tb.MaxBins {
+		tb.bins = tb.bins[len(tb.bins)-tb.MaxBins:]
+	}
+}
+
+// Bins returns the retained bins in time order. The returned slice is a
+// copy; the bins themselves are shared.
+func (tb *TimeBins) Bins() []*BinStats {
+	out := make([]*BinStats, len(tb.bins))
+	copy(out, tb.bins)
+	return out
+}
+
+// Range returns the bins whose start falls in [from, to).
+func (tb *TimeBins) Range(from, to time.Time) []*BinStats {
+	var out []*BinStats
+	for _, b := range tb.bins {
+		if !b.Start.Before(from) && b.Start.Before(to) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Horizon returns the span of time currently covered, zero when empty.
+func (tb *TimeBins) Horizon() time.Duration {
+	if len(tb.bins) == 0 {
+		return 0
+	}
+	first := tb.bins[0].Start
+	last := tb.bins[len(tb.bins)-1].Start
+	return last.Sub(first) + tb.Width
+}
+
+// Merge folds another TimeBins (same width) into tb.
+func (tb *TimeBins) Merge(other *TimeBins) error {
+	if other == nil {
+		return nil
+	}
+	if other.Width != tb.Width {
+		return errors.New("sketch: merging time bins of different widths")
+	}
+	for _, ob := range other.bins {
+		merged := false
+		for _, b := range tb.bins {
+			if b.Start.Equal(ob.Start) {
+				b.Merge(ob)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			cp := NewBinStats(ob.Start, tb.perBin)
+			cp.Merge(ob)
+			tb.bins = append(tb.bins, cp)
+		}
+	}
+	sort.Slice(tb.bins, func(i, j int) bool { return tb.bins[i].Start.Before(tb.bins[j].Start) })
+	if tb.MaxBins > 0 && len(tb.bins) > tb.MaxBins {
+		tb.bins = tb.bins[len(tb.bins)-tb.MaxBins:]
+	}
+	return nil
+}
+
+// Coarsen re-bins the summary at a multiple of the current width
+// (adjustable aggregation granularity, paper property 3). factor must be a
+// positive integer.
+func (tb *TimeBins) Coarsen(factor int) (*TimeBins, error) {
+	if factor <= 0 {
+		return nil, errors.New("sketch: coarsen factor must be positive")
+	}
+	out, err := NewTimeBins(tb.Width*time.Duration(factor), tb.MaxBins, tb.perBin)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range tb.bins {
+		start := out.binStart(b.Start)
+		var target *BinStats
+		for _, ob := range out.bins {
+			if ob.Start.Equal(start) {
+				target = ob
+				break
+			}
+		}
+		if target == nil {
+			target = NewBinStats(start, out.perBin)
+			out.bins = append(out.bins, target)
+		}
+		target.Merge(b)
+		target.Start = start // Merge may pull Start earlier; keep the grid
+	}
+	sort.Slice(out.bins, func(i, j int) bool { return out.bins[i].Start.Before(out.bins[j].Start) })
+	if out.MaxBins > 0 && len(out.bins) > out.MaxBins {
+		out.bins = out.bins[len(out.bins)-out.MaxBins:]
+	}
+	return out, nil
+}

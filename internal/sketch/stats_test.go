@@ -1,0 +1,216 @@
+package sketch
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBinStatsBasics(t *testing.T) {
+	b := NewBinStats(t0, 0)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		b.Add(v)
+	}
+	if b.Count() != 5 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	if b.Sum() != 15 {
+		t.Errorf("Sum = %v", b.Sum())
+	}
+	mean, err := b.Mean()
+	if err != nil || mean != 3 {
+		t.Errorf("Mean = %v, %v", mean, err)
+	}
+	med, err := b.Median()
+	if err != nil || med != 3 {
+		t.Errorf("Median = %v, %v", med, err)
+	}
+	sd, err := b.StdDev()
+	if err != nil || math.Abs(sd-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("StdDev = %v, %v", sd, err)
+	}
+	min, err := b.Min()
+	if err != nil || min != 1 {
+		t.Errorf("Min = %v, %v", min, err)
+	}
+	max, err := b.Max()
+	if err != nil || max != 5 {
+		t.Errorf("Max = %v, %v", max, err)
+	}
+}
+
+func TestBinStatsEvenMedian(t *testing.T) {
+	b := NewBinStats(t0, 0)
+	for _, v := range []float64{1, 2, 3, 10} {
+		b.Add(v)
+	}
+	med, err := b.Median()
+	if err != nil || med != 2.5 {
+		t.Errorf("Median = %v, %v", med, err)
+	}
+}
+
+func TestBinStatsEmpty(t *testing.T) {
+	b := NewBinStats(t0, 0)
+	if _, err := b.Mean(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean on empty: %v", err)
+	}
+	if _, err := b.Median(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Median on empty: %v", err)
+	}
+	if _, err := b.StdDev(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("StdDev on empty: %v", err)
+	}
+	if _, err := b.Min(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Min on empty: %v", err)
+	}
+}
+
+func TestBinStatsCap(t *testing.T) {
+	b := NewBinStats(t0, 3)
+	for i := 0; i < 10; i++ {
+		b.Add(float64(i))
+	}
+	if !b.Capped() {
+		t.Error("expected cap to trigger")
+	}
+	if b.Count() != 10 {
+		t.Errorf("Count must reflect all adds, got %d", b.Count())
+	}
+	// Mean stays exact even when median values are capped.
+	mean, _ := b.Mean()
+	if mean != 4.5 {
+		t.Errorf("Mean = %v", mean)
+	}
+}
+
+func TestBinStatsMerge(t *testing.T) {
+	a := NewBinStats(t0, 0)
+	b := NewBinStats(t0.Add(-time.Minute), 0)
+	a.Add(1)
+	a.Add(3)
+	b.Add(5)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	mean, _ := a.Mean()
+	if mean != 3 {
+		t.Errorf("Mean = %v", mean)
+	}
+	if !a.Start.Equal(t0.Add(-time.Minute)) {
+		t.Errorf("Start must take the earlier bin, got %v", a.Start)
+	}
+	max, _ := a.Max()
+	if max != 5 {
+		t.Errorf("Max = %v", max)
+	}
+}
+
+func TestNewTimeBinsValidation(t *testing.T) {
+	if _, err := NewTimeBins(0, 10, 0); err == nil {
+		t.Error("zero width must error")
+	}
+	if _, err := NewTimeBins(-time.Second, 10, 0); err == nil {
+		t.Error("negative width must error")
+	}
+}
+
+func TestTimeBinsEviction(t *testing.T) {
+	tb, err := NewTimeBins(time.Minute, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		tb.Add(t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	bins := tb.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("want 3 bins, got %d", len(bins))
+	}
+	if !bins[0].Start.Equal(t0.Add(3 * time.Minute)) {
+		t.Errorf("oldest retained bin = %v", bins[0].Start)
+	}
+	if got := tb.Horizon(); got != 3*time.Minute {
+		t.Errorf("Horizon = %v", got)
+	}
+}
+
+func TestTimeBinsRange(t *testing.T) {
+	tb, _ := NewTimeBins(time.Minute, 0, 0)
+	for i := 0; i < 10; i++ {
+		tb.Add(t0.Add(time.Duration(i)*time.Minute), 1)
+	}
+	got := tb.Range(t0.Add(2*time.Minute), t0.Add(5*time.Minute))
+	if len(got) != 3 {
+		t.Fatalf("Range returned %d bins", len(got))
+	}
+}
+
+func TestTimeBinsOutOfOrderAdd(t *testing.T) {
+	tb, _ := NewTimeBins(time.Minute, 0, 0)
+	tb.Add(t0.Add(5*time.Minute), 1)
+	tb.Add(t0, 2)
+	tb.Add(t0.Add(5*time.Minute+30*time.Second), 3) // same bin as first
+	bins := tb.Bins()
+	if len(bins) != 2 {
+		t.Fatalf("want 2 bins, got %d", len(bins))
+	}
+	if bins[0].Start.After(bins[1].Start) {
+		t.Error("bins not sorted")
+	}
+	if bins[1].Count() != 2 {
+		t.Errorf("late bin count = %d", bins[1].Count())
+	}
+}
+
+func TestTimeBinsMerge(t *testing.T) {
+	a, _ := NewTimeBins(time.Minute, 0, 0)
+	b, _ := NewTimeBins(time.Minute, 0, 0)
+	a.Add(t0, 1)
+	b.Add(t0, 3)
+	b.Add(t0.Add(time.Minute), 5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	bins := a.Bins()
+	if len(bins) != 2 {
+		t.Fatalf("want 2 bins, got %d", len(bins))
+	}
+	mean, _ := bins[0].Mean()
+	if mean != 2 {
+		t.Errorf("merged bin mean = %v", mean)
+	}
+	c, _ := NewTimeBins(time.Hour, 0, 0)
+	if err := a.Merge(c); err == nil {
+		t.Error("merging different widths must error")
+	}
+}
+
+func TestTimeBinsCoarsen(t *testing.T) {
+	tb, _ := NewTimeBins(time.Minute, 0, 0)
+	for i := 0; i < 10; i++ {
+		tb.Add(t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	coarse, err := tb.Coarsen(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := coarse.Bins()
+	if len(bins) != 2 {
+		t.Fatalf("want 2 coarse bins, got %d", len(bins))
+	}
+	if bins[0].Count() != 5 || bins[1].Count() != 5 {
+		t.Errorf("coarse counts = %d, %d", bins[0].Count(), bins[1].Count())
+	}
+	sum := bins[0].Sum() + bins[1].Sum()
+	if sum != 45 {
+		t.Errorf("coarsen must preserve total sum, got %v", sum)
+	}
+	if _, err := tb.Coarsen(0); err == nil {
+		t.Error("factor 0 must error")
+	}
+}

@@ -1,0 +1,339 @@
+// Package storage implements the three data-store storage strategies of
+// Section IV of the paper:
+//
+//  1. storage with predefined expiration (TTLStore),
+//  2. storage using a round-robin mechanism that fully utilizes a fixed
+//     byte budget (RingStore), and
+//  3. round-robin plus hierarchical aggregation: older data is not expired
+//     but folded into coarser-granularity epochs with a smaller footprint
+//     (HierarchicalStore).
+//
+// All stores hold timestamped epochs of an arbitrary summary type T; the
+// hierarchical store additionally needs a merge function to coarsen evicted
+// epochs.
+package storage
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// Epoch is one stored unit: a summary covering [Start, Start+Width).
+type Epoch[T any] struct {
+	Start   time.Time
+	Width   time.Duration
+	Size    uint64
+	Payload T
+}
+
+// End returns the exclusive end of the epoch's interval.
+func (e Epoch[T]) End() time.Time { return e.Start.Add(e.Width) }
+
+// ErrBudget is returned when a single epoch exceeds the store's byte budget.
+var ErrBudget = errors.New("storage: epoch larger than store budget")
+
+// RingStore keeps epochs in arrival order within a fixed byte budget,
+// evicting the oldest epochs to make room (strategy 2). The retention
+// horizon therefore depends on the data rate.
+type RingStore[T any] struct {
+	budget  uint64
+	used    uint64
+	epochs  []Epoch[T]
+	evicted func(Epoch[T]) // optional eviction hook
+}
+
+// NewRingStore builds a round-robin store with a byte budget.
+func NewRingStore[T any](budgetBytes uint64) (*RingStore[T], error) {
+	if budgetBytes == 0 {
+		return nil, errors.New("storage: ring store budget must be positive")
+	}
+	return &RingStore[T]{budget: budgetBytes}, nil
+}
+
+// OnEvict registers a hook invoked for each evicted epoch (used by the
+// hierarchical store to cascade evictions into coarser levels).
+func (s *RingStore[T]) OnEvict(fn func(Epoch[T])) { s.evicted = fn }
+
+// Put stores an epoch, evicting the oldest epochs if needed.
+func (s *RingStore[T]) Put(e Epoch[T]) error {
+	if e.Size > s.budget {
+		return ErrBudget
+	}
+	for s.used+e.Size > s.budget && len(s.epochs) > 0 {
+		old := s.epochs[0]
+		s.epochs = s.epochs[1:]
+		s.used -= old.Size
+		if s.evicted != nil {
+			s.evicted(old)
+		}
+	}
+	s.epochs = append(s.epochs, e)
+	s.used += e.Size
+	return nil
+}
+
+// Range returns the stored epochs overlapping [from, to), oldest first.
+func (s *RingStore[T]) Range(from, to time.Time) []Epoch[T] {
+	var out []Epoch[T]
+	for _, e := range s.epochs {
+		if e.End().After(from) && e.Start.Before(to) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// All returns a copy of all stored epochs, oldest first.
+func (s *RingStore[T]) All() []Epoch[T] {
+	out := make([]Epoch[T], len(s.epochs))
+	copy(out, s.epochs)
+	return out
+}
+
+// Len returns the number of stored epochs.
+func (s *RingStore[T]) Len() int { return len(s.epochs) }
+
+// UsedBytes returns the bytes currently stored.
+func (s *RingStore[T]) UsedBytes() uint64 { return s.used }
+
+// Horizon returns the covered time span (oldest start to newest end).
+func (s *RingStore[T]) Horizon() time.Duration {
+	if len(s.epochs) == 0 {
+		return 0
+	}
+	return s.epochs[len(s.epochs)-1].End().Sub(s.epochs[0].Start)
+}
+
+// TTLStore keeps every epoch for a fixed duration (strategy 1): application
+// developers get a guaranteed retention window, but the byte footprint is
+// unbounded and depends on the data rate. Expiry is driven by the supplied
+// clock at Put and Expire calls.
+type TTLStore[T any] struct {
+	ttl    time.Duration
+	now    func() time.Time
+	epochs []Epoch[T]
+	used   uint64
+}
+
+// NewTTLStore builds an expiration-based store. now may be nil, defaulting
+// to time.Now.
+func NewTTLStore[T any](ttl time.Duration, now func() time.Time) (*TTLStore[T], error) {
+	if ttl <= 0 {
+		return nil, errors.New("storage: ttl must be positive")
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &TTLStore[T]{ttl: ttl, now: now}, nil
+}
+
+// Put stores an epoch and expires anything older than the TTL.
+func (s *TTLStore[T]) Put(e Epoch[T]) {
+	s.epochs = append(s.epochs, e)
+	s.used += e.Size
+	s.Expire()
+}
+
+// Expire drops epochs whose end is older than now-ttl and returns how many
+// were dropped.
+func (s *TTLStore[T]) Expire() int {
+	cutoff := s.now().Add(-s.ttl)
+	n := 0
+	for n < len(s.epochs) && s.epochs[n].End().Before(cutoff) {
+		s.used -= s.epochs[n].Size
+		n++
+	}
+	s.epochs = s.epochs[n:]
+	return n
+}
+
+// Range returns stored epochs overlapping [from, to).
+func (s *TTLStore[T]) Range(from, to time.Time) []Epoch[T] {
+	var out []Epoch[T]
+	for _, e := range s.epochs {
+		if e.End().After(from) && e.Start.Before(to) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live epochs.
+func (s *TTLStore[T]) Len() int { return len(s.epochs) }
+
+// UsedBytes returns the bytes currently stored.
+func (s *TTLStore[T]) UsedBytes() uint64 { return s.used }
+
+// Level configures one resolution level of a HierarchicalStore.
+type Level struct {
+	// Width is the epoch width at this level; each level must be an
+	// integer multiple of the previous one.
+	Width time.Duration
+	// BudgetBytes is the byte budget of this level's ring.
+	BudgetBytes uint64
+}
+
+// MergeFunc folds summary b into a, returning the merged summary and its new
+// approximate size. Folding loses detail; that is the point of strategy 3.
+type MergeFunc[T any] func(a, b T) (T, uint64)
+
+// HierarchicalStore implements strategy 3: a cascade of ring stores at
+// coarsening time resolutions. When a fine-grained epoch is evicted it is
+// merged into the coarser epoch covering it at the next level, rather than
+// being lost.
+type HierarchicalStore[T any] struct {
+	levels []Level
+	rings  []*RingStore[T]
+	merge  MergeFunc[T]
+	// pending accumulates partially built coarse epochs per level,
+	// keyed by their start time.
+	pending []map[time.Time]*Epoch[T]
+}
+
+// NewHierarchicalStore builds a cascade with the given levels (finest
+// first). merge folds an evicted epoch into its coarser container.
+func NewHierarchicalStore[T any](levels []Level, merge MergeFunc[T]) (*HierarchicalStore[T], error) {
+	if len(levels) == 0 {
+		return nil, errors.New("storage: hierarchical store needs at least one level")
+	}
+	if merge == nil {
+		return nil, errors.New("storage: hierarchical store needs a merge function")
+	}
+	for i, l := range levels {
+		if l.Width <= 0 || l.BudgetBytes == 0 {
+			return nil, errors.New("storage: level width and budget must be positive")
+		}
+		if i > 0 && (l.Width < levels[i-1].Width || l.Width%levels[i-1].Width != 0) {
+			return nil, errors.New("storage: level widths must be increasing integer multiples")
+		}
+	}
+	h := &HierarchicalStore[T]{
+		levels:  levels,
+		merge:   merge,
+		rings:   make([]*RingStore[T], len(levels)),
+		pending: make([]map[time.Time]*Epoch[T], len(levels)),
+	}
+	for i := range levels {
+		ring, err := NewRingStore[T](levels[i].BudgetBytes)
+		if err != nil {
+			return nil, err
+		}
+		h.rings[i] = ring
+		h.pending[i] = make(map[time.Time]*Epoch[T])
+		if i > 0 {
+			level := i // capture
+			h.rings[i-1].OnEvict(func(e Epoch[T]) { h.absorb(level, e) })
+		}
+	}
+	return h, nil
+}
+
+// Put stores a finest-granularity epoch.
+func (h *HierarchicalStore[T]) Put(e Epoch[T]) error {
+	return h.rings[0].Put(e)
+}
+
+// absorb folds an epoch evicted from level-1 into the pending coarse epoch
+// at level; complete coarse epochs move into level's ring.
+func (h *HierarchicalStore[T]) absorb(level int, e Epoch[T]) {
+	width := h.levels[level].Width
+	start := e.Start.Truncate(width)
+	p, ok := h.pending[level][start]
+	if !ok {
+		cp := e
+		cp.Start = start
+		cp.Width = width
+		h.pending[level][start] = &cp
+		h.flushPending(level, start)
+		return
+	}
+	merged, size := h.merge(p.Payload, e.Payload)
+	p.Payload = merged
+	p.Size = size
+	h.flushPending(level, start)
+}
+
+// flushPending moves pending coarse epochs strictly older than the newest
+// one into the ring (they can no longer receive evictions, because ring
+// eviction is in arrival order).
+func (h *HierarchicalStore[T]) flushPending(level int, newest time.Time) {
+	for start, p := range h.pending[level] {
+		if start.Before(newest) {
+			delete(h.pending[level], start)
+			_ = h.rings[level].Put(*p) // oversize coarse epochs are dropped
+		}
+	}
+}
+
+// Flush forces all pending coarse epochs into their rings (used before
+// querying or shutdown).
+func (h *HierarchicalStore[T]) Flush() {
+	for level := range h.pending {
+		starts := make([]time.Time, 0, len(h.pending[level]))
+		for s := range h.pending[level] {
+			starts = append(starts, s)
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+		for _, s := range starts {
+			p := h.pending[level][s]
+			delete(h.pending[level], s)
+			_ = h.rings[level].Put(*p)
+		}
+	}
+}
+
+// Range returns all epochs overlapping [from, to) across all levels,
+// finest level first within overlapping coverage.
+func (h *HierarchicalStore[T]) Range(from, to time.Time) []Epoch[T] {
+	var out []Epoch[T]
+	for _, r := range h.rings {
+		out = append(out, r.Range(from, to)...)
+	}
+	return out
+}
+
+// Horizon returns the total covered span from the oldest epoch in the
+// coarsest populated level to the newest epoch in the finest level.
+func (h *HierarchicalStore[T]) Horizon() time.Duration {
+	var oldest, newest time.Time
+	for _, r := range h.rings {
+		all := r.All()
+		if len(all) == 0 {
+			continue
+		}
+		if oldest.IsZero() || all[0].Start.Before(oldest) {
+			oldest = all[0].Start
+		}
+		if e := all[len(all)-1].End(); e.After(newest) {
+			newest = e
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return newest.Sub(oldest)
+}
+
+// UsedBytes returns the bytes stored across all levels.
+func (h *HierarchicalStore[T]) UsedBytes() uint64 {
+	var total uint64
+	for _, r := range h.rings {
+		total += r.UsedBytes()
+	}
+	for _, m := range h.pending {
+		for _, p := range m {
+			total += p.Size
+		}
+	}
+	return total
+}
+
+// LevelLens returns the number of epochs stored per level (diagnostics).
+func (h *HierarchicalStore[T]) LevelLens() []int {
+	out := make([]int, len(h.rings))
+	for i, r := range h.rings {
+		out[i] = r.Len()
+	}
+	return out
+}

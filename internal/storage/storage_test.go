@@ -1,0 +1,250 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func epochAt(i int, width time.Duration, size uint64, payload int) Epoch[int] {
+	return Epoch[int]{
+		Start:   t0.Add(time.Duration(i) * width),
+		Width:   width,
+		Size:    size,
+		Payload: payload,
+	}
+}
+
+func TestNewRingStoreValidation(t *testing.T) {
+	if _, err := NewRingStore[int](0); err == nil {
+		t.Error("zero budget must error")
+	}
+}
+
+func TestRingStoreEvictsOldest(t *testing.T) {
+	s, _ := NewRingStore[int](100)
+	var evicted []int
+	s.OnEvict(func(e Epoch[int]) { evicted = append(evicted, e.Payload) })
+	for i := 0; i < 5; i++ {
+		if err := s.Put(epochAt(i, time.Minute, 30, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// budget 100, each 30 -> holds 3; epochs 0 and 1 evicted.
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.UsedBytes() != 90 {
+		t.Errorf("UsedBytes = %d", s.UsedBytes())
+	}
+	if len(evicted) != 2 || evicted[0] != 0 || evicted[1] != 1 {
+		t.Errorf("evicted = %v", evicted)
+	}
+	all := s.All()
+	if all[0].Payload != 2 || all[2].Payload != 4 {
+		t.Errorf("retained payloads = %v", all)
+	}
+}
+
+func TestRingStoreOversizeEpoch(t *testing.T) {
+	s, _ := NewRingStore[int](10)
+	err := s.Put(epochAt(0, time.Minute, 11, 0))
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestRingStoreRange(t *testing.T) {
+	s, _ := NewRingStore[int](1000)
+	for i := 0; i < 10; i++ {
+		_ = s.Put(epochAt(i, time.Minute, 1, i))
+	}
+	got := s.Range(t0.Add(2*time.Minute), t0.Add(5*time.Minute))
+	if len(got) != 3 {
+		t.Fatalf("Range returned %d epochs", len(got))
+	}
+	if got[0].Payload != 2 || got[2].Payload != 4 {
+		t.Errorf("Range payloads = %v", got)
+	}
+	// Overlap semantics: a query window inside one epoch returns it.
+	got = s.Range(t0.Add(90*time.Second), t0.Add(100*time.Second))
+	if len(got) != 1 || got[0].Payload != 1 {
+		t.Errorf("sub-epoch Range = %v", got)
+	}
+}
+
+func TestRingStoreHorizonTracksRate(t *testing.T) {
+	// Same budget, doubled epoch size -> halved horizon. This is the §IV
+	// observation that retention depends on the data rate.
+	slow, _ := NewRingStore[int](100)
+	fast, _ := NewRingStore[int](100)
+	for i := 0; i < 50; i++ {
+		_ = slow.Put(epochAt(i, time.Minute, 10, i))
+		_ = fast.Put(epochAt(i, time.Minute, 20, i))
+	}
+	if slow.Horizon() != 10*time.Minute {
+		t.Errorf("slow horizon = %v", slow.Horizon())
+	}
+	if fast.Horizon() != 5*time.Minute {
+		t.Errorf("fast horizon = %v", fast.Horizon())
+	}
+}
+
+func TestNewTTLStoreValidation(t *testing.T) {
+	if _, err := NewTTLStore[int](0, nil); err == nil {
+		t.Error("zero ttl must error")
+	}
+}
+
+func TestTTLStoreExpiry(t *testing.T) {
+	now := t0
+	clock := func() time.Time { return now }
+	s, err := NewTTLStore[int](10*time.Minute, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Put(epochAt(i, time.Minute, 7, i))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Advance past the TTL of the first three epochs (epoch i ends at
+	// t0+(i+1)m; cutoff is now-10m).
+	now = t0.Add(14 * time.Minute)
+	dropped := s.Expire()
+	if dropped != 3 {
+		t.Errorf("dropped = %d, want 3", dropped)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len after expire = %d", s.Len())
+	}
+	if s.UsedBytes() != 14 {
+		t.Errorf("UsedBytes = %d", s.UsedBytes())
+	}
+	got := s.Range(t0, t0.Add(time.Hour))
+	if len(got) != 2 || got[0].Payload != 3 {
+		t.Errorf("Range = %v", got)
+	}
+}
+
+func TestTTLStoreGuaranteedWindow(t *testing.T) {
+	// Strategy 1 guarantee: nothing newer than the TTL is ever dropped,
+	// regardless of volume.
+	now := t0
+	s, _ := NewTTLStore[int](time.Hour, func() time.Time { return now })
+	for i := 0; i < 60; i++ {
+		now = t0.Add(time.Duration(i) * time.Minute)
+		s.Put(epochAt(i, time.Minute, 1<<20, i)) // 1 MiB per minute
+	}
+	if s.Len() != 60 {
+		t.Errorf("TTL store dropped data inside its window: len=%d", s.Len())
+	}
+}
+
+func mergeInts(a, b int) (int, uint64) { return a + b, 8 }
+
+func TestNewHierarchicalStoreValidation(t *testing.T) {
+	if _, err := NewHierarchicalStore[int](nil, mergeInts); err == nil {
+		t.Error("no levels must error")
+	}
+	if _, err := NewHierarchicalStore[int]([]Level{{Width: time.Minute, BudgetBytes: 10}}, nil); err == nil {
+		t.Error("nil merge must error")
+	}
+	bad := []Level{
+		{Width: time.Minute, BudgetBytes: 10},
+		{Width: 90 * time.Second, BudgetBytes: 10},
+	}
+	if _, err := NewHierarchicalStore[int](bad, mergeInts); err == nil {
+		t.Error("non-multiple widths must error")
+	}
+	if _, err := NewHierarchicalStore[int]([]Level{{Width: 0, BudgetBytes: 1}}, mergeInts); err == nil {
+		t.Error("zero width must error")
+	}
+}
+
+func TestHierarchicalStoreCascades(t *testing.T) {
+	levels := []Level{
+		{Width: time.Minute, BudgetBytes: 5 * 8},       // 5 fine epochs
+		{Width: 5 * time.Minute, BudgetBytes: 100 * 8}, // lots of coarse room
+	}
+	h, err := NewHierarchicalStore[int](levels, mergeInts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 fine epochs of payload 1, size 8 each. The fine ring holds 5;
+	// 15 are evicted and folded into 5-minute coarse epochs.
+	for i := 0; i < 20; i++ {
+		if err := h.Put(Epoch[int]{Start: t0.Add(time.Duration(i) * time.Minute), Width: time.Minute, Size: 8, Payload: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Flush()
+	lens := h.LevelLens()
+	if lens[0] != 5 {
+		t.Errorf("fine level len = %d", lens[0])
+	}
+	if lens[1] == 0 {
+		t.Fatal("coarse level is empty; cascade failed")
+	}
+	// Total payload across all epochs must equal 20 (nothing lost).
+	var sum int
+	for _, e := range h.Range(t0.Add(-time.Hour), t0.Add(time.Hour)) {
+		sum += e.Payload
+	}
+	if sum != 20 {
+		t.Errorf("total payload = %d, want 20 (hierarchical store must not lose weight)", sum)
+	}
+}
+
+func TestHierarchicalStoreHorizonBeatsRing(t *testing.T) {
+	// E6 shape check: with equal total budget, strategy 3 retains a far
+	// longer horizon than strategy 2.
+	ring, _ := NewRingStore[int](10 * 8)
+	levels := []Level{
+		{Width: time.Minute, BudgetBytes: 5 * 8},
+		{Width: 10 * time.Minute, BudgetBytes: 5 * 8},
+	}
+	h, _ := NewHierarchicalStore[int](levels, mergeInts)
+	for i := 0; i < 200; i++ {
+		e := Epoch[int]{Start: t0.Add(time.Duration(i) * time.Minute), Width: time.Minute, Size: 8, Payload: 1}
+		_ = ring.Put(e)
+		_ = h.Put(e)
+	}
+	h.Flush()
+	if h.Horizon() <= ring.Horizon() {
+		t.Errorf("hierarchical horizon %v must exceed ring horizon %v", h.Horizon(), ring.Horizon())
+	}
+	if h.UsedBytes() > 2*ring.UsedBytes() {
+		t.Errorf("hierarchical store uses %d bytes vs ring %d", h.UsedBytes(), ring.UsedBytes())
+	}
+}
+
+func TestHierarchicalStoreThreeLevels(t *testing.T) {
+	levels := []Level{
+		{Width: time.Minute, BudgetBytes: 3 * 8},
+		{Width: 5 * time.Minute, BudgetBytes: 3 * 8},
+		{Width: 30 * time.Minute, BudgetBytes: 100 * 8},
+	}
+	h, err := NewHierarchicalStore[int](levels, mergeInts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		_ = h.Put(Epoch[int]{Start: t0.Add(time.Duration(i) * time.Minute), Width: time.Minute, Size: 8, Payload: 1})
+	}
+	h.Flush()
+	var sum int
+	for _, e := range h.Range(t0.Add(-time.Hour), t0.Add(5*time.Hour)) {
+		sum += e.Payload
+	}
+	if sum != 120 {
+		t.Errorf("three-level cascade lost weight: %d/120", sum)
+	}
+	lens := h.LevelLens()
+	if lens[2] == 0 {
+		t.Error("coarsest level never populated")
+	}
+}

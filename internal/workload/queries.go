@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Access is one remote query against a partition: the time it occurs and
+// the result volume shipped if the partition is not locally replicated.
+// This is the unit of the "enterprise-level query trace" that Section VII
+// says the authors are evaluating their replication mechanism on.
+type Access struct {
+	Partition int
+	At        time.Time
+	ResultVol uint64
+}
+
+// QueryTraceConfig parameterizes the synthetic enterprise query trace.
+type QueryTraceConfig struct {
+	Seed int64
+	// Partitions is the number of data partitions.
+	Partitions int
+	// HotFraction of partitions receive most accesses (mixture model:
+	// "hot" partitions have many accesses and are worth replicating,
+	// "cold" ones are not).
+	HotFraction float64
+	// HotMeanAccesses / ColdMeanAccesses are the geometric-mean access
+	// counts per partition class over the trace.
+	HotMeanAccesses  float64
+	ColdMeanAccesses float64
+	// MeanResultBytes is the log-normal median result volume.
+	MeanResultBytes float64
+	// PartitionBytes is the size of replicating one partition.
+	PartitionBytes uint64
+	// Horizon is the trace duration.
+	Horizon time.Duration
+	// Start is the trace start time.
+	Start time.Time
+}
+
+func (c *QueryTraceConfig) setDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = 200
+	}
+	if c.HotFraction <= 0 || c.HotFraction >= 1 {
+		c.HotFraction = 0.2
+	}
+	if c.HotMeanAccesses <= 0 {
+		c.HotMeanAccesses = 60
+	}
+	if c.ColdMeanAccesses <= 0 {
+		c.ColdMeanAccesses = 2
+	}
+	if c.MeanResultBytes <= 0 {
+		c.MeanResultBytes = 64 << 10
+	}
+	if c.PartitionBytes == 0 {
+		c.PartitionBytes = 4 << 20
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 24 * time.Hour
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+}
+
+// QueryTrace is a generated access sequence plus the ground truth needed by
+// the replication experiments.
+type QueryTrace struct {
+	Config   QueryTraceConfig
+	Accesses []Access
+	// PerPartition[i] is the total number of accesses to partition i.
+	PerPartition []int
+	// Hot[i] reports whether partition i was drawn from the hot class.
+	Hot []bool
+}
+
+// NewQueryTrace generates a deterministic trace: each partition draws an
+// access count from its class (Poisson-ish via exponential rounding) and
+// spreads accesses over the horizon; result volumes are log-normal.
+func NewQueryTrace(cfg QueryTraceConfig) (*QueryTrace, error) {
+	cfg.setDefaults()
+	if cfg.HotMeanAccesses < cfg.ColdMeanAccesses {
+		return nil, errors.New("workload: hot partitions must be hotter than cold ones")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &QueryTrace{
+		Config:       cfg,
+		PerPartition: make([]int, cfg.Partitions),
+		Hot:          make([]bool, cfg.Partitions),
+	}
+	for p := 0; p < cfg.Partitions; p++ {
+		mean := cfg.ColdMeanAccesses
+		if rng.Float64() < cfg.HotFraction {
+			tr.Hot[p] = true
+			mean = cfg.HotMeanAccesses
+		}
+		// Exponentially distributed count around the class mean gives
+		// dispersion inside each class.
+		count := int(math.Round(rng.ExpFloat64() * mean))
+		tr.PerPartition[p] = count
+		for i := 0; i < count; i++ {
+			at := cfg.Start.Add(time.Duration(rng.Float64() * float64(cfg.Horizon)))
+			vol := uint64(math.Exp(rng.NormFloat64()*1.0 + math.Log(cfg.MeanResultBytes)))
+			if vol == 0 {
+				vol = 1
+			}
+			tr.Accesses = append(tr.Accesses, Access{Partition: p, At: at, ResultVol: vol})
+		}
+	}
+	sort.Slice(tr.Accesses, func(i, j int) bool { return tr.Accesses[i].At.Before(tr.Accesses[j].At) })
+	return tr, nil
+}
+
+// SplitAt partitions the trace into accesses before and at/after t —
+// used to learn the volume distribution on "older partitions" and evaluate
+// on later ones, as §VII proposes.
+func (tr *QueryTrace) SplitAt(t time.Time) (before, after []Access) {
+	i := sort.Search(len(tr.Accesses), func(i int) bool {
+		return !tr.Accesses[i].At.Before(t)
+	})
+	return tr.Accesses[:i], tr.Accesses[i:]
+}

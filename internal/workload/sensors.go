@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Reading is one sensor observation.
+type Reading struct {
+	Sensor string
+	At     time.Time
+	Value  float64
+}
+
+// SensorConfig parameterizes one simulated factory sensor channel.
+type SensorConfig struct {
+	// Name identifies the sensor ("line1/machine3/temp").
+	Name string
+	// Seed makes the stream deterministic.
+	Seed int64
+	// Base is the healthy operating level (e.g. 60 °C).
+	Base float64
+	// Noise is the standard deviation of per-reading Gaussian noise.
+	Noise float64
+	// Period and Amplitude add a production-cycle oscillation; Period 0
+	// disables it.
+	Period    time.Duration
+	Amplitude float64
+	// Drift is a per-hour linear drift modelling degrading mechanics
+	// (the predictive-maintenance signal).
+	Drift float64
+	// Interval is the sampling interval.
+	Interval time.Duration
+	// Start is the first reading's timestamp.
+	Start time.Time
+}
+
+// Sensor generates a factory sensor stream: base level + production-cycle
+// seasonality + degradation drift + noise, with optional injected faults.
+type Sensor struct {
+	cfg    SensorConfig
+	rng    *rand.Rand
+	i      int
+	faults []faultWindow
+}
+
+type faultWindow struct {
+	from, to time.Time
+	delta    float64
+}
+
+// NewSensor builds a deterministic sensor stream.
+func NewSensor(cfg SensorConfig) (*Sensor, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("workload: sensor needs a name")
+	}
+	if cfg.Interval <= 0 {
+		return nil, errors.New("workload: sensor interval must be positive")
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return &Sensor{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// InjectFault offsets readings by delta during [from, to). Faults stack.
+func (s *Sensor) InjectFault(from, to time.Time, delta float64) {
+	s.faults = append(s.faults, faultWindow{from: from, to: to, delta: delta})
+}
+
+// Next returns the next reading.
+func (s *Sensor) Next() Reading {
+	at := s.cfg.Start.Add(time.Duration(s.i) * s.cfg.Interval)
+	s.i++
+	v := s.cfg.Base + s.rng.NormFloat64()*s.cfg.Noise
+	if s.cfg.Period > 0 {
+		phase := float64(at.Sub(s.cfg.Start)) / float64(s.cfg.Period) * 2 * math.Pi
+		v += s.cfg.Amplitude * math.Sin(phase)
+	}
+	hours := at.Sub(s.cfg.Start).Hours()
+	v += s.cfg.Drift * hours
+	for _, f := range s.faults {
+		if !at.Before(f.from) && at.Before(f.to) {
+			v += f.delta
+		}
+	}
+	return Reading{Sensor: s.cfg.Name, At: at, Value: v}
+}
+
+// Readings returns the next n readings.
+func (s *Sensor) Readings(n int) []Reading {
+	out := make([]Reading, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Machine bundles the typical sensor channels of one factory machine.
+type Machine struct {
+	Name    string
+	Temp    *Sensor
+	Vibe    *Sensor
+	Output  *Sensor
+	sensors []*Sensor
+}
+
+// NewMachine builds a machine with temperature, vibration and output-rate
+// channels at the given interval. Degrading machines get a positive
+// temperature/vibration drift.
+func NewMachine(name string, seed int64, interval time.Duration, start time.Time, degrading bool) (*Machine, error) {
+	drift := 0.0
+	if degrading {
+		drift = 0.8 // per hour
+	}
+	temp, err := NewSensor(SensorConfig{
+		Name: name + "/temp", Seed: seed, Base: 60, Noise: 1.5,
+		Period: 10 * time.Minute, Amplitude: 3, Drift: drift,
+		Interval: interval, Start: start,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vibe, err := NewSensor(SensorConfig{
+		Name: name + "/vibe", Seed: seed + 1, Base: 0.2, Noise: 0.05,
+		Drift: drift / 20, Interval: interval, Start: start,
+	})
+	if err != nil {
+		return nil, err
+	}
+	output, err := NewSensor(SensorConfig{
+		Name: name + "/output", Seed: seed + 2, Base: 100, Noise: 4,
+		Drift: -drift / 2, Interval: interval, Start: start,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Name: name, Temp: temp, Vibe: vibe, Output: output,
+		sensors: []*Sensor{temp, vibe, output},
+	}, nil
+}
+
+// Tick returns one reading from each channel.
+func (m *Machine) Tick() []Reading {
+	out := make([]Reading, 0, len(m.sensors))
+	for _, s := range m.sensors {
+		out = append(out, s.Next())
+	}
+	return out
+}

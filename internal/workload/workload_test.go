@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+)
+
+var t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFlowGenDeterministic(t *testing.T) {
+	cfg := FlowConfig{Seed: 42, Sources: 100, Destinations: 50}
+	a, err := NewFlowGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewFlowGen(cfg)
+	ra := a.Records(100)
+	rb := b.Records(100)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("records diverge at %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestFlowGenSkew(t *testing.T) {
+	g, _ := NewFlowGen(FlowConfig{Seed: 1, Sources: 10000, Destinations: 10000, Skew: 1.3})
+	recs := g.Records(20000)
+	counts := make(map[flow.IPv4]int)
+	for _, r := range recs {
+		counts[r.Key.SrcIP]++
+	}
+	// The most popular source should account for a visible share.
+	var max int
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(recs)/50 {
+		t.Errorf("traffic not skewed: top source has %d of %d", max, len(recs))
+	}
+	// Distinct sources must still be plentiful (not degenerate).
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct sources", len(counts))
+	}
+}
+
+func TestFlowGenPrefixClustering(t *testing.T) {
+	g, _ := NewFlowGen(FlowConfig{Seed: 2, Sources: 1000, Destinations: 1000})
+	recs := g.Records(1000)
+	for _, r := range recs {
+		if byte(r.Key.SrcIP>>24) != 10 {
+			t.Fatalf("source %v outside 10.0.0.0/8", r.Key.SrcIP)
+		}
+		if byte(r.Key.DstIP>>24) != 192 {
+			t.Fatalf("destination %v outside 192.0.0.0/8", r.Key.DstIP)
+		}
+		if !r.Key.IsExact() {
+			t.Fatal("generated keys must be exact")
+		}
+		if r.Packets == 0 || r.Bytes == 0 {
+			t.Fatal("zero-weight record")
+		}
+	}
+}
+
+func TestFlowGenEpochs(t *testing.T) {
+	g, _ := NewFlowGen(FlowConfig{Seed: 3, Epoch: time.Minute, Start: t0})
+	r1, _ := g.Next()
+	if !r1.Start.Equal(t0) {
+		t.Errorf("epoch 0 start = %v", r1.Start)
+	}
+	g.NextEpoch()
+	r2, _ := g.Next()
+	if !r2.Start.Equal(t0.Add(time.Minute)) {
+		t.Errorf("epoch 1 start = %v", r2.Start)
+	}
+	if !g.EpochStart().Equal(t0.Add(time.Minute)) {
+		t.Errorf("EpochStart = %v", g.EpochStart())
+	}
+}
+
+func TestFlowGenSampling(t *testing.T) {
+	dense, _ := NewFlowGen(FlowConfig{Seed: 4})
+	sampled, _ := NewFlowGen(FlowConfig{Seed: 4, SampleRate: 100})
+	var denseBytes, sampledBytes uint64
+	for i := 0; i < 5000; i++ {
+		if r, ok := dense.Next(); ok {
+			denseBytes += r.Bytes
+		}
+		if r, ok := sampled.Next(); ok {
+			sampledBytes += r.Bytes
+		}
+	}
+	if sampledBytes == 0 {
+		t.Fatal("sampling produced nothing")
+	}
+	// Inversion scaling should keep totals within an order of magnitude.
+	ratio := float64(denseBytes) / float64(sampledBytes)
+	if ratio > 20 || ratio < 0.05 {
+		t.Errorf("sampled volume off by %vx", ratio)
+	}
+	if _, err := NewFlowGen(FlowConfig{SampleRate: -1}); err == nil {
+		t.Error("negative sample rate must error")
+	}
+}
+
+func TestDDoSBurst(t *testing.T) {
+	g, _ := NewFlowGen(FlowConfig{Seed: 5})
+	victim := flow.IPv4(0xC0A80105)
+	burst := g.DDoSBurst(100, victim, 53)
+	if len(burst) != 100 {
+		t.Fatalf("burst len = %d", len(burst))
+	}
+	for _, r := range burst {
+		if r.Key.DstIP != victim || r.Key.DstPort != 53 {
+			t.Fatalf("burst record targets %v:%d", r.Key.DstIP, r.Key.DstPort)
+		}
+		if byte(r.Key.SrcIP>>24) != 203 {
+			t.Fatalf("attacker outside 203/8: %v", r.Key.SrcIP)
+		}
+	}
+}
+
+func TestNewSensorValidation(t *testing.T) {
+	if _, err := NewSensor(SensorConfig{Interval: time.Second}); err == nil {
+		t.Error("missing name must error")
+	}
+	if _, err := NewSensor(SensorConfig{Name: "x"}); err == nil {
+		t.Error("zero interval must error")
+	}
+}
+
+func TestSensorBaseAndNoise(t *testing.T) {
+	s, _ := NewSensor(SensorConfig{Name: "t", Seed: 1, Base: 60, Noise: 1, Interval: time.Second, Start: t0})
+	var sum float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		sum += s.Next().Value
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-60) > 0.5 {
+		t.Errorf("mean = %v, want about 60", mean)
+	}
+}
+
+func TestSensorDrift(t *testing.T) {
+	s, _ := NewSensor(SensorConfig{Name: "t", Seed: 1, Base: 60, Noise: 0.01, Drift: 2, Interval: time.Minute, Start: t0})
+	readings := s.Readings(121) // two hours
+	last := readings[120]
+	if math.Abs(last.Value-64) > 0.5 {
+		t.Errorf("after 2h of +2/h drift: %v, want about 64", last.Value)
+	}
+	if !last.At.Equal(t0.Add(120 * time.Minute)) {
+		t.Errorf("timestamp = %v", last.At)
+	}
+}
+
+func TestSensorFault(t *testing.T) {
+	s, _ := NewSensor(SensorConfig{Name: "t", Seed: 1, Base: 50, Noise: 0.01, Interval: time.Second, Start: t0})
+	s.InjectFault(t0.Add(10*time.Second), t0.Add(20*time.Second), 100)
+	readings := s.Readings(30)
+	for i, r := range readings {
+		inFault := i >= 10 && i < 20
+		high := r.Value > 100
+		if inFault != high {
+			t.Errorf("reading %d: value %v, inFault=%v", i, r.Value, inFault)
+		}
+	}
+}
+
+func TestSensorSeasonality(t *testing.T) {
+	s, _ := NewSensor(SensorConfig{
+		Name: "t", Seed: 1, Base: 0, Noise: 0.001,
+		Period: 60 * time.Second, Amplitude: 10, Interval: 15 * time.Second, Start: t0,
+	})
+	r := s.Readings(5)
+	// Quarter-period samples of sin: 0, +10, 0, -10, 0.
+	wants := []float64{0, 10, 0, -10, 0}
+	for i, w := range wants {
+		if math.Abs(r[i].Value-w) > 0.1 {
+			t.Errorf("reading %d = %v, want about %v", i, r[i].Value, w)
+		}
+	}
+}
+
+func TestMachineChannels(t *testing.T) {
+	m, err := NewMachine("line1/m1", 7, time.Second, t0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := m.Tick()
+	if len(tick) != 3 {
+		t.Fatalf("Tick returned %d readings", len(tick))
+	}
+	names := map[string]bool{}
+	for _, r := range tick {
+		names[r.Sensor] = true
+	}
+	for _, want := range []string{"line1/m1/temp", "line1/m1/vibe", "line1/m1/output"} {
+		if !names[want] {
+			t.Errorf("missing channel %s in %v", want, names)
+		}
+	}
+}
+
+func TestQueryTraceClasses(t *testing.T) {
+	tr, err := NewQueryTrace(QueryTraceConfig{Seed: 9, Partitions: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hotTotal, coldTotal, hotN, coldN int
+	for p, n := range tr.PerPartition {
+		if tr.Hot[p] {
+			hotTotal += n
+			hotN++
+		} else {
+			coldTotal += n
+			coldN++
+		}
+	}
+	if hotN == 0 || coldN == 0 {
+		t.Fatal("degenerate class split")
+	}
+	hotMean := float64(hotTotal) / float64(hotN)
+	coldMean := float64(coldTotal) / float64(coldN)
+	if hotMean < 5*coldMean {
+		t.Errorf("hot mean %v not clearly above cold mean %v", hotMean, coldMean)
+	}
+}
+
+func TestQueryTraceSortedAndSplit(t *testing.T) {
+	tr, _ := NewQueryTrace(QueryTraceConfig{Seed: 10, Partitions: 50})
+	for i := 1; i < len(tr.Accesses); i++ {
+		if tr.Accesses[i].At.Before(tr.Accesses[i-1].At) {
+			t.Fatal("accesses not sorted by time")
+		}
+	}
+	mid := tr.Config.Start.Add(tr.Config.Horizon / 2)
+	before, after := tr.SplitAt(mid)
+	if len(before)+len(after) != len(tr.Accesses) {
+		t.Error("split lost accesses")
+	}
+	for _, a := range before {
+		if !a.At.Before(mid) {
+			t.Fatal("before contains late access")
+		}
+	}
+	for _, a := range after {
+		if a.At.Before(mid) {
+			t.Fatal("after contains early access")
+		}
+	}
+}
+
+func TestQueryTraceValidation(t *testing.T) {
+	_, err := NewQueryTrace(QueryTraceConfig{HotMeanAccesses: 1, ColdMeanAccesses: 10})
+	if err == nil {
+		t.Error("inverted class means must error")
+	}
+}
+
+func TestQueryTraceVolumesPositive(t *testing.T) {
+	tr, _ := NewQueryTrace(QueryTraceConfig{Seed: 11, Partitions: 100})
+	for _, a := range tr.Accesses {
+		if a.ResultVol == 0 {
+			t.Fatal("zero result volume")
+		}
+		if a.Partition < 0 || a.Partition >= 100 {
+			t.Fatalf("partition %d out of range", a.Partition)
+		}
+	}
+}

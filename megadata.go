@@ -1,0 +1,42 @@
+// Package megadata is a reproduction of "Distributed Mega-Datasets: The
+// Need for Novel Computing Primitives" (Semmler, Smaragdakis, Feldmann;
+// IEEE ICDCS 2019): an architecture for processing sensor data streams
+// whose aggregate rate exceeds what can be stored or shipped, built from
+// hierarchical data stores, combinable computing primitives (most notably
+// Flowtree), trigger-driven controllers, a manager control plane, and
+// ski-rental adaptive replication for cross-site queries.
+//
+// The root package re-exports the main entry points; the full surface
+// lives in the internal packages (importable inside this module):
+//
+//   - internal/flowtree: the Flowtree primitive with all Table II operators
+//   - internal/primitive: the computing-primitive abstraction and
+//     implementations (sampling, statistics, heavy hitters, HHH, Flowtree)
+//   - internal/datastore: data stores with triggers and the three Section IV
+//     storage strategies
+//   - internal/flowdb, internal/flowql: the FlowDB engine and the FlowQL
+//     query language
+//   - internal/flowstream: the complete Figure 5 pipeline
+//   - internal/replication: Section VII ski-rental adaptive replication
+//   - internal/manager, internal/controller, internal/analytics: the control
+//     plane, local control logic and analytics pipelines
+//   - internal/hierarchy: the Figure 1 factory and network topologies over a
+//     simulated WAN
+//   - internal/workload: synthetic flow traces, factory sensors and
+//     enterprise query traces
+//
+// A minimal end-to-end use — build a Flowstream deployment, ingest flows,
+// and ask FlowQL for the heavy hitters:
+//
+//	sys, err := flowstream.New(flowstream.Config{Sites: []string{"edge0"}})
+//	...
+//	_ = sys.Ingest("edge0", records)
+//	_ = sys.EndEpoch()
+//	res, err := sys.Query(`SELECT HHH(0.05) FROM ALL`)
+//
+// See examples/ for runnable programs and DESIGN.md for the paper-to-code
+// map.
+package megadata
+
+// Version is the library version.
+const Version = "0.1.0"
