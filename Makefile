@@ -1,0 +1,29 @@
+# Tier-1 verify is `make check` (build + vet + test); `make test-race`
+# additionally runs the concurrent ingest paths under the race detector.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The sharded ingest pipeline (datastore shards, flowstream fan-in) and the
+# primitives it drives are the packages with real concurrency; the root
+# package carries the integration tests.
+test-race:
+	$(GO) test -race ./internal/datastore/ ./internal/flowstream/ \
+		./internal/flowtree/ ./internal/primitive/ .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+check: build vet test

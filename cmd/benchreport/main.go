@@ -7,6 +7,7 @@
 //	go run ./cmd/benchreport -exp e4     # Fig. 4 summary accuracy sweep
 //	go run ./cmd/benchreport -exp e6     # §IV storage strategies
 //	go run ./cmd/benchreport -exp e10    # Fig. 1 hierarchy rollup
+//	go run ./cmd/benchreport -exp ingest # sharded ingest throughput sweep
 //	go run ./cmd/benchreport -exp table1 # Table I challenge coverage
 package main
 
@@ -14,12 +15,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"sort"
 	"time"
 
+	"megadata/internal/datastore"
 	"megadata/internal/flow"
 	"megadata/internal/flowtree"
 	"megadata/internal/hierarchy"
+	"megadata/internal/primitive"
 	"megadata/internal/replication"
 	"megadata/internal/simnet"
 	"megadata/internal/storage"
@@ -27,13 +31,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, table1, all")
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, table1, all")
 	flag.Parse()
 	reports := map[string]func() error{
 		"e3":     reportE3,
 		"e4":     reportE4,
 		"e6":     reportE6,
 		"e10":    reportE10,
+		"ingest": reportIngest,
 		"table1": reportTable1,
 	}
 	if *exp != "all" {
@@ -252,6 +257,103 @@ func reportE10() error {
 		return err
 	}
 	fmt.Printf("\nroot tree: %d nodes covering %d flows\n", root.Len(), root.Total().Flows)
+	return nil
+}
+
+// reportIngest measures data-store ingest throughput across shard counts:
+// the serial per-record path against the sharded batch path
+// (IngestFlowBatch), with the node budget split across shards and sealing
+// fanning the shards back together. Shard workers parallelize across
+// GOMAXPROCS; on a single-core host only the batch amortizations remain.
+func reportIngest() error {
+	fmt.Printf("## Sharded ingest — batched shard-partitioned ingest vs serial (GOMAXPROCS=%d)\n\n", runtime.GOMAXPROCS(0))
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 42, Skew: 1.2})
+	if err != nil {
+		return err
+	}
+	recs := g.Records(100000)
+	const budget = 4096
+	newStore := func(shards int) (*datastore.Store, error) {
+		shardBudget := datastore.ShardBudget(budget, shards)
+		s := datastore.New("edge", nil, datastore.WithShards(shards))
+		err := s.Register(datastore.AggregatorConfig{
+			Name: "flows",
+			New: func() (primitive.Aggregator, error) {
+				return primitive.NewFlowtree("flows", budget)
+			},
+			NewShard: func() (primitive.Aggregator, error) {
+				return primitive.NewFlowtree("flows", shardBudget)
+			},
+			Strategy:    datastore.StrategyRoundRobin,
+			BudgetBytes: 64 << 20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s, s.Subscribe("router", "flows")
+	}
+	type row struct {
+		name    string
+		flowsPS float64
+		seal    time.Duration
+	}
+	measure := func(name string, shards int, serial bool) (row, error) {
+		best := row{name: name}
+		for rep := 0; rep < 3; rep++ {
+			s, err := newStore(shards)
+			if err != nil {
+				return row{}, err
+			}
+			start := time.Now()
+			if serial {
+				for _, r := range recs {
+					if err := s.Ingest("router", r); err != nil {
+						return row{}, err
+					}
+				}
+			} else {
+				const batch = 2048
+				for off := 0; off < len(recs); off += batch {
+					end := off + batch
+					if end > len(recs) {
+						end = len(recs)
+					}
+					if err := s.IngestFlowBatch("router", recs[off:end]); err != nil {
+						return row{}, err
+					}
+				}
+			}
+			fps := float64(len(recs)) / time.Since(start).Seconds()
+			sealStart := time.Now()
+			if err := s.Seal("flows"); err != nil {
+				return row{}, err
+			}
+			if fps > best.flowsPS {
+				best.flowsPS = fps
+				best.seal = time.Since(sealStart)
+			}
+		}
+		return best, nil
+	}
+	rows := []row{}
+	r, err := measure("serial (per-record Ingest)", 1, true)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, r)
+	for _, shards := range []int{1, 2, 4, 8} {
+		r, err := measure(fmt.Sprintf("batched, %d shard(s)", shards), shards, false)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r)
+	}
+	base := rows[0].flowsPS
+	fmt.Println("| ingest path | flows/s | vs serial | seal (merge fan-in) |")
+	fmt.Println("|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Printf("| %s | %.0f | %.2fx | %v |\n", r.name, r.flowsPS, r.flowsPS/base, r.seal.Round(10*time.Microsecond))
+	}
 	return nil
 }
 

@@ -32,6 +32,7 @@ func run() error {
 		sites  = flag.Int("sites", 2, "number of router sites")
 		epochs = flag.Int("epochs", 3, "number of one-minute epochs")
 		flows  = flag.Int("flows", 10000, "flow records per site per epoch")
+		shards = flag.Int("shards", 1, "concurrent ingest shards per site store")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func run() error {
 		names[i] = fmt.Sprintf("site%d", i)
 	}
 	sys, err := flowstream.New(flowstream.Config{
-		Sites: names, TreeBudget: 8192, Epoch: time.Minute,
+		Sites: names, TreeBudget: 8192, Epoch: time.Minute, Shards: *shards,
 	})
 	if err != nil {
 		return err
@@ -51,7 +52,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			if err := sys.Ingest(site, gen.Records(*flows)); err != nil {
+			if err := sys.IngestBatch(site, gen.Records(*flows)); err != nil {
 				return err
 			}
 		}

@@ -28,6 +28,8 @@ func run() error {
 		epochs  = flag.Int("epochs", 5, "number of one-minute epochs")
 		flows   = flag.Int("flows", 20000, "flow records per site per epoch")
 		budget  = flag.Int("budget", 4096, "Flowtree node budget per site (0 = unlimited)")
+		shards  = flag.Int("shards", 1, "concurrent ingest shards per site store (1 = serial)")
+		batch   = flag.Int("batch", 4096, "records per ingest batch")
 		skew    = flag.Float64("skew", 1.2, "traffic Zipf skew")
 		queries = flag.Bool("queries", true, "run sample FlowQL queries at the end")
 	)
@@ -41,6 +43,8 @@ func run() error {
 		Sites:      names,
 		TreeBudget: *budget,
 		Epoch:      time.Minute,
+		Shards:     *shards,
+		BatchSize:  *batch,
 	})
 	if err != nil {
 		return err
@@ -61,7 +65,7 @@ func run() error {
 				rawBytes += 40 // one NetFlow-style record on the wire
 				_ = r
 			}
-			if err := sys.Ingest(site, recs); err != nil {
+			if err := sys.IngestBatch(site, recs); err != nil {
 				return err
 			}
 		}
@@ -72,9 +76,9 @@ func run() error {
 	elapsed := time.Since(startWall)
 
 	total := *sites * *epochs * *flows
-	fmt.Printf("flowstream: %d sites x %d epochs x %d flows = %d records in %v (%.0f flows/s)\n",
+	fmt.Printf("flowstream: %d sites x %d epochs x %d flows = %d records in %v (%.0f flows/s, %d shards, batch %d)\n",
 		*sites, *epochs, *flows, total, elapsed.Round(time.Millisecond),
-		float64(total)/elapsed.Seconds())
+		float64(total)/elapsed.Seconds(), *shards, *batch)
 	fmt.Printf("  raw export volume (1):      %12d bytes\n", rawBytes)
 	fmt.Printf("  WAN summary volume (3):     %12d bytes (%.1fx reduction)\n",
 		sys.WANBytes(), float64(rawBytes)/float64(sys.WANBytes()))

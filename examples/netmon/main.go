@@ -32,6 +32,7 @@ func run() error {
 		Sites:      sites,
 		TreeBudget: 8192,
 		Epoch:      time.Minute,
+		Shards:     2, // per-site sharded ingest, merged at epoch sealing
 	})
 	if err != nil {
 		return err
@@ -54,7 +55,7 @@ func run() error {
 			if epoch == 1 && (site == "region2-r0" || site == "region2-r1") {
 				recs = append(recs, gen.DDoSBurst(4000, victim, 53)...)
 			}
-			if err := sys.Ingest(site, recs); err != nil {
+			if err := sys.IngestBatch(site, recs); err != nil {
 				return err
 			}
 		}

@@ -20,11 +20,14 @@ func main() {
 
 func run() error {
 	// 1. A Flowstream deployment: two router sites, one central FlowDB,
-	//    Flowtrees capped at 4096 nodes.
+	//    Flowtrees capped at 4096 nodes. Each site ingests through four
+	//    hash-partitioned shards that are merged back at epoch sealing.
 	sys, err := flowstream.New(flowstream.Config{
 		Sites:      []string{"berlin", "paris"},
 		TreeBudget: 4096,
 		Epoch:      time.Minute,
+		Shards:     4,
+		BatchSize:  4096,
 	})
 	if err != nil {
 		return err
@@ -40,7 +43,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			if err := sys.Ingest(site, gen.Records(20000)); err != nil {
+			if err := sys.IngestBatch(site, gen.Records(20000)); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,3 @@
+module megadata
+
+go 1.22

@@ -5,6 +5,16 @@
 // on the incoming data, seals aggregator epochs into one of the three
 // storage strategies, and answers queries by combining the live epoch with
 // stored epochs.
+//
+// # Sharded ingest
+//
+// A store built with WithShards(n) partitions every aggregator into n
+// independently locked shard instances. Ingest routes each item to one shard
+// (flow records by key hash, so a flow always lands on the same shard;
+// unkeyed items round-robin), and IngestBatch fans a batch out to all shards
+// concurrently. Sealing, queries and Live fan the shards back together with
+// the primitive's Merge — the paper's combinable-summaries property is what
+// makes the sharded and the serial pipeline answer queries equivalently.
 package datastore
 
 import (
@@ -12,8 +22,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"megadata/internal/flow"
 	"megadata/internal/primitive"
 	"megadata/internal/storage"
 )
@@ -47,8 +59,17 @@ type Factory func() (primitive.Aggregator, error)
 type AggregatorConfig struct {
 	// Name identifies the aggregator within the store.
 	Name string
-	// New builds the per-epoch instance.
+	// New builds the per-epoch instance. On a sharded store it also builds
+	// the combined instance that sealed shards are merged into, and the
+	// scratch instances queries merge into.
 	New Factory
+	// NewShard optionally builds the per-shard live instances on a sharded
+	// store (defaults to New). Configuring shards differently from the
+	// combined instance lets a primitive split its resource budget across
+	// shards — e.g. a Flowtree with budget/shards nodes per shard keeps
+	// total live memory constant as the shard count grows — while sealed
+	// epochs still get the full budget.
+	NewShard Factory
 	// Strategy selects epoch retention.
 	Strategy Strategy
 	// TTL applies to StrategyExpire.
@@ -64,16 +85,26 @@ type AggregatorConfig struct {
 	CoarseLevels []storage.Level
 }
 
-// aggState is the live state of one registered aggregator.
+// aggShard is one independently locked partition of an aggregator's live
+// epoch. Its mutex guards cur and adds; everything else about the
+// aggregator stays under the store's registry lock.
+type aggShard struct {
+	mu   sync.Mutex
+	cur  primitive.Aggregator
+	adds uint64
+}
+
+// aggState is the live state of one registered aggregator. The live epoch
+// is split across shards (length 1 unless the store was built with
+// WithShards); retention stores and epoch bookkeeping are shared.
 type aggState struct {
 	cfg     AggregatorConfig
-	current primitive.Aggregator
+	shards  []*aggShard
 	ttl     *storage.TTLStore[primitive.Aggregator]
 	ring    *storage.RingStore[primitive.Aggregator]
 	hier    *storage.HierarchicalStore[primitive.Aggregator]
 	epoch   time.Time
 	queries uint64
-	adds    uint64
 }
 
 // TriggerEvent is delivered to trigger subscribers (normally the
@@ -91,7 +122,9 @@ type TriggerEvent struct {
 type Trigger struct {
 	Name   string
 	Stream string
-	// Condition reports whether the item fires the trigger.
+	// Condition reports whether the item fires the trigger. It runs
+	// outside the store locks and may be called concurrently by parallel
+	// ingest calls; stateful conditions must do their own locking.
 	Condition func(item any) bool
 	// Fire receives the event synchronously on the ingest path; it must
 	// be fast (typically a channel send or controller call).
@@ -101,9 +134,15 @@ type Trigger struct {
 // Store is one data store instance. All methods are safe for concurrent
 // use.
 type Store struct {
-	name string
-	now  func() time.Time
+	name   string
+	now    func() time.Time
+	shards int
+	rr     atomic.Uint64 // round-robin cursor for unkeyed items
 
+	// mu guards the registry (aggs, streams, triggers, raw), the retention
+	// stores and epoch bookkeeping. The live shard instances are guarded by
+	// their own per-shard mutexes; the lock order is mu before shard locks,
+	// never the reverse.
 	mu       sync.Mutex
 	aggs     map[string]*aggState
 	streams  map[string][]string // stream -> subscribed aggregator names
@@ -111,19 +150,58 @@ type Store struct {
 	raw      map[string]*rawRing // streams with raw retention enabled
 }
 
+// Option configures a Store.
+type Option func(*Store)
+
+// WithShards splits every aggregator's live epoch into n independently
+// locked shard instances so that ingest scales across cores (n < 1 is
+// treated as 1). Memory for live summaries grows with n: each shard is a
+// full instance built by the aggregator's factory.
+func WithShards(n int) Option {
+	return func(s *Store) {
+		if n < 1 {
+			n = 1
+		}
+		s.shards = n
+	}
+}
+
 // New builds a data store; now may be nil (defaults to time.Now), and is
 // injected in tests and simulations (simnet clock).
-func New(name string, now func() time.Time) *Store {
+func New(name string, now func() time.Time, opts ...Option) *Store {
 	if now == nil {
 		now = time.Now
 	}
-	return &Store{
+	s := &Store{
 		name:    name,
 		now:     now,
+		shards:  1,
 		aggs:    make(map[string]*aggState),
 		streams: make(map[string][]string),
 		raw:     make(map[string]*rawRing),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Shards returns the number of ingest shards per aggregator.
+func (s *Store) Shards() int { return s.shards }
+
+// ShardBudget splits a resource budget evenly across shards (minimum 2 per
+// shard, and 0 — unlimited — stays unlimited). It is the canonical policy
+// for sizing NewShard instances so that the live envelope of a sharded
+// aggregator matches one full-budget instance.
+func ShardBudget(budget, shards int) int {
+	if budget <= 0 || shards <= 1 {
+		return budget
+	}
+	per := budget / shards
+	if per < 2 {
+		per = 2
+	}
+	return per
 }
 
 // Name returns the store's name.
@@ -139,11 +217,18 @@ func (s *Store) Register(cfg AggregatorConfig) error {
 	if _, ok := s.aggs[cfg.Name]; ok {
 		return fmt.Errorf("%w: aggregator %q", ErrDuplicate, cfg.Name)
 	}
-	cur, err := cfg.New()
-	if err != nil {
-		return fmt.Errorf("datastore: build aggregator %q: %w", cfg.Name, err)
+	if cfg.NewShard == nil {
+		cfg.NewShard = cfg.New
 	}
-	st := &aggState{cfg: cfg, current: cur, epoch: s.now()}
+	shards := make([]*aggShard, s.shards)
+	for i := range shards {
+		cur, err := cfg.NewShard()
+		if err != nil {
+			return fmt.Errorf("datastore: build aggregator %q: %w", cfg.Name, err)
+		}
+		shards[i] = &aggShard{cur: cur}
+	}
+	st := &aggState{cfg: cfg, shards: shards, epoch: s.now()}
 	switch cfg.Strategy {
 	case StrategyExpire:
 		ttl, err := storage.NewTTLStore[primitive.Aggregator](cfg.TTL, s.now)
@@ -222,83 +307,355 @@ func (s *Store) RemoveTrigger(name string) {
 	}
 }
 
+// shardOf routes an item to a shard: flow records by key hash (a flow
+// always lands on the same shard), anything else via the store-wide
+// round-robin cursor, which keeps unkeyed load spread evenly even when
+// callers issue many batches smaller than the shard count.
+func (s *Store) shardOf(item any, _ int) int {
+	if s.shards == 1 {
+		return 0
+	}
+	if r, ok := item.(flow.Record); ok {
+		return int(r.Key.Hash() % uint64(s.shards))
+	}
+	return int(s.rr.Add(1) % uint64(s.shards))
+}
+
+// firedTrigger pairs a matched trigger event with its delivery callback.
+type firedTrigger struct {
+	fn func(TriggerEvent)
+	ev TriggerEvent
+}
+
+// resolveStream looks up the aggregators subscribed to stream, records raw
+// retention, and snapshots the triggers installed on the stream — the
+// registry reads the ingest path needs, in one short critical section.
+// Items are pulled through the item accessor so the typed ingest path only
+// boxes records when a raw ring is actually installed. Trigger conditions
+// run user code, so they are evaluated by the caller via matchTriggers
+// after the lock is released.
+func (s *Store) resolveStream(stream string, n int, item func(int) any) ([]*aggState, []Trigger, time.Time, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, ok := s.streams[stream]
+	if !ok {
+		return nil, nil, time.Time{}, fmt.Errorf("%w: %q", ErrUnknownStream, stream)
+	}
+	states := make([]*aggState, len(names))
+	for i, name := range names {
+		states[i] = s.aggs[name]
+	}
+	at := s.now()
+	if ring, ok := s.raw[stream]; ok {
+		for i := 0; i < n; i++ {
+			ring.add(at, item(i))
+		}
+	}
+	var trigs []Trigger
+	for _, t := range s.triggers {
+		if t.Stream == stream {
+			trigs = append(trigs, t)
+		}
+	}
+	return states, trigs, at, nil
+}
+
+// matchTriggers evaluates the snapshotted triggers' conditions against
+// every item, outside the store locks. The returned events are fired by
+// the caller after the batch has been applied, also outside all locks, so
+// that controllers can query the store from the callback.
+func matchTriggers(trigs []Trigger, stream string, n int, item func(int) any, at time.Time) []firedTrigger {
+	if len(trigs) == 0 {
+		return nil
+	}
+	// Items outer so each is boxed once however many triggers watch the
+	// stream, and events fire in item order.
+	var fired []firedTrigger
+	for i := 0; i < n; i++ {
+		it := item(i)
+		for _, t := range trigs {
+			if t.Condition(it) {
+				fired = append(fired, firedTrigger{
+					fn: t.Fire,
+					ev: TriggerEvent{Trigger: t.Name, Stream: stream, Item: it, At: at},
+				})
+			}
+		}
+	}
+	return fired
+}
+
+// fanOut applies one shard's partition per worker goroutine and returns
+// the first error by shard index; a single partition runs inline.
+func fanOut[T any](parts [][]T, apply func(si int, part []T) error) error {
+	if len(parts) == 1 {
+		return apply(0, parts[0])
+	}
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for si, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, part []T) {
+			defer wg.Done()
+			errs[si] = apply(si, part)
+		}(si, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fire delivers matched trigger events outside all store locks.
+func (s *Store) fire(fired []firedTrigger) {
+	for _, f := range fired {
+		f.fn(f.ev)
+	}
+}
+
 // Ingest pushes one item from a stream into all subscribed aggregators and
 // evaluates the stream's triggers. Unknown streams are an error (sensors
 // must be subscribed first, Figure 3b: "un-/subscribe").
 func (s *Store) Ingest(stream string, item any) error {
-	s.mu.Lock()
-	names, ok := s.streams[stream]
-	if !ok {
-		s.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrUnknownStream, stream)
+	one := func(int) any { return item }
+	states, trigs, at, err := s.resolveStream(stream, 1, one)
+	if err != nil {
+		return err
 	}
+	fired := matchTriggers(trigs, stream, 1, one, at)
 	var firstErr error
-	for _, n := range names {
-		st := s.aggs[n]
-		st.adds++
-		if err := st.current.Add(item); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("datastore: aggregator %q: %w", n, err)
+	si := s.shardOf(item, -1)
+	for _, st := range states {
+		sh := st.shards[si]
+		sh.mu.Lock()
+		sh.adds++
+		err := sh.cur.Add(item)
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("datastore: aggregator %q: %w", st.cfg.Name, err)
 		}
 	}
-	// Collect matching triggers under the lock, fire outside it so that
-	// controllers can query the store from the callback.
-	var fired []Trigger
-	at := s.now()
-	if ring, ok := s.raw[stream]; ok {
-		ring.add(at, item)
+	s.fire(fired)
+	return firstErr
+}
+
+// runBatch is the shared ingest-batch skeleton: resolve the stream, match
+// triggers, partition the items across shards, fan the partitions out to
+// the shard workers, then fire the matched triggers. The element type stays
+// concrete all the way to the aggregator so typed paths never box; box is
+// used only where an item must become an `any` (trigger matching, raw
+// retention, per-item Add fallback) and bulk returns an aggregator's bulk
+// ingest func for the element type (nil = fall back to per-item Add).
+func runBatch[T any](s *Store, stream string, items []T, box func(T) any,
+	shardOf func(T, int) int, bulk func(primitive.Aggregator) func([]T) error) error {
+	if len(items) == 0 {
+		return nil
 	}
-	for _, t := range s.triggers {
-		if t.Stream == stream && t.Condition(item) {
-			fired = append(fired, t)
+	get := func(i int) any { return box(items[i]) }
+	states, trigs, at, err := s.resolveStream(stream, len(items), get)
+	if err != nil {
+		return err
+	}
+	fired := matchTriggers(trigs, stream, len(items), get, at)
+	var parts [][]T
+	if s.shards == 1 {
+		parts = [][]T{items}
+	} else {
+		parts = make([][]T, s.shards)
+		for i, item := range items {
+			si := shardOf(item, i)
+			parts[si] = append(parts[si], item)
 		}
 	}
-	s.mu.Unlock()
-	for _, t := range fired {
-		t.Fire(TriggerEvent{Trigger: t.Name, Stream: stream, Item: item, At: at})
+	ferr := fanOut(parts, func(si int, part []T) error {
+		return applyToShard(states, si, part, box, bulk)
+	})
+	s.fire(fired)
+	return ferr
+}
+
+// applyToShard applies one shard's sub-batch to every subscribed
+// aggregator, holding each shard lock once for the whole sub-batch and
+// preferring the aggregator's bulk path.
+func applyToShard[T any](states []*aggState, si int, part []T, box func(T) any,
+	bulk func(primitive.Aggregator) func([]T) error) error {
+	var firstErr error
+	for _, st := range states {
+		sh := st.shards[si]
+		sh.mu.Lock()
+		sh.adds += uint64(len(part))
+		var err error
+		if fn := bulk(sh.cur); fn != nil {
+			err = fn(part)
+		} else {
+			for _, item := range part {
+				if e := sh.cur.Add(box(item)); e != nil && err == nil {
+					err = e
+				}
+			}
+		}
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("datastore: aggregator %q: %w", st.cfg.Name, err)
+		}
 	}
 	return firstErr
 }
 
+// IngestBatch pushes a batch of items from one stream into all subscribed
+// aggregators. The batch is partitioned across the store's shards (flow
+// records by key hash) and the shards are filled concurrently, so one call
+// amortizes locking over the whole batch and scales across cores. Triggers
+// are evaluated for every item and fired after the batch has been applied.
+// Aggregators with a bulk path (primitive.BatchAdder) receive their whole
+// per-shard sub-batch in one call.
+func (s *Store) IngestBatch(stream string, items []any) error {
+	return runBatch(s, stream, items,
+		func(item any) any { return item },
+		s.shardOf,
+		func(a primitive.Aggregator) func([]any) error {
+			if ba, ok := a.(primitive.BatchAdder); ok {
+				return ba.AddBatch
+			}
+			return nil
+		})
+}
+
+// IngestFlowBatch is the typed fast path of IngestBatch for flow records:
+// the batch is partitioned by key hash and handed to the shards as record
+// slices, so aggregators that consume flow records natively
+// (primitive.FlowBatchAdder) never pay a per-record interface boxing
+// allocation. Triggers and raw retention behave exactly as in IngestBatch
+// (records are boxed there only if a trigger or raw ring is installed).
+func (s *Store) IngestFlowBatch(stream string, recs []flow.Record) error {
+	return runBatch(s, stream, recs,
+		func(r flow.Record) any { return r },
+		func(r flow.Record, _ int) int { return int(r.Key.Hash() % uint64(s.shards)) },
+		func(a primitive.Aggregator) func([]flow.Record) error {
+			if fa, ok := a.(primitive.FlowBatchAdder); ok {
+				return fa.AddFlowBatch
+			}
+			return nil
+		})
+}
+
 // Seal closes the current epoch of the named aggregator: the live summary
-// moves into the retention store with the epoch interval [start, now) and a
-// fresh instance takes over.
+// moves into the retention store with the epoch interval [start, now) and
+// fresh instances take over. On a sharded store the shard instances are
+// fanned back together with Merge into a single combined summary — the
+// paper's "A12 = compress(A1 ∪ A2)" construction — so the sealed epoch is
+// one mergeable unit regardless of shard count.
 func (s *Store) Seal(aggregator string) error {
+	_, err := s.SealExport(aggregator)
+	return err
+}
+
+// SealExport seals like Seal and additionally returns the sealed summary,
+// so export pipelines can ship the epoch without merging the shards a
+// second time through Live. The returned instance is the one stored in the
+// retention store; callers must not mutate it. Under StrategyHierarchical
+// the store itself may later fold the stored epoch into a coarser summary
+// (mutating it), so export pipelines using SealExport should pair it with
+// StrategyExpire or StrategyRoundRobin retention, as flowstream does.
+//
+// The whole seal — shard merge fan-in, retention insert, swap — runs under
+// the registry lock with every shard frozen, so concurrent queries never
+// observe a half-sealed epoch and a failed retention insert leaves the
+// live epoch untouched (the seal is retryable). With the budget split
+// across shards the fan-in is a milliseconds-scale pause per epoch;
+// pipelines sealing huge unbudgeted shards should expect ingest to stall
+// for the duration of the merge.
+func (s *Store) SealExport(aggregator string) (primitive.Aggregator, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.aggs[aggregator]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
 	}
 	now := s.now()
 	width := now.Sub(st.epoch)
 	if width <= 0 {
 		width = time.Nanosecond
 	}
-	next, err := st.cfg.New()
-	if err != nil {
-		return fmt.Errorf("datastore: reseed aggregator %q: %w", aggregator, err)
+	// Build every replacement instance before swapping anything so that a
+	// failing factory leaves the live epoch untouched.
+	next := make([]primitive.Aggregator, len(st.shards))
+	for i := range next {
+		n, err := st.cfg.NewShard()
+		if err != nil {
+			return nil, fmt.Errorf("datastore: reseed aggregator %q: %w", aggregator, err)
+		}
+		next[i] = n
+	}
+	var combined primitive.Aggregator
+	if len(st.shards) > 1 {
+		c, err := st.cfg.New()
+		if err != nil {
+			return nil, fmt.Errorf("datastore: seal %q: %w", aggregator, err)
+		}
+		combined = c
+	}
+	// Freeze every shard for the whole merge-and-store sequence: workers
+	// hold at most one shard lock each, so taking them all (in index
+	// order) cannot deadlock, and the swap happens only after the
+	// retention store accepted the epoch — a failed Put leaves the live
+	// epoch exactly as it was, and the seal can be retried.
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range st.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	live := make([]primitive.Aggregator, len(st.shards))
+	for i, sh := range st.shards {
+		live[i] = sh.cur
+	}
+	sealed := live[0]
+	if combined != nil {
+		sealed = combined
+		if bm, ok := combined.(primitive.BulkMerger); ok {
+			if err := bm.MergeBulk(live); err != nil {
+				return nil, fmt.Errorf("datastore: seal %q: merge shards: %w", aggregator, err)
+			}
+		} else {
+			for _, out := range live {
+				if err := sealed.Merge(out); err != nil {
+					return nil, fmt.Errorf("datastore: seal %q: merge shard: %w", aggregator, err)
+				}
+			}
+		}
 	}
 	ep := storage.Epoch[primitive.Aggregator]{
 		Start:   st.epoch,
 		Width:   width,
-		Size:    st.current.SizeBytes(),
-		Payload: st.current,
+		Size:    sealed.SizeBytes(),
+		Payload: sealed,
 	}
 	switch {
 	case st.ttl != nil:
 		st.ttl.Put(ep)
 	case st.ring != nil:
 		if err := st.ring.Put(ep); err != nil {
-			return fmt.Errorf("datastore: seal %q: %w", aggregator, err)
+			return nil, fmt.Errorf("datastore: seal %q: %w", aggregator, err)
 		}
 	case st.hier != nil:
 		if err := st.hier.Put(ep); err != nil {
-			return fmt.Errorf("datastore: seal %q: %w", aggregator, err)
+			return nil, fmt.Errorf("datastore: seal %q: %w", aggregator, err)
 		}
 	}
-	st.current = next
+	for i, sh := range st.shards {
+		sh.cur = next[i]
+	}
 	st.epoch = now
-	return nil
+	return sealed, nil
 }
 
 // SealAll seals every registered aggregator.
@@ -357,9 +714,9 @@ func (s *Store) Query(aggregator string, q any, from, to time.Time) (any, error)
 		}
 	}
 	// The live epoch covers [st.epoch, now] and counts when it overlaps
-	// the window.
+	// the window. Every live shard is folded in.
 	if st.epoch.Before(to) && !s.now().Before(from) {
-		if err := combined.Merge(st.current); err != nil {
+		if err := st.mergeLive(combined); err != nil {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
 		}
@@ -368,8 +725,23 @@ func (s *Store) Query(aggregator string, q any, from, to time.Time) (any, error)
 	return combined.Query(q)
 }
 
+// mergeLive folds every live shard instance into dst, taking each shard
+// lock in turn (callers hold the registry lock; lock order mu -> shard).
+func (st *aggState) mergeLive(dst primitive.Aggregator) error {
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		err := dst.Merge(sh.cur)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // QueryLive answers q against only the live epoch (the controller's
-// real-time path).
+// real-time path). On a sharded store the shards are merged into a scratch
+// instance first.
 func (s *Store) QueryLive(aggregator string, q any) (any, error) {
 	s.mu.Lock()
 	st, ok := s.aggs[aggregator]
@@ -377,13 +749,35 @@ func (s *Store) QueryLive(aggregator string, q any) (any, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
 	}
-	defer s.mu.Unlock()
 	st.queries++
-	return st.current.Query(q)
+	if len(st.shards) == 1 {
+		defer s.mu.Unlock()
+		sh := st.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.cur.Query(q)
+	}
+	scratch, err := st.cfg.New()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("datastore: build query scratch: %w", err)
+	}
+	if err := st.mergeLive(scratch); err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+	}
+	s.mu.Unlock()
+	return scratch.Query(q)
 }
 
-// Live returns the live aggregator instance for specialized operations
-// (e.g. Flowtree export). Callers must not retain it across Seal.
+// Live returns the live aggregator for specialized operations (e.g.
+// Flowtree export). On a single-shard store this is the live instance
+// itself: callers must not retain it across Seal, must not use it while
+// other goroutines ingest (the instance itself is not synchronized —
+// concurrent readers should use Query/QueryLive instead), and may mutate
+// the live epoch through it. On a sharded store it is a fresh merged
+// snapshot of all shards: safe to use freely, but mutations do not affect
+// the live epoch — use MergeLive or Adapt to change live state.
 func (s *Store) Live(aggregator string) (primitive.Aggregator, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -391,7 +785,40 @@ func (s *Store) Live(aggregator string) (primitive.Aggregator, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
 	}
-	return st.current, nil
+	if len(st.shards) == 1 {
+		return st.shards[0].cur, nil
+	}
+	snap, err := st.cfg.New()
+	if err != nil {
+		return nil, fmt.Errorf("datastore: build live snapshot: %w", err)
+	}
+	if err := st.mergeLive(snap); err != nil {
+		return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+	}
+	return snap, nil
+}
+
+// MergeLive folds another summary of the same kind into the named
+// aggregator's live epoch (hierarchy rollups merge child summaries into
+// their parent's store this way). Unlike mutating the result of Live, it
+// works identically on single-shard and sharded stores: the summary lands
+// in shard 0 under its lock, where sealing and queries fan it in like any
+// other live weight.
+func (s *Store) MergeLive(aggregator string, other primitive.Aggregator) error {
+	s.mu.Lock()
+	st, ok := s.aggs[aggregator]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+	}
+	sh := st.shards[0]
+	sh.mu.Lock()
+	s.mu.Unlock()
+	defer sh.mu.Unlock()
+	if err := sh.cur.Merge(other); err != nil {
+		return fmt.Errorf("datastore: merge into live %q: %w", aggregator, err)
+	}
+	return nil
 }
 
 // Stats describes one aggregator's resource usage and activity.
@@ -415,11 +842,17 @@ func (s *Store) StatsOf(aggregator string) (Stats, error) {
 		return Stats{}, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
 	}
 	out := Stats{
-		Name:      aggregator,
-		Kind:      st.current.Kind(),
-		Adds:      st.adds,
-		Queries:   st.queries,
-		LiveBytes: st.current.SizeBytes(),
+		Name:    aggregator,
+		Queries: st.queries,
+	}
+	for i, sh := range st.shards {
+		sh.mu.Lock()
+		if i == 0 {
+			out.Kind = sh.cur.Kind()
+		}
+		out.Adds += sh.adds
+		out.LiveBytes += sh.cur.SizeBytes()
+		sh.mu.Unlock()
 	}
 	switch {
 	case st.ttl != nil:
@@ -452,7 +885,10 @@ func (s *Store) Aggregators() []string {
 }
 
 // Adapt forwards an adaptation hint to one aggregator (manager control
-// path, Figure 3b "change parameter").
+// path, Figure 3b "change parameter"). Every live shard receives the hint
+// with the byte target and input rate divided across the shards, so the
+// aggregator's total live footprint converges to the manager's target
+// (StatsOf sums the shards right back).
 func (s *Store) Adapt(aggregator string, hint primitive.AdaptHint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -460,6 +896,20 @@ func (s *Store) Adapt(aggregator string, hint primitive.AdaptHint) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
 	}
-	st.current.Adapt(hint)
+	perShard := hint
+	if n := uint64(len(st.shards)); n > 1 {
+		perShard.TargetBytes = hint.TargetBytes / n
+		if perShard.TargetBytes == 0 && hint.TargetBytes > 0 {
+			// Primitives treat 0 as "no target"; a tiny requested
+			// budget must stay a demand to shrink, not a no-op.
+			perShard.TargetBytes = 1
+		}
+		perShard.InputPerSec = hint.InputPerSec / float64(n)
+	}
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		sh.cur.Adapt(perShard)
+		sh.mu.Unlock()
+	}
 	return nil
 }

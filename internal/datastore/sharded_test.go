@@ -1,0 +1,404 @@
+package datastore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/primitive"
+	"megadata/internal/workload"
+)
+
+// newFlowStore builds a store with one flowtree aggregator subscribed to
+// the "router" stream.
+func newFlowStore(t testing.TB, clock *testClock, budget, shards int) *Store {
+	t.Helper()
+	s := New("edge", clock.Now, WithShards(shards))
+	err := s.Register(AggregatorConfig{
+		Name:        "flows",
+		New:         flowtreeFactory(budget),
+		Strategy:    StrategyRoundRobin,
+		BudgetBytes: 64 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("router", "flows"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func genTrace(t testing.TB, seed int64, n int) []flow.Record {
+	t.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: seed, Skew: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Records(n)
+}
+
+func asItems(recs []flow.Record) []any {
+	items := make([]any, len(recs))
+	for i, r := range recs {
+		items[i] = r
+	}
+	return items
+}
+
+// TestShardedIngestEquivalence is the shard-merge equivalence property: for
+// random workloads and any shard count, batched sharded ingest followed by
+// merge fan-in answers Query, Top-k and HHH exactly like serial per-record
+// ingest (budgets are unlimited here, so Flowtree holds no approximation
+// and equality must be exact).
+func TestShardedIngestEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		recs := genTrace(t, seed, 8000)
+		serial := newFlowStore(t, &testClock{now: t0}, 0, 1)
+		for _, r := range recs {
+			if err := serial.Ingest("router", r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, shards := range []int{2, 4, 8} {
+			t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+				sharded := newFlowStore(t, &testClock{now: t0}, 0, shards)
+				// Several batches, to also cross batch boundaries.
+				for i := 0; i < len(recs); i += 1000 {
+					end := min(i+1000, len(recs))
+					if err := sharded.IngestBatch("router", asItems(recs[i:end])); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// The aggregate operators go through QueryLive (merge
+				// fan-in per call).
+				for _, q := range []any{
+					primitive.FlowTopKQuery{K: 50},
+					primitive.FlowHHHQuery{Phi: 0.01},
+					primitive.FlowQuery{Key: flow.Root()},
+				} {
+					want, err := serial.QueryLive("flows", q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sharded.QueryLive("flows", q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("query %#v diverged:\nserial:  %v\nsharded: %v", q, want, got)
+					}
+				}
+				// Point queries probe one merged snapshot: individual
+				// flows and their first generalization.
+				wantLive, err := serial.Live("flows")
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotLive, err := sharded.Live("flows")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var probes []any
+				for _, r := range recs[:64] {
+					probes = append(probes, primitive.FlowQuery{Key: r.Key})
+					if p, ok := r.Key.GeneralizeStep(8); ok {
+						probes = append(probes, primitive.FlowQuery{Key: p})
+					}
+				}
+				for _, q := range probes {
+					want, err := wantLive.Query(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := gotLive.Query(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("probe %#v diverged:\nserial:  %v\nsharded: %v", q, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedSealEquivalence seals epochs on serial and sharded stores and
+// checks that time-range queries over sealed + live epochs agree exactly.
+func TestShardedSealEquivalence(t *testing.T) {
+	recs := genTrace(t, 3, 6000)
+	serialClock := &testClock{now: t0}
+	shardedClock := &testClock{now: t0}
+	serial := newFlowStore(t, serialClock, 0, 1)
+	sharded := newFlowStore(t, shardedClock, 0, 4)
+	third := len(recs) / 3
+	for epoch := 0; epoch < 3; epoch++ {
+		part := recs[epoch*third : (epoch+1)*third]
+		for _, r := range part {
+			if err := serial.Ingest("router", r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sharded.IngestBatch("router", asItems(part)); err != nil {
+			t.Fatal(err)
+		}
+		if epoch < 2 { // leave the last epoch live
+			serialClock.Advance(time.Minute)
+			shardedClock.Advance(time.Minute)
+			if err := serial.Seal("flows"); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.Seal("flows"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	windows := []struct{ from, to time.Time }{
+		{t0, t0.Add(time.Hour)},                        // everything
+		{t0, t0.Add(time.Minute)},                      // first sealed epoch only
+		{t0.Add(time.Minute), t0.Add(2 * time.Minute)}, // second sealed epoch
+	}
+	for _, w := range windows {
+		for _, q := range []any{
+			primitive.FlowQuery{Key: flow.Root()},
+			primitive.FlowTopKQuery{K: 20},
+			primitive.FlowHHHQuery{Phi: 0.02},
+		} {
+			want, err := serial.Query("flows", q, w.from, w.to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sharded.Query("flows", q, w.from, w.to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("window [%v,%v) query %#v diverged:\nserial:  %v\nsharded: %v",
+					w.from, w.to, q, want, got)
+			}
+		}
+	}
+}
+
+// TestShardedBudgetPreservesTotals checks the weaker property that holds
+// under compression: whatever the shard count and node budget, the total
+// counters are preserved exactly (compression only coarsens attribution).
+func TestShardedBudgetPreservesTotals(t *testing.T) {
+	recs := genTrace(t, 11, 10000)
+	var want flow.Counters
+	for _, r := range recs {
+		want.Add(flow.CountersOf(r))
+	}
+	for _, shards := range []int{1, 3, 8} {
+		s := newFlowStore(t, &testClock{now: t0}, 512, shards)
+		if err := s.IngestBatch("router", asItems(recs)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.QueryLive("flows", primitive.FlowQuery{Key: flow.Root()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.(flow.Counters); got != want {
+			t.Errorf("shards=%d: total %+v, want %+v", shards, got, want)
+		}
+	}
+}
+
+// TestConcurrentShardedIngest hammers a sharded store from many goroutines
+// with concurrent batches, seals, queries and stats. Run under -race this
+// is the pipeline's data-race check; the final total asserts no record was
+// lost or double-counted.
+func TestConcurrentShardedIngest(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newFlowStore(t, clock, 2048, 4)
+	const (
+		workers          = 8
+		batchesPerWorker = 20
+		batchLen         = 250
+	)
+	traces := make([][]flow.Record, workers)
+	var want flow.Counters
+	for w := range traces {
+		traces[w] = genTrace(t, int64(w+100), batchesPerWorker*batchLen)
+		for _, r := range traces[w] {
+			want.Add(flow.CountersOf(r))
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			trace := traces[w]
+			for i := 0; i < batchesPerWorker; i++ {
+				batch := trace[i*batchLen : (i+1)*batchLen]
+				if err := s.IngestBatch("router", asItems(batch)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers and a bounded sealer exercise the fan-in paths
+	// (bounded so the virtual clock and the retention budget stay well
+	// inside the final query window).
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for seals := 0; seals < 25; seals++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.QueryLive("flows", primitive.FlowTopKQuery{K: 5}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := s.StatsOf("flows"); err != nil {
+				t.Error(err)
+				return
+			}
+			clock.Advance(time.Second)
+			if err := s.Seal("flows"); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	// All records must be present across sealed epochs plus the live one.
+	res, err := s.Query("flows", primitive.FlowQuery{Key: flow.Root()}, t0.Add(-time.Hour), t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.(flow.Counters); got != want {
+		t.Errorf("after concurrent ingest: total %+v, want %+v", got, want)
+	}
+	st, err := s.StatsOf("flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Adds != uint64(workers*batchesPerWorker*batchLen) {
+		t.Errorf("adds = %d, want %d", st.Adds, workers*batchesPerWorker*batchLen)
+	}
+}
+
+// TestIngestBatchTriggers checks that batched ingest evaluates triggers per
+// item and fires them outside the store locks (the callback queries the
+// store).
+func TestIngestBatchTriggers(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newStatsStore(t, clock, StrategyExpire)
+	var fired []TriggerEvent
+	err := s.InstallTrigger(Trigger{
+		Name: "hot", Stream: "sensor/temp",
+		Condition: func(item any) bool {
+			r, ok := item.(primitive.Reading)
+			return ok && r.Value > 90
+		},
+		Fire: func(ev TriggerEvent) {
+			// Querying from the callback must not deadlock.
+			if _, err := s.StatsOf("temp"); err != nil {
+				t.Error(err)
+			}
+			fired = append(fired, ev)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []any{
+		primitive.Reading{At: t0, Value: 50},
+		primitive.Reading{At: t0, Value: 95},
+		primitive.Reading{At: t0, Value: 99},
+		primitive.Reading{At: t0, Value: 10},
+	}
+	if err := s.IngestBatch("sensor/temp", items); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d triggers, want 2", len(fired))
+	}
+	st, err := s.StatsOf("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Adds != 4 {
+		t.Errorf("adds = %d, want 4", st.Adds)
+	}
+}
+
+// TestIngestBatchErrors covers the error paths of the batch API.
+func TestIngestBatchErrors(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := newFlowStore(t, clock, 0, 2)
+	if err := s.IngestBatch("ghost", []any{flow.Record{}}); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("unknown stream: %v", err)
+	}
+	if err := s.IngestBatch("router", nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	// A wrong-typed item surfaces an error but does not poison the batch.
+	recs := genTrace(t, 5, 10)
+	items := append(asItems(recs), "garbage")
+	if err := s.IngestBatch("router", items); err == nil {
+		t.Error("wrong input type must error")
+	}
+	res, err := s.QueryLive("flows", primitive.FlowQuery{Key: flow.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.(flow.Counters); got.Flows != uint64(len(recs)) {
+		t.Errorf("flows = %d, want %d (valid records must land despite the bad item)", got.Flows, len(recs))
+	}
+}
+
+// TestShardedUnkeyedRoundRobin checks that items without a flow key spread
+// across shards instead of piling onto one.
+func TestShardedUnkeyedRoundRobin(t *testing.T) {
+	clock := &testClock{now: t0}
+	s := New("edge", clock.Now, WithShards(4))
+	err := s.Register(AggregatorConfig{
+		Name: "temp", New: statsFactory(time.Minute),
+		Strategy: StrategyExpire, TTL: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("sensor/temp", "temp"); err != nil {
+		t.Fatal(err)
+	}
+	items := make([]any, 100)
+	for i := range items {
+		items[i] = primitive.Reading{At: t0, Value: float64(i)}
+	}
+	if err := s.IngestBatch("sensor/temp", items); err != nil {
+		t.Fatal(err)
+	}
+	st := s.aggs["temp"]
+	for i, sh := range st.shards {
+		if sh.adds != 25 {
+			t.Errorf("shard %d got %d items, want 25", i, sh.adds)
+		}
+	}
+	// The merged live view still sees every reading.
+	res, err := s.QueryLive("temp", primitive.StatsQuery{From: t0, To: t0.Add(time.Hour), Stat: primitive.StatCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := res.([]primitive.StatPoint)
+	if len(points) != 1 || points[0].Value != 100 {
+		t.Errorf("live count = %v, want one bin of 100", points)
+	}
+}

@@ -107,6 +107,26 @@ func (k Key) AppendBinary(dst []byte) []byte {
 	return append(dst, buf[:]...)
 }
 
+// FNV-1a constants (hash/fnv, inlined to keep the hot path allocation-free).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns a stable 64-bit hash of the normalized key (FNV-1a over the
+// AppendBinary encoding). Sharded ingest partitions streams with it, so two
+// records of the same flow always land on the same shard.
+func (k Key) Hash() uint64 {
+	var buf [keyWireSize]byte
+	b := k.AppendBinary(buf[:0])
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // KeyFromBinary decodes a key encoded by AppendBinary and returns the number
 // of bytes consumed.
 func KeyFromBinary(src []byte) (Key, int, error) {

@@ -34,6 +34,20 @@ type Config struct {
 	Link simnet.Link
 	// Start initializes the virtual clock.
 	Start time.Time
+	// Shards is the number of concurrent ingest shards per site store:
+	// each site's stream is partitioned by flow-key hash across Shards
+	// Flowtree instances that are filled in parallel and fanned back
+	// together at epoch sealing via Merge (default 1 = serial ingest).
+	// The node budget is split evenly across the shards
+	// (datastore.ShardBudget), so live memory per site stays that of one
+	// budgeted tree; pre-seal attribution coarsens accordingly at high
+	// shard counts, while sealed epochs are always one full-budget tree.
+	Shards int
+	// BatchSize is the number of records IngestBatch hands to a site
+	// store per call (default 4096). Larger batches amortize locking and
+	// Flowtree compression; smaller batches bound how long records stay
+	// invisible to triggers and live queries.
+	BatchSize int
 }
 
 // aggName is the Flowtree aggregator registered at every site store.
@@ -67,6 +81,12 @@ func New(cfg Config) (*System, error) {
 	if cfg.Start.IsZero() {
 		cfg.Start = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4096
+	}
 	s := &System{
 		cfg:     cfg,
 		Clock:   simnet.NewClock(cfg.Start),
@@ -83,12 +103,22 @@ func New(cfg Config) (*System, error) {
 		if _, dup := s.stores[site]; dup {
 			return nil, fmt.Errorf("flowstream: duplicate site %q", site)
 		}
-		store := datastore.New(site, s.Clock.Now)
+		store := datastore.New(site, s.Clock.Now, datastore.WithShards(cfg.Shards))
 		budget := cfg.TreeBudget
+		// Each shard gets an equal slice of the node budget: the live
+		// memory envelope stays that of one budgeted tree regardless of
+		// shard count, per-shard trees stay small and cache-resident,
+		// and the sealing merge fans the slices back into one
+		// full-budget tree — the paper's "A12 = compress(A1 ∪ A2)"
+		// construction.
+		shardBudget := datastore.ShardBudget(budget, cfg.Shards)
 		err := store.Register(datastore.AggregatorConfig{
 			Name: aggName,
 			New: func() (primitive.Aggregator, error) {
 				return primitive.NewFlowtree(aggName, budget)
+			},
+			NewShard: func() (primitive.Aggregator, error) {
+				return primitive.NewFlowtree(aggName, shardBudget)
 			},
 			Strategy:    datastore.StrategyRoundRobin,
 			BudgetBytes: 64 << 20,
@@ -119,36 +149,62 @@ func (s *System) Store(site string) (*datastore.Store, error) {
 }
 
 // Ingest pushes router flow records into a site's data store (Figure 5
-// steps 1-2).
+// steps 1-2). It delegates to IngestBatch, so it benefits from the sharded
+// batch path; callers that want record-at-a-time semantics can use the
+// site store's Ingest directly.
 func (s *System) Ingest(site string, recs []flow.Record) error {
+	return s.IngestBatch(site, recs)
+}
+
+// IngestBatch pushes router flow records into a site's data store in
+// chunks of Config.BatchSize. Each chunk is partitioned by flow-key hash
+// across the store's shards and applied concurrently through the store's
+// typed (unboxed) batch path, which amortizes locking and Flowtree
+// compression over the whole chunk (the sharded fast path of Figure 5
+// steps 1-2).
+func (s *System) IngestBatch(site string, recs []flow.Record) error {
 	st, err := s.Store(site)
 	if err != nil {
 		return err
 	}
-	for _, r := range recs {
-		if err := st.Ingest("router", r); err != nil {
+	batch := s.cfg.BatchSize
+	for len(recs) > 0 {
+		n := min(batch, len(recs))
+		if err := st.IngestFlowBatch("router", recs[:n]); err != nil {
 			return err
 		}
+		recs = recs[n:]
 	}
 	return nil
 }
 
 // EndEpoch closes the current epoch everywhere: each site seals its
-// Flowtree, serializes it, ships it to the central site over the metered
-// WAN (step 3) and indexes it in FlowDB (step 4). The virtual clock then
+// Flowtree (merging its ingest shards into one budgeted summary),
+// serializes it, ships it to the central site over the metered WAN
+// (step 3) and indexes it in FlowDB (step 4). The virtual clock then
 // advances by one epoch.
+//
+// Each site seals before exporting, so on an export error the epoch is
+// already in the site's local retention (queryable there) but absent from
+// central FlowDB. simnet transfers only fail on static topology errors —
+// New connects every site — so there is no transient-retry path to
+// preserve; a real WAN exporter should instead re-ship from local
+// retention (see ROADMAP).
 func (s *System) EndEpoch() error {
 	epochStart := s.cfg.Start.Add(time.Duration(s.epoch) * s.cfg.Epoch)
 	s.Clock.AdvanceTo(epochStart.Add(s.cfg.Epoch))
 	for _, site := range s.cfg.Sites {
 		st := s.stores[site]
-		live, err := st.Live(aggName)
+		// SealExport merges the site's shards into one budgeted summary
+		// exactly once, moving it into retention and handing it back for
+		// the WAN export.
+		sealed, err := st.SealExport(aggName)
 		if err != nil {
 			return err
 		}
-		ft, ok := live.(*primitive.FlowtreeAggregator)
+		ft, ok := sealed.(*primitive.FlowtreeAggregator)
 		if !ok {
-			return fmt.Errorf("flowstream: site %q aggregator is %T", site, live)
+			return fmt.Errorf("flowstream: site %q aggregator is %T", site, sealed)
 		}
 		wire := ft.Tree().AppendBinary(nil)
 		if _, err := s.Net.Transfer(simnet.SiteID(site), s.central, uint64(len(wire))); err != nil {
@@ -164,9 +220,6 @@ func (s *System) EndEpoch() error {
 			Width:    s.cfg.Epoch,
 			Tree:     tree,
 		}); err != nil {
-			return err
-		}
-		if err := st.Seal(aggName); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,127 @@
+package flowstream
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/workload"
+)
+
+// buildSystem runs the same two-site, two-epoch trace through a system with
+// the given shard count and returns it with its per-site records.
+func buildSystem(t *testing.T, shards, flowsPerEpoch int) (*System, []flow.Record) {
+	t.Helper()
+	sys, err := New(Config{
+		Sites:      []string{"east", "west"},
+		TreeBudget: 0, // unlimited: equivalence must be exact
+		Epoch:      time.Minute,
+		Shards:     shards,
+		BatchSize:  777, // odd size so batches never align with the trace
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []flow.Record
+	for epoch := 0; epoch < 2; epoch++ {
+		for i, site := range []string{"east", "west"} {
+			g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(epoch*10 + i), Skew: 1.2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := g.Records(flowsPerEpoch)
+			all = append(all, recs...)
+			if err := sys.IngestBatch(site, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys, all
+}
+
+// TestShardedPipelineEquivalence runs the full Figure 5 pipeline — sharded
+// ingest, epoch sealing with merge fan-in, WAN export, FlowDB indexing,
+// FlowQL — at several shard counts and checks the answers are identical to
+// the serial pipeline.
+func TestShardedPipelineEquivalence(t *testing.T) {
+	serial, _ := buildSystem(t, 1, 3000)
+	statements := []string{
+		`SELECT QUERY FROM ALL`,
+		`SELECT QUERY FROM ALL WHERE src = 10.0.0.0/8`,
+		`SELECT TOPK(25) FROM ALL`,
+		`SELECT HHH(0.01) FROM ALL`,
+		`SELECT QUERY AT east FROM ALL`,
+	}
+	for _, shards := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sharded, _ := buildSystem(t, shards, 3000)
+			if got, want := sharded.WANBytes(), serial.WANBytes(); got != want {
+				t.Errorf("WAN bytes = %d, want %d (sealed exports must be identical)", got, want)
+			}
+			for _, stmt := range statements {
+				want, err := serial.Query(stmt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sharded.Query(stmt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s diverged:\nserial:  %+v\nsharded: %+v", stmt, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSiteIngest ingests into every site from its own goroutine
+// (the deployment shape of Figure 5: independent routers pushing
+// concurrently), then seals and queries. Run under -race this checks the
+// cross-site concurrency of the sharded pipeline.
+func TestConcurrentSiteIngest(t *testing.T) {
+	sites := []string{"s0", "s1", "s2", "s3"}
+	sys, err := New(Config{Sites: sites, TreeBudget: 4096, Epoch: time.Minute, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want flow.Counters
+	traces := make([][]flow.Record, len(sites))
+	for i := range sites {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Skew: 1.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = g.Records(5000)
+		for _, r := range traces[i] {
+			want.Add(flow.CountersOf(r))
+		}
+	}
+	var wg sync.WaitGroup
+	for i, site := range sites {
+		wg.Add(1)
+		go func(site string, recs []flow.Record) {
+			defer wg.Done()
+			if err := sys.IngestBatch(site, recs); err != nil {
+				t.Error(err)
+			}
+		}(site, traces[i])
+	}
+	wg.Wait()
+	if err := sys.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query(`SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters != want {
+		t.Errorf("total after concurrent site ingest = %+v, want %+v", res.Counters, want)
+	}
+}

@@ -45,7 +45,10 @@ func WithCompressTarget(f float64) Option {
 	return func(t *Tree) { t.compressTarget = f }
 }
 
-// node is one generalized flow in the tree.
+// node is one generalized flow in the tree. children is nil until the node
+// gets its first child: most nodes are leaves, and not allocating their
+// (empty) child maps measurably cuts allocation and GC scan work on the
+// ingest path.
 type node struct {
 	key      flow.Key
 	own      flow.Counters // weight attributed directly to this key
@@ -104,6 +107,23 @@ func (t *Tree) Add(rec flow.Record) {
 	t.maybeCompress()
 }
 
+// AddBatch ingests a slice of flow records, enforcing the node budget once
+// at the end of the batch rather than after every record. Within a batch the
+// tree may temporarily exceed its budget; the final state is compressed back
+// under it.
+//
+// Compression runs once per batch instead of on every insert that crosses
+// the budget, so the fold heap is built far less often; the resulting state
+// is exactly what serial insertion would produce up to compression timing,
+// which moves to batch boundaries.
+func (t *Tree) AddBatch(recs []flow.Record) {
+	for _, r := range recs {
+		t.inserted++
+		t.addCounters(r.Key, flow.CountersOf(r))
+	}
+	t.maybeCompress()
+}
+
 // AddCounters ingests a pre-aggregated weight at an arbitrary (possibly
 // generalized) key. Used by Merge and by data-store re-aggregation.
 func (t *Tree) AddCounters(key flow.Key, c flow.Counters) {
@@ -145,7 +165,10 @@ func (t *Tree) ensure(key flow.Key) *node {
 	}
 	// Create from most general to most specific.
 	for i := len(missing) - 1; i >= 0; i-- {
-		n := &node{key: missing[i], parent: attach, children: make(map[flow.Key]*node)}
+		n := &node{key: missing[i], parent: attach}
+		if attach.children == nil {
+			attach.children = make(map[flow.Key]*node, 2)
+		}
 		attach.children[n.key] = n
 		t.nodes[n.key] = n
 		// New interior nodes start empty; any existing weight under
@@ -277,6 +300,33 @@ func (t *Tree) Merge(other *Tree) error {
 		}
 		return true
 	})
+	t.maybeCompress()
+	return nil
+}
+
+// MergeAll joins several Flowtrees into t with a single budget compression
+// at the end, instead of one per merge. Sealing a sharded epoch fans N
+// shard memtables together this way; compressing once over the union is
+// both cheaper and no coarser than compressing after every constituent.
+func (t *Tree) MergeAll(others ...*Tree) error {
+	// Validate every tree before folding any weight in, so a mismatch
+	// cannot leave t half-merged.
+	for _, other := range others {
+		if other != nil && other.stepBits != t.stepBits {
+			return errors.New("flowtree: merging trees with different generalization steps")
+		}
+	}
+	for _, other := range others {
+		if other == nil {
+			continue
+		}
+		other.walk(func(n *node) bool {
+			if !n.own.IsZero() {
+				t.addCounters(n.key, n.own)
+			}
+			return true
+		})
+	}
 	t.maybeCompress()
 	return nil
 }

@@ -232,11 +232,9 @@ func (h *Hierarchy) Rollup() ([]LevelBytes, error) {
 			if _, err := h.Net.Transfer(n.Site, n.Parent.Site, size); err != nil {
 				return nil, fmt.Errorf("hierarchy: export %s: %w", n.Site, err)
 			}
-			parentAgg, err := n.Parent.Store.Live(h.aggName)
-			if err != nil {
-				return nil, err
-			}
-			if err := parentAgg.Merge(ft); err != nil {
+			// MergeLive (rather than mutating a Live reference) keeps
+			// the rollup correct even if a node's store is sharded.
+			if err := n.Parent.Store.MergeLive(h.aggName, ft); err != nil {
 				return nil, fmt.Errorf("hierarchy: merge into %s: %w", n.Parent.Site, err)
 			}
 		}

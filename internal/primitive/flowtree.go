@@ -70,6 +70,57 @@ func (f *FlowtreeAggregator) Add(item any) error {
 	return nil
 }
 
+// AddBatch implements BatchAdder: records are inserted with the node budget
+// enforced once at the end of the batch, which is substantially cheaper than
+// per-record Add on budgeted trees. Non-Record items are reported as
+// ErrWrongInput after the rest of the batch has been ingested.
+func (f *FlowtreeAggregator) AddBatch(items []any) error {
+	var firstErr error
+	recs := make([]flow.Record, 0, len(items))
+	for _, item := range items {
+		r, ok := item.(flow.Record)
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: flowtree aggregator takes flow.Record, got %T", ErrWrongInput, item)
+			}
+			continue
+		}
+		recs = append(recs, r)
+	}
+	f.tree.AddBatch(recs)
+	return firstErr
+}
+
+var _ BatchAdder = (*FlowtreeAggregator)(nil)
+
+// AddFlowBatch implements FlowBatchAdder: the unboxed bulk ingest path.
+func (f *FlowtreeAggregator) AddFlowBatch(recs []flow.Record) error {
+	f.tree.AddBatch(recs)
+	return nil
+}
+
+var _ FlowBatchAdder = (*FlowtreeAggregator)(nil)
+
+// MergeBulk implements BulkMerger: all summaries are folded in with a
+// single budget compression at the end, so a sharded store's sealing
+// fan-in pays the fold heap once instead of once per shard.
+func (f *FlowtreeAggregator) MergeBulk(others []Aggregator) error {
+	trees := make([]*flowtree.Tree, 0, len(others))
+	for _, other := range others {
+		o, ok := other.(*FlowtreeAggregator)
+		if !ok {
+			return fmt.Errorf("%w: flowtree vs %s", ErrKindMismatch, other.Kind())
+		}
+		trees = append(trees, o.tree)
+	}
+	if err := f.tree.MergeAll(trees...); err != nil {
+		return fmt.Errorf("%w: %v", ErrKindMismatch, err)
+	}
+	return nil
+}
+
+var _ BulkMerger = (*FlowtreeAggregator)(nil)
+
 // Query dispatches the Table II operators.
 func (f *FlowtreeAggregator) Query(q any) (any, error) {
 	switch qq := q.(type) {

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"megadata/internal/flow"
 )
 
 // Kind identifies an aggregator family. Merging is only defined within a
@@ -99,6 +101,34 @@ type Aggregator interface {
 	SizeBytes() uint64
 	// Reset clears the summary for a new epoch, keeping configuration.
 	Reset()
+}
+
+// BatchAdder is optionally implemented by aggregators that have a bulk
+// ingest path cheaper than calling Add per item (e.g. Flowtree defers
+// budget compression to the end of the batch). The data store's IngestBatch
+// uses it when present and falls back to per-item Add otherwise. AddBatch
+// must be equivalent to adding every item individually, except that
+// self-adaptation (compression, eviction) may be deferred to batch
+// boundaries. It returns the first per-item error, having attempted every
+// item.
+type BatchAdder interface {
+	AddBatch(items []any) error
+}
+
+// FlowBatchAdder is optionally implemented by aggregators that consume flow
+// records natively. It lets the data store's typed ingest path hand a whole
+// record slice over without boxing every record into an interface value —
+// on the sharded hot path that per-record allocation is pure overhead.
+type FlowBatchAdder interface {
+	AddFlowBatch(recs []flow.Record) error
+}
+
+// BulkMerger is optionally implemented by aggregators whose Merge defers
+// self-adaptation (e.g. Flowtree compression) so that merging many
+// summaries at once — the sealing fan-in of a sharded store — pays it only
+// once instead of per merge.
+type BulkMerger interface {
+	MergeBulk(others []Aggregator) error
 }
 
 // Reading is the numeric stream element consumed by sample and stats

@@ -12,8 +12,9 @@
 //   - internal/flowtree: the Flowtree primitive with all Table II operators
 //   - internal/primitive: the computing-primitive abstraction and
 //     implementations (sampling, statistics, heavy hitters, HHH, Flowtree)
-//   - internal/datastore: data stores with triggers and the three Section IV
-//     storage strategies
+//   - internal/datastore: data stores with triggers, the three Section IV
+//     storage strategies, and sharded concurrent ingest (WithShards +
+//     IngestBatch/IngestFlowBatch)
 //   - internal/flowdb, internal/flowql: the FlowDB engine and the FlowQL
 //     query language
 //   - internal/flowstream: the complete Figure 5 pipeline
@@ -25,12 +26,33 @@
 //   - internal/workload: synthetic flow traces, factory sensors and
 //     enterprise query traces
 //
+// # Sharded ingest
+//
+// The ingest hot path is sharded: a data store built with
+// datastore.WithShards(n) partitions every stream across n independently
+// locked instances of each subscribed primitive (flow records by key hash,
+// so a flow always lands on the same shard), and the batch APIs
+// (Store.IngestBatch, Store.IngestFlowBatch, flowstream's
+// System.IngestBatch) fill the shards with parallel workers while
+// amortizing locking, trigger resolution and Flowtree compression over
+// whole batches. Epoch sealing, queries and exports fan the shards back
+// together with the primitive's Merge — the paper's combinable-summaries
+// property ("A12 = compress(A1 ∪ A2)") is what makes the sharded pipeline
+// answer queries identically to the serial one, a property pinned down by
+// equivalence tests in internal/datastore and internal/flowstream. The
+// knobs are flowstream.Config.Shards and Config.BatchSize; each shard gets
+// an equal slice of the Flowtree node budget, so live memory stays that of
+// one budgeted tree.
+//
 // A minimal end-to-end use — build a Flowstream deployment, ingest flows,
 // and ask FlowQL for the heavy hitters:
 //
-//	sys, err := flowstream.New(flowstream.Config{Sites: []string{"edge0"}})
+//	sys, err := flowstream.New(flowstream.Config{
+//		Sites:  []string{"edge0"},
+//		Shards: 4, // concurrent ingest shards per site
+//	})
 //	...
-//	_ = sys.Ingest("edge0", records)
+//	_ = sys.IngestBatch("edge0", records)
 //	_ = sys.EndEpoch()
 //	res, err := sys.Query(`SELECT HHH(0.05) FROM ALL`)
 //
