@@ -1,9 +1,12 @@
 # Tier-1 verify is `make check` (build + vet + test); `make test-race`
 # additionally runs the concurrent ingest paths under the race detector.
+# `make bench` runs the hot-path benchmarks (Flowtree compression + sharded
+# ingest); `make bench-compare` re-measures compression throughput and
+# fails on a >10% regression against the checked-in BENCH_compress.json.
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench check
+.PHONY: all build vet test test-race bench bench-all bench-baseline bench-compare check
 
 all: check
 
@@ -23,7 +26,24 @@ test-race:
 	$(GO) test -race ./internal/datastore/ ./internal/flowstream/ \
 		./internal/flowtree/ ./internal/primitive/ .
 
+# Hot-path benchmarks: the sort-based bulk fold vs its heap baseline, bulk
+# ingest, structural clone, and the sharded data-store ingest sweep.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompress|BenchmarkAddBatch|BenchmarkClone' \
+		-benchtime 1x ./internal/flowtree/
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestSharded' -benchtime 1x .
+
+# Every benchmark in the repo (paper tables and figures included).
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Refresh the compression-throughput baseline (run on the reference host).
+bench-baseline:
+	$(GO) run ./cmd/benchreport -exp compress -out BENCH_compress.json
+
+# Guard the perf trajectory: fail when compression throughput drops more
+# than 10% below the checked-in baseline.
+bench-compare:
+	$(GO) run ./cmd/benchreport -exp compress -compare BENCH_compress.json
 
 check: build vet test

@@ -3,18 +3,27 @@
 // markdown table with freshly measured numbers.
 //
 //	go run ./cmd/benchreport -exp all
-//	go run ./cmd/benchreport -exp e3      # Fig. 6 replication policies
-//	go run ./cmd/benchreport -exp e4     # Fig. 4 summary accuracy sweep
-//	go run ./cmd/benchreport -exp e6     # §IV storage strategies
-//	go run ./cmd/benchreport -exp e10    # Fig. 1 hierarchy rollup
-//	go run ./cmd/benchreport -exp ingest # sharded ingest throughput sweep
-//	go run ./cmd/benchreport -exp table1 # Table I challenge coverage
+//	go run ./cmd/benchreport -exp e3       # Fig. 6 replication policies
+//	go run ./cmd/benchreport -exp e4       # Fig. 4 summary accuracy sweep
+//	go run ./cmd/benchreport -exp e6       # §IV storage strategies
+//	go run ./cmd/benchreport -exp e10      # Fig. 1 hierarchy rollup
+//	go run ./cmd/benchreport -exp ingest   # sharded ingest throughput sweep
+//	go run ./cmd/benchreport -exp compress # Flowtree bulk-fold throughput sweep
+//	go run ./cmd/benchreport -exp table1   # Table I challenge coverage
+//
+// The compress experiment additionally tracks the perf trajectory across
+// PRs: -out writes the measured throughput as a JSON baseline
+// (BENCH_compress.json), and -compare diffs a fresh run against a
+// checked-in baseline, exiting non-zero when any configuration regresses
+// by more than -tol (default 10%) — `make bench-compare` wires this up.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -31,15 +40,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, table1, all")
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, table1, all")
+	out := flag.String("out", "", "compress: write the measured baseline JSON to this path")
+	compare := flag.String("compare", "", "compress: compare against this baseline JSON and fail on regression")
+	tol := flag.Float64("tol", 0.10, "compress: tolerated fractional throughput regression for -compare")
 	flag.Parse()
 	reports := map[string]func() error{
-		"e3":     reportE3,
-		"e4":     reportE4,
-		"e6":     reportE6,
-		"e10":    reportE10,
-		"ingest": reportIngest,
-		"table1": reportTable1,
+		"e3":       reportE3,
+		"e4":       reportE4,
+		"e6":       reportE6,
+		"e10":      reportE10,
+		"ingest":   reportIngest,
+		"compress": func() error { return reportCompress(*out, *compare, *tol) },
+		"table1":   reportTable1,
 	}
 	if *exp != "all" {
 		fn, ok := reports[*exp]
@@ -353,6 +366,137 @@ func reportIngest() error {
 	fmt.Println("|---|---|---|---|")
 	for _, r := range rows {
 		fmt.Printf("| %s | %.0f | %.2fx | %v |\n", r.name, r.flowsPS, r.flowsPS/base, r.seal.Round(10*time.Microsecond))
+	}
+	return nil
+}
+
+// compressBaseline is the JSON schema of BENCH_compress.json: one measured
+// throughput entry per (budget, skew) configuration.
+type compressBaseline struct {
+	Experiment string          `json:"experiment"`
+	Records    int             `json:"records"`
+	Entries    []compressEntry `json:"entries"`
+}
+
+type compressEntry struct {
+	Budget      int     `json:"budget"`
+	Skew        float64 `json:"skew"`
+	Nodes       int     `json:"nodes"`
+	FoldsPerSec float64 `json:"folds_per_sec"`
+}
+
+// reportCompress measures Flowtree bulk-fold compression throughput across
+// node budgets and trace skews: an unbudgeted tree is built from the trace
+// once per skew, and each configuration compresses a structural clone of it
+// down to the budget (best of five, damping scheduler noise on loaded
+// hosts). Throughput is reported as folds per
+// second (nodes removed / wall time), the quantity the sort-based fold
+// optimizes. With -out the numbers are written as the JSON baseline; with
+// -compare they are diffed against a stored baseline and any configuration
+// slower by more than tol fails the run.
+func reportCompress(outPath, comparePath string, tol float64) error {
+	const records = 200000
+	fmt.Printf("## Compress — Flowtree bulk sort-fold throughput (%d records)\n\n", records)
+	budgets := []int{1024, 4096, 10000}
+	skews := []float64{1.1, 1.4}
+	base := compressBaseline{Experiment: "compress", Records: records}
+	fmt.Println("| budget | skew | nodes before | compress time | folds/s |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, skew := range skews {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 42, Skew: skew})
+		if err != nil {
+			return err
+		}
+		full, err := flowtree.New(0)
+		if err != nil {
+			return err
+		}
+		full.AddBatch(g.Records(records))
+		for _, budget := range budgets {
+			var best time.Duration
+			for rep := 0; rep < 5; rep++ {
+				tr := full.Clone()
+				runtime.GC()
+				start := time.Now()
+				tr.CompressTo(budget)
+				if d := time.Since(start); rep == 0 || d < best {
+					best = d
+				}
+			}
+			folds := full.Len() - budget
+			fps := float64(folds) / best.Seconds()
+			fmt.Printf("| %d | %.1f | %d | %v | %.0f |\n",
+				budget, skew, full.Len(), best.Round(10*time.Microsecond), fps)
+			base.Entries = append(base.Entries, compressEntry{
+				Budget: budget, Skew: skew, Nodes: full.Len(), FoldsPerSec: fps,
+			})
+		}
+	}
+	if outPath != "" {
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbaseline written to %s\n", outPath)
+	}
+	if comparePath != "" {
+		return compareCompress(base, comparePath, tol)
+	}
+	return nil
+}
+
+// compareCompress diffs freshly measured throughput against a stored
+// baseline. It fails on a regression beyond tol AND on any configuration
+// drift — a fresh entry without a baseline, a baseline entry that was not
+// re-measured, or a different record count — so an edited experiment can
+// never leave the gate vacuously green; drift means the baseline must be
+// regenerated deliberately (make bench-baseline).
+func compareCompress(fresh compressBaseline, comparePath string, tol float64) error {
+	buf, err := os.ReadFile(comparePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var stored compressBaseline
+	if err := json.Unmarshal(buf, &stored); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", comparePath, err)
+	}
+	if stored.Records != fresh.Records {
+		return fmt.Errorf("baseline %s measured %d records, this run %d — regenerate the baseline",
+			comparePath, stored.Records, fresh.Records)
+	}
+	byCfg := make(map[[2]float64]compressEntry, len(stored.Entries))
+	for _, e := range stored.Entries {
+		byCfg[[2]float64{float64(e.Budget), e.Skew}] = e
+	}
+	fmt.Printf("\ncomparison vs %s (tolerance %.0f%%):\n", comparePath, tol*100)
+	var failed bool
+	matched := 0
+	for _, e := range fresh.Entries {
+		want, ok := byCfg[[2]float64{float64(e.Budget), e.Skew}]
+		if !ok {
+			fmt.Printf("  budget=%d skew=%.1f: MISSING from baseline\n", e.Budget, e.Skew)
+			failed = true
+			continue
+		}
+		matched++
+		ratio := e.FoldsPerSec / want.FoldsPerSec
+		verdict := "ok"
+		if ratio < 1-tol {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  budget=%d skew=%.1f: %.0f vs %.0f folds/s (%.2fx) %s\n",
+			e.Budget, e.Skew, e.FoldsPerSec, want.FoldsPerSec, ratio, verdict)
+	}
+	if matched != len(stored.Entries) {
+		fmt.Printf("  %d baseline entr(ies) not re-measured\n", len(stored.Entries)-matched)
+		failed = true
+	}
+	if failed {
+		return fmt.Errorf("compression throughput gate failed against %s (regression or configuration drift)", comparePath)
 	}
 	return nil
 }

@@ -694,6 +694,14 @@ func (st *aggState) epochsInRange(from, to time.Time) []storage.Epoch[primitive.
 // epochs overlapping the window and the live epoch are merged into a fresh
 // instance, which then answers the query. This is the paper's combinable-
 // summaries property doing the work of time-range queries.
+//
+// The fan-in runs outside the store locks wherever references stay valid
+// there: live shards are snapshotted under the locks (primitive.Cloner)
+// and TTL/round-robin epoch payloads are immutable once stored, so both
+// merge after the unlock — one bulk compression for the whole window, with
+// ingest stalled only for the shard snapshots. StrategyHierarchical
+// coarsening mutates stored payloads in place, so its epochs are merged
+// under the registry lock as before.
 func (s *Store) Query(aggregator string, q any, from, to time.Time) (any, error) {
 	s.mu.Lock()
 	st, ok := s.aggs[aggregator]
@@ -707,26 +715,81 @@ func (s *Store) Query(aggregator string, q any, from, to time.Time) (any, error)
 		s.mu.Unlock()
 		return nil, fmt.Errorf("datastore: build query scratch: %w", err)
 	}
+	var deferred []primitive.Aggregator
 	for _, ep := range st.epochsInRange(from, to) {
+		if st.hier == nil {
+			deferred = append(deferred, ep.Payload)
+			continue
+		}
 		if err := combined.Merge(ep.Payload); err != nil {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("datastore: merge epoch at %v: %w", ep.Start, err)
 		}
 	}
 	// The live epoch covers [st.epoch, now] and counts when it overlaps
-	// the window. Every live shard is folded in.
+	// the window.
 	if st.epoch.Before(to) && !s.now().Before(from) {
-		if err := st.mergeLive(combined); err != nil {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+		snaps := st.snapshotLive()
+		if snaps == nil {
+			if err := st.mergeLive(combined); err != nil {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+			}
+		} else {
+			deferred = append(deferred, snaps...)
 		}
 	}
 	s.mu.Unlock()
+	if len(deferred) > 0 {
+		if err := mergeSnapshots(combined, deferred); err != nil {
+			return nil, fmt.Errorf("datastore: merge query window: %w", err)
+		}
+	}
 	return combined.Query(q)
 }
 
-// mergeLive folds every live shard instance into dst, taking each shard
-// lock in turn (callers hold the registry lock; lock order mu -> shard).
+// snapshotLive deep-copies every live shard (primitive.Cloner), holding
+// each shard lock only for its O(nodes) structural copy, and returns nil
+// when any shard cannot be cloned. Callers hold the registry lock (lock
+// order mu -> shard), so the snapshot set is consistent with respect to
+// Seal; the expensive merge of the snapshots then runs via mergeSnapshots
+// after the caller has released every store lock, so queries never stall
+// ingest for the duration of the fan-in.
+func (st *aggState) snapshotLive() []primitive.Aggregator {
+	snaps := make([]primitive.Aggregator, 0, len(st.shards))
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		cl, ok := sh.cur.(primitive.Cloner)
+		if !ok {
+			sh.mu.Unlock()
+			return nil
+		}
+		snaps = append(snaps, cl.CloneAggregator())
+		sh.mu.Unlock()
+	}
+	return snaps
+}
+
+// mergeSnapshots folds shard snapshots into dst outside all store locks,
+// preferring the bulk path so self-adaptation — Flowtree's budget
+// compression in particular — runs once over the union instead of once per
+// shard.
+func mergeSnapshots(dst primitive.Aggregator, snaps []primitive.Aggregator) error {
+	if bm, ok := dst.(primitive.BulkMerger); ok {
+		return bm.MergeBulk(snaps)
+	}
+	for _, s := range snaps {
+		if err := dst.Merge(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeLive folds every live shard instance into dst one shard at a time,
+// holding one shard lock each (callers hold the registry lock; lock order
+// mu -> shard). It is the fallback for aggregators without a cheap
+// snapshot; cloneable aggregators go through snapshotLive/mergeSnapshots.
 func (st *aggState) mergeLive(dst primitive.Aggregator) error {
 	for _, sh := range st.shards {
 		sh.mu.Lock()
@@ -762,11 +825,19 @@ func (s *Store) QueryLive(aggregator string, q any) (any, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("datastore: build query scratch: %w", err)
 	}
-	if err := st.mergeLive(scratch); err != nil {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+	snaps := st.snapshotLive()
+	if snaps == nil {
+		if err := st.mergeLive(scratch); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+		}
 	}
 	s.mu.Unlock()
+	if snaps != nil {
+		if err := mergeSnapshots(scratch, snaps); err != nil {
+			return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+		}
+	}
 	return scratch.Query(q)
 }
 
@@ -780,20 +851,32 @@ func (s *Store) QueryLive(aggregator string, q any) (any, error) {
 // the live epoch — use MergeLive or Adapt to change live state.
 func (s *Store) Live(aggregator string) (primitive.Aggregator, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, ok := s.aggs[aggregator]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
 	}
 	if len(st.shards) == 1 {
+		defer s.mu.Unlock()
 		return st.shards[0].cur, nil
 	}
 	snap, err := st.cfg.New()
 	if err != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("datastore: build live snapshot: %w", err)
 	}
-	if err := st.mergeLive(snap); err != nil {
-		return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+	snaps := st.snapshotLive()
+	if snaps == nil {
+		if err := st.mergeLive(snap); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+		}
+	}
+	s.mu.Unlock()
+	if snaps != nil {
+		if err := mergeSnapshots(snap, snaps); err != nil {
+			return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+		}
 	}
 	return snap, nil
 }

@@ -159,9 +159,10 @@ func (s *System) Ingest(site string, recs []flow.Record) error {
 // IngestBatch pushes router flow records into a site's data store in
 // chunks of Config.BatchSize. Each chunk is partitioned by flow-key hash
 // across the store's shards and applied concurrently through the store's
-// typed (unboxed) batch path, which amortizes locking and Flowtree
-// compression over the whole chunk (the sharded fast path of Figure 5
-// steps 1-2).
+// typed (unboxed) batch path, which amortizes locking, Flowtree aggregate
+// propagation (deferred to one bottom-up rebuild per chunk) and budget
+// compression (one bulk sort-fold per chunk) over the whole chunk — the
+// sharded fast path of Figure 5 steps 1-2.
 func (s *System) IngestBatch(site string, recs []flow.Record) error {
 	st, err := s.Store(site)
 	if err != nil {

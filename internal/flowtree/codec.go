@@ -56,7 +56,9 @@ func (t *Tree) SizeBytes() uint64 {
 
 // Decode reconstructs a tree from wire data produced by AppendBinary. The
 // result uses the supplied budget and options; the generalization step is
-// taken from the wire header.
+// taken from the wire header. Decoding defers aggregate propagation: all
+// own weights land first and the aggregates are rebuilt with one bottom-up
+// pass before the budget is enforced.
 func Decode(src []byte, budget int, opts ...Option) (*Tree, error) {
 	if len(src) < 14 {
 		return nil, fmt.Errorf("%w: short header", ErrCodec)
@@ -90,8 +92,9 @@ func Decode(src []byte, budget int, opts ...Option) (*Tree, error) {
 			Flows:   binary.BigEndian.Uint64(src[16:]),
 		}
 		src = src[24:]
-		t.addCounters(key, c)
+		t.ensure(key).own.Add(c)
 	}
+	t.recomputeAgg(t.root)
 	t.maybeCompress()
 	return t, nil
 }

@@ -1,0 +1,286 @@
+package flowtree
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"megadata/internal/flow"
+	"megadata/internal/workload"
+)
+
+// refFoldHeap is the pre-PR2 container/heap fold, kept verbatim as the
+// equivalence baseline and benchmark reference for the sort-based
+// CompressTo: entries may be stale and are revalidated when popped.
+type refFoldHeap struct {
+	items []refFoldItem
+}
+
+type refFoldItem struct {
+	n *node
+	s uint64
+}
+
+func (h refFoldHeap) Len() int            { return len(h.items) }
+func (h refFoldHeap) Less(i, j int) bool  { return h.items[i].s < h.items[j].s }
+func (h refFoldHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *refFoldHeap) Push(x interface{}) { h.items = append(h.items, x.(refFoldItem)) }
+func (h *refFoldHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// compressToHeap is the heap-based incremental fold the sort-based
+// CompressTo replaced: fold the least popular leaf, cascading to parents
+// that become new leaves.
+func compressToHeap(t *Tree, target int) {
+	if target < 1 {
+		target = 1
+	}
+	if len(t.nodes) <= target {
+		return
+	}
+	h := &refFoldHeap{}
+	h.items = make([]refFoldItem, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		if n.isLeaf() && n != t.root {
+			h.items = append(h.items, refFoldItem{n: n, s: n.agg.ScoreWith(t.score)})
+		}
+	}
+	heap.Init(h)
+	for len(t.nodes) > target && h.Len() > 0 {
+		it := heap.Pop(h).(refFoldItem)
+		n := it.n
+		if t.nodes[n.key] != n || !n.isLeaf() || n == t.root {
+			continue
+		}
+		if cur := n.agg.ScoreWith(t.score); cur != it.s {
+			heap.Push(h, refFoldItem{n: n, s: cur})
+			continue
+		}
+		p := n.parent
+		p.own.Add(n.own)
+		delete(p.children, n.key)
+		delete(t.nodes, n.key)
+		if p.isLeaf() && p != t.root {
+			heap.Push(h, refFoldItem{n: p, s: p.agg.ScoreWith(t.score)})
+		}
+	}
+}
+
+// Property: the sort-based bulk fold is equivalent to the heap-based fold —
+// identical totals, identical node counts (within the requested target),
+// identical fold-score frontier, and Query stays a lower bound of the
+// uncompressed tree on both.
+func TestPropSortFoldEquivalentToHeapFold(t *testing.T) {
+	f := func(xs []uint32, target8 uint8) bool {
+		target := int(target8)%300 + 2
+		full, _ := New(0)
+		var keys []flow.Key
+		for _, x := range xs {
+			r := randomRecord(x, x*2654435761, uint16(x), uint16(x>>16), x%100000)
+			full.Add(r)
+			keys = append(keys, r.Key)
+		}
+		sorted := full.Clone()
+		heaped := full.Clone()
+		sorted.CompressTo(target)
+		compressToHeap(heaped, target)
+		if sorted.Total() != heaped.Total() || sorted.Total() != full.Total() {
+			return false
+		}
+		if sorted.Len() != heaped.Len() || sorted.Len() > max(target, 1) {
+			return false
+		}
+		for _, k := range keys {
+			truth := full.Query(k)
+			qs, qh := sorted.Query(k), heaped.Query(k)
+			if qs.Bytes > truth.Bytes || qh.Bytes > truth.Bytes {
+				return false // compressed queries must stay lower bounds
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The two folds must agree not only on invariants but on attribution: on a
+// trace with distinct scores, both keep exactly the same node set.
+func TestSortFoldMatchesHeapFoldNodeSet(t *testing.T) {
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 7, Skew: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := New(0)
+	base.AddBatch(g.Records(20000))
+	for _, target := range []int{64, 512, 4096} {
+		sorted := base.Clone()
+		heaped := base.Clone()
+		sorted.CompressTo(target)
+		compressToHeap(heaped, target)
+		if sorted.Len() != heaped.Len() {
+			t.Fatalf("target %d: sort fold kept %d nodes, heap fold %d", target, sorted.Len(), heaped.Len())
+		}
+		mismatch := 0
+		for k := range sorted.nodes {
+			if _, ok := heaped.nodes[k]; !ok {
+				mismatch++
+			}
+		}
+		// Equal-score ties may resolve differently (the heap breaks them by
+		// sift order); anything beyond a sliver of the tree is a bug.
+		if mismatch > sorted.Len()/50+2 {
+			t.Errorf("target %d: %d of %d surviving nodes differ between folds", target, mismatch, sorted.Len())
+		}
+		for k, n := range sorted.nodes {
+			if hn, ok := heaped.nodes[k]; ok && (n.own != hn.own || n.agg != hn.agg) {
+				t.Fatalf("target %d: node %v counters diverge: sort %+v/%+v heap %+v/%+v",
+					target, k, n.own, n.agg, hn.own, hn.agg)
+			}
+		}
+	}
+}
+
+// A score violating the documented monotonicity contract (nodes can
+// outscore their ancestors) must degrade compression, never corrupt the
+// tree: totals conserved, every node reachable from the root, aggregates
+// consistent.
+func TestCompressNonMonotoneScoreStaysConsistent(t *testing.T) {
+	// Bytes-per-flow ratio: an ancestor aggregating many small flows
+	// scores below its heavy-flow child.
+	ratio := func(_, bytes, flows uint64) uint64 {
+		if flows == 0 {
+			return 0
+		}
+		return bytes / flows
+	}
+	for _, frac := range []float64{0.001, 0.1, 0.6, 0.9} { // rebuild and sequential+cascade paths
+		tr, _ := New(0, WithScore(ratio))
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 3, Skew: 1.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.AddBatch(g.Records(5000))
+		target := int(float64(tr.Len()) * frac)
+		if target < 2 {
+			target = 2
+		}
+		before := tr.Total()
+		tr.CompressTo(target)
+		if tr.Total() != before {
+			t.Fatalf("target %d: total changed: %+v -> %+v", target, before, tr.Total())
+		}
+		if tr.Len() > target {
+			t.Fatalf("target %d: %d nodes remain (cascade fallback must reach the target)", target, tr.Len())
+		}
+		reachable := 0
+		tr.walk(func(n *node) bool { reachable++; return true })
+		if reachable != tr.Len() {
+			t.Fatalf("target %d: %d nodes reachable, index has %d", target, reachable, tr.Len())
+		}
+		var sum flow.Counters
+		for _, e := range tr.Entries() {
+			sum.Add(e.Counters)
+		}
+		if sum != before {
+			t.Fatalf("target %d: own weights sum to %+v, want %+v", target, sum, before)
+		}
+	}
+}
+
+// buildSkewedTree bulk-ingests a deterministic Zipf trace into an
+// unbudgeted tree.
+func buildSkewedTree(tb testing.TB, n int, skew float64) *Tree {
+	tb.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 42, Skew: skew})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := New(0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr.AddBatch(g.Records(n))
+	return tr
+}
+
+// BenchmarkCompress prices one full compression of a skewed trace tree down
+// to a node budget: the sort-based bulk fold (algo=sort) against the
+// heap-based incremental fold it replaced (algo=heap). The tree is rebuilt
+// per iteration via Clone (structural copy, untimed).
+func BenchmarkCompress(b *testing.B) {
+	for _, cfg := range []struct {
+		records, budget int
+	}{
+		{100000, 4096},
+		{1000000, 10000},
+	} {
+		base := buildSkewedTree(b, cfg.records, 1.2)
+		for _, algo := range []string{"sort", "heap"} {
+			name := fmt.Sprintf("records=%d/budget=%d/algo=%s", cfg.records, cfg.budget, algo)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					tr := base.Clone()
+					// Collect the clone's construction garbage outside the
+					// timed section so both algorithms are measured on
+					// their own work, not the copy's GC debt.
+					runtime.GC()
+					b.StartTimer()
+					if algo == "sort" {
+						tr.CompressTo(cfg.budget)
+					} else {
+						compressToHeap(tr, cfg.budget)
+					}
+				}
+				b.ReportMetric(float64(base.Len()-cfg.budget), "folds/op")
+			})
+		}
+	}
+}
+
+// BenchmarkAddBatch prices the bulk ingest path (deferred aggregation +
+// one compression per batch) against per-record Add on a budgeted tree.
+func BenchmarkAddBatch(b *testing.B) {
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 42, Skew: 1.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := g.Records(100000)
+	const budget = 4096
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, _ := New(budget)
+			for _, r := range recs {
+				tr.Add(r)
+			}
+		}
+		b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "flows/s")
+	})
+	b.Run("batch=2048", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, _ := New(budget)
+			for off := 0; off < len(recs); off += 2048 {
+				end := min(off+2048, len(recs))
+				tr.AddBatch(recs[off:end])
+			}
+		}
+		b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "flows/s")
+	})
+}
+
+// BenchmarkClone prices the structural deep copy.
+func BenchmarkClone(b *testing.B) {
+	base := buildSkewedTree(b, 100000, 1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = base.Clone()
+	}
+}

@@ -11,12 +11,29 @@
 // cold regions are represented at coarser prefixes. All Table II operators
 // are provided: Merge, Compress, Diff, Query, Drilldown, Top-k, Above-x and
 // HHH.
+//
+// # Bulk operations
+//
+// Compression is a bulk sort-and-fold: every non-root node is collected into
+// a reusable scratch slice with its popularity score, sorted ascending
+// (descendants before ancestors on ties), and the least popular prefix is
+// folded in order. A fold moves a node's own weight into its parent and
+// never changes any aggregate (the parent's aggregate already contained the
+// node), so scores computed at collection time stay valid for the whole
+// compression — no heap maintenance and no stale-entry revalidation. Because
+// aggregates are monotone up the tree, this sorted prefix is exactly the
+// fold set of the incremental least-popular-leaf cascade; see CompressTo.
+//
+// Batch paths (AddBatch, Merge, MergeAll, Clone, Decode) defer aggregate
+// propagation: own weights are applied first and the aggregate annotations
+// are rebuilt with a single bottom-up pass when that is cheaper than walking
+// the ancestor chain per record, then the budget is enforced once.
 package flowtree
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"megadata/internal/flow"
@@ -33,7 +50,11 @@ func WithStepBits(bits uint8) Option {
 }
 
 // WithScore sets the popularity score used for compression and ranking
-// (default flow.ScoreBytes).
+// (default flow.ScoreBytes). The score must be monotone — nondecreasing in
+// each counter — so that a node never outscores its ancestors, which is
+// what lets compression fold a sorted prefix in one pass (all built-in
+// scores are monotone field selectors). A non-monotone score degrades
+// compression to coarser folds but never corrupts the tree.
 func WithScore(s flow.Score) Option {
 	return func(t *Tree) { t.score = s }
 }
@@ -55,6 +76,7 @@ type node struct {
 	agg      flow.Counters // own + descendants (the paper's popularity score)
 	parent   *node
 	children map[flow.Key]*node
+	depth    int32 // generalization steps below the root; fixed at creation
 }
 
 func (n *node) isLeaf() bool { return len(n.children) == 0 }
@@ -69,6 +91,12 @@ type Tree struct {
 	root           *node
 	nodes          map[flow.Key]*node
 	inserted       uint64 // records ever added (diagnostics)
+
+	// Scratch buffers reused across hot-path calls (the tree is
+	// single-goroutine, so plain fields suffice): the compression fold
+	// slice and ensure's missing-ancestor chain.
+	fold  []foldItem
+	chain []flow.Key
 }
 
 // New builds a Flowtree with a node budget (0 = unlimited).
@@ -96,7 +124,18 @@ func New(budget int, opts ...Option) (*Tree, error) {
 	}
 	root := &node{key: flow.Root(), children: make(map[flow.Key]*node)}
 	t.root = root
-	t.nodes = map[flow.Key]*node{root.key: root}
+	// Budgeted trees fill to their budget (plus a transient overshoot
+	// between batch compressions); pre-sizing the node map avoids the
+	// incremental rehash-and-copy churn while it grows.
+	hint := 16
+	if budget > 0 {
+		hint = budget
+		if hint > 1<<16 {
+			hint = 1 << 16
+		}
+	}
+	t.nodes = make(map[flow.Key]*node, hint)
+	t.nodes[root.key] = root
 	return t, nil
 }
 
@@ -113,15 +152,48 @@ func (t *Tree) Add(rec flow.Record) {
 // under it.
 //
 // Compression runs once per batch instead of on every insert that crosses
-// the budget, so the fold heap is built far less often; the resulting state
-// is exactly what serial insertion would produce up to compression timing,
-// which moves to batch boundaries.
+// the budget, and aggregate propagation is deferred when profitable: records
+// land as own weights only and the aggregate annotations are rebuilt with a
+// single bottom-up recomputeAgg pass — O(nodes) instead of
+// O(records × chain depth). The resulting state is exactly what serial
+// insertion would produce up to compression timing, which moves to batch
+// boundaries.
 func (t *Tree) AddBatch(recs []flow.Record) {
-	for _, r := range recs {
-		t.inserted++
-		t.addCounters(r.Key, flow.CountersOf(r))
+	if len(recs) == 0 {
+		return
+	}
+	t.inserted += uint64(len(recs))
+	if t.deferAgg(len(recs)) {
+		for _, r := range recs {
+			t.ensure(r.Key).own.Add(flow.CountersOf(r))
+		}
+		t.recomputeAgg(t.root)
+	} else {
+		for _, r := range recs {
+			t.addCounters(r.Key, flow.CountersOf(r))
+		}
 	}
 	t.maybeCompress()
+}
+
+// chainDepth bounds the canonical generalization chain length of an exact
+// key: three wildcard steps (source port, destination port, protocol) plus
+// the alternating prefix-shortening steps of both addresses.
+func (t *Tree) chainDepth() int {
+	return 3 + 2*(31/int(t.stepBits)+1)
+}
+
+// deferAgg decides whether a bulk edit of n records should rebuild
+// aggregates with one O(nodes) pass instead of walking the ancestor chain
+// per record. The two costs have very different constants: an ancestor
+// step is a pointer chase plus three integer adds, while a rebuild step
+// iterates a child map (~20x more per node, measured on the ingest
+// benchmarks) — so deferral only wins when the record volume swamps the
+// tree, as it does for codec decodes, seal-time shard fan-ins and merges
+// into small trees.
+func (t *Tree) deferAgg(n int) bool {
+	const rebuildCostFactor = 20
+	return n*t.chainDepth() >= rebuildCostFactor*len(t.nodes)
 }
 
 // AddCounters ingests a pre-aggregated weight at an arbitrary (possibly
@@ -146,8 +218,10 @@ func (t *Tree) ensure(key flow.Key) *node {
 	if n, ok := t.nodes[key]; ok {
 		return n
 	}
-	// Build the missing part of the chain from key upward.
-	missing := []flow.Key{key}
+	// Build the missing part of the chain from key upward, in the reusable
+	// scratch slice (a fresh chain allocation per miss dominates ingest
+	// allocation otherwise).
+	missing := append(t.chain[:0], key)
 	var attach *node
 	cur := key
 	for {
@@ -165,7 +239,7 @@ func (t *Tree) ensure(key flow.Key) *node {
 	}
 	// Create from most general to most specific.
 	for i := len(missing) - 1; i >= 0; i-- {
-		n := &node{key: missing[i], parent: attach}
+		n := &node{key: missing[i], parent: attach, depth: attach.depth + 1}
 		if attach.children == nil {
 			attach.children = make(map[flow.Key]*node, 2)
 		}
@@ -176,6 +250,7 @@ func (t *Tree) ensure(key flow.Key) *node {
 		// attach are never re-parented).
 		attach = n
 	}
+	t.chain = missing[:0]
 	return attach
 }
 
@@ -209,70 +284,268 @@ func (t *Tree) maybeCompress() {
 	}
 }
 
-// foldHeap orders leaves by ascending score; entries may be stale and are
-// revalidated when popped.
-type foldHeap struct {
-	items []foldItem
-	score flow.Score
-}
-
+// foldItem is one compression candidate: a node, its popularity score and
+// its depth at collection time. Folds never change aggregates, so scores
+// collected once stay valid for the whole compression.
 type foldItem struct {
-	n *node
-	s uint64
+	n     *node
+	s     uint64
+	depth int32
 }
 
-func (h foldHeap) Len() int            { return len(h.items) }
-func (h foldHeap) Less(i, j int) bool  { return h.items[i].s < h.items[j].s }
-func (h foldHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *foldHeap) Push(x interface{}) { h.items = append(h.items, x.(foldItem)) }
-func (h *foldHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+// cmpFold is the fold order: ascending score; equal scores order deeper
+// nodes first (so descendants always precede their ancestors — an
+// ancestor's aggregate is at least any descendant's) with remaining ties
+// broken by the deterministic key order, so compression does not depend on
+// map iteration order. Keys are unique, so the order is strict.
+func cmpFold(a, b foldItem) int {
+	switch {
+	case a.s != b.s:
+		if a.s < b.s {
+			return -1
+		}
+		return 1
+	case a.depth != b.depth:
+		if a.depth > b.depth {
+			return -1
+		}
+		return 1
+	case keyLess(a.n.key, b.n.key):
+		return -1
+	default:
+		return 1
+	}
+}
+
+func sortFoldItems(items []foldItem) { slices.SortFunc(items, cmpFold) }
+
+// prepareFold arranges items so that the k smallest by fold order occupy
+// items[:k] in sorted order — the sequential delete fold needs descendants
+// folded before their ancestors. Folding a large fraction sorts
+// everything; otherwise a quickselect narrows to the prefix first, so the
+// frequent small compressions of a budgeted tree pay O(n + k log k)
+// instead of O(n log n).
+func prepareFold(items []foldItem, k int) {
+	if 4*k >= 3*len(items) {
+		sortFoldItems(items)
+		return
+	}
+	quickselectFold(items, k)
+	sortFoldItems(items[:k])
+}
+
+// quickselectFold partitions items so the k smallest elements occupy
+// items[:k] in arbitrary order: Hoare partitioning with median-of-three
+// pivots, recursing (iteratively) into the side containing k. The fold
+// order is strict, so every partition makes progress.
+func quickselectFold(items []foldItem, k int) {
+	lo, hi := 0, len(items)
+	for hi-lo > 16 {
+		mid := lo + (hi-lo)/2
+		if cmpFold(items[mid], items[lo]) < 0 {
+			items[mid], items[lo] = items[lo], items[mid]
+		}
+		if cmpFold(items[hi-1], items[lo]) < 0 {
+			items[hi-1], items[lo] = items[lo], items[hi-1]
+		}
+		if cmpFold(items[hi-1], items[mid]) < 0 {
+			items[hi-1], items[mid] = items[mid], items[hi-1]
+		}
+		pivot := items[mid]
+		i, j := lo-1, hi
+		for {
+			for {
+				i++
+				if cmpFold(items[i], pivot) >= 0 {
+					break
+				}
+			}
+			for {
+				j--
+				if cmpFold(items[j], pivot) <= 0 {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			items[i], items[j] = items[j], items[i]
+		}
+		// items[lo..j] precede-or-equal the pivot, items[j+1..) follow it.
+		if k <= j+1 {
+			hi = j + 1
+		} else {
+			lo = j + 1
+		}
+	}
+	sortFoldItems(items[lo:hi])
 }
 
 // CompressTo folds least-popular leaves into their parents until at most
 // target nodes remain (Table II: Compress — "summarize the lower level
 // nodes"). The root is never folded. Weight is preserved exactly; only the
 // attribution granularity coarsens.
+//
+// The fold is a bulk sort-and-fold. The incremental formulation — maintain
+// a min-heap of leaves, repeatedly fold the least popular one, cascading to
+// parents that become new leaves — admits a closed form: a cascaded parent
+// always scores at least its folded child (aggregates are monotone up the
+// tree), so the heap's pop sequence is nondecreasing in score, and the set
+// it folds is exactly the first len-target of all non-root nodes ordered by
+// ascending score with descendants before ancestors on ties. That prefix is
+// closed under taking descendants — no heap maintenance, no boxing, no
+// revalidation churn, and trivially terminating where the cascade-round
+// argument needs the leaf front to shrink the tree every round. Two
+// execution strategies over a reusable scratch slice exploit this: folding
+// a minority of the tree quickselects and sorts just the fold prefix
+// (O(n + k log k)), deleting each folded node in descendant-first order;
+// folding a majority only partitions (O(n)) and rebuilds the node index
+// and child links from the survivors.
 func (t *Tree) CompressTo(target int) {
 	if target < 1 {
 		target = 1
 	}
-	if len(t.nodes) <= target {
+	k := len(t.nodes) - target
+	if k <= 0 {
 		return
 	}
-	h := &foldHeap{score: t.score}
-	h.items = make([]foldItem, 0, len(t.nodes))
+	items := t.fold[:0]
 	for _, n := range t.nodes {
-		if n.isLeaf() && n != t.root {
-			h.items = append(h.items, foldItem{n: n, s: n.agg.ScoreWith(t.score)})
+		if n != t.root {
+			items = append(items, foldItem{n: n, s: n.agg.ScoreWith(t.score), depth: n.depth})
 		}
 	}
-	heap.Init(h)
-	for len(t.nodes) > target && h.Len() > 0 {
-		it := heap.Pop(h).(foldItem)
-		n := it.n
-		// Revalidate: the node may have been folded already, stopped
-		// being a leaf (cannot happen during compression), or changed
-		// score by absorbing a folded child.
-		if t.nodes[n.key] != n || !n.isLeaf() || n == t.root {
-			continue
+	if 2*k >= len(t.nodes) {
+		// Folding most of the tree: partition out the k least popular
+		// (no order needed — the marker-based weight push and the
+		// survivor reattachment below are order-independent), then
+		// rebuild the index and child links from the target survivors —
+		// O(n) selection plus O(target) map inserts instead of an
+		// O(n log n) sort and O(k) deletes.
+		quickselectFold(items, k)
+		// Mark the folded prefix (the nodes are discarded, their depth is
+		// free as a marker), then push every folded node's own weight
+		// directly to its nearest surviving ancestor. With a monotone
+		// score that ancestor is simply the parent chain's first
+		// survivor, and the direct push sums to exactly what transitive
+		// child-to-parent accumulation would; under a contract-violating
+		// score it keeps the weight out of discarded nodes.
+		for _, it := range items[:k] {
+			it.n.depth = -1
 		}
-		if cur := n.agg.ScoreWith(t.score); cur != it.s {
-			heap.Push(h, foldItem{n: n, s: cur})
-			continue
+		for _, it := range items[:k] {
+			p := it.n.parent
+			for p.depth < 0 {
+				p = p.parent
+			}
+			p.own.Add(it.n.own)
 		}
-		p := n.parent
-		p.own.Add(n.own)
-		delete(p.children, n.key)
-		delete(t.nodes, n.key)
-		if p.isLeaf() && p != t.root {
-			heap.Push(h, foldItem{n: p, s: p.agg.ScoreWith(t.score)})
+		survivors := items[k:]
+		// Clearing retains the maps' storage for the refill; only a
+		// drastically oversized node index is dropped for a right-sized
+		// one, so one-shot bulk folds (decode, seal fan-in) hand the
+		// memory back while the steady state stays allocation-free.
+		var nodes map[flow.Key]*node
+		if 4*target >= len(t.nodes) {
+			nodes = t.nodes
+			clear(nodes)
+		} else {
+			nodes = make(map[flow.Key]*node, target)
+		}
+		nodes[t.root.key] = t.root
+		clear(t.root.children)
+		for _, it := range survivors {
+			clear(it.n.children)
+			nodes[it.n.key] = it.n
+		}
+		for _, it := range survivors {
+			n := it.n
+			p := n.parent
+			// A monotone score folds every descendant of a folded node,
+			// so n.parent always survives; under a non-monotone score it
+			// may not — reattach to the nearest surviving ancestor (the
+			// root always survives) rather than detach the subtree.
+			for p.depth < 0 {
+				p = p.parent
+			}
+			n.parent = p
+			if p.children == nil {
+				p.children = make(map[flow.Key]*node, 2)
+			}
+			p.children[n.key] = n
+		}
+		t.nodes = nodes
+	} else {
+		// The sequential fold needs items[:k] in fold order so that
+		// descendants fold (and push their weight) before ancestors.
+		prepareFold(items, k)
+		for _, it := range items[:k] {
+			n := it.n
+			// Under the monotone-score contract n is always a leaf by the
+			// time it is reached; a non-monotone score can violate that —
+			// skip the fold instead of orphaning the children, and let
+			// the cascade fallback below finish the job.
+			if len(n.children) != 0 {
+				continue
+			}
+			p := n.parent
+			p.own.Add(n.own)
+			delete(p.children, n.key)
+			delete(t.nodes, n.key)
 		}
 	}
+	// Zero the scratch so the retained backing array does not pin the
+	// folded nodes, and drop it entirely when a one-shot bulk fold left it
+	// drastically oversized for the surviving tree.
+	clear(items)
+	if cap(items) > 4*len(t.nodes) {
+		items = nil
+	}
+	t.fold = items[:0]
+	if len(t.nodes) > target {
+		// Only reachable under a contract-violating (non-monotone) score,
+		// when the sequential fold had to skip prefix members with
+		// surviving children. Fall back to the incremental cascade, which
+		// reaches the target for any score.
+		t.compressCascade(target)
+	}
+}
+
+// compressCascade is the order-robust fallback fold: round by round, the
+// current leaves are sorted ascending by score and folded, with parents
+// that lose their last child joining the next round. Every round folds at
+// least one leaf (a tree above target always has a non-root leaf), so the
+// target is always reached regardless of the score function. The sorted
+// prefix fold in CompressTo is the fast path; this runs only when a
+// non-monotone score defeats its closure argument.
+func (t *Tree) compressCascade(target int) {
+	round := t.fold[:0]
+	for _, n := range t.nodes {
+		if n != t.root && n.isLeaf() {
+			round = append(round, foldItem{n: n, s: n.agg.ScoreWith(t.score), depth: n.depth})
+		}
+	}
+	var next []foldItem
+	for len(t.nodes) > target && len(round) > 0 {
+		sortFoldItems(round)
+		next = next[:0]
+		for _, it := range round {
+			if len(t.nodes) <= target {
+				break
+			}
+			n := it.n
+			p := n.parent
+			p.own.Add(n.own)
+			delete(p.children, n.key)
+			delete(t.nodes, n.key)
+			if p != t.root && p.isLeaf() {
+				next = append(next, foldItem{n: p, s: p.agg.ScoreWith(t.score), depth: p.depth})
+			}
+		}
+		round, next = next, round
+	}
+	clear(round)
+	t.fold = round[:0]
 }
 
 // Compress folds down to the configured budget target (no-op when
@@ -284,48 +557,55 @@ func (t *Tree) Compress() {
 }
 
 // Merge joins another Flowtree into t (Table II: Merge — across time or
-// location). Every node's own weight is re-inserted at its key; the node
-// budget then re-compresses as needed, which is exactly the paper's
+// location). Every node's own weight is added at its key; the node budget
+// then re-compresses as needed, which is exactly the paper's
 // "A12 = compress(A1 ∪ A2)" construction.
 func (t *Tree) Merge(other *Tree) error {
-	if other == nil {
-		return nil
-	}
-	if other.stepBits != t.stepBits {
-		return errors.New("flowtree: merging trees with different generalization steps")
-	}
-	other.walk(func(n *node) bool {
-		if !n.own.IsZero() {
-			t.addCounters(n.key, n.own)
-		}
-		return true
-	})
-	t.maybeCompress()
-	return nil
+	return t.MergeAll(other)
 }
 
 // MergeAll joins several Flowtrees into t with a single budget compression
 // at the end, instead of one per merge. Sealing a sharded epoch fans N
 // shard memtables together this way; compressing once over the union is
 // both cheaper and no coarser than compressing after every constituent.
+//
+// Aggregate propagation is deferred when profitable: the sources' own
+// weights land first and t's aggregates are rebuilt with one bottom-up
+// pass, instead of re-walking the ancestor chain per source node.
 func (t *Tree) MergeAll(others ...*Tree) error {
 	// Validate every tree before folding any weight in, so a mismatch
 	// cannot leave t half-merged.
+	total := 0
 	for _, other := range others {
-		if other != nil && other.stepBits != t.stepBits {
+		if other == nil {
+			continue
+		}
+		if other.stepBits != t.stepBits {
 			return errors.New("flowtree: merging trees with different generalization steps")
 		}
+		total += len(other.nodes)
 	}
+	if total == 0 {
+		return nil
+	}
+	deferred := t.deferAgg(total)
 	for _, other := range others {
 		if other == nil {
 			continue
 		}
 		other.walk(func(n *node) bool {
 			if !n.own.IsZero() {
-				t.addCounters(n.key, n.own)
+				if deferred {
+					t.ensure(n.key).own.Add(n.own)
+				} else {
+					t.addCounters(n.key, n.own)
+				}
 			}
 			return true
 		})
+	}
+	if deferred {
+		t.recomputeAgg(t.root)
 	}
 	t.maybeCompress()
 	return nil
@@ -588,22 +868,40 @@ func (t *Tree) Entries() []Entry {
 	return out
 }
 
-// Clone returns a deep copy of the tree.
+// Clone returns a deep copy of the tree: a structural copy of every node
+// with its counters, O(nodes) with no re-insertion through the ancestor
+// chains (the copy shares no state with t, including scratch buffers). The
+// Tree is assembled directly — t already validated its configuration, and
+// going through New would allocate a budget-hinted node map only to
+// replace it with one sized to the actual tree.
 func (t *Tree) Clone() *Tree {
-	cp, err := New(t.budget, WithStepBits(t.stepBits), WithScore(t.score), WithCompressTarget(t.compressTarget))
-	if err != nil {
-		// New only fails on invalid parameters, which t already
-		// validated.
-		panic(fmt.Sprintf("flowtree: clone: %v", err))
+	cp := &Tree{
+		budget:         t.budget,
+		stepBits:       t.stepBits,
+		compressTarget: t.compressTarget,
+		score:          t.score,
+		inserted:       t.inserted,
 	}
-	t.walk(func(n *node) bool {
-		if !n.own.IsZero() {
-			cp.addCounters(n.key, n.own)
-		}
-		return true
-	})
-	cp.inserted = t.inserted
+	cp.root = &node{key: t.root.key, own: t.root.own, agg: t.root.agg}
+	cp.nodes = make(map[flow.Key]*node, len(t.nodes))
+	cp.nodes[cp.root.key] = cp.root
+	copySubtree(cp, t.root, cp.root)
 	return cp
+}
+
+// copySubtree deep-copies src's children under dst, registering every copy
+// in cp's node index.
+func copySubtree(cp *Tree, src, dst *node) {
+	if len(src.children) == 0 {
+		return
+	}
+	dst.children = make(map[flow.Key]*node, len(src.children))
+	for k, c := range src.children {
+		nc := &node{key: c.key, own: c.own, agg: c.agg, parent: dst, depth: c.depth}
+		dst.children[k] = nc
+		cp.nodes[k] = nc
+		copySubtree(cp, c, nc)
+	}
 }
 
 // StepBits returns the generalization step.

@@ -187,6 +187,138 @@ func TestPropDiffSelfIsZero(t *testing.T) {
 	}
 }
 
+// Property: serial Add and AddBatch with deferred aggregation produce
+// identical trees at unlimited budget — same totals, same node set, same
+// aggregates — regardless of how the records are chunked.
+func TestPropAddBatchEquivSerial(t *testing.T) {
+	f := func(xs []uint32, chunk8 uint8) bool {
+		chunk := int(chunk8)%7 + 1 // small chunks exercise the incremental path, big ones the deferred path
+		serial, _ := New(0)
+		batched, _ := New(0)
+		whole, _ := New(0)
+		recs := make([]flow.Record, 0, len(xs))
+		for _, x := range xs {
+			r := randomRecord(x, x*2654435761, uint16(x), uint16(x>>16), x%100000)
+			recs = append(recs, r)
+			serial.Add(r)
+		}
+		for off := 0; off < len(recs); off += chunk {
+			batched.AddBatch(recs[off:min(off+chunk, len(recs))])
+		}
+		whole.AddBatch(recs)
+		for _, tr := range []*Tree{batched, whole} {
+			if tr.Total() != serial.Total() || tr.Len() != serial.Len() || tr.Inserted() != serial.Inserted() {
+				return false
+			}
+			for _, r := range recs {
+				if tr.Query(r.Key) != serial.Query(r.Key) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on a budgeted tree, AddBatch conserves totals and respects the
+// budget exactly like serial Add (attribution may differ with compression
+// timing, totals and the budget may not).
+func TestPropAddBatchBudgeted(t *testing.T) {
+	f := func(xs []uint32) bool {
+		serial, _ := New(128)
+		batched, _ := New(128)
+		recs := make([]flow.Record, 0, len(xs))
+		for _, x := range xs {
+			r := randomRecord(x, x*31, uint16(x), uint16(x>>8), x%5000)
+			recs = append(recs, r)
+			serial.Add(r)
+		}
+		batched.AddBatch(recs)
+		return batched.Total() == serial.Total() &&
+			batched.Len() <= 128 && serial.Len() <= 128
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone is a faithful structural copy — identical totals, node
+// count, and queries — and fully independent of the original.
+func TestPropCloneEquivalent(t *testing.T) {
+	f := func(xs []uint32) bool {
+		tr, _ := New(256)
+		var keys []flow.Key
+		rng := rand.New(rand.NewSource(2))
+		for _, x := range xs {
+			r := randomRecord(x, x*13, uint16(x), 443, x%20000)
+			tr.Add(r)
+			keys = append(keys, r.Key)
+			if rng.Intn(16) == 0 {
+				tr.CompressTo(64)
+			}
+		}
+		cp := tr.Clone()
+		if cp.Total() != tr.Total() || cp.Len() != tr.Len() || cp.Inserted() != tr.Inserted() {
+			return false
+		}
+		for _, k := range keys {
+			if cp.Query(k) != tr.Query(k) {
+				return false
+			}
+		}
+		// Mutating the copy must not leak into the original.
+		before := tr.Total()
+		cp.Add(randomRecord(1, 2, 3, 4, 5))
+		cp.CompressTo(2)
+		return tr.Total() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MergeAll equals sequential Merge at unlimited budget (the
+// sharded seal fan-in answers exactly like merging shards one by one).
+func TestPropMergeAllEquivSequential(t *testing.T) {
+	f := func(xs, ys, zs []uint32) bool {
+		build := func(seeds []uint32, salt uint32) *Tree {
+			tr, _ := New(0)
+			for _, s := range seeds {
+				tr.Add(randomRecord(s, s^salt, uint16(s), 443, s%10000))
+			}
+			return tr
+		}
+		a, b, c := build(xs, 0xDEAD), build(ys, 0xBEEF), build(zs, 0xF00D)
+		bulk, _ := New(0)
+		seq, _ := New(0)
+		if err := bulk.MergeAll(a, b, c); err != nil {
+			return false
+		}
+		for _, src := range []*Tree{a, b, c} {
+			if err := seq.Merge(src); err != nil {
+				return false
+			}
+		}
+		if bulk.Total() != seq.Total() || bulk.Len() != seq.Len() {
+			return false
+		}
+		for _, src := range []*Tree{a, b, c} {
+			for _, e := range src.Entries() {
+				if bulk.Query(e.Key) != seq.Query(e.Key) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCodecErrors(t *testing.T) {
 	if _, err := Decode(nil, 0); err == nil {
 		t.Error("empty buffer must error")

@@ -101,9 +101,10 @@ func (f *FlowtreeAggregator) AddFlowBatch(recs []flow.Record) error {
 
 var _ FlowBatchAdder = (*FlowtreeAggregator)(nil)
 
-// MergeBulk implements BulkMerger: all summaries are folded in with a
-// single budget compression at the end, so a sharded store's sealing
-// fan-in pays the fold heap once instead of once per shard.
+// MergeBulk implements BulkMerger: all summaries are folded in with one
+// aggregate rebuild and one budget compression at the end, so a sharded
+// store's sealing and live-query fan-ins pay the bulk fold once instead of
+// once per shard.
 func (f *FlowtreeAggregator) MergeBulk(others []Aggregator) error {
 	trees := make([]*flowtree.Tree, 0, len(others))
 	for _, other := range others {
@@ -204,5 +205,14 @@ func (f *FlowtreeAggregator) Reset() {
 // interface cannot express (Diff, serialization, FlowDB export).
 func (f *FlowtreeAggregator) Tree() *flowtree.Tree { return f.tree }
 
-// Snapshot returns a deep copy of the current tree (sealing an epoch).
+// Snapshot returns a deep copy of the current tree (sealing an epoch). The
+// copy is structural — O(nodes), no re-insertion through ancestor chains.
 func (f *FlowtreeAggregator) Snapshot() *flowtree.Tree { return f.tree.Clone() }
+
+// CloneAggregator implements Cloner: a full deep copy of the aggregator,
+// used by sharded stores to snapshot live shards without long lock holds.
+func (f *FlowtreeAggregator) CloneAggregator() Aggregator {
+	return &FlowtreeAggregator{name: f.name, budget: f.budget, opts: f.opts, tree: f.tree.Clone()}
+}
+
+var _ Cloner = (*FlowtreeAggregator)(nil)

@@ -131,6 +131,15 @@ type BulkMerger interface {
 	MergeBulk(others []Aggregator) error
 }
 
+// Cloner is optionally implemented by aggregators that can take a
+// consistent deep copy of themselves cheaply (e.g. Flowtree's structural
+// clone). A sharded store's live-query fan-in uses it to snapshot each
+// shard under its own lock and merge the snapshots outside all locks, so a
+// query never stalls ingest on every shard at once.
+type Cloner interface {
+	CloneAggregator() Aggregator
+}
+
 // Reading is the numeric stream element consumed by sample and stats
 // primitives (sensor data).
 type Reading struct {

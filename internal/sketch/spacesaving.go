@@ -1,7 +1,6 @@
 package sketch
 
 import (
-	"container/heap"
 	"errors"
 	"sort"
 )
@@ -32,19 +31,56 @@ type ssEntry struct {
 	idx   int
 }
 
+// ssHeap is a typed min-heap over entry counts. It implements the sift
+// operations directly instead of going through container/heap, whose
+// interface{} Push/Pop would box on every insert along the Add hot path.
 type ssHeap []*ssEntry
 
-func (h ssHeap) Len() int            { return len(h) }
-func (h ssHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
-func (h ssHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
-func (h *ssHeap) Push(x interface{}) { e := x.(*ssEntry); e.idx = len(*h); *h = append(*h, e) }
-func (h *ssHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+func (h ssHeap) swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+
+func (h ssHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].count <= h[i].count {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h ssHeap) down(i int) bool {
+	start, n := i, len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].count < h[l].count {
+			m = r
+		}
+		if h[i].count <= h[m].count {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+	return i > start
+}
+
+// push appends e and restores the heap order.
+func (h *ssHeap) push(e *ssEntry) {
+	e.idx = len(*h)
+	*h = append(*h, e)
+	h.up(e.idx)
+}
+
+// fix re-establishes the heap order after h[i]'s count changed.
+func (h ssHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
 }
 
 // NewSpaceSaving builds a Space-Saving summary with k counters.
@@ -60,13 +96,13 @@ func (s *SpaceSaving) Add(key string, weight uint64) {
 	s.total += weight
 	if e, ok := s.byKey[key]; ok {
 		e.count += weight
-		heap.Fix(&s.h, e.idx)
+		s.h.fix(e.idx)
 		return
 	}
 	if len(s.h) < s.k {
 		e := &ssEntry{key: key, count: weight}
 		s.byKey[key] = e
-		heap.Push(&s.h, e)
+		s.h.push(e)
 		return
 	}
 	// Evict the minimum counter; its count becomes the new key's error.
@@ -76,7 +112,7 @@ func (s *SpaceSaving) Add(key string, weight uint64) {
 	min.count += weight
 	min.key = key
 	s.byKey[key] = min
-	heap.Fix(&s.h, 0)
+	s.h.fix(0)
 }
 
 // Total returns the total stream weight observed.
@@ -191,7 +227,7 @@ func (s *SpaceSaving) Merge(other *SpaceSaving) {
 	for _, c := range list {
 		e := &ssEntry{key: c.Key, count: c.Count, err: c.Err}
 		s.byKey[c.Key] = e
-		heap.Push(&s.h, e)
+		s.h.push(e)
 	}
 	s.total += other.total
 }
