@@ -1,8 +1,11 @@
 # Tier-1 verify is `make check` (build + vet + test); `make test-race`
-# additionally runs the concurrent ingest paths under the race detector.
-# `make bench` runs the hot-path benchmarks (Flowtree compression + sharded
-# ingest); `make bench-compare` re-measures compression throughput and
-# fails on a >10% regression against the checked-in BENCH_compress.json.
+# additionally runs the concurrent ingest and epoch-export paths under the
+# race detector. `make bench` runs the hot-path benchmarks (Flowtree
+# compression + sharded ingest + pipelined epoch export); `make
+# bench-compare` re-measures compression throughput and epoch-export
+# turnaround and fails on a regression against the checked-in
+# BENCH_compress.json / BENCH_epoch.json baselines (epoch turnaround is
+# wall-clock with a paced WAN, hence the wider tolerance).
 
 GO ?= go
 
@@ -19,31 +22,39 @@ vet:
 test:
 	$(GO) test ./...
 
-# The sharded ingest pipeline (datastore shards, flowstream fan-in) and the
-# primitives it drives are the packages with real concurrency; the root
-# package carries the integration tests.
+# The sharded ingest pipeline (datastore shards, flowstream fan-in), the
+# concurrent epoch-export pipeline and the primitives they drive are the
+# packages with real concurrency; the root package carries the integration
+# tests.
 test-race:
 	$(GO) test -race ./internal/datastore/ ./internal/flowstream/ \
 		./internal/flowtree/ ./internal/primitive/ .
 
 # Hot-path benchmarks: the sort-based bulk fold vs its heap baseline, bulk
-# ingest, structural clone, and the sharded data-store ingest sweep.
+# ingest, structural clone, the sharded data-store ingest sweep, and the
+# serial-vs-pipelined epoch export grid.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompress|BenchmarkAddBatch|BenchmarkClone' \
 		-benchtime 1x ./internal/flowtree/
-	$(GO) test -run '^$$' -bench 'BenchmarkIngestSharded' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestSharded|BenchmarkEndEpoch' -benchtime 1x .
 
 # Every benchmark in the repo (paper tables and figures included).
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Refresh the compression-throughput baseline (run on the reference host).
+# Refresh the perf baselines (run on the reference host).
 bench-baseline:
 	$(GO) run ./cmd/benchreport -exp compress -out BENCH_compress.json
+	$(GO) run ./cmd/benchreport -exp epoch -out BENCH_epoch.json
 
-# Guard the perf trajectory: fail when compression throughput drops more
-# than 10% below the checked-in baseline.
+# Guard the perf trajectory: fail when compression throughput or pipelined
+# epoch-export turnaround drops below the checked-in baselines (10% for the
+# CPU-bound fold, 30% for the wall-clock paced export), or when the
+# measured configurations drift from the baseline (the benchreport binary
+# exits 2 for drift, which CI treats as a hard failure even where
+# regressions are only warnings).
 bench-compare:
 	$(GO) run ./cmd/benchreport -exp compress -compare BENCH_compress.json
+	$(GO) run ./cmd/benchreport -exp epoch -compare BENCH_epoch.json -tol 0.30
 
 check: build vet test

@@ -20,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ import (
 
 	"megadata/internal/datastore"
 	"megadata/internal/flow"
+	"megadata/internal/flowstream"
 	"megadata/internal/flowtree"
 	"megadata/internal/hierarchy"
 	"megadata/internal/primitive"
@@ -39,11 +41,18 @@ import (
 	"megadata/internal/workload"
 )
 
+// errDrift marks a -compare failure caused by configuration drift (a
+// baseline that does not match the measured configurations) rather than a
+// throughput regression. main exits 2 for drift and 1 for regressions, so
+// CI can hard-fail on drift while treating regressions on noisy shared
+// runners as warnings.
+var errDrift = errors.New("baseline configuration drift")
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, table1, all")
-	out := flag.String("out", "", "compress: write the measured baseline JSON to this path")
-	compare := flag.String("compare", "", "compress: compare against this baseline JSON and fail on regression")
-	tol := flag.Float64("tol", 0.10, "compress: tolerated fractional throughput regression for -compare")
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, table1, all")
+	out := flag.String("out", "", "compress/epoch: write the measured baseline JSON to this path")
+	compare := flag.String("compare", "", "compress/epoch: compare against this baseline JSON and fail on regression")
+	tol := flag.Float64("tol", 0.10, "compress/epoch: tolerated fractional throughput regression for -compare")
 	flag.Parse()
 	reports := map[string]func() error{
 		"e3":       reportE3,
@@ -52,7 +61,15 @@ func main() {
 		"e10":      reportE10,
 		"ingest":   reportIngest,
 		"compress": func() error { return reportCompress(*out, *compare, *tol) },
+		"epoch":    func() error { return reportEpoch(*out, *compare, *tol) },
 		"table1":   reportTable1,
+	}
+	fail := func(err error) {
+		log.Print(err)
+		if errors.Is(err, errDrift) {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
 	if *exp != "all" {
 		fn, ok := reports[*exp]
@@ -60,7 +77,7 @@ func main() {
 			log.Fatalf("unknown experiment %q", *exp)
 		}
 		if err := fn(); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		return
 	}
@@ -71,7 +88,7 @@ func main() {
 	sort.Strings(keys)
 	for _, k := range keys {
 		if err := reports[k](); err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		fmt.Println()
 	}
@@ -464,21 +481,21 @@ func compareCompress(fresh compressBaseline, comparePath string, tol float64) er
 		return fmt.Errorf("parse baseline %s: %w", comparePath, err)
 	}
 	if stored.Records != fresh.Records {
-		return fmt.Errorf("baseline %s measured %d records, this run %d — regenerate the baseline",
-			comparePath, stored.Records, fresh.Records)
+		return fmt.Errorf("%w: baseline %s measured %d records, this run %d — regenerate the baseline",
+			errDrift, comparePath, stored.Records, fresh.Records)
 	}
 	byCfg := make(map[[2]float64]compressEntry, len(stored.Entries))
 	for _, e := range stored.Entries {
 		byCfg[[2]float64{float64(e.Budget), e.Skew}] = e
 	}
 	fmt.Printf("\ncomparison vs %s (tolerance %.0f%%):\n", comparePath, tol*100)
-	var failed bool
+	var regressed, drifted bool
 	matched := 0
 	for _, e := range fresh.Entries {
 		want, ok := byCfg[[2]float64{float64(e.Budget), e.Skew}]
 		if !ok {
 			fmt.Printf("  budget=%d skew=%.1f: MISSING from baseline\n", e.Budget, e.Skew)
-			failed = true
+			drifted = true
 			continue
 		}
 		matched++
@@ -486,17 +503,186 @@ func compareCompress(fresh compressBaseline, comparePath string, tol float64) er
 		verdict := "ok"
 		if ratio < 1-tol {
 			verdict = "REGRESSION"
-			failed = true
+			regressed = true
 		}
 		fmt.Printf("  budget=%d skew=%.1f: %.0f vs %.0f folds/s (%.2fx) %s\n",
 			e.Budget, e.Skew, e.FoldsPerSec, want.FoldsPerSec, ratio, verdict)
 	}
 	if matched != len(stored.Entries) {
 		fmt.Printf("  %d baseline entr(ies) not re-measured\n", len(stored.Entries)-matched)
-		failed = true
+		drifted = true
 	}
-	if failed {
-		return fmt.Errorf("compression throughput gate failed against %s (regression or configuration drift)", comparePath)
+	switch {
+	case drifted:
+		return fmt.Errorf("%w: compression gate vs %s — regenerate with make bench-baseline", errDrift, comparePath)
+	case regressed:
+		return fmt.Errorf("compression throughput gate failed against %s", comparePath)
+	}
+	return nil
+}
+
+// epochBaseline is the JSON schema of BENCH_epoch.json: serial and
+// pipelined epoch-export turnaround per (sites, shards) configuration.
+type epochBaseline struct {
+	Experiment     string       `json:"experiment"`
+	RecordsPerSite int          `json:"records_per_site"`
+	Entries        []epochEntry `json:"entries"`
+}
+
+type epochEntry struct {
+	Sites        int     `json:"sites"`
+	Shards       int     `json:"shards"`
+	SerialEPS    float64 `json:"serial_epochs_per_sec"`
+	PipelinedEPS float64 `json:"pipelined_epochs_per_sec"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// reportEpoch measures epoch-export turnaround — EndEpoch wall time with
+// the WAN paced to occupy real time — across a sites × shards grid,
+// serial (one export worker) vs pipelined. The serial exporter pays the
+// sum of all sites' seal+encode+transfer; the pipeline is bounded by the
+// slowest site plus the shared CPU work, so the speedup column is the
+// direct measurement of the PR-3 claim. With -out the numbers become the
+// BENCH_epoch.json baseline; with -compare a regression of the pipelined
+// turnaround beyond tol (or any configuration drift) fails the run.
+func reportEpoch(outPath, comparePath string, tol float64) error {
+	const recordsPerSite = 4000
+	const budget = 2048
+	fmt.Printf("## Epoch export — pipelined seal->ship->index vs serial (GOMAXPROCS=%d, paced WAN)\n\n",
+		runtime.GOMAXPROCS(0))
+	link := simnet.Link{BytesPerSecond: 2e6, Latency: 2 * time.Millisecond}
+	measure := func(sites, shards, workers int) (time.Duration, error) {
+		names := make([]string, sites)
+		for i := range names {
+			names[i] = fmt.Sprintf("site%d", i)
+		}
+		sys, err := flowstream.New(flowstream.Config{
+			Sites:         names,
+			TreeBudget:    budget,
+			Epoch:         time.Minute,
+			Shards:        shards,
+			ExportWorkers: workers,
+			Link:          link,
+		})
+		if err != nil {
+			return 0, err
+		}
+		sys.Net.SetRealtime(1.0)
+		gens := make([]*workload.FlowGen, sites)
+		for i := range gens {
+			g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Skew: 1.2})
+			if err != nil {
+				return 0, err
+			}
+			gens[i] = g
+		}
+		var best time.Duration
+		for rep := 0; rep < 5; rep++ {
+			for i, site := range names {
+				if err := sys.Ingest(site, gens[i].Records(recordsPerSite)); err != nil {
+					return 0, err
+				}
+			}
+			start := time.Now()
+			if err := sys.EndEpoch(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); rep == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	base := epochBaseline{Experiment: "epoch", RecordsPerSite: recordsPerSite}
+	fmt.Println("| sites | shards | serial EndEpoch | pipelined EndEpoch | speedup |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, sites := range []int{1, 4, 8} {
+		for _, shards := range []int{1, 4} {
+			serial, err := measure(sites, shards, 1)
+			if err != nil {
+				return err
+			}
+			piped, err := measure(sites, shards, 0)
+			if err != nil {
+				return err
+			}
+			speedup := serial.Seconds() / piped.Seconds()
+			fmt.Printf("| %d | %d | %v | %v | %.2fx |\n",
+				sites, shards, serial.Round(10*time.Microsecond), piped.Round(10*time.Microsecond), speedup)
+			base.Entries = append(base.Entries, epochEntry{
+				Sites: sites, Shards: shards,
+				SerialEPS:    1 / serial.Seconds(),
+				PipelinedEPS: 1 / piped.Seconds(),
+				Speedup:      speedup,
+			})
+		}
+	}
+	if outPath != "" {
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbaseline written to %s\n", outPath)
+	}
+	if comparePath != "" {
+		return compareEpoch(base, comparePath, tol)
+	}
+	return nil
+}
+
+// compareEpoch diffs freshly measured epoch turnaround against a stored
+// baseline with the same drift rules as compareCompress: regression beyond
+// tol on the pipelined turnaround fails, and so does any configuration
+// drift (which exits 2 so CI can distinguish it from runner noise).
+func compareEpoch(fresh epochBaseline, comparePath string, tol float64) error {
+	buf, err := os.ReadFile(comparePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var stored epochBaseline
+	if err := json.Unmarshal(buf, &stored); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", comparePath, err)
+	}
+	if stored.RecordsPerSite != fresh.RecordsPerSite {
+		return fmt.Errorf("%w: baseline %s measured %d records/site, this run %d — regenerate the baseline",
+			errDrift, comparePath, stored.RecordsPerSite, fresh.RecordsPerSite)
+	}
+	byCfg := make(map[[2]int]epochEntry, len(stored.Entries))
+	for _, e := range stored.Entries {
+		byCfg[[2]int{e.Sites, e.Shards}] = e
+	}
+	fmt.Printf("\ncomparison vs %s (tolerance %.0f%%):\n", comparePath, tol*100)
+	var regressed, drifted bool
+	matched := 0
+	for _, e := range fresh.Entries {
+		want, ok := byCfg[[2]int{e.Sites, e.Shards}]
+		if !ok {
+			fmt.Printf("  sites=%d shards=%d: MISSING from baseline\n", e.Sites, e.Shards)
+			drifted = true
+			continue
+		}
+		matched++
+		ratio := e.PipelinedEPS / want.PipelinedEPS
+		verdict := "ok"
+		if ratio < 1-tol {
+			verdict = "REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("  sites=%d shards=%d: %.1f vs %.1f epochs/s (%.2fx) %s\n",
+			e.Sites, e.Shards, e.PipelinedEPS, want.PipelinedEPS, ratio, verdict)
+	}
+	if matched != len(stored.Entries) {
+		fmt.Printf("  %d baseline entr(ies) not re-measured\n", len(stored.Entries)-matched)
+		drifted = true
+	}
+	switch {
+	case drifted:
+		return fmt.Errorf("%w: epoch gate vs %s — regenerate with make bench-baseline", errDrift, comparePath)
+	case regressed:
+		return fmt.Errorf("epoch-export throughput gate failed against %s", comparePath)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"megadata/internal/flowstream"
+	"megadata/internal/simnet"
 	"megadata/internal/workload"
 )
 
@@ -48,4 +49,70 @@ func benchFlowstream(b *testing.B, sites, flowsPerSite int) {
 		}
 	}
 	b.ReportMetric(float64(sites*flowsPerSite), "flows/op")
+}
+
+// BenchmarkEndEpoch measures epoch-export turnaround across a sites ×
+// shards grid, comparing the serial per-site export (one worker) against
+// the concurrent seal->ship->index pipeline. The WAN is paced
+// (simnet.SetRealtime): every transfer occupies real wall-clock time for
+// its computed duration, so the number measured is what the paper's
+// constrained-WAN story is about — the serial exporter pays the sum of all
+// sites' link occupancy, the pipeline pays roughly the slowest site.
+func BenchmarkEndEpoch(b *testing.B) {
+	for _, sites := range []int{1, 4, 8} {
+		for _, shards := range []int{1, 4} {
+			for _, mode := range []struct {
+				name    string
+				workers int
+			}{{"serial", 1}, {"pipelined", 0}} {
+				b.Run(fmt.Sprintf("sites=%d/shards=%d/%s", sites, shards, mode.name), func(b *testing.B) {
+					benchEndEpoch(b, sites, shards, mode.workers)
+				})
+			}
+		}
+	}
+}
+
+func benchEndEpoch(b *testing.B, sites, shards, workers int) {
+	b.Helper()
+	names := make([]string, sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("site%d", i)
+	}
+	sys, err := flowstream.New(flowstream.Config{
+		Sites:         names,
+		TreeBudget:    2048,
+		Epoch:         time.Minute,
+		Shards:        shards,
+		ExportWorkers: workers,
+		Link:          simnet.Link{BytesPerSecond: 2e6, Latency: 2 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Net.SetRealtime(1.0)
+	gens := make([]*workload.FlowGen, sites)
+	for i := range gens {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Skew: 1.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens[i] = g
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for s, site := range names {
+			if err := sys.Ingest(site, gens[s].Records(4000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := sys.EndEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sys.PendingExports() != 0 {
+		b.Fatalf("pending exports after benchmark: %d", sys.PendingExports())
+	}
 }

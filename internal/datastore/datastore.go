@@ -105,6 +105,21 @@ type aggState struct {
 	hier    *storage.HierarchicalStore[primitive.Aggregator]
 	epoch   time.Time
 	queries uint64
+
+	// sealMu serializes seals of this aggregator and is held across the
+	// off-lock shard-merge fold, so ingest and queries (which only take
+	// the registry and shard locks) keep flowing while an epoch seals.
+	// Lock order: sealMu before mu before shard locks.
+	sealMu sync.Mutex
+	// sealing parks the frozen shard instances of an epoch whose fold is
+	// in flight; queries fan them in alongside stored epochs until the
+	// sealed summary lands in retention. Guarded by Store.mu; the parked
+	// instances themselves are only read (by the folding seal and by
+	// query fan-ins) once parked.
+	sealing []primitive.Aggregator
+	// sealingStart is the start of the epoch being sealed (guarded by
+	// Store.mu; the epoch's end is the current st.epoch).
+	sealingStart time.Time
 }
 
 // TriggerEvent is delivered to trigger subscribers (normally the
@@ -564,25 +579,25 @@ func (s *Store) Seal(aggregator string) error {
 // (mutating it), so export pipelines using SealExport should pair it with
 // StrategyExpire or StrategyRoundRobin retention, as flowstream does.
 //
-// The whole seal — shard merge fan-in, retention insert, swap — runs under
-// the registry lock with every shard frozen, so concurrent queries never
-// observe a half-sealed epoch and a failed retention insert leaves the
-// live epoch untouched (the seal is retryable). With the budget split
-// across shards the fan-in is a milliseconds-scale pause per epoch;
-// pipelines sealing huge unbudgeted shards should expect ingest to stall
-// for the duration of the merge.
+// The expensive part of sealing — the shard-merge fan-in — runs off the
+// registry lock, guarded only by the aggregator's seal mutex: fresh shard
+// instances are swapped in under one short freeze (registry lock plus all
+// shard locks) and the frozen instances are folded while ingest keeps
+// flowing into every shard and other aggregators seal independently.
+// Queries keep fanning the frozen instances in until the fold lands in
+// retention, so no instant exists at which the sealing epoch's weight is
+// invisible or counted twice. On a failed fold or retention insert the
+// parked weight is merged back into the live shards and the epoch boundary
+// rolled back, so no data is lost and the seal can be retried.
 func (s *Store) SealExport(aggregator string) (primitive.Aggregator, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, ok := s.aggs[aggregator]
+	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
 	}
-	now := s.now()
-	width := now.Sub(st.epoch)
-	if width <= 0 {
-		width = time.Nanosecond
-	}
+	st.sealMu.Lock()
+	defer st.sealMu.Unlock()
 	// Build every replacement instance before swapping anything so that a
 	// failing factory leaves the live epoch untouched.
 	next := make([]primitive.Aggregator, len(st.shards))
@@ -601,61 +616,103 @@ func (s *Store) SealExport(aggregator string) (primitive.Aggregator, error) {
 		}
 		combined = c
 	}
-	// Freeze every shard for the whole merge-and-store sequence: workers
+	// Freeze: swap fresh instances in and park the frozen shards. Workers
 	// hold at most one shard lock each, so taking them all (in index
-	// order) cannot deadlock, and the swap happens only after the
-	// retention store accepted the epoch — a failed Put leaves the live
-	// epoch exactly as it was, and the seal can be retried.
+	// order) cannot deadlock; the critical section is O(shards) pointer
+	// swaps, not the merge.
+	s.mu.Lock()
 	for _, sh := range st.shards {
 		sh.mu.Lock()
 	}
-	defer func() {
-		for _, sh := range st.shards {
-			sh.mu.Unlock()
-		}
-	}()
+	now := s.now()
+	epochStart := st.epoch
+	width := now.Sub(epochStart)
+	if width <= 0 {
+		width = time.Nanosecond
+	}
 	live := make([]primitive.Aggregator, len(st.shards))
 	for i, sh := range st.shards {
 		live[i] = sh.cur
+		sh.cur = next[i]
 	}
+	st.epoch = now
+	st.sealing = live
+	st.sealingStart = epochStart
+	for _, sh := range st.shards {
+		sh.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	// Fold off-lock. The parked instances are only read from here on (by
+	// this fold and by concurrent query fan-ins), so no lock is needed.
 	sealed := live[0]
 	if combined != nil {
 		sealed = combined
+		var foldErr error
 		if bm, ok := combined.(primitive.BulkMerger); ok {
-			if err := bm.MergeBulk(live); err != nil {
-				return nil, fmt.Errorf("datastore: seal %q: merge shards: %w", aggregator, err)
-			}
+			foldErr = bm.MergeBulk(live)
 		} else {
 			for _, out := range live {
-				if err := sealed.Merge(out); err != nil {
-					return nil, fmt.Errorf("datastore: seal %q: merge shard: %w", aggregator, err)
+				if foldErr = sealed.Merge(out); foldErr != nil {
+					break
 				}
 			}
 		}
+		if foldErr != nil {
+			s.unseal(st, live, epochStart)
+			return nil, fmt.Errorf("datastore: seal %q: merge shards: %w", aggregator, foldErr)
+		}
 	}
+
+	// Store: move the fold into retention and unpark the frozen shards in
+	// the same registry critical section, so every query observes the
+	// epoch's weight exactly once.
+	s.mu.Lock()
 	ep := storage.Epoch[primitive.Aggregator]{
-		Start:   st.epoch,
+		Start:   epochStart,
 		Width:   width,
 		Size:    sealed.SizeBytes(),
 		Payload: sealed,
 	}
+	var putErr error
 	switch {
 	case st.ttl != nil:
 		st.ttl.Put(ep)
 	case st.ring != nil:
-		if err := st.ring.Put(ep); err != nil {
-			return nil, fmt.Errorf("datastore: seal %q: %w", aggregator, err)
-		}
+		putErr = st.ring.Put(ep)
 	case st.hier != nil:
-		if err := st.hier.Put(ep); err != nil {
-			return nil, fmt.Errorf("datastore: seal %q: %w", aggregator, err)
-		}
+		putErr = st.hier.Put(ep)
 	}
-	for i, sh := range st.shards {
-		sh.cur = next[i]
+	if putErr == nil {
+		st.sealing, st.sealingStart = nil, time.Time{}
 	}
-	st.epoch = now
+	s.mu.Unlock()
+	if putErr != nil {
+		s.unseal(st, []primitive.Aggregator{sealed}, epochStart)
+		return nil, fmt.Errorf("datastore: seal %q: %w", aggregator, putErr)
+	}
 	return sealed, nil
+}
+
+// unseal rolls a failed seal back: the parked weight (the frozen shard
+// instances, or the already-folded summary after a retention failure) is
+// merged back into the live shards and the epoch boundary restored.
+// Unparking and re-merging happen under one registry-lock hold (lock order
+// mu -> shard), so no query interleaves between the weight leaving the
+// sealing set and reappearing live. Callers hold sealMu.
+func (s *Store) unseal(st *aggState, parked []primitive.Aggregator, epochStart time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.sealing, st.sealingStart = nil, time.Time{}
+	st.epoch = epochStart
+	for i, p := range parked {
+		sh := st.shards[i%len(st.shards)]
+		sh.mu.Lock()
+		// Same-kind merges do not fail; if one ever does there is no
+		// further fallback, the weight is dropped.
+		_ = sh.cur.Merge(p)
+		sh.mu.Unlock()
+	}
 }
 
 // SealAll seals every registered aggregator.
@@ -724,6 +781,24 @@ func (s *Store) Query(aggregator string, q any, from, to time.Time) (any, error)
 		if err := combined.Merge(ep.Payload); err != nil {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("datastore: merge epoch at %v: %w", ep.Start, err)
+		}
+	}
+	// An epoch whose seal fold is in flight is in neither retention nor
+	// the live shards; its parked instances cover [sealingStart, st.epoch)
+	// and are read-only while parked, so they join the off-lock fan-in.
+	// Under StrategyHierarchical the same instance is later mutated in
+	// place by coarsening (under the registry lock), so there — as for
+	// hierarchical stored epochs — it must be merged before the unlock.
+	if len(st.sealing) > 0 && st.sealingStart.Before(to) && st.epoch.After(from) {
+		if st.hier == nil {
+			deferred = append(deferred, st.sealing...)
+		} else {
+			for _, p := range st.sealing {
+				if err := combined.Merge(p); err != nil {
+					s.mu.Unlock()
+					return nil, fmt.Errorf("datastore: merge sealing epoch: %w", err)
+				}
+			}
 		}
 	}
 	// The live epoch covers [st.epoch, now] and counts when it overlaps

@@ -1,0 +1,207 @@
+package datastore
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"megadata/internal/primitive"
+	"megadata/internal/workload"
+)
+
+// gateAgg is a toy summing aggregator whose FIRST Merge blocks until the
+// test releases it, standing in for a huge unbudgeted shard fold. All
+// instances built by one gate share the entered/release channels; merges
+// that lose the race to be first proceed immediately (they must not wait,
+// or concurrent query fan-ins would depend on the gated fold).
+type gateAgg struct {
+	sum  int64
+	gate *mergeGate
+}
+
+type mergeGate struct {
+	taken   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newMergeGate() *mergeGate {
+	return &mergeGate{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateAgg) Name() string              { return "gate" }
+func (g *gateAgg) Kind() primitive.Kind      { return primitive.KindStats }
+func (g *gateAgg) Granularity() int          { return 1 }
+func (g *gateAgg) SetGranularity(int) error  { return nil }
+func (g *gateAgg) Adapt(primitive.AdaptHint) {}
+func (g *gateAgg) SizeBytes() uint64         { return 8 }
+func (g *gateAgg) Reset()                    { g.sum = 0 }
+func (g *gateAgg) Query(any) (any, error)    { return g.sum, nil }
+
+func (g *gateAgg) Add(item any) error {
+	v, ok := item.(int64)
+	if !ok {
+		return errors.New("gateAgg takes int64")
+	}
+	g.sum += v
+	return nil
+}
+
+func (g *gateAgg) Merge(other primitive.Aggregator) error {
+	o, ok := other.(*gateAgg)
+	if !ok {
+		return primitive.ErrKindMismatch
+	}
+	if g.gate != nil && g.gate.taken.CompareAndSwap(false, true) {
+		close(g.gate.entered)
+		<-g.gate.release
+	}
+	g.sum += o.sum
+	return nil
+}
+
+// TestSealFoldDoesNotStallIngest drives the off-lock seal: while one
+// aggregator's shard-merge fold is blocked mid-flight, ingest into the
+// same aggregator (fresh shards) and into a second aggregator must
+// proceed, and queries must still see the sealing epoch's weight. Run
+// under -race this also proves the parked instances are only read.
+func TestSealFoldDoesNotStallIngest(t *testing.T) {
+	gate := newMergeGate()
+	s := New("edge", nil, WithShards(2))
+	if err := s.Register(AggregatorConfig{
+		Name:     "slow",
+		New:      func() (primitive.Aggregator, error) { return &gateAgg{gate: gate}, nil },
+		Strategy: StrategyExpire,
+		TTL:      time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(AggregatorConfig{
+		Name:     "fast",
+		New:      func() (primitive.Aggregator, error) { return primitive.NewFlowtree("fast", 256) },
+		Strategy: StrategyExpire,
+		TTL:      time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("ints", "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("flows", "fast"); err != nil {
+		t.Fatal(err)
+	}
+	pre := make([]any, 64)
+	for i := range pre {
+		pre[i] = int64(1)
+	}
+	if err := s.IngestBatch("ints", pre); err != nil {
+		t.Fatal(err)
+	}
+
+	sealed := make(chan error, 1)
+	go func() {
+		_, err := s.SealExport("slow")
+		sealed <- err
+	}()
+	<-gate.entered // the fold is in flight, off every store lock
+
+	// Ingest into the sealing aggregator's fresh shards and into the
+	// other aggregator; both must complete while the fold is blocked.
+	done := make(chan error, 2)
+	go func() { done <- s.IngestBatch("ints", pre) }()
+	go func() {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 7})
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- s.IngestFlowBatch("flows", g.Records(2000))
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("ingest during seal fold: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("ingest stalled behind the seal fold")
+		}
+	}
+	// The sealing epoch's weight stays visible mid-fold: 64 parked, 64
+	// fresh.
+	got, err := s.Query("slow", nil, time.Time{}, time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(int64) != 128 {
+		t.Errorf("mid-seal query = %v, want 128", got)
+	}
+
+	close(gate.release)
+	if err := <-sealed; err != nil {
+		t.Fatalf("SealExport: %v", err)
+	}
+	// After the seal: 64 stored, 64 live — still 128 in total, exactly
+	// once.
+	got, err = s.Query("slow", nil, time.Time{}, time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(int64) != 128 {
+		t.Errorf("post-seal query = %v, want 128", got)
+	}
+	st, err := s.StatsOf("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoredEpochs != 1 {
+		t.Errorf("stored epochs = %d, want 1", st.StoredEpochs)
+	}
+}
+
+// TestConcurrentSealsSerialize seals the same aggregator from two
+// goroutines while a fold is gated; both must complete and produce two
+// epochs without losing weight.
+func TestConcurrentSealsSerialize(t *testing.T) {
+	gate := newMergeGate()
+	s := New("edge", nil, WithShards(2))
+	if err := s.Register(AggregatorConfig{
+		Name:     "slow",
+		New:      func() (primitive.Aggregator, error) { return &gateAgg{gate: gate}, nil },
+		Strategy: StrategyExpire,
+		TTL:      time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("ints", "slow"); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]any, 10)
+	for i := range batch {
+		batch[i] = int64(1)
+	}
+	if err := s.IngestBatch("ints", batch); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { _, err := s.SealExport("slow"); errs <- err }()
+	<-gate.entered
+	go func() { _, err := s.SealExport("slow"); errs <- err }()
+	if err := s.IngestBatch("ints", batch); err != nil {
+		t.Fatal(err)
+	}
+	close(gate.release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("seal %d: %v", i, err)
+		}
+	}
+	got, err := s.Query("slow", nil, time.Time{}, time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(int64) != 20 {
+		t.Errorf("total after concurrent seals = %v, want 20", got)
+	}
+}

@@ -283,7 +283,7 @@ func TestResultCacheEviction(t *testing.T) {
 	if _, err := NewResultCache(0); err == nil {
 		t.Error("zero capacity must error")
 	}
-	cache, _ := NewResultCache(60) // tiny: one small tree at most
+	cache, _ := NewResultCache(40) // tiny: one small v2-encoded tree at most
 	f, _ := newFed(t, nil)
 	f.SetCache(cache)
 	// Two distinct windows from dc: the second insert evicts the first.
@@ -294,7 +294,7 @@ func TestResultCacheEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, _, used := cache.Stats()
-	if used > 60 {
+	if used > 40 {
 		t.Errorf("cache exceeded capacity: %d", used)
 	}
 	// The first window was evicted: repeat ships again.

@@ -107,6 +107,12 @@ func (k Key) AppendBinary(dst []byte) []byte {
 	return append(dst, buf[:]...)
 }
 
+// Normalized returns the key with fields hidden behind wildcards/masks
+// zeroed, so that semantically equal keys compare equal field by field.
+// Codecs that serialize key fields directly (flowtree wire v2) normalize
+// first, matching what AppendBinary and Hash do internally.
+func (k Key) Normalized() Key { return k.normalize() }
+
 // FNV-1a constants (hash/fnv, inlined to keep the hot path allocation-free).
 const (
 	fnvOffset64 = 14695981039346656037

@@ -47,12 +47,25 @@ func New() *DB {
 // Insert indexes a summary. The tree is stored as-is; callers that keep
 // mutating a live tree must insert a Clone.
 func (db *DB) Insert(r Row) error {
-	if r.Location == "" || r.Tree == nil || r.Width <= 0 {
-		return fmt.Errorf("%w: need location, tree and positive width", ErrBadRow)
+	return db.InsertBatch([]Row{r})
+}
+
+// InsertBatch indexes a batch of summaries under one lock acquisition and
+// one index re-sort — the central writer of a pipelined epoch export hands
+// all sites' decoded rows over in one call. Rows are validated up front;
+// an invalid row rejects the whole batch and indexes nothing.
+func (db *DB) InsertBatch(rows []Row) error {
+	for _, r := range rows {
+		if r.Location == "" || r.Tree == nil || r.Width <= 0 {
+			return fmt.Errorf("%w: need location, tree and positive width", ErrBadRow)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.rows = append(db.rows, r)
+	db.rows = append(db.rows, rows...)
 	sort.Slice(db.rows, func(i, j int) bool {
 		if !db.rows[i].Start.Equal(db.rows[j].Start) {
 			return db.rows[i].Start.Before(db.rows[j].Start)

@@ -172,3 +172,48 @@ func TestLocationsTimeBoundsEvict(t *testing.T) {
 		t.Error("bounds after full evict")
 	}
 }
+
+func TestInsertBatch(t *testing.T) {
+	db := New()
+	tr := tree(t, 100)
+	rows := []Row{
+		{Location: "b", Start: t0.Add(time.Minute), Width: time.Minute, Tree: tr},
+		{Location: "a", Start: t0, Width: time.Minute, Tree: tr},
+		{Location: "a", Start: t0.Add(time.Minute), Width: time.Minute, Tree: tr},
+	}
+	if err := db.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	got := db.Rows()
+	if len(got) != 3 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	// One sort over the whole batch: start-then-location order.
+	want := [][2]string{{"a", t0.String()}, {"a", t0.Add(time.Minute).String()}, {"b", t0.Add(time.Minute).String()}}
+	for i, r := range got {
+		if r.Location != want[i][0] || r.Start.String() != want[i][1] {
+			t.Errorf("row %d = %s@%v", i, r.Location, r.Start)
+		}
+	}
+	if err := db.InsertBatch(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if db.Len() != 3 {
+		t.Errorf("empty batch changed the index: %d rows", db.Len())
+	}
+}
+
+func TestInsertBatchAtomicValidation(t *testing.T) {
+	db := New()
+	tr := tree(t, 1)
+	rows := []Row{
+		{Location: "ok", Start: t0, Width: time.Minute, Tree: tr},
+		{Location: "", Start: t0, Width: time.Minute, Tree: tr}, // invalid
+	}
+	if err := db.InsertBatch(rows); err == nil {
+		t.Fatal("invalid row must reject the batch")
+	}
+	if db.Len() != 0 {
+		t.Errorf("rejected batch indexed %d rows", db.Len())
+	}
+}

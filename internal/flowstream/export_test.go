@@ -1,0 +1,296 @@
+package flowstream
+
+import (
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+	"megadata/internal/primitive"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+// localTotal queries a site store's Flowtree over all time (live + local
+// retention).
+func localTotal(t *testing.T, sys *System, site string) flow.Counters {
+	t.Helper()
+	st, err := sys.Store(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Query(aggName, primitive.FlowQuery{Key: flow.Root()},
+		time.Time{}, sys.Clock.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got.(flow.Counters)
+}
+
+// TestTransientFailureReShipsFromRetention drives the re-ship path end to
+// end: a failed WAN transfer leaves the epoch queryable at the site, the
+// next EndEpoch delivers it to central (oldest first), and an explicit
+// ReExportPending drains what remains.
+func TestTransientFailureReShipsFromRetention(t *testing.T) {
+	sys, err := New(Config{
+		Sites: []string{"edge"},
+		Epoch: time.Minute,
+		// Every 2nd transfer attempt on the link fails transiently.
+		Link: simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond, FailEvery: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(bytes uint64) []flow.Record {
+		return []flow.Record{{
+			Key:     flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80101, 40000, 443),
+			Packets: 1, Bytes: bytes,
+		}}
+	}
+	// Epoch 0: attempt 1 succeeds.
+	if err := sys.Ingest("edge", mk(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.DB.Len() != 1 || sys.PendingExports() != 0 {
+		t.Fatalf("epoch 0: rows=%d pending=%d", sys.DB.Len(), sys.PendingExports())
+	}
+
+	// Epoch 1: attempt 2 fails. Not an error — the epoch stays local.
+	if err := sys.Ingest("edge", mk(900)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EndEpoch(); err != nil {
+		t.Fatalf("transient transfer failure must not fail EndEpoch: %v", err)
+	}
+	if sys.DB.Len() != 1 {
+		t.Errorf("failed epoch reached central: rows=%d", sys.DB.Len())
+	}
+	if sys.PendingExports() != 1 {
+		t.Errorf("pending=%d, want 1", sys.PendingExports())
+	}
+	if got := localTotal(t, sys, "edge"); got.Bytes != 1000 {
+		t.Errorf("failed epoch not queryable locally: local bytes=%d, want 1000", got.Bytes)
+	}
+	if st := sys.Net.TotalStats(); st.Failures != 1 {
+		t.Errorf("link failures=%d, want 1", st.Failures)
+	}
+
+	// Epoch 2: the pending epoch 1 re-ships first (attempt 3, succeeds),
+	// then epoch 2's fresh export fails (attempt 4) and queues.
+	if err := sys.Ingest("edge", mk(8000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.DB.Len() != 2 {
+		t.Errorf("after re-ship rows=%d, want 2 (epochs 0 and 1)", sys.DB.Len())
+	}
+	if sys.PendingExports() != 1 {
+		t.Errorf("pending=%d, want 1 (epoch 2)", sys.PendingExports())
+	}
+	// Epoch 1's row arrived with its original interval.
+	rows := sys.DB.Rows()
+	e1 := rows[1]
+	if !e1.Start.Equal(sys.cfg.Start.Add(time.Minute)) || e1.Tree.Total().Bytes != 900 {
+		t.Errorf("re-shipped epoch 1 row = start %v bytes %d", e1.Start, e1.Tree.Total().Bytes)
+	}
+
+	// Explicit drain: attempt 5 succeeds.
+	n, err := sys.ReExportPending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || sys.PendingExports() != 0 || sys.DB.Len() != 3 {
+		t.Errorf("ReExportPending: delivered=%d pending=%d rows=%d", n, sys.PendingExports(), sys.DB.Len())
+	}
+	// Central now holds everything the site saw.
+	res, err := sys.Query(`SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 9000 {
+		t.Errorf("central bytes=%d, want 9000", res.Counters.Bytes)
+	}
+}
+
+// TestCentralBudgetCoarsensCentralTrees checks Config.CentralBudget is
+// threaded to the central decode (default 0 = full fidelity).
+func TestCentralBudgetCoarsensCentralTrees(t *testing.T) {
+	run := func(centralBudget int) *System {
+		sys, err := New(Config{
+			Sites:         []string{"edge"},
+			Epoch:         time.Minute,
+			CentralBudget: centralBudget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 3, Skew: 1.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Ingest("edge", g.Records(5000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	full := run(0)
+	coarse := run(64)
+	fullLen := full.DB.Rows()[0].Tree.Len()
+	coarseLen := coarse.DB.Rows()[0].Tree.Len()
+	if coarseLen > 64 {
+		t.Errorf("central tree has %d nodes, budget 64", coarseLen)
+	}
+	if fullLen <= 64 {
+		t.Fatalf("full-fidelity tree only has %d nodes; test needs more traffic", fullLen)
+	}
+	// Totals survive coarsening.
+	if full.DB.Rows()[0].Tree.Total() != coarse.DB.Rows()[0].Tree.Total() {
+		t.Error("coarsening changed the total")
+	}
+}
+
+// TestV2WireCutsWANBytes asserts the acceptance bound for the compact
+// codec: on the workload generator's default mix, the bytes actually
+// shipped (WANBytes, v2) are at most 70% of what the v1 fixed-width
+// encoding of the same trees would have cost.
+func TestV2WireCutsWANBytes(t *testing.T) {
+	sys, err := New(Config{Sites: []string{"edge", "core"}, Epoch: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, site := range []string{"edge", "core"} {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(42 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Ingest(site, g.Records(20000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	wan := sys.WANBytes()
+	// Central decoded at full fidelity, so re-encoding its rows in v1
+	// reproduces the legacy wire cost of exactly what was shipped.
+	var v1 uint64
+	for _, r := range sys.DB.Rows() {
+		n, err := r.Tree.WireSizeBytes(flowtree.WireV1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1 += n
+	}
+	if wan == 0 || v1 == 0 {
+		t.Fatal("nothing shipped")
+	}
+	if wan*10 > v1*7 {
+		t.Errorf("v2 WAN bytes %d not <=70%% of v1 %d (%.1f%%)", wan, v1, 100*float64(wan)/float64(v1))
+	}
+	t.Logf("v2 wire: %d bytes, v1 equivalent: %d bytes (%.1f%%)", wan, v1, 100*float64(wan)/float64(v1))
+}
+
+// TestPipelinedEndEpochMatchesSerial checks the pipeline is a pure
+// performance change: pipelined and serial (one-worker) exports produce
+// identical central databases.
+func TestPipelinedEndEpochMatchesSerial(t *testing.T) {
+	build := func(workers int) *System {
+		sys, err := New(Config{
+			Sites:         []string{"a", "b", "c", "d"},
+			Epoch:         time.Minute,
+			TreeBudget:    512,
+			Shards:        2,
+			ExportWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for epoch := 0; epoch < 2; epoch++ {
+			for i, site := range []string{"a", "b", "c", "d"} {
+				g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(epoch*4 + i), Skew: 1.3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.Ingest(site, g.Records(3000)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sys.EndEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys
+	}
+	serial := build(1)
+	piped := build(4)
+	sr, pr := serial.DB.Rows(), piped.DB.Rows()
+	if len(sr) != len(pr) {
+		t.Fatalf("row counts differ: %d vs %d", len(sr), len(pr))
+	}
+	for i := range sr {
+		if sr[i].Location != pr[i].Location || !sr[i].Start.Equal(pr[i].Start) {
+			t.Fatalf("row %d index differs: %v@%v vs %v@%v", i, sr[i].Location, sr[i].Start, pr[i].Location, pr[i].Start)
+		}
+		se, pe := sr[i].Tree.Entries(), pr[i].Tree.Entries()
+		if len(se) != len(pe) {
+			t.Fatalf("row %d entry counts differ", i)
+		}
+		for j := range se {
+			if se[j] != pe[j] {
+				t.Fatalf("row %d entry %d differs: %+v vs %+v", i, j, se[j], pe[j])
+			}
+		}
+	}
+	if serial.WANBytes() != piped.WANBytes() {
+		t.Errorf("WAN bytes differ: %d vs %d", serial.WANBytes(), piped.WANBytes())
+	}
+}
+
+// TestShipRequeuesBehindDecodeFailure locks in the error-path guarantee:
+// an undecodable blob surfaces an error and is dropped (it would never
+// decode on retry), but epochs queued behind it stay pending.
+func TestShipRequeuesBehindDecodeFailure(t *testing.T) {
+	sys, err := New(Config{Sites: []string{"edge"}, Epoch: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []pendingExport{
+		{start: sys.cfg.Start, width: time.Minute, wire: []byte("not a flowtree")},
+		{start: sys.cfg.Start.Add(time.Minute), width: time.Minute, wire: good.AppendBinary(nil)},
+	}
+	rows, err := sys.ship("edge", batch)
+	if err == nil {
+		t.Fatal("corrupt blob must surface a decode error")
+	}
+	if len(rows) != 0 {
+		t.Errorf("rows delivered past the decode failure: %d", len(rows))
+	}
+	if sys.PendingExports() != 1 {
+		t.Errorf("pending=%d, want 1 (the epoch behind the corrupt blob)", sys.PendingExports())
+	}
+	// The surviving epoch drains normally.
+	n, err := sys.ReExportPending()
+	if err != nil || n != 1 || sys.PendingExports() != 0 {
+		t.Errorf("ReExportPending: n=%d err=%v pending=%d", n, err, sys.PendingExports())
+	}
+}
+
+// TestNegativeCentralBudgetRejected pins the construction-time validation
+// that keeps central decode errors out of the export pipeline.
+func TestNegativeCentralBudgetRejected(t *testing.T) {
+	if _, err := New(Config{Sites: []string{"s"}, CentralBudget: -1}); err == nil {
+		t.Error("negative central budget must error")
+	}
+}

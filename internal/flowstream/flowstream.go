@@ -9,6 +9,7 @@ package flowstream
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"megadata/internal/datastore"
@@ -48,6 +49,19 @@ type Config struct {
 	// Flowtree compression; smaller batches bound how long records stay
 	// invisible to triggers and live queries.
 	BatchSize int
+	// CentralBudget is the Flowtree node budget applied when decoding
+	// site exports at the central FlowDB (0 = full fidelity: central
+	// keeps every node the sites shipped). Sites already budget their
+	// summaries before export, so a central budget only matters when the
+	// center wants to hold coarser trees than it receives.
+	CentralBudget int
+	// ExportWorkers bounds the epoch-export worker pool: how many sites
+	// seal, encode and ship concurrently during EndEpoch (default
+	// min(sites, 8); 1 degenerates to the serial per-site export).
+	// Export workers are WAN-bound, not CPU-bound, so the default scales
+	// with the site count rather than GOMAXPROCS; the cap bounds how
+	// many encoded epochs are in flight at once.
+	ExportWorkers int
 }
 
 // aggName is the Flowtree aggregator registered at every site store.
@@ -62,6 +76,20 @@ type System struct {
 	stores  map[string]*datastore.Store
 	central simnet.SiteID
 	epoch   int
+
+	// pendMu guards pending: per-site queues of sealed epochs whose WAN
+	// transfer failed. The epochs stay queryable in the site's local
+	// retention; the encoded blobs queue here until ReExportPending or
+	// the next EndEpoch delivers them to central.
+	pendMu  sync.Mutex
+	pending map[string][]pendingExport
+}
+
+// pendingExport is one sealed, encoded epoch awaiting (re-)shipment.
+type pendingExport struct {
+	start time.Time
+	width time.Duration
+	wire  []byte
 }
 
 // New builds and connects a Flowstream deployment.
@@ -87,6 +115,12 @@ func New(cfg Config) (*System, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 4096
 	}
+	if cfg.CentralBudget < 0 {
+		return nil, errors.New("flowstream: central budget must be >= 0")
+	}
+	if cfg.ExportWorkers <= 0 {
+		cfg.ExportWorkers = min(len(cfg.Sites), 8)
+	}
 	s := &System{
 		cfg:     cfg,
 		Clock:   simnet.NewClock(cfg.Start),
@@ -94,6 +128,7 @@ func New(cfg Config) (*System, error) {
 		DB:      flowdb.New(),
 		stores:  make(map[string]*datastore.Store, len(cfg.Sites)),
 		central: simnet.SiteID(cfg.Central),
+		pending: make(map[string][]pendingExport),
 	}
 	s.Net.AddSite(s.central)
 	for _, site := range cfg.Sites {
@@ -179,53 +214,165 @@ func (s *System) IngestBatch(site string, recs []flow.Record) error {
 	return nil
 }
 
-// EndEpoch closes the current epoch everywhere: each site seals its
-// Flowtree (merging its ingest shards into one budgeted summary),
-// serializes it, ships it to the central site over the metered WAN
-// (step 3) and indexes it in FlowDB (step 4). The virtual clock then
-// advances by one epoch.
+// EndEpoch closes the current epoch everywhere as a concurrent pipeline:
+// every site independently seals its Flowtree (merging its ingest shards
+// into one budgeted summary, off the store's registry lock), encodes it in
+// the compact v2 wire format and ships it to the central site over the
+// metered WAN (step 3) through a bounded worker pool, so multi-site epoch
+// turnaround is bounded by the slowest site instead of the sum of all
+// sites. Decoded central trees are handed to a single writer that batches
+// them into FlowDB (step 4) with one InsertBatch. The virtual clock
+// advances by one epoch before sealing.
 //
-// Each site seals before exporting, so on an export error the epoch is
-// already in the site's local retention (queryable there) but absent from
-// central FlowDB. simnet transfers only fail on static topology errors —
-// New connects every site — so there is no transient-retry path to
-// preserve; a real WAN exporter should instead re-ship from local
-// retention (see ROADMAP).
+// A transient WAN failure (simnet.ErrTransient) is not an error: the
+// sealed epoch is already queryable in the site's local retention, its
+// encoded blob queues in the site's pending-export queue, and the next
+// EndEpoch (or an explicit ReExportPending) re-ships it, oldest first.
+// Only seal, decode, insert and topology failures surface as errors.
 func (s *System) EndEpoch() error {
 	epochStart := s.cfg.Start.Add(time.Duration(s.epoch) * s.cfg.Epoch)
 	s.Clock.AdvanceTo(epochStart.Add(s.cfg.Epoch))
-	for _, site := range s.cfg.Sites {
-		st := s.stores[site]
-		// SealExport merges the site's shards into one budgeted summary
-		// exactly once, moving it into retention and handing it back for
-		// the WAN export.
-		sealed, err := st.SealExport(aggName)
+	var (
+		mu        sync.Mutex
+		collected []flowdb.Row
+		wg        sync.WaitGroup
+	)
+	errs := make([]error, len(s.cfg.Sites))
+	sem := make(chan struct{}, s.cfg.ExportWorkers)
+	for i, site := range s.cfg.Sites {
+		wg.Add(1)
+		go func(i int, site string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows, err := s.exportSite(site, epochStart)
+			mu.Lock()
+			collected = append(collected, rows...)
+			mu.Unlock()
+			errs[i] = err
+		}(i, site)
+	}
+	wg.Wait()
+	// Single writer: all decoded rows land in FlowDB under one lock
+	// acquisition and one index re-sort.
+	if err := s.DB.InsertBatch(collected); err != nil {
+		return err
+	}
+	for _, err := range errs {
 		if err != nil {
-			return err
-		}
-		ft, ok := sealed.(*primitive.FlowtreeAggregator)
-		if !ok {
-			return fmt.Errorf("flowstream: site %q aggregator is %T", site, sealed)
-		}
-		wire := ft.Tree().AppendBinary(nil)
-		if _, err := s.Net.Transfer(simnet.SiteID(site), s.central, uint64(len(wire))); err != nil {
-			return fmt.Errorf("flowstream: export %q: %w", site, err)
-		}
-		tree, err := flowtree.Decode(wire, 0)
-		if err != nil {
-			return fmt.Errorf("flowstream: decode export of %q: %w", site, err)
-		}
-		if err := s.DB.Insert(flowdb.Row{
-			Location: site,
-			Start:    epochStart,
-			Width:    s.cfg.Epoch,
-			Tree:     tree,
-		}); err != nil {
 			return err
 		}
 	}
 	s.epoch++
 	return nil
+}
+
+// exportSite runs one site's seal -> encode -> ship stage of the epoch
+// pipeline and returns the decoded central rows it delivered. Epochs still
+// pending from earlier failures ship first, preserving per-site order.
+func (s *System) exportSite(site string, epochStart time.Time) ([]flowdb.Row, error) {
+	st := s.stores[site]
+	// SealExport merges the site's shards into one budgeted summary
+	// exactly once — off the registry lock, so ingest keeps flowing —
+	// moving it into retention and handing it back for the WAN export.
+	sealed, err := st.SealExport(aggName)
+	if err != nil {
+		return nil, err
+	}
+	ft, ok := sealed.(*primitive.FlowtreeAggregator)
+	if !ok {
+		return nil, fmt.Errorf("flowstream: site %q aggregator is %T", site, sealed)
+	}
+	wire := ft.Tree().AppendBinary(nil)
+	batch := append(s.takePending(site), pendingExport{start: epochStart, width: s.cfg.Epoch, wire: wire})
+	return s.ship(site, batch)
+}
+
+// ship transfers queued epochs for one site to central in order, decoding
+// each delivered blob into a FlowDB row. On a transfer failure the failed
+// epoch and everything queued behind it are re-queued (order preserved);
+// a transient failure is swallowed — the data is safe locally and will be
+// re-shipped — while topology errors surface.
+func (s *System) ship(site string, batch []pendingExport) ([]flowdb.Row, error) {
+	var rows []flowdb.Row
+	for i, pe := range batch {
+		if _, err := s.Net.Transfer(simnet.SiteID(site), s.central, uint64(len(pe.wire))); err != nil {
+			s.requeue(site, batch[i:])
+			if errors.Is(err, simnet.ErrTransient) {
+				return rows, nil
+			}
+			return rows, fmt.Errorf("flowstream: export %q: %w", site, err)
+		}
+		tree, err := flowtree.Decode(pe.wire, s.cfg.CentralBudget)
+		if err != nil {
+			// The undecodable blob itself was delivered and is not
+			// requeued (it would never decode on a retry either), but
+			// the epochs behind it stay queued for re-shipment.
+			s.requeue(site, batch[i+1:])
+			return rows, fmt.Errorf("flowstream: decode export of %q: %w", site, err)
+		}
+		rows = append(rows, flowdb.Row{
+			Location: site,
+			Start:    pe.start,
+			Width:    pe.width,
+			Tree:     tree,
+		})
+	}
+	return rows, nil
+}
+
+// takePending removes and returns a site's queued exports, oldest first.
+func (s *System) takePending(site string) []pendingExport {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	batch := s.pending[site]
+	delete(s.pending, site)
+	return batch
+}
+
+// requeue puts undelivered exports back at the head of a site's queue.
+func (s *System) requeue(site string, batch []pendingExport) {
+	if len(batch) == 0 {
+		return
+	}
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	s.pending[site] = append(append([]pendingExport{}, batch...), s.pending[site]...)
+}
+
+// PendingExports reports how many sealed epochs are queued for re-shipment
+// across all sites (0 when every export has reached central FlowDB).
+func (s *System) PendingExports() int {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	n := 0
+	for _, q := range s.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// ReExportPending re-ships every queued epoch from local retention to the
+// central FlowDB without waiting for the next EndEpoch, returning how many
+// epochs were delivered. Epochs that fail again (transiently) stay queued.
+func (s *System) ReExportPending() (int, error) {
+	var all []flowdb.Row
+	var firstErr error
+	for _, site := range s.cfg.Sites {
+		batch := s.takePending(site)
+		if len(batch) == 0 {
+			continue
+		}
+		rows, err := s.ship(site, batch)
+		all = append(all, rows...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.DB.InsertBatch(all); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return len(all), firstErr
 }
 
 // Epoch returns the index of the current (open) epoch.

@@ -4,32 +4,127 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"megadata/internal/flow"
 )
 
-// Wire format: a fixed header followed by one record per node with non-zero
-// own weight. This is what data stores exchange when exporting Flowtrees
-// across the hierarchy (Figure 5, step 3) and what replication ships.
+// # Wire format
+//
+// A Flowtree travels as a 6-byte fixed header — magic "FLWT", a version
+// byte, and the generalization step — followed by a version-specific body
+// carrying every node with non-zero own weight. This is what data stores
+// exchange when exporting Flowtrees across the hierarchy (Figure 5, step 3)
+// and what replication ships, so its density is exactly the WAN bytes the
+// system exists to save.
+//
+// Version 1 (legacy, fixed width):
+//
+//	header | uint64 count | count * (16-byte key + 3 * uint64 counters)
+//
+// 40 bytes per node regardless of content. Emitted only on request
+// (AppendBinaryV with WireV1); always accepted by Decode for back-compat
+// with stored blobs and old peers.
+//
+// Version 2 (current, compact):
+//
+//	header | uvarint count | count * entry
+//
+// Entries are sorted by the deterministic key order (SrcIP, DstIP, SrcPort,
+// DstPort, Proto, prefixes, wildcard bits — keyLess), keys normalized. Each
+// entry is a flags byte naming the key fields that differ from the previous
+// entry, the changed fields only — SrcIP as a uvarint delta against the
+// previous entry's SrcIP (ascending in the sort order, so deltas stay
+// small), the rest as uvarint/byte absolutes — and the three counters as
+// uvarints. Flow keys cluster in real traces (few /8s, shared ports), so
+// most entries ship a handful of bytes instead of 40. AppendBinary and
+// SizeBytes both speak v2; Decode dispatches on the version byte.
 const (
-	_wireMagic   = 0x464C5754 // "FLWT"
-	_wireVersion = 1
-	// nodeWireSize is 16 bytes of key + 3*8 bytes of counters.
-	nodeWireSize = 16 + 24
+	_wireMagic = 0x464C5754 // "FLWT"
+	// WireV1 is the legacy fixed-width wire format (40 bytes/node).
+	WireV1 = 1
+	// WireV2 is the compact sorted prefix-delta wire format.
+	WireV2 = 2
+	// wireHeaderSize is magic + version + stepBits, shared by all versions.
+	wireHeaderSize = 6
+	// nodeWireSizeV1 is 16 bytes of key + 3*8 bytes of counters.
+	nodeWireSizeV1 = 16 + 24
+)
+
+// v2 entry flags: which key fields differ from the previous entry.
+const (
+	v2FlagSrcIP    = 1 << 0 // uvarint delta vs previous SrcIP
+	v2FlagDstIP    = 1 << 1 // uvarint absolute
+	v2FlagSrcPort  = 1 << 2 // uvarint absolute
+	v2FlagDstPort  = 1 << 3 // uvarint absolute
+	v2FlagProto    = 1 << 4 // one byte
+	v2FlagPrefixes = 1 << 5 // two bytes: SrcPrefix, DstPrefix
+	v2FlagWild     = 1 << 6 // one byte: bit0 proto, bit1 sport, bit2 dport
+	v2FlagReserved = 1 << 7 // must be zero
 )
 
 // ErrCodec is returned for malformed Flowtree wire data.
 var ErrCodec = errors.New("flowtree: malformed wire data")
 
-// AppendBinary serializes the tree's weighted nodes.
-func (t *Tree) AppendBinary(dst []byte) []byte {
-	entries := t.Entries()
-	var hdr [14]byte
+// appendHeader emits the version-independent 6-byte header.
+func (t *Tree) appendHeader(dst []byte, version byte) []byte {
+	var hdr [wireHeaderSize]byte
 	binary.BigEndian.PutUint32(hdr[0:], _wireMagic)
-	hdr[4] = _wireVersion
+	hdr[4] = version
 	hdr[5] = t.stepBits
-	binary.BigEndian.PutUint64(hdr[6:], uint64(len(entries)))
-	dst = append(dst, hdr[:]...)
+	return append(dst, hdr[:]...)
+}
+
+// wireEntries returns the tree's weighted nodes with normalized keys in
+// the deterministic keyLess order v2 delta-encodes against. Entries()
+// already sorts; normalization is a per-field mask that almost always
+// no-ops (tree keys come from normalized record keys).
+func (t *Tree) wireEntries() []Entry {
+	entries := t.Entries()
+	normed := false
+	for i := range entries {
+		if n := entries[i].Key.Normalized(); n != entries[i].Key {
+			entries[i].Key = n
+			normed = true
+		}
+	}
+	if normed {
+		sort.Slice(entries, func(i, j int) bool { return keyLess(entries[i].Key, entries[j].Key) })
+	}
+	return entries
+}
+
+// AppendBinary serializes the tree's weighted nodes in the current wire
+// version (WireV2).
+func (t *Tree) AppendBinary(dst []byte) []byte {
+	out, err := t.AppendBinaryV(dst, WireV2)
+	if err != nil {
+		// WireV2 is always valid; this is unreachable.
+		panic(err)
+	}
+	return out
+}
+
+// AppendBinaryV serializes the tree in an explicit wire version: WireV2 for
+// new exports, WireV1 to interoperate with peers that predate the compact
+// codec.
+func (t *Tree) AppendBinaryV(dst []byte, version byte) ([]byte, error) {
+	switch version {
+	case WireV1:
+		return t.appendBinaryV1(dst), nil
+	case WireV2:
+		return t.appendBinaryV2(dst), nil
+	default:
+		return nil, fmt.Errorf("flowtree: unknown wire version %d", version)
+	}
+}
+
+func (t *Tree) appendBinaryV1(dst []byte) []byte {
+	entries := t.wireEntries()
+	dst = t.appendHeader(dst, WireV1)
+	var cnt [8]byte
+	binary.BigEndian.PutUint64(cnt[:], uint64(len(entries)))
+	dst = append(dst, cnt[:]...)
 	for _, e := range entries {
 		dst = e.Key.AppendBinary(dst)
 		var c [24]byte
@@ -41,49 +136,201 @@ func (t *Tree) AppendBinary(dst []byte) []byte {
 	return dst
 }
 
-// SizeBytes returns the serialized size without serializing — the byte
-// volume metered by simnet when the tree is shipped.
-func (t *Tree) SizeBytes() uint64 {
-	var n uint64
-	t.walk(func(nd *node) bool {
-		if !nd.own.IsZero() {
-			n++
-		}
-		return true
-	})
-	return 14 + n*nodeWireSize
+// v2KeyDiff computes the flags byte for encoding key against prev.
+func v2KeyDiff(prev, key flow.Key) byte {
+	var flags byte
+	if key.SrcIP != prev.SrcIP {
+		flags |= v2FlagSrcIP
+	}
+	if key.DstIP != prev.DstIP {
+		flags |= v2FlagDstIP
+	}
+	if key.SrcPort != prev.SrcPort {
+		flags |= v2FlagSrcPort
+	}
+	if key.DstPort != prev.DstPort {
+		flags |= v2FlagDstPort
+	}
+	if key.Proto != prev.Proto {
+		flags |= v2FlagProto
+	}
+	if key.SrcPrefix != prev.SrcPrefix || key.DstPrefix != prev.DstPrefix {
+		flags |= v2FlagPrefixes
+	}
+	if key.WildProto != prev.WildProto || key.WildSrcPort != prev.WildSrcPort ||
+		key.WildDstPort != prev.WildDstPort {
+		flags |= v2FlagWild
+	}
+	return flags
 }
 
-// Decode reconstructs a tree from wire data produced by AppendBinary. The
-// result uses the supplied budget and options; the generalization step is
-// taken from the wire header. Decoding defers aggregate propagation: all
-// own weights land first and the aggregates are rebuilt with one bottom-up
-// pass before the budget is enforced.
+func wildByte(k flow.Key) byte {
+	var w byte
+	if k.WildProto {
+		w |= 1
+	}
+	if k.WildSrcPort {
+		w |= 2
+	}
+	if k.WildDstPort {
+		w |= 4
+	}
+	return w
+}
+
+// v2AppendEntry emits one v2 entry delta-encoded against prev. It is the
+// single source of truth for the entry layout: the encoder and the exact
+// size computation (WireSizeBytes) both go through it.
+func v2AppendEntry(dst []byte, prev flow.Key, e Entry) []byte {
+	k := e.Key
+	flags := v2KeyDiff(prev, k)
+	dst = append(dst, flags)
+	if flags&v2FlagSrcIP != 0 {
+		dst = binary.AppendUvarint(dst, uint64(k.SrcIP-prev.SrcIP))
+	}
+	if flags&v2FlagDstIP != 0 {
+		dst = binary.AppendUvarint(dst, uint64(k.DstIP))
+	}
+	if flags&v2FlagSrcPort != 0 {
+		dst = binary.AppendUvarint(dst, uint64(k.SrcPort))
+	}
+	if flags&v2FlagDstPort != 0 {
+		dst = binary.AppendUvarint(dst, uint64(k.DstPort))
+	}
+	if flags&v2FlagProto != 0 {
+		dst = append(dst, byte(k.Proto))
+	}
+	if flags&v2FlagPrefixes != 0 {
+		dst = append(dst, k.SrcPrefix, k.DstPrefix)
+	}
+	if flags&v2FlagWild != 0 {
+		dst = append(dst, wildByte(k))
+	}
+	dst = binary.AppendUvarint(dst, e.Counters.Packets)
+	dst = binary.AppendUvarint(dst, e.Counters.Bytes)
+	dst = binary.AppendUvarint(dst, e.Counters.Flows)
+	return dst
+}
+
+func (t *Tree) appendBinaryV2(dst []byte) []byte {
+	entries := t.wireEntries()
+	dst = t.appendHeader(dst, WireV2)
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	var prev flow.Key
+	for _, e := range entries {
+		dst = v2AppendEntry(dst, prev, e)
+		prev = e.Key
+	}
+	return dst
+}
+
+// uvarintLen is the encoded size of x as a uvarint.
+func uvarintLen(x uint64) uint64 {
+	n := uint64(1)
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// SizeBytes returns the serialized size in the current wire version
+// (WireV2) without serializing — the byte volume metered by simnet when the
+// tree is shipped, and always equal to len(AppendBinary(nil)). Exactness
+// requires the same sorted-delta walk as encoding, so the cost is
+// O(n log n) in the tree's weighted nodes (budget-bounded on budgeted
+// trees); callers that only need a footprint estimate on a hot path can
+// use Len()*bytes-per-node instead.
+func (t *Tree) SizeBytes() uint64 {
+	n, err := t.WireSizeBytes(WireV2)
+	if err != nil {
+		panic(err) // WireV2 is always valid; unreachable.
+	}
+	return n
+}
+
+// WireSizeBytes returns the serialized size in an explicit wire version,
+// equal to len(AppendBinaryV(nil, version)) byte for byte.
+func (t *Tree) WireSizeBytes(version byte) (uint64, error) {
+	switch version {
+	case WireV1:
+		var n uint64
+		t.walk(func(nd *node) bool {
+			if !nd.own.IsZero() {
+				n++
+			}
+			return true
+		})
+		return wireHeaderSize + 8 + n*nodeWireSizeV1, nil
+	case WireV2:
+		entries := t.wireEntries()
+		n := wireHeaderSize + uvarintLen(uint64(len(entries)))
+		// Measure by encoding each entry into a reused scratch buffer:
+		// exact by construction, one small allocation per call. A v2
+		// entry is at most 1 flags + 5+5+3+3 key varints + 4 fixed key
+		// bytes + 3*10 counter varints = 51 bytes.
+		scratch := make([]byte, 0, 64)
+		var prev flow.Key
+		for _, e := range entries {
+			n += uint64(len(v2AppendEntry(scratch[:0], prev, e)))
+			prev = e.Key
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("flowtree: unknown wire version %d", version)
+	}
+}
+
+// Decode reconstructs a tree from wire data produced by AppendBinary /
+// AppendBinaryV; both wire versions are accepted (the version byte
+// dispatches). The result uses the supplied budget and options; the
+// generalization step is taken from the wire header. Decoding defers
+// aggregate propagation: all own weights land first and the aggregates are
+// rebuilt with one bottom-up pass before the budget is enforced.
 func Decode(src []byte, budget int, opts ...Option) (*Tree, error) {
-	if len(src) < 14 {
+	if len(src) < wireHeaderSize {
 		return nil, fmt.Errorf("%w: short header", ErrCodec)
 	}
 	if binary.BigEndian.Uint32(src[0:]) != _wireMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCodec)
 	}
-	if src[4] != _wireVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, src[4])
-	}
+	version := src[4]
 	stepBits := src[5]
-	count := binary.BigEndian.Uint64(src[6:])
-	src = src[14:]
-	if uint64(len(src)) != count*nodeWireSize {
-		return nil, fmt.Errorf("%w: body is %d bytes, want %d", ErrCodec, len(src), count*nodeWireSize)
-	}
+	body := src[wireHeaderSize:]
 	opts = append([]Option{WithStepBits(stepBits)}, opts...)
 	t, err := New(budget, opts...)
 	if err != nil {
 		return nil, err
 	}
+	switch version {
+	case WireV1:
+		err = t.decodeV1(body)
+	case WireV2:
+		err = t.decodeV2(body)
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.recomputeAgg(t.root)
+	t.maybeCompress()
+	return t, nil
+}
+
+func (t *Tree) decodeV1(src []byte) error {
+	if len(src) < 8 {
+		return fmt.Errorf("%w: short header", ErrCodec)
+	}
+	count := binary.BigEndian.Uint64(src)
+	src = src[8:]
+	if uint64(len(src)) != count*nodeWireSizeV1 {
+		return fmt.Errorf("%w: body is %d bytes, want %d", ErrCodec, len(src), count*nodeWireSizeV1)
+	}
 	for i := uint64(0); i < count; i++ {
 		key, n, err := flow.KeyFromBinary(src)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+			return fmt.Errorf("%w: %v", ErrCodec, err)
 		}
 		src = src[n:]
 		c := flow.Counters{
@@ -94,7 +341,119 @@ func Decode(src []byte, budget int, opts ...Option) (*Tree, error) {
 		src = src[24:]
 		t.ensure(key).own.Add(c)
 	}
-	t.recomputeAgg(t.root)
-	t.maybeCompress()
-	return t, nil
+	return nil
+}
+
+// v2Reader consumes the v2 body with bounds checking.
+type v2Reader struct {
+	src []byte
+	err error
+}
+
+func (r *v2Reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.src)
+	if n <= 0 {
+		r.err = fmt.Errorf("%w: truncated or oversized uvarint", ErrCodec)
+		return 0
+	}
+	r.src = r.src[n:]
+	return v
+}
+
+func (r *v2Reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.src) == 0 {
+		r.err = fmt.Errorf("%w: truncated entry", ErrCodec)
+		return 0
+	}
+	b := r.src[0]
+	r.src = r.src[1:]
+	return b
+}
+
+func (t *Tree) decodeV2(src []byte) error {
+	r := &v2Reader{src: src}
+	count := r.uvarint()
+	if r.err != nil {
+		return r.err
+	}
+	// Each entry is at least 4 bytes (flags + three counter uvarints);
+	// reject counts that cannot fit before allocating anything per entry.
+	if count > uint64(len(r.src))/4 {
+		return fmt.Errorf("%w: %d entries cannot fit in %d bytes", ErrCodec, count, len(r.src))
+	}
+	var prev flow.Key
+	for i := uint64(0); i < count; i++ {
+		flags := r.byte()
+		if r.err == nil && flags&v2FlagReserved != 0 {
+			return fmt.Errorf("%w: reserved flag set", ErrCodec)
+		}
+		k := prev
+		if flags&v2FlagSrcIP != 0 {
+			delta := r.uvarint()
+			if r.err == nil && delta > uint64(^uint32(0))-uint64(k.SrcIP) {
+				return fmt.Errorf("%w: source address delta overflows", ErrCodec)
+			}
+			k.SrcIP += flow.IPv4(delta)
+		}
+		if flags&v2FlagDstIP != 0 {
+			v := r.uvarint()
+			if r.err == nil && v > uint64(^uint32(0)) {
+				return fmt.Errorf("%w: destination address out of range", ErrCodec)
+			}
+			k.DstIP = flow.IPv4(v)
+		}
+		if flags&v2FlagSrcPort != 0 {
+			v := r.uvarint()
+			if r.err == nil && v > uint64(^uint16(0)) {
+				return fmt.Errorf("%w: source port out of range", ErrCodec)
+			}
+			k.SrcPort = uint16(v)
+		}
+		if flags&v2FlagDstPort != 0 {
+			v := r.uvarint()
+			if r.err == nil && v > uint64(^uint16(0)) {
+				return fmt.Errorf("%w: destination port out of range", ErrCodec)
+			}
+			k.DstPort = uint16(v)
+		}
+		if flags&v2FlagProto != 0 {
+			k.Proto = flow.Proto(r.byte())
+		}
+		if flags&v2FlagPrefixes != 0 {
+			k.SrcPrefix = r.byte()
+			k.DstPrefix = r.byte()
+			if r.err == nil && (k.SrcPrefix > 32 || k.DstPrefix > 32) {
+				return fmt.Errorf("%w: prefix out of range (%d,%d)", ErrCodec, k.SrcPrefix, k.DstPrefix)
+			}
+		}
+		if flags&v2FlagWild != 0 {
+			w := r.byte()
+			if r.err == nil && w > 7 {
+				return fmt.Errorf("%w: unknown wildcard bits %#x", ErrCodec, w)
+			}
+			k.WildProto = w&1 != 0
+			k.WildSrcPort = w&2 != 0
+			k.WildDstPort = w&4 != 0
+		}
+		c := flow.Counters{
+			Packets: r.uvarint(),
+			Bytes:   r.uvarint(),
+			Flows:   r.uvarint(),
+		}
+		if r.err != nil {
+			return r.err
+		}
+		t.ensure(k.Normalized()).own.Add(c)
+		prev = k
+	}
+	if len(r.src) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(r.src))
+	}
+	return nil
 }

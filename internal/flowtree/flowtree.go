@@ -856,7 +856,8 @@ func (t *Tree) sortEntries(entries []Entry) {
 }
 
 // Entries returns every node with non-zero own weight (the tree's exact
-// content at current granularity), unsorted.
+// content at current granularity) in the deterministic keyLess order — the
+// order the v2 wire codec prefix-delta-encodes against.
 func (t *Tree) Entries() []Entry {
 	var out []Entry
 	t.walk(func(n *node) bool {
@@ -865,6 +866,7 @@ func (t *Tree) Entries() []Entry {
 		}
 		return true
 	})
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
 	return out
 }
 

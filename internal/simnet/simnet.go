@@ -60,18 +60,33 @@ type Link struct {
 	BytesPerSecond float64
 	// Latency is the one-way propagation delay.
 	Latency time.Duration
+	// FailEvery injects deterministic transient failures: every FailEvery-th
+	// transfer attempt on the link (the 2nd, 4th, ... for FailEvery=2)
+	// fails with ErrTransient before any byte is metered. 0 disables
+	// injection. Exporters are expected to retry from local retention —
+	// the failure is an event on the link, not a topology change.
+	FailEvery int
 }
 
 // Errors returned by the network.
 var (
 	ErrUnknownSite = errors.New("simnet: unknown site")
 	ErrNoRoute     = errors.New("simnet: no route between sites")
+	// ErrTransient marks an injected transient transfer failure
+	// (Link.FailEvery): the link is still up and a retry may succeed.
+	ErrTransient = errors.New("simnet: transient transfer failure")
 )
 
 // TransferStats accumulates per-link traffic accounting.
 type TransferStats struct {
+	// Attempts counts all transfer attempts, including failed ones.
+	Attempts uint64
+	// Transfers counts completed transfers; Bytes and Time cover only
+	// these.
 	Transfers uint64
-	Bytes     uint64
+	// Failures counts attempts that failed with ErrTransient.
+	Failures uint64
+	Bytes    uint64
 	// Time is the summed transfer durations (serialization + latency).
 	Time time.Duration
 }
@@ -84,6 +99,9 @@ type Network struct {
 	links map[[2]SiteID]Link
 	stats map[[2]SiteID]*TransferStats
 	total TransferStats
+	// pace scales transfer durations into real wall-clock occupancy
+	// (SetRealtime); 0 keeps transfers instantaneous.
+	pace float64
 }
 
 // NewNetwork builds an empty network.
@@ -129,6 +147,13 @@ func (n *Network) Connect(a, b SiteID, link Link) error {
 	return nil
 }
 
+// duration is the time moving bytes across the link takes: propagation
+// latency plus serialization at the link bandwidth. TransferTime (planning)
+// and Transfer (accounting) both use it.
+func (l Link) duration(bytes uint64) time.Duration {
+	return l.Latency + time.Duration(float64(bytes)/l.BytesPerSecond*float64(time.Second))
+}
+
 // TransferTime computes the duration of moving bytes from a to b without
 // performing the transfer: latency + bytes/bandwidth. Local "transfers"
 // (a == b) are free.
@@ -142,33 +167,65 @@ func (n *Network) TransferTime(a, b SiteID, bytes uint64) (time.Duration, error)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s -> %s", ErrNoRoute, a, b)
 	}
-	ser := time.Duration(float64(bytes) / link.BytesPerSecond * float64(time.Second))
-	return link.Latency + ser, nil
+	return link.duration(bytes), nil
+}
+
+// SetRealtime makes transfers occupy real wall-clock time: every Transfer
+// blocks for its computed duration multiplied by scale before returning
+// (scale 0 restores instantaneous accounting-only transfers). This models
+// what a constrained WAN link actually costs a serial exporter — time —
+// and is what pipelined exporters overlap; benchmarks use it to measure
+// epoch turnaround instead of just counting bytes.
+func (n *Network) SetRealtime(scale float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if scale < 0 {
+		scale = 0
+	}
+	n.pace = scale
 }
 
 // Transfer meters a transfer of bytes from a to b and returns its duration.
+// With Link.FailEvery set, every FailEvery-th attempt fails with
+// ErrTransient and meters nothing but the failed attempt. With SetRealtime
+// pacing, the call additionally sleeps for the scaled duration, simulating
+// link occupancy.
 func (n *Network) Transfer(a, b SiteID, bytes uint64) (time.Duration, error) {
-	d, err := n.TransferTime(a, b, bytes)
-	if err != nil {
-		return 0, err
-	}
 	if a == b {
 		return 0, nil
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	key := [2]SiteID{a, b}
-	st, ok := n.stats[key]
+	link, ok := n.links[[2]SiteID{a, b}]
 	if !ok {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s -> %s", ErrNoRoute, a, b)
+	}
+	key := [2]SiteID{a, b}
+	st, have := n.stats[key]
+	if !have {
 		st = &TransferStats{}
 		n.stats[key] = st
 	}
+	st.Attempts++
+	n.total.Attempts++
+	if link.FailEvery > 0 && st.Attempts%uint64(link.FailEvery) == 0 {
+		st.Failures++
+		n.total.Failures++
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s -> %s attempt %d", ErrTransient, a, b, st.Attempts)
+	}
+	d := link.duration(bytes)
 	st.Transfers++
 	st.Bytes += bytes
 	st.Time += d
 	n.total.Transfers++
 	n.total.Bytes += bytes
 	n.total.Time += d
+	pace := n.pace
+	n.mu.Unlock()
+	if pace > 0 {
+		time.Sleep(time.Duration(float64(d) * pace))
+	}
 	return d, nil
 }
 

@@ -158,3 +158,62 @@ func TestTransferConcurrent(t *testing.T) {
 		t.Errorf("concurrent accounting lost updates: %+v", total)
 	}
 }
+
+func TestFailEveryInjectsTransientFailures(t *testing.T) {
+	n := NewNetwork()
+	n.AddSite("edge")
+	n.AddSite("cloud")
+	if err := n.Connect("edge", "cloud", Link{BytesPerSecond: 1e6, FailEvery: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var failures int
+	for i := 1; i <= 9; i++ {
+		_, err := n.Transfer("edge", "cloud", 100)
+		if i%3 == 0 {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("attempt %d: want ErrTransient, got %v", i, err)
+			}
+			failures++
+		} else if err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	st := n.LinkStats("edge", "cloud")
+	if st.Attempts != 9 || st.Failures != 3 || st.Transfers != 6 {
+		t.Errorf("stats = %+v, want 9 attempts / 3 failures / 6 transfers", st)
+	}
+	// Failed attempts meter no bytes.
+	if st.Bytes != 600 {
+		t.Errorf("bytes = %d, want 600", st.Bytes)
+	}
+	total := n.TotalStats()
+	if total.Failures != 3 || total.Attempts != 9 {
+		t.Errorf("total = %+v", total)
+	}
+}
+
+func TestSetRealtimePacesTransfers(t *testing.T) {
+	n := NewNetwork()
+	n.AddSite("a")
+	n.AddSite("b")
+	if err := n.Connect("a", "b", Link{BytesPerSecond: 1e6, Latency: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetRealtime(1.0)
+	start := time.Now()
+	d, err := n.Transfer("a", "b", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d/2 {
+		t.Errorf("paced transfer returned after %v, computed duration %v", elapsed, d)
+	}
+	n.SetRealtime(0)
+	start = time.Now()
+	if _, err := n.Transfer("a", "b", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Errorf("unpaced transfer took %v", elapsed)
+	}
+}
