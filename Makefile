@@ -23,19 +23,25 @@ test:
 	$(GO) test ./...
 
 # The sharded ingest pipeline (datastore shards, flowstream fan-in), the
-# concurrent epoch-export pipeline and the primitives they drive are the
-# packages with real concurrency; the root package carries the integration
-# tests.
+# concurrent epoch-export pipeline, the segmented FlowDB (parallel Select
+# merges racing the export writer) with the FlowQL layer above it, and the
+# primitives they drive are the packages with real concurrency; the root
+# package carries the integration tests.
 test-race:
 	$(GO) test -race ./internal/datastore/ ./internal/flowstream/ \
+		./internal/flowdb/ ./internal/flowql/ \
 		./internal/flowtree/ ./internal/primitive/ .
 
 # Hot-path benchmarks: the sort-based bulk fold vs its heap baseline, bulk
-# ingest, structural clone, the sharded data-store ingest sweep, and the
-# serial-vs-pipelined epoch export grid.
+# ingest, structural clone, the sharded data-store ingest sweep, the
+# serial-vs-pipelined epoch export grid, and the segmented FlowDB
+# select/FlowQL grids (cold, memoized, and flat-scan baseline).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompress|BenchmarkAddBatch|BenchmarkClone' \
 		-benchtime 1x ./internal/flowtree/
+	$(GO) test -run '^$$' -bench 'BenchmarkFlowDBSelect|BenchmarkFlowDBInsertBatch' \
+		-benchtime 1x ./internal/flowdb/
+	$(GO) test -run '^$$' -bench 'BenchmarkFlowQL' -benchtime 1x ./internal/flowql/
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestSharded|BenchmarkEndEpoch' -benchtime 1x .
 
 # Every benchmark in the repo (paper tables and figures included).
@@ -46,15 +52,18 @@ bench-all:
 bench-baseline:
 	$(GO) run ./cmd/benchreport -exp compress -out BENCH_compress.json
 	$(GO) run ./cmd/benchreport -exp epoch -out BENCH_epoch.json
+	$(GO) run ./cmd/benchreport -exp query -out BENCH_query.json
 
-# Guard the perf trajectory: fail when compression throughput or pipelined
-# epoch-export turnaround drops below the checked-in baselines (10% for the
-# CPU-bound fold, 30% for the wall-clock paced export), or when the
-# measured configurations drift from the baseline (the benchreport binary
-# exits 2 for drift, which CI treats as a hard failure even where
+# Guard the perf trajectory: fail when compression throughput, pipelined
+# epoch-export turnaround or segmented-select query throughput drops below
+# the checked-in baselines (10% for the CPU-bound fold, 30% for the
+# wall-clock paced export and the scheduler-sensitive query path), or when
+# the measured configurations drift from the baseline (the benchreport
+# binary exits 2 for drift, which CI treats as a hard failure even where
 # regressions are only warnings).
 bench-compare:
 	$(GO) run ./cmd/benchreport -exp compress -compare BENCH_compress.json
 	$(GO) run ./cmd/benchreport -exp epoch -compare BENCH_epoch.json -tol 0.30
+	$(GO) run ./cmd/benchreport -exp query -compare BENCH_query.json -tol 0.30
 
 check: build vet test

@@ -9,13 +9,16 @@
 //	go run ./cmd/benchreport -exp e10      # Fig. 1 hierarchy rollup
 //	go run ./cmd/benchreport -exp ingest   # sharded ingest throughput sweep
 //	go run ./cmd/benchreport -exp compress # Flowtree bulk-fold throughput sweep
+//	go run ./cmd/benchreport -exp epoch    # pipelined epoch-export turnaround
+//	go run ./cmd/benchreport -exp query    # segmented FlowDB select vs flat scan
 //	go run ./cmd/benchreport -exp table1   # Table I challenge coverage
 //
-// The compress experiment additionally tracks the perf trajectory across
-// PRs: -out writes the measured throughput as a JSON baseline
-// (BENCH_compress.json), and -compare diffs a fresh run against a
-// checked-in baseline, exiting non-zero when any configuration regresses
-// by more than -tol (default 10%) — `make bench-compare` wires this up.
+// The compress, epoch and query experiments additionally track the perf
+// trajectory across PRs: -out writes the measured throughput as a JSON
+// baseline (BENCH_compress.json / BENCH_epoch.json / BENCH_query.json), and
+// -compare diffs a fresh run against a checked-in baseline, exiting
+// non-zero when any configuration regresses by more than -tol (default
+// 10%) — `make bench-compare` wires this up.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 
 	"megadata/internal/datastore"
 	"megadata/internal/flow"
+	"megadata/internal/flowdb"
 	"megadata/internal/flowstream"
 	"megadata/internal/flowtree"
 	"megadata/internal/hierarchy"
@@ -49,10 +53,10 @@ import (
 var errDrift = errors.New("baseline configuration drift")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, table1, all")
-	out := flag.String("out", "", "compress/epoch: write the measured baseline JSON to this path")
-	compare := flag.String("compare", "", "compress/epoch: compare against this baseline JSON and fail on regression")
-	tol := flag.Float64("tol", 0.10, "compress/epoch: tolerated fractional throughput regression for -compare")
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, query, table1, all")
+	out := flag.String("out", "", "compress/epoch/query: write the measured baseline JSON to this path")
+	compare := flag.String("compare", "", "compress/epoch/query: compare against this baseline JSON and fail on regression")
+	tol := flag.Float64("tol", 0.10, "compress/epoch/query: tolerated fractional throughput regression for -compare")
 	flag.Parse()
 	reports := map[string]func() error{
 		"e3":       reportE3,
@@ -62,6 +66,7 @@ func main() {
 		"ingest":   reportIngest,
 		"compress": func() error { return reportCompress(*out, *compare, *tol) },
 		"epoch":    func() error { return reportEpoch(*out, *compare, *tol) },
+		"query":    func() error { return reportQuery(*out, *compare, *tol) },
 		"table1":   reportTable1,
 	}
 	fail := func(err error) {
@@ -683,6 +688,231 @@ func compareEpoch(fresh epochBaseline, comparePath string, tol float64) error {
 		return fmt.Errorf("%w: epoch gate vs %s — regenerate with make bench-baseline", errDrift, comparePath)
 	case regressed:
 		return fmt.Errorf("epoch-export throughput gate failed against %s", comparePath)
+	}
+	return nil
+}
+
+// queryBaseline is the JSON schema of BENCH_query.json: segmented cold /
+// memoized warm / flat-scan query throughput per (rows, locations,
+// window) configuration.
+type queryBaseline struct {
+	Experiment string       `json:"experiment"`
+	Rows       int          `json:"rows"`
+	Entries    []queryEntry `json:"entries"`
+}
+
+type queryEntry struct {
+	Rows         int     `json:"rows"`
+	Locations    int     `json:"locations"`
+	WindowEpochs int     `json:"window_epochs"`
+	FlatQPS      float64 `json:"flat_queries_per_sec"`
+	ColdQPS      float64 `json:"cold_queries_per_sec"`
+	WarmQPS      float64 `json:"warm_queries_per_sec"`
+	Speedup      float64 `json:"speedup"`       // cold vs flat
+	CacheSpeedup float64 `json:"cache_speedup"` // warm vs flat
+}
+
+// reportQuery measures the FlowDB selection path across a rows × locations
+// × window grid: the seed's flat scan (every row tested, serial
+// clone-and-merge) against the segmented index cold (binary-searched
+// boundaries, parallel merge fan-in, memoization off) and warm (repeated
+// window served from the generation-stamped memo cache). Throughput is
+// point-in-time Selects per second. With -out the numbers become the
+// BENCH_query.json baseline; with -compare a cold-path regression beyond
+// tol (or any configuration drift) fails the run.
+func reportQuery(outPath, comparePath string, tol float64) error {
+	const maxRows = 100000
+	fmt.Printf("## Query — segmented FlowDB select vs flat scan (GOMAXPROCS=%d)\n\n", runtime.GOMAXPROCS(0))
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	// A handful of shared immutable trees keeps the 100k-row index cheap
+	// to build; merge cost per match is what the selection pays either
+	// way.
+	trees := make([]*flowtree.Tree, 16)
+	for i := range trees {
+		tr, err := flowtree.New(0)
+		if err != nil {
+			return err
+		}
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(0x0A000000+i), 0xC0A80105, 40000, 443),
+			Packets: 1, Bytes: uint64(100 + i),
+		})
+		trees[i] = tr
+	}
+	build := func(rows, locations int, opts ...flowdb.Option) (*flowdb.DB, []flowdb.Row, error) {
+		all := make([]flowdb.Row, rows)
+		for i := range all {
+			all[i] = flowdb.Row{
+				Location: fmt.Sprintf("site%02d", i%locations),
+				Start:    t0.Add(time.Duration(i/locations) * time.Minute),
+				Width:    time.Minute,
+				Tree:     trees[i%len(trees)],
+			}
+		}
+		db := flowdb.New(opts...)
+		if err := db.InsertBatch(all); err != nil {
+			return nil, nil, err
+		}
+		return db, all, nil
+	}
+	flatSelect := func(rows []flowdb.Row, from, to time.Time) error {
+		// The seed's Select: full scan, serial clone-and-merge.
+		var matches []flowdb.Row
+		for _, r := range rows {
+			if r.End().After(from) && r.Start.Before(to) {
+				matches = append(matches, r)
+			}
+		}
+		if len(matches) == 0 {
+			return fmt.Errorf("flat scan matched nothing")
+		}
+		merged := matches[0].Tree.Clone()
+		return merged.MergeAll(treesOf(matches[1:])...)
+	}
+	// measure runs fn in 5 batches of 5 calls and returns calls per
+	// second from the fastest batch (damping scheduler noise the same way
+	// the compress experiment does).
+	measure := func(fn func() error) (float64, error) {
+		var best time.Duration
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			for i := 0; i < 5; i++ {
+				if err := fn(); err != nil {
+					return 0, err
+				}
+			}
+			if d := time.Since(start) / 5; rep == 0 || d < best {
+				best = d
+			}
+		}
+		return 1 / best.Seconds(), nil
+	}
+	base := queryBaseline{Experiment: "query", Rows: maxRows}
+	fmt.Println("| rows | locations | window | flat q/s | cold q/s | warm q/s | cold vs flat | warm vs flat |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for _, cfg := range []struct {
+		rows, locations, windowEpochs int
+	}{
+		{10000, 4, 1},
+		{100000, 4, 1},
+		{100000, 16, 1},
+		{100000, 4, 64},
+	} {
+		from := t0.Add(time.Duration(cfg.rows/cfg.locations/2) * time.Minute)
+		to := from.Add(time.Duration(cfg.windowEpochs) * time.Minute)
+		cold, _, err := build(cfg.rows, cfg.locations, flowdb.WithCacheEntries(0))
+		if err != nil {
+			return err
+		}
+		warm, rows, err := build(cfg.rows, cfg.locations)
+		if err != nil {
+			return err
+		}
+		flatQPS, err := measure(func() error { return flatSelect(rows, from, to) })
+		if err != nil {
+			return err
+		}
+		coldQPS, err := measure(func() error {
+			_, _, err := cold.Select(nil, from, to)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if _, _, err := warm.Select(nil, from, to); err != nil { // populate the memo
+			return err
+		}
+		warmQPS, err := measure(func() error {
+			_, _, err := warm.Select(nil, from, to)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		e := queryEntry{
+			Rows: cfg.rows, Locations: cfg.locations, WindowEpochs: cfg.windowEpochs,
+			FlatQPS: flatQPS, ColdQPS: coldQPS, WarmQPS: warmQPS,
+			Speedup: coldQPS / flatQPS, CacheSpeedup: warmQPS / flatQPS,
+		}
+		fmt.Printf("| %d | %d | %d | %.0f | %.0f | %.0f | %.1fx | %.1fx |\n",
+			e.Rows, e.Locations, e.WindowEpochs, e.FlatQPS, e.ColdQPS, e.WarmQPS, e.Speedup, e.CacheSpeedup)
+		base.Entries = append(base.Entries, e)
+	}
+	if outPath != "" {
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbaseline written to %s\n", outPath)
+	}
+	if comparePath != "" {
+		return compareQuery(base, comparePath, tol)
+	}
+	return nil
+}
+
+// treesOf projects a row slice onto its trees.
+func treesOf(rows []flowdb.Row) []*flowtree.Tree {
+	out := make([]*flowtree.Tree, len(rows))
+	for i, r := range rows {
+		out[i] = r.Tree
+	}
+	return out
+}
+
+// compareQuery diffs freshly measured query throughput against a stored
+// baseline with the same drift rules as compareCompress: a cold-path
+// regression beyond tol fails, and so does any configuration drift (exit 2
+// so CI can distinguish it from runner noise).
+func compareQuery(fresh queryBaseline, comparePath string, tol float64) error {
+	buf, err := os.ReadFile(comparePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var stored queryBaseline
+	if err := json.Unmarshal(buf, &stored); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", comparePath, err)
+	}
+	if stored.Rows != fresh.Rows {
+		return fmt.Errorf("%w: baseline %s measured %d rows, this run %d — regenerate the baseline",
+			errDrift, comparePath, stored.Rows, fresh.Rows)
+	}
+	byCfg := make(map[[3]int]queryEntry, len(stored.Entries))
+	for _, e := range stored.Entries {
+		byCfg[[3]int{e.Rows, e.Locations, e.WindowEpochs}] = e
+	}
+	fmt.Printf("\ncomparison vs %s (tolerance %.0f%%):\n", comparePath, tol*100)
+	var regressed, drifted bool
+	matched := 0
+	for _, e := range fresh.Entries {
+		want, ok := byCfg[[3]int{e.Rows, e.Locations, e.WindowEpochs}]
+		if !ok {
+			fmt.Printf("  rows=%d locs=%d window=%d: MISSING from baseline\n", e.Rows, e.Locations, e.WindowEpochs)
+			drifted = true
+			continue
+		}
+		matched++
+		ratio := e.ColdQPS / want.ColdQPS
+		verdict := "ok"
+		if ratio < 1-tol {
+			verdict = "REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("  rows=%d locs=%d window=%d: %.0f vs %.0f cold q/s (%.2fx) %s\n",
+			e.Rows, e.Locations, e.WindowEpochs, e.ColdQPS, want.ColdQPS, ratio, verdict)
+	}
+	if matched != len(stored.Entries) {
+		fmt.Printf("  %d baseline entr(ies) not re-measured\n", len(stored.Entries)-matched)
+		drifted = true
+	}
+	switch {
+	case drifted:
+		return fmt.Errorf("%w: query gate vs %s — regenerate with make bench-baseline", errDrift, comparePath)
+	case regressed:
+		return fmt.Errorf("query throughput gate failed against %s", comparePath)
 	}
 	return nil
 }

@@ -747,6 +747,25 @@ func (st *aggState) epochsInRange(from, to time.Time) []storage.Epoch[primitive.
 	}
 }
 
+// RetainsEpoch reports whether the named aggregator's local retention
+// still covers the instant start — a stored epoch contains it, or the
+// epoch holding it is mid-seal. Export pipelines use this to cap their
+// re-ship queues against the retention horizon: an epoch the retention
+// strategy has evicted can no longer honestly be re-shipped as local data.
+// Unknown aggregators are reported as not retained.
+func (s *Store) RetainsEpoch(aggregator string, start time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.aggs[aggregator]
+	if !ok {
+		return false
+	}
+	if len(st.epochsInRange(start, start.Add(time.Nanosecond))) > 0 {
+		return true
+	}
+	return len(st.sealing) > 0 && !st.sealingStart.After(start) && st.epoch.After(start)
+}
+
 // Query answers q against the named aggregator over [from, to): stored
 // epochs overlapping the window and the live epoch are merged into a fresh
 // instance, which then answers the query. This is the paper's combinable-

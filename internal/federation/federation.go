@@ -261,7 +261,7 @@ func (f *Federation) Query(at simnet.SiteID, statement string) (*flowql.Result, 
 // selectOrNil merges a DB's rows in range; no data yields a nil tree
 // rather than an error (a site may legitimately be empty for the window).
 func selectOrNil(db *flowdb.DB, from, to time.Time) (*flowtree.Tree, error) {
-	t, err := db.Select(nil, from, to)
+	t, _, err := db.Select(nil, from, to)
 	if err != nil {
 		if errors.Is(err, flowdb.ErrNoData) {
 			return nil, nil
@@ -352,13 +352,13 @@ func (f *Federation) Replicate(asker, origin simnet.SiteID) error {
 
 	replica := flowdb.New()
 	var bytes uint64
-	for _, r := range rows {
+	batch := make([]flowdb.Row, len(rows))
+	for i, r := range rows {
 		bytes += r.Tree.SizeBytes()
-		if err := replica.Insert(flowdb.Row{
-			Location: r.Location, Start: r.Start, Width: r.Width, Tree: r.Tree.Clone(),
-		}); err != nil {
-			return err
-		}
+		batch[i] = flowdb.Row{Location: r.Location, Start: r.Start, Width: r.Width, Tree: r.Tree.Clone()}
+	}
+	if err := replica.InsertBatch(batch); err != nil {
+		return err
 	}
 	if _, err := f.net.Transfer(origin, asker, bytes); err != nil {
 		return fmt.Errorf("federation: replicate %s->%s: %w", origin, asker, err)

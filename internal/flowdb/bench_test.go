@@ -1,0 +1,129 @@
+package flowdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+)
+
+// buildBenchDB fills a DB with rows epochs of width one minute, spread
+// round-robin across locations. The handful of distinct trees is shared
+// across rows (stored trees are immutable), so index size — the quantity
+// Select's search cost depends on — scales without the memory of a hundred
+// thousand distinct trees.
+func buildBenchDB(b *testing.B, rows, locations int, opts ...Option) (*DB, []Row) {
+	b.Helper()
+	trees := make([]*flowtree.Tree, 16)
+	for i := range trees {
+		tr, err := flowtree.New(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(0x0A000000+i), 0xC0A80105, uint16(40000+i), 443),
+			Packets: 1, Bytes: uint64(100 + i),
+		})
+		trees[i] = tr
+	}
+	all := make([]Row, rows)
+	for i := range all {
+		all[i] = Row{
+			Location: fmt.Sprintf("site%02d", i%locations),
+			Start:    t0.Add(time.Duration(i/locations) * time.Minute),
+			Width:    time.Minute,
+			Tree:     trees[i%len(trees)],
+		}
+	}
+	db := New(opts...)
+	const batch = 4096
+	for lo := 0; lo < len(all); lo += batch {
+		hi := min(lo+batch, len(all))
+		if err := db.InsertBatch(all[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, all
+}
+
+// BenchmarkFlowDBSelect measures the indexed selection grid the PR targets:
+// rows × locations × window, cold (memoization off — every query pays the
+// binary search plus merge) and warm (memoization on, same window repeated
+// — every query after the first is a cache hit). The flat/<...> variants
+// run the seed's full-scan serial merge over the same row set as the
+// baseline the speedup targets are measured against.
+func BenchmarkFlowDBSelect(b *testing.B) {
+	for _, cfg := range []struct {
+		rows, locations, windowEpochs int
+	}{
+		{10000, 4, 1},
+		{100000, 4, 1},
+		{100000, 16, 1},
+		{100000, 4, 64},
+	} {
+		name := fmt.Sprintf("rows=%d/locs=%d/window=%d", cfg.rows, cfg.locations, cfg.windowEpochs)
+		from := t0.Add(time.Duration(cfg.rows/cfg.locations/2) * time.Minute)
+		to := from.Add(time.Duration(cfg.windowEpochs) * time.Minute)
+		b.Run("cold/"+name, func(b *testing.B) {
+			db, _ := buildBenchDB(b, cfg.rows, cfg.locations, WithCacheEntries(0))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.Select(nil, from, to); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("warm/"+name, func(b *testing.B) {
+			db, _ := buildBenchDB(b, cfg.rows, cfg.locations)
+			if _, _, err := db.Select(nil, from, to); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.Select(nil, from, to); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("flat/"+name, func(b *testing.B) {
+			_, rows := buildBenchDB(b, cfg.rows, cfg.locations)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := flatSelect(rows, nil, from, to); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlowDBInsertBatch measures the writer: epoch-ordered batches
+// appended to a large segmented index (the seed re-sorted the whole index
+// per batch).
+func BenchmarkFlowDBInsertBatch(b *testing.B) {
+	const locations = 8
+	tr, err := flowtree.New(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Add(flow.Record{Key: flow.Exact(flow.ProtoTCP, 1, 2, 3, 4), Packets: 1, Bytes: 1})
+	db, _ := buildBenchDB(b, 100000, locations)
+	base := t0.Add(365 * 24 * time.Hour) // after every preloaded epoch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := make([]Row, locations)
+		for j := range batch {
+			batch[j] = Row{
+				Location: fmt.Sprintf("site%02d", j),
+				Start:    base.Add(time.Duration(i) * time.Minute),
+				Width:    time.Minute,
+				Tree:     tr,
+			}
+		}
+		if err := db.InsertBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package flowdb
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"megadata/internal/flowtree"
+)
+
+// memoCache memoizes merged Select results keyed by (locations, window).
+// Entries are stamped with the DB generation their match snapshot was taken
+// at; InsertBatch and Evict bump the generation, so every stale entry fails
+// the stamp check and is dropped on its next lookup — a hit can never serve
+// a tree that predates a write. Bounded LRU over entry count (merged
+// dashboard windows are small; the rows backing them stay indexed anyway).
+//
+// The in-repo prior art is federation.ResultCache, which memoizes shipped
+// sub-query results the same way; this cache sits below it, on the FlowDB
+// merge itself.
+type memoCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+// memoEntry is one cached merge. The tree is owned by the cache and never
+// mutated; Select hands out clones.
+type memoEntry struct {
+	key     string
+	gen     uint64
+	tree    *flowtree.Tree
+	matches int
+}
+
+func newMemoCache(capEntries int) *memoCache {
+	return &memoCache{
+		cap:     capEntries,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capEntries),
+	}
+}
+
+// get returns the cached merge for key if it was computed at generation
+// gen; a stamp mismatch evicts the dead entry. The returned tree is the
+// cache's own — callers must clone, not mutate. (Cloning outside the cache
+// lock is safe: cached trees are never mutated, only dropped, so a
+// concurrent eviction cannot invalidate the read.)
+func (c *memoCache) get(key string, gen uint64) (*flowtree.Tree, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	ent := el.Value.(*memoEntry)
+	if ent.gen != gen {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return ent.tree, ent.matches, true
+}
+
+// put stores a merge computed at generation gen, evicting the least
+// recently used entries beyond the capacity.
+func (c *memoCache) put(key string, gen uint64, tree *flowtree.Tree, matches int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+	for c.order.Len() >= c.cap && c.order.Len() > 0 {
+		back := c.order.Back()
+		delete(c.entries, back.Value.(*memoEntry).key)
+		c.order.Remove(back)
+	}
+	c.entries[key] = c.order.PushFront(&memoEntry{key: key, gen: gen, tree: tree, matches: matches})
+}
+
+// stats reports hit/miss counts.
+func (c *memoCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// memoKey canonicalizes a Select argument triple into a cache key: the
+// location filter is sorted and deduplicated, so permutations of the same
+// filter share an entry. Every location is length-prefixed, so arbitrary
+// location names (separators included) can never make two distinct filters
+// collide on one key. All Select shapes are memoizable; the bool is a hook
+// for future non-memoizable selections.
+func memoKey(locations []string, from, to time.Time) (string, bool) {
+	var b strings.Builder
+	b.Grow(32 + 16*len(locations))
+	b.WriteString(strconv.FormatInt(from.UnixNano(), 36))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(to.UnixNano(), 36))
+	if len(locations) > 0 {
+		locs := make([]string, len(locations))
+		copy(locs, locations)
+		sort.Strings(locs)
+		for i, l := range locs {
+			if i > 0 && locs[i-1] == l {
+				continue
+			}
+			b.WriteByte('|')
+			b.WriteString(strconv.Itoa(len(l)))
+			b.WriteByte(':')
+			b.WriteString(l)
+		}
+	}
+	return b.String(), true
+}

@@ -1,0 +1,254 @@
+package flowdb
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"megadata/internal/flowtree"
+)
+
+// TestConcurrentSelectInsertEvict races parallel Select readers (memoized
+// and not) against InsertBatch and Evict writers — the load shape of
+// interactive FlowQL dashboards over a live epoch-export writer. Run under
+// `make test-race`. Every merged result must be internally consistent: a
+// total of k matched single-row trees of 10 bytes each, never a torn
+// in-between value.
+func TestConcurrentSelectInsertEvict(t *testing.T) {
+	db := New(WithMergeWorkers(2))
+	var writers sync.WaitGroup
+	var inserted atomic.Int64
+	stop := make(chan struct{})
+	evictorDone := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 40; i++ {
+				batch := make([]Row, 4)
+				for j := range batch {
+					batch[j] = Row{
+						Location: string(rune('a' + w)),
+						Start:    t0.Add(time.Duration(i*4+j) * time.Minute),
+						Width:    time.Minute,
+						Tree:     tree(t, 10),
+					}
+				}
+				if err := db.InsertBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+				inserted.Add(int64(len(batch)))
+			}
+		}()
+	}
+	go func() { // eviction racer: drops nothing (cutoff before all rows)
+		defer close(evictorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				db.Evict(t0.Add(-time.Hour))
+				runtime.Gosched()
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		r := r
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 200; i++ {
+				from := t0.Add(time.Duration(rng.Intn(160)) * time.Minute)
+				merged, n, err := db.Select(nil, from, from.Add(30*time.Minute))
+				if err != nil {
+					if errors.Is(err, ErrNoData) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				if got := merged.Total().Bytes; got != uint64(n)*10 {
+					t.Errorf("torn merge: %d matches but %d bytes", n, got)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	writers.Wait()
+	close(stop)
+	<-evictorDone
+	if db.Len() != int(inserted.Load()) {
+		t.Errorf("Len=%d, want %d", db.Len(), inserted.Load())
+	}
+}
+
+// TestEvictReleasesTrees pins the compaction leak fix: after Evict, the
+// dropped rows' trees must be garbage-collectable — the retained backing
+// array must not pin them (the seed's rows[:0] compaction did).
+func TestEvictReleasesTrees(t *testing.T) {
+	db := New()
+	var collected atomic.Int32
+	const old = 8
+	for i := 0; i < old; i++ {
+		tr := tree(t, 10)
+		runtime.SetFinalizer(tr, func(*flowtree.Tree) { collected.Add(1) })
+		if err := db.Insert(Row{
+			Location: "a",
+			Start:    t0.Add(time.Duration(i) * time.Minute),
+			Width:    time.Minute,
+			Tree:     tr,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A young row keeps the segment (and its backing array) alive.
+	if err := db.Insert(Row{Location: "a", Start: t0.Add(time.Hour), Width: time.Minute, Tree: tree(t, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.Evict(t0.Add(old*time.Minute + time.Minute)); n != old {
+		t.Fatalf("evicted %d, want %d", n, old)
+	}
+	for i := 0; i < 10 && collected.Load() < old; i++ {
+		runtime.GC()
+	}
+	if got := collected.Load(); got != old {
+		t.Errorf("only %d of %d evicted trees were collected — the index still references them", got, old)
+	}
+}
+
+// TestInsertBatchOutOfOrderKeepsSegmentsSorted covers the sorted-run merge
+// path: a batch older than the segment tail lands in order, and the widest
+// row keeps being found by the backed-off lower bound.
+func TestInsertBatchOutOfOrderKeepsSegmentsSorted(t *testing.T) {
+	db := New()
+	if err := db.InsertBatch([]Row{
+		{Location: "a", Start: t0.Add(2 * time.Hour), Width: time.Minute, Tree: tree(t, 1)},
+		{Location: "a", Start: t0.Add(3 * time.Hour), Width: time.Minute, Tree: tree(t, 2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order: one epoch before the tail, one wide straddler.
+	if err := db.InsertBatch([]Row{
+		{Location: "a", Start: t0.Add(time.Hour), Width: time.Minute, Tree: tree(t, 4)},
+		{Location: "a", Start: t0, Width: 6 * time.Hour, Tree: tree(t, 8)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows := db.Rows()
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Start.Before(rows[i-1].Start) {
+			t.Fatalf("rows out of order at %d: %v after %v", i, rows[i].Start, rows[i-1].Start)
+		}
+	}
+	// A window deep inside the wide row only: the lower-bound back-off
+	// must still find it behind the narrow epochs.
+	got, n, err := db.Select(nil, t0.Add(4*time.Hour), t0.Add(5*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || got.Total().Bytes != 8 {
+		t.Errorf("wide straddler: n=%d bytes=%d, want 1/8", n, got.Total().Bytes)
+	}
+	// A mid window picks up the straddler plus the hour-2 epoch.
+	got, n, err = db.Select(nil, t0.Add(2*time.Hour), t0.Add(150*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || got.Total().Bytes != 9 {
+		t.Errorf("mid window: n=%d bytes=%d, want 2/9", n, got.Total().Bytes)
+	}
+}
+
+// TestSelectDedupesLocationFilter pins that a duplicated location in the
+// filter does not double-count its rows.
+func TestSelectDedupesLocationFilter(t *testing.T) {
+	db := New()
+	if err := db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := db.Select([]string{"a", "a", "a"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || got.Total().Bytes != 100 {
+		t.Errorf("n=%d bytes=%d, want 1/100", n, got.Total().Bytes)
+	}
+}
+
+// TestSelectParallelReductionUsed makes a selection wide enough to engage
+// the worker fan-in and checks the exact merge (unbudgeted trees), so the
+// parallel path is covered even on single-core hosts.
+func TestSelectParallelReductionUsed(t *testing.T) {
+	db := New(WithMergeWorkers(4), WithCacheEntries(0))
+	const rowsN = 4 * mergeChunkMin
+	var want uint64
+	for i := 0; i < rowsN; i++ {
+		b := uint64(i + 1)
+		want += b
+		if err := db.Insert(Row{
+			Location: "a",
+			Start:    t0.Add(time.Duration(i) * time.Minute),
+			Width:    time.Minute,
+			Tree:     tree(t, b),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, n, err := db.Select(nil, t0, t0.Add(rowsN*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != rowsN || got.Total().Bytes != want {
+		t.Errorf("n=%d bytes=%d, want %d/%d", n, got.Total().Bytes, rowsN, want)
+	}
+}
+
+// TestMemoKeyLocationFilterCannotCollide pins the length-prefixed cache
+// key: a location name containing the key separator must not share an
+// entry with the filter that concatenates to the same bytes.
+func TestMemoKeyLocationFilterCannotCollide(t *testing.T) {
+	db := New()
+	for loc, bytes := range map[string]uint64{"a|b": 1, "a": 10, "b": 100} {
+		if err := db.Insert(Row{Location: loc, Start: t0, Width: time.Hour, Tree: tree(t, bytes)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, n, err := db.Select([]string{"a|b"}, t0, t0.Add(time.Hour)) // populates the cache
+	if err != nil || n != 1 || got.Total().Bytes != 1 {
+		t.Fatalf("filter [a|b]: n=%d bytes=%d err=%v", n, got.Total().Bytes, err)
+	}
+	got, n, err = db.Select([]string{"a", "b"}, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || got.Total().Bytes != 110 {
+		t.Errorf("filter [a b] collided with [a|b]: n=%d bytes=%d, want 2/110", n, got.Total().Bytes)
+	}
+}
+
+// TestWithCacheEntriesDisables pins that a zero-entry cache turns
+// memoization off entirely.
+func TestWithCacheEntriesDisables(t *testing.T) {
+	db := New(WithCacheEntries(0))
+	if err := db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := db.Select(nil, t0, t0.Add(time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := db.CacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("disabled cache recorded hits=%d misses=%d", hits, misses)
+	}
+}

@@ -1,0 +1,272 @@
+package flowdb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+)
+
+// flatSelect is the reference implementation the segmented index must match
+// exactly: a full scan of every row with the overlap predicate, followed by
+// a serial clone-and-merge in scan order — the seed's FlowDB.
+func flatSelect(rows []Row, locations []string, from, to time.Time) (*flowtree.Tree, int, error) {
+	want := map[string]bool{}
+	for _, l := range locations {
+		want[l] = true
+	}
+	var matches []Row
+	for _, r := range rows {
+		if len(want) > 0 && !want[r.Location] {
+			continue
+		}
+		if r.End().After(from) && r.Start.Before(to) {
+			matches = append(matches, r)
+		}
+	}
+	if len(matches) == 0 {
+		return nil, 0, ErrNoData
+	}
+	merged := matches[0].Tree.Clone()
+	for _, r := range matches[1:] {
+		if err := merged.Merge(r.Tree); err != nil {
+			return nil, 0, err
+		}
+	}
+	return merged, len(matches), nil
+}
+
+// randomRows builds a random unbudgeted row set: random locations, starts,
+// widths (including rows much wider than the typical epoch, to exercise the
+// lower-bound back-off) and small random trees.
+func randomRows(t *testing.T, rng *rand.Rand, n int) []Row {
+	t.Helper()
+	locs := []string{"ams", "fra", "lhr", "nyc", "sfo", "syd"}
+	rows := make([]Row, n)
+	for i := range rows {
+		tr, err := flowtree.New(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			tr.Add(flow.Record{
+				Key: flow.Exact(flow.ProtoTCP,
+					flow.IPv4(rng.Intn(1<<16))<<16|flow.IPv4(rng.Intn(1<<16)),
+					0xC0A80000|flow.IPv4(rng.Intn(256)),
+					uint16(1024+rng.Intn(60000)), 443),
+				Packets: 1 + uint64(rng.Intn(100)),
+				Bytes:   1 + uint64(rng.Intn(100000)),
+			})
+		}
+		width := time.Duration(1+rng.Intn(10)) * time.Minute
+		if rng.Intn(10) == 0 {
+			width = time.Duration(1+rng.Intn(12)) * time.Hour // wide straddler
+		}
+		rows[i] = Row{
+			Location: locs[rng.Intn(len(locs))],
+			Start:    t0.Add(time.Duration(rng.Intn(14*24)) * time.Minute),
+			Width:    width,
+			Tree:     tr,
+		}
+	}
+	return rows
+}
+
+// sameTree asserts two unbudgeted trees carry identical weight at identical
+// keys (Entries is keyLess-sorted, so equality is positional).
+func sameTree(t *testing.T, got, want *flowtree.Tree) {
+	t.Helper()
+	if got.Total() != want.Total() {
+		t.Fatalf("totals differ: %+v vs %+v", got.Total(), want.Total())
+	}
+	ge, we := got.Entries(), want.Entries()
+	if len(ge) != len(we) {
+		t.Fatalf("entry counts differ: %d vs %d", len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ge[i], we[i])
+		}
+	}
+}
+
+// TestSelectEquivalentToFlatScan is the acceptance property: for random row
+// sets, random windows and random location filters, the segmented parallel
+// Select returns exactly the flat-scan merge — same match count, same keys,
+// same counters (trees are unbudgeted, so the merge is exact and order-
+// independent).
+func TestSelectEquivalentToFlatScan(t *testing.T) {
+	locs := []string{"ams", "fra", "lhr", "nyc", "sfo", "syd"}
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		rows := randomRows(t, rng, 300)
+		// Exercise both the serial and the parallel merge reduction, with
+		// memoization on (hits must be equivalent too, checked by querying
+		// every window twice).
+		for _, workers := range []int{1, 4} {
+			db := New(WithMergeWorkers(workers))
+			// Insert in random batches, some out of epoch order.
+			for lo := 0; lo < len(rows); {
+				hi := lo + 1 + rng.Intn(40)
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				if err := db.InsertBatch(rows[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+				lo = hi
+			}
+			for q := 0; q < 40; q++ {
+				from := t0.Add(time.Duration(rng.Intn(15*24)-12) * time.Minute)
+				to := from.Add(time.Duration(rng.Intn(36*60)) * time.Minute)
+				var filter []string
+				for _, l := range locs {
+					if rng.Intn(3) == 0 {
+						filter = append(filter, l)
+					}
+				}
+				want, wantN, wantErr := flatSelect(rows, filter, from, to)
+				for rep := 0; rep < 2; rep++ { // rep 1 = memoized path
+					got, gotN, gotErr := db.Select(filter, from, to)
+					if wantErr != nil {
+						if !errors.Is(gotErr, ErrNoData) {
+							t.Fatalf("seed %d query %d: err=%v, want ErrNoData", seed, q, gotErr)
+						}
+						continue
+					}
+					if gotErr != nil {
+						t.Fatalf("seed %d query %d: %v", seed, q, gotErr)
+					}
+					if gotN != wantN {
+						t.Fatalf("seed %d query %d rep %d: matched %d, want %d", seed, q, rep, gotN, wantN)
+					}
+					sameTree(t, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectAfterEvictEquivalentToFlatScan re-runs the equivalence after
+// evictions so the compacted segments (and eviction's cache invalidation)
+// answer from the surviving rows only.
+func TestSelectAfterEvictEquivalentToFlatScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := randomRows(t, rng, 300)
+	db := New()
+	if err := db.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	cutoff := t0.Add(5 * 24 * time.Hour)
+	var surviving []Row
+	for _, r := range rows {
+		if !r.End().Before(cutoff) {
+			surviving = append(surviving, r)
+		}
+	}
+	if n := db.Evict(cutoff); n != len(rows)-len(surviving) {
+		t.Fatalf("Evict dropped %d, want %d", n, len(rows)-len(surviving))
+	}
+	for q := 0; q < 30; q++ {
+		from := t0.Add(time.Duration(rng.Intn(15*24)) * time.Minute)
+		to := from.Add(time.Duration(rng.Intn(36*60)) * time.Minute)
+		want, wantN, wantErr := flatSelect(surviving, nil, from, to)
+		got, gotN, gotErr := db.Select(nil, from, to)
+		if wantErr != nil {
+			if !errors.Is(gotErr, ErrNoData) {
+				t.Fatalf("query %d: err=%v, want ErrNoData", q, gotErr)
+			}
+			continue
+		}
+		if gotErr != nil || gotN != wantN {
+			t.Fatalf("query %d: n=%d err=%v, want n=%d", q, gotN, gotErr, wantN)
+		}
+		sameTree(t, got, want)
+	}
+}
+
+// TestCacheNeverServesStale is the cache invalidation property: a Select
+// issued after an InsertBatch or Evict completes must reflect that write —
+// memoized merges from before the write can never be served.
+func TestCacheNeverServesStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := New()
+	var shadow []Row
+	windows := []struct{ from, to time.Time }{
+		{t0, t0.Add(time.Hour)},
+		{t0.Add(30 * time.Minute), t0.Add(90 * time.Minute)},
+		{t0, t0.Add(24 * time.Hour)},
+	}
+	for step := 0; step < 60; step++ {
+		switch rng.Intn(4) {
+		case 0: // insert a batch overlapping the query windows
+			batch := randomRows(t, rng, 1+rng.Intn(5))
+			for i := range batch {
+				batch[i].Start = t0.Add(time.Duration(rng.Intn(120)) * time.Minute)
+			}
+			if err := db.InsertBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			shadow = append(shadow, batch...)
+		case 1: // evict a prefix
+			cutoff := t0.Add(time.Duration(rng.Intn(60)) * time.Minute)
+			db.Evict(cutoff)
+			kept := shadow[:0]
+			for _, r := range shadow {
+				if !r.End().Before(cutoff) {
+					kept = append(kept, r)
+				}
+			}
+			shadow = kept
+		default: // query a hot window (these repeat, driving the memo cache)
+			w := windows[rng.Intn(len(windows))]
+			want, wantN, wantErr := flatSelect(shadow, nil, w.from, w.to)
+			got, gotN, gotErr := db.Select(nil, w.from, w.to)
+			if wantErr != nil {
+				if !errors.Is(gotErr, ErrNoData) {
+					t.Fatalf("step %d: err=%v, want ErrNoData", step, gotErr)
+				}
+				continue
+			}
+			if gotErr != nil || gotN != wantN {
+				t.Fatalf("step %d: n=%d err=%v, want n=%d", step, gotN, gotErr, wantN)
+			}
+			sameTree(t, got, want)
+		}
+	}
+	if hits, misses := db.CacheStats(); hits == 0 || misses == 0 {
+		t.Fatalf("property test never exercised the cache: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestMemoizedSelectIsOwned pins that a cache hit hands out an independent
+// clone: mutating the returned tree must not corrupt later hits.
+func TestMemoizedSelectIsOwned(t *testing.T) {
+	db := New()
+	if err := db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := db.Select(nil, t0, t0.Add(time.Hour)) // miss, populates cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := db.Select(nil, t0, t0.Add(time.Hour)) // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Add(flow.Record{Key: flow.Exact(flow.ProtoUDP, 1, 2, 3, 4), Packets: 1, Bytes: 999})
+	third, _, err := db.Select(nil, t0, t0.Add(time.Hour)) // hit again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Total().Bytes != 100 || third.Total().Bytes != 100 {
+		t.Errorf("cache hit leaked a mutable reference: first=%d third=%d",
+			first.Total().Bytes, third.Total().Bytes)
+	}
+	if hits, _ := db.CacheStats(); hits != 2 {
+		t.Errorf("hits=%d, want 2", hits)
+	}
+}

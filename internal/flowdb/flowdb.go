@@ -2,12 +2,46 @@
 // takes Flowtree summaries as input, stores and indexes them by location
 // and time interval, and uses them to answer FlowQL queries. FlowDB is
 // where exported Flowtrees from many data stores and epochs meet (Figure 5,
-// step 4).
+// step 4) — and where every FlowQL query lands, so the index is organized
+// for concurrent interactive reads rather than for the writer.
+//
+// # Segmented index
+//
+// Rows are partitioned into per-location segments, each a run of rows kept
+// ordered by epoch start. InsertBatch splits the batch by location and
+// appends each group to its segment — epoch exports arrive in time order,
+// so the common case is a pure append, and an out-of-order batch merges two
+// sorted runs of one segment only; nothing ever re-sorts the whole index.
+// Select binary-searches each segment for the window boundaries (the upper
+// bound directly, the lower bound through the segment's widest row, so
+// variable-width epochs cannot be skipped) and touches O(log n + matches)
+// rows instead of scanning every row in the database.
+//
+// # Concurrency
+//
+// The index is guarded by an RWMutex: concurrent Selects share the read
+// lock and only InsertBatch/Evict write. Row matching is the only work done
+// under the lock — the trees themselves are collected by reference (stored
+// trees are immutable once inserted) and merged entirely outside it, via a
+// parallel reduction: worker goroutines fold chunk-wise partial unions with
+// flowtree.MergeAll and one final fold combines the partials, mirroring the
+// sharded seal fan-in. Queries therefore neither serialize on each other
+// nor stall the epoch-export writer for the duration of a merge.
+//
+// # Memoized queries
+//
+// Repeated dashboard-style queries hit a generation-stamped memo cache
+// keyed by (locations, window): every InsertBatch and Evict bumps the
+// DB generation, which atomically invalidates all cached merges, so a hit
+// can never serve a tree that predates a write. Hits cost one structural
+// clone of the cached merge — independent of how many rows the window
+// covers. Select always returns a tree owned by the caller.
 package flowdb
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -33,27 +67,86 @@ var (
 	ErrNoData = errors.New("flowdb: no summaries match")
 )
 
-// DB is an in-memory FlowDB. Safe for concurrent use.
-type DB struct {
-	mu   sync.Mutex
-	rows []Row
+// segment holds one location's rows ordered by Start (ties keep insertion
+// order). maxWidth is the widest row ever inserted — the slack the
+// window lower-bound search must allow — and maxEnd the latest end, so
+// TimeBounds is O(locations).
+type segment struct {
+	rows     []Row
+	maxWidth time.Duration
+	maxEnd   time.Time
 }
+
+// DB is an in-memory FlowDB. Safe for concurrent use: readers share an
+// RWMutex and all tree merging happens outside it.
+type DB struct {
+	mu    sync.RWMutex
+	segs  map[string]*segment
+	locs  []string // sorted distinct locations, kept in sync with segs
+	total int
+	gen   uint64 // bumped by InsertBatch and Evict; stamps cache entries
+
+	mergeWorkers int
+	cache        *memoCache
+}
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithMergeWorkers bounds the parallel merge reduction of Select (default
+// GOMAXPROCS; 1 degenerates to the serial clone-and-merge fold).
+func WithMergeWorkers(n int) Option {
+	return func(db *DB) {
+		if n < 1 {
+			n = 1
+		}
+		db.mergeWorkers = n
+	}
+}
+
+// WithCacheEntries bounds the memoized query cache (default 128 merged
+// trees; 0 disables memoization entirely).
+func WithCacheEntries(n int) Option {
+	return func(db *DB) {
+		if n <= 0 {
+			db.cache = nil
+			return
+		}
+		db.cache = newMemoCache(n)
+	}
+}
+
+// defaultCacheEntries bounds the memo cache when no option overrides it.
+const defaultCacheEntries = 128
 
 // New builds an empty FlowDB.
-func New() *DB {
-	return &DB{}
+func New(opts ...Option) *DB {
+	db := &DB{
+		segs:         make(map[string]*segment),
+		mergeWorkers: runtime.GOMAXPROCS(0),
+		cache:        newMemoCache(defaultCacheEntries),
+	}
+	for _, opt := range opts {
+		opt(db)
+	}
+	return db
 }
 
-// Insert indexes a summary. The tree is stored as-is; callers that keep
-// mutating a live tree must insert a Clone.
+// Insert indexes a summary. The tree is stored as-is and must not be
+// mutated afterwards; callers that keep mutating a live tree must insert a
+// Clone. (Immutability of stored trees is what lets Select merge them
+// outside the index lock.)
 func (db *DB) Insert(r Row) error {
 	return db.InsertBatch([]Row{r})
 }
 
-// InsertBatch indexes a batch of summaries under one lock acquisition and
-// one index re-sort — the central writer of a pipelined epoch export hands
-// all sites' decoded rows over in one call. Rows are validated up front;
-// an invalid row rejects the whole batch and indexes nothing.
+// InsertBatch indexes a batch of summaries under one lock acquisition —
+// the central writer of a pipelined epoch export hands all sites' decoded
+// rows over in one call. The batch is split by location and appended to
+// the per-location segments; rows arriving in epoch order (the export
+// pipeline always does) are pure appends, with no index re-sort anywhere.
+// Rows are validated up front; an invalid row rejects the whole batch and
+// indexes nothing.
 func (db *DB) InsertBatch(rows []Row) error {
 	for _, r := range rows {
 		if r.Location == "" || r.Tree == nil || r.Width <= 0 {
@@ -63,114 +156,317 @@ func (db *DB) InsertBatch(rows []Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	// Sort a copy of the batch by (location, start): one pass then yields
+	// each location's rows as a ready-ordered run. Only the batch is
+	// sorted, never the index.
+	batch := make([]Row, len(rows))
+	copy(batch, rows)
+	sort.SliceStable(batch, func(i, j int) bool {
+		if batch[i].Location != batch[j].Location {
+			return batch[i].Location < batch[j].Location
+		}
+		return batch[i].Start.Before(batch[j].Start)
+	})
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.rows = append(db.rows, rows...)
-	sort.Slice(db.rows, func(i, j int) bool {
-		if !db.rows[i].Start.Equal(db.rows[j].Start) {
-			return db.rows[i].Start.Before(db.rows[j].Start)
+	for lo := 0; lo < len(batch); {
+		hi := lo + 1
+		for hi < len(batch) && batch[hi].Location == batch[lo].Location {
+			hi++
 		}
-		return db.rows[i].Location < db.rows[j].Location
-	})
+		db.segment(batch[lo].Location).insertRun(batch[lo:hi])
+		lo = hi
+	}
+	db.total += len(batch)
+	db.gen++
 	return nil
+}
+
+// segment returns the location's segment, creating it (and registering the
+// location in the sorted location list) on first use. Callers hold the
+// write lock.
+func (db *DB) segment(loc string) *segment {
+	seg, ok := db.segs[loc]
+	if !ok {
+		seg = &segment{}
+		db.segs[loc] = seg
+		i := sort.SearchStrings(db.locs, loc)
+		db.locs = append(db.locs, "")
+		copy(db.locs[i+1:], db.locs[i:])
+		db.locs[i] = loc
+	}
+	return seg
+}
+
+// insertRun folds a start-ordered run of same-location rows into the
+// segment: a pure append when the run does not precede the existing tail,
+// otherwise one linear merge of the two sorted runs.
+func (s *segment) insertRun(run []Row) {
+	for _, r := range run {
+		if r.Width > s.maxWidth {
+			s.maxWidth = r.Width
+		}
+		if end := r.End(); end.After(s.maxEnd) {
+			s.maxEnd = end
+		}
+	}
+	if len(s.rows) == 0 || !run[0].Start.Before(s.rows[len(s.rows)-1].Start) {
+		s.rows = append(s.rows, run...)
+		return
+	}
+	merged := make([]Row, 0, len(s.rows)+len(run))
+	i, j := 0, 0
+	for i < len(s.rows) && j < len(run) {
+		// Existing rows win ties, preserving insertion order.
+		if !run[j].Start.Before(s.rows[i].Start) {
+			merged = append(merged, s.rows[i])
+			i++
+		} else {
+			merged = append(merged, run[j])
+			j++
+		}
+	}
+	merged = append(merged, s.rows[i:]...)
+	merged = append(merged, run[j:]...)
+	s.rows = merged
+}
+
+// overlap appends the trees of rows overlapping [from, to) to out and
+// returns how many matched. Both window boundaries are binary searches:
+// rows are start-ordered, and the lower bound backs off by the segment's
+// widest row so no long epoch straddling the window start is skipped.
+func (s *segment) overlap(out []*flowtree.Tree, from, to time.Time) []*flowtree.Tree {
+	hi := sort.Search(len(s.rows), func(i int) bool { return !s.rows[i].Start.Before(to) })
+	lo := sort.Search(hi, func(i int) bool { return s.rows[i].Start.Add(s.maxWidth).After(from) })
+	for i := lo; i < hi; i++ {
+		if s.rows[i].End().After(from) {
+			out = append(out, s.rows[i].Tree)
+		}
+	}
+	return out
 }
 
 // Len returns the number of indexed rows.
 func (db *DB) Len() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return len(db.rows)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.total
 }
 
 // Locations returns the distinct locations present, sorted.
 func (db *DB) Locations() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	seen := map[string]bool{}
-	for _, r := range db.rows {
-		seen[r.Location] = true
-	}
-	out := make([]string, 0, len(seen))
-	for l := range seen {
-		out = append(out, l)
-	}
-	sort.Strings(out)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, len(db.locs))
+	copy(out, db.locs)
 	return out
 }
 
 // TimeBounds returns the earliest start and latest end across all rows;
 // ok is false when the DB is empty.
 func (db *DB) TimeBounds() (from, to time.Time, ok bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if len(db.rows) == 0 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.total == 0 {
 		return time.Time{}, time.Time{}, false
 	}
-	from = db.rows[0].Start
-	to = db.rows[0].End()
-	for _, r := range db.rows[1:] {
-		if r.End().After(to) {
-			to = r.End()
+	first := true
+	for _, seg := range db.segs {
+		if len(seg.rows) == 0 {
+			continue
 		}
+		if start := seg.rows[0].Start; first || start.Before(from) {
+			from = start
+		}
+		if first || seg.maxEnd.After(to) {
+			to = seg.maxEnd
+		}
+		first = false
 	}
 	return from, to, true
 }
 
 // Select merges all summaries overlapping [from, to) at the given locations
 // (nil or empty = all locations) into a fresh tree — the paper's
-// "A12 = compress(A1 ∪ A2)" across both time and space. The result inherits
-// the first matching tree's configuration.
-func (db *DB) Select(locations []string, from, to time.Time) (*flowtree.Tree, error) {
-	want := map[string]bool{}
-	for _, l := range locations {
-		want[l] = true
+// "A12 = compress(A1 ∪ A2)" across both time and space — and reports how
+// many summaries the merge combined. The result inherits the first matching
+// tree's configuration (locations in sorted order, rows in start order) and
+// is owned by the caller: mutating it never affects the index or the memo
+// cache. Matching runs under the shared read lock; the merge itself runs
+// outside all locks as a parallel reduction over chunk-wise partial unions.
+func (db *DB) Select(locations []string, from, to time.Time) (*flowtree.Tree, int, error) {
+	key, memoize := memoKey(locations, from, to)
+	if db.cache != nil && memoize {
+		if tree, n, ok := db.cache.get(key, db.generation()); ok {
+			return tree.Clone(), n, nil
+		}
 	}
-	db.mu.Lock()
-	var matches []Row
-	for _, r := range db.rows {
-		if len(want) > 0 && !want[r.Location] {
+	matches, gen := db.match(locations, from, to)
+	if len(matches) == 0 {
+		return nil, 0, fmt.Errorf("%w: locations=%v window=[%v,%v)", ErrNoData, locations, from, to)
+	}
+	merged, err := db.mergeMatches(matches)
+	if err != nil {
+		return nil, 0, err
+	}
+	if db.cache != nil && memoize {
+		// The cache stores its own clone stamped with the generation the
+		// match snapshot was taken at; a write in the meantime bumped the
+		// generation and the entry is dead on arrival, never served.
+		db.cache.put(key, gen, merged.Clone(), len(matches))
+	}
+	return merged, len(matches), nil
+}
+
+// generation reads the current write generation.
+func (db *DB) generation() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gen
+}
+
+// match collects, under the read lock, references to every stored tree
+// overlapping the window at the wanted locations, plus the generation the
+// snapshot was taken at. Stored trees are immutable, so the references
+// stay valid after the lock is released.
+func (db *DB) match(locations []string, from, to time.Time) ([]*flowtree.Tree, uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*flowtree.Tree
+	if len(locations) == 0 {
+		for _, loc := range db.locs {
+			out = db.segs[loc].overlap(out, from, to)
+		}
+		return out, db.gen
+	}
+	seen := make(map[string]bool, len(locations))
+	for _, loc := range locations {
+		if seen[loc] {
 			continue
 		}
-		if r.End().After(from) && r.Start.Before(to) {
-			matches = append(matches, r)
+		seen[loc] = true
+		if seg, ok := db.segs[loc]; ok {
+			out = seg.overlap(out, from, to)
 		}
 	}
-	db.mu.Unlock()
-	if len(matches) == 0 {
-		return nil, fmt.Errorf("%w: locations=%v window=[%v,%v)", ErrNoData, locations, from, to)
+	return out, db.gen
+}
+
+// mergeChunkMin is the smallest number of trees worth a dedicated merge
+// worker; below it goroutine and partial-clone overhead beats the
+// parallelism.
+const mergeChunkMin = 16
+
+// mergeMatches folds the matched trees into one fresh tree outside all
+// locks. Large selections run as a parallel reduction: each worker clones
+// its chunk's first tree and folds the rest in with one MergeAll (one
+// aggregate rebuild, one budget compression per chunk — the same fan-in
+// shape as the sharded seal), and a final MergeAll combines the partial
+// unions with one last budget compression.
+func (db *DB) mergeMatches(matches []*flowtree.Tree) (*flowtree.Tree, error) {
+	nw := db.mergeWorkers
+	if max := (len(matches) + mergeChunkMin - 1) / mergeChunkMin; nw > max {
+		nw = max
 	}
-	merged := matches[0].Tree.Clone()
-	for _, r := range matches[1:] {
-		if err := merged.Merge(r.Tree); err != nil {
-			return nil, fmt.Errorf("flowdb: merge row %s@%v: %w", r.Location, r.Start, err)
+	if nw <= 1 {
+		merged := matches[0].Clone()
+		if err := merged.MergeAll(matches[1:]...); err != nil {
+			return nil, fmt.Errorf("flowdb: merge selection: %w", err)
 		}
+		return merged, nil
+	}
+	partials := make([]*flowtree.Tree, nw)
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		lo, hi := w*len(matches)/nw, (w+1)*len(matches)/nw
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial := matches[lo].Clone()
+			errs[w] = partial.MergeAll(matches[lo+1 : hi]...)
+			partials[w] = partial
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("flowdb: merge selection: %w", err)
+		}
+	}
+	merged := partials[0]
+	if err := merged.MergeAll(partials[1:]...); err != nil {
+		return nil, fmt.Errorf("flowdb: merge selection: %w", err)
 	}
 	return merged, nil
 }
 
-// Rows returns a copy of the index (diagnostics and tests).
+// Rows returns a copy of the index sorted by (start, location) —
+// diagnostics and tests; the live index never materializes this view.
 func (db *DB) Rows() []Row {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	out := make([]Row, len(db.rows))
-	copy(out, db.rows)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Row, 0, db.total)
+	for _, loc := range db.locs {
+		out = append(out, db.segs[loc].rows...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Location < out[j].Location
+	})
 	return out
 }
 
 // Evict drops rows whose end is before cutoff, returning how many were
-// dropped (FlowDB retention is managed by the hosting data store).
+// dropped (FlowDB retention is managed by the hosting data store). The
+// compacted tails are zeroed so the dropped trees are actually reclaimable
+// — a retained backing array must not pin folded epochs — and emptied
+// locations disappear from the index.
 func (db *DB) Evict(cutoff time.Time) int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	kept := db.rows[:0]
 	dropped := 0
-	for _, r := range db.rows {
-		if r.End().Before(cutoff) {
-			dropped++
+	for loc, seg := range db.segs {
+		kept := seg.rows[:0]
+		for _, r := range seg.rows {
+			if r.End().Before(cutoff) {
+				dropped++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		tail := seg.rows[len(kept):]
+		for i := range tail {
+			tail[i] = Row{}
+		}
+		seg.rows = kept
+		if len(kept) == 0 {
+			delete(db.segs, loc)
+			i := sort.SearchStrings(db.locs, loc)
+			db.locs = append(db.locs[:i], db.locs[i+1:]...)
 			continue
 		}
-		kept = append(kept, r)
+		seg.maxEnd = time.Time{}
+		for _, r := range kept {
+			if end := r.End(); end.After(seg.maxEnd) {
+				seg.maxEnd = end
+			}
+		}
 	}
-	db.rows = kept
+	db.total -= dropped
+	if dropped > 0 {
+		db.gen++
+	}
 	return dropped
+}
+
+// CacheStats reports memoization hits and misses (zeroes when the cache is
+// disabled).
+func (db *DB) CacheStats() (hits, misses uint64) {
+	if db.cache == nil {
+		return 0, 0
+	}
+	return db.cache.stats()
 }

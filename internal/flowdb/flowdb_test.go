@@ -47,14 +47,14 @@ func TestSelectMergesOverlapping(t *testing.T) {
 	_ = db.Insert(Row{Location: "a", Start: t0.Add(time.Hour), Width: time.Hour, Tree: tree(t, 200)})
 	_ = db.Insert(Row{Location: "b", Start: t0, Width: time.Hour, Tree: tree(t, 400)})
 
-	all, err := db.Select(nil, t0, t0.Add(2*time.Hour))
+	all, _, err := db.Select(nil, t0, t0.Add(2*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if all.Total().Bytes != 700 {
 		t.Errorf("all = %d", all.Total().Bytes)
 	}
-	onlyA, err := db.Select([]string{"a"}, t0, t0.Add(2*time.Hour))
+	onlyA, _, err := db.Select([]string{"a"}, t0, t0.Add(2*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestSelectMergesOverlapping(t *testing.T) {
 	}
 	// A window strictly inside the first epoch still picks it up
 	// (overlap semantics).
-	sub, err := db.Select([]string{"a"}, t0.Add(10*time.Minute), t0.Add(20*time.Minute))
+	sub, _, err := db.Select([]string{"a"}, t0.Add(10*time.Minute), t0.Add(20*time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,12 +77,12 @@ func TestSelectIsolation(t *testing.T) {
 	// corrupt the stored rows.
 	db := New()
 	_ = db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 100)})
-	got, err := db.Select(nil, t0, t0.Add(time.Hour))
+	got, _, err := db.Select(nil, t0, t0.Add(time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
 	got.Add(flow.Record{Key: flow.Exact(flow.ProtoUDP, 1, 2, 3, 4), Packets: 1, Bytes: 999})
-	again, _ := db.Select(nil, t0, t0.Add(time.Hour))
+	again, _, _ := db.Select(nil, t0, t0.Add(time.Hour))
 	if again.Total().Bytes != 100 {
 		t.Errorf("stored row mutated: %d", again.Total().Bytes)
 	}
@@ -92,7 +92,7 @@ func TestSelectStepMismatch(t *testing.T) {
 	db := New()
 	_ = db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 1)})
 	_ = db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 1, flowtree.WithStepBits(4))})
-	if _, err := db.Select(nil, t0, t0.Add(time.Hour)); err == nil {
+	if _, _, err := db.Select(nil, t0, t0.Add(time.Hour)); err == nil {
 		t.Error("merging different-step trees must error")
 	}
 }
@@ -123,7 +123,7 @@ func TestConcurrentInsertSelect(t *testing.T) {
 					Width:    time.Minute,
 					Tree:     tree(t, 10),
 				})
-				_, _ = db.Select(nil, t0, t0.Add(time.Hour))
+				_, _, _ = db.Select(nil, t0, t0.Add(time.Hour))
 			}
 		}()
 	}
@@ -131,7 +131,7 @@ func TestConcurrentInsertSelect(t *testing.T) {
 	if db.Len() != 200 {
 		t.Errorf("Len = %d", db.Len())
 	}
-	merged, err := db.Select(nil, t0, t0.Add(time.Hour))
+	merged, _, err := db.Select(nil, t0, t0.Add(time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}

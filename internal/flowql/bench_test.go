@@ -1,0 +1,170 @@
+package flowql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowtree"
+)
+
+// TestResultMergedCountsMatches pins the Merged fix: the field reports the
+// summaries the SELECT actually combined, not the database row count.
+func TestResultMergedCountsMatches(t *testing.T) {
+	db := buildDB(t) // 4 rows: 2 sites x 2 epochs
+	cases := []struct {
+		stmt string
+		want int
+	}{
+		{`SELECT QUERY FROM ALL`, 4},
+		{`SELECT QUERY AT berlin FROM ALL`, 2},
+		{`SELECT QUERY FROM "2026-06-01T00:00:00Z" TO "2026-06-01T01:00:00Z"`, 2},
+		{`SELECT QUERY AT paris FROM "2026-06-01T01:00:00Z" TO "2026-06-01T02:00:00Z"`, 1},
+	}
+	for _, c := range cases {
+		res, err := Run(db, c.stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.stmt, err)
+		}
+		if res.Merged != c.want {
+			t.Errorf("%s: Merged=%d, want %d (db has %d rows)", c.stmt, res.Merged, c.want, db.Len())
+		}
+	}
+}
+
+// TestConcurrentFlowQLAgainstWriters races FlowQL readers against the
+// central writer's InsertBatch and retention Evict — the full step-5 query
+// path over a live step-4 index. Run under `make test-race`.
+func TestConcurrentFlowQLAgainstWriters(t *testing.T) {
+	db := flowdb.New()
+	seed := func(loc string, i int) flowdb.Row {
+		tr, err := flowtree.New(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(0x0A000000+i), 0xC0A80105, 40000, 443),
+			Packets: 1, Bytes: 10,
+		})
+		return flowdb.Row{
+			Location: loc,
+			Start:    t0.Add(time.Duration(i) * time.Minute),
+			Width:    time.Minute,
+			Tree:     tr,
+		}
+	}
+	if err := db.Insert(seed("berlin", 0)); err != nil {
+		t.Fatal(err)
+	}
+	var writers sync.WaitGroup
+	for w, loc := range []string{"berlin", "paris"} {
+		writers.Add(1)
+		go func(w int, loc string) {
+			defer writers.Done()
+			for i := 1; i <= 50; i++ {
+				if err := db.InsertBatch([]flowdb.Row{seed(loc, i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					db.Evict(t0.Add(-time.Hour)) // drops nothing, bumps generation
+				}
+			}
+		}(w, loc)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 100; i++ {
+				res, err := Run(db, `SELECT QUERY FROM ALL`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Counters.Bytes != uint64(res.Merged)*10 {
+					t.Errorf("torn result: Merged=%d bytes=%d", res.Merged, res.Counters.Bytes)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	writers.Wait()
+}
+
+// benchQueryDB builds a FlowDB shaped like a central store under dashboard
+// load: rows epochs of one minute across locations, small shared trees.
+func benchQueryDB(b *testing.B, rows, locations int, opts ...flowdb.Option) *flowdb.DB {
+	b.Helper()
+	trees := make([]*flowtree.Tree, 16)
+	for i := range trees {
+		tr, err := flowtree.New(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Add(flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(0x0A000000+i), 0xC0A80105, 40000, 443),
+			Packets: 1, Bytes: uint64(100 + i),
+		})
+		trees[i] = tr
+	}
+	db := flowdb.New(opts...)
+	batch := make([]flowdb.Row, 0, 4096)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, flowdb.Row{
+			Location: fmt.Sprintf("site%02d", i%locations),
+			Start:    t0.Add(time.Duration(i/locations) * time.Minute),
+			Width:    time.Minute,
+			Tree:     trees[i%len(trees)],
+		})
+		if len(batch) == cap(batch) || i == rows-1 {
+			if err := db.InsertBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	return db
+}
+
+// BenchmarkFlowQL measures the full parse+select+operate query path over
+// the segmented index: point-window and wide-window statements, cold
+// (memoization off) and warm (repeated statement, memoized merge).
+func BenchmarkFlowQL(b *testing.B) {
+	const rows, locations = 100000, 8
+	mid := t0.Add(time.Duration(rows/locations/2) * time.Minute)
+	stmts := map[string]string{
+		"point": fmt.Sprintf(`SELECT QUERY FROM %q TO %q`,
+			mid.Format(time.RFC3339), mid.Add(time.Minute).Format(time.RFC3339)),
+		"window64": fmt.Sprintf(`SELECT TOPK(10) FROM %q TO %q`,
+			mid.Format(time.RFC3339), mid.Add(64*time.Minute).Format(time.RFC3339)),
+	}
+	for name, stmt := range stmts {
+		b.Run("cold/"+name, func(b *testing.B) {
+			db := benchQueryDB(b, rows, locations, flowdb.WithCacheEntries(0))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(db, stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("warm/"+name, func(b *testing.B) {
+			db := benchQueryDB(b, rows, locations)
+			if _, err := Run(db, stmt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(db, stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -21,7 +21,9 @@ type Result struct {
 	Entries []flowtree.Entry
 	// HHH answers OpHHH.
 	HHH []flowtree.HHHEntry
-	// Merged is the number of summaries combined to answer the query.
+	// Merged is the number of summaries actually combined to answer this
+	// query — the matches of the SELECT window and location filter, not
+	// the total rows in the database.
 	Merged int
 	// Window is the effective time window.
 	From, To time.Time
@@ -37,11 +39,11 @@ func Execute(db *flowdb.DB, q *Query) (*Result, error) {
 			return nil, flowdb.ErrNoData
 		}
 	}
-	merged, err := db.Select(q.Locations, from, to)
+	merged, matched, err := db.Select(q.Locations, from, to)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Op: q.Op, From: from, To: to, Merged: db.Len()}
+	res := &Result{Op: q.Op, From: from, To: to, Merged: matched}
 	switch q.Op {
 	case OpQuery:
 		res.Counters = merged.Query(q.Where)

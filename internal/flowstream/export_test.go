@@ -256,34 +256,135 @@ func TestPipelinedEndEpochMatchesSerial(t *testing.T) {
 
 // TestShipRequeuesBehindDecodeFailure locks in the error-path guarantee:
 // an undecodable blob surfaces an error and is dropped (it would never
-// decode on retry), but epochs queued behind it stay pending.
+// decode on retry), but epochs queued behind it stay pending. The queued
+// epochs are real sealed epochs — still in local retention — so the
+// retention cap passes them through to the re-ship path.
 func TestShipRequeuesBehindDecodeFailure(t *testing.T) {
-	sys, err := New(Config{Sites: []string{"edge"}, Epoch: time.Minute})
+	// Every transfer attempt fails while the queue builds up.
+	down := simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond, FailEvery: 1}
+	sys, err := New(Config{Sites: []string{"edge"}, Epoch: time.Minute, Link: down})
 	if err != nil {
 		t.Fatal(err)
 	}
-	good, err := flowtree.New(0)
-	if err != nil {
+	mk := func(bytes uint64) []flow.Record {
+		return []flow.Record{{
+			Key:     flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80101, 40000, 443),
+			Packets: 1, Bytes: bytes,
+		}}
+	}
+	for _, bytes := range []uint64{100, 900} {
+		if err := sys.Ingest("edge", mk(bytes)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.PendingExports() != 2 {
+		t.Fatalf("pending=%d, want 2", sys.PendingExports())
+	}
+	// Corrupt the oldest queued blob and bring the link back up.
+	sys.pendMu.Lock()
+	sys.pending["edge"][0].wire = []byte("not a flowtree")
+	sys.pendMu.Unlock()
+	up := simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond}
+	if err := sys.Net.Connect("edge", sys.central, up); err != nil {
 		t.Fatal(err)
 	}
-	batch := []pendingExport{
-		{start: sys.cfg.Start, width: time.Minute, wire: []byte("not a flowtree")},
-		{start: sys.cfg.Start.Add(time.Minute), width: time.Minute, wire: good.AppendBinary(nil)},
-	}
-	rows, err := sys.ship("edge", batch)
-	if err == nil {
+	if _, err := sys.ReExportPending(); err == nil {
 		t.Fatal("corrupt blob must surface a decode error")
 	}
-	if len(rows) != 0 {
-		t.Errorf("rows delivered past the decode failure: %d", len(rows))
+	if sys.DB.Len() != 0 {
+		t.Errorf("rows delivered past the decode failure: %d", sys.DB.Len())
 	}
 	if sys.PendingExports() != 1 {
 		t.Errorf("pending=%d, want 1 (the epoch behind the corrupt blob)", sys.PendingExports())
 	}
-	// The surviving epoch drains normally.
+	// The surviving epoch drains normally — it is still in retention, so
+	// the cap does not touch it.
 	n, err := sys.ReExportPending()
 	if err != nil || n != 1 || sys.PendingExports() != 0 {
 		t.Errorf("ReExportPending: n=%d err=%v pending=%d", n, err, sys.PendingExports())
+	}
+	if sys.DroppedExports() != 0 {
+		t.Errorf("retained epochs were dropped: %d", sys.DroppedExports())
+	}
+	res, err := sys.Query(`SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Bytes != 900 {
+		t.Errorf("central bytes=%d, want 900 (epoch behind the corrupt blob)", res.Counters.Bytes)
+	}
+}
+
+// TestPendingQueueCappedByRetention drives the ROADMAP cap end to end:
+// with the WAN down and a retention budget of ~2.5 epochs, the re-ship
+// queue cannot outgrow the retention horizon — epochs the round-robin
+// store evicts are dropped from the queue with a counted stat instead of
+// being re-shipped as data the site no longer holds.
+func TestPendingQueueCappedByRetention(t *testing.T) {
+	rec := flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80101, 40000, 443),
+		Packets: 1, Bytes: 100,
+	}
+	probe, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Add(rec)
+	epochSize := probe.SizeBytes()
+	down := simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond, FailEvery: 1}
+	sys, err := New(Config{
+		Sites: []string{"edge"},
+		Epoch: time.Minute,
+		Link:  down,
+		// Room for two sealed epochs (plus slack): sealing a third evicts
+		// the oldest from local retention.
+		RetentionBytes: 2*epochSize + epochSize/2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := sys.Ingest("edge", []flow.Record{rec}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epochs 0 and 1 fell off the retention horizon while queued; the
+	// queue is capped to what the site still holds.
+	if got := sys.DroppedExports(); got != 2 {
+		t.Errorf("dropped=%d, want 2", got)
+	}
+	if got := sys.PendingExports(); got != 2 {
+		t.Errorf("pending=%d, want 2 (the retained epochs)", got)
+	}
+	// WAN back up: only the honestly re-shippable epochs deliver.
+	up := simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond}
+	if err := sys.Net.Connect("edge", sys.central, up); err != nil {
+		t.Fatal(err)
+	}
+	n, err := sys.ReExportPending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || sys.PendingExports() != 0 {
+		t.Errorf("ReExportPending: n=%d pending=%d, want 2/0", n, sys.PendingExports())
+	}
+	rows := sys.DB.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("central rows=%d, want 2", len(rows))
+	}
+	// The delivered rows are epochs 2 and 3 — the evicted epochs 0 and 1
+	// never reached central.
+	for i, r := range rows {
+		want := sys.cfg.Start.Add(time.Duration(i+2) * time.Minute)
+		if !r.Start.Equal(want) {
+			t.Errorf("row %d start=%v, want %v", i, r.Start, want)
+		}
 	}
 }
 

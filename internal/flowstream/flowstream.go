@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"megadata/internal/datastore"
@@ -62,6 +63,12 @@ type Config struct {
 	// with the site count rather than GOMAXPROCS; the cap bounds how
 	// many encoded epochs are in flight at once.
 	ExportWorkers int
+	// RetentionBytes is the per-site round-robin retention budget for
+	// sealed epochs (default 64 MiB). It also caps the pending-export
+	// queue: a queued epoch that retention has since evicted is dropped
+	// from the queue with a counted stat (DroppedExports) instead of
+	// being re-shipped as data the site no longer holds.
+	RetentionBytes uint64
 }
 
 // aggName is the Flowtree aggregator registered at every site store.
@@ -80,9 +87,12 @@ type System struct {
 	// pendMu guards pending: per-site queues of sealed epochs whose WAN
 	// transfer failed. The epochs stay queryable in the site's local
 	// retention; the encoded blobs queue here until ReExportPending or
-	// the next EndEpoch delivers them to central.
+	// the next EndEpoch delivers them to central. The queue is capped
+	// against the site's retention horizon: epochs retention has evicted
+	// are dropped (counted in dropped) when the queue is next drained.
 	pendMu  sync.Mutex
 	pending map[string][]pendingExport
+	dropped atomic.Uint64
 }
 
 // pendingExport is one sealed, encoded epoch awaiting (re-)shipment.
@@ -121,6 +131,9 @@ func New(cfg Config) (*System, error) {
 	if cfg.ExportWorkers <= 0 {
 		cfg.ExportWorkers = min(len(cfg.Sites), 8)
 	}
+	if cfg.RetentionBytes == 0 {
+		cfg.RetentionBytes = 64 << 20
+	}
 	s := &System{
 		cfg:     cfg,
 		Clock:   simnet.NewClock(cfg.Start),
@@ -156,7 +169,7 @@ func New(cfg Config) (*System, error) {
 				return primitive.NewFlowtree(aggName, shardBudget)
 			},
 			Strategy:    datastore.StrategyRoundRobin,
-			BudgetBytes: 64 << 20,
+			BudgetBytes: cfg.RetentionBytes,
 			EpochWidth:  cfg.Epoch,
 		})
 		if err != nil {
@@ -254,7 +267,7 @@ func (s *System) EndEpoch() error {
 	}
 	wg.Wait()
 	// Single writer: all decoded rows land in FlowDB under one lock
-	// acquisition and one index re-sort.
+	// acquisition, appended to their per-location segments.
 	if err := s.DB.InsertBatch(collected); err != nil {
 		return err
 	}
@@ -284,7 +297,7 @@ func (s *System) exportSite(site string, epochStart time.Time) ([]flowdb.Row, er
 		return nil, fmt.Errorf("flowstream: site %q aggregator is %T", site, sealed)
 	}
 	wire := ft.Tree().AppendBinary(nil)
-	batch := append(s.takePending(site), pendingExport{start: epochStart, width: s.cfg.Epoch, wire: wire})
+	batch := append(s.takeShippable(site), pendingExport{start: epochStart, width: s.cfg.Epoch, wire: wire})
 	return s.ship(site, batch)
 }
 
@@ -330,6 +343,29 @@ func (s *System) takePending(site string) []pendingExport {
 	return batch
 }
 
+// takeShippable drains a site's queue like takePending and then applies the
+// retention cap: queued epochs the site's round-robin retention has since
+// evicted are dropped and counted — the site no longer holds that data
+// locally, so re-shipping the stale blob would claim an epoch the site
+// could not answer queries about. The queue therefore never outlives the
+// retention horizon by more than one drain interval.
+func (s *System) takeShippable(site string) []pendingExport {
+	batch := s.takePending(site)
+	if len(batch) == 0 {
+		return batch
+	}
+	st := s.stores[site]
+	kept := batch[:0]
+	for _, pe := range batch {
+		if st.RetainsEpoch(aggName, pe.start) {
+			kept = append(kept, pe)
+		} else {
+			s.dropped.Add(1)
+		}
+	}
+	return kept
+}
+
 // requeue puts undelivered exports back at the head of a site's queue.
 func (s *System) requeue(site string, batch []pendingExport) {
 	if len(batch) == 0 {
@@ -338,6 +374,14 @@ func (s *System) requeue(site string, batch []pendingExport) {
 	s.pendMu.Lock()
 	defer s.pendMu.Unlock()
 	s.pending[site] = append(append([]pendingExport{}, batch...), s.pending[site]...)
+}
+
+// DroppedExports reports how many queued epochs were dropped from the
+// re-ship queues because local retention evicted them before they could be
+// delivered (the honest alternative to re-shipping data the site no longer
+// holds).
+func (s *System) DroppedExports() int {
+	return int(s.dropped.Load())
 }
 
 // PendingExports reports how many sealed epochs are queued for re-shipment
@@ -359,7 +403,7 @@ func (s *System) ReExportPending() (int, error) {
 	var all []flowdb.Row
 	var firstErr error
 	for _, site := range s.cfg.Sites {
-		batch := s.takePending(site)
+		batch := s.takeShippable(site)
 		if len(batch) == 0 {
 			continue
 		}

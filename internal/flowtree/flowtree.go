@@ -875,7 +875,10 @@ func (t *Tree) Entries() []Entry {
 // chains (the copy shares no state with t, including scratch buffers). The
 // Tree is assembled directly — t already validated its configuration, and
 // going through New would allocate a budget-hinted node map only to
-// replace it with one sized to the actual tree.
+// replace it with one sized to the actual tree. All copied nodes come from
+// one slab allocation: clones are taken on hot paths (shard snapshots per
+// live query, FlowDB memo-cache hits), where one allocation per node
+// dominated the copy cost.
 func (t *Tree) Clone() *Tree {
 	cp := &Tree{
 		budget:         t.budget,
@@ -884,26 +887,27 @@ func (t *Tree) Clone() *Tree {
 		score:          t.score,
 		inserted:       t.inserted,
 	}
-	cp.root = &node{key: t.root.key, own: t.root.own, agg: t.root.agg}
 	cp.nodes = make(map[flow.Key]*node, len(t.nodes))
-	cp.nodes[cp.root.key] = cp.root
-	copySubtree(cp, t.root, cp.root)
+	slab := make([]node, len(t.nodes))
+	cp.root = copySubtree(cp, &slab, t.root, nil)
 	return cp
 }
 
-// copySubtree deep-copies src's children under dst, registering every copy
-// in cp's node index.
-func copySubtree(cp *Tree, src, dst *node) {
-	if len(src.children) == 0 {
-		return
+// copySubtree deep-copies src and its descendants into cp, carving the
+// copies off the shared slab and registering each in cp's node index.
+func copySubtree(cp *Tree, slab *[]node, src, parent *node) *node {
+	dst := &(*slab)[0]
+	*slab = (*slab)[1:]
+	dst.key, dst.own, dst.agg = src.key, src.own, src.agg
+	dst.parent, dst.depth = parent, src.depth
+	cp.nodes[dst.key] = dst
+	if len(src.children) > 0 {
+		dst.children = make(map[flow.Key]*node, len(src.children))
+		for k, c := range src.children {
+			dst.children[k] = copySubtree(cp, slab, c, dst)
+		}
 	}
-	dst.children = make(map[flow.Key]*node, len(src.children))
-	for k, c := range src.children {
-		nc := &node{key: c.key, own: c.own, agg: c.agg, parent: dst, depth: c.depth}
-		dst.children[k] = nc
-		cp.nodes[k] = nc
-		copySubtree(cp, c, nc)
-	}
+	return dst
 }
 
 // StepBits returns the generalization step.
