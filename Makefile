@@ -1,15 +1,18 @@
 # Tier-1 verify is `make check` (build + vet + test); `make test-race`
-# additionally runs the concurrent ingest and epoch-export paths under the
-# race detector. `make bench` runs the hot-path benchmarks (Flowtree
-# compression + sharded ingest + pipelined epoch export); `make
-# bench-compare` re-measures compression throughput and epoch-export
-# turnaround and fails on a regression against the checked-in
-# BENCH_compress.json / BENCH_epoch.json baselines (epoch turnaround is
-# wall-clock with a paced WAN, hence the wider tolerance).
+# additionally runs the concurrent ingest, streaming-source and epoch-export
+# paths under the race detector. `make bench` runs the hot-path benchmarks
+# (Flowtree compression + sharded ingest + streaming source + pipelined
+# epoch export); `make bench-compare` re-measures compression throughput,
+# epoch-export turnaround, query selection and streaming ingest and fails on
+# a regression against the checked-in BENCH_compress.json / BENCH_epoch.json
+# / BENCH_query.json / BENCH_stream.json baselines (wall-clock experiments
+# get the wider tolerance). `make fuzz-smoke` gives the record and tree wire
+# decoders a short corpus-guided fuzz run; `make cover` writes cover.out and
+# prints per-package and total statement coverage.
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-all bench-baseline bench-compare check
+.PHONY: all build vet test test-race bench bench-all bench-baseline bench-compare check cover fuzz-smoke
 
 all: check
 
@@ -23,22 +26,27 @@ test:
 	$(GO) test ./...
 
 # The sharded ingest pipeline (datastore shards, flowstream fan-in), the
-# concurrent epoch-export pipeline, the segmented FlowDB (parallel Select
-# merges racing the export writer) with the FlowQL layer above it, and the
-# primitives they drive are the packages with real concurrency; the root
-# package carries the integration tests.
+# streaming source feeding it (flowsource bounded channels, storage retention
+# rings it races against), the concurrent epoch-export pipeline, the
+# segmented FlowDB (parallel Select merges racing the export writer) with the
+# FlowQL layer above it, and the primitives they drive are the packages with
+# real concurrency; the root package carries the integration tests.
 test-race:
 	$(GO) test -race ./internal/datastore/ ./internal/flowstream/ \
+		./internal/flowsource/ ./internal/storage/ \
 		./internal/flowdb/ ./internal/flowql/ \
 		./internal/flowtree/ ./internal/primitive/ .
 
 # Hot-path benchmarks: the sort-based bulk fold vs its heap baseline, bulk
-# ingest, structural clone, the sharded data-store ingest sweep, the
-# serial-vs-pipelined epoch export grid, and the segmented FlowDB
+# ingest, structural clone, the streaming source vs the pre-materialized
+# batch path (asserts the >=0.9x envelope), the sharded data-store ingest
+# sweep, the serial-vs-pipelined epoch export grid, and the segmented FlowDB
 # select/FlowQL grids (cold, memoized, and flat-scan baseline).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompress|BenchmarkAddBatch|BenchmarkClone' \
 		-benchtime 1x ./internal/flowtree/
+	$(GO) test -run '^$$' -bench 'BenchmarkFlowSource|BenchmarkRecordCodec' \
+		-benchtime 1x ./internal/flowsource/
 	$(GO) test -run '^$$' -bench 'BenchmarkFlowDBSelect|BenchmarkFlowDBInsertBatch' \
 		-benchtime 1x ./internal/flowdb/
 	$(GO) test -run '^$$' -bench 'BenchmarkFlowQL' -benchtime 1x ./internal/flowql/
@@ -53,17 +61,34 @@ bench-baseline:
 	$(GO) run ./cmd/benchreport -exp compress -out BENCH_compress.json
 	$(GO) run ./cmd/benchreport -exp epoch -out BENCH_epoch.json
 	$(GO) run ./cmd/benchreport -exp query -out BENCH_query.json
+	$(GO) run ./cmd/benchreport -exp stream -out BENCH_stream.json
 
 # Guard the perf trajectory: fail when compression throughput, pipelined
-# epoch-export turnaround or segmented-select query throughput drops below
-# the checked-in baselines (10% for the CPU-bound fold, 30% for the
-# wall-clock paced export and the scheduler-sensitive query path), or when
-# the measured configurations drift from the baseline (the benchreport
-# binary exits 2 for drift, which CI treats as a hard failure even where
-# regressions are only warnings).
+# epoch-export turnaround, segmented-select query throughput or streaming
+# ingest throughput drops below the checked-in baselines (10% for the
+# CPU-bound fold, 30% for the wall-clock paced export and the
+# scheduler-sensitive query/stream paths), or when the measured
+# configurations drift from the baseline (the benchreport binary exits 2
+# for drift, which CI treats as a hard failure even where regressions are
+# only warnings).
 bench-compare:
 	$(GO) run ./cmd/benchreport -exp compress -compare BENCH_compress.json
 	$(GO) run ./cmd/benchreport -exp epoch -compare BENCH_epoch.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp query -compare BENCH_query.json -tol 0.30
+	$(GO) run ./cmd/benchreport -exp stream -compare BENCH_stream.json -tol 0.30
+
+# Short corpus-guided fuzz runs of the attacker-facing wire decoders: the
+# flowsource record/frame codec and the Flowtree wire (v1/v2) decoder. Seed
+# corpora are checked in under testdata/fuzz/; CI runs this as a smoke job,
+# longer local runs just raise -fuzztime.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowsource/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTree$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowtree/
+
+# Statement coverage: per-package lines plus the repo-wide total, with the
+# profile left in cover.out for `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 check: build vet test

@@ -11,17 +11,20 @@
 //	go run ./cmd/benchreport -exp compress # Flowtree bulk-fold throughput sweep
 //	go run ./cmd/benchreport -exp epoch    # pipelined epoch-export turnaround
 //	go run ./cmd/benchreport -exp query    # segmented FlowDB select vs flat scan
+//	go run ./cmd/benchreport -exp stream   # streaming ingest vs pre-materialized
 //	go run ./cmd/benchreport -exp table1   # Table I challenge coverage
 //
-// The compress, epoch and query experiments additionally track the perf
-// trajectory across PRs: -out writes the measured throughput as a JSON
-// baseline (BENCH_compress.json / BENCH_epoch.json / BENCH_query.json), and
+// The compress, epoch, query and stream experiments additionally track the
+// perf trajectory across PRs: -out writes the measured throughput as a JSON
+// baseline (BENCH_compress.json / BENCH_epoch.json / BENCH_query.json /
+// BENCH_stream.json), and
 // -compare diffs a fresh run against a checked-in baseline, exiting
 // non-zero when any configuration regresses by more than -tol (default
 // 10%) — `make bench-compare` wires this up.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -35,6 +38,7 @@ import (
 	"megadata/internal/datastore"
 	"megadata/internal/flow"
 	"megadata/internal/flowdb"
+	"megadata/internal/flowsource"
 	"megadata/internal/flowstream"
 	"megadata/internal/flowtree"
 	"megadata/internal/hierarchy"
@@ -53,7 +57,7 @@ import (
 var errDrift = errors.New("baseline configuration drift")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, query, table1, all")
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, query, stream, table1, all")
 	out := flag.String("out", "", "compress/epoch/query: write the measured baseline JSON to this path")
 	compare := flag.String("compare", "", "compress/epoch/query: compare against this baseline JSON and fail on regression")
 	tol := flag.Float64("tol", 0.10, "compress/epoch/query: tolerated fractional throughput regression for -compare")
@@ -67,6 +71,7 @@ func main() {
 		"compress": func() error { return reportCompress(*out, *compare, *tol) },
 		"epoch":    func() error { return reportEpoch(*out, *compare, *tol) },
 		"query":    func() error { return reportQuery(*out, *compare, *tol) },
+		"stream":   func() error { return reportStream(*out, *compare, *tol) },
 		"table1":   reportTable1,
 	}
 	fail := func(err error) {
@@ -913,6 +918,207 @@ func compareQuery(fresh queryBaseline, comparePath string, tol float64) error {
 		return fmt.Errorf("%w: query gate vs %s — regenerate with make bench-baseline", errDrift, comparePath)
 	case regressed:
 		return fmt.Errorf("query throughput gate failed against %s", comparePath)
+	}
+	return nil
+}
+
+// streamBaseline is the JSON schema of BENCH_stream.json: streaming vs
+// pre-materialized ingest throughput per shard count.
+type streamBaseline struct {
+	Experiment string        `json:"experiment"`
+	Records    int           `json:"records"`
+	MaxBatch   int           `json:"max_batch"`
+	Entries    []streamEntry `json:"entries"`
+}
+
+type streamEntry struct {
+	Shards    int     `json:"shards"`
+	BaseRPS   float64 `json:"base_rec_per_sec"`
+	StreamRPS float64 `json:"stream_rec_per_sec"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// reportStream measures the streaming router→store front end against the
+// pre-materialized batch path: the same trace is ingested once as resident
+// []flow.Record chunks through IngestFlowBatch and once as framed wire
+// bytes through a flowsource.Source delivering pre-partitioned batches to
+// IngestFlowParts. Best of three interleaved passes per path, per shard
+// count. The streaming path must hold at least 0.9x of the batch path
+// (decode and batching ride the ingest CPU budget); with -out the numbers
+// become the BENCH_stream.json baseline, with -compare a streaming-path
+// regression beyond tol (or configuration drift) fails the run.
+func reportStream(outPath, comparePath string, tol float64) error {
+	const records = 1_000_000
+	const maxBatch = 4096
+	const depth = 4
+	const budget = 4096
+	fmt.Printf("## Stream — flowsource streaming ingest vs pre-materialized batches (GOMAXPROCS=%d, %d records)\n\n",
+		runtime.GOMAXPROCS(0), records)
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 42, Skew: 1.2})
+	if err != nil {
+		return err
+	}
+	recs := g.Records(records)
+	var wire []byte
+	for _, r := range recs {
+		wire = flowsource.AppendFrame(wire, r)
+	}
+	newStore := func(shards int) (*datastore.Store, error) {
+		shardBudget := datastore.ShardBudget(budget, shards)
+		s := datastore.New("edge", nil, datastore.WithShards(shards))
+		err := s.Register(datastore.AggregatorConfig{
+			Name: "flows",
+			New: func() (primitive.Aggregator, error) {
+				return primitive.NewFlowtree("flows", budget)
+			},
+			NewShard: func() (primitive.Aggregator, error) {
+				return primitive.NewFlowtree("flows", shardBudget)
+			},
+			Strategy:    datastore.StrategyRoundRobin,
+			BudgetBytes: 64 << 20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s, s.Subscribe("router", "flows")
+	}
+	base := streamBaseline{Experiment: "stream", Records: records, MaxBatch: maxBatch}
+	fmt.Println("| shards | batch rec/s | stream rec/s | stream/batch |")
+	fmt.Println("|---|---|---|---|")
+	var tooSlow bool
+	for _, shards := range []int{1, 4} {
+		var baseBest, streamBest float64
+		for rep := 0; rep < 3; rep++ {
+			baseStore, err := newStore(shards)
+			if err != nil {
+				return err
+			}
+			streamStore, err := newStore(shards)
+			if err != nil {
+				return err
+			}
+			src, err := flowsource.New(flowsource.Config{
+				MaxBatch:     maxBatch,
+				ChannelDepth: depth,
+				Parts:        func(string) int { return streamStore.Shards() },
+				Partition:    func(r flow.Record, _ int) int { return streamStore.FlowShard(r) },
+				Sink: func(_ string, parts [][]flow.Record) error {
+					return streamStore.IngestFlowParts("router", parts)
+				},
+			})
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			for off := 0; off < len(recs); off += maxBatch {
+				end := off + maxBatch
+				if end > len(recs) {
+					end = len(recs)
+				}
+				if err := baseStore.IngestFlowBatch("router", recs[off:end]); err != nil {
+					return err
+				}
+			}
+			if rps := float64(records) / time.Since(start).Seconds(); rps > baseBest {
+				baseBest = rps
+			}
+			start = time.Now()
+			if err := src.Consume("edge", bytes.NewReader(wire)); err != nil {
+				return err
+			}
+			if err := src.Drain(); err != nil {
+				return err
+			}
+			if rps := float64(records) / time.Since(start).Seconds(); rps > streamBest {
+				streamBest = rps
+			}
+			if err := src.Close(); err != nil {
+				return err
+			}
+			if st := src.Stats(); st.Delivered != records {
+				return fmt.Errorf("stream experiment: delivered %d of %d records", st.Delivered, records)
+			}
+		}
+		ratio := streamBest / baseBest
+		fmt.Printf("| %d | %.0f | %.0f | %.2fx |\n", shards, baseBest, streamBest, ratio)
+		if ratio < 0.9 {
+			tooSlow = true
+		}
+		base.Entries = append(base.Entries, streamEntry{
+			Shards: shards, BaseRPS: baseBest, StreamRPS: streamBest, Ratio: ratio,
+		})
+	}
+	if outPath != "" {
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbaseline written to %s\n", outPath)
+	}
+	if comparePath != "" {
+		if err := compareStream(base, comparePath, tol); err != nil {
+			return err
+		}
+	}
+	if tooSlow {
+		return errors.New("streaming ingest fell below 0.9x of the pre-materialized batch path")
+	}
+	return nil
+}
+
+// compareStream diffs freshly measured streaming throughput against a
+// stored baseline with the same drift rules as the other gates: a
+// streaming-path regression beyond tol fails, and any configuration drift
+// exits 2 so CI can distinguish it from runner noise.
+func compareStream(fresh streamBaseline, comparePath string, tol float64) error {
+	buf, err := os.ReadFile(comparePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var stored streamBaseline
+	if err := json.Unmarshal(buf, &stored); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", comparePath, err)
+	}
+	if stored.Records != fresh.Records || stored.MaxBatch != fresh.MaxBatch {
+		return fmt.Errorf("%w: baseline %s measured %d records / batch %d, this run %d / %d — regenerate the baseline",
+			errDrift, comparePath, stored.Records, stored.MaxBatch, fresh.Records, fresh.MaxBatch)
+	}
+	byCfg := make(map[int]streamEntry, len(stored.Entries))
+	for _, e := range stored.Entries {
+		byCfg[e.Shards] = e
+	}
+	fmt.Printf("\ncomparison vs %s (tolerance %.0f%%):\n", comparePath, tol*100)
+	var regressed, drifted bool
+	matched := 0
+	for _, e := range fresh.Entries {
+		want, ok := byCfg[e.Shards]
+		if !ok {
+			fmt.Printf("  shards=%d: MISSING from baseline\n", e.Shards)
+			drifted = true
+			continue
+		}
+		matched++
+		ratio := e.StreamRPS / want.StreamRPS
+		verdict := "ok"
+		if ratio < 1-tol {
+			verdict = "REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("  shards=%d: %.0f vs %.0f stream rec/s (%.2fx) %s\n",
+			e.Shards, e.StreamRPS, want.StreamRPS, ratio, verdict)
+	}
+	if matched != len(stored.Entries) {
+		fmt.Printf("  %d baseline entr(ies) not re-measured\n", len(stored.Entries)-matched)
+		drifted = true
+	}
+	switch {
+	case drifted:
+		return fmt.Errorf("%w: stream gate vs %s — regenerate with make bench-baseline", errDrift, comparePath)
+	case regressed:
+		return fmt.Errorf("streaming ingest throughput gate failed against %s", comparePath)
 	}
 	return nil
 }

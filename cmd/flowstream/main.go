@@ -2,16 +2,38 @@
 // traffic and reports per-stage volumes: raw flows at the routers, Flowtree
 // summary sizes at the data stores, WAN export bytes, FlowDB contents, and
 // a sample of FlowQL answers.
+//
+// # Batch mode (default)
+//
+// Each epoch's records are generated as one slice per site and pushed
+// through the sharded batch ingest path (IngestBatch), the shape PR 1-4
+// measured.
+//
+// # Streaming mode (-stream)
+//
+// With -stream the routers never materialize an epoch: a simnet-paced
+// generator writes length-prefixed record frames into a pipe per site, and
+// the flowsource streaming front end decodes them, coalesces size- or
+// deadline-bounded batches (-batch doubles as the streaming MaxBatch),
+// pre-partitions them into the store's shard layout and delivers them over
+// a bounded channel with backpressure — the router→store leg of Figure 5 as
+// a continuous stream. -drop switches the full-channel policy from
+// backpressure to counted load-shedding. The summary line reports the
+// source's counters (frames, batches, dropped, truncated, peak queued
+// records).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sync"
 	"time"
 
 	"megadata/internal/flowql"
+	"megadata/internal/flowsource"
 	"megadata/internal/flowstream"
 	"megadata/internal/workload"
 )
@@ -29,8 +51,10 @@ func run() error {
 		flows   = flag.Int("flows", 20000, "flow records per site per epoch")
 		budget  = flag.Int("budget", 4096, "Flowtree node budget per site (0 = unlimited)")
 		shards  = flag.Int("shards", 1, "concurrent ingest shards per site store (1 = serial)")
-		batch   = flag.Int("batch", 4096, "records per ingest batch")
+		batch   = flag.Int("batch", 4096, "records per ingest batch (streaming: MaxBatch)")
 		skew    = flag.Float64("skew", 1.2, "traffic Zipf skew")
+		stream  = flag.Bool("stream", false, "stream framed records through flowsource instead of materialized slices")
+		drop    = flag.Bool("drop", false, "streaming: drop batches at a full channel instead of backpressuring")
 		queries = flag.Bool("queries", true, "run sample FlowQL queries at the end")
 	)
 	flag.Parse()
@@ -39,50 +63,57 @@ func run() error {
 	for i := range names {
 		names[i] = fmt.Sprintf("site%d", i)
 	}
-	sys, err := flowstream.New(flowstream.Config{
+	cfg := flowstream.Config{
 		Sites:      names,
 		TreeBudget: *budget,
 		Epoch:      time.Minute,
 		Shards:     *shards,
 		BatchSize:  *batch,
-	})
+	}
+	if *stream {
+		policy := flowsource.PolicyBlock
+		if *drop {
+			policy = flowsource.PolicyDrop
+		}
+		cfg.Source = &flowsource.Config{MaxBatch: *batch, Policy: policy}
+	}
+	sys, err := flowstream.New(cfg)
 	if err != nil {
 		return err
 	}
 
 	var rawBytes uint64
 	startWall := time.Now()
-	for e := 0; e < *epochs; e++ {
-		for i, site := range names {
-			gen, err := workload.NewFlowGen(workload.FlowConfig{
-				Seed: int64(e*1000 + i), Skew: *skew,
-			})
-			if err != nil {
-				return err
-			}
-			recs := gen.Records(*flows)
-			for _, r := range recs {
-				rawBytes += 40 // one NetFlow-style record on the wire
-				_ = r
-			}
-			if err := sys.IngestBatch(site, recs); err != nil {
-				return err
-			}
-		}
-		if err := sys.EndEpoch(); err != nil {
-			return err
-		}
+	if *stream {
+		rawBytes, err = runStreaming(sys, names, *epochs, *flows, *skew)
+	} else {
+		rawBytes, err = runBatched(sys, names, *epochs, *flows, *skew)
+	}
+	if err != nil {
+		return err
 	}
 	elapsed := time.Since(startWall)
 
 	total := *sites * *epochs * *flows
-	fmt.Printf("flowstream: %d sites x %d epochs x %d flows = %d records in %v (%.0f flows/s, %d shards, batch %d)\n",
+	mode := "batched"
+	if *stream {
+		mode = "streaming"
+	}
+	fmt.Printf("flowstream: %d sites x %d epochs x %d flows = %d records in %v (%.0f flows/s, %s, %d shards, batch %d)\n",
 		*sites, *epochs, *flows, total, elapsed.Round(time.Millisecond),
-		float64(total)/elapsed.Seconds(), *shards, *batch)
+		float64(total)/elapsed.Seconds(), mode, *shards, *batch)
 	fmt.Printf("  raw export volume (1):      %12d bytes\n", rawBytes)
 	fmt.Printf("  WAN summary volume (3):     %12d bytes (%.1fx reduction)\n",
 		sys.WANBytes(), float64(rawBytes)/float64(sys.WANBytes()))
 	fmt.Printf("  FlowDB rows (4):            %12d\n", sys.DB.Len())
+	if *stream {
+		st := sys.SourceStats()
+		fmt.Printf("  flowsource:                 %12d frames, %d batches, %d dropped, %d truncated, peak %d queued\n",
+			st.Frames, st.Batches, st.Dropped, st.Truncated, st.PeakQueued)
+		if err := sys.Source().Close(); err != nil {
+			return err
+		}
+	}
 
 	if !*queries {
 		return nil
@@ -103,4 +134,77 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runBatched is the materialized-slice ingest loop (the pre-PR-5 shape).
+func runBatched(sys *flowstream.System, names []string, epochs, flows int, skew float64) (uint64, error) {
+	var rawBytes uint64
+	for e := 0; e < epochs; e++ {
+		for i, site := range names {
+			gen, err := workload.NewFlowGen(workload.FlowConfig{
+				Seed: int64(e*1000 + i), Skew: skew,
+			})
+			if err != nil {
+				return 0, err
+			}
+			recs := gen.Records(flows)
+			rawBytes += uint64(len(recs)) * 40 // one NetFlow-style record on the wire
+			if err := sys.IngestBatch(site, recs); err != nil {
+				return 0, err
+			}
+		}
+		if err := sys.EndEpoch(); err != nil {
+			return 0, err
+		}
+	}
+	return rawBytes, nil
+}
+
+// runStreaming replays every epoch as per-site framed streams: one paced
+// generator writes into a pipe per site, one goroutine per site consumes it
+// — the continuous router traffic of Figure 5 step 1.
+func runStreaming(sys *flowstream.System, names []string, epochs, flows int, skew float64) (uint64, error) {
+	gens := make([]*flowsource.Generator, len(names))
+	for i := range names {
+		g, err := flowsource.NewGenerator(flowsource.GenConfig{
+			Workload: workload.FlowConfig{Seed: int64(i + 1), Skew: skew},
+			Records:  flows,
+			Epoch:    time.Minute,
+			Clock:    sys.Clock,
+		})
+		if err != nil {
+			return 0, err
+		}
+		gens[i] = g
+	}
+	var rawBytes uint64
+	for e := 0; e < epochs; e++ {
+		var wg sync.WaitGroup
+		errs := make([]error, 2*len(names))
+		for i, site := range names {
+			pr, pw := io.Pipe()
+			wg.Add(2)
+			go func(i int, g *flowsource.Generator) {
+				defer wg.Done()
+				_, err := g.WriteEpoch(pw)
+				pw.CloseWithError(err)
+				errs[2*i] = err
+			}(i, gens[i])
+			go func(i int, site string, pr *io.PipeReader) {
+				defer wg.Done()
+				errs[2*i+1] = sys.ConsumeStream(site, pr)
+			}(i, site, pr)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		rawBytes += uint64(len(names)*flows) * 40
+		if err := sys.EndEpoch(); err != nil {
+			return 0, err
+		}
+	}
+	return rawBytes, nil
 }

@@ -473,11 +473,6 @@ func runBatch[T any](s *Store, stream string, items []T, box func(T) any,
 		return nil
 	}
 	get := func(i int) any { return box(items[i]) }
-	states, trigs, at, err := s.resolveStream(stream, len(items), get)
-	if err != nil {
-		return err
-	}
-	fired := matchTriggers(trigs, stream, len(items), get, at)
 	var parts [][]T
 	if s.shards == 1 {
 		parts = [][]T{items}
@@ -488,6 +483,21 @@ func runBatch[T any](s *Store, stream string, items []T, box func(T) any,
 			parts[si] = append(parts[si], item)
 		}
 	}
+	return ingestParts(s, stream, parts, len(items), get, box, bulk)
+}
+
+// ingestParts is the partition-agnostic tail of the batch ingest path:
+// resolve the stream, match triggers over the flat item view, fan the
+// already-partitioned sub-batches out to the shard workers, fire. runBatch
+// partitions and calls it; IngestFlowParts hands it caller-partitioned
+// sub-batches directly.
+func ingestParts[T any](s *Store, stream string, parts [][]T, n int, get func(int) any,
+	box func(T) any, bulk func(primitive.Aggregator) func([]T) error) error {
+	states, trigs, at, err := s.resolveStream(stream, n, get)
+	if err != nil {
+		return err
+	}
+	fired := matchTriggers(trigs, stream, n, get, at)
 	ferr := fanOut(parts, func(si int, part []T) error {
 		return applyToShard(states, si, part, box, bulk)
 	})
@@ -552,6 +562,61 @@ func (s *Store) IngestFlowBatch(stream string, recs []flow.Record) error {
 	return runBatch(s, stream, recs,
 		func(r flow.Record) any { return r },
 		func(r flow.Record, _ int) int { return int(r.Key.Hash() % uint64(s.shards)) },
+		func(a primitive.Aggregator) func([]flow.Record) error {
+			if fa, ok := a.(primitive.FlowBatchAdder); ok {
+				return fa.AddFlowBatch
+			}
+			return nil
+		})
+}
+
+// FlowShard returns the shard index the store's partitioner routes a flow
+// record to — the same hash IngestFlowBatch uses, exported so streaming
+// front ends (internal/flowsource) can pre-partition batches into the
+// store's shard layout and feed IngestFlowParts without the store
+// re-partitioning.
+func (s *Store) FlowShard(r flow.Record) int {
+	return int(r.Key.Hash() % uint64(s.shards))
+}
+
+// IngestFlowParts is the streaming entry of the typed flow ingest path: the
+// caller hands sub-batches already partitioned into the store's shard
+// layout — parts must have exactly Shards() slices, with parts[i] holding
+// the records FlowShard routes to i — and the store fans them straight out
+// to the shard workers without building or re-partitioning an intermediate
+// flat slice. Streaming sources that coalesce records per shard as they
+// decode (internal/flowsource) feed sustained router traffic through this
+// without ever materializing a global batch. Triggers and raw retention
+// see the same items as IngestFlowBatch, iterated in shard order.
+//
+// Records placed in the wrong slice still aggregate correctly (shards are
+// merged at sealing and query time); what is lost is flow locality — two
+// records of one flow on different shards cost one tree node each until
+// the merge — so callers should partition with FlowShard.
+func (s *Store) IngestFlowParts(stream string, parts [][]flow.Record) error {
+	if len(parts) != s.shards {
+		return fmt.Errorf("datastore: IngestFlowParts got %d partitions, store has %d shards", len(parts), s.shards)
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		return nil
+	}
+	// Flat accessor over the partitioned view, used only by triggers and
+	// raw retention (matchTriggers/resolveStream touch items lazily).
+	get := func(i int) any {
+		for _, p := range parts {
+			if i < len(p) {
+				return p[i]
+			}
+			i -= len(p)
+		}
+		panic("datastore: item index out of range")
+	}
+	return ingestParts(s, stream, parts, n, get,
+		func(r flow.Record) any { return r },
 		func(a primitive.Aggregator) func([]flow.Record) error {
 			if fa, ok := a.(primitive.FlowBatchAdder); ok {
 				return fa.AddFlowBatch

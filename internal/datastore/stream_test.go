@@ -1,0 +1,164 @@
+package datastore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/primitive"
+	"megadata/internal/workload"
+)
+
+// newStreamStore builds a sharded store with one Flowtree aggregator on the
+// "router" stream, mirroring the flowstream site configuration.
+func newStreamStore(t *testing.T, shards, budget int) *Store {
+	t.Helper()
+	s := New("edge", nil, WithShards(shards))
+	shardBudget := ShardBudget(budget, shards)
+	err := s.Register(AggregatorConfig{
+		Name: "flows",
+		New: func() (primitive.Aggregator, error) {
+			return primitive.NewFlowtree("flows", budget)
+		},
+		NewShard: func() (primitive.Aggregator, error) {
+			return primitive.NewFlowtree("flows", shardBudget)
+		},
+		Strategy:    StrategyRoundRobin,
+		BudgetBytes: 64 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("router", "flows"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// partitionByShard splits records the way a streaming source does, using
+// the exported partitioner.
+func partitionByShard(s *Store, recs []flow.Record) [][]flow.Record {
+	parts := make([][]flow.Record, s.Shards())
+	for _, r := range recs {
+		si := s.FlowShard(r)
+		parts[si] = append(parts[si], r)
+	}
+	return parts
+}
+
+// TestIngestFlowPartsEquivalence pins the streaming entry to the batch
+// path: pre-partitioned ingest must produce byte-for-byte the same live
+// summary as IngestFlowBatch over the same records.
+func TestIngestFlowPartsEquivalence(t *testing.T) {
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 21, Skew: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Records(20000)
+	for _, shards := range []int{1, 4} {
+		batched := newStreamStore(t, shards, 0)
+		streamed := newStreamStore(t, shards, 0)
+		const chunk = 1024
+		for off := 0; off < len(recs); off += chunk {
+			end := min(off+chunk, len(recs))
+			if err := batched.IngestFlowBatch("router", recs[off:end]); err != nil {
+				t.Fatal(err)
+			}
+			if err := streamed.IngestFlowParts("router", partitionByShard(streamed, recs[off:end])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, s := range []*Store{batched, streamed} {
+			if err := s.Seal("flows"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		from := time.Time{}
+		to := time.Now().Add(time.Hour)
+		qb, err := batched.Query("flows", primitive.FlowQuery{Key: flow.Root()}, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := streamed.Query("flows", primitive.FlowQuery{Key: flow.Root()}, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qb != qs {
+			t.Fatalf("shards=%d: streamed %+v != batched %+v", shards, qs, qb)
+		}
+	}
+}
+
+// TestIngestFlowPartsValidation pins the partition-width contract and the
+// empty-batch fast path.
+func TestIngestFlowPartsValidation(t *testing.T) {
+	s := newStreamStore(t, 4, 0)
+	if err := s.IngestFlowParts("router", make([][]flow.Record, 2)); err == nil {
+		t.Fatal("wrong partition count accepted")
+	}
+	if err := s.IngestFlowParts("router", make([][]flow.Record, 4)); err != nil {
+		t.Fatalf("empty parts: %v", err)
+	}
+	if err := s.IngestFlowParts("nosuch", partitionByShard(s, workloadRecords(t, 8))); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("unknown stream: %v", err)
+	}
+}
+
+func workloadRecords(t *testing.T, n int) []flow.Record {
+	t.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Records(n)
+}
+
+// TestIngestFlowPartsTriggers verifies triggers observe every record of a
+// pre-partitioned batch, like they do on the flat batch path.
+func TestIngestFlowPartsTriggers(t *testing.T) {
+	s := newStreamStore(t, 4, 0)
+	var fired int
+	err := s.InstallTrigger(Trigger{
+		Name:      "all",
+		Stream:    "router",
+		Condition: func(item any) bool { _, ok := item.(flow.Record); return ok },
+		Fire:      func(TriggerEvent) { fired++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := workloadRecords(t, 100)
+	if err := s.IngestFlowParts("router", partitionByShard(s, recs)); err != nil {
+		t.Fatal(err)
+	}
+	if fired != len(recs) {
+		t.Fatalf("trigger fired %d times, want %d", fired, len(recs))
+	}
+}
+
+// TestIngestFlowPartsMisroutedStillCounts pins the documented degradation:
+// records in the wrong partition lose flow locality but never weight.
+func TestIngestFlowPartsMisroutedStillCounts(t *testing.T) {
+	s := newStreamStore(t, 4, 0)
+	recs := workloadRecords(t, 1000)
+	// Everything deliberately in the wrong slice: rotate the right one.
+	parts := make([][]flow.Record, 4)
+	for _, r := range recs {
+		parts[(s.FlowShard(r)+1)%4] = append(parts[(s.FlowShard(r)+1)%4], r)
+	}
+	if err := s.IngestFlowParts("router", parts); err != nil {
+		t.Fatal(err)
+	}
+	var want flow.Counters
+	for _, r := range recs {
+		want.Add(flow.CountersOf(r))
+	}
+	got, err := s.QueryLive("flows", primitive.FlowQuery{Key: flow.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != any(want) {
+		t.Fatalf("misrouted total %+v, want %+v", got, want)
+	}
+}

@@ -1,0 +1,176 @@
+package flowsource
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"megadata/internal/datastore"
+	"megadata/internal/flow"
+	"megadata/internal/primitive"
+	"megadata/internal/workload"
+)
+
+// elapsed times one closure.
+func elapsed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// benchStore builds the flowstream-shaped site store the benchmark ingests
+// into.
+func benchStore(b *testing.B, shards int) *datastore.Store {
+	b.Helper()
+	const budget = 4096
+	s := datastore.New("edge", nil, datastore.WithShards(shards))
+	shardBudget := datastore.ShardBudget(budget, shards)
+	err := s.Register(datastore.AggregatorConfig{
+		Name: "flows",
+		New: func() (primitive.Aggregator, error) {
+			return primitive.NewFlowtree("flows", budget)
+		},
+		NewShard: func() (primitive.Aggregator, error) {
+			return primitive.NewFlowtree("flows", shardBudget)
+		},
+		Strategy:    datastore.StrategyRoundRobin,
+		BudgetBytes: 64 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Subscribe("router", "flows"); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkFlowSource measures the streaming ingest path on the 1M-record
+// trace against the pre-materialized IngestFlowBatch baseline, per shard
+// count. Each iteration runs both paths back to back on fresh stores:
+//
+//   - baseline: the trace already resident as one []flow.Record, chunked
+//     into MaxBatch-sized IngestFlowBatch calls (the PR-1 fast path);
+//   - streaming: the trace as framed wire bytes, decoded by a Source,
+//     coalesced into MaxBatch batches, pre-partitioned and delivered to
+//     datastore.IngestFlowParts through the bounded channel.
+//
+// The benchmark asserts the acceptance envelope: streaming throughput at
+// least 0.9x the baseline (decode overlaps ingest on the consumer
+// goroutine, so the steady state tracks the store, not the codec), and
+// peak batching memory bounded by the (ChannelDepth+4)*MaxBatch record
+// envelope — streaming never holds the trace as a slice.
+func BenchmarkFlowSource(b *testing.B) {
+	const nRecords = 1_000_000
+	const maxBatch = 4096
+	const depth = 4
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 42, Skew: 1.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := g.Records(nRecords)
+	wire := make([]byte, 0, nRecords*36)
+	for _, r := range recs {
+		wire = AppendFrame(wire, r)
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Interleave three paired runs and compare the best of
+				// each path: the two 3-second phases run back to back, so
+				// a single pass is at the mercy of scheduler drift on a
+				// loaded host.
+				var baseBest, streamBest float64
+				for rep := 0; rep < 3; rep++ {
+					b.StopTimer()
+					baseStore := benchStore(b, shards)
+					streamStore := benchStore(b, shards)
+					src, err := New(Config{
+						MaxBatch:     maxBatch,
+						ChannelDepth: depth,
+						Parts:        func(string) int { return streamStore.Shards() },
+						Partition:    func(r flow.Record, _ int) int { return streamStore.FlowShard(r) },
+						Sink: func(_ string, parts [][]flow.Record) error {
+							return streamStore.IngestFlowParts("router", parts)
+						},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+
+					b.StartTimer()
+					baseTime := elapsed(func() {
+						for off := 0; off < len(recs); off += maxBatch {
+							end := min(off+maxBatch, len(recs))
+							if err := baseStore.IngestFlowBatch("router", recs[off:end]); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+					streamTime := elapsed(func() {
+						if err := src.Consume("edge", bytes.NewReader(wire)); err != nil {
+							b.Fatal(err)
+						}
+						if err := src.Drain(); err != nil {
+							b.Fatal(err)
+						}
+					})
+					b.StopTimer()
+
+					if err := src.Close(); err != nil {
+						b.Fatal(err)
+					}
+					st := src.Stats()
+					if st.Delivered != nRecords {
+						b.Fatalf("streaming delivered %d of %d", st.Delivered, nRecords)
+					}
+					if bound := uint64((depth + 4) * maxBatch); st.PeakQueued > bound {
+						b.Fatalf("peak batching memory %d records exceeds the MaxBatch envelope %d", st.PeakQueued, bound)
+					}
+					baseBest = max(baseBest, float64(nRecords)/baseTime.Seconds())
+					streamBest = max(streamBest, float64(nRecords)/streamTime.Seconds())
+					b.StartTimer()
+				}
+				b.StopTimer()
+				ratio := streamBest / baseBest
+				if ratio < 0.9 {
+					b.Fatalf("streaming ingest %.0f rec/s is %.2fx the pre-materialized %.0f rec/s (want >= 0.9x)",
+						streamBest, ratio, baseBest)
+				}
+				b.ReportMetric(streamBest, "stream_rec/s")
+				b.ReportMetric(baseBest, "base_rec/s")
+				b.ReportMetric(ratio, "stream/base")
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkRecordCodec prices the codec alone: encode and decode of one
+// framed record.
+func BenchmarkRecordCodec(b *testing.B) {
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 42, Skew: 1.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := g.Records(4096)
+	b.Run("encode", func(b *testing.B) {
+		buf := make([]byte, 0, 64)
+		for i := 0; i < b.N; i++ {
+			buf = AppendFrame(buf[:0], recs[i%len(recs)])
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		bodies := make([][]byte, len(recs))
+		for i, r := range recs {
+			bodies[i] = AppendRecord(nil, r)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodeRecord(bodies[i%len(bodies)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

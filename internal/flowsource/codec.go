@@ -1,0 +1,270 @@
+package flowsource
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"megadata/internal/flow"
+)
+
+// # Record wire format
+//
+// Routers ship flow records as a stream of self-delimiting frames:
+//
+//	frame := magic byte (0xF7) | uvarint bodyLen | body
+//	body  := 16-byte flow key (flow.Key.AppendBinary)
+//	         | uvarint packets | uvarint bytes | varint start (unix nanos)
+//
+// The magic byte is not a checksum; it is a resynchronization marker. A
+// FrameReader that hits garbage — a corrupted length, a truncated body, a
+// body that does not decode — skips forward to the next candidate marker
+// and keeps going, counting what it lost. Router links drop and corrupt
+// data; the store-side decoder must absorb that without dying, which is why
+// DecodeRecord and FrameReader are fuzz targets from day one
+// (FuzzDecodeRecord).
+const (
+	// frameMagic marks the start of a record frame.
+	frameMagic = 0xF7
+	// maxBodyLen bounds a frame body: a record body is at most 16 key
+	// bytes + two 10-byte uvarints + one 10-byte varint = 46 bytes, so
+	// anything larger announces a corrupted length before any allocation.
+	maxBodyLen = 64
+	// keyWireSize mirrors flow.Key.AppendBinary's fixed encoding.
+	keyWireSize = 16
+)
+
+// ErrCodec is returned for malformed flow-record wire data.
+var ErrCodec = fmt.Errorf("flowsource: malformed record frame")
+
+// AppendRecord appends the frame-less body encoding of r: fixed-width key,
+// then packets, bytes and start time as varints. Start is carried as Unix
+// nanoseconds: instants outside that range (years before 1678 or after
+// 2262, the zero time included) encode without error but decode as a
+// different in-range instant — router export timestamps are always well
+// inside the range.
+func AppendRecord(dst []byte, r flow.Record) []byte {
+	dst = r.Key.AppendBinary(dst)
+	dst = binary.AppendUvarint(dst, r.Packets)
+	dst = binary.AppendUvarint(dst, r.Bytes)
+	dst = binary.AppendVarint(dst, r.Start.UnixNano())
+	return dst
+}
+
+// DecodeRecord decodes one record body from the front of src and returns
+// the number of bytes consumed. The key is validated (prefix ranges) and
+// normalized; the start time comes back in UTC. Trailing bytes after the
+// record are not an error — frames carry the exact length.
+func DecodeRecord(src []byte) (flow.Record, int, error) {
+	key, n, err := flow.KeyFromBinary(src)
+	if err != nil {
+		return flow.Record{}, 0, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	rest := src[n:]
+	packets, pn := binary.Uvarint(rest)
+	if pn <= 0 {
+		return flow.Record{}, 0, fmt.Errorf("%w: bad packets varint", ErrCodec)
+	}
+	rest = rest[pn:]
+	bytes, bn := binary.Uvarint(rest)
+	if bn <= 0 {
+		return flow.Record{}, 0, fmt.Errorf("%w: bad bytes varint", ErrCodec)
+	}
+	rest = rest[bn:]
+	nanos, sn := binary.Varint(rest)
+	if sn <= 0 {
+		return flow.Record{}, 0, fmt.Errorf("%w: bad start varint", ErrCodec)
+	}
+	consumed := n + pn + bn + sn
+	return flow.Record{
+		Key:     key,
+		Packets: packets,
+		Bytes:   bytes,
+		Start:   time.Unix(0, nanos).UTC(),
+	}, consumed, nil
+}
+
+// AppendFrame appends r as one framed record: magic, body length, body.
+func AppendFrame(dst []byte, r flow.Record) []byte {
+	dst = append(dst, frameMagic)
+	body := AppendRecord(nil, r)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+// appendFrameBuf is AppendFrame with a caller-owned scratch buffer for the
+// body, so streaming writers don't allocate per record.
+func appendFrameBuf(dst, scratch []byte, r flow.Record) ([]byte, []byte) {
+	scratch = AppendRecord(scratch[:0], r)
+	dst = append(dst, frameMagic)
+	dst = binary.AppendUvarint(dst, uint64(len(scratch)))
+	return append(dst, scratch...), scratch
+}
+
+// FrameWriter streams framed records to an io.Writer with internal
+// buffering. It is not safe for concurrent use.
+type FrameWriter struct {
+	w       *bufio.Writer
+	scratch []byte
+	frame   []byte
+	frames  uint64
+}
+
+// NewFrameWriter wraps w in a framing encoder.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: bufio.NewWriter(w), scratch: make([]byte, 0, maxBodyLen)}
+}
+
+// Write appends one framed record to the stream.
+func (fw *FrameWriter) Write(r flow.Record) error {
+	fw.frame, fw.scratch = appendFrameBuf(fw.frame[:0], fw.scratch, r)
+	fw.frames++
+	_, err := fw.w.Write(fw.frame)
+	return err
+}
+
+// Flush pushes buffered frames to the underlying writer.
+func (fw *FrameWriter) Flush() error { return fw.w.Flush() }
+
+// Frames reports how many records have been written.
+func (fw *FrameWriter) Frames() uint64 { return fw.frames }
+
+// frBufSize is the FrameReader window: large enough that steady-state
+// decoding refills rarely and every frame fits with room to spare.
+const frBufSize = 64 << 10
+
+// FrameReader decodes framed records from a byte stream, resynchronizing
+// past garbage and truncation instead of failing the whole stream. It
+// maintains its own sliding window over the stream and decodes frames
+// directly from it — this reader sits on the sustained router ingest path,
+// so it cannot afford per-byte reader indirection. It is not safe for
+// concurrent use.
+type FrameReader struct {
+	r          io.Reader
+	buf        []byte
+	start, end int
+	err        error // sticky underlying read error (io.EOF included)
+	frames     uint64
+	truncated  uint64
+}
+
+// NewFrameReader wraps r in a framing decoder.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, buf: make([]byte, frBufSize)}
+}
+
+// fill tries to make at least want bytes available in the window,
+// compacting and reading more as needed, and reports whether it succeeded.
+// want never exceeds the window size (frames are bounded by maxBodyLen).
+func (fr *FrameReader) fill(want int) bool {
+	for fr.end-fr.start < want && fr.err == nil {
+		if fr.start > 0 {
+			copy(fr.buf, fr.buf[fr.start:fr.end])
+			fr.end -= fr.start
+			fr.start = 0
+		}
+		n, err := fr.r.Read(fr.buf[fr.end:])
+		fr.end += n
+		if err != nil {
+			fr.err = err
+		}
+	}
+	return fr.end-fr.start >= want
+}
+
+// Next returns the next decodable record. Bytes that are not a valid frame
+// — wrong marker, oversized or unparsable length, truncated body, a body
+// DecodeRecord rejects — are skipped, and each such resynchronization is
+// counted in Truncated. io.EOF is returned at the end of the stream; any
+// other error is a genuine read failure from the underlying reader.
+func (fr *FrameReader) Next() (flow.Record, error) {
+	for {
+		if !fr.fill(1) {
+			return flow.Record{}, fr.readErr()
+		}
+		w := fr.buf[fr.start:fr.end]
+		if w[0] != frameMagic {
+			// Garbage run: one Truncated count, skip to the next
+			// candidate marker (refilling as needed).
+			fr.truncated++
+			fr.skipToMagic()
+			continue
+		}
+		bodyLen, n := binary.Uvarint(w[1:])
+		if n == 0 {
+			// Length varint extends past the window: refill. A window
+			// already holding a full maximal frame can only hit this at
+			// the end of the stream.
+			if !fr.fill(fr.end - fr.start + 1) {
+				fr.truncated++
+				fr.start = fr.end
+				return flow.Record{}, fr.readErr()
+			}
+			continue
+		}
+		if n < 0 || bodyLen > maxBodyLen {
+			// Corrupted length (overflow or oversized body): drop the
+			// marker and the length bytes, rescan. Bytes consumed this
+			// way may hide a real frame start; resync is best-effort,
+			// the loss is counted.
+			if n < 0 {
+				n = -n
+			}
+			fr.truncated++
+			fr.start += 1 + n
+			continue
+		}
+		total := 1 + n + int(bodyLen)
+		if !fr.fill(total) {
+			// Frame cut off by the end of the stream.
+			fr.truncated++
+			fr.start = fr.end
+			return flow.Record{}, fr.readErr()
+		}
+		body := fr.buf[fr.start+1+n : fr.start+total]
+		rec, consumed, err := DecodeRecord(body)
+		fr.start += total
+		if err != nil || consumed != len(body) {
+			fr.truncated++
+			continue
+		}
+		fr.frames++
+		return rec, nil
+	}
+}
+
+// readErr maps the sticky fill error for Next: end-of-stream flavors become
+// io.EOF, genuine I/O failures surface as themselves.
+func (fr *FrameReader) readErr() error {
+	if fr.err == nil || fr.err == io.EOF || fr.err == io.ErrUnexpectedEOF {
+		return io.EOF
+	}
+	return fr.err
+}
+
+// skipToMagic advances the window past garbage to the next candidate frame
+// marker, refilling as the window drains, so long garbage runs cost one
+// Truncated count rather than one per byte.
+func (fr *FrameReader) skipToMagic() {
+	for {
+		if i := bytes.IndexByte(fr.buf[fr.start:fr.end], frameMagic); i >= 0 {
+			fr.start += i
+			return
+		}
+		fr.start = fr.end
+		if !fr.fill(1) {
+			return
+		}
+	}
+}
+
+// Frames reports how many records have been decoded.
+func (fr *FrameReader) Frames() uint64 { return fr.frames }
+
+// Truncated reports how many resynchronization events the reader absorbed:
+// garbage runs, corrupted lengths, bodies that failed to decode, and frames
+// cut off by the end of the stream.
+func (fr *FrameReader) Truncated() uint64 { return fr.truncated }

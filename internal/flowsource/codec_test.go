@@ -1,0 +1,188 @@
+package flowsource
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/workload"
+)
+
+func testRecords(t testing.TB, n int) []flow.Record {
+	t.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 7, Skew: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Records(n)
+}
+
+// recordsEqual compares records with time.Equal semantics (DecodeRecord
+// returns UTC timestamps).
+func recordsEqual(a, b flow.Record) bool {
+	return a.Key == b.Key && a.Packets == b.Packets && a.Bytes == b.Bytes && a.Start.Equal(b.Start)
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := testRecords(t, 1000)
+	// Edge cases alongside the generated trace.
+	recs = append(recs,
+		flow.Record{Key: flow.Root(), Packets: ^uint64(0), Bytes: ^uint64(0), Start: time.Unix(0, -1)},
+		flow.Record{Key: flow.Exact(flow.ProtoUDP, 0xFFFFFFFF, 0, 0, 65535), Start: time.Unix(0, 1<<62)},
+	)
+	for _, r := range recs {
+		buf := AppendRecord(nil, r)
+		got, n, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+		}
+		want := r
+		want.Key = r.Key.Normalized()
+		if !recordsEqual(got, want) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		// Trailing bytes are tolerated and not consumed.
+		got2, n2, err := DecodeRecord(append(buf, 0xAA, 0xBB))
+		if err != nil || n2 != n || !recordsEqual(got2, got) {
+			t.Fatalf("decode with trailing bytes: %v n=%d", err, n2)
+		}
+	}
+}
+
+// TestZeroTimeEncodesWithoutError pins the documented domain limit: the
+// zero time is outside the Unix-nano range, so it encodes losslessly in
+// every field except Start (which comes back as some in-range instant).
+func TestZeroTimeEncodesWithoutError(t *testing.T) {
+	got, n, err := DecodeRecord(AppendRecord(nil, flow.Record{Packets: 3}))
+	if err != nil || got.Packets != 3 {
+		t.Fatalf("zero-time record: %+v n=%d err=%v", got, n, err)
+	}
+}
+
+func TestDecodeRecordRejectsDamage(t *testing.T) {
+	r := testRecords(t, 1)[0]
+	buf := AppendRecord(nil, r)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeRecord(buf[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+	}
+	// Out-of-range prefix in the key is rejected.
+	bad := append([]byte(nil), buf...)
+	bad[13] = 77 // SrcPrefix
+	if _, _, err := DecodeRecord(bad); err == nil {
+		t.Fatal("bad prefix decoded")
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	recs := testRecords(t, 5000)
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for _, r := range recs {
+		if err := fw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	for i, want := range recs {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want.Key = want.Key.Normalized()
+		if !recordsEqual(got, want) {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if fr.Truncated() != 0 {
+		t.Fatalf("clean stream reported %d truncations", fr.Truncated())
+	}
+}
+
+// TestFrameReaderResync interleaves garbage, corrupted frames and truncated
+// tails with good frames: every undamaged frame must still decode, and the
+// damage must be counted.
+func TestFrameReaderResync(t *testing.T) {
+	recs := testRecords(t, 200)
+	rng := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	good := 0
+	for i, r := range recs {
+		switch i % 4 {
+		case 0: // clean frame
+			buf.Write(AppendFrame(nil, r))
+			good++
+		case 1: // garbage run, then a clean frame
+			junk := make([]byte, rng.Intn(40)+1)
+			rng.Read(junk)
+			for j, b := range junk {
+				if b == frameMagic {
+					junk[j] = 0 // keep the run unambiguous garbage
+				}
+			}
+			buf.Write(junk)
+			buf.Write(AppendFrame(nil, r))
+			good++
+		case 2: // frame with a corrupted body (bad key prefix)
+			frame := AppendFrame(nil, r)
+			frame[len(frame)-1] ^= 0xFF // clobber the tail varint
+			frame[2+13] = 99            // and the SrcPrefix byte
+			buf.Write(frame)
+		case 3: // oversized announced length
+			buf.WriteByte(frameMagic)
+			buf.WriteByte(200) // uvarint 200 > maxBodyLen
+			buf.Write(make([]byte, 8))
+		}
+	}
+	// Truncated final frame.
+	tail := AppendFrame(nil, recs[0])
+	buf.Write(tail[:len(tail)-3])
+
+	fr := NewFrameReader(&buf)
+	decoded := 0
+	for {
+		_, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded++
+	}
+	if decoded != good {
+		t.Fatalf("decoded %d frames, want %d", decoded, good)
+	}
+	if fr.Truncated() == 0 {
+		t.Fatal("damage was not counted")
+	}
+}
+
+// TestFrameReaderArbitraryBytes mirrors the fuzz target's invariant on a
+// quick random sweep: any byte stream terminates without panicking.
+func TestFrameReaderArbitraryBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		junk := make([]byte, rng.Intn(512))
+		rng.Read(junk)
+		fr := NewFrameReader(bytes.NewReader(junk))
+		for {
+			if _, err := fr.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,555 @@
+// Package flowsource is the streaming front end of the Figure 5 pipeline:
+// the leg between routers emitting a continuous flow stream and the per-site
+// data stores aggregating it. Everything upstream of this package used to
+// materialize full record slices before calling the batch ingest path;
+// flowsource turns an io.Reader (or channel) of NetFlow-style records into
+// paced, partitioned batches instead, with bounded memory end to end.
+//
+// The package has two layers:
+//
+//   - A compact binary record codec (AppendRecord/DecodeRecord) and a framing
+//     layer (FrameWriter/FrameReader) that length-prefixes records behind a
+//     resynchronization marker, so corrupted or truncated router streams cost
+//     counted records, not the connection. Both are fuzz targets
+//     (FuzzDecodeRecord).
+//
+//   - A Source that decodes frames per site, coalesces records into size-
+//     or deadline-bounded batches (Config.MaxBatch, Config.FlushInterval),
+//     pre-partitions each batch by flow-key hash into the consuming store's
+//     shard layout (Config.Parts/Partition — the same partitioner
+//     datastore.Store.IngestFlowBatch uses, so no intermediate global slice
+//     is ever built), and hands batches to per-site consumer goroutines over
+//     a bounded channel. A slow store therefore exerts backpressure on its
+//     router (PolicyBlock, the default) or sheds load with counted drops
+//     (PolicyDrop) instead of growing memory: resident records per site
+//     never exceed (ChannelDepth+4)*MaxBatch — the decode chunk, the
+//     pending partial batch, one batch blocked at the channel, ChannelDepth
+//     buffered batches, and one batch inside the sink.
+//
+// flowstream wires a Source in front of its site stores (Config.Source);
+// cmd/flowstream drives that in -stream mode, and Generator replays
+// simnet-paced synthetic router traffic into it.
+package flowsource
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"megadata/internal/flow"
+)
+
+// Policy selects what a full per-site channel does to the producer.
+type Policy int
+
+const (
+	// PolicyBlock makes producers wait for the consumer — backpressure,
+	// the default: a slow store slows its router down.
+	PolicyBlock Policy = iota
+	// PolicyDrop sheds the batch that found the channel full, counting
+	// every dropped record in Stats.Dropped.
+	PolicyDrop
+)
+
+// Sink consumes one coalesced batch for one site. The batch arrives
+// pre-partitioned: parts has the width announced by Config.Parts for the
+// site, and parts[i] holds the records Config.Partition routed to i —
+// datastore.Store.IngestFlowParts consumes this shape directly. Sinks run
+// on the site's consumer goroutine; one site's sink is never called
+// concurrently with itself, but different sites' sinks are. The sink must
+// not retain parts (or the records' backing arrays) after returning: the
+// source recycles spent batch slices to keep sustained streaming
+// allocation-free, as the aggregation paths naturally satisfy (summaries
+// copy weights out of the records).
+type Sink func(site string, parts [][]flow.Record) error
+
+// Config parameterizes a Source.
+type Config struct {
+	// MaxBatch is the record count at which a pending batch is sealed and
+	// enqueued (default 4096). It bounds both batching latency and the
+	// unit of memory the bounded channel multiplies.
+	MaxBatch int
+	// FlushInterval bounds how long a partial batch may sit before it is
+	// flushed to the sink anyway (default 50ms), so trickling routers
+	// still become visible to live queries promptly.
+	FlushInterval time.Duration
+	// ChannelDepth is the per-site bounded channel capacity, in batches
+	// (default 4).
+	ChannelDepth int
+	// Policy is the full-channel behavior (default PolicyBlock).
+	Policy Policy
+	// Sink receives sealed batches (required).
+	Sink Sink
+	// Parts reports the partition width for a site's batches (nil = 1,
+	// i.e. unpartitioned single-slice batches). Wire it to
+	// datastore.Store.Shards so batches arrive pre-split for
+	// IngestFlowParts.
+	Parts func(site string) int
+	// Partition routes a record to one of parts partitions. nil defaults
+	// to the flow-key hash modulo parts — the contract
+	// datastore.Store.IngestFlowParts documents.
+	Partition func(r flow.Record, parts int) int
+}
+
+// Stats is a point-in-time snapshot of a Source's counters.
+type Stats struct {
+	// Frames counts records accepted from readers and channels.
+	Frames uint64
+	// Delivered counts records successfully handed to the sink.
+	Delivered uint64
+	// Dropped counts records shed by PolicyDrop at full channels.
+	Dropped uint64
+	// Truncated counts codec resynchronization events: garbage runs,
+	// corrupted frames and bodies absorbed by FrameReader.
+	Truncated uint64
+	// Batches counts sink calls that succeeded.
+	Batches uint64
+	// SinkErrors counts sink calls that failed (their records are neither
+	// delivered nor dropped; the first error is surfaced by Close/Err).
+	SinkErrors uint64
+	// PeakQueued is the high-water mark of records resident in the
+	// source at once (decode chunk + pending + channel + in-flight),
+	// across all sites — the quantity bounded by (ChannelDepth+4)*MaxBatch
+	// per site.
+	PeakQueued uint64
+}
+
+// ErrClosed is returned for pushes into a closed Source.
+var ErrClosed = errors.New("flowsource: source is closed")
+
+// Source coalesces per-site record streams into bounded, partitioned
+// batches feeding a Sink. All methods are safe for concurrent use; each
+// site may be fed from one goroutine at a time or several.
+type Source struct {
+	cfg Config
+
+	mu     sync.Mutex
+	pipes  map[string]*sitePipe
+	closed bool
+	stop   chan struct{}
+	// flushers and consumers are waited on separately: Close must see
+	// every deadline flusher exit before it closes the batch channels, or
+	// a flusher mid-dispatch could send on a closed channel.
+	flushers  sync.WaitGroup
+	consumers sync.WaitGroup
+
+	frames     atomic.Uint64
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	truncated  atomic.Uint64
+	batches    atomic.Uint64
+	sinkErrors atomic.Uint64
+	queued     atomic.Int64
+	peak       atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// sitePipe is one site's coalescing state: the pending partial batch and
+// the bounded channel its sealed batches travel on.
+type sitePipe struct {
+	src  *Source
+	site string
+
+	mu    sync.Mutex
+	cond  *sync.Cond // signals outstanding reaching zero
+	parts [][]flow.Record
+	n     int // records pending across parts
+	// outstanding counts batches enqueued but not yet through the sink;
+	// Drain waits for it to reach zero.
+	outstanding int
+
+	ch chan [][]flow.Record
+
+	// pool recycles spent batch part-slices from the consumer back to the
+	// sealer: sustained streaming would otherwise allocate (and garbage-
+	// collect) the whole trace volume in batch slices. This is why Sink
+	// must not retain parts after returning.
+	pool sync.Pool
+}
+
+// New builds a Source. Sink is required; everything else defaults as
+// documented on Config.
+func New(cfg Config) (*Source, error) {
+	if cfg.Sink == nil {
+		return nil, errors.New("flowsource: config needs a sink")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 50 * time.Millisecond
+	}
+	if cfg.ChannelDepth <= 0 {
+		cfg.ChannelDepth = 4
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = func(r flow.Record, parts int) int {
+			return int(r.Key.Hash() % uint64(parts))
+		}
+	}
+	return &Source{
+		cfg:   cfg,
+		pipes: make(map[string]*sitePipe),
+		stop:  make(chan struct{}),
+	}, nil
+}
+
+// pipe returns the site's pipeline, creating its consumer and deadline
+// flusher on first use.
+func (s *Source) pipe(site string) (*sitePipe, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if p, ok := s.pipes[site]; ok {
+		return p, nil
+	}
+	parts := 1
+	if s.cfg.Parts != nil {
+		if n := s.cfg.Parts(site); n > 0 {
+			parts = n
+		}
+	}
+	p := &sitePipe{
+		src:   s,
+		site:  site,
+		parts: make([][]flow.Record, parts),
+		ch:    make(chan [][]flow.Record, s.cfg.ChannelDepth),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	s.pipes[site] = p
+	s.consumers.Add(1)
+	go p.consume()
+	s.flushers.Add(1)
+	go p.flushLoop()
+	return p, nil
+}
+
+// push coalesces one record into the site's pending batch, sealing and
+// dispatching it at MaxBatch.
+func (p *sitePipe) push(rec flow.Record) {
+	s := p.src
+	s.frames.Add(1)
+	s.addQueued(1)
+	p.mu.Lock()
+	si := 0
+	if len(p.parts) > 1 {
+		si = s.cfg.Partition(rec, len(p.parts))
+	}
+	p.parts[si] = append(p.parts[si], rec)
+	p.n++
+	if p.n < s.cfg.MaxBatch {
+		p.mu.Unlock()
+		return
+	}
+	batch, n := p.sealLocked()
+	p.mu.Unlock()
+	p.dispatch(batch, n, s.cfg.Policy)
+}
+
+// pushBatch coalesces a decoded chunk under one lock acquisition and one
+// set of counter updates — the hot path of Consume, which would otherwise
+// pay a mutex round trip and two atomics per record on top of the decode.
+// Batches seal mid-chunk whenever MaxBatch fills.
+func (p *sitePipe) pushBatch(recs []flow.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	s := p.src
+	s.frames.Add(uint64(len(recs)))
+	s.addQueued(int64(len(recs)))
+	p.mu.Lock()
+	for _, rec := range recs {
+		si := 0
+		if len(p.parts) > 1 {
+			si = s.cfg.Partition(rec, len(p.parts))
+		}
+		p.parts[si] = append(p.parts[si], rec)
+		p.n++
+		if p.n >= s.cfg.MaxBatch {
+			batch, n := p.sealLocked()
+			p.mu.Unlock()
+			p.dispatch(batch, n, s.cfg.Policy)
+			p.mu.Lock()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// sealLocked cuts the pending batch, accounts it as outstanding, and
+// resets the pending partitions. Callers hold p.mu and dispatch the batch
+// after unlocking — the channel send must not run under the lock, or a
+// full channel would deadlock against the consumer's completion
+// bookkeeping.
+func (p *sitePipe) sealLocked() ([][]flow.Record, int) {
+	batch := p.parts
+	n := p.n
+	if v := p.pool.Get(); v != nil {
+		next := v.([][]flow.Record)
+		for i := range next {
+			next[i] = next[i][:0]
+		}
+		p.parts = next
+	} else {
+		p.parts = make([][]flow.Record, len(batch))
+	}
+	p.n = 0
+	p.outstanding++
+	return batch, n
+}
+
+// dispatch moves one sealed batch into the channel under the given policy.
+func (p *sitePipe) dispatch(batch [][]flow.Record, n int, policy Policy) {
+	if policy == PolicyBlock {
+		p.ch <- batch
+		return
+	}
+	select {
+	case p.ch <- batch:
+	default:
+		// Shed: the consumer is behind and the caller asked not to wait.
+		p.pool.Put(batch)
+		p.src.dropped.Add(uint64(n))
+		p.src.addQueued(int64(-n))
+		p.mu.Lock()
+		p.outstanding--
+		if p.outstanding == 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// flushNow seals and dispatches the pending partial batch, if any. Used at
+// stream EOF and by Drain; always blocking, so the records are guaranteed
+// to reach the channel.
+func (p *sitePipe) flushNow() {
+	p.mu.Lock()
+	if p.n == 0 {
+		p.mu.Unlock()
+		return
+	}
+	batch, n := p.sealLocked()
+	p.mu.Unlock()
+	p.dispatch(batch, n, PolicyBlock)
+}
+
+// flushLoop is the deadline flusher: every FlushInterval a non-empty
+// partial batch is sealed under the source's policy, bounding how long
+// records stay invisible to the store.
+func (p *sitePipe) flushLoop() {
+	defer p.src.flushers.Done()
+	tick := time.NewTicker(p.src.cfg.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.src.stop:
+			return
+		case <-tick.C:
+			p.mu.Lock()
+			if p.n == 0 {
+				p.mu.Unlock()
+				continue
+			}
+			batch, n := p.sealLocked()
+			p.mu.Unlock()
+			p.dispatch(batch, n, p.src.cfg.Policy)
+		}
+	}
+}
+
+// consume is the site's consumer goroutine: batches leave the bounded
+// channel one at a time and enter the sink.
+func (p *sitePipe) consume() {
+	s := p.src
+	defer s.consumers.Done()
+	for batch := range p.ch {
+		n := 0
+		for _, part := range batch {
+			n += len(part)
+		}
+		if err := s.cfg.Sink(p.site, batch); err != nil {
+			s.sinkErrors.Add(1)
+			s.setErr(fmt.Errorf("flowsource: sink %q: %w", p.site, err))
+		} else {
+			s.delivered.Add(uint64(n))
+			s.batches.Add(1)
+		}
+		p.pool.Put(batch)
+		s.addQueued(int64(-n))
+		p.mu.Lock()
+		p.outstanding--
+		if p.outstanding == 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// addQueued tracks resident records and their high-water mark.
+func (s *Source) addQueued(n int64) {
+	q := s.queued.Add(n)
+	for {
+		p := s.peak.Load()
+		if q <= p || s.peak.CompareAndSwap(p, q) {
+			return
+		}
+	}
+}
+
+// setErr keeps the first sink error for Err/Close.
+func (s *Source) setErr(err error) {
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// Consume decodes framed records from r into the site's batches until the
+// stream ends, then flushes the site's partial batch so everything read is
+// on its way to the store. Codec damage is absorbed and counted
+// (Stats.Truncated); only genuine reader errors are returned. Safe to call
+// concurrently for different sites (one router per connection) and
+// repeatedly for the same site.
+func (s *Source) Consume(site string, r io.Reader) error {
+	p, err := s.pipe(site)
+	if err != nil {
+		return err
+	}
+	fr := NewFrameReader(r)
+	// Decode into a small local chunk so the pipe lock and the stats
+	// counters are touched once per chunk, not once per record; the chunk
+	// is far below MaxBatch, so batching latency is unaffected.
+	chunk := make([]flow.Record, 0, min(256, s.cfg.MaxBatch))
+	var seen uint64
+	for {
+		rec, err := fr.Next()
+		if t := fr.Truncated(); t != seen {
+			s.truncated.Add(t - seen)
+			seen = t
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.pushBatch(chunk)
+			p.flushNow()
+			return fmt.Errorf("flowsource: read %q stream: %w", site, err)
+		}
+		chunk = append(chunk, rec)
+		if len(chunk) == cap(chunk) {
+			p.pushBatch(chunk)
+			chunk = chunk[:0]
+		}
+	}
+	p.pushBatch(chunk)
+	p.flushNow()
+	return nil
+}
+
+// ConsumeChan coalesces records from a channel until it is closed, then
+// flushes the site's partial batch. The channel counterpart of Consume for
+// in-process producers.
+func (s *Source) ConsumeChan(site string, ch <-chan flow.Record) error {
+	p, err := s.pipe(site)
+	if err != nil {
+		return err
+	}
+	for rec := range ch {
+		p.push(rec)
+	}
+	p.flushNow()
+	return nil
+}
+
+// Push coalesces a single record (record-at-a-time producers). Prefer
+// Consume/ConsumeChan on hot paths; Push pays a pipe lookup per call.
+func (s *Source) Push(site string, rec flow.Record) error {
+	p, err := s.pipe(site)
+	if err != nil {
+		return err
+	}
+	p.push(rec)
+	return nil
+}
+
+// Drain flushes every pending partial batch and blocks until all batches
+// enqueued so far have been through the sink. Producers should be
+// quiescent; records pushed concurrently with Drain may or may not be
+// waited for. Epoch boundaries call this so sealing sees every record the
+// routers sent.
+func (s *Source) Drain() error {
+	s.mu.Lock()
+	pipes := make([]*sitePipe, 0, len(s.pipes))
+	for _, p := range s.pipes {
+		pipes = append(pipes, p)
+	}
+	s.mu.Unlock()
+	for _, p := range pipes {
+		p.flushNow()
+	}
+	for _, p := range pipes {
+		p.mu.Lock()
+		for p.outstanding > 0 {
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+	}
+	return s.Err()
+}
+
+// Close drains the source, stops the deadline flushers and consumers, and
+// returns the first sink error (if any). Producers must have returned
+// before Close is called — a Consume still pushing while Close runs would
+// race the channel teardown. Pushes after Close fail with ErrClosed; Close
+// is idempotent.
+func (s *Source) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.Err()
+	}
+	s.closed = true
+	pipes := make([]*sitePipe, 0, len(s.pipes))
+	for _, p := range s.pipes {
+		pipes = append(pipes, p)
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	s.flushers.Wait()
+	for _, p := range pipes {
+		p.flushNow()
+	}
+	for _, p := range pipes {
+		close(p.ch)
+	}
+	s.consumers.Wait()
+	return s.Err()
+}
+
+// Err returns the first sink error observed, if any.
+func (s *Source) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
+
+// Stats snapshots the source's counters.
+func (s *Source) Stats() Stats {
+	return Stats{
+		Frames:     s.frames.Load(),
+		Delivered:  s.delivered.Load(),
+		Dropped:    s.dropped.Load(),
+		Truncated:  s.truncated.Load(),
+		Batches:    s.batches.Load(),
+		SinkErrors: s.sinkErrors.Load(),
+		PeakQueued: uint64(s.peak.Load()),
+	}
+}

@@ -1,0 +1,74 @@
+package flowsource
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+)
+
+// fuzzSeeds are the in-code seed corpus of FuzzDecodeRecord, mirrored by
+// the checked-in files under testdata/fuzz/FuzzDecodeRecord (which the fuzz
+// engine loads directly).
+func fuzzSeeds() [][]byte {
+	recs := []flow.Record{
+		{},
+		{Key: flow.Root(), Packets: 1, Bytes: 1, Start: time.Unix(0, 1)},
+		{Key: flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80105, 40000, 443),
+			Packets: 1000, Bytes: 1 << 40, Start: time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)},
+	}
+	var seeds [][]byte
+	for _, r := range recs {
+		seeds = append(seeds, AppendRecord(nil, r))
+		seeds = append(seeds, AppendFrame(nil, r))
+	}
+	seeds = append(seeds,
+		nil,
+		[]byte{frameMagic},
+		[]byte{frameMagic, 200, 0, 0},
+		bytes.Repeat([]byte{frameMagic}, 64),
+	)
+	return seeds
+}
+
+// FuzzDecodeRecord hammers the attacker-facing record decoders: DecodeRecord
+// must never panic and must be canonical (a successful decode re-encodes to
+// bytes that decode to the identical record), and FrameReader must terminate
+// on any byte stream without panicking, decoding at most as many frames as
+// the stream has bytes.
+func FuzzDecodeRecord(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if rec, n, err := DecodeRecord(data); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+			}
+			again, n2, err := DecodeRecord(AppendRecord(nil, rec))
+			if err != nil {
+				t.Fatalf("re-decode of canonical encoding failed: %v", err)
+			}
+			if !recordsEqual(again, rec) || n2 != len(AppendRecord(nil, rec)) {
+				t.Fatalf("canonical round trip diverged: %+v vs %+v", again, rec)
+			}
+		}
+		fr := NewFrameReader(bytes.NewReader(data))
+		frames := 0
+		for {
+			_, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("FrameReader over bytes.Reader returned non-EOF error: %v", err)
+			}
+			frames++
+			if frames > len(data) {
+				t.Fatalf("decoded %d frames from %d bytes", frames, len(data))
+			}
+		}
+	})
+}

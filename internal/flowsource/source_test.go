@@ -1,0 +1,331 @@
+package flowsource
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+)
+
+// encodeFrames frames a record slice into one contiguous stream.
+func encodeFrames(recs []flow.Record) []byte {
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendFrame(buf, r)
+	}
+	return buf
+}
+
+// collectSink is a Sink that tallies per-site record counts and totals.
+type collectSink struct {
+	mu    sync.Mutex
+	total flow.Counters
+	bySig map[string]int
+	calls int
+	parts []int // partition widths observed
+}
+
+func newCollectSink() *collectSink {
+	return &collectSink{bySig: make(map[string]int)}
+}
+
+func (c *collectSink) sink(site string, parts [][]flow.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	c.parts = append(c.parts, len(parts))
+	for _, part := range parts {
+		for _, r := range part {
+			c.bySig[site]++
+			c.total.Add(flow.CountersOf(r))
+		}
+	}
+	return nil
+}
+
+func TestSourceDeliversEverything(t *testing.T) {
+	recs := testRecords(t, 10000)
+	var want flow.Counters
+	for _, r := range recs {
+		want.Add(flow.CountersOf(r))
+	}
+	sink := newCollectSink()
+	src, err := New(Config{
+		MaxBatch:     256,
+		ChannelDepth: 2,
+		Sink:         sink.sink,
+		Parts:        func(string) int { return 4 },
+		Partition:    func(r flow.Record, parts int) int { return int(r.Key.Hash() % uint64(parts)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sites fed concurrently from framed streams.
+	half := len(recs) / 2
+	var wg sync.WaitGroup
+	for i, part := range [][]flow.Record{recs[:half], recs[half:]} {
+		wg.Add(1)
+		go func(site string, part []flow.Record) {
+			defer wg.Done()
+			if err := src.Consume(site, bytes.NewReader(encodeFrames(part))); err != nil {
+				t.Error(err)
+			}
+		}([]string{"a", "b"}[i], part)
+	}
+	wg.Wait()
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.total != want {
+		t.Fatalf("delivered %+v, want %+v", sink.total, want)
+	}
+	if sink.bySig["a"] != half || sink.bySig["b"] != len(recs)-half {
+		t.Fatalf("per-site counts %v", sink.bySig)
+	}
+	for _, w := range sink.parts {
+		if w != 4 {
+			t.Fatalf("batch arrived with %d partitions, want 4", w)
+		}
+	}
+	st := src.Stats()
+	if st.Delivered != uint64(len(recs)) || st.Frames != uint64(len(recs)) {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Dropped != 0 || st.Truncated != 0 || st.SinkErrors != 0 {
+		t.Fatalf("unexpected loss: %+v", st)
+	}
+	// Memory envelope: decode chunk + pending + blocked + channel +
+	// in-sink batches, per site.
+	bound := uint64(2 * (2 + 4) * 256)
+	if st.PeakQueued > bound {
+		t.Fatalf("peak queued %d exceeds bound %d", st.PeakQueued, bound)
+	}
+}
+
+// TestSourceDeadlineFlush feeds fewer records than MaxBatch and verifies the
+// FlushInterval makes them visible without an EOF or Drain.
+func TestSourceDeadlineFlush(t *testing.T) {
+	recs := testRecords(t, 10)
+	sink := newCollectSink()
+	src, err := New(Config{
+		MaxBatch:      4096,
+		FlushInterval: 5 * time.Millisecond,
+		Sink:          sink.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ch := make(chan flow.Record, len(recs))
+	for _, r := range recs {
+		ch <- r
+	}
+	// The channel stays open: no EOF flush happens, only the deadline.
+	p, err := src.pipe("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range chDrain(ch) {
+		p.push(r)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if src.Stats().Delivered == uint64(len(recs)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deadline flush never delivered: %+v", src.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// chDrain adapts a buffered channel to a range-able one.
+func chDrain(ch chan flow.Record) <-chan flow.Record {
+	close(ch)
+	return ch
+}
+
+// TestSourceDropPolicy wedges the sink and verifies PolicyDrop sheds load
+// with counted drops instead of blocking, while PolicyBlock's counterpart
+// (backpressure) is exercised by every other test via Close/Drain.
+func TestSourceDropPolicy(t *testing.T) {
+	release := make(chan struct{})
+	var delivered int
+	var mu sync.Mutex
+	src, err := New(Config{
+		MaxBatch:      8,
+		ChannelDepth:  1,
+		Policy:        PolicyDrop,
+		FlushInterval: time.Hour, // no deadline interference
+		Sink: func(_ string, parts [][]flow.Record) error {
+			<-release
+			mu.Lock()
+			for _, p := range parts {
+				delivered += len(p)
+			}
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(t, 400)
+	for _, r := range recs {
+		if err := src.Push("edge", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := src.Stats()
+	if st.Dropped == 0 {
+		t.Fatalf("wedged sink dropped nothing: %+v", st)
+	}
+	mu.Lock()
+	got := delivered
+	mu.Unlock()
+	if st.Delivered != uint64(got) {
+		t.Fatalf("Delivered=%d but sink saw %d", st.Delivered, got)
+	}
+	if st.Delivered+st.Dropped != uint64(len(recs)) {
+		t.Fatalf("delivered %d + dropped %d != %d", st.Delivered, st.Dropped, len(recs))
+	}
+}
+
+// TestSourceBackpressureBounds verifies PolicyBlock holds resident records
+// at the documented envelope even when the sink is much slower than the
+// producer.
+func TestSourceBackpressureBounds(t *testing.T) {
+	const maxBatch, depth = 64, 2
+	src, err := New(Config{
+		MaxBatch:      maxBatch,
+		ChannelDepth:  depth,
+		FlushInterval: time.Hour,
+		Sink: func(string, [][]flow.Record) error {
+			time.Sleep(200 * time.Microsecond)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(t, 5000)
+	if err := src.Consume("edge", bytes.NewReader(encodeFrames(recs))); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := src.Stats()
+	if st.Delivered != uint64(len(recs)) {
+		t.Fatalf("blocked source lost records: %+v", st)
+	}
+	if bound := uint64((depth + 4) * maxBatch); st.PeakQueued > bound {
+		t.Fatalf("peak %d exceeds bound %d", st.PeakQueued, bound)
+	}
+}
+
+// TestSourceTruncatedStream mixes garbage into the framed stream: the good
+// records arrive, the damage is counted in Stats.Truncated.
+func TestSourceTruncatedStream(t *testing.T) {
+	recs := testRecords(t, 300)
+	var buf []byte
+	for i, r := range recs {
+		if i%10 == 0 {
+			buf = append(buf, 0x00, 0x13, 0x37) // garbage between frames
+		}
+		buf = AppendFrame(buf, r)
+	}
+	buf = buf[:len(buf)-5] // truncated tail
+	sink := newCollectSink()
+	src, err := New(Config{Sink: sink.sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Consume("edge", bytes.NewReader(buf)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := src.Stats()
+	if st.Delivered != uint64(len(recs)-1) {
+		t.Fatalf("delivered %d, want %d", st.Delivered, len(recs)-1)
+	}
+	if st.Truncated == 0 {
+		t.Fatal("stream damage not counted")
+	}
+}
+
+// TestSourceSinkErrorSurfaces verifies a failing sink is counted and
+// surfaced by Close without wedging the pipeline.
+func TestSourceSinkErrorSurfaces(t *testing.T) {
+	boom := errors.New("store down")
+	src, err := New(Config{
+		MaxBatch: 16,
+		Sink:     func(string, [][]flow.Record) error { return boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Consume("edge", bytes.NewReader(encodeFrames(testRecords(t, 100)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want %v", err, boom)
+	}
+	st := src.Stats()
+	if st.SinkErrors == 0 || st.Delivered != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSourceClosedRejectsPushes pins ErrClosed semantics.
+func TestSourceClosedRejectsPushes(t *testing.T) {
+	src, err := New(Config{Sink: func(string, [][]flow.Record) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Push("edge", flow.Record{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close = %v", err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatalf("second close = %v", err)
+	}
+}
+
+// TestSourceDrainBarrier checks Drain leaves nothing in flight.
+func TestSourceDrainBarrier(t *testing.T) {
+	sink := newCollectSink()
+	src, err := New(Config{
+		MaxBatch:      1024,
+		FlushInterval: time.Hour,
+		Sink:          sink.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	recs := testRecords(t, 100) // far below MaxBatch: stays pending
+	for _, r := range recs {
+		if err := src.Push("edge", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Stats().Delivered; got != uint64(len(recs)) {
+		t.Fatalf("after drain delivered=%d, want %d", got, len(recs))
+	}
+}

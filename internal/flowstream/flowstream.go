@@ -9,6 +9,7 @@ package flowstream
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"megadata/internal/flow"
 	"megadata/internal/flowdb"
 	"megadata/internal/flowql"
+	"megadata/internal/flowsource"
 	"megadata/internal/flowtree"
 	"megadata/internal/primitive"
 	"megadata/internal/simnet"
@@ -69,6 +71,15 @@ type Config struct {
 	// from the queue with a counted stat (DroppedExports) instead of
 	// being re-shipped as data the site no longer holds.
 	RetentionBytes uint64
+	// Source, when non-nil, puts a streaming ingest front end in front of
+	// the site stores: New wires the source's sink, partition width and
+	// partitioner to the sharded store path (Sink/Parts/Partition in the
+	// supplied config are overwritten), so routers can stream framed
+	// records (System.ConsumeStream, or Source().Consume directly)
+	// instead of materializing record slices. Batch sizing, flush
+	// deadline, channel depth and drop-vs-block policy are taken from
+	// this config; stats surface through SourceStats.
+	Source *flowsource.Config
 }
 
 // aggName is the Flowtree aggregator registered at every site store.
@@ -83,6 +94,7 @@ type System struct {
 	stores  map[string]*datastore.Store
 	central simnet.SiteID
 	epoch   int
+	source  *flowsource.Source
 
 	// pendMu guards pending: per-site queues of sealed epochs whose WAN
 	// transfer failed. The epochs stay queryable in the site's local
@@ -184,7 +196,76 @@ func New(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+	if cfg.Source != nil {
+		// The source delivers pre-partitioned batches straight into the
+		// sharded store path: partition width and partitioner come from
+		// the site store, the sink is the no-global-slice streaming entry.
+		scfg := *cfg.Source
+		if scfg.MaxBatch <= 0 {
+			scfg.MaxBatch = cfg.BatchSize
+		}
+		scfg.Parts = func(site string) int {
+			if st, ok := s.stores[site]; ok {
+				return st.Shards()
+			}
+			return 1
+		}
+		scfg.Partition = func(r flow.Record, _ int) int {
+			// All site stores share one shard count; FlowShard is the
+			// canonical partitioner.
+			return s.stores[cfg.Sites[0]].FlowShard(r)
+		}
+		scfg.Sink = func(site string, parts [][]flow.Record) error {
+			st, ok := s.stores[site]
+			if !ok {
+				return fmt.Errorf("flowstream: unknown site %q", site)
+			}
+			return st.IngestFlowParts("router", parts)
+		}
+		src, err := flowsource.New(scfg)
+		if err != nil {
+			return nil, err
+		}
+		s.source = src
+	}
 	return s, nil
+}
+
+// Source returns the streaming ingest front end, or nil when the system
+// was built without Config.Source.
+func (s *System) Source() *flowsource.Source { return s.source }
+
+// ConsumeStream decodes framed flow records from r into a site's store
+// through the streaming source (Config.Source must be set), blocking until
+// the stream ends. One goroutine per router connection is the intended
+// shape; backpressure or drop policy applies per Config.Source.
+func (s *System) ConsumeStream(site string, r io.Reader) error {
+	if s.source == nil {
+		return errors.New("flowstream: no streaming source configured")
+	}
+	if _, ok := s.stores[site]; !ok {
+		return fmt.Errorf("flowstream: unknown site %q", site)
+	}
+	return s.source.Consume(site, r)
+}
+
+// DrainSource flushes and waits out all in-flight streamed batches, so a
+// following EndEpoch seals every record the routers sent. No-op without a
+// configured source.
+func (s *System) DrainSource() error {
+	if s.source == nil {
+		return nil
+	}
+	return s.source.Drain()
+}
+
+// SourceStats snapshots the streaming front end's counters (zero without a
+// configured source).
+func (s *System) SourceStats() flowsource.Stats {
+	if s.source == nil {
+		return flowsource.Stats{}
+	}
+	return s.source.Stats()
 }
 
 // Store returns a site's data store (installing triggers, diagnostics).
@@ -243,6 +324,11 @@ func (s *System) IngestBatch(site string, recs []flow.Record) error {
 // EndEpoch (or an explicit ReExportPending) re-ships it, oldest first.
 // Only seal, decode, insert and topology failures surface as errors.
 func (s *System) EndEpoch() error {
+	// With a streaming front end, flush and wait out in-flight batches
+	// first: the seal must cover every record the routers sent this epoch.
+	if err := s.DrainSource(); err != nil {
+		return fmt.Errorf("flowstream: drain streaming source: %w", err)
+	}
 	epochStart := s.cfg.Start.Add(time.Duration(s.epoch) * s.cfg.Epoch)
 	s.Clock.AdvanceTo(epochStart.Add(s.cfg.Epoch))
 	var (

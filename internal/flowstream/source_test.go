@@ -1,0 +1,152 @@
+package flowstream
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowsource"
+	"megadata/internal/primitive"
+	"megadata/internal/workload"
+)
+
+// TestStreamingIngestMatchesBatch drives the same trace through the
+// streaming front end (framed bytes → Source → IngestFlowParts) and the
+// materialized batch path on two separate systems, and requires identical
+// central totals after the epoch export.
+func TestStreamingIngestMatchesBatch(t *testing.T) {
+	sites := []string{"r0", "r1"}
+	build := func(src *flowsource.Config) *System {
+		sys, err := New(Config{
+			Sites:  sites,
+			Epoch:  time.Minute,
+			Shards: 2,
+			Source: src,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	streamed := build(&flowsource.Config{MaxBatch: 512})
+	batched := build(nil)
+	if batched.Source() != nil {
+		t.Fatal("system without Config.Source grew a source")
+	}
+
+	var want flow.Counters
+	for epoch := 0; epoch < 2; epoch++ {
+		for i, site := range sites {
+			g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(epoch*10 + i), Sources: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := g.Records(3000)
+			for _, r := range recs {
+				want.Add(flow.CountersOf(r))
+			}
+			var wire []byte
+			for _, r := range recs {
+				wire = flowsource.AppendFrame(wire, r)
+			}
+			if err := streamed.ConsumeStream(site, bytes.NewReader(wire)); err != nil {
+				t.Fatal(err)
+			}
+			if err := batched.IngestBatch(site, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// EndEpoch drains the source before sealing.
+		if err := streamed.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := batched.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, sys := range map[string]*System{"streamed": streamed, "batched": batched} {
+		res, err := sys.Query(`SELECT QUERY FROM ALL`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters != want {
+			t.Fatalf("%s central total %+v, want %+v", name, res.Counters, want)
+		}
+	}
+	st := streamed.SourceStats()
+	if st.Delivered != 2*2*3000 || st.Dropped != 0 || st.SinkErrors != 0 {
+		t.Fatalf("source stats %+v", st)
+	}
+	if err := streamed.Source().Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsumeStreamValidation pins the error paths of the streaming API.
+func TestConsumeStreamValidation(t *testing.T) {
+	sys, err := New(Config{Sites: []string{"r0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ConsumeStream("r0", bytes.NewReader(nil)); err == nil {
+		t.Fatal("stream accepted without a configured source")
+	}
+	if err := sys.DrainSource(); err != nil {
+		t.Fatalf("DrainSource without source: %v", err)
+	}
+	if got := sys.SourceStats(); got != (flowsource.Stats{}) {
+		t.Fatalf("stats without source: %+v", got)
+	}
+
+	sys2, err := New(Config{Sites: []string{"r0"}, Source: &flowsource.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.ConsumeStream("nosuch", bytes.NewReader(nil)); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if err := sys2.Source().Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamingLiveVisibility checks streamed records become visible to
+// live store queries after a drain, without an epoch seal.
+func TestStreamingLiveVisibility(t *testing.T) {
+	sys, err := New(Config{Sites: []string{"r0"}, Source: &flowsource.Config{MaxBatch: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 9, Sources: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Records(500)
+	var wire []byte
+	var want flow.Counters
+	for _, r := range recs {
+		wire = flowsource.AppendFrame(wire, r)
+		want.Add(flow.CountersOf(r))
+	}
+	if err := sys.ConsumeStream("r0", bytes.NewReader(wire)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DrainSource(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.Store("r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.QueryLive("flowtree", primitive.FlowQuery{Key: flow.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != any(want) {
+		t.Fatalf("live total %+v, want %+v", got, want)
+	}
+	if err := sys.Source().Close(); err != nil {
+		t.Fatal(err)
+	}
+}

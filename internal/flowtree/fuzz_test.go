@@ -1,0 +1,87 @@
+package flowtree
+
+import (
+	"testing"
+
+	"megadata/internal/workload"
+)
+
+// fuzzTreeSeeds builds the in-code seed corpus of FuzzDecodeTree: both wire
+// versions of a real tree, an empty tree, and structurally broken variants.
+// The checked-in files under testdata/fuzz/FuzzDecodeTree mirror these so
+// the fuzz engine starts from real codec material.
+func fuzzTreeSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 5, Skew: 1.3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr, err := New(0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr.AddBatch(g.Records(60))
+	empty, err := New(0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1, err := tr.AppendBinaryV(nil, WireV1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v2 := tr.AppendBinary(nil)
+	seeds := [][]byte{
+		v1,
+		v2,
+		empty.AppendBinary(nil),
+		v2[:len(v2)/2],                     // truncated body
+		v2[:wireHeaderSize],                // header only
+		append([]byte{}, 0, 0, 0, 0, 0, 0), // bad magic
+	}
+	badVersion := append([]byte{}, v2[:wireHeaderSize]...)
+	badVersion[4] = 99
+	seeds = append(seeds, badVersion)
+	return seeds
+}
+
+// FuzzDecodeTree hammers the Flowtree wire decoders (v1 and v2): Decode
+// must never panic on arbitrary bytes, and a successful decode must be
+// canonical — re-encoding and re-decoding preserves the tree's total weight
+// and node count. Exports cross the WAN (Figure 5 step 3), so this decoder
+// faces whatever a damaged link or a hostile peer delivers.
+func FuzzDecodeTree(f *testing.F) {
+	for _, s := range fuzzTreeSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bound per-exec work: a grown input of tens of kilobytes decodes
+		// into hundreds of thousands of chain nodes — legitimate work for
+		// the decoder, but it turns the fuzz loop into a memory benchmark.
+		// Real epochs that large are covered by the codec tests.
+		if len(data) > 8<<10 {
+			return
+		}
+		tr, err := Decode(data, 0)
+		if err != nil {
+			return
+		}
+		wire := tr.AppendBinary(nil)
+		again, err := Decode(wire, 0)
+		if err != nil {
+			t.Fatalf("re-decode of fresh encoding failed: %v", err)
+		}
+		if again.Total() != tr.Total() {
+			t.Fatalf("round trip changed total: %+v vs %+v", again.Total(), tr.Total())
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed node count: %d vs %d", again.Len(), tr.Len())
+		}
+		// A budgeted decode of the same bytes must not panic either and
+		// never exceeds its budget by more than the compress slack.
+		if small, err := Decode(data, 64); err == nil {
+			if small.Total() != tr.Total() {
+				t.Fatalf("budgeted decode changed total: %+v vs %+v", small.Total(), tr.Total())
+			}
+		}
+	})
+}

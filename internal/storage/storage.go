@@ -16,6 +16,7 @@ package storage
 import (
 	"errors"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -36,7 +37,19 @@ var ErrBudget = errors.New("storage: epoch larger than store budget")
 // RingStore keeps epochs in arrival order within a fixed byte budget,
 // evicting the oldest epochs to make room (strategy 2). The retention
 // horizon therefore depends on the data rate.
+//
+// RingStore is safe for concurrent use: Put (and the evictions it
+// triggers) may race Range/All/Len readers from other goroutines, as
+// happens when a flowstream export pipeline seals epochs into retention
+// while queries fan stored epochs in. Range and All return freshly
+// allocated slices, never views of the internal ring, so a reader's
+// snapshot cannot be resliced out from under it by a later eviction; the
+// epoch payloads themselves are shared and must be immutable once stored
+// (as datastore guarantees for TTL/round-robin retention). The OnEvict
+// hook runs with the store's lock held — it must not call back into the
+// same RingStore.
 type RingStore[T any] struct {
+	mu      sync.RWMutex
 	budget  uint64
 	used    uint64
 	epochs  []Epoch[T]
@@ -53,10 +66,16 @@ func NewRingStore[T any](budgetBytes uint64) (*RingStore[T], error) {
 
 // OnEvict registers a hook invoked for each evicted epoch (used by the
 // hierarchical store to cascade evictions into coarser levels).
-func (s *RingStore[T]) OnEvict(fn func(Epoch[T])) { s.evicted = fn }
+func (s *RingStore[T]) OnEvict(fn func(Epoch[T])) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evicted = fn
+}
 
 // Put stores an epoch, evicting the oldest epochs if needed.
 func (s *RingStore[T]) Put(e Epoch[T]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if e.Size > s.budget {
 		return ErrBudget
 	}
@@ -75,6 +94,8 @@ func (s *RingStore[T]) Put(e Epoch[T]) error {
 
 // Range returns the stored epochs overlapping [from, to), oldest first.
 func (s *RingStore[T]) Range(from, to time.Time) []Epoch[T] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Epoch[T]
 	for _, e := range s.epochs {
 		if e.End().After(from) && e.Start.Before(to) {
@@ -86,19 +107,31 @@ func (s *RingStore[T]) Range(from, to time.Time) []Epoch[T] {
 
 // All returns a copy of all stored epochs, oldest first.
 func (s *RingStore[T]) All() []Epoch[T] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]Epoch[T], len(s.epochs))
 	copy(out, s.epochs)
 	return out
 }
 
 // Len returns the number of stored epochs.
-func (s *RingStore[T]) Len() int { return len(s.epochs) }
+func (s *RingStore[T]) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.epochs)
+}
 
 // UsedBytes returns the bytes currently stored.
-func (s *RingStore[T]) UsedBytes() uint64 { return s.used }
+func (s *RingStore[T]) UsedBytes() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
+}
 
 // Horizon returns the covered time span (oldest start to newest end).
 func (s *RingStore[T]) Horizon() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if len(s.epochs) == 0 {
 		return 0
 	}

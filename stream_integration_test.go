@@ -1,0 +1,198 @@
+package megadata
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"megadata/internal/baseline"
+	"megadata/internal/flow"
+	"megadata/internal/flowsource"
+	"megadata/internal/flowstream"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+// TestIntegrationStreamingPipelineWithFaults drives the complete streaming
+// Figure 5 story under injected WAN faults and pins it to an exact serial
+// reference:
+//
+//	workload generator → framed record streams → flowsource (bounded
+//	batches, shard-partitioned) → sharded site stores → pipelined EndEpoch
+//	(every 3rd transfer failing transiently, re-shipped from retention) →
+//	FlowDB → FlowQL
+//
+// The trees run unbudgeted, so every FlowQL answer must equal the exact
+// baseline byte for byte — any record lost in batching, sealing, export
+// retry or decode would surface as a counter mismatch.
+func TestIntegrationStreamingPipelineWithFaults(t *testing.T) {
+	sites := []string{"r0", "r1", "r2"}
+	sys, err := flowstream.New(flowstream.Config{
+		Sites:      sites,
+		TreeBudget: 0, // exact summaries: the reference comparison is strict
+		Epoch:      time.Minute,
+		Shards:     2,
+		Link: simnet.Link{
+			BytesPerSecond: 10e6,
+			Latency:        5 * time.Millisecond,
+			FailEvery:      3, // every 3rd transfer attempt fails transiently
+		},
+		Source: &flowsource.Config{
+			MaxBatch:      512,
+			FlushInterval: 5 * time.Millisecond,
+			ChannelDepth:  2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := baseline.New()
+	const epochs = 4
+	const perSite = 3000
+	for epoch := 0; epoch < epochs; epoch++ {
+		for i, site := range sites {
+			g, err := workload.NewFlowGen(workload.FlowConfig{
+				Seed: int64(epoch*31 + i), Sources: 1024, Destinations: 256,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := g.Records(perSite)
+			var wire []byte
+			for _, r := range recs {
+				exact.Add(r)
+				wire = flowsource.AppendFrame(wire, r)
+			}
+			// Corrupt the inter-frame gap, not the frames: the decoder
+			// must resynchronize without losing a single record.
+			wire = append([]byte{0xDE, 0xAD}, wire...)
+			if err := sys.ConsumeStream(site, bytes.NewReader(wire)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// EndEpoch drains the source, seals every site off-lock, ships
+		// epochs through the faulty WAN (transient failures queue for
+		// re-shipment) and batch-inserts the decoded rows into FlowDB.
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deliver everything the faulty link deferred. FailEvery=3 keeps
+	// failing during re-export, so loop with a cap.
+	for i := 0; sys.PendingExports() > 0; i++ {
+		if i > 20 {
+			t.Fatalf("pending exports never drained: %d left", sys.PendingExports())
+		}
+		if _, err := sys.ReExportPending(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.DB.Len(); got != len(sites)*epochs {
+		t.Fatalf("FlowDB holds %d rows, want %d", got, len(sites)*epochs)
+	}
+	st := sys.SourceStats()
+	if st.Delivered != uint64(len(sites)*epochs*perSite) || st.Dropped != 0 {
+		t.Fatalf("source stats %+v", st)
+	}
+	if st.Truncated == 0 {
+		t.Fatal("injected garbage was not counted")
+	}
+	net := sys.Net.TotalStats()
+	if net.Failures == 0 {
+		t.Fatal("fault injection never fired")
+	}
+
+	// Global totals, exact.
+	res, err := sys.Query(`SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters != exact.Total() {
+		t.Fatalf("pipeline total %+v != exact %+v", res.Counters, exact.Total())
+	}
+	// Prefix-restricted totals, exact.
+	for _, prefix := range []struct {
+		stmt string
+		key  flow.Key
+	}{
+		{`SELECT QUERY FROM ALL WHERE src = 10.0.0.0/8`,
+			flow.Key{SrcIP: flow.IPv4(10 << 24), SrcPrefix: 8, WildProto: true, WildSrcPort: true, WildDstPort: true}},
+		{`SELECT QUERY FROM ALL WHERE src = 10.0.1.0/24`,
+			flow.Key{SrcIP: flow.IPv4(10<<24 | 1<<8), SrcPrefix: 24, WildProto: true, WildSrcPort: true, WildDstPort: true}},
+	} {
+		res, err := sys.Query(prefix.stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := exact.Query(prefix.key); res.Counters != want {
+			t.Errorf("%s: pipeline %+v != exact %+v", prefix.stmt, res.Counters, want)
+		}
+	}
+	// Top-k agrees with the exact reference on the heaviest flow.
+	top, err := sys.Query(`SELECT TOPK(5) FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactTop := exact.TopK(5, flow.ScoreBytes)
+	if len(top.Entries) == 0 || len(exactTop) == 0 {
+		t.Fatal("empty top-k")
+	}
+	if top.Entries[0].Counters.Bytes != exactTop[0].Counters.Bytes {
+		t.Errorf("heaviest flow %d bytes, exact %d", top.Entries[0].Counters.Bytes, exactTop[0].Counters.Bytes)
+	}
+	if err := sys.Source().Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntegrationStreamingDropPolicyAccounts runs the pipeline under
+// PolicyDrop with a single-batch channel and asserts the
+// delivered+dropped ledger stays exact and that the central totals match
+// exactly what the source reports as delivered — whether or not the
+// consumer fell behind enough to shed on this run. The backpressure
+// alternative is covered by the faults test above.
+func TestIntegrationStreamingDropPolicyAccounts(t *testing.T) {
+	sys, err := flowstream.New(flowstream.Config{
+		Sites:  []string{"r0"},
+		Epoch:  time.Minute,
+		Shards: 2,
+		Source: &flowsource.Config{
+			MaxBatch:      64,
+			ChannelDepth:  1,
+			Policy:        flowsource.PolicyDrop,
+			FlushInterval: time.Hour,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Records(5000)
+	var wire []byte
+	for _, r := range recs {
+		wire = flowsource.AppendFrame(wire, r)
+	}
+	if err := sys.ConsumeStream("r0", bytes.NewReader(wire)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.SourceStats()
+	if st.Delivered+st.Dropped != uint64(len(recs)) {
+		t.Fatalf("ledger leak: delivered %d + dropped %d != %d", st.Delivered, st.Dropped, len(recs))
+	}
+	res, err := sys.Query(`SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Flows != st.Delivered {
+		t.Fatalf("central sees %d flows, source delivered %d", res.Counters.Flows, st.Delivered)
+	}
+	if err := sys.Source().Close(); err != nil {
+		t.Fatal(err)
+	}
+}
