@@ -1,14 +1,16 @@
 # Tier-1 verify is `make check` (build + vet + test); `make test-race`
-# additionally runs the concurrent ingest, streaming-source and epoch-export
-# paths under the race detector. `make bench` runs the hot-path benchmarks
-# (Flowtree compression + sharded ingest + streaming source + pipelined
-# epoch export); `make bench-compare` re-measures compression throughput,
-# epoch-export turnaround, query selection and streaming ingest and fails on
-# a regression against the checked-in BENCH_compress.json / BENCH_epoch.json
-# / BENCH_query.json / BENCH_stream.json baselines (wall-clock experiments
-# get the wider tolerance). `make fuzz-smoke` gives the record and tree wire
-# decoders a short corpus-guided fuzz run; `make cover` writes cover.out and
-# prints per-package and total statement coverage.
+# additionally runs the concurrent ingest, streaming-source, epoch-export,
+# hierarchy-rollup and federation paths under the race detector. `make bench`
+# runs the hot-path benchmarks (Flowtree compression + sharded ingest +
+# streaming source + pipelined epoch export + multi-level federation);
+# `make bench-compare` re-measures compression throughput, epoch-export
+# turnaround, query selection, streaming ingest and federation turnaround and
+# fails on a regression against the checked-in BENCH_compress.json /
+# BENCH_epoch.json / BENCH_query.json / BENCH_stream.json / BENCH_fed.json
+# baselines (wall-clock experiments get the wider tolerance). `make
+# fuzz-smoke` gives the record, tree-wire and tree-delta decoders a short
+# corpus-guided fuzz run; `make cover` writes cover.out and prints
+# per-package and total statement coverage.
 
 GO ?= go
 
@@ -27,15 +29,18 @@ test:
 
 # The sharded ingest pipeline (datastore shards, flowstream fan-in), the
 # streaming source feeding it (flowsource bounded channels, storage retention
-# rings it races against), the concurrent epoch-export pipeline, the
-# segmented FlowDB (parallel Select merges racing the export writer) with the
-# FlowQL layer above it, and the primitives they drive are the packages with
-# real concurrency; the root package carries the integration tests.
+# rings it races against), the concurrent epoch-export pipeline, the pooled
+# hierarchy rollup and the multi-level federation fleet (leaf ingest racing
+# rollups, re-ship racing EndEpoch at aggregator hops), the segmented FlowDB
+# (parallel Select merges racing the export writer) with the FlowQL layer
+# above it, and the primitives they drive are the packages with real
+# concurrency; the root package carries the integration tests.
 test-race:
 	$(GO) test -race ./internal/datastore/ ./internal/flowstream/ \
 		./internal/flowsource/ ./internal/storage/ \
 		./internal/flowdb/ ./internal/flowql/ \
-		./internal/flowtree/ ./internal/primitive/ .
+		./internal/flowtree/ ./internal/primitive/ \
+		./internal/hierarchy/ ./internal/federation/ .
 
 # Hot-path benchmarks: the sort-based bulk fold vs its heap baseline, bulk
 # ingest, structural clone, the streaming source vs the pre-materialized
@@ -50,6 +55,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFlowDBSelect|BenchmarkFlowDBInsertBatch' \
 		-benchtime 1x ./internal/flowdb/
 	$(GO) test -run '^$$' -bench 'BenchmarkFlowQL' -benchtime 1x ./internal/flowql/
+	$(GO) test -run '^$$' -bench 'BenchmarkFederation' -benchtime 1x ./internal/federation/
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestSharded|BenchmarkEndEpoch' -benchtime 1x .
 
 # Every benchmark in the repo (paper tables and figures included).
@@ -62,28 +68,32 @@ bench-baseline:
 	$(GO) run ./cmd/benchreport -exp epoch -out BENCH_epoch.json
 	$(GO) run ./cmd/benchreport -exp query -out BENCH_query.json
 	$(GO) run ./cmd/benchreport -exp stream -out BENCH_stream.json
+	$(GO) run ./cmd/benchreport -exp fed -out BENCH_fed.json
 
 # Guard the perf trajectory: fail when compression throughput, pipelined
-# epoch-export turnaround, segmented-select query throughput or streaming
-# ingest throughput drops below the checked-in baselines (10% for the
-# CPU-bound fold, 30% for the wall-clock paced export and the
-# scheduler-sensitive query/stream paths), or when the measured
-# configurations drift from the baseline (the benchreport binary exits 2
-# for drift, which CI treats as a hard failure even where regressions are
-# only warnings).
+# epoch-export turnaround, segmented-select query throughput, streaming
+# ingest throughput or federation epoch turnaround drops below the
+# checked-in baselines (10% for the CPU-bound fold, 30% for the wall-clock
+# paced export/federation and the scheduler-sensitive query/stream paths),
+# or when the measured configurations drift from the baseline (the
+# benchreport binary exits 2 for drift, which CI treats as a hard failure
+# even where regressions are only warnings).
 bench-compare:
 	$(GO) run ./cmd/benchreport -exp compress -compare BENCH_compress.json
 	$(GO) run ./cmd/benchreport -exp epoch -compare BENCH_epoch.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp query -compare BENCH_query.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp stream -compare BENCH_stream.json -tol 0.30
+	$(GO) run ./cmd/benchreport -exp fed -compare BENCH_fed.json -tol 0.30
 
 # Short corpus-guided fuzz runs of the attacker-facing wire decoders: the
-# flowsource record/frame codec and the Flowtree wire (v1/v2) decoder. Seed
-# corpora are checked in under testdata/fuzz/; CI runs this as a smoke job,
-# longer local runs just raise -fuzztime.
+# flowsource record/frame codec, the Flowtree wire (v1/v2) decoder and the
+# v3 delta decoder (applied against an adversarial base tree). Seed corpora
+# are checked in under testdata/fuzz/; CI runs this as a smoke job, longer
+# local runs just raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowsource/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTree$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowtree/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTreeDelta$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowtree/
 
 # Statement coverage: per-package lines plus the repo-wide total, with the
 # profile left in cover.out for `go tool cover -html=cover.out`.

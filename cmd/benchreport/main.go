@@ -12,12 +12,13 @@
 //	go run ./cmd/benchreport -exp epoch    # pipelined epoch-export turnaround
 //	go run ./cmd/benchreport -exp query    # segmented FlowDB select vs flat scan
 //	go run ./cmd/benchreport -exp stream   # streaming ingest vs pre-materialized
+//	go run ./cmd/benchreport -exp fed      # multi-level federation turnaround
 //	go run ./cmd/benchreport -exp table1   # Table I challenge coverage
 //
-// The compress, epoch, query and stream experiments additionally track the
-// perf trajectory across PRs: -out writes the measured throughput as a JSON
-// baseline (BENCH_compress.json / BENCH_epoch.json / BENCH_query.json /
-// BENCH_stream.json), and
+// The compress, epoch, query, stream and fed experiments additionally track
+// the perf trajectory across PRs: -out writes the measured throughput as a
+// JSON baseline (BENCH_compress.json / BENCH_epoch.json / BENCH_query.json /
+// BENCH_stream.json / BENCH_fed.json), and
 // -compare diffs a fresh run against a checked-in baseline, exiting
 // non-zero when any configuration regresses by more than -tol (default
 // 10%) — `make bench-compare` wires this up.
@@ -57,7 +58,7 @@ import (
 var errDrift = errors.New("baseline configuration drift")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, query, stream, table1, all")
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, query, stream, fed, table1, all")
 	out := flag.String("out", "", "compress/epoch/query: write the measured baseline JSON to this path")
 	compare := flag.String("compare", "", "compress/epoch/query: compare against this baseline JSON and fail on regression")
 	tol := flag.Float64("tol", 0.10, "compress/epoch/query: tolerated fractional throughput regression for -compare")
@@ -72,6 +73,7 @@ func main() {
 		"epoch":    func() error { return reportEpoch(*out, *compare, *tol) },
 		"query":    func() error { return reportQuery(*out, *compare, *tol) },
 		"stream":   func() error { return reportStream(*out, *compare, *tol) },
+		"fed":      func() error { return reportFed(*out, *compare, *tol) },
 		"table1":   reportTable1,
 	}
 	fail := func(err error) {

@@ -1040,6 +1040,46 @@ func (s *Store) Live(aggregator string) (primitive.Aggregator, error) {
 	return snap, nil
 }
 
+// SnapshotLive returns a deep-copy snapshot of the live epoch, taken under
+// the shard locks: unlike Live on a single-shard store, the result is safe
+// to read — and ship across the WAN — while other goroutines keep
+// ingesting. Mutating the snapshot never affects the live epoch.
+func (s *Store) SnapshotLive(aggregator string) (primitive.Aggregator, error) {
+	s.mu.Lock()
+	st, ok := s.aggs[aggregator]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregator)
+	}
+	snaps := st.snapshotLive()
+	if snaps == nil {
+		// Non-cloneable aggregator: merge into a scratch instance under
+		// the shard locks.
+		snap, err := st.cfg.New()
+		if err == nil {
+			err = st.mergeLive(snap)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("datastore: snapshot live epoch: %w", err)
+		}
+		return snap, nil
+	}
+	if len(snaps) == 1 {
+		s.mu.Unlock()
+		return snaps[0], nil
+	}
+	snap, err := st.cfg.New()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("datastore: build live snapshot: %w", err)
+	}
+	if err := mergeSnapshots(snap, snaps); err != nil {
+		return nil, fmt.Errorf("datastore: merge live epoch: %w", err)
+	}
+	return snap, nil
+}
+
 // MergeLive folds another summary of the same kind into the named
 // aggregator's live epoch (hierarchy rollups merge child summaries into
 // their parent's store this way). Unlike mutating the result of Live, it

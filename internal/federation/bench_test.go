@@ -1,0 +1,75 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+// BenchmarkFederation measures per-epoch turnaround across the sites x
+// levels grid with the WAN paced to occupy real time, serial (one export
+// worker per level) against the pipelined worker pool. The serial exporter
+// pays the sum of every uplink's latency+transfer; the pipeline is bounded
+// by the slowest hop plus the shared merge CPU, so turnaround grows
+// sublinearly in fleet size.
+func BenchmarkFederation(b *testing.B) {
+	link := simnet.Link{BytesPerSecond: 10e6, Latency: 2 * time.Millisecond}
+	grids := []struct{ sites, levels int }{
+		{64, 2}, {64, 3}, {256, 2}, {256, 3},
+	}
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1}, {"pipelined", 0},
+	}
+	for _, g := range grids {
+		// One record set per grid cell, shared by both modes: generator
+		// construction dominates setup and must stay off the clock.
+		recs := make([][]flow.Record, g.sites)
+		for i := range recs {
+			gen, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Skew: 1.2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs[i] = gen.Records(50)
+		}
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("sites=%d/levels=%d/%s", g.sites, g.levels, m.name), func(b *testing.B) {
+				fanout, err := FanoutFor(g.sites, g.levels)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fl, err := NewFleet(FleetConfig{
+					Fanout:        fanout,
+					LeafBudget:    256,
+					AggBudget:     2048,
+					ExportWorkers: m.workers,
+					Link:          link,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fl.Net.SetRealtime(1.0)
+				leaves := fl.Leaves()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					for j, leaf := range leaves {
+						if err := fl.Ingest(leaf.ID, recs[j]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StartTimer()
+					if err := fl.EndEpoch(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,490 @@
+// fleet.go implements the scale-out export side of the federation: a
+// multi-level tree of sites (leaf -> regional aggregator -> central) where
+// every hop runs the same bounded-worker epoch export pipeline as the flat
+// flowstream path. Each node seals its open-epoch Flowtree, re-compresses
+// to its own node budget, encodes the summary (full v2 or v3 delta frame
+// against the previous frame on its uplink) and ships it one hop up over
+// the metered simnet WAN. Transient link failures queue frames on the
+// sending node; re-shipment preserves per-uplink stream order, which is
+// the invariant delta chains decode under. The central site indexes every
+// delivered top-level frame in a FlowDB.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowtree"
+	"megadata/internal/simnet"
+)
+
+// FleetConfig parameterizes a multi-level export fleet.
+type FleetConfig struct {
+	// Fanout is the tree shape, root first: Fanout[0] children under the
+	// central site, Fanout[1] children under each of those, and so on.
+	// The deepest level's nodes are the ingesting leaves. len(Fanout)==1
+	// is the flat site->central topology; len(Fanout)==2 inserts one
+	// aggregator tier.
+	Fanout []int
+	// Central names the root site (default "central").
+	Central string
+	// Epoch is the summarization interval (default time.Minute).
+	Epoch time.Duration
+	// Start initializes the virtual clock.
+	Start time.Time
+	// LeafBudget caps each leaf's live Flowtree (0 = unlimited).
+	LeafBudget int
+	// AggBudget is the node budget every aggregator re-compresses its
+	// accumulated level summary to before shipping upward (0 = ship what
+	// arrived). Accumulation itself runs unbudgeted and compresses once
+	// at seal, so the sealed tree depends only on the set of delivered
+	// child frames, not on their arrival order — what keeps concurrent
+	// rollups deterministic.
+	AggBudget int
+	// CentralBudget coarsens rows at the central FlowDB (0 = full
+	// fidelity).
+	CentralBudget int
+	// ExportWorkers bounds each level's export worker pool (default
+	// min(level width, 8)).
+	ExportWorkers int
+	// DeltaExports ships v3 delta frames on every hop when churn permits
+	// (flowtree.AppendDeltaOrFull); receivers retain a per-child
+	// full-fidelity decode to apply the next delta onto.
+	DeltaExports bool
+	// DeltaMaxChurn is the full-frame fallback threshold (default 0.5;
+	// negative disables the fallback).
+	DeltaMaxChurn float64
+	// Link is the uniform link profile for every hop (default 10 MB/s,
+	// 20 ms) used when Plan is empty.
+	Link simnet.Link
+	// Plan, when non-empty, assigns heterogeneous per-link profiles
+	// deterministically from its seed (simnet.LinkPlan).
+	Plan simnet.LinkPlan
+}
+
+// FleetNode is one site of the export tree.
+type FleetNode struct {
+	ID       simnet.SiteID
+	Depth    int // 0 = central
+	Parent   *FleetNode
+	Children []*FleetNode
+
+	// liveMu guards live, the node's open-epoch Flowtree: leaf ingest
+	// lands here; at aggregators it accumulates the child frames decoded
+	// since the node last sealed.
+	liveMu sync.Mutex
+	live   *flowtree.Tree
+
+	// shipMu serializes the node's drain-and-ship toward its parent
+	// (EndEpoch vs ReExportPending), so frames enter the uplink in
+	// stream order. pending and sendBase are guarded by it.
+	shipMu   sync.Mutex
+	pending  []fleetFrame
+	sendBase *flowtree.Tree
+
+	// recvMu guards recvBase: per-child full-fidelity reconstructions the
+	// next delta frame from that child applies onto.
+	recvMu   sync.Mutex
+	recvBase map[simnet.SiteID]*flowtree.Tree
+}
+
+// fleetFrame is one encoded epoch summary queued on a node's uplink.
+type fleetFrame struct {
+	start time.Time
+	width time.Duration
+	wire  []byte
+	delta bool
+}
+
+// Fleet is a running multi-level export federation.
+type Fleet struct {
+	cfg   FleetConfig
+	Clock *simnet.Clock
+	Net   *simnet.Network
+	// DB indexes every top-level frame delivered to the central site, one
+	// row per (aggregator, epoch) — or per (leaf, epoch) on the flat
+	// topology.
+	DB   *flowdb.DB
+	Root *FleetNode
+
+	levels  [][]*FleetNode // levels[d] = nodes at depth d, construction order
+	nodes   map[simnet.SiteID]*FleetNode
+	epoch   int
+	dropped atomic.Uint64
+}
+
+// NewFleet builds and connects a multi-level export fleet.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if len(cfg.Fanout) == 0 {
+		return nil, errors.New("federation: fleet needs at least one fanout level")
+	}
+	for _, n := range cfg.Fanout {
+		if n <= 0 {
+			return nil, errors.New("federation: fanout entries must be positive")
+		}
+	}
+	if cfg.Central == "" {
+		cfg.Central = "central"
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = time.Minute
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if cfg.Link.BytesPerSecond <= 0 {
+		cfg.Link = simnet.Link{BytesPerSecond: 10e6, Latency: 20 * time.Millisecond}
+	}
+	if cfg.DeltaMaxChurn == 0 {
+		cfg.DeltaMaxChurn = 0.5
+	}
+	fl := &Fleet{
+		cfg:   cfg,
+		Clock: simnet.NewClock(cfg.Start),
+		Net:   simnet.NewNetwork(),
+		DB:    flowdb.New(),
+		nodes: make(map[simnet.SiteID]*FleetNode),
+	}
+	fl.Root = &FleetNode{ID: simnet.SiteID(cfg.Central), recvBase: make(map[simnet.SiteID]*flowtree.Tree)}
+	fl.nodes[fl.Root.ID] = fl.Root
+	fl.Net.AddSite(fl.Root.ID)
+	fl.levels = append(fl.levels, []*FleetNode{fl.Root})
+	var build func(parent *FleetNode, depth int) error
+	build = func(parent *FleetNode, depth int) error {
+		leaf := depth == len(cfg.Fanout)
+		for i := 0; i < cfg.Fanout[depth-1]; i++ {
+			id := simnet.SiteID(fmt.Sprintf("n%d", i))
+			if parent != fl.Root {
+				id = simnet.SiteID(fmt.Sprintf("%s.%d", parent.ID, i))
+			}
+			budget := 0
+			if leaf {
+				budget = cfg.LeafBudget
+			}
+			live, err := flowtree.New(budget)
+			if err != nil {
+				return err
+			}
+			n := &FleetNode{
+				ID: id, Depth: depth, Parent: parent,
+				live:     live,
+				recvBase: make(map[simnet.SiteID]*flowtree.Tree),
+			}
+			parent.Children = append(parent.Children, n)
+			fl.nodes[id] = n
+			fl.Net.AddSite(id)
+			link := cfg.Link
+			if planned, ok := cfg.Plan.For(id, parent.ID); ok {
+				link = planned
+			}
+			if err := fl.Net.Connect(id, parent.ID, link); err != nil {
+				return err
+			}
+			if len(fl.levels) == depth {
+				fl.levels = append(fl.levels, nil)
+			}
+			fl.levels[depth] = append(fl.levels[depth], n)
+			if !leaf {
+				if err := build(n, depth+1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := build(fl.Root, 1); err != nil {
+		return nil, err
+	}
+	return fl, nil
+}
+
+// Leaves returns the ingesting leaf nodes in construction order.
+func (fl *Fleet) Leaves() []*FleetNode {
+	return fl.levels[len(fl.levels)-1]
+}
+
+// Node resolves a site id.
+func (fl *Fleet) Node(id simnet.SiteID) (*FleetNode, bool) {
+	n, ok := fl.nodes[id]
+	return n, ok
+}
+
+// Epoch returns the index of the current (open) epoch.
+func (fl *Fleet) Epoch() int { return fl.epoch }
+
+// Ingest adds router flow records at a leaf's open-epoch tree. Safe for
+// concurrent use, including concurrently with EndEpoch: ingest racing a
+// seal lands in one epoch or the next, never lost.
+func (fl *Fleet) Ingest(leaf simnet.SiteID, recs []flow.Record) error {
+	n, ok := fl.nodes[leaf]
+	if !ok {
+		return fmt.Errorf("federation: unknown fleet site %q", leaf)
+	}
+	if len(n.Children) > 0 || n == fl.Root {
+		return fmt.Errorf("federation: %q is not a leaf", leaf)
+	}
+	n.liveMu.Lock()
+	defer n.liveMu.Unlock()
+	n.live.AddBatch(recs)
+	return nil
+}
+
+// EndEpoch closes the current epoch fleet-wide: level by level from the
+// leaves up, every node seals, encodes and ships its summary one hop
+// through a bounded worker pool, with a barrier between levels so each
+// aggregator's seal covers everything its children delivered this epoch.
+// Transient link failures are not errors — the frame queues on the sender
+// and re-ships next epoch (or via ReExportPending), in stream order.
+// Per-node errors within a level are aggregated; the rest of the level and
+// the levels above still run.
+func (fl *Fleet) EndEpoch() error {
+	epochStart := fl.cfg.Start.Add(time.Duration(fl.epoch) * fl.cfg.Epoch)
+	fl.Clock.AdvanceTo(epochStart.Add(fl.cfg.Epoch))
+	var errs []error
+	for d := len(fl.levels) - 1; d >= 1; d-- {
+		level := fl.levels[d]
+		workers := fl.cfg.ExportWorkers
+		if workers <= 0 {
+			workers = min(len(level), 8)
+		}
+		var (
+			mu  sync.Mutex
+			wg  sync.WaitGroup
+			sem = make(chan struct{}, workers)
+		)
+		for _, n := range level {
+			wg.Add(1)
+			go func(n *FleetNode) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if _, err := fl.exportNode(n, epochStart); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				}
+			}(n)
+		}
+		wg.Wait() // barrier: parents seal only after the whole level shipped
+	}
+	fl.epoch++
+	return errors.Join(errs...)
+}
+
+// seal swaps a node's open-epoch tree for a fresh one and returns the
+// sealed summary, re-compressed to the aggregator budget for non-leaves.
+// The sealed tree is immutable from here on (it may be retained as a delta
+// base).
+func (fl *Fleet) seal(n *FleetNode) (*flowtree.Tree, error) {
+	budget := 0
+	if len(n.Children) == 0 {
+		budget = fl.cfg.LeafBudget
+	}
+	fresh, err := flowtree.New(budget)
+	if err != nil {
+		return nil, err
+	}
+	n.liveMu.Lock()
+	sealed := n.live
+	n.live = fresh
+	n.liveMu.Unlock()
+	if len(n.Children) > 0 && fl.cfg.AggBudget > 0 {
+		sealed.CompressTo(fl.cfg.AggBudget)
+	}
+	return sealed, nil
+}
+
+// exportNode runs one node's seal -> encode -> ship hop and reports how
+// many frames it delivered. Frames still pending from earlier failures
+// ship first, preserving uplink stream order.
+func (fl *Fleet) exportNode(n *FleetNode, epochStart time.Time) (int, error) {
+	sealed, err := fl.seal(n)
+	if err != nil {
+		return 0, err
+	}
+	n.shipMu.Lock()
+	defer n.shipMu.Unlock()
+	fr := fleetFrame{start: epochStart, width: fl.cfg.Epoch}
+	if fl.cfg.DeltaExports {
+		fr.wire, fr.delta = sealed.AppendDeltaOrFull(nil, n.sendBase, fl.cfg.DeltaMaxChurn)
+		n.sendBase = sealed
+	} else {
+		fr.wire = sealed.AppendBinary(nil)
+	}
+	batch := append(n.pending, fr)
+	n.pending = nil
+	return fl.shipFrames(n, batch)
+}
+
+// shipFrames transfers queued frames up one hop in order. Callers hold
+// n.shipMu. On a transfer failure the failed frame and everything behind
+// it re-queue (transient failures are swallowed); on a decode failure at
+// the receiver, the bad frame and any delta frames chained off it are
+// dropped (counted) and the sender chain resets if nothing decodable
+// remains.
+func (fl *Fleet) shipFrames(n *FleetNode, batch []fleetFrame) (int, error) {
+	delivered := 0
+	for i, fr := range batch {
+		if _, err := fl.Net.Transfer(n.ID, n.Parent.ID, uint64(len(fr.wire))); err != nil {
+			n.pending = batch[i:]
+			if errors.Is(err, simnet.ErrTransient) {
+				return delivered, nil
+			}
+			return delivered, fmt.Errorf("federation: export %s -> %s: %w", n.ID, n.Parent.ID, err)
+		}
+		if err := fl.deliver(n.Parent, n.ID, fr); err != nil {
+			rest := batch[i+1:]
+			if fl.cfg.DeltaExports {
+				j := 0
+				for j < len(rest) && rest[j].delta {
+					fl.dropped.Add(1)
+					j++
+				}
+				rest = rest[j:]
+				if len(rest) == 0 {
+					n.sendBase = nil
+				}
+			}
+			n.pending = rest
+			return delivered, fmt.Errorf("federation: decode frame of %s at %s: %w", n.ID, n.Parent.ID, err)
+		}
+		delivered++
+	}
+	return delivered, nil
+}
+
+// deliver decodes one frame at the receiving hop: the central site indexes
+// it as a FlowDB row; an aggregator merges it into its open-epoch
+// accumulation. With delta exports the receiver retains the full-fidelity
+// reconstruction per child as the next delta's base.
+func (fl *Fleet) deliver(parent *FleetNode, child simnet.SiteID, fr fleetFrame) error {
+	var recon *flowtree.Tree
+	var err error
+	if fl.cfg.DeltaExports {
+		parent.recvMu.Lock()
+		base := parent.recvBase[child]
+		parent.recvMu.Unlock()
+		recon, err = flowtree.DecodeDelta(fr.wire, base, 0)
+		if err != nil {
+			return err
+		}
+		parent.recvMu.Lock()
+		parent.recvBase[child] = recon
+		parent.recvMu.Unlock()
+	} else if recon, err = flowtree.Decode(fr.wire, 0); err != nil {
+		return err
+	}
+	if parent == fl.Root {
+		row := recon
+		if fl.cfg.CentralBudget > 0 {
+			row = recon.Clone()
+			if err := row.SetBudget(fl.cfg.CentralBudget); err != nil {
+				return err
+			}
+		}
+		return fl.DB.Insert(flowdb.Row{
+			Location: string(child), Start: fr.start, Width: fr.width, Tree: row,
+		})
+	}
+	parent.liveMu.Lock()
+	defer parent.liveMu.Unlock()
+	return parent.live.Merge(recon)
+}
+
+// PendingExports counts frames queued on uplinks fleet-wide.
+func (fl *Fleet) PendingExports() int {
+	total := 0
+	for d := 1; d < len(fl.levels); d++ {
+		for _, n := range fl.levels[d] {
+			n.shipMu.Lock()
+			total += len(n.pending)
+			n.shipMu.Unlock()
+		}
+	}
+	return total
+}
+
+// DroppedFrames counts frames dropped for chain integrity (deltas behind
+// an undecodable frame).
+func (fl *Fleet) DroppedFrames() int { return int(fl.dropped.Load()) }
+
+// WANBytes reports the bytes moved across all hops so far.
+func (fl *Fleet) WANBytes() uint64 { return fl.Net.TotalStats().Bytes }
+
+// ReExportPending re-ships queued frames at every hop, deepest level
+// first so freed data can continue upward within one call. Returns how
+// many frames were delivered; transient re-failures keep their frames
+// queued without error.
+func (fl *Fleet) ReExportPending() (int, error) {
+	delivered := 0
+	var errs []error
+	for d := len(fl.levels) - 1; d >= 1; d-- {
+		for _, n := range fl.levels[d] {
+			n.shipMu.Lock()
+			if len(n.pending) == 0 {
+				n.shipMu.Unlock()
+				continue
+			}
+			batch := n.pending
+			n.pending = nil
+			got, err := fl.shipFrames(n, batch)
+			n.shipMu.Unlock()
+			delivered += got
+			if err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return delivered, errors.Join(errs...)
+}
+
+// Drain pushes every queued frame and every aggregator-held accumulation
+// through to central, looping ReExportPending and flushing non-empty
+// aggregator trees (late child frames merged after the aggregator's last
+// seal) until the fleet is quiescent or maxRounds passes elapse. It
+// returns an error when frames are still stranded after maxRounds — which
+// with FailEvery-style links means a permanently dead hop.
+func (fl *Fleet) Drain(maxRounds int) error {
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	epochStart := fl.cfg.Start.Add(time.Duration(fl.epoch) * fl.cfg.Epoch)
+	for round := 0; round < maxRounds; round++ {
+		if _, err := fl.ReExportPending(); err != nil {
+			return err
+		}
+		// Flush straggler accumulations bottom-up: an aggregator holding
+		// late-delivered child data seals and ships an amendment frame.
+		flushed := 0
+		for d := len(fl.levels) - 2; d >= 1; d-- {
+			for _, n := range fl.levels[d] {
+				n.liveMu.Lock()
+				empty := n.live.Total().IsZero()
+				n.liveMu.Unlock()
+				if empty {
+					continue
+				}
+				if _, err := fl.exportNode(n, epochStart); err != nil {
+					return err
+				}
+				flushed++
+			}
+		}
+		if flushed == 0 && fl.PendingExports() == 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("federation: drain incomplete after %d rounds: %d frames pending", maxRounds, fl.PendingExports())
+}
+
+// CentralTree merges every row delivered to central into one tree — the
+// fleet-wide mega-dataset view queries run against.
+func (fl *Fleet) CentralTree() (*flowtree.Tree, error) {
+	t, _, err := fl.DB.Select(nil, time.Time{}, time.Unix(1<<62, 0))
+	return t, err
+}

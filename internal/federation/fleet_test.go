@@ -1,0 +1,297 @@
+package federation
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+func TestFleetValidation(t *testing.T) {
+	if _, err := NewFleet(FleetConfig{}); err == nil {
+		t.Error("empty fanout must error")
+	}
+	if _, err := NewFleet(FleetConfig{Fanout: []int{4, 0}}); err == nil {
+		t.Error("zero fanout entry must error")
+	}
+	fl, err := NewFleet(FleetConfig{Fanout: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fl.Leaves()); got != 6 {
+		t.Errorf("leaves = %d, want 6", got)
+	}
+	if len(fl.levels) != 3 || len(fl.levels[1]) != 2 {
+		t.Errorf("levels shape = %d/%v", len(fl.levels), len(fl.levels[1]))
+	}
+	if err := fl.Ingest("central", nil); err == nil {
+		t.Error("ingesting at the root must error")
+	}
+	if err := fl.Ingest("n0", nil); err == nil {
+		t.Error("ingesting at an aggregator must error")
+	}
+	if err := fl.Ingest("ghost", nil); err == nil {
+		t.Error("ingesting at an unknown site must error")
+	}
+}
+
+// ingestFleet feeds every leaf a deterministic record stream and returns
+// the fleet-wide expected total.
+func ingestFleet(t testing.TB, fl *Fleet, epoch, perLeaf int) flow.Counters {
+	t.Helper()
+	var want flow.Counters
+	leaves := fl.Leaves()
+	for i, leaf := range leaves {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(epoch*len(leaves) + i + 1), Skew: 1.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := g.Records(perLeaf)
+		for _, r := range recs {
+			want.Add(flow.CountersOf(r))
+		}
+		if err := fl.Ingest(leaf.ID, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return want
+}
+
+// TestFleetMatchesFlatBaseline is the topology-equivalence acceptance
+// check: a three-level fleet's central view equals a flat (serial,
+// single-hop) topology's central view exactly, entry for entry, at full
+// fidelity.
+func TestFleetMatchesFlatBaseline(t *testing.T) {
+	build := func(fanout []int, workers int) *Fleet {
+		fl, err := NewFleet(FleetConfig{Fanout: fanout, ExportWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 2; e++ {
+			ingestFleet(t, fl, e, 200)
+			if err := fl.EndEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fl
+	}
+	deep := build([]int{4, 4}, 8)
+	flat := build([]int{16}, 1)
+	dt, err := deep.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := flat.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, fe := dt.Entries(), ft.Entries()
+	if len(de) != len(fe) {
+		t.Fatalf("entry counts differ: %d vs %d", len(de), len(fe))
+	}
+	for i := range de {
+		if de[i] != fe[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, de[i], fe[i])
+		}
+	}
+	// Row attribution differs (aggregators vs leaves) but the epoch count
+	// per top-level child is the same.
+	if deep.DB.Len() != 4*2 || flat.DB.Len() != 16*2 {
+		t.Errorf("rows = %d deep / %d flat", deep.DB.Len(), flat.DB.Len())
+	}
+}
+
+// TestFleetZeroLostEpochsUnderFaults pins the zero-loss acceptance bound:
+// with a heterogeneous plan injecting transient failures on a third of the
+// links, every ingested byte still reaches central once the fleet drains.
+func TestFleetZeroLostEpochsUnderFaults(t *testing.T) {
+	fl, err := NewFleet(FleetConfig{
+		Fanout: []int{4, 8},
+		Plan:   simnet.LinkPlan{Seed: 9, Classes: FaultClasses()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want flow.Counters
+	for e := 0; e < 4; e++ {
+		want.Add(ingestFleet(t, fl, e, 100))
+		if err := fl.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fl.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if fl.PendingExports() != 0 {
+		t.Errorf("pending=%d after drain", fl.PendingExports())
+	}
+	if fl.DroppedFrames() != 0 {
+		t.Errorf("dropped=%d, want 0 (transient faults never break chains)", fl.DroppedFrames())
+	}
+	tree, err := fl.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Total() != want {
+		t.Errorf("central total=%+v, want %+v (lost data)", tree.Total(), want)
+	}
+	if fl.Net.TotalStats().Failures == 0 {
+		t.Error("plan injected no failures; test exercised nothing")
+	}
+}
+
+// TestFleetDeltaMatchesFullAndCutsWAN checks delta exports at every hop
+// are a pure wire-cost change on the fleet too: identical central view,
+// strictly fewer WAN bytes on low-churn steady state.
+func TestFleetDeltaMatchesFullAndCutsWAN(t *testing.T) {
+	build := func(delta bool) *Fleet {
+		fl, err := NewFleet(FleetConfig{Fanout: []int{3, 4}, DeltaExports: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 5; e++ {
+			// Same traffic mix every epoch: the low-churn steady state.
+			ingestFleet(t, fl, 0, 300)
+			if err := fl.EndEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fl
+	}
+	withDelta, withFull := build(true), build(false)
+	dt, err := withDelta.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := withFull.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.DeltaHash() != ft.DeltaHash() || dt.Total() != ft.Total() {
+		t.Errorf("delta fleet central view differs from full fleet")
+	}
+	if withDelta.WANBytes()*2 > withFull.WANBytes() {
+		t.Errorf("delta WAN bytes %d not <=50%% of full %d on steady state",
+			withDelta.WANBytes(), withFull.WANBytes())
+	}
+}
+
+// TestFleetConcurrentIngestDuringEndEpoch races leaf ingest against the
+// multi-level rollup (run under -race): records land in one epoch or the
+// next, never lost.
+func TestFleetConcurrentIngestDuringEndEpoch(t *testing.T) {
+	fl, err := NewFleet(FleetConfig{Fanout: []int{2, 4}, LeafBudget: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg      sync.WaitGroup
+		stop    = make(chan struct{})
+		totalMu sync.Mutex
+		want    flow.Counters
+	)
+	for i, leaf := range fl.Leaves() {
+		wg.Add(1)
+		go func(i int, id simnet.SiteID) {
+			defer wg.Done()
+			g, _ := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1)})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recs := g.Records(50)
+				var c flow.Counters
+				for _, r := range recs {
+					c.Add(flow.CountersOf(r))
+				}
+				if err := fl.Ingest(id, recs); err != nil {
+					t.Error(err)
+					return
+				}
+				totalMu.Lock()
+				want.Add(c)
+				totalMu.Unlock()
+			}
+		}(i, leaf.ID)
+	}
+	for pass := 0; pass < 3; pass++ {
+		if err := fl.EndEpoch(); err != nil {
+			t.Errorf("EndEpoch pass %d: %v", pass, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// One more epoch sweeps whatever raced past the last seal.
+	if err := fl.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := fl.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Total() != want {
+		t.Errorf("central total=%+v, want %+v", tree.Total(), want)
+	}
+}
+
+// TestFleetReExportRacesEndEpoch hammers the per-uplink ship serialization
+// at aggregator hops: an aggressive ReExportPending loop races EndEpoch
+// over lossy links with delta exports on (run under -race). Stream order
+// must hold — no decode errors, no dropped frames, nothing lost.
+func TestFleetReExportRacesEndEpoch(t *testing.T) {
+	fl, err := NewFleet(FleetConfig{
+		Fanout:       []int{2, 4},
+		DeltaExports: true,
+		Link:         simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond, FailEvery: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := fl.ReExportPending(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var want flow.Counters
+	for e := 0; e < 6; e++ {
+		want.Add(ingestFleet(t, fl, e, 100))
+		if err := fl.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := fl.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if fl.DroppedFrames() != 0 {
+		t.Errorf("dropped=%d, want 0", fl.DroppedFrames())
+	}
+	tree, err := fl.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Total() != want {
+		t.Errorf("central total=%+v, want %+v", tree.Total(), want)
+	}
+}

@@ -1,0 +1,197 @@
+// scenario.go is the seeded simnet scenario harness: table-driven fleet
+// runs (topology shape, per-link heterogeneity, loss schedules, epochs,
+// traffic volume) that drive 100-1000-site federations end to end and
+// reduce each run to a deterministic Ledger — same seed, same ledger —
+// so CI can pin scale-out behavior without golden files.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+// Scenario is one table entry of the fleet scenario suite.
+type Scenario struct {
+	// Name labels the run in ledgers and reports.
+	Name string
+	// Sites is the leaf count; Levels is the tree depth excluding the
+	// central site (2 = leaf->central flat, 3 = leaf->agg->central).
+	Sites  int
+	Levels int
+	// Epochs to run and records ingested per leaf per epoch.
+	Epochs         int
+	RecordsPerLeaf int
+	// Seed drives both the per-leaf traffic generators and the link
+	// plan's class assignment.
+	Seed int64
+	// Delta ships v3 delta frames on every hop.
+	Delta bool
+	// LeafBudget / AggBudget / CentralBudget are the per-tier Flowtree
+	// node budgets (0 = unlimited / full fidelity).
+	LeafBudget    int
+	AggBudget     int
+	CentralBudget int
+	// Classes, when non-empty, builds a heterogeneous link plan from the
+	// scenario seed; empty runs a uniform 10 MB/s fleet.
+	Classes []simnet.LinkClass
+	// ExportWorkers bounds each level's worker pool (0 = default).
+	ExportWorkers int
+}
+
+// Ledger is the deterministic reduction of one scenario run. Two runs of
+// the same scenario must produce identical ledgers.
+type Ledger struct {
+	Scenario string
+	Sites    int
+	Levels   int
+	Epochs   int
+	// Rows is the central FlowDB row count; Pending and Dropped are the
+	// post-drain queue and chain-integrity counters (both 0 on a healthy
+	// run).
+	Rows    int
+	Pending int
+	Dropped int
+	// WANBytes / Attempts / Failures aggregate every hop's transfers.
+	WANBytes uint64
+	Attempts uint64
+	Failures uint64
+	// Ingested is what the leaves absorbed; Total what central holds
+	// (equal when no epoch was lost). TreeHash fingerprints the central
+	// merged tree's exact canonical content, TreeNodes its size.
+	Ingested  flow.Counters
+	Total     flow.Counters
+	TreeHash  uint64
+	TreeNodes int
+}
+
+// FanoutFor factors sites into a per-level fanout vector for the requested
+// depth: 2 levels is the flat topology, 3 levels splits sites across an
+// aggregator tier sized by the divisor closest to the square root (so 256
+// becomes 16x16, 1000 becomes 25x40).
+func FanoutFor(sites, levels int) ([]int, error) {
+	switch levels {
+	case 2:
+		return []int{sites}, nil
+	case 3:
+		best := 1
+		for d := 1; d*d <= sites; d++ {
+			if sites%d == 0 {
+				best = d
+			}
+		}
+		if best == 1 && sites > 3 {
+			return nil, fmt.Errorf("federation: %d sites has no aggregator factoring (prime)", sites)
+		}
+		return []int{best, sites / best}, nil
+	default:
+		return nil, fmt.Errorf("federation: scenarios support 2 or 3 levels, not %d", levels)
+	}
+}
+
+// Run executes the scenario end to end — build fleet, ingest seeded
+// traffic, close every epoch, drain stragglers — and reduces it to a
+// ledger. The returned fleet allows further inspection (queries against
+// the central DB, per-link stats).
+func (sc Scenario) Run() (Ledger, *Fleet, error) {
+	led := Ledger{Scenario: sc.Name, Sites: sc.Sites, Levels: sc.Levels, Epochs: sc.Epochs}
+	if sc.Sites <= 0 || sc.Epochs <= 0 {
+		return led, nil, errors.New("federation: scenario needs sites and epochs")
+	}
+	fanout, err := FanoutFor(sc.Sites, sc.Levels)
+	if err != nil {
+		return led, nil, err
+	}
+	fl, err := NewFleet(FleetConfig{
+		Fanout:        fanout,
+		Epoch:         time.Minute,
+		LeafBudget:    sc.LeafBudget,
+		AggBudget:     sc.AggBudget,
+		CentralBudget: sc.CentralBudget,
+		ExportWorkers: sc.ExportWorkers,
+		DeltaExports:  sc.Delta,
+		Plan:          simnet.LinkPlan{Seed: sc.Seed, Classes: sc.Classes},
+	})
+	if err != nil {
+		return led, nil, err
+	}
+	leaves := fl.Leaves()
+	recsPerLeaf := sc.RecordsPerLeaf
+	if recsPerLeaf <= 0 {
+		recsPerLeaf = 50
+	}
+	// One seeded generator per leaf, drawn from every epoch: successive
+	// epochs see fresh (but reproducible) traffic without paying the
+	// generator's address-pool construction per epoch.
+	gens := make([]*workload.FlowGen, len(leaves))
+	for i := range leaves {
+		g, err := workload.NewFlowGen(workload.FlowConfig{
+			Seed: sc.Seed + int64(i) + 1,
+			Skew: 1.2,
+		})
+		if err != nil {
+			return led, nil, err
+		}
+		gens[i] = g
+	}
+	for e := 0; e < sc.Epochs; e++ {
+		for i, leaf := range leaves {
+			recs := gens[i].Records(recsPerLeaf)
+			for _, r := range recs {
+				led.Ingested.Add(flow.CountersOf(r))
+			}
+			if err := fl.Ingest(leaf.ID, recs); err != nil {
+				return led, nil, err
+			}
+		}
+		if err := fl.EndEpoch(); err != nil {
+			return led, nil, err
+		}
+	}
+	if err := fl.Drain(0); err != nil {
+		return led, nil, err
+	}
+	tree, err := fl.CentralTree()
+	if err != nil {
+		return led, nil, err
+	}
+	st := fl.Net.TotalStats()
+	led.Rows = fl.DB.Len()
+	led.Pending = fl.PendingExports()
+	led.Dropped = fl.DroppedFrames()
+	led.WANBytes = st.Bytes
+	led.Attempts = st.Attempts
+	led.Failures = st.Failures
+	led.Total = tree.Total()
+	led.TreeHash = tree.DeltaHash()
+	led.TreeNodes = tree.Len()
+	return led, fl, nil
+}
+
+// FaultClasses is the heterogeneous link mix fault scenarios use: a fast
+// reliable core, a slower bulk tier, and a lossy tail where every 2nd
+// transfer attempt fails transiently — so even short runs exercise the
+// queue-and-re-ship path on a third of the fleet's links.
+func FaultClasses() []simnet.LinkClass {
+	return []simnet.LinkClass{
+		{Name: "fiber", Weight: 2, Link: simnet.Link{BytesPerSecond: 100e6, Latency: 5 * time.Millisecond}},
+		{Name: "dsl", Weight: 5, Link: simnet.Link{BytesPerSecond: 10e6, Latency: 20 * time.Millisecond}},
+		{Name: "lossy", Weight: 3, Link: simnet.Link{BytesPerSecond: 2e6, Latency: 60 * time.Millisecond, FailEvery: 2}},
+	}
+}
+
+// FedScenarios is the scale-out scenario suite: 100-, 256- and 1000-site
+// fleets across two- and three-level topologies, with heterogeneous
+// seeded links, injected transient faults and delta exports.
+func FedScenarios() []Scenario {
+	return []Scenario{
+		{Name: "flat-100", Sites: 100, Levels: 2, Epochs: 3, RecordsPerLeaf: 50, Seed: 11, LeafBudget: 256},
+		{Name: "fed-256-faulty", Sites: 256, Levels: 3, Epochs: 3, RecordsPerLeaf: 50, Seed: 22, Classes: FaultClasses()},
+		{Name: "fed-256-delta", Sites: 256, Levels: 3, Epochs: 4, RecordsPerLeaf: 50, Seed: 33, Delta: true, LeafBudget: 256, AggBudget: 2048},
+		{Name: "fed-1000", Sites: 1000, Levels: 3, Epochs: 2, RecordsPerLeaf: 20, Seed: 44, Delta: true, LeafBudget: 128, AggBudget: 4096, Classes: FaultClasses()},
+	}
+}

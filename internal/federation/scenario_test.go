@@ -1,0 +1,119 @@
+package federation
+
+import (
+	"testing"
+)
+
+// TestScenarioDeterministic256 is the seeded-determinism acceptance check:
+// the 256-site three-level faulty scenario run twice produces identical
+// ledgers — byte counts, failure schedules and the exact central tree
+// fingerprint included.
+func TestScenarioDeterministic256(t *testing.T) {
+	sc := Scenario{
+		Name: "det-256", Sites: 256, Levels: 3, Epochs: 3, RecordsPerLeaf: 40,
+		Seed: 7, Delta: true, Classes: FaultClasses(),
+	}
+	first, _, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("same seed produced different ledgers:\n  %+v\n  %+v", first, second)
+	}
+	if first.Failures == 0 {
+		t.Error("faulty scenario injected no failures")
+	}
+	if first.Total != first.Ingested {
+		t.Errorf("lost data: central %+v vs ingested %+v", first.Total, first.Ingested)
+	}
+	// A different seed reshapes the run (traffic and link classes move).
+	sc.Seed = 8
+	third, _, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.TreeHash == first.TreeHash {
+		t.Error("different seed produced the same central tree")
+	}
+}
+
+// TestScenarioSuite drives every entry of the checked-in suite end to end
+// (the 1000-site fleet only outside -short) and pins the invariants every
+// scenario must hold: drained queues, no chain drops, and zero lost
+// epochs — central holds exactly what the leaves ingested.
+func TestScenarioSuite(t *testing.T) {
+	for _, sc := range FedScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if testing.Short() && sc.Sites > 256 {
+				t.Skipf("%d sites skipped in -short", sc.Sites)
+			}
+			led, fl, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if led.Pending != 0 || led.Dropped != 0 {
+				t.Errorf("pending=%d dropped=%d after drain", led.Pending, led.Dropped)
+			}
+			if led.Total != led.Ingested {
+				t.Errorf("lost data: central %+v vs ingested %+v", led.Total, led.Ingested)
+			}
+			if led.Rows == 0 || led.WANBytes == 0 {
+				t.Errorf("degenerate run: %+v", led)
+			}
+			if len(sc.Classes) > 0 && led.Failures == 0 {
+				t.Error("faulty scenario injected no failures")
+			}
+			// The fleet shape matches the scenario table.
+			if got := len(fl.Leaves()); got != sc.Sites {
+				t.Errorf("leaves=%d, want %d", got, sc.Sites)
+			}
+			if got := len(fl.levels); got != sc.Levels {
+				t.Errorf("levels=%d, want %d", got, sc.Levels)
+			}
+		})
+	}
+}
+
+// TestFanoutFactoring pins the topology factoring the suite relies on.
+func TestFanoutFactoring(t *testing.T) {
+	cases := []struct {
+		sites, levels int
+		want          []int
+		err           bool
+	}{
+		{100, 2, []int{100}, false},
+		{100, 3, []int{10, 10}, false},
+		{256, 3, []int{16, 16}, false},
+		{1000, 3, []int{25, 40}, false},
+		{97, 3, nil, true},  // prime
+		{100, 4, nil, true}, // unsupported depth
+	}
+	for _, c := range cases {
+		got, err := FanoutFor(c.sites, c.levels)
+		if c.err {
+			if err == nil {
+				t.Errorf("FanoutFor(%d,%d) expected error", c.sites, c.levels)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("FanoutFor(%d,%d): %v", c.sites, c.levels, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("FanoutFor(%d,%d)=%v, want %v", c.sites, c.levels, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("FanoutFor(%d,%d)=%v, want %v", c.sites, c.levels, got, c.want)
+				break
+			}
+		}
+	}
+}

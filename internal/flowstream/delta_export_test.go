@@ -1,0 +1,348 @@
+package flowstream
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+// steadyIngest feeds every epoch the same base record set plus a small
+// per-epoch varying set — the low-churn steady state delta exports are
+// built for. Returns the varying generator seed used so callers can
+// reproduce the stream.
+func steadyIngest(t *testing.T, sys *System, site string, epoch int) {
+	t.Helper()
+	base, err := workload.NewFlowGen(workload.FlowConfig{Seed: 99, Skew: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(site, base.Records(4000)); err != nil {
+		t.Fatal(err)
+	}
+	vary, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(1000 + epoch), Skew: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(site, vary.Records(100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV3DeltaCutsWANBytes asserts the acceptance bound for delta exports:
+// on a low-churn steady state (the same dominant traffic mix every epoch,
+// a small varying tail), the bytes shipped after the first full frame are
+// at most 50% of what full v2 frames of the same trees cost.
+func TestV3DeltaCutsWANBytes(t *testing.T) {
+	run := func(delta bool) *System {
+		sys, err := New(Config{
+			Sites:        []string{"edge"},
+			Epoch:        time.Minute,
+			TreeBudget:   1024,
+			DeltaExports: delta,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	deltaSys, fullSys := run(true), run(false)
+	const epochs = 6
+	var deltaSteady, fullSteady uint64
+	for e := 0; e < epochs; e++ {
+		steadyIngest(t, deltaSys, "edge", e)
+		steadyIngest(t, fullSys, "edge", e)
+		if err := deltaSys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fullSys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			// Epoch 0 ships a full frame either way; the bound is about
+			// the steady state after it.
+			deltaSteady, fullSteady = deltaSys.WANBytes(), fullSys.WANBytes()
+		}
+	}
+	dBytes := deltaSys.WANBytes() - deltaSteady
+	fBytes := fullSys.WANBytes() - fullSteady
+	if dBytes == 0 || fBytes == 0 {
+		t.Fatal("nothing shipped in steady state")
+	}
+	if dBytes*2 > fBytes {
+		t.Errorf("delta steady-state WAN bytes %d not <=50%% of full %d (%.1f%%)",
+			dBytes, fBytes, 100*float64(dBytes)/float64(fBytes))
+	}
+	t.Logf("steady state over %d epochs: delta %d bytes, full %d bytes (%.1f%%)",
+		epochs-1, dBytes, fBytes, 100*float64(dBytes)/float64(fBytes))
+}
+
+// TestDeltaExportMatchesFull checks delta exports are a pure wire-cost
+// change: the central FlowDB a delta-shipping system builds is row-for-row,
+// entry-for-entry identical to a full-frame system fed the same traffic —
+// including a high-churn epoch that trips the full-frame fallback.
+func TestDeltaExportMatchesFull(t *testing.T) {
+	run := func(delta bool) *System {
+		sys, err := New(Config{
+			Sites:        []string{"a", "b"},
+			Epoch:        time.Minute,
+			TreeBudget:   512,
+			DeltaExports: delta,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 4; e++ {
+			for i, site := range []string{"a", "b"} {
+				seed := int64(10 + i)
+				if e == 2 {
+					// Epoch 2: completely different traffic — churn far
+					// above the fallback threshold.
+					seed = int64(500 + i)
+				}
+				g, err := workload.NewFlowGen(workload.FlowConfig{Seed: seed, Skew: 1.3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.Ingest(site, g.Records(2000)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sys.EndEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys
+	}
+	withDelta, withFull := run(true), run(false)
+	dr, fr := withDelta.DB.Rows(), withFull.DB.Rows()
+	if len(dr) != len(fr) {
+		t.Fatalf("row counts differ: %d vs %d", len(dr), len(fr))
+	}
+	for i := range dr {
+		if dr[i].Location != fr[i].Location || !dr[i].Start.Equal(fr[i].Start) {
+			t.Fatalf("row %d index differs: %v@%v vs %v@%v",
+				i, dr[i].Location, dr[i].Start, fr[i].Location, fr[i].Start)
+		}
+		de, fe := dr[i].Tree.Entries(), fr[i].Tree.Entries()
+		if len(de) != len(fe) {
+			t.Fatalf("row %d entry counts differ: %d vs %d", i, len(de), len(fe))
+		}
+		for j := range de {
+			if de[j] != fe[j] {
+				t.Fatalf("row %d entry %d differs: %+v vs %+v", i, j, de[j], fe[j])
+			}
+		}
+	}
+	if withDelta.WANBytes() >= withFull.WANBytes() {
+		t.Errorf("delta WAN bytes %d not below full %d", withDelta.WANBytes(), withFull.WANBytes())
+	}
+}
+
+// TestDeltaChainSurvivesTransientFailure drives delta frames through the
+// re-ship path: with every 2nd transfer failing, pending queues hold delta
+// frames that must still deliver in stream order and decode against the
+// retained central base.
+func TestDeltaChainSurvivesTransientFailure(t *testing.T) {
+	sys, err := New(Config{
+		Sites:        []string{"edge"},
+		Epoch:        time.Minute,
+		DeltaExports: true,
+		Link:         simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond, FailEvery: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want flow.Counters
+	for e := 0; e < 5; e++ {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 7, Skew: 1.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := g.Records(500)
+		for _, r := range recs {
+			want.Add(flow.CountersOf(r))
+		}
+		if err := sys.Ingest("edge", recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for sys.PendingExports() > 0 {
+		if _, err := sys.ReExportPending(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.DB.Len() != 5 {
+		t.Fatalf("central rows=%d, want 5", sys.DB.Len())
+	}
+	if sys.DroppedExports() != 0 {
+		t.Errorf("dropped=%d, want 0 (every epoch stayed in retention)", sys.DroppedExports())
+	}
+	res, err := sys.Query(`SELECT QUERY FROM ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters != want {
+		t.Errorf("central total=%+v, want %+v", res.Counters, want)
+	}
+}
+
+// TestDeltaChainResetAfterRetentionDrop pins the chain-integrity filter:
+// when retention evicts a queued frame, the delta frames chained behind it
+// can never decode — they are dropped (counted), the sender chain resets,
+// and the next sealed epoch ships a decodable full frame.
+func TestDeltaChainResetAfterRetentionDrop(t *testing.T) {
+	rec := flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80101, 40000, 443),
+		Packets: 1, Bytes: 100,
+	}
+	probe, err := New(Config{Sites: []string{"probe"}, Epoch: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Ingest("probe", []flow.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := probe.Store("probe")
+	live, err := st.SnapshotLive(aggName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochSize := live.SizeBytes()
+
+	down := simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond, FailEvery: 1}
+	sys, err := New(Config{
+		Sites:        []string{"edge"},
+		Epoch:        time.Minute,
+		DeltaExports: true,
+		Link:         down,
+		// Room for ~2.5 sealed epochs: sealing a third evicts the oldest.
+		RetentionBytes: 2*epochSize + epochSize/2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epochs 0-2 queue while the WAN is down. Sealing epoch 2 evicts epoch
+	// 0 from retention; the drain then drops epoch 0 (retention) and the
+	// deltas 1-2 chained behind it (chain break), resetting the chain.
+	for e := 0; e < 3; e++ {
+		if err := sys.Ingest("edge", []flow.Record{rec}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.DroppedExports(); got != 3 {
+		t.Errorf("dropped=%d, want 3 (evicted full + 2 chained deltas)", got)
+	}
+	if got := sys.PendingExports(); got != 0 {
+		t.Errorf("pending=%d, want 0 after the chain break", got)
+	}
+	// WAN back up: epoch 3 must ship as a full frame (the chain reset) and
+	// decode at central with no retained base.
+	up := simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond}
+	if err := sys.Net.Connect("edge", sys.central, up); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest("edge", []flow.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EndEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	rows := sys.DB.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("central rows=%d, want 1 (epoch 3)", len(rows))
+	}
+	if want := sys.cfg.Start.Add(3 * time.Minute); !rows[0].Start.Equal(want) {
+		t.Errorf("delivered row start=%v, want %v", rows[0].Start, want)
+	}
+	if rows[0].Tree.Total().Bytes != 100 {
+		t.Errorf("delivered row bytes=%d, want 100", rows[0].Tree.Total().Bytes)
+	}
+}
+
+// TestReExportRacesEndEpoch hammers the per-site ship serialization: an
+// aggressive ReExportPending loop races EndEpoch over a flaky link with
+// delta exports on. Frames must keep arriving in stream order (no decode
+// errors) and every epoch must eventually reach central (run under -race).
+func TestReExportRacesEndEpoch(t *testing.T) {
+	sys, err := New(Config{
+		Sites:        []string{"a", "b", "c"},
+		Epoch:        time.Minute,
+		TreeBudget:   256,
+		DeltaExports: true,
+		Link:         simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond, FailEvery: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := sys.ReExportPending(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	want := make(map[string]flow.Counters)
+	const epochs = 8
+	for e := 0; e < epochs; e++ {
+		for i, site := range []string{"a", "b", "c"} {
+			g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(e*3 + i + 1), Skew: 1.2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := g.Records(400)
+			c := want[site]
+			for _, r := range recs {
+				c.Add(flow.CountersOf(r))
+			}
+			want[site] = c
+			if err := sys.Ingest(site, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for sys.PendingExports() > 0 {
+		if _, err := sys.ReExportPending(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.DB.Len() != epochs*3 {
+		t.Fatalf("central rows=%d, want %d", sys.DB.Len(), epochs*3)
+	}
+	if sys.DroppedExports() != 0 {
+		t.Errorf("dropped=%d, want 0", sys.DroppedExports())
+	}
+	for site, c := range want {
+		res, err := sys.Query(`SELECT QUERY AT ` + site + ` FROM ALL`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters != c {
+			t.Errorf("site %s central total=%+v, want %+v", site, res.Counters, c)
+		}
+	}
+}

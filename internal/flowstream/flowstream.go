@@ -71,6 +71,17 @@ type Config struct {
 	// from the queue with a counted stat (DroppedExports) instead of
 	// being re-shipped as data the site no longer holds.
 	RetentionBytes uint64
+	// DeltaExports ships each site's sealed epoch as a v3 delta frame
+	// against the previous frame in that site's export stream when churn
+	// permits (flowtree.AppendDeltaOrFull), cutting WAN bytes on low-churn
+	// steady-state traffic. The first epoch, high-churn epochs and
+	// chain-break recoveries ship as full v2 frames; central retains a
+	// full-fidelity decode per site to apply deltas onto.
+	DeltaExports bool
+	// DeltaMaxChurn is the churn fraction (changed + removed entries over
+	// current entries) above which a delta export falls back to a full
+	// frame (default 0.5; negative disables the fallback).
+	DeltaMaxChurn float64
 	// Source, when non-nil, puts a streaming ingest front end in front of
 	// the site stores: New wires the source's sink, partition width and
 	// partitioner to the sharded store path (Sink/Parts/Partition in the
@@ -105,6 +116,23 @@ type System struct {
 	pendMu  sync.Mutex
 	pending map[string][]pendingExport
 	dropped atomic.Uint64
+
+	// baseMu guards the delta-export chain state (Config.DeltaExports):
+	// sendBase is, per site, the sealed tree of the last frame appended to
+	// that site's export stream (the chain tail the next delta encodes
+	// against; nil forces a full frame); recvBase is central's
+	// full-fidelity decode of the last frame delivered per site (the base
+	// the next delta applies onto). Sealed trees are immutable, so holding
+	// references is safe.
+	baseMu   sync.Mutex
+	sendBase map[string]*flowtree.Tree
+	recvBase map[string]*flowtree.Tree
+
+	// shipMu serializes per-site drain-and-ship sections (exportSite vs
+	// ReExportPending): whichever caller wins drains the pending queue and
+	// delivers first, so frames always reach central in stream order — the
+	// invariant delta chains decode under. Different sites never contend.
+	shipMu map[string]*sync.Mutex
 }
 
 // pendingExport is one sealed, encoded epoch awaiting (re-)shipment.
@@ -112,6 +140,9 @@ type pendingExport struct {
 	start time.Time
 	width time.Duration
 	wire  []byte
+	// delta marks a v3 frame, decodable only right after the frame before
+	// it in the stream (chain integrity).
+	delta bool
 }
 
 // New builds and connects a Flowstream deployment.
@@ -146,14 +177,23 @@ func New(cfg Config) (*System, error) {
 	if cfg.RetentionBytes == 0 {
 		cfg.RetentionBytes = 64 << 20
 	}
+	if cfg.DeltaMaxChurn == 0 {
+		cfg.DeltaMaxChurn = 0.5
+	}
 	s := &System{
-		cfg:     cfg,
-		Clock:   simnet.NewClock(cfg.Start),
-		Net:     simnet.NewNetwork(),
-		DB:      flowdb.New(),
-		stores:  make(map[string]*datastore.Store, len(cfg.Sites)),
-		central: simnet.SiteID(cfg.Central),
-		pending: make(map[string][]pendingExport),
+		cfg:      cfg,
+		Clock:    simnet.NewClock(cfg.Start),
+		Net:      simnet.NewNetwork(),
+		DB:       flowdb.New(),
+		stores:   make(map[string]*datastore.Store, len(cfg.Sites)),
+		central:  simnet.SiteID(cfg.Central),
+		pending:  make(map[string][]pendingExport),
+		sendBase: make(map[string]*flowtree.Tree),
+		recvBase: make(map[string]*flowtree.Tree),
+		shipMu:   make(map[string]*sync.Mutex, len(cfg.Sites)),
+	}
+	for _, site := range cfg.Sites {
+		s.shipMu[site] = &sync.Mutex{}
 	}
 	s.Net.AddSite(s.central)
 	for _, site := range cfg.Sites {
@@ -382,9 +422,36 @@ func (s *System) exportSite(site string, epochStart time.Time) ([]flowdb.Row, er
 	if !ok {
 		return nil, fmt.Errorf("flowstream: site %q aggregator is %T", site, sealed)
 	}
-	wire := ft.Tree().AppendBinary(nil)
-	batch := append(s.takeShippable(site), pendingExport{start: epochStart, width: s.cfg.Epoch, wire: wire})
+	tree := ft.Tree()
+	s.shipMu[site].Lock()
+	defer s.shipMu[site].Unlock()
+	pe := pendingExport{start: epochStart, width: s.cfg.Epoch}
+	if s.cfg.DeltaExports {
+		pe.wire, pe.delta = tree.AppendDeltaOrFull(nil, s.baseOf(s.sendBase, site), s.cfg.DeltaMaxChurn)
+		s.setBase(s.sendBase, site, tree)
+	} else {
+		pe.wire = tree.AppendBinary(nil)
+	}
+	batch := s.takeShippable(site, append(s.takePending(site), pe))
 	return s.ship(site, batch)
+}
+
+// baseOf / setBase access the per-site delta chain state under baseMu; a
+// nil tree deletes the entry.
+func (s *System) baseOf(m map[string]*flowtree.Tree, site string) *flowtree.Tree {
+	s.baseMu.Lock()
+	defer s.baseMu.Unlock()
+	return m[site]
+}
+
+func (s *System) setBase(m map[string]*flowtree.Tree, site string, t *flowtree.Tree) {
+	s.baseMu.Lock()
+	defer s.baseMu.Unlock()
+	if t == nil {
+		delete(m, site)
+		return
+	}
+	m[site] = t
 }
 
 // ship transfers queued epochs for one site to central in order, decoding
@@ -402,12 +469,27 @@ func (s *System) ship(site string, batch []pendingExport) ([]flowdb.Row, error) 
 			}
 			return rows, fmt.Errorf("flowstream: export %q: %w", site, err)
 		}
-		tree, err := flowtree.Decode(pe.wire, s.cfg.CentralBudget)
+		tree, err := s.decodeFrame(site, pe)
 		if err != nil {
 			// The undecodable blob itself was delivered and is not
 			// requeued (it would never decode on a retry either), but
-			// the epochs behind it stay queued for re-shipment.
-			s.requeue(site, batch[i+1:])
+			// the epochs behind it stay queued for re-shipment — except
+			// delta frames chained directly off the bad frame, which can
+			// never apply: they are dropped (counted) up to the next full
+			// frame, and the sender chain resets if none remains.
+			rest := batch[i+1:]
+			if s.cfg.DeltaExports {
+				j := 0
+				for j < len(rest) && rest[j].delta {
+					s.dropped.Add(1)
+					j++
+				}
+				rest = rest[j:]
+				if len(rest) == 0 {
+					s.setBase(s.sendBase, site, nil)
+				}
+			}
+			s.requeue(site, rest)
 			return rows, fmt.Errorf("flowstream: decode export of %q: %w", site, err)
 		}
 		rows = append(rows, flowdb.Row{
@@ -420,6 +502,29 @@ func (s *System) ship(site string, batch []pendingExport) ([]flowdb.Row, error) 
 	return rows, nil
 }
 
+// decodeFrame turns one delivered blob into the row tree. With delta
+// exports, central retains a full-fidelity reconstruction per site as the
+// base the next delta applies onto; the row tree is that reconstruction,
+// re-compressed to CentralBudget when one is set.
+func (s *System) decodeFrame(site string, pe pendingExport) (*flowtree.Tree, error) {
+	if !s.cfg.DeltaExports {
+		return flowtree.Decode(pe.wire, s.cfg.CentralBudget)
+	}
+	recon, err := flowtree.DecodeDelta(pe.wire, s.baseOf(s.recvBase, site), 0)
+	if err != nil {
+		return nil, err
+	}
+	s.setBase(s.recvBase, site, recon)
+	if s.cfg.CentralBudget == 0 {
+		return recon, nil
+	}
+	row := recon.Clone()
+	if err := row.SetBudget(s.cfg.CentralBudget); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
 // takePending removes and returns a site's queued exports, oldest first.
 func (s *System) takePending(site string) []pendingExport {
 	s.pendMu.Lock()
@@ -429,25 +534,42 @@ func (s *System) takePending(site string) []pendingExport {
 	return batch
 }
 
-// takeShippable drains a site's queue like takePending and then applies the
-// retention cap: queued epochs the site's round-robin retention has since
-// evicted are dropped and counted — the site no longer holds that data
-// locally, so re-shipping the stale blob would claim an epoch the site
-// could not answer queries about. The queue therefore never outlives the
-// retention horizon by more than one drain interval.
-func (s *System) takeShippable(site string) []pendingExport {
-	batch := s.takePending(site)
+// takeShippable filters a drained batch down to what can actually be
+// shipped. Two filters apply:
+//
+//  1. Retention cap: queued epochs the site's round-robin retention has
+//     since evicted are dropped and counted — the site no longer holds
+//     that data locally, so re-shipping the stale blob would claim an
+//     epoch the site could not answer queries about. The queue therefore
+//     never outlives the retention horizon by more than one drain
+//     interval.
+//  2. Delta-chain integrity: a v3 delta frame decodes only right after
+//     the frame before it in the stream. Once any frame is dropped, the
+//     delta frames chained behind it can never apply; they are dropped
+//     (counted) until the next full frame resets the chain. If the chain
+//     is still broken at the end of the batch, the sender's chain tail is
+//     cleared so the next sealed epoch ships as a full frame.
+func (s *System) takeShippable(site string, batch []pendingExport) []pendingExport {
 	if len(batch) == 0 {
 		return batch
 	}
 	st := s.stores[site]
 	kept := batch[:0]
+	broken := false
 	for _, pe := range batch {
-		if st.RetainsEpoch(aggName, pe.start) {
-			kept = append(kept, pe)
-		} else {
+		switch {
+		case broken && pe.delta:
 			s.dropped.Add(1)
+		case !st.RetainsEpoch(aggName, pe.start):
+			s.dropped.Add(1)
+			broken = true
+		default:
+			kept = append(kept, pe)
+			broken = false
 		}
+	}
+	if broken && s.cfg.DeltaExports {
+		s.setBase(s.sendBase, site, nil)
 	}
 	return kept
 }
@@ -489,11 +611,15 @@ func (s *System) ReExportPending() (int, error) {
 	var all []flowdb.Row
 	var firstErr error
 	for _, site := range s.cfg.Sites {
-		batch := s.takeShippable(site)
-		if len(batch) == 0 {
-			continue
-		}
-		rows, err := s.ship(site, batch)
+		rows, err := func() ([]flowdb.Row, error) {
+			s.shipMu[site].Lock()
+			defer s.shipMu[site].Unlock()
+			batch := s.takeShippable(site, s.takePending(site))
+			if len(batch) == 0 {
+				return nil, nil
+			}
+			return s.ship(site, batch)
+		}()
 		all = append(all, rows...)
 		if err != nil && firstErr == nil {
 			firstErr = err

@@ -39,12 +39,32 @@ import (
 // uvarints. Flow keys cluster in real traces (few /8s, shared ports), so
 // most entries ship a handful of bytes instead of 40. AppendBinary and
 // SizeBytes both speak v2; Decode dispatches on the version byte.
+//
+// Version 3 (delta, epoch-to-epoch):
+//
+//	header | 8-byte base fingerprint | uvarint changed count |
+//	changed entries | uvarint removed count | removed keys
+//
+// A v3 frame carries the difference between this tree and a base tree the
+// receiver already retains (the last acked epoch). The fingerprint is
+// DeltaHash of the base; the receiver verifies its retained copy matches
+// before applying (ErrDeltaBase otherwise). Changed entries are added or
+// re-weighted keys with their absolute counters, encoded exactly like v2
+// entries (sorted keyLess, prefix-delta keys); removed keys are keys present
+// in the base but absent now, encoded as v2 key diffs without counters.
+// Both lists are strictly sorted. Decoding applies the delta onto the
+// retained base and yields the full tree — see AppendDelta / DecodeDelta in
+// delta.go. Senders fall back to a full v2 frame when churn is too high for
+// the delta to pay or no acked base exists (AppendDeltaOrFull); plain
+// Decode rejects v3 frames because they are meaningless without the base.
 const (
 	_wireMagic = 0x464C5754 // "FLWT"
 	// WireV1 is the legacy fixed-width wire format (40 bytes/node).
 	WireV1 = 1
 	// WireV2 is the compact sorted prefix-delta wire format.
 	WireV2 = 2
+	// WireV3 is the epoch-delta wire format (relative to a retained base).
+	WireV3 = 3
 	// wireHeaderSize is magic + version + stepBits, shared by all versions.
 	wireHeaderSize = 6
 	// nodeWireSizeV1 is 16 bytes of key + 3*8 bytes of counters.
@@ -178,11 +198,10 @@ func wildByte(k flow.Key) byte {
 	return w
 }
 
-// v2AppendEntry emits one v2 entry delta-encoded against prev. It is the
-// single source of truth for the entry layout: the encoder and the exact
-// size computation (WireSizeBytes) both go through it.
-func v2AppendEntry(dst []byte, prev flow.Key, e Entry) []byte {
-	k := e.Key
+// v2AppendKey emits one key delta-encoded against prev: the flags byte
+// naming the differing fields, then the changed fields only. Shared by v2
+// entries and the v3 removed-key list.
+func v2AppendKey(dst []byte, prev, k flow.Key) []byte {
 	flags := v2KeyDiff(prev, k)
 	dst = append(dst, flags)
 	if flags&v2FlagSrcIP != 0 {
@@ -206,6 +225,14 @@ func v2AppendEntry(dst []byte, prev flow.Key, e Entry) []byte {
 	if flags&v2FlagWild != 0 {
 		dst = append(dst, wildByte(k))
 	}
+	return dst
+}
+
+// v2AppendEntry emits one v2 entry delta-encoded against prev. It is the
+// single source of truth for the entry layout: the encoder and the exact
+// size computation (WireSizeBytes) both go through it.
+func v2AppendEntry(dst []byte, prev flow.Key, e Entry) []byte {
+	dst = v2AppendKey(dst, prev, e.Key)
 	dst = binary.AppendUvarint(dst, e.Counters.Packets)
 	dst = binary.AppendUvarint(dst, e.Counters.Bytes)
 	dst = binary.AppendUvarint(dst, e.Counters.Flows)
@@ -307,6 +334,8 @@ func Decode(src []byte, budget int, opts ...Option) (*Tree, error) {
 		err = t.decodeV1(body)
 	case WireV2:
 		err = t.decodeV2(body)
+	case WireV3:
+		return nil, fmt.Errorf("%w: v3 is a delta frame and needs the retained base (use DecodeDelta)", ErrCodec)
 	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, version)
 	}
@@ -376,6 +405,72 @@ func (r *v2Reader) byte() byte {
 	return b
 }
 
+// key decodes one delta-encoded key against prev (the inverse of
+// v2AppendKey), validating every field's range. On error the reader's err is
+// set and the partial key is returned; callers check r.err.
+func (r *v2Reader) key(prev flow.Key) flow.Key {
+	flags := r.byte()
+	if r.err == nil && flags&v2FlagReserved != 0 {
+		r.err = fmt.Errorf("%w: reserved flag set", ErrCodec)
+		return prev
+	}
+	k := prev
+	if flags&v2FlagSrcIP != 0 {
+		delta := r.uvarint()
+		if r.err == nil && delta > uint64(^uint32(0))-uint64(k.SrcIP) {
+			r.err = fmt.Errorf("%w: source address delta overflows", ErrCodec)
+			return k
+		}
+		k.SrcIP += flow.IPv4(delta)
+	}
+	if flags&v2FlagDstIP != 0 {
+		v := r.uvarint()
+		if r.err == nil && v > uint64(^uint32(0)) {
+			r.err = fmt.Errorf("%w: destination address out of range", ErrCodec)
+			return k
+		}
+		k.DstIP = flow.IPv4(v)
+	}
+	if flags&v2FlagSrcPort != 0 {
+		v := r.uvarint()
+		if r.err == nil && v > uint64(^uint16(0)) {
+			r.err = fmt.Errorf("%w: source port out of range", ErrCodec)
+			return k
+		}
+		k.SrcPort = uint16(v)
+	}
+	if flags&v2FlagDstPort != 0 {
+		v := r.uvarint()
+		if r.err == nil && v > uint64(^uint16(0)) {
+			r.err = fmt.Errorf("%w: destination port out of range", ErrCodec)
+			return k
+		}
+		k.DstPort = uint16(v)
+	}
+	if flags&v2FlagProto != 0 {
+		k.Proto = flow.Proto(r.byte())
+	}
+	if flags&v2FlagPrefixes != 0 {
+		k.SrcPrefix = r.byte()
+		k.DstPrefix = r.byte()
+		if r.err == nil && (k.SrcPrefix > 32 || k.DstPrefix > 32) {
+			r.err = fmt.Errorf("%w: prefix out of range (%d,%d)", ErrCodec, k.SrcPrefix, k.DstPrefix)
+			return k
+		}
+	}
+	if flags&v2FlagWild != 0 {
+		w := r.byte()
+		if r.err == nil && w > 7 {
+			r.err = fmt.Errorf("%w: unknown wildcard bits %#x", ErrCodec, w)
+			return k
+		}
+		k.WildProto = w&1 != 0
+		k.WildSrcPort = w&2 != 0
+		k.WildDstPort = w&4 != 0
+	}
+	return k
+}
+
 func (t *Tree) decodeV2(src []byte) error {
 	r := &v2Reader{src: src}
 	count := r.uvarint()
@@ -389,58 +484,7 @@ func (t *Tree) decodeV2(src []byte) error {
 	}
 	var prev flow.Key
 	for i := uint64(0); i < count; i++ {
-		flags := r.byte()
-		if r.err == nil && flags&v2FlagReserved != 0 {
-			return fmt.Errorf("%w: reserved flag set", ErrCodec)
-		}
-		k := prev
-		if flags&v2FlagSrcIP != 0 {
-			delta := r.uvarint()
-			if r.err == nil && delta > uint64(^uint32(0))-uint64(k.SrcIP) {
-				return fmt.Errorf("%w: source address delta overflows", ErrCodec)
-			}
-			k.SrcIP += flow.IPv4(delta)
-		}
-		if flags&v2FlagDstIP != 0 {
-			v := r.uvarint()
-			if r.err == nil && v > uint64(^uint32(0)) {
-				return fmt.Errorf("%w: destination address out of range", ErrCodec)
-			}
-			k.DstIP = flow.IPv4(v)
-		}
-		if flags&v2FlagSrcPort != 0 {
-			v := r.uvarint()
-			if r.err == nil && v > uint64(^uint16(0)) {
-				return fmt.Errorf("%w: source port out of range", ErrCodec)
-			}
-			k.SrcPort = uint16(v)
-		}
-		if flags&v2FlagDstPort != 0 {
-			v := r.uvarint()
-			if r.err == nil && v > uint64(^uint16(0)) {
-				return fmt.Errorf("%w: destination port out of range", ErrCodec)
-			}
-			k.DstPort = uint16(v)
-		}
-		if flags&v2FlagProto != 0 {
-			k.Proto = flow.Proto(r.byte())
-		}
-		if flags&v2FlagPrefixes != 0 {
-			k.SrcPrefix = r.byte()
-			k.DstPrefix = r.byte()
-			if r.err == nil && (k.SrcPrefix > 32 || k.DstPrefix > 32) {
-				return fmt.Errorf("%w: prefix out of range (%d,%d)", ErrCodec, k.SrcPrefix, k.DstPrefix)
-			}
-		}
-		if flags&v2FlagWild != 0 {
-			w := r.byte()
-			if r.err == nil && w > 7 {
-				return fmt.Errorf("%w: unknown wildcard bits %#x", ErrCodec, w)
-			}
-			k.WildProto = w&1 != 0
-			k.WildSrcPort = w&2 != 0
-			k.WildDstPort = w&4 != 0
-		}
+		k := r.key(prev)
 		c := flow.Counters{
 			Packets: r.uvarint(),
 			Bytes:   r.uvarint(),

@@ -1,8 +1,12 @@
 package flowtree
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"megadata/internal/flow"
 	"megadata/internal/workload"
 )
 
@@ -84,4 +88,129 @@ func FuzzDecodeTree(f *testing.F) {
 			}
 		}
 	})
+}
+
+// deltaFuzzBase is the deterministic retained base every FuzzDecodeTreeDelta
+// execution applies candidate v3 frames onto. Seeds are encoded against this
+// exact tree so the fuzz engine starts past the fingerprint check.
+func deltaFuzzBase(tb testing.TB) *Tree {
+	tb.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 7, Skew: 1.3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := New(0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr.AddBatch(g.Records(50))
+	return tr
+}
+
+// corpusSeed is one named seed of the checked-in delta fuzz corpus.
+type corpusSeed struct {
+	name string
+	data []byte
+}
+
+// deltaFuzzSeeds builds the in-code seed corpus of FuzzDecodeTreeDelta: a
+// real delta against the fuzz base (mutations plus compression folds, so
+// both the changed and removed lists are populated), an empty delta, a
+// delta with a corrupted base fingerprint, structurally broken variants,
+// and a full v2 frame for the pass-through path. The checked-in files under
+// testdata/fuzz/FuzzDecodeTreeDelta mirror these (TestWriteDeltaFuzzCorpus
+// regenerates them).
+func deltaFuzzSeeds(tb testing.TB) []corpusSeed {
+	tb.Helper()
+	base := deltaFuzzBase(tb)
+	cur := base.Clone()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 8, Skew: 1.3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cur.AddBatch(g.Records(20))
+	cur.AddCounters(cur.Entries()[0].Key, flow.Counters{Packets: 3, Bytes: 300, Flows: 1})
+	cur.CompressTo(cur.Len() * 3 / 4) // folds ⇒ removed keys in the delta
+	delta, err := cur.AppendDelta(nil, base)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	empty, err := base.AppendDelta(nil, base.Clone())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	badHash := append([]byte{}, delta...)
+	badHash[wireHeaderSize] ^= 0xff
+	return []corpusSeed{
+		{"seed_delta", delta},
+		{"seed_delta_empty", empty},
+		{"seed_delta_badhash", badHash},
+		{"seed_delta_truncated", delta[:len(delta)/2]},
+		{"seed_delta_header_only", delta[:wireHeaderSize]},
+		{"seed_v2_passthrough", cur.AppendBinary(nil)},
+	}
+}
+
+// FuzzDecodeTreeDelta hammers the v3 delta decoder: DecodeDelta must never
+// panic on arbitrary bytes — with or without a retained base — and a
+// successful apply must yield a canonical tree whose re-encoding round
+// trips. Delta frames cross the same WAN as full frames, so the decoder
+// faces the same damaged links and hostile peers.
+func FuzzDecodeTreeDelta(f *testing.F) {
+	for _, s := range deltaFuzzSeeds(f) {
+		f.Add(s.data)
+	}
+	base := deltaFuzzBase(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Same per-exec work bound as FuzzDecodeTree.
+		if len(data) > 8<<10 {
+			return
+		}
+		tr, err := DecodeDelta(data, base, 0)
+		if err != nil {
+			// The no-base path must not panic either.
+			if _, err := DecodeDelta(data, nil, 0); err == nil {
+				t.Fatal("frame decodes with nil base but not with one")
+			}
+			return
+		}
+		wire := tr.AppendBinary(nil)
+		again, err := Decode(wire, 0)
+		if err != nil {
+			t.Fatalf("re-decode of applied delta failed: %v", err)
+		}
+		if again.Total() != tr.Total() {
+			t.Fatalf("round trip changed total: %+v vs %+v", again.Total(), tr.Total())
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed node count: %d vs %d", again.Len(), tr.Len())
+		}
+		// A budgeted apply of the same bytes must not panic and preserves
+		// total weight.
+		if small, err := DecodeDelta(data, base, 64); err == nil {
+			if small.Total() != tr.Total() {
+				t.Fatalf("budgeted apply changed total: %+v vs %+v", small.Total(), tr.Total())
+			}
+		}
+	})
+}
+
+// TestWriteDeltaFuzzCorpus rewrites the checked-in seed corpus under
+// testdata/fuzz/FuzzDecodeTreeDelta from the in-code seeds. Gated behind an
+// env var: run FLOWTREE_WRITE_CORPUS=1 go test ./internal/flowtree -run
+// TestWriteDeltaFuzzCorpus after changing the v3 format or the seeds.
+func TestWriteDeltaFuzzCorpus(t *testing.T) {
+	if os.Getenv("FLOWTREE_WRITE_CORPUS") == "" {
+		t.Skip("set FLOWTREE_WRITE_CORPUS=1 to rewrite the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeTreeDelta")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range deltaFuzzSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s.data)
+		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"megadata/internal/datastore"
@@ -36,6 +37,9 @@ type Hierarchy struct {
 	nodes map[simnet.SiteID]*Node
 	// aggName is the Flowtree aggregator registered at every store.
 	aggName string
+	// cfg is retained for Graft: grafted nodes get the same store
+	// registration, budget and link as construction-time nodes.
+	cfg Config
 }
 
 // Config parameterizes hierarchy construction.
@@ -52,6 +56,9 @@ type Config struct {
 	Link simnet.Link
 	// Start initializes the virtual clock.
 	Start time.Time
+	// ExportWorkers bounds the per-level rollup concurrency (0 = 8): how
+	// many nodes of one level serialize, transfer and merge at once.
+	ExportWorkers int
 }
 
 // AggregatorName is the Flowtree aggregator each node's store registers.
@@ -81,33 +88,13 @@ func New(cfg Config) (*Hierarchy, error) {
 		Clock:   simnet.NewClock(cfg.Start),
 		nodes:   make(map[simnet.SiteID]*Node),
 		aggName: AggregatorName,
+		cfg:     cfg,
 	}
 	var build func(level int, path string, parent *Node) (*Node, error)
 	build = func(level int, path string, parent *Node) (*Node, error) {
-		site := simnet.SiteID(path)
-		store := datastore.New(path, h.Clock.Now)
-		budget := cfg.TreeBudget
-		err := store.Register(datastore.AggregatorConfig{
-			Name: h.aggName,
-			New: func() (primitive.Aggregator, error) {
-				return primitive.NewFlowtree(AggregatorName, budget)
-			},
-			Strategy:    datastore.StrategyRoundRobin,
-			BudgetBytes: 64 << 20,
-		})
+		n, err := h.newNode(path, cfg.Levels[level], parent)
 		if err != nil {
 			return nil, err
-		}
-		if err := store.Subscribe("flows", h.aggName); err != nil {
-			return nil, err
-		}
-		n := &Node{Site: site, Level: cfg.Levels[level], Store: store, Parent: parent}
-		h.Net.AddSite(site)
-		h.nodes[site] = n
-		if parent != nil {
-			if err := h.Net.Connect(parent.Site, site, cfg.Link); err != nil {
-				return nil, err
-			}
 		}
 		if level < len(cfg.Levels)-1 {
 			for i := 0; i < cfg.Fanout[level]; i++ {
@@ -126,6 +113,88 @@ func New(cfg Config) (*Hierarchy, error) {
 	}
 	h.Root = root
 	return h, nil
+}
+
+// newNode registers one site: a data store with the Flowtree aggregator
+// subscribed to the "flows" stream, a simnet site, and (for non-roots) the
+// configured link to its parent.
+func (h *Hierarchy) newNode(path, level string, parent *Node) (*Node, error) {
+	site := simnet.SiteID(path)
+	if _, exists := h.nodes[site]; exists {
+		return nil, fmt.Errorf("hierarchy: site %q already exists", site)
+	}
+	store := datastore.New(path, h.Clock.Now)
+	budget := h.cfg.TreeBudget
+	err := store.Register(datastore.AggregatorConfig{
+		Name: h.aggName,
+		New: func() (primitive.Aggregator, error) {
+			return primitive.NewFlowtree(AggregatorName, budget)
+		},
+		Strategy:    datastore.StrategyRoundRobin,
+		BudgetBytes: 64 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Subscribe("flows", h.aggName); err != nil {
+		return nil, err
+	}
+	n := &Node{Site: site, Level: level, Store: store, Parent: parent}
+	h.Net.AddSite(site)
+	h.nodes[site] = n
+	if parent != nil {
+		if err := h.Net.Connect(parent.Site, site, h.cfg.Link); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Graft adds a new site named name under parent at the given level name —
+// topology churn: an aggregator or leaf joining mid-run. The node gets the
+// same store registration, tree budget and link as construction-time nodes
+// and participates in the next Rollup.
+func (h *Hierarchy) Graft(parent simnet.SiteID, name, level string) (*Node, error) {
+	p, ok := h.nodes[parent]
+	if !ok {
+		return nil, fmt.Errorf("hierarchy: graft under unknown site %q", parent)
+	}
+	n, err := h.newNode(fmt.Sprintf("%s/%s", parent, name), level, p)
+	if err != nil {
+		return nil, err
+	}
+	p.Children = append(p.Children, n)
+	return n, nil
+}
+
+// Prune detaches the subtree rooted at site — topology churn: an
+// aggregator or leaf leaving mid-run. Weight already merged upward stays;
+// unexported weight at the pruned nodes is lost, as it would be when a real
+// site disappears. The root cannot be pruned.
+func (h *Hierarchy) Prune(site simnet.SiteID) error {
+	n, ok := h.nodes[site]
+	if !ok {
+		return fmt.Errorf("hierarchy: prune unknown site %q", site)
+	}
+	if n.Parent == nil {
+		return errors.New("hierarchy: cannot prune the root")
+	}
+	kept := n.Parent.Children[:0]
+	for _, c := range n.Parent.Children {
+		if c != n {
+			kept = append(kept, c)
+		}
+	}
+	n.Parent.Children = kept
+	var detach func(*Node)
+	detach = func(x *Node) {
+		delete(h.nodes, x.Site)
+		for _, c := range x.Children {
+			detach(c)
+		}
+	}
+	detach(n)
+	return nil
 }
 
 // NewFactory builds the Figure 1a topology: cloud → factory → production
@@ -191,9 +260,19 @@ type LevelBytes struct {
 }
 
 // Rollup exports every node's live Flowtree to its parent, bottom-up:
-// serialize, transfer over the WAN (metered), merge into the parent's live
-// tree — the paper's "A12 = compress(A1 ∪ A2)" across the hierarchy.
-// It returns the per-level export volume, leaves first.
+// snapshot, serialize, transfer over the WAN (metered), merge into the
+// parent's live tree — the paper's "A12 = compress(A1 ∪ A2)" across the
+// hierarchy. Within a level the exports run through a bounded worker pool
+// (Config.ExportWorkers) so slow links overlap, with a barrier between
+// levels: a parent exports only after all its children merged in. Exports
+// read a snapshot taken under the store locks, so leaves may keep ingesting
+// concurrently.
+//
+// A failing node — a transient link fault, a store error — does not abort
+// the pass: the rest of its level and every upper level still ship, and the
+// per-node errors come back joined (errors.Join) alongside the report for
+// the levels that did export. The failed node's weight is not lost: it
+// stays in its live tree and rides the next rollup.
 func (h *Hierarchy) Rollup() ([]LevelBytes, error) {
 	perLevel := map[string]*LevelBytes{}
 	// Process deepest levels first: collect nodes by depth.
@@ -209,33 +288,44 @@ func (h *Hierarchy) Rollup() ([]LevelBytes, error) {
 		}
 	}
 	walk(h.Root, 0)
+	workers := h.cfg.ExportWorkers
+	if workers <= 0 {
+		workers = 8
+	}
+	var errs []error
 	for depth := len(byDepth) - 1; depth > 0; depth-- {
 		nodes := byDepth[depth]
 		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Site < nodes[j].Site })
-		for _, n := range nodes {
-			agg, err := n.Store.Live(h.aggName)
+		nodeErrs := make([]error, len(nodes))
+		var mu sync.Mutex
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, n := range nodes {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, n *Node) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				size, err := h.exportNode(n)
+				if err != nil {
+					nodeErrs[i] = err
+					return
+				}
+				mu.Lock()
+				lb := perLevel[n.Level]
+				if lb == nil {
+					lb = &LevelBytes{Level: n.Level}
+					perLevel[n.Level] = lb
+				}
+				lb.Bytes += size
+				lb.Nodes++
+				mu.Unlock()
+			}(i, n)
+		}
+		wg.Wait()
+		for _, err := range nodeErrs {
 			if err != nil {
-				return nil, err
-			}
-			ft, ok := agg.(*primitive.FlowtreeAggregator)
-			if !ok {
-				return nil, fmt.Errorf("hierarchy: node %s aggregator is %T", n.Site, agg)
-			}
-			size := ft.Tree().SizeBytes()
-			lb := perLevel[n.Level]
-			if lb == nil {
-				lb = &LevelBytes{Level: n.Level}
-				perLevel[n.Level] = lb
-			}
-			lb.Bytes += size
-			lb.Nodes++
-			if _, err := h.Net.Transfer(n.Site, n.Parent.Site, size); err != nil {
-				return nil, fmt.Errorf("hierarchy: export %s: %w", n.Site, err)
-			}
-			// MergeLive (rather than mutating a Live reference) keeps
-			// the rollup correct even if a node's store is sharded.
-			if err := n.Parent.Store.MergeLive(h.aggName, ft); err != nil {
-				return nil, fmt.Errorf("hierarchy: merge into %s: %w", n.Parent.Site, err)
+				errs = append(errs, err)
 			}
 		}
 	}
@@ -248,7 +338,30 @@ func (h *Hierarchy) Rollup() ([]LevelBytes, error) {
 			delete(perLevel, level)
 		}
 	}
-	return out, nil
+	return out, errors.Join(errs...)
+}
+
+// exportNode ships one node's live summary to its parent and returns the
+// metered byte volume.
+func (h *Hierarchy) exportNode(n *Node) (uint64, error) {
+	agg, err := n.Store.SnapshotLive(h.aggName)
+	if err != nil {
+		return 0, fmt.Errorf("hierarchy: snapshot %s: %w", n.Site, err)
+	}
+	ft, ok := agg.(*primitive.FlowtreeAggregator)
+	if !ok {
+		return 0, fmt.Errorf("hierarchy: node %s aggregator is %T", n.Site, agg)
+	}
+	size := ft.Tree().SizeBytes()
+	if _, err := h.Net.Transfer(n.Site, n.Parent.Site, size); err != nil {
+		return 0, fmt.Errorf("hierarchy: export %s: %w", n.Site, err)
+	}
+	// MergeLive (rather than mutating a Live reference) keeps the rollup
+	// correct even if a node's store is sharded.
+	if err := n.Parent.Store.MergeLive(h.aggName, ft); err != nil {
+		return 0, fmt.Errorf("hierarchy: merge into %s: %w", n.Parent.Site, err)
+	}
+	return size, nil
 }
 
 // RootTree returns the root's merged live Flowtree.

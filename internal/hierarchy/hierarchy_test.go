@@ -1,6 +1,9 @@
 package hierarchy
 
 import (
+	"errors"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -145,6 +148,176 @@ func TestRollupBudgetReducesEgress(t *testing.T) {
 	regionPer := levels[1].Bytes / uint64(levels[1].Nodes)
 	if regionPer > 2*routerPer {
 		t.Errorf("region per-node egress %d not compressed vs router %d", regionPer, routerPer)
+	}
+}
+
+// TestRollupPartialFailure pins the aggregated-error contract: a node whose
+// uplink fails does not abort the pass — its siblings and every upper level
+// still export, and the joined error names the failed site.
+func TestRollupPartialFailure(t *testing.T) {
+	h, err := NewNetworkMonitoring(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := h.Leaves()
+	var want, lost flow.Counters
+	for i, leaf := range leaves {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1), Sources: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := g.Records(400)
+		for _, r := range recs {
+			want.Add(flow.CountersOf(r))
+		}
+		if i == 0 {
+			for _, r := range recs {
+				lost.Add(flow.CountersOf(r))
+			}
+		}
+		if err := h.IngestAtLeaf(leaf, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Break leaf 0's uplink: every transfer attempt fails.
+	bad := leaves[0]
+	if err := h.Net.Connect(bad.Parent.Site, bad.Site, simnet.Link{BytesPerSecond: 1e6, FailEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	levels, err := h.Rollup()
+	if err == nil {
+		t.Fatal("rollup over a dead uplink must report an error")
+	}
+	if !errors.Is(err, simnet.ErrTransient) {
+		t.Errorf("err = %v, want wrapped ErrTransient", err)
+	}
+	if !strings.Contains(err.Error(), string(bad.Site)) {
+		t.Errorf("error %q does not name the failed site %s", err, bad.Site)
+	}
+	// The rest of the level exported: 3 of 4 routers.
+	if len(levels) == 0 || levels[0].Nodes != 3 {
+		t.Fatalf("router level exported %+v, want 3 nodes", levels)
+	}
+	// Upper levels are not stale: both regions and the network shipped, and
+	// the root holds everything except the failed leaf's weight.
+	if levels[1].Nodes != 2 || levels[2].Nodes != 1 {
+		t.Errorf("upper levels = %+v", levels)
+	}
+	root, err := h.RootTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Sub(lost)
+	if got := root.Total(); got != want {
+		t.Errorf("root total = %+v, want %+v (all but the failed leaf)", got, want)
+	}
+}
+
+// TestConcurrentIngestDuringRollup drives ingest into every leaf while a
+// multi-level rollup exports — the race the snapshot-based export path must
+// survive (run under -race).
+func TestConcurrentIngestDuringRollup(t *testing.T) {
+	h, err := NewNetworkMonitoring(2, 4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := h.Leaves()
+	for i, leaf := range leaves {
+		g, _ := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1)})
+		if err := h.IngestAtLeaf(leaf, g.Records(500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, leaf := range leaves {
+		wg.Add(1)
+		go func(i int, leaf *Node) {
+			defer wg.Done()
+			g, _ := workload.NewFlowGen(workload.FlowConfig{Seed: int64(100 + i)})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := h.IngestAtLeaf(leaf, g.Records(50)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, leaf)
+	}
+	for pass := 0; pass < 3; pass++ {
+		if _, err := h.Rollup(); err != nil {
+			t.Errorf("rollup pass %d: %v", pass, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestGraftPrune covers topology churn: grafted nodes join the next rollup,
+// pruned subtrees leave it.
+func TestGraftPrune(t *testing.T) {
+	h, err := NewNetworkMonitoring(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := h.Graft(h.Root.Children[0].Site, "region2", "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := h.Graft(n.Site, "router0", "router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Leaves()) != 5 {
+		t.Fatalf("leaves = %d, want 5 after graft", len(h.Leaves()))
+	}
+	g, _ := workload.NewFlowGen(workload.FlowConfig{Seed: 3})
+	recs := g.Records(200)
+	var want flow.Counters
+	for _, r := range recs {
+		want.Add(flow.CountersOf(r))
+	}
+	if err := h.IngestAtLeaf(leaf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Rollup(); err != nil {
+		t.Fatal(err)
+	}
+	root, err := h.RootTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Total() != want {
+		t.Errorf("grafted leaf's weight did not reach the root: %+v vs %+v", root.Total(), want)
+	}
+	// Prune the grafted region: its subtree leaves the topology.
+	if err := h.Prune(n.Site); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Leaves()) != 4 {
+		t.Errorf("leaves = %d after prune, want 4", len(h.Leaves()))
+	}
+	if _, ok := h.Node(leaf.Site); ok {
+		t.Error("pruned descendant still resolvable")
+	}
+	if err := h.Prune("ghost"); err == nil {
+		t.Error("pruning an unknown site must error")
+	}
+	if err := h.Prune(h.Root.Site); err == nil {
+		t.Error("pruning the root must error")
+	}
+	if _, err := h.Graft("ghost", "x", "region"); err == nil {
+		t.Error("grafting under an unknown site must error")
+	}
+	if _, err := h.Graft(h.Root.Site, "dup", "region"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Graft(h.Root.Site, "dup", "region"); err == nil {
+		t.Error("grafting a duplicate site must error")
 	}
 }
 

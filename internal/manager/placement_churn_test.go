@@ -1,0 +1,154 @@
+package manager
+
+import (
+	"errors"
+	"testing"
+
+	"megadata/internal/hierarchy"
+	"megadata/internal/replication"
+	"megadata/internal/simnet"
+	"megadata/internal/workload"
+)
+
+// TestPlacementUnderTopologyChurn drives the placement decision through
+// aggregator joins and leaves mid-epoch: placements recompute against the
+// grafted topology, span exactly as far as the new subtree requires, and
+// pruned subtrees invalidate the placements that depended on them.
+func TestPlacementUnderTopologyChurn(t *testing.T) {
+	// network / region{0,1} / router{0,1} each.
+	h, err := hierarchy.NewNetworkMonitoring(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := h.Leaves()
+	// An epoch is open: leaves have live data and one rollup has run.
+	for i, leaf := range leaves {
+		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.IngestAtLeaf(leaf, g.Records(200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Rollup(); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := Place(h, []AppNeed{
+		{App: "cross", Leaves: []simnet.SiteID{leaves[0].Site, leaves[3].Site}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cloud -> network0 -> region -> router: cross-region apps meet at
+	// the network aggregator, one below the root.
+	if before[0].Level != "network" || before[0].Depth != 1 {
+		t.Fatalf("cross-region app not at the network level: %+v", before[0])
+	}
+
+	// Mid-epoch join: a new aggregator region with two routers grafts in.
+	network := h.Root.Children[0]
+	region, err := h.Graft(network.Site, "region9", "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := h.Graft(region.Site, "router-a", "router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := h.Graft(region.Site, "router-b", "router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And one deeper probe under a grafted router: placements across
+	// different depths resolve through the uneven-depth LCA walk.
+	probe, err := h.Graft(ra.Site, "probe0", "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Place(h, []AppNeed{
+		{App: "new-region", Leaves: []simnet.SiteID{ra.Site, rb.Site}},
+		{App: "probe-local", Leaves: []simnet.SiteID{probe.Site}},
+		{App: "uneven", Leaves: []simnet.SiteID{probe.Site, rb.Site}},
+		{App: "uneven-rev", Leaves: []simnet.SiteID{rb.Site, probe.Site}},
+		{App: "old-new", Leaves: []simnet.SiteID{leaves[0].Site, probe.Site}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Site != region.Site || got[0].Depth != 2 {
+		t.Errorf("new-region placed at %+v, want grafted region", got[0])
+	}
+	if got[1].Site != probe.Site || got[1].Depth != 4 {
+		t.Errorf("probe-local placed at %+v, want the probe leaf", got[1])
+	}
+	// A depth-4 probe and a depth-3 router meet at the grafted region,
+	// whichever order the walk sees them in.
+	for _, p := range got[2:4] {
+		if p.Site != region.Site {
+			t.Errorf("%s placed at %+v, want grafted region", p.App, p)
+		}
+	}
+	if got[4].Site != network.Site {
+		t.Errorf("old-new app not at the network aggregator: %+v", got[4])
+	}
+
+	// The grafted subtree participates in the running system: ingest at a
+	// grafted router mid-epoch, roll up again.
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.IngestAtLeaf(ra, g.Records(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Rollup(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-epoch leave: pruning the aggregator invalidates placements that
+	// depended on its subtree.
+	if err := h.Prune(region.Site); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(h, []AppNeed{
+		{App: "stale", Leaves: []simnet.SiteID{ra.Site}},
+	}); err == nil {
+		t.Error("placement over a pruned subtree must error")
+	}
+	// Placements over surviving sites still work.
+	after, err := Place(h, []AppNeed{
+		{App: "cross", Leaves: []simnet.SiteID{leaves[0].Site, leaves[3].Site}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0] != before[0] {
+		t.Errorf("surviving placement moved: %+v vs %+v", after[0], before[0])
+	}
+}
+
+// TestRefitPolicyAndDropAppEdges covers the control-plane error paths the
+// happy-path tests skip: refitting with no replication configured, with no
+// recorded accesses, and dropping an app that has no requirements.
+func TestRefitPolicyAndDropAppEdges(t *testing.T) {
+	m := New(nil)
+	if err := m.RefitPolicy(); !errors.Is(err, ErrNoPolicy) {
+		t.Errorf("refit without configuration = %v, want ErrNoPolicy", err)
+	}
+	m.ConfigureReplication(replication.Never{}, 1<<20, nil)
+	if err := m.RefitPolicy(); err == nil {
+		t.Error("refit with no recorded accesses must error")
+	}
+	if _, err := m.RecordAccess("remote", "local", 1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RefitPolicy(); err != nil {
+		t.Errorf("refit with one access: %v", err)
+	}
+	if n := m.DropApp("ghost"); n != 0 {
+		t.Errorf("dropping an unknown app removed %d requirements", n)
+	}
+}

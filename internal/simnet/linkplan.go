@@ -1,0 +1,68 @@
+package simnet
+
+import "hash/fnv"
+
+// LinkClass is one weighted link profile in a LinkPlan: a named speed
+// grade (e.g. "fiber", "dsl", "lossy-dsl") and how much of the fleet it
+// covers relative to the other classes.
+type LinkClass struct {
+	Name   string
+	Weight int
+	Link   Link
+}
+
+// LinkPlan deterministically assigns heterogeneous link profiles across a
+// fleet. For hashes (Seed, a, b) and picks a class by weight, so a
+// topology builder gets a reproducible mixed-speed, mixed-loss network
+// from one seed without enumerating links — and the assignment depends
+// only on the seed and the two site ids, never on construction order or
+// fleet size. An empty plan (no classes) assigns nothing; builders fall
+// back to their uniform default link.
+type LinkPlan struct {
+	Seed    int64
+	Classes []LinkClass
+}
+
+// Empty reports whether the plan assigns no classes.
+func (p LinkPlan) Empty() bool { return len(p.Classes) == 0 }
+
+// ClassOf returns the class the plan assigns to the directed pair (a, b),
+// and false when the plan is empty or all weights are zero.
+func (p LinkPlan) ClassOf(a, b SiteID) (LinkClass, bool) {
+	total := 0
+	for _, c := range p.Classes {
+		if c.Weight > 0 {
+			total += c.Weight
+		}
+	}
+	if total == 0 {
+		return LinkClass{}, false
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(uint64(p.Seed) >> (8 * i))
+	}
+	h.Write(seed[:])
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	pick := int(h.Sum64() % uint64(total))
+	for _, c := range p.Classes {
+		if c.Weight <= 0 {
+			continue
+		}
+		pick -= c.Weight
+		if pick < 0 {
+			return c, true
+		}
+	}
+	return LinkClass{}, false // unreachable
+}
+
+// For returns the link profile the plan assigns to the directed pair
+// (a, b), and false when the plan is empty.
+func (p LinkPlan) For(a, b SiteID) (Link, bool) {
+	c, ok := p.ClassOf(a, b)
+	return c.Link, ok
+}

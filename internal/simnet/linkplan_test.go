@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func testPlan(seed int64) LinkPlan {
+	return LinkPlan{
+		Seed: seed,
+		Classes: []LinkClass{
+			{Name: "fiber", Weight: 2, Link: Link{BytesPerSecond: 100e6, Latency: 5 * time.Millisecond}},
+			{Name: "dsl", Weight: 5, Link: Link{BytesPerSecond: 10e6, Latency: 20 * time.Millisecond}},
+			{Name: "lossy", Weight: 3, Link: Link{BytesPerSecond: 1e6, Latency: 80 * time.Millisecond, FailEvery: 7}},
+		},
+	}
+}
+
+func TestLinkPlanDeterministicAndMixed(t *testing.T) {
+	p := testPlan(42)
+	seen := map[string]int{}
+	for i := 0; i < 500; i++ {
+		a := SiteID([]byte{'s', byte(i), byte(i >> 8)})
+		c1, ok := p.ClassOf(a, "central")
+		if !ok {
+			t.Fatal("plan with classes returned no class")
+		}
+		c2, _ := p.ClassOf(a, "central")
+		if c1.Name != c2.Name {
+			t.Fatalf("assignment not deterministic: %s vs %s", c1.Name, c2.Name)
+		}
+		seen[c1.Name]++
+	}
+	// All three grades must actually occur across a 500-site fleet.
+	for _, c := range p.Classes {
+		if seen[c.Name] == 0 {
+			t.Errorf("class %s never assigned: %v", c.Name, seen)
+		}
+	}
+	// A different seed reshuffles at least one assignment.
+	q := testPlan(43)
+	moved := false
+	for i := 0; i < 500 && !moved; i++ {
+		a := SiteID([]byte{'s', byte(i), byte(i >> 8)})
+		c1, _ := p.ClassOf(a, "central")
+		c2, _ := q.ClassOf(a, "central")
+		moved = c1.Name != c2.Name
+	}
+	if !moved {
+		t.Error("seed change did not move any assignment")
+	}
+}
+
+func TestLinkPlanEmptyAndZeroWeight(t *testing.T) {
+	if _, ok := (LinkPlan{}).For("a", "b"); ok {
+		t.Error("empty plan must assign nothing")
+	}
+	if !(LinkPlan{}).Empty() {
+		t.Error("Empty() = false for empty plan")
+	}
+	zero := LinkPlan{Classes: []LinkClass{{Name: "x", Weight: 0}}}
+	if _, ok := zero.ClassOf("a", "b"); ok {
+		t.Error("all-zero-weight plan must assign nothing")
+	}
+	only := LinkPlan{Classes: []LinkClass{
+		{Name: "dead", Weight: 0, Link: Link{BytesPerSecond: 1}},
+		{Name: "live", Weight: 1, Link: Link{BytesPerSecond: 2}},
+	}}
+	c, ok := only.ClassOf("a", "b")
+	if !ok || c.Name != "live" {
+		t.Errorf("zero-weight class selected: %+v ok=%v", c, ok)
+	}
+}
