@@ -1,14 +1,15 @@
 # Tier-1 verify is `make check` (build + vet + test); `make test-race`
 # additionally runs the concurrent ingest, streaming-source, epoch-export,
-# hierarchy-rollup and federation paths under the race detector. `make bench`
-# runs the hot-path benchmarks (Flowtree compression + sharded ingest +
-# streaming source + pipelined epoch export + multi-level federation);
-# `make bench-compare` re-measures compression throughput, epoch-export
-# turnaround, query selection, streaming ingest and federation turnaround and
-# fails on a regression against the checked-in BENCH_compress.json /
-# BENCH_epoch.json / BENCH_query.json / BENCH_stream.json / BENCH_fed.json
-# baselines (wall-clock experiments get the wider tolerance). `make
-# fuzz-smoke` gives the record, tree-wire and tree-delta decoders a short
+# hierarchy-rollup, federation and durable-storage paths under the race
+# detector. `make bench` runs the hot-path benchmarks (Flowtree compression +
+# sharded ingest + streaming source + pipelined epoch export + multi-level
+# federation); `make bench-compare` re-measures compression throughput,
+# epoch-export turnaround, query selection, streaming ingest, federation
+# turnaround and WAL'd-ingest overhead and fails on a regression against the
+# checked-in BENCH_compress.json / BENCH_epoch.json / BENCH_query.json /
+# BENCH_stream.json / BENCH_fed.json / BENCH_durable.json baselines
+# (wall-clock experiments get the wider tolerance). `make fuzz-smoke` gives
+# the record, tree-wire, tree-delta and disk-segment decoders a short
 # corpus-guided fuzz run; `make cover` writes cover.out and prints
 # per-package and total statement coverage.
 
@@ -33,11 +34,13 @@ test:
 # hierarchy rollup and the multi-level federation fleet (leaf ingest racing
 # rollups, re-ship racing EndEpoch at aggregator hops), the segmented FlowDB
 # (parallel Select merges racing the export writer) with the FlowQL layer
-# above it, and the primitives they drive are the packages with real
-# concurrency; the root package carries the integration tests.
+# above it, the durable tier (WAL appends racing epoch seals, spill stores
+# racing re-export), and the primitives they drive are the packages with
+# real concurrency; the root package carries the integration tests.
 test-race:
 	$(GO) test -race ./internal/datastore/ ./internal/flowstream/ \
 		./internal/flowsource/ ./internal/storage/ \
+		./internal/storage/disk/ ./internal/storage/diskio/ \
 		./internal/flowdb/ ./internal/flowql/ \
 		./internal/flowtree/ ./internal/primitive/ \
 		./internal/hierarchy/ ./internal/federation/ .
@@ -69,31 +72,37 @@ bench-baseline:
 	$(GO) run ./cmd/benchreport -exp query -out BENCH_query.json
 	$(GO) run ./cmd/benchreport -exp stream -out BENCH_stream.json
 	$(GO) run ./cmd/benchreport -exp fed -out BENCH_fed.json
+	$(GO) run ./cmd/benchreport -exp durable -out BENCH_durable.json
 
 # Guard the perf trajectory: fail when compression throughput, pipelined
 # epoch-export turnaround, segmented-select query throughput, streaming
-# ingest throughput or federation epoch turnaround drops below the
-# checked-in baselines (10% for the CPU-bound fold, 30% for the wall-clock
-# paced export/federation and the scheduler-sensitive query/stream paths),
-# or when the measured configurations drift from the baseline (the
-# benchreport binary exits 2 for drift, which CI treats as a hard failure
-# even where regressions are only warnings).
+# ingest throughput, federation epoch turnaround or WAL'd ingest throughput
+# drops below the checked-in baselines (10% for the CPU-bound fold, 30% for
+# the wall-clock paced export/federation and the scheduler- and
+# fsync-sensitive query/stream/durable paths), or when the measured
+# configurations drift from the baseline (the benchreport binary exits 2
+# for drift, which CI treats as a hard failure even where regressions are
+# only warnings). The durable experiment additionally hard-fails whenever
+# WAL'd ingest falls below 0.8x of the in-memory path, baseline or not.
 bench-compare:
 	$(GO) run ./cmd/benchreport -exp compress -compare BENCH_compress.json
 	$(GO) run ./cmd/benchreport -exp epoch -compare BENCH_epoch.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp query -compare BENCH_query.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp stream -compare BENCH_stream.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp fed -compare BENCH_fed.json -tol 0.30
+	$(GO) run ./cmd/benchreport -exp durable -compare BENCH_durable.json -tol 0.30
 
 # Short corpus-guided fuzz runs of the attacker-facing wire decoders: the
-# flowsource record/frame codec, the Flowtree wire (v1/v2) decoder and the
-# v3 delta decoder (applied against an adversarial base tree). Seed corpora
-# are checked in under testdata/fuzz/; CI runs this as a smoke job, longer
-# local runs just raise -fuzztime.
+# flowsource record/frame codec, the Flowtree wire (v1/v2) decoder, the
+# v3 delta decoder (applied against an adversarial base tree) and the
+# on-disk segment decoder (which must reject rather than decode damaged
+# files). Seed corpora are checked in under testdata/fuzz/; CI runs this
+# as a smoke job, longer local runs just raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowsource/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTree$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowtree/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTreeDelta$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowtree/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/storage/disk/
 
 # Statement coverage: per-package lines plus the repo-wide total, with the
 # profile left in cover.out for `go tool cover -html=cover.out`.

@@ -21,6 +21,21 @@
 // backpressure to counted load-shedding. The summary line reports the
 // source's counters (frames, batches, dropped, truncated, peak queued
 // records).
+//
+// # Durable storage (-wal, -spill-dir)
+//
+// -wal DIR journals every streamed record to a per-site write-ahead log
+// before it enters the store (truncated when the epoch seals), so a
+// crashed site replays its open epoch on restart; -wal-sync tunes the
+// fsync cadence. -spill-dir DIR parks retention-evicted pending exports
+// in per-site on-disk segment stores instead of dropping them, so
+// multi-epoch WAN outages cost disk instead of data. Both print the
+// durable tier's counters in the summary.
+//
+// Run WAL'd ingest with GOMAXPROCS >= 2: on a single proc every fsync
+// strands the scheduler in the syscall and its full latency lands on the
+// ingest critical path, where a second proc lets it overlap (see the
+// benchreport durable experiment).
 package main
 
 import (
@@ -46,18 +61,24 @@ func main() {
 
 func run() error {
 	var (
-		sites   = flag.Int("sites", 3, "number of router sites")
-		epochs  = flag.Int("epochs", 5, "number of one-minute epochs")
-		flows   = flag.Int("flows", 20000, "flow records per site per epoch")
-		budget  = flag.Int("budget", 4096, "Flowtree node budget per site (0 = unlimited)")
-		shards  = flag.Int("shards", 1, "concurrent ingest shards per site store (1 = serial)")
-		batch   = flag.Int("batch", 4096, "records per ingest batch (streaming: MaxBatch)")
-		skew    = flag.Float64("skew", 1.2, "traffic Zipf skew")
-		stream  = flag.Bool("stream", false, "stream framed records through flowsource instead of materialized slices")
-		drop    = flag.Bool("drop", false, "streaming: drop batches at a full channel instead of backpressuring")
-		queries = flag.Bool("queries", true, "run sample FlowQL queries at the end")
+		sites    = flag.Int("sites", 3, "number of router sites")
+		epochs   = flag.Int("epochs", 5, "number of one-minute epochs")
+		flows    = flag.Int("flows", 20000, "flow records per site per epoch")
+		budget   = flag.Int("budget", 4096, "Flowtree node budget per site (0 = unlimited)")
+		shards   = flag.Int("shards", 1, "concurrent ingest shards per site store (1 = serial)")
+		batch    = flag.Int("batch", 4096, "records per ingest batch (streaming: MaxBatch)")
+		skew     = flag.Float64("skew", 1.2, "traffic Zipf skew")
+		stream   = flag.Bool("stream", false, "stream framed records through flowsource instead of materialized slices")
+		drop     = flag.Bool("drop", false, "streaming: drop batches at a full channel instead of backpressuring")
+		queries  = flag.Bool("queries", true, "run sample FlowQL queries at the end")
+		wal      = flag.String("wal", "", "streaming: journal ingested records to per-site write-ahead logs in this directory (crash recovery)")
+		walSync  = flag.Int("wal-sync", 256, "fsync the journal every N records (<=1: every append)")
+		spillDir = flag.String("spill-dir", "", "spill retention-evicted pending exports to per-site segment stores in this directory instead of dropping them")
 	)
 	flag.Parse()
+	if *wal != "" && !*stream {
+		return fmt.Errorf("-wal journals the streaming ingest leg; combine it with -stream")
+	}
 
 	names := make([]string, *sites)
 	for i := range names {
@@ -76,7 +97,10 @@ func run() error {
 			policy = flowsource.PolicyDrop
 		}
 		cfg.Source = &flowsource.Config{MaxBatch: *batch, Policy: policy}
+		cfg.WALDir = *wal
+		cfg.WALSyncEvery = *walSync
 	}
+	cfg.SpillDir = *spillDir
 	sys, err := flowstream.New(cfg)
 	if err != nil {
 		return err
@@ -110,7 +134,18 @@ func run() error {
 		st := sys.SourceStats()
 		fmt.Printf("  flowsource:                 %12d frames, %d batches, %d dropped, %d truncated, peak %d queued\n",
 			st.Frames, st.Batches, st.Dropped, st.Truncated, st.PeakQueued)
+		if *wal != "" {
+			fmt.Printf("  journal errors:             %12d\n", st.JournalErrors)
+		}
 		if err := sys.Source().Close(); err != nil {
+			return err
+		}
+	}
+	if *wal != "" || *spillDir != "" {
+		ds := sys.DiskStats()
+		fmt.Printf("  durable tier:               %12d WAL records, %d seal errors, %d spilled epochs (%d bytes), %d spill errors, %d corrupt\n",
+			ds.WALRecords, ds.WALSealErrors, ds.SpilledEpochs, ds.SpilledBytes, ds.SpillErrors, ds.CorruptSpills)
+		if err := sys.CloseDisk(); err != nil {
 			return err
 		}
 	}

@@ -13,6 +13,7 @@ package federation
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,9 @@ import (
 	"megadata/internal/flowdb"
 	"megadata/internal/flowtree"
 	"megadata/internal/simnet"
+	"megadata/internal/storage"
+	"megadata/internal/storage/disk"
+	"megadata/internal/storage/diskio"
 )
 
 // FleetConfig parameterizes a multi-level export fleet.
@@ -65,6 +69,19 @@ type FleetConfig struct {
 	// Plan, when non-empty, assigns heterogeneous per-link profiles
 	// deterministically from its seed (simnet.LinkPlan).
 	Plan simnet.LinkPlan
+	// QueueBytes caps the in-memory frame bytes each node may hold on its
+	// uplink queue (0 = unbounded). When a ship attempt leaves the queue
+	// over the cap, the oldest frames are evicted until it fits: spilled
+	// to the node's on-disk segment store when SpillDir is set, dropped
+	// and counted in DroppedExports otherwise.
+	QueueBytes uint64
+	// SpillDir keeps queue-evicted frames on disk (one segment store per
+	// node under this directory) instead of dropping them, so multi-epoch
+	// WAN outages cost disk space, not data.
+	SpillDir string
+	// FS overrides the filesystem spills go through (fault injection);
+	// nil means the real OS.
+	FS diskio.FS
 }
 
 // FleetNode is one site of the export tree.
@@ -93,12 +110,15 @@ type FleetNode struct {
 	recvBase map[simnet.SiteID]*flowtree.Tree
 }
 
-// fleetFrame is one encoded epoch summary queued on a node's uplink.
+// fleetFrame is one encoded epoch summary queued on a node's uplink. A
+// spilled frame's wire bytes live in the node's segment store; the queue
+// keeps only this marker.
 type fleetFrame struct {
-	start time.Time
-	width time.Duration
-	wire  []byte
-	delta bool
+	start   time.Time
+	width   time.Duration
+	wire    []byte
+	delta   bool
+	spilled bool
 }
 
 // Fleet is a running multi-level export federation.
@@ -116,6 +136,14 @@ type Fleet struct {
 	nodes   map[simnet.SiteID]*FleetNode
 	epoch   int
 	dropped atomic.Uint64
+
+	spillMu        sync.Mutex
+	spills         map[simnet.SiteID]*disk.SegmentStore
+	droppedExports atomic.Uint64
+	spilledFrames  atomic.Uint64
+	spilledBytes   atomic.Uint64
+	spillErrors    atomic.Uint64
+	corruptSpills  atomic.Uint64
 }
 
 // NewFleet builds and connects a multi-level export fleet.
@@ -149,6 +177,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		Net:   simnet.NewNetwork(),
 		DB:    flowdb.New(),
 		nodes: make(map[simnet.SiteID]*FleetNode),
+	}
+	if cfg.SpillDir != "" {
+		fl.spills = make(map[simnet.SiteID]*disk.SegmentStore)
 	}
 	fl.Root = &FleetNode{ID: simnet.SiteID(cfg.Central), recvBase: make(map[simnet.SiteID]*flowtree.Tree)}
 	fl.nodes[fl.Root.ID] = fl.Root
@@ -318,7 +349,9 @@ func (fl *Fleet) exportNode(n *FleetNode, epochStart time.Time) (int, error) {
 	}
 	batch := append(n.pending, fr)
 	n.pending = nil
-	return fl.shipFrames(n, batch)
+	got, err := fl.shipFrames(n, batch)
+	fl.capQueue(n)
+	return got, err
 }
 
 // shipFrames transfers queued frames up one hop in order. Callers hold
@@ -330,53 +363,191 @@ func (fl *Fleet) exportNode(n *FleetNode, epochStart time.Time) (int, error) {
 func (fl *Fleet) shipFrames(n *FleetNode, batch []fleetFrame) (int, error) {
 	delivered := 0
 	for i, fr := range batch {
-		if _, err := fl.Net.Transfer(n.ID, n.Parent.ID, uint64(len(fr.wire))); err != nil {
+		wire := fr.wire
+		if fr.spilled {
+			var err error
+			if wire, err = fl.unspillFrame(n, fr); err != nil {
+				// The spilled frame is unreadable (corrupt payload, missing
+				// segment): counted and dropped — retrying would re-read the
+				// same bytes — and deltas chained off it can never apply.
+				fl.corruptSpills.Add(1)
+				fl.droppedExports.Add(1)
+				n.pending = fl.dropBrokenChain(n, batch[i+1:])
+				return delivered, fmt.Errorf("federation: read spilled frame of %s: %w", n.ID, err)
+			}
+		}
+		if _, err := fl.Net.Transfer(n.ID, n.Parent.ID, uint64(len(wire))); err != nil {
 			n.pending = batch[i:]
 			if errors.Is(err, simnet.ErrTransient) {
 				return delivered, nil
 			}
 			return delivered, fmt.Errorf("federation: export %s -> %s: %w", n.ID, n.Parent.ID, err)
 		}
-		if err := fl.deliver(n.Parent, n.ID, fr); err != nil {
-			rest := batch[i+1:]
-			if fl.cfg.DeltaExports {
-				j := 0
-				for j < len(rest) && rest[j].delta {
-					fl.dropped.Add(1)
-					j++
-				}
-				rest = rest[j:]
-				if len(rest) == 0 {
-					n.sendBase = nil
-				}
-			}
-			n.pending = rest
+		if err := fl.deliver(n.Parent, n.ID, fr, wire); err != nil {
+			n.pending = fl.dropBrokenChain(n, batch[i+1:])
 			return delivered, fmt.Errorf("federation: decode frame of %s at %s: %w", n.ID, n.Parent.ID, err)
+		}
+		if fr.spilled {
+			fl.discardSpill(n, fr)
 		}
 		delivered++
 	}
 	return delivered, nil
 }
 
+// dropBrokenChain drops (counted) the leading delta frames of rest — frames
+// chained off a frame that was just dropped, which can therefore never
+// decode — clearing the sender's chain tail if nothing survives so the next
+// sealed epoch ships full. Without delta exports it is the identity.
+func (fl *Fleet) dropBrokenChain(n *FleetNode, rest []fleetFrame) []fleetFrame {
+	if !fl.cfg.DeltaExports {
+		return rest
+	}
+	j := 0
+	for j < len(rest) && rest[j].delta {
+		fl.discardSpill(n, rest[j])
+		fl.dropped.Add(1)
+		j++
+	}
+	rest = rest[j:]
+	if len(rest) == 0 {
+		n.sendBase = nil
+	}
+	return rest
+}
+
+// capQueue applies the uplink queue-byte cap to what is STILL queued after
+// a ship attempt (callers hold n.shipMu) — running after the ship means a
+// frame over budget still delivers whenever the WAN lets it through. Only
+// in-memory wire bytes count against the cap: spilled frames cost disk,
+// not memory. Oldest frames are evicted first — spilled when a spill tier
+// is configured, dropped and counted otherwise. Delta frames chained
+// behind a dropped frame drop too, and the chain tail resets if the chain
+// is still broken at the end of the queue.
+func (fl *Fleet) capQueue(n *FleetNode) {
+	if fl.cfg.QueueBytes == 0 || len(n.pending) == 0 {
+		return
+	}
+	mem := uint64(0)
+	for i := range n.pending {
+		mem += uint64(len(n.pending[i].wire))
+	}
+	kept := n.pending[:0]
+	broken := false
+	for _, fr := range n.pending {
+		switch {
+		case broken && fr.delta:
+			fl.discardSpill(n, fr)
+			fl.droppedExports.Add(1)
+		case fr.spilled || mem <= fl.cfg.QueueBytes:
+			kept = append(kept, fr)
+			broken = false
+		default:
+			mem -= uint64(len(fr.wire))
+			if fl.spillFrame(n, &fr) {
+				kept = append(kept, fr)
+				broken = false
+				continue
+			}
+			fl.droppedExports.Add(1)
+			broken = true
+		}
+	}
+	if broken && fl.cfg.DeltaExports {
+		n.sendBase = nil
+	}
+	n.pending = kept
+}
+
+// spillStore returns a node's on-disk spill store, opening it on first
+// use; nil without SpillDir or when the open fails (counted).
+func (fl *Fleet) spillStore(n *FleetNode) *disk.SegmentStore {
+	if fl.cfg.SpillDir == "" {
+		return nil
+	}
+	fl.spillMu.Lock()
+	defer fl.spillMu.Unlock()
+	if sp, ok := fl.spills[n.ID]; ok {
+		return sp
+	}
+	sp, err := disk.OpenSegmentStore(fl.cfg.FS, filepath.Join(fl.cfg.SpillDir, string(n.ID)))
+	if err != nil {
+		fl.spillErrors.Add(1)
+		return nil
+	}
+	fl.spills[n.ID] = sp
+	return sp
+}
+
+// spillFrame moves fr's wire bytes into the node's spill store, marking
+// the queue entry frameless on success. A failed spill write is counted
+// and reported false — the caller falls back to dropping the frame.
+func (fl *Fleet) spillFrame(n *FleetNode, fr *fleetFrame) bool {
+	sp := fl.spillStore(n)
+	if sp == nil {
+		return false
+	}
+	err := sp.Put(storage.Epoch[[]byte]{
+		Start: fr.start, Width: fr.width,
+		Size: uint64(len(fr.wire)), Payload: fr.wire,
+	})
+	if err != nil {
+		fl.spillErrors.Add(1)
+		return false
+	}
+	fl.spilledFrames.Add(1)
+	fl.spilledBytes.Add(uint64(len(fr.wire)))
+	fr.wire = nil
+	fr.spilled = true
+	return true
+}
+
+// unspillFrame reads a spilled frame back, checksum-verified.
+func (fl *Fleet) unspillFrame(n *FleetNode, fr fleetFrame) ([]byte, error) {
+	sp := fl.spillStore(n)
+	if sp == nil {
+		return nil, errors.New("federation: spill store unavailable")
+	}
+	wire, ok, err := sp.Get(fr.start)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("federation: spilled frame %v missing from disk", fr.start)
+	}
+	return wire, nil
+}
+
+// discardSpill deletes a delivered or dropped frame's on-disk bytes, if it
+// has any (best effort: an orphaned segment wastes space, nothing else).
+func (fl *Fleet) discardSpill(n *FleetNode, fr fleetFrame) {
+	if !fr.spilled {
+		return
+	}
+	if sp := fl.spillStore(n); sp != nil {
+		_, _ = sp.Drop(fr.start)
+	}
+}
+
 // deliver decodes one frame at the receiving hop: the central site indexes
 // it as a FlowDB row; an aggregator merges it into its open-epoch
 // accumulation. With delta exports the receiver retains the full-fidelity
 // reconstruction per child as the next delta's base.
-func (fl *Fleet) deliver(parent *FleetNode, child simnet.SiteID, fr fleetFrame) error {
+func (fl *Fleet) deliver(parent *FleetNode, child simnet.SiteID, fr fleetFrame, wire []byte) error {
 	var recon *flowtree.Tree
 	var err error
 	if fl.cfg.DeltaExports {
 		parent.recvMu.Lock()
 		base := parent.recvBase[child]
 		parent.recvMu.Unlock()
-		recon, err = flowtree.DecodeDelta(fr.wire, base, 0)
+		recon, err = flowtree.DecodeDelta(wire, base, 0)
 		if err != nil {
 			return err
 		}
 		parent.recvMu.Lock()
 		parent.recvBase[child] = recon
 		parent.recvMu.Unlock()
-	} else if recon, err = flowtree.Decode(fr.wire, 0); err != nil {
+	} else if recon, err = flowtree.Decode(wire, 0); err != nil {
 		return err
 	}
 	if parent == fl.Root {
@@ -413,6 +584,36 @@ func (fl *Fleet) PendingExports() int {
 // an undecodable frame).
 func (fl *Fleet) DroppedFrames() int { return int(fl.dropped.Load()) }
 
+// DroppedExports counts queued frames lost to the uplink queue cap: evicted
+// with no spill tier (or a failed spill write), unreadable when re-shipped
+// from disk, or chained behind either. Zero means every sealed epoch the
+// fleet produced was — or still can be — delivered.
+func (fl *Fleet) DroppedExports() int { return int(fl.droppedExports.Load()) }
+
+// FleetDiskStats reports the spill tier's counters.
+type FleetDiskStats struct {
+	// SpilledFrames and SpilledBytes count queue-evicted frames written to
+	// the spill stores (cumulative, not currently resident).
+	SpilledFrames uint64
+	SpilledBytes  uint64
+	// SpillErrors counts failed spill-store opens and writes (each falls
+	// back to dropping the frame).
+	SpillErrors uint64
+	// CorruptSpills counts spilled frames that failed checksum or went
+	// missing when read back for re-shipment.
+	CorruptSpills uint64
+}
+
+// DiskStats snapshots the spill tier's counters.
+func (fl *Fleet) DiskStats() FleetDiskStats {
+	return FleetDiskStats{
+		SpilledFrames: fl.spilledFrames.Load(),
+		SpilledBytes:  fl.spilledBytes.Load(),
+		SpillErrors:   fl.spillErrors.Load(),
+		CorruptSpills: fl.corruptSpills.Load(),
+	}
+}
+
 // WANBytes reports the bytes moved across all hops so far.
 func (fl *Fleet) WANBytes() uint64 { return fl.Net.TotalStats().Bytes }
 
@@ -433,6 +634,7 @@ func (fl *Fleet) ReExportPending() (int, error) {
 			batch := n.pending
 			n.pending = nil
 			got, err := fl.shipFrames(n, batch)
+			fl.capQueue(n)
 			n.shipMu.Unlock()
 			delivered += got
 			if err != nil {

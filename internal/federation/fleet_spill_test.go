@@ -1,0 +1,151 @@
+package federation
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+	"megadata/internal/simnet"
+	"megadata/internal/storage/diskio"
+	"megadata/internal/workload"
+)
+
+// fleetOutage reconnects every leaf uplink with the given profile — the
+// multi-epoch WAN outage (and its healing) of the spill A/B tests.
+func fleetOutage(t *testing.T, fl *Fleet, link simnet.Link) {
+	t.Helper()
+	for _, leaf := range fl.Leaves() {
+		if err := fl.Net.Connect(leaf.ID, leaf.Parent.ID, link); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// fleetFrameBytes estimates one leaf epoch frame's wire size, for budgeting
+// QueueBytes in frames rather than raw bytes.
+func fleetFrameBytes(t *testing.T, perLeaf int) uint64 {
+	t.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 1, Skew: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AddBatch(g.Records(perLeaf))
+	return uint64(len(tr.AppendBinary(nil)))
+}
+
+// runFleetOutage drives a 16-leaf fleet through a 4-epoch WAN outage at the
+// leaf uplinks with a ~2.5-frame queue cap, heals the links, drains, and
+// returns the fleet plus the fleet-wide ingested total.
+func runFleetOutage(t *testing.T, spillDir string, fs diskio.FS) (*Fleet, flow.Counters) {
+	t.Helper()
+	const perLeaf = 100
+	fl, err := NewFleet(FleetConfig{
+		Fanout:     []int{4, 4},
+		Link:       simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond},
+		QueueBytes: fleetFrameBytes(t, perLeaf)*2 + fleetFrameBytes(t, perLeaf)/2,
+		SpillDir:   spillDir,
+		FS:         fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetOutage(t, fl, simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond, FailEvery: 1})
+	var want flow.Counters
+	for e := 0; e < 4; e++ {
+		want.Add(ingestFleet(t, fl, e, perLeaf))
+		if err := fl.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fleetOutage(t, fl, simnet.Link{BytesPerSecond: 10e6, Latency: time.Millisecond})
+	if err := fl.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	return fl, want
+}
+
+// TestFleetOutageSpillAvoidsDrops is the outage A/B of the disk spill
+// tier: a 4-epoch WAN outage against a ~2.5-epoch uplink queue cap forces
+// the in-memory fleet to drop sealed epochs (lost from the central view
+// forever), while the same fleet with a spill directory parks the evicted
+// frames on disk, re-ships them after the links heal, and delivers every
+// ingested byte with DroppedExports == 0.
+func TestFleetOutageSpillAvoidsDrops(t *testing.T) {
+	// In-memory baseline: the queue cap costs data.
+	mem, want := runFleetOutage(t, "", nil)
+	if mem.DroppedExports() == 0 {
+		t.Fatal("in-memory baseline dropped nothing; the outage exercised no eviction")
+	}
+	memTree, err := mem.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memTree.Total() == want {
+		t.Fatal("in-memory baseline delivered everything despite drops")
+	}
+
+	// Spill tier: the same outage costs disk space instead.
+	dir := t.TempDir()
+	sp, want2 := runFleetOutage(t, dir, nil)
+	if sp.DroppedExports() != 0 {
+		t.Errorf("spill fleet dropped %d exports, want 0", sp.DroppedExports())
+	}
+	spTree, err := sp.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spTree.Total() != want2 {
+		t.Errorf("spill central total %+v, want %+v", spTree.Total(), want2)
+	}
+	if sp.PendingExports() != 0 {
+		t.Errorf("pending=%d after drain", sp.PendingExports())
+	}
+	ds := sp.DiskStats()
+	if ds.SpilledFrames == 0 || ds.SpillErrors != 0 || ds.CorruptSpills != 0 {
+		t.Errorf("disk stats %+v, want spills and no errors", ds)
+	}
+	// Both runs saw identical workloads and equal eviction pressure.
+	if mem.DroppedExports() != int(ds.SpilledFrames) {
+		t.Errorf("in-memory dropped %d but spill tier spilled %d; A/B diverged",
+			mem.DroppedExports(), ds.SpilledFrames)
+	}
+	// Delivered spills are deleted; the spill tree leaves no segments.
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("%d spill segments left on disk after delivery: %v", len(matches), matches)
+	}
+}
+
+// TestFleetSpillWriteFailureFallsBackToDrop injects a failing disk under
+// the spill tier: every spill write errors, each failure is counted, and
+// the fleet degrades to the in-memory drop policy instead of wedging.
+func TestFleetSpillWriteFailureFallsBackToDrop(t *testing.T) {
+	faulty := diskio.NewFaulty(diskio.OS{}, diskio.FaultPlan{FailEveryWrite: 1})
+	fl, want := runFleetOutage(t, t.TempDir(), faulty)
+	ds := fl.DiskStats()
+	if ds.SpillErrors == 0 || ds.SpilledFrames != 0 {
+		t.Fatalf("disk stats %+v, want only errors on an always-failing disk", ds)
+	}
+	if fl.DroppedExports() == 0 {
+		t.Error("failed spills must fall back to counted drops")
+	}
+	tree, err := fl.CentralTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Total() == want {
+		t.Error("dropped epochs cannot all have reached central")
+	}
+	if fl.PendingExports() != 0 {
+		t.Errorf("pending=%d after drain", fl.PendingExports())
+	}
+}

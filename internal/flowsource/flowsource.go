@@ -92,6 +92,21 @@ type Config struct {
 	// to the flow-key hash modulo parts — the contract
 	// datastore.Store.IngestFlowParts documents.
 	Partition func(r flow.Record, parts int) int
+	// Journal, when set, receives every sealed batch before it is
+	// dispatched toward the sink — the write-ahead hook (disk.WALSet.Append
+	// has this shape). Sealing journals once per MaxBatch, so the journal's
+	// fsync cadence amortizes over whole batches instead of taxing every
+	// record; a record is at risk only while it waits in the pending batch,
+	// where the sink (and therefore the store and every export) cannot have
+	// seen it yet. A journal error does NOT stop ingest: availability wins
+	// over strict durability, the failure is counted in
+	// Stats.JournalErrors, and the un-journaled records proceed (they are
+	// simply at risk until the next epoch seal). Under PolicyDrop a shed
+	// batch stays journaled — recovery errs toward re-ingesting. The
+	// journal is called from producer goroutines, concurrently across
+	// sites and possibly within one site; it must not retain recs after
+	// returning.
+	Journal func(site string, recs []flow.Record) error
 }
 
 // Stats is a point-in-time snapshot of a Source's counters.
@@ -110,6 +125,10 @@ type Stats struct {
 	// SinkErrors counts sink calls that failed (their records are neither
 	// delivered nor dropped; the first error is surfaced by Close/Err).
 	SinkErrors uint64
+	// JournalErrors counts Config.Journal calls that failed. The records
+	// still ingested (availability over durability); the counter is the
+	// operator's signal that crash recovery has holes.
+	JournalErrors uint64
 	// PeakQueued is the high-water mark of records resident in the
 	// source at once (decode chunk + pending + channel + in-flight),
 	// across all sites — the quantity bounded by (ChannelDepth+4)*MaxBatch
@@ -136,14 +155,15 @@ type Source struct {
 	flushers  sync.WaitGroup
 	consumers sync.WaitGroup
 
-	frames     atomic.Uint64
-	delivered  atomic.Uint64
-	dropped    atomic.Uint64
-	truncated  atomic.Uint64
-	batches    atomic.Uint64
-	sinkErrors atomic.Uint64
-	queued     atomic.Int64
-	peak       atomic.Int64
+	frames        atomic.Uint64
+	delivered     atomic.Uint64
+	dropped       atomic.Uint64
+	truncated     atomic.Uint64
+	batches       atomic.Uint64
+	sinkErrors    atomic.Uint64
+	journalErrors atomic.Uint64
+	queued        atomic.Int64
+	peak          atomic.Int64
 
 	errMu    sync.Mutex
 	firstErr error
@@ -231,6 +251,24 @@ func (s *Source) pipe(site string) (*sitePipe, error) {
 	return p, nil
 }
 
+// journalParts write-aheads a sealed batch before the sink can see it,
+// one journal append per non-empty partition, counting failures without
+// stopping ingest (the Config.Journal contract).
+func (p *sitePipe) journalParts(batch [][]flow.Record) {
+	s := p.src
+	if s.cfg.Journal == nil {
+		return
+	}
+	for _, part := range batch {
+		if len(part) == 0 {
+			continue
+		}
+		if err := s.cfg.Journal(p.site, part); err != nil {
+			s.journalErrors.Add(1)
+		}
+	}
+}
+
 // push coalesces one record into the site's pending batch, sealing and
 // dispatching it at MaxBatch.
 func (p *sitePipe) push(rec flow.Record) {
@@ -304,8 +342,13 @@ func (p *sitePipe) sealLocked() ([][]flow.Record, int) {
 	return batch, n
 }
 
-// dispatch moves one sealed batch into the channel under the given policy.
+// dispatch journals one sealed batch, then moves it into the channel under
+// the given policy. Journaling here — the single choke point every seal
+// passes through — keeps the write-ahead ordering (journal before the sink
+// can observe the records) while paying the journal's fsync cadence per
+// batch rather than per record.
 func (p *sitePipe) dispatch(batch [][]flow.Record, n int, policy Policy) {
+	p.journalParts(batch)
 	if policy == PolicyBlock {
 		p.ch <- batch
 		return
@@ -544,12 +587,13 @@ func (s *Source) Err() error {
 // Stats snapshots the source's counters.
 func (s *Source) Stats() Stats {
 	return Stats{
-		Frames:     s.frames.Load(),
-		Delivered:  s.delivered.Load(),
-		Dropped:    s.dropped.Load(),
-		Truncated:  s.truncated.Load(),
-		Batches:    s.batches.Load(),
-		SinkErrors: s.sinkErrors.Load(),
-		PeakQueued: uint64(s.peak.Load()),
+		Frames:        s.frames.Load(),
+		Delivered:     s.delivered.Load(),
+		Dropped:       s.dropped.Load(),
+		Truncated:     s.truncated.Load(),
+		Batches:       s.batches.Load(),
+		SinkErrors:    s.sinkErrors.Load(),
+		JournalErrors: s.journalErrors.Load(),
+		PeakQueued:    uint64(s.peak.Load()),
 	}
 }

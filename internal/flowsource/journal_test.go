@@ -1,0 +1,110 @@
+package flowsource
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"megadata/internal/flow"
+)
+
+// TestJournalHookPrecedesSink checks the write-ahead contract of
+// Config.Journal: every record is journaled before the sink can observe
+// it, and journaled counts match delivered counts exactly.
+func TestJournalHookPrecedesSink(t *testing.T) {
+	recs := testRecords(t, 3000)
+	var mu sync.Mutex
+	journaled := map[string]int{}
+	behind := 0 // records the sink saw before the journal did
+	sink := func(site string, parts [][]flow.Record) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, part := range parts {
+			for range part {
+				if journaled[site] <= 0 {
+					behind++
+					continue
+				}
+				journaled[site]--
+			}
+		}
+		return nil
+	}
+	src, err := New(Config{
+		MaxBatch: 128,
+		Sink:     sink,
+		Journal: func(site string, batch []flow.Record) error {
+			mu.Lock()
+			defer mu.Unlock()
+			journaled[site] += len(batch)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(recs) / 2
+	if err := src.Consume("a", bytes.NewReader(encodeFrames(recs[:half]))); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[half:] {
+		if err := src.Push("b", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if behind != 0 {
+		t.Fatalf("%d records reached the sink before the journal", behind)
+	}
+	if journaled["a"] != 0 || journaled["b"] != 0 {
+		t.Fatalf("journaled records never delivered: %v", journaled)
+	}
+	st := src.Stats()
+	if st.Delivered != uint64(len(recs)) || st.JournalErrors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestJournalErrorsCountedNotBlocking checks a failing journal degrades to
+// counted errors: ingest and delivery continue untouched.
+func TestJournalErrorsCountedNotBlocking(t *testing.T) {
+	recs := testRecords(t, 500)
+	sink := newCollectSink()
+	boom := errors.New("journal device gone")
+	var calls int
+	src, err := New(Config{
+		MaxBatch: 64,
+		Sink:     sink.sink,
+		Journal: func(string, []flow.Record) error {
+			calls++
+			if calls%2 == 0 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Consume("a", bytes.NewReader(encodeFrames(recs))); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := src.Stats()
+	if st.Delivered != uint64(len(recs)) || st.Dropped != 0 {
+		t.Fatalf("journal errors disturbed delivery: %+v", st)
+	}
+	if st.JournalErrors == 0 {
+		t.Fatal("failing journal not counted")
+	}
+	if sink.bySig["a"] != len(recs) {
+		t.Fatalf("sink saw %d records, want %d", sink.bySig["a"], len(recs))
+	}
+}

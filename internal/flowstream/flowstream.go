@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,9 @@ import (
 	"megadata/internal/flowtree"
 	"megadata/internal/primitive"
 	"megadata/internal/simnet"
+	"megadata/internal/storage"
+	"megadata/internal/storage/disk"
+	"megadata/internal/storage/diskio"
 )
 
 // Config parameterizes a Flowstream deployment.
@@ -91,6 +95,27 @@ type Config struct {
 	// deadline, channel depth and drop-vs-block policy are taken from
 	// this config; stats surface through SourceStats.
 	Source *flowsource.Config
+	// WALDir enables a per-site write-ahead journal on the streaming leg
+	// (requires Source): every record is journaled (disk.WALSet) before it
+	// enters the site's pending batch, the site's journal truncates when
+	// its epoch seals, and Recover on a restarted system replays whatever
+	// unsealed records the journals hold. The supplied Source config's
+	// Journal hook is overwritten.
+	WALDir string
+	// WALSyncEvery is the journal fsync interval in records (default 256;
+	// <=1 fsyncs on every append — strictest, slowest).
+	WALSyncEvery int
+	// SpillDir enables disk spill of the pending-export queue: a queued
+	// epoch that local retention evicts before the WAN delivers it is
+	// spilled (encoded frame and all) to an on-disk segment store
+	// (SpillDir/<site>) instead of dropped, and re-ships from disk on the
+	// next cycle. The queue entry (epoch start, width, delta flag) stays
+	// in process — the spill survives WAN outages, not process restarts.
+	SpillDir string
+	// DiskFS is the filesystem seam the WAL and spill stores write
+	// through (nil = the real filesystem). Tests inject deterministic
+	// disk faults here (diskio.NewFaulty).
+	DiskFS diskio.FS
 }
 
 // aggName is the Flowtree aggregator registered at every site store.
@@ -133,6 +158,19 @@ type System struct {
 	// delivers first, so frames always reach central in stream order — the
 	// invariant delta chains decode under. Different sites never contend.
 	shipMu map[string]*sync.Mutex
+
+	// wal is the per-site write-ahead journal (Config.WALDir); spills are
+	// the per-site on-disk segment stores backing evicted pending exports
+	// (Config.SpillDir), opened lazily under spillMu.
+	wal     *disk.WALSet
+	spillMu sync.Mutex
+	spills  map[string]*disk.SegmentStore
+
+	walSealErrors atomic.Uint64
+	spilledEpochs atomic.Uint64
+	spilledBytes  atomic.Uint64
+	spillErrors   atomic.Uint64
+	corruptSpills atomic.Uint64
 }
 
 // pendingExport is one sealed, encoded epoch awaiting (re-)shipment.
@@ -143,6 +181,10 @@ type pendingExport struct {
 	// delta marks a v3 frame, decodable only right after the frame before
 	// it in the stream (chain integrity).
 	delta bool
+	// spilled marks an epoch whose frame lives in the site's on-disk
+	// spill store instead of wire (which is nil); ship re-reads it by
+	// start time and drops it from disk once delivered.
+	spilled bool
 }
 
 // New builds and connects a Flowstream deployment.
@@ -236,6 +278,22 @@ func New(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+	if cfg.WALDir != "" {
+		if cfg.Source == nil {
+			return nil, errors.New("flowstream: WALDir requires a streaming source")
+		}
+		if cfg.WALSyncEvery == 0 {
+			cfg.WALSyncEvery = 256
+		}
+		wal, err := disk.OpenWALSet(cfg.DiskFS, cfg.WALDir, cfg.WALSyncEvery)
+		if err != nil {
+			return nil, fmt.Errorf("flowstream: open wal: %w", err)
+		}
+		s.wal = wal
+	}
+	if cfg.SpillDir != "" {
+		s.spills = make(map[string]*disk.SegmentStore)
+	}
 	if cfg.Source != nil {
 		// The source delivers pre-partitioned batches straight into the
 		// sharded store path: partition width and partitioner come from
@@ -261,6 +319,12 @@ func New(cfg Config) (*System, error) {
 				return fmt.Errorf("flowstream: unknown site %q", site)
 			}
 			return st.IngestFlowParts("router", parts)
+		}
+		if s.wal != nil {
+			// Write-ahead: records hit the site journal before they
+			// become visible to the pipeline; journal failures are
+			// counted (Stats.JournalErrors), never block ingest.
+			scfg.Journal = s.wal.Append
 		}
 		src, err := flowsource.New(scfg)
 		if err != nil {
@@ -418,6 +482,18 @@ func (s *System) exportSite(site string, epochStart time.Time) ([]flowdb.Row, er
 	if err != nil {
 		return nil, err
 	}
+	if s.wal != nil {
+		// Epoch-seal truncation: every record the journal holds for this
+		// site is now captured in the sealed summary, so the journal's job
+		// for the epoch is done. A failed truncation is counted, not
+		// fatal: the sealed frame still ships, at the cost that a crash
+		// before the next successful seal would replay the stale journal
+		// on top of the recovered epoch (DiskStats.WALSealErrors is the
+		// operator's signal).
+		if err := s.wal.Seal(site); err != nil {
+			s.walSealErrors.Add(1)
+		}
+	}
 	ft, ok := sealed.(*primitive.FlowtreeAggregator)
 	if !ok {
 		return nil, fmt.Errorf("flowstream: site %q aggregator is %T", site, sealed)
@@ -432,8 +508,14 @@ func (s *System) exportSite(site string, epochStart time.Time) ([]flowdb.Row, er
 	} else {
 		pe.wire = tree.AppendBinary(nil)
 	}
-	batch := s.takeShippable(site, append(s.takePending(site), pe))
-	return s.ship(site, batch)
+	// Ship everything still queued plus this epoch, THEN apply the
+	// retention cap to what the WAN left behind: an epoch evicted from the
+	// retention ring while queued still ships when this cycle can deliver
+	// it — the encoded frame in the queue is the data. Only what remains
+	// undeliverable is spilled to disk or dropped (capPending).
+	rows, err := s.ship(site, append(s.takePending(site), pe))
+	s.capPending(site)
+	return rows, err
 }
 
 // baseOf / setBase access the per-site delta chain state under baseMu; a
@@ -462,14 +544,29 @@ func (s *System) setBase(m map[string]*flowtree.Tree, site string, t *flowtree.T
 func (s *System) ship(site string, batch []pendingExport) ([]flowdb.Row, error) {
 	var rows []flowdb.Row
 	for i, pe := range batch {
-		if _, err := s.Net.Transfer(simnet.SiteID(site), s.central, uint64(len(pe.wire))); err != nil {
+		wire := pe.wire
+		if pe.spilled {
+			var err error
+			if wire, err = s.unspill(site, pe); err != nil {
+				// The spilled frame is unreadable (corrupt payload,
+				// missing segment): counted and dropped like an
+				// undecodable delivery — retrying would re-read the same
+				// bytes — and delta frames chained off it can never
+				// apply.
+				s.corruptSpills.Add(1)
+				s.dropped.Add(1)
+				s.requeue(site, s.dropBrokenChain(site, batch[i+1:]))
+				return rows, fmt.Errorf("flowstream: read spilled export of %q: %w", site, err)
+			}
+		}
+		if _, err := s.Net.Transfer(simnet.SiteID(site), s.central, uint64(len(wire))); err != nil {
 			s.requeue(site, batch[i:])
 			if errors.Is(err, simnet.ErrTransient) {
 				return rows, nil
 			}
 			return rows, fmt.Errorf("flowstream: export %q: %w", site, err)
 		}
-		tree, err := s.decodeFrame(site, pe)
+		tree, err := s.decodeFrame(site, wire)
 		if err != nil {
 			// The undecodable blob itself was delivered and is not
 			// requeued (it would never decode on a retry either), but
@@ -477,20 +574,11 @@ func (s *System) ship(site string, batch []pendingExport) ([]flowdb.Row, error) 
 			// delta frames chained directly off the bad frame, which can
 			// never apply: they are dropped (counted) up to the next full
 			// frame, and the sender chain resets if none remains.
-			rest := batch[i+1:]
-			if s.cfg.DeltaExports {
-				j := 0
-				for j < len(rest) && rest[j].delta {
-					s.dropped.Add(1)
-					j++
-				}
-				rest = rest[j:]
-				if len(rest) == 0 {
-					s.setBase(s.sendBase, site, nil)
-				}
-			}
-			s.requeue(site, rest)
+			s.requeue(site, s.dropBrokenChain(site, batch[i+1:]))
 			return rows, fmt.Errorf("flowstream: decode export of %q: %w", site, err)
+		}
+		if pe.spilled {
+			s.discardSpill(site, pe)
 		}
 		rows = append(rows, flowdb.Row{
 			Location: site,
@@ -502,15 +590,36 @@ func (s *System) ship(site string, batch []pendingExport) ([]flowdb.Row, error) 
 	return rows, nil
 }
 
+// dropBrokenChain drops (counted) the leading delta frames of rest — frames
+// chained off a blob that was just dropped, which can therefore never
+// decode — clearing the sender's chain tail if nothing survives so the next
+// sealed epoch ships full. Without delta exports it is the identity.
+func (s *System) dropBrokenChain(site string, rest []pendingExport) []pendingExport {
+	if !s.cfg.DeltaExports {
+		return rest
+	}
+	j := 0
+	for j < len(rest) && rest[j].delta {
+		s.discardSpill(site, rest[j])
+		s.dropped.Add(1)
+		j++
+	}
+	rest = rest[j:]
+	if len(rest) == 0 {
+		s.setBase(s.sendBase, site, nil)
+	}
+	return rest
+}
+
 // decodeFrame turns one delivered blob into the row tree. With delta
 // exports, central retains a full-fidelity reconstruction per site as the
 // base the next delta applies onto; the row tree is that reconstruction,
 // re-compressed to CentralBudget when one is set.
-func (s *System) decodeFrame(site string, pe pendingExport) (*flowtree.Tree, error) {
+func (s *System) decodeFrame(site string, wire []byte) (*flowtree.Tree, error) {
 	if !s.cfg.DeltaExports {
-		return flowtree.Decode(pe.wire, s.cfg.CentralBudget)
+		return flowtree.Decode(wire, s.cfg.CentralBudget)
 	}
-	recon, err := flowtree.DecodeDelta(pe.wire, s.baseOf(s.recvBase, site), 0)
+	recon, err := flowtree.DecodeDelta(wire, s.baseOf(s.recvBase, site), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -534,44 +643,130 @@ func (s *System) takePending(site string) []pendingExport {
 	return batch
 }
 
-// takeShippable filters a drained batch down to what can actually be
-// shipped. Two filters apply:
+// capPending applies the retention cap to what is STILL queued after a
+// ship attempt (callers hold the site's shipMu). Running after the ship —
+// not before it — is deliberate: the encoded frame in the queue is the
+// data, so an epoch retention evicted while it waited still ships whenever
+// the WAN lets it through; only epochs that remain undeliverable face the
+// cap. Two outcomes apply to an evicted queued epoch:
 //
-//  1. Retention cap: queued epochs the site's round-robin retention has
-//     since evicted are dropped and counted — the site no longer holds
-//     that data locally, so re-shipping the stale blob would claim an
-//     epoch the site could not answer queries about. The queue therefore
-//     never outlives the retention horizon by more than one drain
-//     interval.
-//  2. Delta-chain integrity: a v3 delta frame decodes only right after
-//     the frame before it in the stream. Once any frame is dropped, the
-//     delta frames chained behind it can never apply; they are dropped
-//     (counted) until the next full frame resets the chain. If the chain
-//     is still broken at the end of the batch, the sender's chain tail is
-//     cleared so the next sealed epoch ships as a full frame.
-func (s *System) takeShippable(site string, batch []pendingExport) []pendingExport {
-	if len(batch) == 0 {
-		return batch
-	}
+//  1. Spill (Config.SpillDir set): the frame moves to the site's on-disk
+//     segment store, the queue keeps a frameless marker, and the next
+//     cycle re-ships it from disk — multi-epoch WAN outages then cost
+//     disk space, not data (DroppedExports stays 0).
+//  2. Drop (no spill, or the spill write failed): the epoch is dropped
+//     and counted. Delta frames chained behind a dropped frame can never
+//     decode, so they drop too (counted) until the next full frame; if
+//     the chain is still broken at the end of the queue, the sender's
+//     chain tail is cleared so the next sealed epoch ships full.
+func (s *System) capPending(site string) {
 	st := s.stores[site]
-	kept := batch[:0]
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	q := s.pending[site]
+	if len(q) == 0 {
+		return
+	}
+	kept := q[:0]
 	broken := false
-	for _, pe := range batch {
+	for _, pe := range q {
 		switch {
 		case broken && pe.delta:
+			s.discardSpill(site, pe)
 			s.dropped.Add(1)
-		case !st.RetainsEpoch(aggName, pe.start):
-			s.dropped.Add(1)
-			broken = true
-		default:
+		case pe.spilled || st.RetainsEpoch(aggName, pe.start):
 			kept = append(kept, pe)
 			broken = false
+		default:
+			// Evicted from the retention ring while queued: spill the
+			// frame if a spill tier is configured, drop it otherwise.
+			if s.spill(site, &pe) {
+				kept = append(kept, pe)
+				broken = false
+				continue
+			}
+			s.dropped.Add(1)
+			broken = true
 		}
 	}
 	if broken && s.cfg.DeltaExports {
 		s.setBase(s.sendBase, site, nil)
 	}
-	return kept
+	if len(kept) == 0 {
+		delete(s.pending, site)
+		return
+	}
+	s.pending[site] = kept
+}
+
+// spillStore returns the site's on-disk spill store, opening it on first
+// use; nil without Config.SpillDir or when the open fails (counted).
+func (s *System) spillStore(site string) *disk.SegmentStore {
+	if s.cfg.SpillDir == "" {
+		return nil
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	if sp, ok := s.spills[site]; ok {
+		return sp
+	}
+	sp, err := disk.OpenSegmentStore(s.cfg.DiskFS, filepath.Join(s.cfg.SpillDir, site))
+	if err != nil {
+		s.spillErrors.Add(1)
+		return nil
+	}
+	s.spills[site] = sp
+	return sp
+}
+
+// spill moves pe's frame into the site's spill store, marking the entry
+// frameless on success. A failed spill write is counted and reported false
+// — the caller falls back to dropping the epoch.
+func (s *System) spill(site string, pe *pendingExport) bool {
+	sp := s.spillStore(site)
+	if sp == nil {
+		return false
+	}
+	err := sp.Put(storage.Epoch[[]byte]{
+		Start: pe.start, Width: pe.width,
+		Size: uint64(len(pe.wire)), Payload: pe.wire,
+	})
+	if err != nil {
+		s.spillErrors.Add(1)
+		return false
+	}
+	s.spilledEpochs.Add(1)
+	s.spilledBytes.Add(uint64(len(pe.wire)))
+	pe.wire = nil
+	pe.spilled = true
+	return true
+}
+
+// unspill reads a spilled frame back, checksum-verified.
+func (s *System) unspill(site string, pe pendingExport) ([]byte, error) {
+	sp := s.spillStore(site)
+	if sp == nil {
+		return nil, errors.New("flowstream: spill store unavailable")
+	}
+	wire, ok, err := sp.Get(pe.start)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("flowstream: spilled epoch %v missing from disk", pe.start)
+	}
+	return wire, nil
+}
+
+// discardSpill deletes a delivered or dropped entry's on-disk frame, if it
+// has one (best effort: an orphaned segment wastes space, nothing else).
+func (s *System) discardSpill(site string, pe pendingExport) {
+	if !pe.spilled {
+		return
+	}
+	if sp := s.spillStore(site); sp != nil {
+		_, _ = sp.Drop(pe.start)
+	}
 }
 
 // requeue puts undelivered exports back at the head of a site's queue.
@@ -614,11 +809,13 @@ func (s *System) ReExportPending() (int, error) {
 		rows, err := func() ([]flowdb.Row, error) {
 			s.shipMu[site].Lock()
 			defer s.shipMu[site].Unlock()
-			batch := s.takeShippable(site, s.takePending(site))
+			batch := s.takePending(site)
 			if len(batch) == 0 {
 				return nil, nil
 			}
-			return s.ship(site, batch)
+			rows, err := s.ship(site, batch)
+			s.capPending(site)
+			return rows, err
 		}()
 		all = append(all, rows...)
 		if err != nil && firstErr == nil {
@@ -629,6 +826,107 @@ func (s *System) ReExportPending() (int, error) {
 		firstErr = err
 	}
 	return len(all), firstErr
+}
+
+// RecoverStats reports what a crash recovery replayed.
+type RecoverStats struct {
+	// Records is the number of journaled records re-ingested.
+	Records int
+	// Truncated counts codec resynchronizations absorbed during replay —
+	// torn tails from a crash mid-append.
+	Truncated uint64
+}
+
+// Recover replays every site journal under Config.WALDir into the site
+// stores — the restart path after a crash. A site that died mid-epoch left
+// its unsealed records in its journal (appends run before ingest, seals
+// truncate), so replaying the journals reconstructs exactly the open epoch
+// the crash interrupted: after Recover, ingest resumes and the next
+// EndEpoch seals a summary identical to what an uninterrupted run would
+// have produced. Call it once, before any new ingest; records are
+// re-ingested directly (not re-journaled — the journal still holds them,
+// so a second crash before the next seal still replays them exactly once).
+func (s *System) Recover() (RecoverStats, error) {
+	if s.wal == nil {
+		return RecoverStats{}, errors.New("flowstream: no WAL configured")
+	}
+	var buf []flow.Record
+	cur := ""
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, ok := s.stores[cur]; !ok {
+			return fmt.Errorf("flowstream: journal for unknown site %q", cur)
+		}
+		err := s.IngestBatch(cur, buf)
+		buf = buf[:0]
+		return err
+	}
+	n, torn, err := s.wal.Replay(func(site string, rec flow.Record) error {
+		if site != cur {
+			if err := flush(); err != nil {
+				return err
+			}
+			cur = site
+		}
+		buf = append(buf, rec)
+		if len(buf) >= s.cfg.BatchSize {
+			return flush()
+		}
+		return nil
+	})
+	if ferr := flush(); err == nil {
+		err = ferr
+	}
+	return RecoverStats{Records: n, Truncated: torn}, err
+}
+
+// DiskStats counts the durable tier's activity and the failures it
+// absorbed.
+type DiskStats struct {
+	// WALRecords is the number of records journaled by this process.
+	WALRecords uint64
+	// WALSealErrors counts epoch-seal journal truncations that failed:
+	// the export proceeded, but a crash before the next successful seal
+	// would replay the stale journal on top of the recovered epoch.
+	WALSealErrors uint64
+	// SpilledEpochs / SpilledBytes count pending exports moved to the
+	// on-disk spill tier instead of being dropped at retention eviction.
+	SpilledEpochs uint64
+	SpilledBytes  uint64
+	// SpillErrors counts failed spill opens/writes (the epoch was dropped
+	// instead, showing up in DroppedExports).
+	SpillErrors uint64
+	// CorruptSpills counts spilled frames that failed checksum
+	// verification or went missing at re-ship time (dropped, counted in
+	// DroppedExports — corrupt bytes are never decoded or shipped).
+	CorruptSpills uint64
+}
+
+// DiskStats snapshots the durable tier's counters.
+func (s *System) DiskStats() DiskStats {
+	st := DiskStats{
+		WALSealErrors: s.walSealErrors.Load(),
+		SpilledEpochs: s.spilledEpochs.Load(),
+		SpilledBytes:  s.spilledBytes.Load(),
+		SpillErrors:   s.spillErrors.Load(),
+		CorruptSpills: s.corruptSpills.Load(),
+	}
+	if s.wal != nil {
+		st.WALRecords = s.wal.Records()
+	}
+	return st
+}
+
+// CloseDisk releases the journal file handles (journal content stays on
+// disk for a successor's Recover). The spill stores hold no persistent
+// handles. Safe without a WAL; call after the source is closed/drained.
+func (s *System) CloseDisk() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
 }
 
 // Epoch returns the index of the current (open) epoch.

@@ -1,0 +1,59 @@
+// Package disk is the durable tier under the in-memory storage strategies
+// of Section IV: a columnar on-disk segment store for sealed epoch
+// summaries and a write-ahead journal for the unsealed epoch in flight.
+// Everything the RAM tier can lose in a crash — sealed epochs evicted from
+// the retention ring while queued for export, and the open epoch's raw
+// records — has a disk-backed home here. All I/O goes through the
+// diskio.FS seam, so every recovery path is exercised under injected disk
+// faults in tests (diskio.Faulty).
+//
+// # Segment layout
+//
+// A segment file holds one sealed epoch batch, payloads encoded by the
+// caller (in this system: the Flowtree v2/v3 wire codec — already compact
+// and deterministic, so the file format adds only indexing and integrity):
+//
+//	header : magic "MDSG" | version byte (1) | 3 reserved bytes |
+//	         uint32 entry count
+//	index  : count * (int64 start unix-nanos | int64 width nanos |
+//	         uint64 payload size | uint32 payload CRC32C | uint32 zero pad)
+//	         | uint32 index CRC32C (over header + index entries)
+//	body   : payloads concatenated in index order
+//
+// All integers are big-endian fixed width. The index carries everything
+// Range/All need to select epochs, so reads touch only matching payloads
+// (SectionStore keeps the decoded index resident and ReadAts payload byte
+// ranges on demand).
+//
+// # CRC policy
+//
+// Two checksums, both CRC32-Castagnoli: the index CRC covers the header
+// and every index entry, so a torn or corrupted index is rejected before
+// any size field is trusted; each payload carries its own CRC, verified on
+// every read. A segment whose index fails (or whose file is shorter than
+// the index promises) is rejected at open — counted in
+// Stats.CorruptSegments and listed by Damaged, never silently skipped. A
+// payload that fails its CRC is counted in Stats.CorruptPayloads and
+// surfaced as an ErrCorrupt error alongside the epochs that did verify;
+// garbage is never handed to a decoder.
+//
+// # WAL truncation contract
+//
+// The journal (WAL/WALSet) holds exactly the records of the unsealed
+// epoch: appends go to the journal before the records enter the in-memory
+// store, and Truncate runs at epoch seal — after the seal has captured
+// every journaled record — so a crashed site replays precisely its open
+// epoch and nothing more. Framing is the flowsource record codec (0xF7
+// resync marker), which is self-synchronizing: a torn final write costs
+// the torn record, counted, and never poisons the rest of the journal.
+// Truncation while producers are still appending would lose records;
+// callers quiesce ingest across the seal (the flowstream Drain contract).
+package disk
+
+import "errors"
+
+// ErrCorrupt marks data rejected by checksum or structural validation —
+// a torn index, a payload whose CRC32C does not match, a file shorter
+// than its index promises. Callers count these; nothing corrupt is ever
+// returned as data.
+var ErrCorrupt = errors.New("disk: corrupt segment data")

@@ -1,0 +1,489 @@
+package disk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"megadata/internal/storage"
+	"megadata/internal/storage/diskio"
+)
+
+const (
+	segMagic      = 0x4D445347 // "MDSG"
+	segVersion    = 1
+	segHeaderSize = 12 // magic(4) + version(1) + reserved(3) + count(4)
+	segEntrySize  = 32 // start(8) + width(8) + size(8) + crc(4) + pad(4)
+	// segMaxEntries bounds the entry count a decoder will believe before
+	// any allocation: larger counts announce a corrupted header (a batch
+	// is a handful of epochs, not millions).
+	segMaxEntries = 1 << 20
+)
+
+// castagnoli is the CRC32C table both checksums use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendSegment serializes one epoch batch as a complete segment file
+// image: header, index (with per-payload CRC32C and an index CRC), then
+// the payloads. The inverse is DecodeSegment.
+func AppendSegment(dst []byte, epochs []storage.Epoch[[]byte]) []byte {
+	base := len(dst)
+	var hdr [segHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], segMagic)
+	hdr[4] = segVersion
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(epochs)))
+	dst = append(dst, hdr[:]...)
+	for _, e := range epochs {
+		var ent [segEntrySize]byte
+		binary.BigEndian.PutUint64(ent[0:], uint64(e.Start.UnixNano()))
+		binary.BigEndian.PutUint64(ent[8:], uint64(e.Width))
+		binary.BigEndian.PutUint64(ent[16:], uint64(len(e.Payload)))
+		binary.BigEndian.PutUint32(ent[24:], crc32.Checksum(e.Payload, castagnoli))
+		dst = append(dst, ent[:]...)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(dst[base:], castagnoli))
+	dst = append(dst, crc[:]...)
+	for _, e := range epochs {
+		dst = append(dst, e.Payload...)
+	}
+	return dst
+}
+
+// segIndexEntry is one decoded index row plus its payload offset within
+// the segment body.
+type segIndexEntry struct {
+	start time.Time
+	width time.Duration
+	size  uint64
+	crc   uint32
+	off   int64 // absolute payload offset in the file
+}
+
+// decodeSegIndex parses and validates a segment's header and index from
+// the front of data. It returns the entries and the total file size the
+// index promises. Nothing is trusted before the index CRC verifies.
+func decodeSegIndex(data []byte) ([]segIndexEntry, int64, error) {
+	if len(data) < segHeaderSize {
+		return nil, 0, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if binary.BigEndian.Uint32(data[0:]) != segMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != segVersion {
+		return nil, 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, data[4])
+	}
+	count := binary.BigEndian.Uint32(data[8:])
+	if count > segMaxEntries {
+		return nil, 0, fmt.Errorf("%w: implausible entry count %d", ErrCorrupt, count)
+	}
+	indexEnd := segHeaderSize + int(count)*segEntrySize
+	if len(data) < indexEnd+4 {
+		return nil, 0, fmt.Errorf("%w: truncated index", ErrCorrupt)
+	}
+	if got, want := crc32.Checksum(data[:indexEnd], castagnoli), binary.BigEndian.Uint32(data[indexEnd:]); got != want {
+		return nil, 0, fmt.Errorf("%w: index CRC mismatch", ErrCorrupt)
+	}
+	entries := make([]segIndexEntry, count)
+	off := int64(indexEnd + 4)
+	for i := range entries {
+		ent := data[segHeaderSize+i*segEntrySize:]
+		size := binary.BigEndian.Uint64(ent[16:])
+		if size > uint64(1)<<40 { // corrupted sizes must not overflow offsets
+			return nil, 0, fmt.Errorf("%w: implausible payload size %d", ErrCorrupt, size)
+		}
+		entries[i] = segIndexEntry{
+			start: time.Unix(0, int64(binary.BigEndian.Uint64(ent[0:]))).UTC(),
+			width: time.Duration(binary.BigEndian.Uint64(ent[8:])),
+			size:  size,
+			crc:   binary.BigEndian.Uint32(ent[24:]),
+			off:   off,
+		}
+		off += int64(size)
+	}
+	return entries, off, nil
+}
+
+// DecodeSegment parses a complete segment file image, verifying the index
+// CRC and every payload CRC. It is the fuzz surface of the format
+// (FuzzDecodeSegment) and the slow-path twin of the store's indexed
+// ReadAt path, which must accept exactly the same inputs.
+func DecodeSegment(data []byte) ([]storage.Epoch[[]byte], error) {
+	entries, total, err := decodeSegIndex(data)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) < total {
+		return nil, fmt.Errorf("%w: file shorter than index promises (%d < %d)", ErrCorrupt, len(data), total)
+	}
+	epochs := make([]storage.Epoch[[]byte], len(entries))
+	for i, ent := range entries {
+		payload := data[ent.off : ent.off+int64(ent.size)]
+		if crc32.Checksum(payload, castagnoli) != ent.crc {
+			return nil, fmt.Errorf("%w: payload %d CRC mismatch", ErrCorrupt, i)
+		}
+		epochs[i] = storage.Epoch[[]byte]{
+			Start: ent.start, Width: ent.width, Size: ent.size,
+			Payload: append([]byte(nil), payload...),
+		}
+	}
+	return epochs, nil
+}
+
+// segment is one indexed on-disk file.
+type segment struct {
+	name    string
+	entries []segIndexEntry
+	dropped []bool
+	live    int
+}
+
+// SegmentStoreStats counts a store's contents and the corruption it has
+// detected and refused to decode.
+type SegmentStoreStats struct {
+	// Segments and Epochs count live (non-dropped) contents.
+	Segments int
+	Epochs   int
+	// LiveBytes is the payload volume of live epochs.
+	LiveBytes uint64
+	// CorruptSegments counts files rejected whole at open (index CRC,
+	// truncation, unreadable).
+	CorruptSegments uint64
+	// CorruptPayloads counts per-epoch reads rejected by payload CRC or
+	// read failure.
+	CorruptPayloads uint64
+}
+
+// SegmentStore is the columnar on-disk sealed-epoch tier: one segment
+// file per Put batch under a directory, the decoded indexes resident in
+// memory, payloads read back on demand with checksum verification. It
+// implements the epoch-store surface of the in-memory strategies
+// (Put/Range/All/Len/UsedBytes/Horizon) over Epoch[[]byte] — the payload
+// is whatever sealed encoding the caller ships, in this system the
+// Flowtree wire codec. It is safe for concurrent use.
+type SegmentStore struct {
+	fs  diskio.FS
+	dir string
+
+	mu      sync.Mutex
+	segs    []*segment
+	nextSeq uint64
+	live    uint64 // live payload bytes
+
+	corruptSegs     uint64
+	corruptPayloads uint64
+	damaged         []string
+}
+
+// OpenSegmentStore opens (or initializes) the store rooted at dir,
+// rebuilding the in-memory index from every segment file's index header.
+// Files that fail validation — bad magic, index CRC mismatch, shorter
+// than their index promises — are rejected loudly: counted in
+// Stats.CorruptSegments, listed by Damaged, left untouched on disk, and
+// excluded from the index. Open itself fails only on filesystem errors.
+func OpenSegmentStore(fs diskio.FS, dir string) (*SegmentStore, error) {
+	if fs == nil {
+		fs = diskio.OS{}
+	}
+	s := &SegmentStore{fs: fs, dir: dir}
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("disk: list %s: %w", dir, err)
+	}
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		if seq, ok := segSeq(name); ok && seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
+		seg, err := s.openSegment(name)
+		if err != nil {
+			s.corruptSegs++
+			s.damaged = append(s.damaged, name)
+			continue
+		}
+		s.segs = append(s.segs, seg)
+		for _, ent := range seg.entries {
+			s.live += ent.size
+		}
+	}
+	// Index scan order is List order (lexicographic); zero-padded
+	// sequence names make that chronological append order.
+	sort.Slice(s.segs, func(i, j int) bool { return s.segs[i].name < s.segs[j].name })
+	return s, nil
+}
+
+// segSeq extracts the sequence number from a "seg-%012d.seg" name.
+func segSeq(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "seg-%012d.seg", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// openSegment reads and validates one file's header and index.
+func (s *SegmentStore) openSegment(name string) (*segment, error) {
+	f, err := s.fs.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [segHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	count := binary.BigEndian.Uint32(hdr[8:])
+	if count > segMaxEntries {
+		return nil, fmt.Errorf("%w: implausible entry count %d", ErrCorrupt, count)
+	}
+	index := make([]byte, segHeaderSize+int(count)*segEntrySize+4)
+	if _, err := f.ReadAt(index, 0); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	entries, total, err := decodeSegIndex(index)
+	if err != nil {
+		return nil, err
+	}
+	// Probe the last promised byte so a torn body (file cut off mid-
+	// payload) is rejected at open, not discovered as a short read later.
+	if total > int64(len(index)) {
+		var probe [1]byte
+		if _, err := f.ReadAt(probe[:], total-1); err != nil {
+			return nil, fmt.Errorf("%w: file shorter than index promises: %v", ErrCorrupt, err)
+		}
+	}
+	return &segment{name: name, entries: entries, dropped: make([]bool, len(entries)), live: len(entries)}, nil
+}
+
+// Put stores one sealed epoch as its own segment file. The write is
+// durable (fsync) before Put returns; on any failure the partial file is
+// removed and nothing is indexed.
+func (s *SegmentStore) Put(e storage.Epoch[[]byte]) error {
+	return s.PutBatch([]storage.Epoch[[]byte]{e})
+}
+
+// PutBatch stores a sealed epoch batch as one segment file.
+func (s *SegmentStore) PutBatch(epochs []storage.Epoch[[]byte]) error {
+	if len(epochs) == 0 {
+		return nil
+	}
+	blob := AppendSegment(nil, epochs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := fmt.Sprintf("seg-%012d.seg", s.nextSeq)
+	path := filepath.Join(s.dir, name)
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return fmt.Errorf("disk: create segment: %w", err)
+	}
+	if _, err = f.Write(blob); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = s.fs.Remove(path) // best effort: an unindexed partial file is inert either way
+		return fmt.Errorf("disk: write segment: %w", err)
+	}
+	s.nextSeq++
+	entries, _, err := decodeSegIndex(blob)
+	if err != nil { // unreachable: we just encoded it
+		return err
+	}
+	seg := &segment{name: name, entries: entries, dropped: make([]bool, len(entries)), live: len(entries)}
+	s.segs = append(s.segs, seg)
+	for _, e := range epochs {
+		s.live += uint64(len(e.Payload))
+	}
+	return nil
+}
+
+// readPayload fetches and verifies one entry's payload.
+func (s *SegmentStore) readPayload(seg *segment, i int) ([]byte, error) {
+	ent := seg.entries[i]
+	f, err := s.fs.Open(filepath.Join(s.dir, seg.name))
+	if err != nil {
+		return nil, fmt.Errorf("%w: open %s: %v", ErrCorrupt, seg.name, err)
+	}
+	defer f.Close()
+	buf := make([]byte, ent.size)
+	if _, err := f.ReadAt(buf, ent.off); err != nil && !(err == io.EOF && ent.size == 0) {
+		return nil, fmt.Errorf("%w: read %s entry %d: %v", ErrCorrupt, seg.name, i, err)
+	}
+	if crc32.Checksum(buf, castagnoli) != ent.crc {
+		return nil, fmt.Errorf("%w: %s entry %d payload CRC mismatch", ErrCorrupt, seg.name, i)
+	}
+	return buf, nil
+}
+
+// Range returns the live stored epochs overlapping [from, to), oldest
+// file first, verifying every payload checksum. Epochs that fail
+// verification are excluded, counted in Stats.CorruptPayloads, and
+// reported through the joined ErrCorrupt error — the epochs that did
+// verify are still returned.
+func (s *SegmentStore) Range(from, to time.Time) ([]storage.Epoch[[]byte], error) {
+	return s.scan(func(e segIndexEntry) bool {
+		return e.start.Add(e.width).After(from) && e.start.Before(to)
+	})
+}
+
+// All returns every live stored epoch, oldest file first.
+func (s *SegmentStore) All() ([]storage.Epoch[[]byte], error) {
+	return s.scan(func(segIndexEntry) bool { return true })
+}
+
+// scan reads every live entry matching the predicate.
+func (s *SegmentStore) scan(match func(segIndexEntry) bool) ([]storage.Epoch[[]byte], error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []storage.Epoch[[]byte]
+	var errs []error
+	for _, seg := range s.segs {
+		for i, ent := range seg.entries {
+			if seg.dropped[i] || !match(ent) {
+				continue
+			}
+			payload, err := s.readPayload(seg, i)
+			if err != nil {
+				s.corruptPayloads++
+				errs = append(errs, err)
+				continue
+			}
+			out = append(out, storage.Epoch[[]byte]{
+				Start: ent.start, Width: ent.width, Size: ent.size, Payload: payload,
+			})
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// Get returns the payload of the live epoch starting exactly at start,
+// checksum-verified. The second result reports whether such an epoch is
+// indexed; a verification failure on an indexed epoch returns an
+// ErrCorrupt error (and counts it).
+func (s *SegmentStore) Get(start time.Time) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, seg := range s.segs {
+		for i, ent := range seg.entries {
+			if seg.dropped[i] || !ent.start.Equal(start) {
+				continue
+			}
+			payload, err := s.readPayload(seg, i)
+			if err != nil {
+				s.corruptPayloads++
+				return nil, true, err
+			}
+			return payload, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Drop removes every live epoch starting exactly at start from the index
+// and deletes segment files none of whose epochs remain live. It returns
+// how many epochs were dropped.
+func (s *SegmentStore) Drop(start time.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	var errs []error
+	kept := s.segs[:0]
+	for _, seg := range s.segs {
+		for i, ent := range seg.entries {
+			if seg.dropped[i] || !ent.start.Equal(start) {
+				continue
+			}
+			seg.dropped[i] = true
+			seg.live--
+			s.live -= ent.size
+			dropped++
+		}
+		if seg.live == 0 {
+			if err := s.fs.Remove(filepath.Join(s.dir, seg.name)); err != nil {
+				errs = append(errs, err)
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.segs = kept
+	return dropped, errors.Join(errs...)
+}
+
+// Len returns the number of live stored epochs.
+func (s *SegmentStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, seg := range s.segs {
+		n += seg.live
+	}
+	return n
+}
+
+// UsedBytes returns the live payload bytes on disk.
+func (s *SegmentStore) UsedBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// Horizon returns the covered span from the oldest live epoch's start to
+// the newest live epoch's end.
+func (s *SegmentStore) Horizon() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var oldest, newest time.Time
+	for _, seg := range s.segs {
+		for i, ent := range seg.entries {
+			if seg.dropped[i] {
+				continue
+			}
+			if oldest.IsZero() || ent.start.Before(oldest) {
+				oldest = ent.start
+			}
+			if end := ent.start.Add(ent.width); end.After(newest) {
+				newest = end
+			}
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return newest.Sub(oldest)
+}
+
+// Damaged lists the segment files rejected at open (kept on disk for
+// inspection, excluded from the index).
+func (s *SegmentStore) Damaged() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.damaged...)
+}
+
+// Stats snapshots the store's counters.
+func (s *SegmentStore) Stats() SegmentStoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SegmentStoreStats{
+		Segments:        len(s.segs),
+		LiveBytes:       s.live,
+		CorruptSegments: s.corruptSegs,
+		CorruptPayloads: s.corruptPayloads,
+	}
+	for _, seg := range s.segs {
+		st.Epochs += seg.live
+	}
+	return st
+}

@@ -1,0 +1,319 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowsource"
+	"megadata/internal/storage/diskio"
+)
+
+// WAL is a write-ahead journal of raw flow records for one site's
+// unsealed epoch. Records are appended as flowsource frames (the 0xF7
+// resync codec) before they enter the in-memory store, fsync'd every
+// SyncEvery records, and the whole journal is truncated at epoch seal —
+// see the package doc's truncation contract. Because the framing is
+// self-synchronizing, a crash mid-append costs at most the torn record,
+// counted at replay, never the journal.
+//
+// A WAL is safe for concurrent Append from multiple producer goroutines;
+// Truncate and Replay must not race Append (the epoch-seal quiescence the
+// flowstream Drain contract already guarantees).
+type WAL struct {
+	fs   diskio.FS
+	path string
+
+	mu        sync.Mutex
+	f         diskio.File
+	syncEvery int
+	sinceSync int
+	records   uint64
+	scratch   []byte
+}
+
+// OpenWAL opens (creating if absent) the journal at path for appending.
+// Existing content — a crashed predecessor's unsealed epoch — is
+// preserved; call Replay to recover it before resuming ingest. syncEvery
+// is the fsync interval in records: an fsync runs whenever at least that
+// many records have been appended since the last one (<=1 = fsync every
+// Append, the strictest setting).
+func OpenWAL(fs diskio.FS, path string, syncEvery int) (*WAL, error) {
+	if fs == nil {
+		fs = diskio.OS{}
+	}
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open wal %s: %w", path, err)
+	}
+	return &WAL{fs: fs, path: path, f: f, syncEvery: syncEvery}, nil
+}
+
+// Append journals a batch of records: one buffered frame run, one Write,
+// an fsync when the interval is due. The records are durable (up to the
+// fsync interval) when Append returns; on error the journal may hold a
+// torn tail, which replay absorbs as a counted truncation.
+func (w *WAL) Append(recs []flow.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("disk: wal is closed")
+	}
+	buf := w.scratch[:0]
+	for _, r := range recs {
+		buf = flowsource.AppendFrame(buf, r)
+	}
+	w.scratch = buf
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("disk: wal append: %w", err)
+	}
+	w.records += uint64(len(recs))
+	w.sinceSync += len(recs)
+	if w.syncEvery <= 1 || w.sinceSync >= w.syncEvery {
+		w.sinceSync = 0
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("disk: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of the interval.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("disk: wal is closed")
+	}
+	w.sinceSync = 0
+	return w.f.Sync()
+}
+
+// Records reports how many records this handle has appended (journal
+// content recovered from a predecessor is not included; Replay counts
+// that).
+func (w *WAL) Records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Replay decodes every record currently in the journal, in append order,
+// through fn. It returns the number of records replayed and the number of
+// codec resynchronizations absorbed (torn tails from a crash mid-append).
+// Replay reads a point-in-time open of the file; do not Append
+// concurrently.
+func (w *WAL) Replay(fn func(flow.Record) error) (int, uint64, error) {
+	f, err := w.fs.Open(w.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("disk: replay wal %s: %w", w.path, err)
+	}
+	defer f.Close()
+	fr := flowsource.NewFrameReader(io.NewSectionReader(f, 0, 1<<62))
+	n := 0
+	for {
+		rec, err := fr.Next()
+		if err == io.EOF {
+			return n, fr.Truncated(), nil
+		}
+		if err != nil {
+			return n, fr.Truncated(), fmt.Errorf("disk: replay wal %s: %w", w.path, err)
+		}
+		if err := fn(rec); err != nil {
+			return n, fr.Truncated(), err
+		}
+		n++
+	}
+}
+
+// Truncate resets the journal to empty — the epoch-seal contract: every
+// journaled record is now captured in a sealed epoch, so the journal's
+// job for this epoch is done. The truncation is durable when Truncate
+// returns.
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("disk: wal is closed")
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("disk: wal truncate: %w", err)
+	}
+	w.f = nil
+	f, err := w.fs.Create(w.path)
+	if err != nil {
+		return fmt.Errorf("disk: wal truncate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("disk: wal truncate: %w", err)
+	}
+	// Reopen in append mode so subsequent Appends extend the fresh file.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("disk: wal truncate: %w", err)
+	}
+	af, err := w.fs.OpenAppend(w.path)
+	if err != nil {
+		return fmt.Errorf("disk: wal truncate: %w", err)
+	}
+	w.f = af
+	w.sinceSync = 0
+	return nil
+}
+
+// Close releases the journal handle. The content stays on disk for the
+// next OpenWAL to recover.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// WALSet manages one WAL per site under a directory — the shape the
+// flowstream streaming leg wants: every router site journals its own
+// unsealed epoch, seals truncate per site, and crash recovery replays
+// whatever site journals the directory holds. Site names become file
+// names (<site>.wal), so they must be path-safe; the flowstream site
+// naming ("site0", "edge", ...) is.
+//
+// WALSet implements the flowsource journal hook (Append before ingest).
+type WALSet struct {
+	fs        diskio.FS
+	dir       string
+	syncEvery int
+
+	mu   sync.Mutex
+	wals map[string]*WAL
+}
+
+// OpenWALSet opens a per-site journal directory. Existing journals are
+// left intact for Replay.
+func OpenWALSet(fs diskio.FS, dir string, syncEvery int) (*WALSet, error) {
+	if fs == nil {
+		fs = diskio.OS{}
+	}
+	if dir == "" {
+		return nil, errors.New("disk: wal set needs a directory")
+	}
+	return &WALSet{fs: fs, dir: dir, syncEvery: syncEvery, wals: make(map[string]*WAL)}, nil
+}
+
+// wal returns the site's journal, opening it on first use.
+func (ws *WALSet) wal(site string) (*WAL, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if w, ok := ws.wals[site]; ok {
+		return w, nil
+	}
+	w, err := OpenWAL(ws.fs, filepath.Join(ws.dir, site+".wal"), ws.syncEvery)
+	if err != nil {
+		return nil, err
+	}
+	ws.wals[site] = w
+	return w, nil
+}
+
+// Append journals a batch for one site (the flowsource journal hook).
+func (ws *WALSet) Append(site string, recs []flow.Record) error {
+	w, err := ws.wal(site)
+	if err != nil {
+		return err
+	}
+	return w.Append(recs)
+}
+
+// Seal truncates one site's journal at epoch seal. Sites that never
+// journaled are a no-op.
+func (ws *WALSet) Seal(site string) error {
+	ws.mu.Lock()
+	w, ok := ws.wals[site]
+	ws.mu.Unlock()
+	if !ok {
+		// A journal file may exist from a crashed predecessor even though
+		// this process never appended; sealing must clear it too.
+		names, err := ws.fs.List(ws.dir)
+		if err != nil {
+			return err
+		}
+		found := false
+		for _, name := range names {
+			if name == site+".wal" {
+				found = true
+			}
+		}
+		if !found {
+			return nil
+		}
+		var werr error
+		if w, werr = ws.wal(site); werr != nil {
+			return werr
+		}
+	}
+	return w.Truncate()
+}
+
+// Replay decodes every site journal in the directory through fn, site by
+// site (lexicographic), records in append order within a site. It opens
+// journals that exist on disk even if this process never appended to them
+// — that is the crash-recovery path. Returns total records replayed and
+// total truncations absorbed.
+func (ws *WALSet) Replay(fn func(site string, rec flow.Record) error) (int, uint64, error) {
+	names, err := ws.fs.List(ws.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	total, torn := 0, uint64(0)
+	for _, name := range names {
+		site, ok := strings.CutSuffix(name, ".wal")
+		if !ok {
+			continue
+		}
+		w, err := ws.wal(site)
+		if err != nil {
+			return total, torn, err
+		}
+		n, tr, err := w.Replay(func(rec flow.Record) error { return fn(site, rec) })
+		total += n
+		torn += tr
+		if err != nil {
+			return total, torn, err
+		}
+	}
+	return total, torn, nil
+}
+
+// Records sums records appended across all site journals by this handle.
+func (ws *WALSet) Records() uint64 {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var n uint64
+	for _, w := range ws.wals {
+		n += w.Records()
+	}
+	return n
+}
+
+// Close closes every open journal (content preserved on disk).
+func (ws *WALSet) Close() error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var errs []error
+	for _, w := range ws.wals {
+		if err := w.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,314 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowsource"
+	"megadata/internal/flowtree"
+	"megadata/internal/storage/diskio"
+	"megadata/internal/workload"
+)
+
+func genRecords(t *testing.T, n int) []flow.Record {
+	t.Helper()
+	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 7, Skew: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Records(n)
+}
+
+// treeOf builds the canonical wire image of a flowtree holding recs.
+func treeOf(t *testing.T, recs []flow.Record) []byte {
+	t.Helper()
+	tr, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		tr.Add(r)
+	}
+	return tr.AppendBinary(nil)
+}
+
+// TestWALAppendReplayRoundTrip journals records in batches and replays them
+// back identically, then truncates at seal and checks the journal is empty.
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	recs := genRecords(t, 50)
+	path := filepath.Join(t.TempDir(), "site.wal")
+	w, err := OpenWAL(nil, path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(recs[:20]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(nil); err != nil { // empty batch is a no-op
+		t.Fatal(err)
+	}
+	if err := w.Append(recs[20:]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 50 {
+		t.Fatalf("Records = %d", w.Records())
+	}
+	var got []flow.Record
+	n, torn, err := w.Replay(func(r flow.Record) error { got = append(got, r); return nil })
+	if err != nil || n != 50 || torn != 0 {
+		t.Fatalf("Replay = %d, %d, %v", n, torn, err)
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d replayed as %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	// Seal: truncate, journal now replays empty; appends keep working.
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := w.Replay(func(flow.Record) error { return nil }); err != nil || n != 0 {
+		t.Fatalf("post-truncate Replay = %d, %v", n, err)
+	}
+	if err := w.Append(recs[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := w.Replay(func(flow.Record) error { return nil }); err != nil || n != 3 {
+		t.Fatalf("post-truncate append Replay = %d, %v", n, err)
+	}
+}
+
+// TestWALCrashAtRecordBoundary is the crash-recovery property test: for a
+// journal cut at ANY record boundary k (a crash after k durable records),
+// replay reconstructs exactly the first k records — the flowtree built from
+// the replay is byte-for-byte the tree built from an uninterrupted run. A
+// torn variant cuts mid-frame and must yield the same k records plus a
+// counted truncation, never a garbage record.
+func TestWALCrashAtRecordBoundary(t *testing.T) {
+	recs := genRecords(t, 40)
+	// Frame the journal image ourselves to learn the record boundaries.
+	var image []byte
+	bounds := []int{0}
+	for _, r := range recs {
+		image = fwAppend(image, r)
+		bounds = append(bounds, len(image))
+	}
+	dir := t.TempDir()
+	osfs := diskio.OS{}
+	for k := 0; k <= len(recs); k++ {
+		want := treeOf(t, recs[:k])
+		cuts := []struct {
+			name string
+			end  int
+			torn uint64 // minimum truncations replay must report
+		}{{"clean", bounds[k], 0}}
+		if k < len(recs) {
+			// Crash mid-append of record k+1: a strict partial frame.
+			cuts = append(cuts, struct {
+				name string
+				end  int
+				torn uint64
+			}{"torn", bounds[k] + (bounds[k+1]-bounds[k])/2, 1})
+		}
+		for _, cut := range cuts {
+			path := filepath.Join(dir, "cut.wal")
+			if err := os.WriteFile(path, image[:cut.end], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			w, err := OpenWAL(osfs, path, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := flowtree.New(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, torn, err := w.Replay(func(r flow.Record) error { tr.Add(r); return nil })
+			w.Close()
+			if err != nil {
+				t.Fatalf("cut %d (%s): Replay error %v", k, cut.name, err)
+			}
+			if n != k || torn < cut.torn {
+				t.Fatalf("cut %d (%s): replayed %d records (%d torn), want %d (>=%d torn)",
+					k, cut.name, n, torn, k, cut.torn)
+			}
+			if got := tr.AppendBinary(nil); !bytes.Equal(got, want) {
+				t.Fatalf("cut %d (%s): recovered tree differs from uninterrupted tree", k, cut.name)
+			}
+		}
+	}
+}
+
+// fwAppend frames one record exactly the way WAL.Append does.
+func fwAppend(dst []byte, r flow.Record) []byte { return flowsource.AppendFrame(dst, r) }
+
+// TestWALSyncInterval pins the fsync cadence: syncEvery=4 fsyncs on the
+// 4th and 8th record, Sync() forces one more.
+func TestWALSyncInterval(t *testing.T) {
+	recs := genRecords(t, 10)
+	ffs := diskio.NewFaulty(diskio.OS{}, diskio.FaultPlan{})
+	w, err := OpenWAL(ffs, filepath.Join(t.TempDir(), "s.wal"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, r := range recs {
+		if err := w.Append([]flow.Record{r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := ffs.Stats(); st.Syncs != 2 {
+		t.Fatalf("10 appends at syncEvery=4 fsync'd %d times, want 2", st.Syncs)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ffs.Stats(); st.Syncs != 3 {
+		t.Fatalf("forced Sync did not fsync (%d)", st.Syncs)
+	}
+}
+
+// TestWALFsyncFaultSurfaced checks an injected fsync failure surfaces from
+// Append while the already-written records stay replayable.
+func TestWALFsyncFaultSurfaced(t *testing.T) {
+	recs := genRecords(t, 6)
+	ffs := diskio.NewFaulty(diskio.OS{}, diskio.FaultPlan{FailEverySync: 2})
+	w, err := OpenWAL(ffs, filepath.Join(t.TempDir(), "f.wal"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(recs[:2]); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if err := w.Append(recs[2:4]); !errors.Is(err, diskio.ErrInjected) {
+		t.Fatalf("append over failing fsync = %v, want injected", err)
+	}
+	if err := w.Append(recs[4:]); err != nil {
+		t.Fatalf("append 3: %v", err)
+	}
+	// The write preceding the failed fsync still reached the file: replay
+	// sees all six records (durability, not content, is what the fsync
+	// fault costs).
+	n, torn, err := w.Replay(func(flow.Record) error { return nil })
+	if err != nil || n != 6 || torn != 0 {
+		t.Fatalf("Replay = %d, %d, %v", n, torn, err)
+	}
+}
+
+// TestWALTornAppendResyncs injects a torn write mid-journal and checks the
+// self-synchronizing framing recovers: the records before the tear replay
+// intact, the resync is counted, and replay reaches the records appended
+// after the tear.
+func TestWALTornAppendResyncs(t *testing.T) {
+	recs := genRecords(t, 30)
+	ffs := diskio.NewFaulty(diskio.OS{}, diskio.FaultPlan{FailEveryWrite: 2, TornWrite: true, Seed: 3})
+	w, err := OpenWAL(ffs, filepath.Join(t.TempDir(), "t.wal"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(recs[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(recs[10:20]); !errors.Is(err, diskio.ErrInjected) {
+		t.Fatalf("torn append = %v, want injected", err)
+	}
+	if st := ffs.Stats(); st.ShortlyWrote == 0 {
+		t.Skip("seed tore at offset 0; pick a different seed") // guard, not expected
+	}
+	if err := w.Append(recs[20:]); err != nil {
+		t.Fatal(err)
+	}
+	var got []flow.Record
+	_, torn, err := w.Replay(func(r flow.Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 10 {
+		t.Fatalf("replay lost pre-tear records: %d", len(got))
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != recs[i] {
+			t.Fatalf("pre-tear record %d corrupted by resync", i)
+		}
+	}
+	if torn == 0 {
+		t.Fatal("mid-journal tear absorbed without a counted resync")
+	}
+	if got[len(got)-1] != recs[29] {
+		t.Fatalf("replay did not resync to the post-tear records; last = %+v", got[len(got)-1])
+	}
+}
+
+// TestWALSetPerSite checks per-site journaling: appends land in separate
+// files, Seal truncates exactly one site, Replay visits sites
+// lexicographically, and sealing a crashed predecessor's journal this
+// process never opened still clears it.
+func TestWALSetPerSite(t *testing.T) {
+	recs := genRecords(t, 12)
+	dir := t.TempDir()
+	ws, err := OpenWALSet(nil, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	if err := ws.Append("siteB", recs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Append("siteA", recs[4:8]); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Records() != 8 {
+		t.Fatalf("Records = %d", ws.Records())
+	}
+	perSite := map[string]int{}
+	var order []string
+	n, torn, err := ws.Replay(func(site string, r flow.Record) error {
+		if perSite[site] == 0 {
+			order = append(order, site)
+		}
+		perSite[site]++
+		return nil
+	})
+	if err != nil || n != 8 || torn != 0 {
+		t.Fatalf("Replay = %d, %d, %v", n, torn, err)
+	}
+	if perSite["siteA"] != 4 || perSite["siteB"] != 4 {
+		t.Fatalf("per-site replay counts %v", perSite)
+	}
+	if len(order) != 2 || order[0] != "siteA" || order[1] != "siteB" {
+		t.Fatalf("site replay order %v, want lexicographic", order)
+	}
+	// Seal one site: its journal empties, the other survives.
+	if err := ws.Seal("siteB"); err != nil {
+		t.Fatal(err)
+	}
+	n, _, err = ws.Replay(func(string, flow.Record) error { return nil })
+	if err != nil || n != 4 {
+		t.Fatalf("Replay after Seal(siteB) = %d, %v", n, err)
+	}
+	// Sealing a site with no journal at all is a no-op.
+	if err := ws.Seal("ghost"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crashed-predecessor seal: a second WALSet that never appended to
+	// siteA must still be able to truncate the on-disk journal.
+	ws2, err := OpenWALSet(nil, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws2.Close()
+	if err := ws2.Seal("siteA"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := ws2.Replay(func(string, flow.Record) error { return nil }); err != nil || n != 0 {
+		t.Fatalf("Replay after predecessor seal = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package diskio is the seam between the durable storage tier and the
+// filesystem. Everything in internal/storage/disk performs its I/O through
+// the FS interface instead of the os package directly, so tests can swap a
+// deterministic fault-injecting implementation (Faulty) underneath the
+// segment store and write-ahead journal and exercise every recovery path —
+// failed writes, torn (short) writes, fsync errors — without flaky
+// real-disk tricks. OS is the production implementation.
+//
+// The interface is deliberately narrow: create/truncate, read-only open,
+// append-only open, remove, list. That is the complete vocabulary of the
+// segment and journal formats — no seeks on the write path (segments are
+// written once, journals append-only), no renames, no metadata beyond what
+// List returns, which keeps every implementation (and every injected
+// fault) trivially auditable.
+package diskio
+
+import (
+	"errors"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// File is one open file. Writers get sequential Write plus Sync (fsync);
+// readers get ReadAt. The production *os.File satisfies all of it; fault
+// injection wraps each method.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes written data to stable storage (fsync).
+	Sync() error
+}
+
+// FS is the filesystem vocabulary of the durable tier.
+type FS interface {
+	// Create opens name for writing, truncating any existing content and
+	// creating parent directories as needed.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// OpenAppend opens name for appending, creating it (and parent
+	// directories) if absent. Existing content is preserved — this is how
+	// a journal reopens after a crash.
+	OpenAppend(name string) (File, error)
+	// Remove deletes name. Removing a non-existent file is an error
+	// (callers that tolerate it check with errors.Is(err, fs.ErrNotExist)).
+	Remove(name string) error
+	// List returns the names (not paths) of the regular files in dir,
+	// sorted. A missing directory lists as empty, not an error — a fresh
+	// store starts with nothing on disk.
+	List(dir string) ([]string, error)
+}
+
+// OS is the production FS backed by the os package.
+type OS struct{}
+
+func (OS) Create(name string) (File, error) {
+	if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		return nil, err
+	}
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) OpenAppend(name string) (File, error) {
+	if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		return nil, err
+	}
+	return os.OpenFile(name, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ErrInjected marks a failure produced by a FaultPlan rather than the real
+// filesystem. Recovery paths must treat it exactly like a genuine I/O
+// error; tests assert on it to prove the failure they exercised was the
+// one they injected.
+var ErrInjected = errors.New("diskio: injected fault")
+
+// FaultPlan schedules deterministic failures into a Faulty filesystem.
+// Like simnet.Link's FailEvery and simnet.LinkPlan's seeded class
+// assignment, the plan is counting-based and seeded, so a test (or a fuzz
+// run) replays the exact same fault sequence every time.
+type FaultPlan struct {
+	// FailEveryWrite makes every Nth Write call across the filesystem
+	// fail (1 = every write, 0 = never).
+	FailEveryWrite int
+	// TornWrite makes failing writes partial instead of clean: a seeded
+	// prefix of the buffer reaches the file before the error, modeling a
+	// crash mid-write (torn page). Requires FailEveryWrite.
+	TornWrite bool
+	// FailEverySync makes every Nth Sync call fail after the data was
+	// handed to the file, modeling fsync errors on flush (1 = every sync,
+	// 0 = never).
+	FailEverySync int
+	// Seed drives the torn-write prefix lengths.
+	Seed int64
+}
+
+// FaultStats counts what a Faulty filesystem did.
+type FaultStats struct {
+	Writes       uint64
+	WriteFaults  uint64
+	Syncs        uint64
+	SyncFaults   uint64
+	ShortlyWrote uint64 // bytes that reached files from torn writes
+}
+
+// Faulty wraps an FS and injects FaultPlan failures. Counting is global
+// across all files of the wrapped filesystem, so a plan expresses "the 3rd
+// write anywhere fails" — which is how tests aim a fault at a specific
+// structural position (a segment's index header, a journal's fsync) by
+// construction rather than by path matching.
+type Faulty struct {
+	inner FS
+	plan  FaultPlan
+
+	mu     sync.Mutex
+	writes uint64
+	syncs  uint64
+
+	writeFaults  atomic.Uint64
+	syncFaults   atomic.Uint64
+	shortlyWrote atomic.Uint64
+}
+
+// NewFaulty wraps inner with the plan's failure schedule.
+func NewFaulty(inner FS, plan FaultPlan) *Faulty {
+	return &Faulty{inner: inner, plan: plan}
+}
+
+// Stats snapshots the fault counters.
+func (f *Faulty) Stats() FaultStats {
+	f.mu.Lock()
+	writes, syncs := f.writes, f.syncs
+	f.mu.Unlock()
+	return FaultStats{
+		Writes:       writes,
+		WriteFaults:  f.writeFaults.Load(),
+		Syncs:        syncs,
+		SyncFaults:   f.syncFaults.Load(),
+		ShortlyWrote: f.shortlyWrote.Load(),
+	}
+}
+
+// nextWrite reports whether this write fails, and its global index.
+func (f *Faulty) nextWrite() (uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	n := f.writes
+	return n, f.plan.FailEveryWrite > 0 && n%uint64(f.plan.FailEveryWrite) == 0
+}
+
+// nextSync reports whether this sync fails.
+func (f *Faulty) nextSync() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	return f.plan.FailEverySync > 0 && f.syncs%uint64(f.plan.FailEverySync) == 0
+}
+
+// tornLen picks the seeded prefix length for a torn write: at least zero,
+// strictly less than n, derived from (Seed, write index) the same way
+// simnet.LinkPlan derives link classes.
+func (f *Faulty) tornLen(writeIdx uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(f.plan.Seed) >> (8 * i))
+		b[8+i] = byte(writeIdx >> (8 * i))
+	}
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(n))
+}
+
+type faultyFile struct {
+	File
+	fs *Faulty
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	idx, fail := ff.fs.nextWrite()
+	if !fail {
+		return ff.File.Write(p)
+	}
+	ff.fs.writeFaults.Add(1)
+	if ff.fs.plan.TornWrite {
+		k := ff.fs.tornLen(idx, len(p))
+		if k > 0 {
+			n, err := ff.File.Write(p[:k])
+			ff.fs.shortlyWrote.Add(uint64(n))
+			if err != nil {
+				return n, err
+			}
+			return n, ErrInjected
+		}
+	}
+	return 0, ErrInjected
+}
+
+func (ff *faultyFile) Sync() error {
+	if ff.fs.nextSync() {
+		ff.fs.syncFaults.Add(1)
+		return ErrInjected
+	}
+	return ff.File.Sync()
+}
+
+func (f *Faulty) wrap(file File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{File: file, fs: f}, nil
+}
+
+func (f *Faulty) Create(name string) (File, error)     { return f.wrap(f.inner.Create(name)) }
+func (f *Faulty) Open(name string) (File, error)       { return f.wrap(f.inner.Open(name)) }
+func (f *Faulty) OpenAppend(name string) (File, error) { return f.wrap(f.inner.OpenAppend(name)) }
+func (f *Faulty) Remove(name string) error             { return f.inner.Remove(name) }
+func (f *Faulty) List(dir string) ([]string, error)    { return f.inner.List(dir) }

@@ -1,0 +1,181 @@
+package diskio
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundTrip exercises the production FS end to end: create, write,
+// sync, read back via ReadAt, append-reopen preserving content, list,
+// remove.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	osfs := OS{}
+	name := filepath.Join(dir, "sub", "a.bin")
+
+	f, err := osfs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append keeps the existing bytes — the crash-reopen contract.
+	af, err := osfs.OpenAppend(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := osfs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	buf := make([]byte, 11)
+	if _, err := rf.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello world" {
+		t.Fatalf("read back %q", buf)
+	}
+
+	names, err := osfs.List(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a.bin" {
+		t.Fatalf("List = %v", names)
+	}
+	// Missing directories list as empty.
+	if names, err := osfs.List(filepath.Join(dir, "nope")); err != nil || len(names) != 0 {
+		t.Fatalf("List(missing) = %v, %v", names, err)
+	}
+	if err := osfs.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := osfs.Remove(name); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("second Remove = %v, want not-exist", err)
+	}
+}
+
+// TestFaultyFailEveryWrite pins the counting contract: with
+// FailEveryWrite=3, exactly writes 3, 6, 9, ... fail with ErrInjected and
+// nothing from a cleanly failed write reaches the file.
+func TestFaultyFailEveryWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaulty(OS{}, FaultPlan{FailEveryWrite: 3})
+	f, err := ffs.Create(filepath.Join(dir, "w.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var okWrites, failures int
+	for i := 0; i < 9; i++ {
+		_, err := f.Write([]byte{byte(i)})
+		if err == nil {
+			okWrites++
+			continue
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		failures++
+	}
+	if okWrites != 6 || failures != 3 {
+		t.Fatalf("ok=%d failed=%d, want 6/3", okWrites, failures)
+	}
+	st := ffs.Stats()
+	if st.Writes != 9 || st.WriteFaults != 3 || st.ShortlyWrote != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "w.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 6 {
+		t.Fatalf("file holds %d bytes, want 6 (failed writes must write nothing)", len(data))
+	}
+}
+
+// TestFaultyTornWrite checks a torn write leaves a strict prefix behind,
+// that the prefix length is deterministic in the seed, and that different
+// seeds explore different tear points.
+func TestFaultyTornWrite(t *testing.T) {
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	tornAt := func(seed int64) int {
+		dir := t.TempDir()
+		ffs := NewFaulty(OS{}, FaultPlan{FailEveryWrite: 1, TornWrite: true, Seed: seed})
+		f, err := ffs.Create(filepath.Join(dir, "t.bin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, werr := f.Write(payload)
+		f.Close()
+		if !errors.Is(werr, ErrInjected) {
+			t.Fatalf("torn write error = %v", werr)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "t.bin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != n || len(data) >= len(payload) {
+			t.Fatalf("torn file has %d bytes (reported %d), payload %d", len(data), n, len(payload))
+		}
+		for i := range data {
+			if data[i] != payload[i] {
+				t.Fatalf("torn write is not a prefix at byte %d", i)
+			}
+		}
+		return len(data)
+	}
+	a1, a2 := tornAt(7), tornAt(7)
+	if a1 != a2 {
+		t.Fatalf("same seed tore at %d then %d", a1, a2)
+	}
+	seeds := map[int]bool{a1: true}
+	for s := int64(1); s < 6; s++ {
+		seeds[tornAt(s)] = true
+	}
+	if len(seeds) < 2 {
+		t.Fatal("six seeds all tore at the same offset; tear point is not seeded")
+	}
+}
+
+// TestFaultyFailEverySync pins fsync-failure injection.
+func TestFaultyFailEverySync(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaulty(OS{}, FaultPlan{FailEverySync: 2})
+	f, err := ffs.Create(filepath.Join(dir, "s.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 = %v, want injected", err)
+	}
+	if st := ffs.Stats(); st.Syncs != 2 || st.SyncFaults != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -46,8 +46,11 @@ var ErrBudget = errors.New("storage: epoch larger than store budget")
 // snapshot cannot be resliced out from under it by a later eviction; the
 // epoch payloads themselves are shared and must be immutable once stored
 // (as datastore guarantees for TTL/round-robin retention). The OnEvict
-// hook runs with the store's lock held — it must not call back into the
-// same RingStore.
+// hook runs after Put releases the store's lock, so a hook may safely call
+// back into the same RingStore (Range, Len, even Put); readers can observe
+// the post-eviction ring before the hooks for those evictions have
+// finished, and hooks from concurrent Puts may interleave — callers that
+// need strictly ordered hook delivery must serialize their Puts.
 type RingStore[T any] struct {
 	mu      sync.RWMutex
 	budget  uint64
@@ -65,30 +68,40 @@ func NewRingStore[T any](budgetBytes uint64) (*RingStore[T], error) {
 }
 
 // OnEvict registers a hook invoked for each evicted epoch (used by the
-// hierarchical store to cascade evictions into coarser levels).
+// hierarchical store to cascade evictions into coarser levels). The hook
+// fires oldest-first, after the evicting Put has released the store lock —
+// it may call back into this RingStore without deadlocking.
 func (s *RingStore[T]) OnEvict(fn func(Epoch[T])) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.evicted = fn
 }
 
-// Put stores an epoch, evicting the oldest epochs if needed.
+// Put stores an epoch, evicting the oldest epochs if needed. Eviction
+// hooks run after the lock is released, on the already-unlinked epochs, so
+// a hook that re-enters the store cannot deadlock.
 func (s *RingStore[T]) Put(e Epoch[T]) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if e.Size > s.budget {
+		s.mu.Unlock()
 		return ErrBudget
 	}
+	var evictions []Epoch[T]
 	for s.used+e.Size > s.budget && len(s.epochs) > 0 {
 		old := s.epochs[0]
 		s.epochs = s.epochs[1:]
 		s.used -= old.Size
-		if s.evicted != nil {
-			s.evicted(old)
-		}
+		evictions = append(evictions, old)
 	}
 	s.epochs = append(s.epochs, e)
 	s.used += e.Size
+	fn := s.evicted
+	s.mu.Unlock()
+	if fn != nil {
+		for _, old := range evictions {
+			fn(old)
+		}
+	}
 	return nil
 }
 

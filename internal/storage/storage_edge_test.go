@@ -1,0 +1,271 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+var edgeT0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func mk(i int, width time.Duration, size uint64) Epoch[int] {
+	return Epoch[int]{Start: edgeT0.Add(time.Duration(i) * time.Minute), Width: width, Size: size, Payload: i}
+}
+
+// TestRingStoreEvictHookReentersStore pins the hook contract: an OnEvict
+// hook that calls back into the SAME ring — Range, All, Len, even another
+// Put — must not deadlock, because Put fires hooks only after releasing
+// the store lock. (Run under a watchdog so a regression fails fast instead
+// of hanging the package.)
+func TestRingStoreEvictHookReentersStore(t *testing.T) {
+	ring, err := NewRingStore[int](64 * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLen []int
+	reentered := 0
+	ring.OnEvict(func(e Epoch[int]) {
+		// Reads against the just-evicted state.
+		sawLen = append(sawLen, ring.Len())
+		_ = ring.Range(e.Start, e.End())
+		_ = ring.All()
+		_ = ring.UsedBytes()
+		if reentered == 0 {
+			// One recursive Put: re-admit the evicted epoch at zero cost.
+			reentered++
+			if err := ring.Put(Epoch[int]{Start: e.Start, Width: e.Width, Size: 0, Payload: -e.Payload}); err != nil {
+				t.Errorf("reentrant Put: %v", err)
+			}
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			if err := ring.Put(mk(i, time.Minute, 64)); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("eviction hook re-entering the ring deadlocked")
+	}
+	if len(sawLen) == 0 {
+		t.Fatal("no evictions fired; budget too large for the test")
+	}
+	// The hook observed post-eviction state: the evicted epoch was already
+	// unlinked and the new one admitted when the hook ran.
+	for _, n := range sawLen {
+		if n < 2 || n > 3 {
+			t.Errorf("hook saw ring length %d, want 2-3 (post-eviction state)", n)
+		}
+	}
+}
+
+// TestRangeBoundaryInclusivity pins [from, to) interval semantics on all
+// three stores: an epoch is returned iff it overlaps the half-open query
+// window — touching boundaries don't match.
+func TestRangeBoundaryInclusivity(t *testing.T) {
+	e := mk(1, time.Minute, 8) // covers [t0+1m, t0+2m)
+	cases := []struct {
+		name     string
+		from, to time.Time
+		want     int
+	}{
+		{"exact window", e.Start, e.End(), 1},
+		{"from at epoch end", e.End(), e.End().Add(time.Hour), 0},
+		{"to at epoch start", e.Start.Add(-time.Hour), e.Start, 0},
+		{"one ns of overlap at head", e.End().Add(-time.Nanosecond), e.End(), 1},
+		{"one ns of overlap at tail", e.Start, e.Start.Add(time.Nanosecond), 1},
+		{"empty window", e.Start, e.Start, 0},
+	}
+	ring, err := NewRingStore[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	ttl, err := NewTTLStore[int](time.Hour, func() time.Time { return edgeT0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttl.Put(e)
+	hier, err := NewHierarchicalStore[int]([]Level{{Width: time.Minute, BudgetBytes: 64}},
+		func(a, b int) (int, uint64) { return a + b, 8 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hier.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		if got := len(ring.Range(tc.from, tc.to)); got != tc.want {
+			t.Errorf("ring %s: %d epochs, want %d", tc.name, got, tc.want)
+		}
+		if got := len(ttl.Range(tc.from, tc.to)); got != tc.want {
+			t.Errorf("ttl %s: %d epochs, want %d", tc.name, got, tc.want)
+		}
+		if got := len(hier.Range(tc.from, tc.to)); got != tc.want {
+			t.Errorf("hier %s: %d epochs, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestZeroWidthEpochs pins the degenerate epoch: stored and accounted, it
+// behaves as an instant at Start — returned by query windows strictly
+// containing that instant, excluded by windows touching it on either side
+// — and the TTL store expires it as soon as its start passes the cutoff.
+func TestZeroWidthEpochs(t *testing.T) {
+	z := Epoch[int]{Start: edgeT0, Width: 0, Size: 16, Payload: 7}
+	ring, err := NewRingStore[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Put(z); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 1 || ring.UsedBytes() != 16 {
+		t.Errorf("len=%d used=%d, want 1/16", ring.Len(), ring.UsedBytes())
+	}
+	if got := ring.Range(edgeT0.Add(-time.Hour), edgeT0.Add(time.Hour)); len(got) != 1 {
+		t.Errorf("window around the instant returned %v, want the epoch", got)
+	}
+	if got := ring.Range(edgeT0, edgeT0.Add(time.Hour)); len(got) != 0 {
+		t.Errorf("window starting at the instant returned %v, want none", got)
+	}
+	if got := ring.Range(edgeT0.Add(-time.Hour), edgeT0); len(got) != 0 {
+		t.Errorf("window ending at the instant returned %v, want none", got)
+	}
+	if ring.Horizon() != 0 {
+		t.Errorf("horizon=%v, want 0", ring.Horizon())
+	}
+
+	now := edgeT0
+	ttl, err := NewTTLStore[int](time.Hour, func() time.Time { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttl.Put(z)
+	if ttl.Len() != 1 {
+		t.Fatal("zero-width epoch not stored")
+	}
+	// End() == Start == cutoff is NOT before the cutoff: retained.
+	now = edgeT0.Add(time.Hour)
+	if n := ttl.Expire(); n != 0 || ttl.Len() != 1 {
+		t.Errorf("expired %d at exact cutoff, want retention", n)
+	}
+	now = now.Add(time.Nanosecond)
+	if n := ttl.Expire(); n != 1 || ttl.Len() != 0 || ttl.UsedBytes() != 0 {
+		t.Errorf("expire past cutoff: n=%d len=%d used=%d", n, ttl.Len(), ttl.UsedBytes())
+	}
+}
+
+// TestTTLStoreExactCutoffRetained pins the expiry boundary for normal
+// epochs too: an epoch whose end equals now-ttl survives; one nanosecond
+// older goes.
+func TestTTLStoreExactCutoffRetained(t *testing.T) {
+	now := edgeT0.Add(time.Hour + time.Minute) // cutoff = t0+1m = e's end
+	ttl, err := NewTTLStore[int](time.Hour, func() time.Time { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttl.Put(mk(0, time.Minute, 8)) // [t0, t0+1m)
+	if ttl.Len() != 1 {
+		t.Fatal("epoch ending exactly at the cutoff must survive")
+	}
+	now = now.Add(time.Nanosecond)
+	if n := ttl.Expire(); n != 1 {
+		t.Fatalf("expired %d past the cutoff, want 1", n)
+	}
+}
+
+// TestHierarchicalCascadeEdges pins two cascade corners: an eviction whose
+// coarse container start lands exactly on the level boundary, and a coarse
+// epoch grown past its level's budget, which is dropped at flush (lossy by
+// design) without corrupting the level's accounting.
+func TestHierarchicalCascadeEdges(t *testing.T) {
+	// Level-1 width 10m: fine epochs 0-9 share container t0, epoch 10
+	// (exactly on the boundary) opens container t0+10m.
+	hier, err := NewHierarchicalStore[int]([]Level{
+		{Width: time.Minute, BudgetBytes: 64 * 2},
+		{Width: 10 * time.Minute, BudgetBytes: 64 * 4},
+	}, func(a, b int) (int, uint64) { return a + b, 64 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 13; i++ {
+		if err := hier.Put(mk(i, time.Minute, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hier.Flush()
+	// Evicted epochs 0-10; containers t0 (epochs 0-9) and t0+10m (epoch 10).
+	coarse := hier.rings[1].All()
+	if len(coarse) != 2 {
+		t.Fatalf("coarse level holds %d epochs, want 2", len(coarse))
+	}
+	if !coarse[0].Start.Equal(edgeT0) || coarse[0].Payload != 0+1+2+3+4+5+6+7+8+9 {
+		t.Errorf("container 0 = %+v", coarse[0])
+	}
+	if !coarse[1].Start.Equal(edgeT0.Add(10*time.Minute)) || coarse[1].Payload != 10 {
+		t.Errorf("boundary epoch landed in %+v, want its own container", coarse[1])
+	}
+
+	// Oversize coarse epoch: every MERGE inflates its container past the
+	// level budget, so the 10-epoch container is dropped at flush (lossy
+	// by design) — while the boundary container, never merged and still
+	// within budget, survives. Accounting stays coherent either way.
+	lossy, err := NewHierarchicalStore[int]([]Level{
+		{Width: time.Minute, BudgetBytes: 64 * 2},
+		{Width: 10 * time.Minute, BudgetBytes: 64},
+	}, func(a, b int) (int, uint64) { return a + b, 128 }) // 128 > level budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 13; i++ {
+		if err := lossy.Put(mk(i, time.Minute, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lossy.Flush()
+	coarse = lossy.rings[1].All()
+	if len(coarse) != 1 || coarse[0].Payload != 10 || coarse[0].Size != 64 {
+		t.Errorf("lossy coarse level = %+v, want only the un-merged boundary container", coarse)
+	}
+	if used, want := lossy.UsedBytes(), lossy.rings[0].UsedBytes()+64; used != want {
+		t.Errorf("accounting drifted after dropped flush: total=%d want=%d", used, want)
+	}
+}
+
+// TestHierarchicalLateEvictionStaysPending pins flushPending's ordering
+// rule: a coarse container only moves into its ring once a STRICTLY newer
+// container exists, so the newest container keeps accepting evictions
+// until Flush.
+func TestHierarchicalLateEvictionStaysPending(t *testing.T) {
+	hier, err := NewHierarchicalStore[int]([]Level{
+		{Width: time.Minute, BudgetBytes: 64 * 2},
+		{Width: time.Hour, BudgetBytes: 64 * 8},
+	}, func(a, b int) (int, uint64) { return a + b, 64 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ { // all within one coarse hour
+		if err := hier.Put(mk(i, time.Minute, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := hier.rings[1].Len(); n != 0 {
+		t.Fatalf("open container flushed early: %d coarse epochs", n)
+	}
+	// Pending bytes still count toward the store's footprint.
+	if used := hier.UsedBytes(); used != 64*2+64 {
+		t.Errorf("used=%d, want fine ring + pending container", used)
+	}
+	hier.Flush()
+	coarse := hier.rings[1].All()
+	if len(coarse) != 1 || coarse[0].Payload != 0+1+2+3 {
+		t.Errorf("flushed container %+v, want payload 6 from epochs 0-3", coarse)
+	}
+}
