@@ -8,7 +8,8 @@
 # turnaround and WAL'd-ingest overhead and fails on a regression against the
 # checked-in BENCH_compress.json / BENCH_epoch.json / BENCH_query.json /
 # BENCH_stream.json / BENCH_fed.json / BENCH_durable.json baselines
-# (wall-clock experiments get the wider tolerance). `make fuzz-smoke` gives
+# (wall-clock experiments get the wider tolerance; the compress and stream
+# gates also hold allocs/op and bytes/op flat). `make fuzz-smoke` gives
 # the record, tree-wire, tree-delta and disk-segment decoders a short
 # corpus-guided fuzz run; `make cover` writes cover.out and prints
 # per-package and total statement coverage.

@@ -23,7 +23,10 @@
 // BENCH_fed.json / BENCH_durable.json), and
 // -compare diffs a fresh run against a checked-in baseline, exiting
 // non-zero when any configuration regresses by more than -tol (default
-// 10%) — `make bench-compare` wires this up.
+// 10%) — `make bench-compare` wires this up. The compress and stream
+// experiments also record allocs/op and bytes/op (CompressTo and Clone for
+// compress, the end-to-end streaming pass for stream) and gate those the
+// same way, so the arena's allocation flatness is held by CI, not claimed.
 package main
 
 import (
@@ -402,12 +405,44 @@ func reportIngest() error {
 	return nil
 }
 
+// measureAllocs runs fn once and returns the process-wide heap allocations
+// (count and bytes) it caused. The numbers are exact only when nothing else
+// allocates concurrently, which holds for the single-goroutine experiment
+// sections that use it; concurrent sections report the aggregate, which is
+// still the quantity a GC-pressure gate cares about.
+func measureAllocs(fn func() error) (allocs, bytes uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := fn(); err != nil {
+		return 0, 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
+}
+
+// allocGate checks a measured allocation figure against a stored baseline
+// the way the throughput gates check speed: fresh may exceed stored by the
+// fractional tolerance plus a small absolute slack (tiny counts would
+// otherwise flap on a single incidental allocation). A zero stored value
+// means the baseline predates the metric and the gate is skipped.
+func allocGate(fresh, stored uint64, tol float64) (ok bool) {
+	if stored == 0 {
+		return true
+	}
+	const slack = 16
+	return float64(fresh) <= float64(stored)*(1+tol)+slack
+}
+
 // compressBaseline is the JSON schema of BENCH_compress.json: one measured
-// throughput entry per (budget, skew) configuration.
+// throughput entry per (budget, skew) configuration, plus one Clone entry
+// per skew. The alloc fields regression-gate the arena's allocation
+// flatness; baselines that predate them (zero values) skip those gates.
 type compressBaseline struct {
 	Experiment string          `json:"experiment"`
 	Records    int             `json:"records"`
 	Entries    []compressEntry `json:"entries"`
+	Clones     []cloneEntry    `json:"clones,omitempty"`
 }
 
 type compressEntry struct {
@@ -415,6 +450,16 @@ type compressEntry struct {
 	Skew        float64 `json:"skew"`
 	Nodes       int     `json:"nodes"`
 	FoldsPerSec float64 `json:"folds_per_sec"`
+	AllocsPerOp uint64  `json:"allocs_per_op,omitempty"`
+	BytesPerOp  uint64  `json:"bytes_per_op,omitempty"`
+}
+
+type cloneEntry struct {
+	Skew         float64 `json:"skew"`
+	Nodes        int     `json:"nodes"`
+	ClonesPerSec float64 `json:"clones_per_sec"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
 }
 
 // reportCompress measures Flowtree bulk-fold compression throughput across
@@ -423,17 +468,19 @@ type compressEntry struct {
 // down to the budget (best of five, damping scheduler noise on loaded
 // hosts). Throughput is reported as folds per
 // second (nodes removed / wall time), the quantity the sort-based fold
-// optimizes. With -out the numbers are written as the JSON baseline; with
-// -compare they are diffed against a stored baseline and any configuration
-// slower by more than tol fails the run.
+// optimizes; allocs/op and bytes/op for the CompressTo call (and for Clone,
+// measured separately per skew) track the arena's GC pressure. With -out the
+// numbers are written as the JSON baseline; with -compare they are diffed
+// against a stored baseline and any configuration slower — or allocating
+// more — by more than tol fails the run.
 func reportCompress(outPath, comparePath string, tol float64) error {
 	const records = 200000
 	fmt.Printf("## Compress — Flowtree bulk sort-fold throughput (%d records)\n\n", records)
 	budgets := []int{1024, 4096, 10000}
 	skews := []float64{1.1, 1.4}
 	base := compressBaseline{Experiment: "compress", Records: records}
-	fmt.Println("| budget | skew | nodes before | compress time | folds/s |")
-	fmt.Println("|---|---|---|---|---|")
+	fmt.Println("| budget | skew | nodes before | compress time | folds/s | allocs/op | KB/op |")
+	fmt.Println("|---|---|---|---|---|---|---|")
 	for _, skew := range skews {
 		g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 42, Skew: skew})
 		if err != nil {
@@ -455,14 +502,52 @@ func reportCompress(outPath, comparePath string, tol float64) error {
 					best = d
 				}
 			}
+			// Allocation profile of the CompressTo call itself, on a fresh
+			// clone outside the timed loop (CompressTo is deterministic, one
+			// run is exact).
+			tr := full.Clone()
+			allocs, bytes, err := measureAllocs(func() error { tr.CompressTo(budget); return nil })
+			if err != nil {
+				return err
+			}
 			folds := full.Len() - budget
 			fps := float64(folds) / best.Seconds()
-			fmt.Printf("| %d | %.1f | %d | %v | %.0f |\n",
-				budget, skew, full.Len(), best.Round(10*time.Microsecond), fps)
+			fmt.Printf("| %d | %.1f | %d | %v | %.0f | %d | %.0f |\n",
+				budget, skew, full.Len(), best.Round(10*time.Microsecond), fps, allocs, float64(bytes)/1024)
 			base.Entries = append(base.Entries, compressEntry{
 				Budget: budget, Skew: skew, Nodes: full.Len(), FoldsPerSec: fps,
+				AllocsPerOp: allocs, BytesPerOp: bytes,
 			})
 		}
+		// Clone of the full tree: the snapshot path every shard seal, memo
+		// fill, and export takes. Time best-of-five, allocs exact.
+		var cloneBest time.Duration
+		for rep := 0; rep < 5; rep++ {
+			runtime.GC()
+			start := time.Now()
+			cp := full.Clone()
+			if d := time.Since(start); rep == 0 || d < cloneBest {
+				cloneBest = d
+			}
+			_ = cp
+		}
+		cloneAllocs, cloneBytes, err := measureAllocs(func() error { _ = full.Clone(); return nil })
+		if err != nil {
+			return err
+		}
+		base.Clones = append(base.Clones, cloneEntry{
+			Skew: skew, Nodes: full.Len(),
+			ClonesPerSec: 1 / cloneBest.Seconds(),
+			AllocsPerOp:  cloneAllocs, BytesPerOp: cloneBytes,
+		})
+	}
+	fmt.Println()
+	fmt.Println("| clone of | skew | clone time | allocs/op | KB/op |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, c := range base.Clones {
+		fmt.Printf("| %d nodes | %.1f | %v | %d | %.0f |\n",
+			c.Nodes, c.Skew, time.Duration(float64(time.Second)/c.ClonesPerSec).Round(10*time.Microsecond),
+			c.AllocsPerOp, float64(c.BytesPerOp)/1024)
 	}
 	if outPath != "" {
 		buf, err := json.MarshalIndent(base, "", "  ")
@@ -520,18 +605,57 @@ func compareCompress(fresh compressBaseline, comparePath string, tol float64) er
 			verdict = "REGRESSION"
 			regressed = true
 		}
-		fmt.Printf("  budget=%d skew=%.1f: %.0f vs %.0f folds/s (%.2fx) %s\n",
-			e.Budget, e.Skew, e.FoldsPerSec, want.FoldsPerSec, ratio, verdict)
+		if !allocGate(e.AllocsPerOp, want.AllocsPerOp, tol) || !allocGate(e.BytesPerOp, want.BytesPerOp, tol) {
+			verdict = "ALLOC REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("  budget=%d skew=%.1f: %.0f vs %.0f folds/s (%.2fx), %d vs %d allocs/op %s\n",
+			e.Budget, e.Skew, e.FoldsPerSec, want.FoldsPerSec, ratio, e.AllocsPerOp, want.AllocsPerOp, verdict)
 	}
 	if matched != len(stored.Entries) {
 		fmt.Printf("  %d baseline entr(ies) not re-measured\n", len(stored.Entries)-matched)
+		drifted = true
+	}
+	// Clone gate: time and allocation flatness per skew. A baseline with no
+	// clone entries predates the metric and skips the gate; one with entries
+	// must be fully re-measured (same drift rule as the fold table).
+	cloneByCfg := make(map[float64]cloneEntry, len(stored.Clones))
+	for _, c := range stored.Clones {
+		cloneByCfg[c.Skew] = c
+	}
+	cloneMatched := 0
+	for _, c := range fresh.Clones {
+		want, ok := cloneByCfg[c.Skew]
+		if !ok {
+			if len(stored.Clones) > 0 {
+				fmt.Printf("  clone skew=%.1f: MISSING from baseline\n", c.Skew)
+				drifted = true
+			}
+			continue
+		}
+		cloneMatched++
+		ratio := c.ClonesPerSec / want.ClonesPerSec
+		verdict := "ok"
+		if ratio < 1-tol {
+			verdict = "REGRESSION"
+			regressed = true
+		}
+		if !allocGate(c.AllocsPerOp, want.AllocsPerOp, tol) || !allocGate(c.BytesPerOp, want.BytesPerOp, tol) {
+			verdict = "ALLOC REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("  clone skew=%.1f: %.1f vs %.1f clones/s (%.2fx), %d vs %d allocs/op %s\n",
+			c.Skew, c.ClonesPerSec, want.ClonesPerSec, ratio, c.AllocsPerOp, want.AllocsPerOp, verdict)
+	}
+	if cloneMatched != len(stored.Clones) {
+		fmt.Printf("  %d baseline clone entr(ies) not re-measured\n", len(stored.Clones)-cloneMatched)
 		drifted = true
 	}
 	switch {
 	case drifted:
 		return fmt.Errorf("%w: compression gate vs %s — regenerate with make bench-baseline", errDrift, comparePath)
 	case regressed:
-		return fmt.Errorf("compression throughput gate failed against %s", comparePath)
+		return fmt.Errorf("compression throughput/allocation gate failed against %s", comparePath)
 	}
 	return nil
 }
@@ -941,6 +1065,12 @@ type streamEntry struct {
 	BaseRPS   float64 `json:"base_rec_per_sec"`
 	StreamRPS float64 `json:"stream_rec_per_sec"`
 	Ratio     float64 `json:"ratio"`
+	// AllocsPerKRec / BytesPerRec profile the streaming pass end to end
+	// (decode, batching, ingest, tree maintenance): process-wide heap
+	// allocations per thousand records and allocated bytes per record.
+	// Zero in a baseline means it predates the metric (gate skipped).
+	AllocsPerKRec uint64 `json:"stream_allocs_per_krec,omitempty"`
+	BytesPerRec   uint64 `json:"stream_bytes_per_rec,omitempty"`
 }
 
 // reportStream measures the streaming router→store front end against the
@@ -988,11 +1118,12 @@ func reportStream(outPath, comparePath string, tol float64) error {
 		return s, s.Subscribe("router", "flows")
 	}
 	base := streamBaseline{Experiment: "stream", Records: records, MaxBatch: maxBatch}
-	fmt.Println("| shards | batch rec/s | stream rec/s | stream/batch |")
-	fmt.Println("|---|---|---|---|")
+	fmt.Println("| shards | batch rec/s | stream rec/s | stream/batch | allocs/krec | B/rec |")
+	fmt.Println("|---|---|---|---|---|---|")
 	var tooSlow bool
 	for _, shards := range []int{1, 4} {
 		var baseBest, streamBest float64
+		var streamAllocs, streamBytes uint64
 		for rep := 0; rep < 3; rep++ {
 			baseStore, err := newStore(shards)
 			if err != nil {
@@ -1028,14 +1159,19 @@ func reportStream(outPath, comparePath string, tol float64) error {
 				baseBest = rps
 			}
 			start = time.Now()
-			if err := src.Consume("edge", bytes.NewReader(wire)); err != nil {
-				return err
-			}
-			if err := src.Drain(); err != nil {
+			allocs, bytesAlloced, err := measureAllocs(func() error {
+				if err := src.Consume("edge", bytes.NewReader(wire)); err != nil {
+					return err
+				}
+				return src.Drain()
+			})
+			if err != nil {
 				return err
 			}
 			if rps := float64(records) / time.Since(start).Seconds(); rps > streamBest {
 				streamBest = rps
+				streamAllocs = allocs * 1000 / records
+				streamBytes = bytesAlloced / records
 			}
 			if err := src.Close(); err != nil {
 				return err
@@ -1045,12 +1181,14 @@ func reportStream(outPath, comparePath string, tol float64) error {
 			}
 		}
 		ratio := streamBest / baseBest
-		fmt.Printf("| %d | %.0f | %.0f | %.2fx |\n", shards, baseBest, streamBest, ratio)
+		fmt.Printf("| %d | %.0f | %.0f | %.2fx | %d | %d |\n",
+			shards, baseBest, streamBest, ratio, streamAllocs, streamBytes)
 		if ratio < 0.9 {
 			tooSlow = true
 		}
 		base.Entries = append(base.Entries, streamEntry{
 			Shards: shards, BaseRPS: baseBest, StreamRPS: streamBest, Ratio: ratio,
+			AllocsPerKRec: streamAllocs, BytesPerRec: streamBytes,
 		})
 	}
 	if outPath != "" {
@@ -1112,8 +1250,12 @@ func compareStream(fresh streamBaseline, comparePath string, tol float64) error 
 			verdict = "REGRESSION"
 			regressed = true
 		}
-		fmt.Printf("  shards=%d: %.0f vs %.0f stream rec/s (%.2fx) %s\n",
-			e.Shards, e.StreamRPS, want.StreamRPS, ratio, verdict)
+		if !allocGate(e.AllocsPerKRec, want.AllocsPerKRec, tol) || !allocGate(e.BytesPerRec, want.BytesPerRec, tol) {
+			verdict = "ALLOC REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("  shards=%d: %.0f vs %.0f stream rec/s (%.2fx), %d vs %d allocs/krec %s\n",
+			e.Shards, e.StreamRPS, want.StreamRPS, ratio, e.AllocsPerKRec, want.AllocsPerKRec, verdict)
 	}
 	if matched != len(stored.Entries) {
 		fmt.Printf("  %d baseline entr(ies) not re-measured\n", len(stored.Entries)-matched)

@@ -54,14 +54,65 @@ func AppendRecord(dst []byte, r flow.Record) []byte {
 	return dst
 }
 
+// internSlots sizes the FrameReader key-intern cache. Router exports are
+// heavily skewed — a handful of talkers dominate an epoch — so even a small
+// direct-mapped table absorbs most of the per-record key validation and
+// normalization work.
+const internSlots = 1024
+
+// keyInterner is a direct-mapped cache from raw 16-byte wire keys to their
+// decoded flow.Key. flow.KeyFromBinary is a pure function of those bytes
+// (validation and normalization included), so serving an exact byte match
+// from the cache is observationally identical to re-decoding. Invalid keys
+// are never cached; they take the slow path and fail the same way each time.
+type keyInterner struct {
+	raw [internSlots][keyWireSize]byte
+	key [internSlots]flow.Key
+	ok  [internSlots]bool
+}
+
+// slot hashes a raw wire key to its cache index (raw must hold keyWireSize
+// bytes). A multiply-xorshift mix over the two key words spreads the skewed
+// low-entropy bits (ports, protocol, flags) across the table.
+func (ki *keyInterner) slot(raw []byte) uint32 {
+	h := binary.LittleEndian.Uint64(raw) ^ binary.LittleEndian.Uint64(raw[8:])*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return uint32(h) & (internSlots - 1)
+}
+
 // DecodeRecord decodes one record body from the front of src and returns
 // the number of bytes consumed. The key is validated (prefix ranges) and
 // normalized; the start time comes back in UTC. Trailing bytes after the
 // record are not an error — frames carry the exact length.
-func DecodeRecord(src []byte) (flow.Record, int, error) {
-	key, n, err := flow.KeyFromBinary(src)
-	if err != nil {
-		return flow.Record{}, 0, fmt.Errorf("%w: %v", ErrCodec, err)
+func DecodeRecord(src []byte) (flow.Record, int, error) { return decodeRecord(src, nil) }
+
+// decodeRecord is DecodeRecord with an optional key-intern cache; ki may be
+// nil (the exported entry point) or a FrameReader's per-stream cache.
+func decodeRecord(src []byte, ki *keyInterner) (flow.Record, int, error) {
+	var key flow.Key
+	n := keyWireSize
+	if ki != nil && len(src) >= keyWireSize {
+		s := ki.slot(src)
+		if ki.ok[s] && bytes.Equal(ki.raw[s][:], src[:keyWireSize]) {
+			key = ki.key[s]
+		} else {
+			var err error
+			key, n, err = flow.KeyFromBinary(src)
+			if err != nil {
+				return flow.Record{}, 0, fmt.Errorf("%w: %v", ErrCodec, err)
+			}
+			copy(ki.raw[s][:], src[:keyWireSize])
+			ki.key[s] = key
+			ki.ok[s] = true
+		}
+	} else {
+		var err error
+		key, n, err = flow.KeyFromBinary(src)
+		if err != nil {
+			return flow.Record{}, 0, fmt.Errorf("%w: %v", ErrCodec, err)
+		}
 	}
 	rest := src[n:]
 	packets, pn := binary.Uvarint(rest)
@@ -140,8 +191,9 @@ const frBufSize = 64 << 10
 // past garbage and truncation instead of failing the whole stream. It
 // maintains its own sliding window over the stream and decodes frames
 // directly from it — this reader sits on the sustained router ingest path,
-// so it cannot afford per-byte reader indirection. It is not safe for
-// concurrent use.
+// so it cannot afford per-byte reader indirection — and interns recently
+// seen wire keys so the skewed talkers that dominate an epoch skip key
+// validation and normalization entirely. It is not safe for concurrent use.
 type FrameReader struct {
 	r          io.Reader
 	buf        []byte
@@ -149,6 +201,7 @@ type FrameReader struct {
 	err        error // sticky underlying read error (io.EOF included)
 	frames     uint64
 	truncated  uint64
+	intern     keyInterner
 }
 
 // NewFrameReader wraps r in a framing decoder.
@@ -225,7 +278,7 @@ func (fr *FrameReader) Next() (flow.Record, error) {
 			return flow.Record{}, fr.readErr()
 		}
 		body := fr.buf[fr.start+1+n : fr.start+total]
-		rec, consumed, err := DecodeRecord(body)
+		rec, consumed, err := decodeRecord(body, &fr.intern)
 		fr.start += total
 		if err != nil || consumed != len(body) {
 			fr.truncated++

@@ -186,3 +186,39 @@ func TestFrameReaderArbitraryBytes(t *testing.T) {
 		}
 	}
 }
+
+// TestKeyInternerEquivalence pins the FrameReader's key-intern cache against
+// the cache-free decoder: for every body — valid, repeated (cache hits),
+// colliding (1024 slots, far more keys), or damaged — decodeRecord with a
+// shared interner must agree exactly with DecodeRecord.
+func TestKeyInternerEquivalence(t *testing.T) {
+	recs := testRecords(t, 5000)
+	var ki keyInterner
+	check := func(body []byte) {
+		t.Helper()
+		want, wn, werr := DecodeRecord(body)
+		got, gn, gerr := decodeRecord(body, &ki)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("interned decode error %v, plain %v", gerr, werr)
+		}
+		if werr != nil {
+			return
+		}
+		if gn != wn || !recordsEqual(got, want) {
+			t.Fatalf("interned decode %+v (n=%d), plain %+v (n=%d)", got, gn, want, wn)
+		}
+	}
+	for _, r := range recs {
+		body := AppendRecord(nil, r)
+		check(body) // first sight: slow path, populates the slot
+		check(body) // exact repeat: served from the cache
+		// Damage the key bytes: invalid keys must fail identically and
+		// must not poison the slot for the valid body.
+		bad := append([]byte(nil), body...)
+		bad[13] = 99 // SrcPrefix out of range
+		check(bad)
+		check(body)
+	}
+	// Short bodies bypass the cache entirely.
+	check([]byte{1, 2, 3})
+}

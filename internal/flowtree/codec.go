@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 
 	"megadata/internal/flow"
 )
@@ -93,25 +92,6 @@ func (t *Tree) appendHeader(dst []byte, version byte) []byte {
 	hdr[4] = version
 	hdr[5] = t.stepBits
 	return append(dst, hdr[:]...)
-}
-
-// wireEntries returns the tree's weighted nodes with normalized keys in
-// the deterministic keyLess order v2 delta-encodes against. Entries()
-// already sorts; normalization is a per-field mask that almost always
-// no-ops (tree keys come from normalized record keys).
-func (t *Tree) wireEntries() []Entry {
-	entries := t.Entries()
-	normed := false
-	for i := range entries {
-		if n := entries[i].Key.Normalized(); n != entries[i].Key {
-			entries[i].Key = n
-			normed = true
-		}
-	}
-	if normed {
-		sort.Slice(entries, func(i, j int) bool { return keyLess(entries[i].Key, entries[j].Key) })
-	}
-	return entries
 }
 
 // AppendBinary serializes the tree's weighted nodes in the current wire
@@ -281,13 +261,7 @@ func (t *Tree) SizeBytes() uint64 {
 func (t *Tree) WireSizeBytes(version byte) (uint64, error) {
 	switch version {
 	case WireV1:
-		var n uint64
-		t.walk(func(nd *node) bool {
-			if !nd.own.IsZero() {
-				n++
-			}
-			return true
-		})
+		n := uint64(len(t.wireEntries()))
 		return wireHeaderSize + 8 + n*nodeWireSizeV1, nil
 	case WireV2:
 		entries := t.wireEntries()
@@ -342,7 +316,7 @@ func Decode(src []byte, budget int, opts ...Option) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.recomputeAgg(t.root)
+	t.recomputeAgg(rootIdx)
 	t.maybeCompress()
 	return t, nil
 }
@@ -368,7 +342,8 @@ func (t *Tree) decodeV1(src []byte) error {
 			Flows:   binary.BigEndian.Uint64(src[16:]),
 		}
 		src = src[24:]
-		t.ensure(key).own.Add(c)
+		ni := t.ensure(key)
+		t.slab[ni].own.Add(c)
 	}
 	return nil
 }
@@ -493,7 +468,8 @@ func (t *Tree) decodeV2(src []byte) error {
 		if r.err != nil {
 			return r.err
 		}
-		t.ensure(k.Normalized()).own.Add(c)
+		ni := t.ensure(k.Normalized())
+		t.slab[ni].own.Add(c)
 		prev = k
 	}
 	if len(r.src) != 0 {

@@ -11,15 +11,16 @@ import (
 	"megadata/internal/workload"
 )
 
-// refFoldHeap is the pre-PR2 container/heap fold, kept verbatim as the
-// equivalence baseline and benchmark reference for the sort-based
-// CompressTo: entries may be stale and are revalidated when popped.
+// refFoldHeap is the pre-PR2 container/heap fold, kept as the equivalence
+// baseline and benchmark reference for the sort-based CompressTo: entries
+// may be stale and are revalidated when popped. Ported from node pointers
+// to slab indices with the arena rewrite; the fold logic is unchanged.
 type refFoldHeap struct {
 	items []refFoldItem
 }
 
 type refFoldItem struct {
-	n *node
+	i int32
 	s uint64
 }
 
@@ -37,38 +38,47 @@ func (h *refFoldHeap) Pop() interface{} {
 
 // compressToHeap is the heap-based incremental fold the sort-based
 // CompressTo replaced: fold the least popular leaf, cascading to parents
-// that become new leaves.
+// that become new leaves. It never inserts nodes, so slab indices held in
+// the heap stay valid across folds (dead slots are detected by depth).
 func compressToHeap(t *Tree, target int) {
 	if target < 1 {
 		target = 1
 	}
-	if len(t.nodes) <= target {
+	if t.live <= target {
 		return
 	}
+	t.dirty()
 	h := &refFoldHeap{}
 	h.items = make([]refFoldItem, 0, len(t.nodes))
-	for _, n := range t.nodes {
-		if n.isLeaf() && n != t.root {
-			h.items = append(h.items, refFoldItem{n: n, s: n.agg.ScoreWith(t.score)})
+	for i := 1; i < len(t.slab); i++ {
+		n := &t.slab[i]
+		if n.depth >= 0 && n.isLeaf() {
+			h.items = append(h.items, refFoldItem{i: int32(i), s: n.agg.ScoreWith(t.score)})
 		}
 	}
+	// Materialize a possibly-deferred index up front: the fold deletes
+	// from it, and the test inspects it afterwards.
+	t.index()
 	heap.Init(h)
-	for len(t.nodes) > target && h.Len() > 0 {
+	for t.live > target && h.Len() > 0 {
 		it := heap.Pop(h).(refFoldItem)
-		n := it.n
-		if t.nodes[n.key] != n || !n.isLeaf() || n == t.root {
+		n := &t.slab[it.i]
+		if n.depth < 0 || !n.isLeaf() {
 			continue
 		}
 		if cur := n.agg.ScoreWith(t.score); cur != it.s {
-			heap.Push(h, refFoldItem{n: n, s: cur})
+			heap.Push(h, refFoldItem{i: it.i, s: cur})
 			continue
 		}
 		p := n.parent
-		p.own.Add(n.own)
-		delete(p.children, n.key)
+		t.slab[p].own.Add(n.own)
+		t.removeChild(p, it.i)
 		delete(t.nodes, n.key)
-		if p.isLeaf() && p != t.root {
-			heap.Push(h, refFoldItem{n: p, s: p.agg.ScoreWith(t.score)})
+		n.depth = freeDepth
+		t.free = append(t.free, it.i)
+		t.live--
+		if p != rootIdx && t.slab[p].isLeaf() {
+			heap.Push(h, refFoldItem{i: p, s: t.slab[p].agg.ScoreWith(t.score)})
 		}
 	}
 }
@@ -129,8 +139,8 @@ func TestSortFoldMatchesHeapFoldNodeSet(t *testing.T) {
 			t.Fatalf("target %d: sort fold kept %d nodes, heap fold %d", target, sorted.Len(), heaped.Len())
 		}
 		mismatch := 0
-		for k := range sorted.nodes {
-			if _, ok := heaped.nodes[k]; !ok {
+		for k := range sorted.index() {
+			if _, ok := heaped.index()[k]; !ok {
 				mismatch++
 			}
 		}
@@ -139,10 +149,15 @@ func TestSortFoldMatchesHeapFoldNodeSet(t *testing.T) {
 		if mismatch > sorted.Len()/50+2 {
 			t.Errorf("target %d: %d of %d surviving nodes differ between folds", target, mismatch, sorted.Len())
 		}
-		for k, n := range sorted.nodes {
-			if hn, ok := heaped.nodes[k]; ok && (n.own != hn.own || n.agg != hn.agg) {
+		for k, si := range sorted.nodes {
+			hi, ok := heaped.nodes[k]
+			if !ok {
+				continue
+			}
+			sn, hn := &sorted.slab[si], &heaped.slab[hi]
+			if sn.own != hn.own || sn.agg != hn.agg {
 				t.Fatalf("target %d: node %v counters diverge: sort %+v/%+v heap %+v/%+v",
-					target, k, n.own, n.agg, hn.own, hn.agg)
+					target, k, sn.own, sn.agg, hn.own, hn.agg)
 			}
 		}
 	}

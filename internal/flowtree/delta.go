@@ -265,12 +265,14 @@ func DecodeDelta(src []byte, base *Tree, budget int, opts ...Option) (*Tree, err
 		if removedSet[e.Key] || replaced[e.Key] {
 			continue
 		}
-		t.ensure(e.Key).own.Add(e.Counters)
+		ni := t.ensure(e.Key)
+		t.slab[ni].own.Add(e.Counters)
 	}
 	for _, e := range changed {
-		t.ensure(e.Key).own.Add(e.Counters)
+		ni := t.ensure(e.Key)
+		t.slab[ni].own.Add(e.Counters)
 	}
-	t.recomputeAgg(t.root)
+	t.recomputeAgg(rootIdx)
 	t.maybeCompress()
 	return t, nil
 }

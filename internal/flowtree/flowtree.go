@@ -12,22 +12,62 @@
 // are provided: Merge, Compress, Diff, Query, Drilldown, Top-k, Above-x and
 // HHH.
 //
+// # Slab layout
+//
+// Nodes live in a flat slab ([]node) addressed by int32 offsets instead of
+// pointers: parent links are slab indices, child sets are small sorted
+// index arrays, and the key index maps flow.Key to a slab offset. The slab
+// turns the hot paths cache-linear — compression collects fold candidates
+// with one sequential sweep, Merge and Diff stream the source slab instead
+// of chasing a pointer graph, and Clone is little more than a slab memcpy
+// — and it takes the garbage collector out of the steady state: the
+// only pointer-bearing field a node carries is its child-index slice, so a
+// million-node tree is a handful of heap objects rather than a million
+// individually scanned ones.
+//
+// Slab invariants:
+//
+//   - slab[0] is the root; it is never folded, freed or re-parented.
+//   - A slot is live iff its depth is >= 0; the live count is tracked
+//     (Len), and the live slots are exactly the values of the key index —
+//     which is itself deferred after Clone and materialized from the slab
+//     on first need, so read-only snapshot clones never build it.
+//   - Folded slots are marked depth = -1 and pushed onto the free list;
+//     ensure reuses them (retaining their child-array capacity) before
+//     growing the slab. Free slots are never reachable from a live node.
+//   - children holds the slab indices of a node's children sorted by the
+//     children's keyLess order, so child lookup and removal binary-search
+//     the (tiny) fanout instead of hashing.
+//   - Bulk folds that discard most of the tree rebuild a compact slab of
+//     the survivors (and reset the free list), handing the memory of
+//     one-shot decode/fan-in spikes back instead of pinning it.
+//
+// Because slab indices survive append-growth where interior pointers would
+// not, mutation code holds indices across allocations and only materializes
+// *node pointers between them.
+//
 // # Bulk operations
 //
-// Compression is a bulk sort-and-fold: every non-root node is collected into
-// a reusable scratch slice with its popularity score, sorted ascending
-// (descendants before ancestors on ties), and the least popular prefix is
-// folded in order. A fold moves a node's own weight into its parent and
-// never changes any aggregate (the parent's aggregate already contained the
-// node), so scores computed at collection time stay valid for the whole
-// compression — no heap maintenance and no stale-entry revalidation. Because
-// aggregates are monotone up the tree, this sorted prefix is exactly the
-// fold set of the incremental least-popular-leaf cascade; see CompressTo.
+// Compression is a bulk sort-and-fold: every live non-root node is
+// collected from the slab in one linear sweep with its popularity score,
+// sorted ascending (descendants before ancestors on ties), and the least
+// popular prefix is folded in order. A fold moves a node's own weight into
+// its parent and never changes any aggregate (the parent's aggregate
+// already contained the node), so scores computed at collection time stay
+// valid for the whole compression — no heap maintenance and no stale-entry
+// revalidation. Because aggregates are monotone up the tree, this sorted
+// prefix is exactly the fold set of the incremental least-popular-leaf
+// cascade; see CompressTo.
 //
 // Batch paths (AddBatch, Merge, MergeAll, Clone, Decode) defer aggregate
 // propagation: own weights are applied first and the aggregate annotations
 // are rebuilt with a single bottom-up pass when that is cheaper than walking
 // the ancestor chain per record, then the budget is enforced once.
+//
+// The sorted entry list the wire codecs encode against (Entries,
+// AppendBinary, SizeBytes, DeltaHash) is cached and invalidated on
+// mutation, so repeated exports of an unchanged tree — delta bases,
+// re-ships, size metering — skip the O(n log n) sort after the first.
 package flowtree
 
 import (
@@ -66,17 +106,26 @@ func WithCompressTarget(f float64) Option {
 	return func(t *Tree) { t.compressTarget = f }
 }
 
-// node is one generalized flow in the tree. children is nil until the node
+// noNode is the nil slab index (the root's parent).
+const noNode int32 = -1
+
+// freeDepth marks a slab slot as dead: folded out of the tree and (outside
+// a compression in progress) parked on the free list.
+const freeDepth int32 = -1
+
+// rootIdx is the root's fixed slab offset.
+const rootIdx int32 = 0
+
+// node is one generalized flow in the slab. children is nil until the node
 // gets its first child: most nodes are leaves, and not allocating their
-// (empty) child maps measurably cuts allocation and GC scan work on the
-// ingest path.
+// (empty) child arrays keeps the ingest path allocation-flat.
 type node struct {
 	key      flow.Key
 	own      flow.Counters // weight attributed directly to this key
 	agg      flow.Counters // own + descendants (the paper's popularity score)
-	parent   *node
-	children map[flow.Key]*node
-	depth    int32 // generalization steps below the root; fixed at creation
+	parent   int32         // slab index of the parent; noNode for the root
+	depth    int32         // generalization steps below the root; freeDepth = dead slot
+	children []int32       // child slab indices in the children's keyLess order
 }
 
 func (n *node) isLeaf() bool { return len(n.children) == 0 }
@@ -88,9 +137,21 @@ type Tree struct {
 	stepBits       uint8
 	compressTarget float64
 	score          flow.Score
-	root           *node
-	nodes          map[flow.Key]*node
-	inserted       uint64 // records ever added (diagnostics)
+	slab           []node
+	free           []int32 // dead slab slots available for reuse
+	live           int     // live node count, root included (Len without the index)
+	// nodes is the key→slab-offset index. nil means deferred: Clone skips
+	// the index (its dominant cost — read-only snapshot clones never use
+	// it) and index() materializes it from the slab on first need. A nil
+	// map still answers deletes and misses correctly, so fold paths need
+	// no materialization.
+	nodes    map[flow.Key]int32
+	inserted uint64 // records ever added (diagnostics)
+
+	// Cached wire-entry list (weighted nodes, normalized keys, keyLess
+	// order) and its validity bit; every mutation dirties it.
+	entries   []Entry
+	entriesOK bool
 
 	// Scratch buffers reused across hot-path calls (the tree is
 	// single-goroutine, so plain fields suffice): the compression fold
@@ -122,11 +183,9 @@ func New(budget int, opts ...Option) (*Tree, error) {
 	if budget > 0 && budget < 2 {
 		return nil, errors.New("flowtree: budget must be at least 2 nodes")
 	}
-	root := &node{key: flow.Root(), children: make(map[flow.Key]*node)}
-	t.root = root
 	// Budgeted trees fill to their budget (plus a transient overshoot
-	// between batch compressions); pre-sizing the node map avoids the
-	// incremental rehash-and-copy churn while it grows.
+	// between batch compressions); pre-sizing the slab and the node index
+	// avoids incremental growth churn on the way up.
 	hint := 16
 	if budget > 0 {
 		hint = budget
@@ -134,10 +193,32 @@ func New(budget int, opts ...Option) (*Tree, error) {
 			hint = 1 << 16
 		}
 	}
-	t.nodes = make(map[flow.Key]*node, hint)
-	t.nodes[root.key] = root
+	t.slab = make([]node, 1, hint)
+	t.slab[rootIdx] = node{key: flow.Root(), parent: noNode}
+	t.nodes = make(map[flow.Key]int32, hint)
+	t.nodes[t.slab[rootIdx].key] = rootIdx
+	t.live = 1
 	return t, nil
 }
+
+// index returns the key→slab-offset map, materializing a deferred one with
+// a single linear slab sweep.
+func (t *Tree) index() map[flow.Key]int32 {
+	if t.nodes == nil {
+		m := make(map[flow.Key]int32, t.live)
+		for i := range t.slab {
+			if t.slab[i].depth >= 0 {
+				m[t.slab[i].key] = int32(i)
+			}
+		}
+		t.nodes = m
+	}
+	return t.nodes
+}
+
+// dirty invalidates the cached sorted entry list; every own-weight or
+// structure mutation goes through it.
+func (t *Tree) dirty() { t.entriesOK = false }
 
 // Add ingests one flow record.
 func (t *Tree) Add(rec flow.Record) {
@@ -162,12 +243,14 @@ func (t *Tree) AddBatch(recs []flow.Record) {
 	if len(recs) == 0 {
 		return
 	}
+	t.dirty()
 	t.inserted += uint64(len(recs))
 	if t.deferAgg(len(recs)) {
 		for _, r := range recs {
-			t.ensure(r.Key).own.Add(flow.CountersOf(r))
+			ni := t.ensure(r.Key)
+			t.slab[ni].own.Add(flow.CountersOf(r))
 		}
-		t.recomputeAgg(t.root)
+		t.recomputeAgg(rootIdx)
 	} else {
 		for _, r := range recs {
 			t.addCounters(r.Key, flow.CountersOf(r))
@@ -185,15 +268,14 @@ func (t *Tree) chainDepth() int {
 
 // deferAgg decides whether a bulk edit of n records should rebuild
 // aggregates with one O(nodes) pass instead of walking the ancestor chain
-// per record. The two costs have very different constants: an ancestor
-// step is a pointer chase plus three integer adds, while a rebuild step
-// iterates a child map (~20x more per node, measured on the ingest
-// benchmarks) — so deferral only wins when the record volume swamps the
-// tree, as it does for codec decodes, seal-time shard fan-ins and merges
-// into small trees.
+// per record. The two costs have different constants: an ancestor step is a
+// slab load plus three integer adds, while a rebuild step iterates a child
+// array — so deferral only wins when the record volume swamps the tree, as
+// it does for codec decodes, seal-time shard fan-ins and merges into small
+// trees.
 func (t *Tree) deferAgg(n int) bool {
 	const rebuildCostFactor = 20
-	return n*t.chainDepth() >= rebuildCostFactor*len(t.nodes)
+	return n*t.chainDepth() >= rebuildCostFactor*t.live
 }
 
 // AddCounters ingests a pre-aggregated weight at an arbitrary (possibly
@@ -204,30 +286,75 @@ func (t *Tree) AddCounters(key flow.Key, c flow.Counters) {
 }
 
 func (t *Tree) addCounters(key flow.Key, c flow.Counters) {
-	n := t.ensure(key)
-	n.own.Add(c)
-	for cur := n; cur != nil; cur = cur.parent {
-		cur.agg.Add(c)
+	t.dirty()
+	ni := t.ensure(key)
+	t.slab[ni].own.Add(c)
+	for cur := ni; cur != noNode; cur = t.slab[cur].parent {
+		t.slab[cur].agg.Add(c)
 	}
 }
 
-// ensure returns the node for key, creating it and all missing canonical
-// ancestors. The ancestors inherit the descendants' aggregate lazily: agg
-// updates happen in addCounters.
-func (t *Tree) ensure(key flow.Key) *node {
-	if n, ok := t.nodes[key]; ok {
-		return n
+// alloc carves a slab slot for a new node — reusing a free slot (and its
+// child-array capacity) when one exists — and registers it in the index.
+func (t *Tree) alloc(key flow.Key, parent, depth int32) int32 {
+	var i int32
+	if n := len(t.free); n > 0 {
+		i = t.free[n-1]
+		t.free = t.free[:n-1]
+		nd := &t.slab[i]
+		nd.key, nd.own, nd.agg = key, flow.Counters{}, flow.Counters{}
+		nd.parent, nd.depth = parent, depth
+		nd.children = nd.children[:0]
+	} else {
+		i = int32(len(t.slab))
+		t.slab = append(t.slab, node{key: key, parent: parent, depth: depth})
+	}
+	t.nodes[key] = i
+	t.live++
+	return i
+}
+
+// childPos binary-searches pi's sorted child array for the position of (or
+// insertion point for) a child with the given key.
+func (t *Tree) childPos(pi int32, key flow.Key) int {
+	kids := t.slab[pi].children
+	return sort.Search(len(kids), func(j int) bool { return !keyLess(t.slab[kids[j]].key, key) })
+}
+
+// addChild inserts ci into pi's child array at its sorted position.
+func (t *Tree) addChild(pi, ci int32) {
+	pos := t.childPos(pi, t.slab[ci].key)
+	p := &t.slab[pi]
+	p.children = append(p.children, 0)
+	copy(p.children[pos+1:], p.children[pos:])
+	p.children[pos] = ci
+}
+
+// removeChild deletes ci from pi's sorted child array.
+func (t *Tree) removeChild(pi, ci int32) {
+	pos := t.childPos(pi, t.slab[ci].key)
+	p := &t.slab[pi]
+	copy(p.children[pos:], p.children[pos+1:])
+	p.children = p.children[:len(p.children)-1]
+}
+
+// ensure returns the slab index for key, creating the node and all missing
+// canonical ancestors. The ancestors inherit the descendants' aggregate
+// lazily: agg updates happen in addCounters.
+func (t *Tree) ensure(key flow.Key) int32 {
+	if i, ok := t.index()[key]; ok {
+		return i
 	}
 	// Build the missing part of the chain from key upward, in the reusable
 	// scratch slice (a fresh chain allocation per miss dominates ingest
 	// allocation otherwise).
 	missing := append(t.chain[:0], key)
-	var attach *node
+	attach := rootIdx
 	cur := key
 	for {
 		parent, ok := cur.GeneralizeStep(t.stepBits)
 		if !ok {
-			attach = t.root
+			attach = rootIdx
 			break
 		}
 		if p, exists := t.nodes[parent]; exists {
@@ -237,25 +364,23 @@ func (t *Tree) ensure(key flow.Key) *node {
 		missing = append(missing, parent)
 		cur = parent
 	}
-	// Create from most general to most specific.
+	// Create from most general to most specific. alloc may grow the slab,
+	// so only indices are held across iterations.
 	for i := len(missing) - 1; i >= 0; i-- {
-		n := &node{key: missing[i], parent: attach, depth: attach.depth + 1}
-		if attach.children == nil {
-			attach.children = make(map[flow.Key]*node, 2)
-		}
-		attach.children[n.key] = n
-		t.nodes[n.key] = n
+		depth := t.slab[attach].depth + 1
+		ci := t.alloc(missing[i], attach, depth)
+		t.addChild(attach, ci)
 		// New interior nodes start empty; any existing weight under
 		// them is impossible because chains are complete (children of
 		// attach are never re-parented).
-		attach = n
+		attach = ci
 	}
 	t.chain = missing[:0]
 	return attach
 }
 
 // Len returns the number of nodes (including the root).
-func (t *Tree) Len() int { return len(t.nodes) }
+func (t *Tree) Len() int { return t.live }
 
 // Inserted returns the number of records ever added.
 func (t *Tree) Inserted() uint64 { return t.inserted }
@@ -276,20 +401,21 @@ func (t *Tree) SetBudget(budget int) error {
 }
 
 // Total returns the aggregate counters over the whole tree.
-func (t *Tree) Total() flow.Counters { return t.root.agg }
+func (t *Tree) Total() flow.Counters { return t.slab[rootIdx].agg }
 
 func (t *Tree) maybeCompress() {
-	if t.budget > 0 && len(t.nodes) > t.budget {
+	if t.budget > 0 && t.live > t.budget {
 		t.CompressTo(int(float64(t.budget) * t.compressTarget))
 	}
 }
 
-// foldItem is one compression candidate: a node, its popularity score and
-// its depth at collection time. Folds never change aggregates, so scores
-// collected once stay valid for the whole compression.
+// foldItem is one compression candidate: a slab index, its popularity score
+// and its depth at collection time. Folds never change aggregates, so
+// scores collected once stay valid for the whole compression. The item is
+// pointer-free, so the fold scratch is invisible to the garbage collector.
 type foldItem struct {
-	n     *node
 	s     uint64
+	idx   int32
 	depth int32
 }
 
@@ -297,8 +423,8 @@ type foldItem struct {
 // nodes first (so descendants always precede their ancestors — an
 // ancestor's aggregate is at least any descendant's) with remaining ties
 // broken by the deterministic key order, so compression does not depend on
-// map iteration order. Keys are unique, so the order is strict.
-func cmpFold(a, b foldItem) int {
+// collection order. Keys are unique, so the order is strict.
+func (t *Tree) cmpFold(a, b foldItem) int {
 	switch {
 	case a.s != b.s:
 		if a.s < b.s {
@@ -310,14 +436,14 @@ func cmpFold(a, b foldItem) int {
 			return -1
 		}
 		return 1
-	case keyLess(a.n.key, b.n.key):
+	case keyLess(t.slab[a.idx].key, t.slab[b.idx].key):
 		return -1
 	default:
 		return 1
 	}
 }
 
-func sortFoldItems(items []foldItem) { slices.SortFunc(items, cmpFold) }
+func (t *Tree) sortFoldItems(items []foldItem) { slices.SortFunc(items, t.cmpFold) }
 
 // prepareFold arranges items so that the k smallest by fold order occupy
 // items[:k] in sorted order — the sequential delete fold needs descendants
@@ -325,30 +451,30 @@ func sortFoldItems(items []foldItem) { slices.SortFunc(items, cmpFold) }
 // everything; otherwise a quickselect narrows to the prefix first, so the
 // frequent small compressions of a budgeted tree pay O(n + k log k)
 // instead of O(n log n).
-func prepareFold(items []foldItem, k int) {
+func (t *Tree) prepareFold(items []foldItem, k int) {
 	if 4*k >= 3*len(items) {
-		sortFoldItems(items)
+		t.sortFoldItems(items)
 		return
 	}
-	quickselectFold(items, k)
-	sortFoldItems(items[:k])
+	t.quickselectFold(items, k)
+	t.sortFoldItems(items[:k])
 }
 
 // quickselectFold partitions items so the k smallest elements occupy
 // items[:k] in arbitrary order: Hoare partitioning with median-of-three
 // pivots, recursing (iteratively) into the side containing k. The fold
 // order is strict, so every partition makes progress.
-func quickselectFold(items []foldItem, k int) {
+func (t *Tree) quickselectFold(items []foldItem, k int) {
 	lo, hi := 0, len(items)
 	for hi-lo > 16 {
 		mid := lo + (hi-lo)/2
-		if cmpFold(items[mid], items[lo]) < 0 {
+		if t.cmpFold(items[mid], items[lo]) < 0 {
 			items[mid], items[lo] = items[lo], items[mid]
 		}
-		if cmpFold(items[hi-1], items[lo]) < 0 {
+		if t.cmpFold(items[hi-1], items[lo]) < 0 {
 			items[hi-1], items[lo] = items[lo], items[hi-1]
 		}
-		if cmpFold(items[hi-1], items[mid]) < 0 {
+		if t.cmpFold(items[hi-1], items[mid]) < 0 {
 			items[hi-1], items[mid] = items[mid], items[hi-1]
 		}
 		pivot := items[mid]
@@ -356,13 +482,13 @@ func quickselectFold(items []foldItem, k int) {
 		for {
 			for {
 				i++
-				if cmpFold(items[i], pivot) >= 0 {
+				if t.cmpFold(items[i], pivot) >= 0 {
 					break
 				}
 			}
 			for {
 				j--
-				if cmpFold(items[j], pivot) <= 0 {
+				if t.cmpFold(items[j], pivot) <= 0 {
 					break
 				}
 			}
@@ -378,7 +504,22 @@ func quickselectFold(items []foldItem, k int) {
 			lo = j + 1
 		}
 	}
-	sortFoldItems(items[lo:hi])
+	t.sortFoldItems(items[lo:hi])
+}
+
+// collectFold sweeps the slab once and gathers every live non-root node as
+// a fold candidate — the cache-linear replacement for iterating the key
+// index.
+func (t *Tree) collectFold() []foldItem {
+	items := t.fold[:0]
+	for i := 1; i < len(t.slab); i++ {
+		n := &t.slab[i]
+		if n.depth < 0 {
+			continue // free slot
+		}
+		items = append(items, foldItem{idx: int32(i), s: n.agg.ScoreWith(t.score), depth: n.depth})
+	}
+	return items
 }
 
 // CompressTo folds least-popular leaves into their parents until at most
@@ -396,91 +537,30 @@ func quickselectFold(items []foldItem, k int) {
 // closed under taking descendants — no heap maintenance, no boxing, no
 // revalidation churn, and trivially terminating where the cascade-round
 // argument needs the leaf front to shrink the tree every round. Two
-// execution strategies over a reusable scratch slice exploit this: folding
-// a minority of the tree quickselects and sorts just the fold prefix
-// (O(n + k log k)), deleting each folded node in descendant-first order;
-// folding a majority only partitions (O(n)) and rebuilds the node index
-// and child links from the survivors.
+// execution strategies over one linear slab sweep exploit this: folding a
+// minority of the tree quickselects and sorts just the fold prefix
+// (O(n + k log k)), deleting each folded node in descendant-first order and
+// parking its slot on the free list; folding a majority only partitions
+// (O(n)) and rebuilds a compact slab from the survivors, handing the spike
+// memory back.
 func (t *Tree) CompressTo(target int) {
 	if target < 1 {
 		target = 1
 	}
-	k := len(t.nodes) - target
+	k := t.live - target
 	if k <= 0 {
 		return
 	}
-	items := t.fold[:0]
-	for _, n := range t.nodes {
-		if n != t.root {
-			items = append(items, foldItem{n: n, s: n.agg.ScoreWith(t.score), depth: n.depth})
-		}
-	}
-	if 2*k >= len(t.nodes) {
-		// Folding most of the tree: partition out the k least popular
-		// (no order needed — the marker-based weight push and the
-		// survivor reattachment below are order-independent), then
-		// rebuild the index and child links from the target survivors —
-		// O(n) selection plus O(target) map inserts instead of an
-		// O(n log n) sort and O(k) deletes.
-		quickselectFold(items, k)
-		// Mark the folded prefix (the nodes are discarded, their depth is
-		// free as a marker), then push every folded node's own weight
-		// directly to its nearest surviving ancestor. With a monotone
-		// score that ancestor is simply the parent chain's first
-		// survivor, and the direct push sums to exactly what transitive
-		// child-to-parent accumulation would; under a contract-violating
-		// score it keeps the weight out of discarded nodes.
-		for _, it := range items[:k] {
-			it.n.depth = -1
-		}
-		for _, it := range items[:k] {
-			p := it.n.parent
-			for p.depth < 0 {
-				p = p.parent
-			}
-			p.own.Add(it.n.own)
-		}
-		survivors := items[k:]
-		// Clearing retains the maps' storage for the refill; only a
-		// drastically oversized node index is dropped for a right-sized
-		// one, so one-shot bulk folds (decode, seal fan-in) hand the
-		// memory back while the steady state stays allocation-free.
-		var nodes map[flow.Key]*node
-		if 4*target >= len(t.nodes) {
-			nodes = t.nodes
-			clear(nodes)
-		} else {
-			nodes = make(map[flow.Key]*node, target)
-		}
-		nodes[t.root.key] = t.root
-		clear(t.root.children)
-		for _, it := range survivors {
-			clear(it.n.children)
-			nodes[it.n.key] = it.n
-		}
-		for _, it := range survivors {
-			n := it.n
-			p := n.parent
-			// A monotone score folds every descendant of a folded node,
-			// so n.parent always survives; under a non-monotone score it
-			// may not — reattach to the nearest surviving ancestor (the
-			// root always survives) rather than detach the subtree.
-			for p.depth < 0 {
-				p = p.parent
-			}
-			n.parent = p
-			if p.children == nil {
-				p.children = make(map[flow.Key]*node, 2)
-			}
-			p.children[n.key] = n
-		}
-		t.nodes = nodes
+	t.dirty()
+	items := t.collectFold()
+	if 2*k >= t.live {
+		t.compressRebuild(items, k, target)
 	} else {
 		// The sequential fold needs items[:k] in fold order so that
 		// descendants fold (and push their weight) before ancestors.
-		prepareFold(items, k)
+		t.prepareFold(items, k)
 		for _, it := range items[:k] {
-			n := it.n
+			n := &t.slab[it.idx]
 			// Under the monotone-score contract n is always a leaf by the
 			// time it is reached; a non-monotone score can violate that —
 			// skip the fold instead of orphaning the children, and let
@@ -488,27 +568,131 @@ func (t *Tree) CompressTo(target int) {
 			if len(n.children) != 0 {
 				continue
 			}
-			p := n.parent
-			p.own.Add(n.own)
-			delete(p.children, n.key)
+			t.slab[n.parent].own.Add(n.own)
+			t.removeChild(n.parent, it.idx)
 			delete(t.nodes, n.key)
+			n.depth = freeDepth
+			t.free = append(t.free, it.idx)
+			t.live--
 		}
 	}
-	// Zero the scratch so the retained backing array does not pin the
-	// folded nodes, and drop it entirely when a one-shot bulk fold left it
-	// drastically oversized for the surviving tree.
-	clear(items)
-	if cap(items) > 4*len(t.nodes) {
+	// Drop the scratch when a one-shot bulk fold left it drastically
+	// oversized for the surviving tree (items are pointer-free, so a
+	// retained backing array pins no nodes).
+	if cap(items) > 4*t.live {
 		items = nil
 	}
 	t.fold = items[:0]
-	if len(t.nodes) > target {
+	if t.live > target {
 		// Only reachable under a contract-violating (non-monotone) score,
 		// when the sequential fold had to skip prefix members with
 		// surviving children. Fall back to the incremental cascade, which
 		// reaches the target for any score.
 		t.compressCascade(target)
 	}
+}
+
+// compressRebuild is the majority fold: partition out the k least popular
+// nodes (no order needed — the marker-based weight push and the survivor
+// rebuild below are order-independent), then rebuild a compact slab, child
+// arrays and key index from the target survivors — O(n) selection plus
+// O(target) rebuild instead of an O(n log n) sort and O(k) deletes. The
+// free list resets: every dead slot's memory is handed back with the old
+// slab.
+func (t *Tree) compressRebuild(items []foldItem, k, target int) {
+	t.quickselectFold(items, k)
+	// Mark the folded prefix (the nodes are discarded, their depth is free
+	// as a marker), then push every folded node's own weight directly to
+	// its nearest surviving ancestor. With a monotone score that ancestor
+	// is simply the parent chain's first survivor, and the direct push
+	// sums to exactly what transitive child-to-parent accumulation would;
+	// under a contract-violating score it keeps the weight out of
+	// discarded nodes.
+	for _, it := range items[:k] {
+		t.slab[it.idx].depth = freeDepth
+	}
+	for _, it := range items[:k] {
+		p := t.slab[it.idx].parent
+		for t.slab[p].depth < 0 {
+			p = t.slab[p].parent
+		}
+		t.slab[p].own.Add(t.slab[it.idx].own)
+	}
+	survivors := items[k:]
+	old := t.slab
+	next := make([]node, 0, len(survivors)+1)
+	next = append(next, old[rootIdx])
+	next[rootIdx].children = nil
+	// remap translates surviving old slab offsets to compact ones; folded
+	// slots are never read from it.
+	remap := make([]int32, len(old))
+	remap[rootIdx] = rootIdx
+	for _, it := range survivors {
+		remap[it.idx] = int32(len(next))
+		next = append(next, old[it.idx])
+	}
+	// Re-link parents against the old slab's chains: a monotone score
+	// folds every descendant of a folded node, so the parent always
+	// survives; under a non-monotone score it may not — reattach to the
+	// nearest surviving ancestor (the root always survives) rather than
+	// detach the subtree. Child arrays are rebuilt into one shared backing
+	// array, then sorted per parent.
+	counts := make([]int32, len(next))
+	for j := 1; j < len(next); j++ {
+		p := next[j].parent
+		for old[p].depth < 0 {
+			p = old[p].parent
+		}
+		next[j].parent = remap[p]
+		counts[remap[p]]++
+	}
+	backing := make([]int32, len(next)-1)
+	off := int32(0)
+	for j := range next {
+		n := int32(counts[j])
+		if n == 0 {
+			next[j].children = nil
+			continue
+		}
+		next[j].children = backing[off : off : off+n]
+		off += n
+	}
+	for j := 1; j < len(next); j++ {
+		p := next[j].parent
+		next[p].children = append(next[p].children, int32(j))
+	}
+	for j := range next {
+		kids := next[j].children
+		if len(kids) > 1 {
+			slices.SortFunc(kids, func(a, b int32) int {
+				if keyLess(next[a].key, next[b].key) {
+					return -1
+				}
+				return 1
+			})
+		}
+	}
+	// Refill the index. Clearing retains its storage; only a drastically
+	// oversized index is dropped for a right-sized one, so one-shot bulk
+	// folds (decode, seal fan-in) hand the memory back while the steady
+	// state stays allocation-free. A deferred index stays deferred — the
+	// compact slab is exactly what index() would sweep.
+	switch {
+	case t.nodes == nil:
+	case 4*target >= t.live:
+		clear(t.nodes)
+		for j := range next {
+			t.nodes[next[j].key] = int32(j)
+		}
+	default:
+		t.nodes = make(map[flow.Key]int32, target)
+		for j := range next {
+			t.nodes[next[j].key] = int32(j)
+		}
+	}
+	t.slab = next
+	t.live = len(next)
+	t.free = t.free[:0]
 }
 
 // compressCascade is the order-robust fallback fold: round by round, the
@@ -520,31 +704,34 @@ func (t *Tree) CompressTo(target int) {
 // non-monotone score defeats its closure argument.
 func (t *Tree) compressCascade(target int) {
 	round := t.fold[:0]
-	for _, n := range t.nodes {
-		if n != t.root && n.isLeaf() {
-			round = append(round, foldItem{n: n, s: n.agg.ScoreWith(t.score), depth: n.depth})
+	for i := 1; i < len(t.slab); i++ {
+		n := &t.slab[i]
+		if n.depth >= 0 && n.isLeaf() {
+			round = append(round, foldItem{idx: int32(i), s: n.agg.ScoreWith(t.score), depth: n.depth})
 		}
 	}
 	var next []foldItem
-	for len(t.nodes) > target && len(round) > 0 {
-		sortFoldItems(round)
+	for t.live > target && len(round) > 0 {
+		t.sortFoldItems(round)
 		next = next[:0]
 		for _, it := range round {
-			if len(t.nodes) <= target {
+			if t.live <= target {
 				break
 			}
-			n := it.n
+			n := &t.slab[it.idx]
 			p := n.parent
-			p.own.Add(n.own)
-			delete(p.children, n.key)
+			t.slab[p].own.Add(n.own)
+			t.removeChild(p, it.idx)
 			delete(t.nodes, n.key)
-			if p != t.root && p.isLeaf() {
-				next = append(next, foldItem{n: p, s: p.agg.ScoreWith(t.score), depth: p.depth})
+			n.depth = freeDepth
+			t.free = append(t.free, it.idx)
+			t.live--
+			if p != rootIdx && t.slab[p].isLeaf() {
+				next = append(next, foldItem{idx: p, s: t.slab[p].agg.ScoreWith(t.score), depth: t.slab[p].depth})
 			}
 		}
 		round, next = next, round
 	}
-	clear(round)
 	t.fold = round[:0]
 }
 
@@ -569,9 +756,10 @@ func (t *Tree) Merge(other *Tree) error {
 // shard memtables together this way; compressing once over the union is
 // both cheaper and no coarser than compressing after every constituent.
 //
-// Aggregate propagation is deferred when profitable: the sources' own
-// weights land first and t's aggregates are rebuilt with one bottom-up
-// pass, instead of re-walking the ancestor chain per source node.
+// The sources are streamed slab-linearly (tree order is irrelevant to a
+// weight union), and aggregate propagation is deferred when profitable: the
+// sources' own weights land first and t's aggregates are rebuilt with one
+// bottom-up pass, instead of re-walking the ancestor chain per source node.
 func (t *Tree) MergeAll(others ...*Tree) error {
 	// Validate every tree before folding any weight in, so a mismatch
 	// cannot leave t half-merged.
@@ -583,29 +771,36 @@ func (t *Tree) MergeAll(others ...*Tree) error {
 		if other.stepBits != t.stepBits {
 			return errors.New("flowtree: merging trees with different generalization steps")
 		}
-		total += len(other.nodes)
+		total += other.live
 	}
 	if total == 0 {
 		return nil
 	}
+	t.dirty()
 	deferred := t.deferAgg(total)
 	for _, other := range others {
 		if other == nil {
 			continue
 		}
-		other.walk(func(n *node) bool {
-			if !n.own.IsZero() {
-				if deferred {
-					t.ensure(n.key).own.Add(n.own)
-				} else {
-					t.addCounters(n.key, n.own)
-				}
+		// Key and weight are copied out before any insertion: ensure may
+		// grow t's slab, and other may alias t (self-merge doubles every
+		// weight, deterministically).
+		limit := len(other.slab)
+		for i := 0; i < limit; i++ {
+			if other.slab[i].depth < 0 || other.slab[i].own.IsZero() {
+				continue
 			}
-			return true
-		})
+			key, own := other.slab[i].key, other.slab[i].own
+			if deferred {
+				ni := t.ensure(key)
+				t.slab[ni].own.Add(own)
+			} else {
+				t.addCounters(key, own)
+			}
+		}
 	}
 	if deferred {
-		t.recomputeAgg(t.root)
+		t.recomputeAgg(rootIdx)
 	}
 	t.maybeCompress()
 	return nil
@@ -622,22 +817,24 @@ func (t *Tree) Diff(other *Tree) error {
 	if other.stepBits != t.stepBits {
 		return errors.New("flowtree: diffing trees with different generalization steps")
 	}
-	other.walk(func(on *node) bool {
-		if on.own.IsZero() {
-			return true
+	t.dirty()
+	for i := range other.slab {
+		on := &other.slab[i]
+		if on.depth < 0 || on.own.IsZero() {
+			continue
 		}
-		if n, ok := t.nodes[on.key]; ok {
-			n.own.Sub(on.own)
+		if ni, ok := t.index()[on.key]; ok {
+			t.slab[ni].own.Sub(on.own)
 		}
-		return true
-	})
-	t.recomputeAgg(t.root)
+	}
+	t.recomputeAgg(rootIdx)
 	return nil
 }
 
 // recomputeAgg rebuilds aggregate counters bottom-up after bulk own-weight
-// edits.
-func (t *Tree) recomputeAgg(n *node) flow.Counters {
+// edits. Recursion depth is bounded by the canonical chain length.
+func (t *Tree) recomputeAgg(i int32) flow.Counters {
+	n := &t.slab[i]
 	agg := n.own
 	for _, c := range n.children {
 		agg.Add(t.recomputeAgg(c))
@@ -646,11 +843,13 @@ func (t *Tree) recomputeAgg(n *node) flow.Counters {
 	return agg
 }
 
-// walk visits nodes pre-order (parents before children); fn returning false
-// prunes the subtree.
+// walk visits live nodes pre-order (parents before children); fn returning
+// false prunes the subtree. fn must not mutate the tree (slab growth would
+// invalidate the visited pointer).
 func (t *Tree) walk(fn func(*node) bool) {
-	var rec func(*node)
-	rec = func(n *node) {
+	var rec func(i int32)
+	rec = func(i int32) {
+		n := &t.slab[i]
 		if !fn(n) {
 			return
 		}
@@ -658,7 +857,7 @@ func (t *Tree) walk(fn func(*node) bool) {
 			rec(c)
 		}
 	}
-	rec(t.root)
+	rec(rootIdx)
 }
 
 // Entry is one reported flow with its popularity.
@@ -675,8 +874,9 @@ type Entry struct {
 // coarser than key can no longer be attributed below it.
 func (t *Tree) Query(key flow.Key) flow.Counters {
 	var total flow.Counters
-	var rec func(*node)
-	rec = func(n *node) {
+	var rec func(i int32)
+	rec = func(i int32) {
+		n := &t.slab[i]
 		if key.Generalizes(n.key) {
 			total.Add(n.agg)
 			return
@@ -688,7 +888,7 @@ func (t *Tree) Query(key flow.Key) flow.Counters {
 			rec(c)
 		}
 	}
-	rec(t.root)
+	rec(rootIdx)
 	return total
 }
 
@@ -725,13 +925,14 @@ func overlaps(a, b flow.Key) bool {
 // scores (Table II: Drilldown), sorted by descending score. ok is false
 // when key has no node (e.g. compressed away).
 func (t *Tree) Drilldown(key flow.Key) ([]Entry, bool) {
-	n, exists := t.nodes[key]
+	ni, exists := t.index()[key]
 	if !exists {
 		return nil, false
 	}
-	out := make([]Entry, 0, len(n.children))
-	for _, c := range n.children {
-		out = append(out, Entry{Key: c.key, Counters: c.agg})
+	kids := t.slab[ni].children
+	out := make([]Entry, 0, len(kids))
+	for _, c := range kids {
+		out = append(out, Entry{Key: t.slab[c].key, Counters: t.slab[c].agg})
 	}
 	t.sortEntries(out)
 	return out, true
@@ -745,13 +946,13 @@ func (t *Tree) TopK(k int) []Entry {
 	if k <= 0 {
 		return nil
 	}
-	out := make([]Entry, 0, len(t.nodes))
-	t.walk(func(n *node) bool {
-		if !n.own.IsZero() {
+	out := make([]Entry, 0, t.live)
+	for i := range t.slab {
+		n := &t.slab[i]
+		if n.depth >= 0 && !n.own.IsZero() {
 			out = append(out, Entry{Key: n.key, Counters: n.own})
 		}
-		return true
-	})
+	}
 	t.sortEntries(out)
 	if k < len(out) {
 		out = out[:k]
@@ -789,13 +990,14 @@ type HHHEntry struct {
 // (Table II: HHH): nodes whose subtree score, discounted by descendant
 // heavy hitters, reaches phi * total.
 func (t *Tree) HHH(phi float64) []HHHEntry {
-	threshold := uint64(phi * float64(t.root.agg.ScoreWith(t.score)))
+	threshold := uint64(phi * float64(t.slab[rootIdx].agg.ScoreWith(t.score)))
 	if threshold == 0 {
 		threshold = 1
 	}
 	var out []HHHEntry
-	var rec func(n *node) uint64
-	rec = func(n *node) uint64 {
+	var rec func(i int32) uint64
+	rec = func(i int32) uint64 {
+		n := &t.slab[i]
 		var claimed uint64
 		for _, c := range n.children {
 			claimed += rec(c)
@@ -808,7 +1010,7 @@ func (t *Tree) HHH(phi float64) []HHHEntry {
 		}
 		return claimed
 	}
-	rec(t.root)
+	rec(rootIdx)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Discounted != out[j].Discounted {
 			return out[i].Discounted > out[j].Discounted
@@ -855,59 +1057,93 @@ func (t *Tree) sortEntries(entries []Entry) {
 	})
 }
 
-// Entries returns every node with non-zero own weight (the tree's exact
-// content at current granularity) in the deterministic keyLess order — the
-// order the v2 wire codec prefix-delta-encodes against.
-func (t *Tree) Entries() []Entry {
-	var out []Entry
-	t.walk(func(n *node) bool {
-		if !n.own.IsZero() {
-			out = append(out, Entry{Key: n.key, Counters: n.own})
+// rebuildEntries refreshes the cached wire-entry list: one linear slab
+// sweep collecting every live node with non-zero own weight (keys
+// normalized — a per-field mask that almost always no-ops, since tree keys
+// come from normalized record keys), then one keyLess sort.
+func (t *Tree) rebuildEntries() {
+	out := t.entries[:0]
+	for i := range t.slab {
+		n := &t.slab[i]
+		if n.depth < 0 || n.own.IsZero() {
+			continue
 		}
-		return true
-	})
+		out = append(out, Entry{Key: n.key.Normalized(), Counters: n.own})
+	}
 	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
-	return out
+	t.entries = out
+	t.entriesOK = true
 }
 
-// Clone returns a deep copy of the tree: a structural copy of every node
-// with its counters, O(nodes) with no re-insertion through the ancestor
-// chains (the copy shares no state with t, including scratch buffers). The
-// Tree is assembled directly — t already validated its configuration, and
-// going through New would allocate a budget-hinted node map only to
-// replace it with one sized to the actual tree. All copied nodes come from
-// one slab allocation: clones are taken on hot paths (shard snapshots per
-// live query, FlowDB memo-cache hits), where one allocation per node
-// dominated the copy cost.
+// wireEntries returns the cached sorted entry list the wire codecs encode
+// against, rebuilding it only if the tree mutated since the last call.
+// Callers must treat the slice as read-only and must not hold it across a
+// mutation.
+func (t *Tree) wireEntries() []Entry {
+	if !t.entriesOK {
+		t.rebuildEntries()
+	}
+	return t.entries
+}
+
+// Entries returns every node with non-zero own weight (the tree's exact
+// content at current granularity) with normalized keys in the
+// deterministic keyLess order — the order the v2 wire codec
+// prefix-delta-encodes against. The sorted list is cached between
+// mutations, so repeated calls on an unchanged tree cost one copy, not one
+// sort.
+func (t *Tree) Entries() []Entry {
+	return slices.Clone(t.wireEntries())
+}
+
+// Clone returns a deep copy of the tree: the slab is copied wholesale
+// (one memcpy — nodes are index-linked, so the copy needs no pointer
+// fixup) and the child-index arrays are re-sliced out of a single shared
+// backing array; the key index is deferred and rebuilt from the slab only
+// if the clone is ever mutated or point-queried. The copy shares no
+// mutable state with t, including scratch buffers and the entry cache. A
+// handful of allocations regardless of tree size: clones are taken on hot
+// paths (shard snapshots per live query, FlowDB memo-cache hits), where
+// one allocation per node dominated the copy cost — and most of those
+// clones are read-only, so they never pay for the index at all.
 func (t *Tree) Clone() *Tree {
 	cp := &Tree{
 		budget:         t.budget,
 		stepBits:       t.stepBits,
 		compressTarget: t.compressTarget,
 		score:          t.score,
+		live:           t.live,
 		inserted:       t.inserted,
 	}
-	cp.nodes = make(map[flow.Key]*node, len(t.nodes))
-	slab := make([]node, len(t.nodes))
-	cp.root = copySubtree(cp, &slab, t.root, nil)
-	return cp
-}
-
-// copySubtree deep-copies src and its descendants into cp, carving the
-// copies off the shared slab and registering each in cp's node index.
-func copySubtree(cp *Tree, slab *[]node, src, parent *node) *node {
-	dst := &(*slab)[0]
-	*slab = (*slab)[1:]
-	dst.key, dst.own, dst.agg = src.key, src.own, src.agg
-	dst.parent, dst.depth = parent, src.depth
-	cp.nodes[dst.key] = dst
-	if len(src.children) > 0 {
-		dst.children = make(map[flow.Key]*node, len(src.children))
-		for k, c := range src.children {
-			dst.children[k] = copySubtree(cp, slab, c, dst)
+	cp.slab = make([]node, len(t.slab))
+	copy(cp.slab, t.slab)
+	total := 0
+	for i := range t.slab {
+		if t.slab[i].depth >= 0 {
+			total += len(t.slab[i].children)
 		}
 	}
-	return dst
+	backing := make([]int32, 0, total)
+	for i := range cp.slab {
+		n := &cp.slab[i]
+		if n.depth < 0 || len(n.children) == 0 {
+			// Dead slots drop their (aliased) child capacity; alloc
+			// restores an empty array on reuse.
+			n.children = nil
+			continue
+		}
+		start := len(backing)
+		backing = append(backing, n.children...)
+		n.children = backing[start:len(backing):len(backing)]
+	}
+	if len(t.free) > 0 {
+		cp.free = slices.Clone(t.free)
+	}
+	if t.entriesOK {
+		cp.entries = slices.Clone(t.entries)
+		cp.entriesOK = true
+	}
+	return cp
 }
 
 // StepBits returns the generalization step.

@@ -11,41 +11,69 @@ import (
 )
 
 // fuzzTreeSeeds builds the in-code seed corpus of FuzzDecodeTree: both wire
-// versions of a real tree, an empty tree, and structurally broken variants.
-// The checked-in files under testdata/fuzz/FuzzDecodeTree mirror these so
-// the fuzz engine starts from real codec material.
-func fuzzTreeSeeds(f *testing.F) [][]byte {
-	f.Helper()
+// versions of a real tree, an empty tree, structurally broken variants, and
+// frames from trees that went through the slab's bulk machinery — a
+// compressed tree (gapped generalization chains from rebuild reattachment)
+// and a compressed-then-regrown tree (free-list slot reuse) — so budgeted
+// re-decodes start from material that exercises those paths. The checked-in
+// files under testdata/fuzz/FuzzDecodeTree mirror these
+// (TestWriteTreeFuzzCorpus regenerates them).
+func fuzzTreeSeeds(tb testing.TB) []corpusSeed {
+	tb.Helper()
 	g, err := workload.NewFlowGen(workload.FlowConfig{Seed: 5, Skew: 1.3})
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	tr, err := New(0)
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	tr.AddBatch(g.Records(60))
 	empty, err := New(0)
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
+	step4, err := New(0, WithStepBits(4))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	step4.AddBatch(g.Records(40))
 	v1, err := tr.AppendBinaryV(nil, WireV1)
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	v2 := tr.AppendBinary(nil)
-	seeds := [][]byte{
-		v1,
-		v2,
-		empty.AppendBinary(nil),
-		v2[:len(v2)/2],                     // truncated body
-		v2[:wireHeaderSize],                // header only
-		append([]byte{}, 0, 0, 0, 0, 0, 0), // bad magic
-	}
+	// Majority-fold compression rebuilds the slab and reattaches survivors
+	// across chain gaps; regrowing afterwards recycles free-list slots. The
+	// encodings of both states feed the fuzz engine slab-shaped frames.
+	compressed := tr.Clone()
+	compressed.CompressTo(compressed.Len() / 4)
+	regrown := compressed.Clone()
+	regrown.AddBatch(g.Records(80))
 	badVersion := append([]byte{}, v2[:wireHeaderSize]...)
 	badVersion[4] = 99
-	seeds = append(seeds, badVersion)
-	return seeds
+	return []corpusSeed{
+		{"seed_v1", v1},
+		{"seed_v2", v2},
+		{"seed_v2_step4", step4.AppendBinary(nil)},
+		{"seed_empty", empty.AppendBinary(nil)},
+		{"seed_v2_truncated", v2[:len(v2)/2]},
+		{"seed_header_only", v2[:wireHeaderSize]},
+		{"seed_bad_magic", append([]byte{}, 0, 0, 0, 0, 0, 0)},
+		{"seed_bad_version", badVersion},
+		{"seed_v2_compressed", compressed.AppendBinary(nil)},
+		{"seed_v1_compressed_regrown", mustV1(tb, regrown)},
+		{"seed_v2_compressed_regrown", regrown.AppendBinary(nil)},
+	}
+}
+
+func mustV1(tb testing.TB, tr *Tree) []byte {
+	tb.Helper()
+	b, err := tr.AppendBinaryV(nil, WireV1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
 }
 
 // FuzzDecodeTree hammers the Flowtree wire decoders (v1 and v2): Decode
@@ -55,7 +83,7 @@ func fuzzTreeSeeds(f *testing.F) [][]byte {
 // faces whatever a damaged link or a hostile peer delivers.
 func FuzzDecodeTree(f *testing.F) {
 	for _, s := range fuzzTreeSeeds(f) {
-		f.Add(s)
+		f.Add(s.data)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Bound per-exec work: a grown input of tens of kilobytes decodes
@@ -195,6 +223,22 @@ func FuzzDecodeTreeDelta(f *testing.F) {
 	})
 }
 
+// writeFuzzCorpus rewrites one fuzz target's checked-in seed files from its
+// in-code seeds.
+func writeFuzzCorpus(t *testing.T, target string, seeds []corpusSeed) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s.data)
+		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestWriteDeltaFuzzCorpus rewrites the checked-in seed corpus under
 // testdata/fuzz/FuzzDecodeTreeDelta from the in-code seeds. Gated behind an
 // env var: run FLOWTREE_WRITE_CORPUS=1 go test ./internal/flowtree -run
@@ -203,14 +247,14 @@ func TestWriteDeltaFuzzCorpus(t *testing.T) {
 	if os.Getenv("FLOWTREE_WRITE_CORPUS") == "" {
 		t.Skip("set FLOWTREE_WRITE_CORPUS=1 to rewrite the seed corpus")
 	}
-	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeTreeDelta")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Fatal(err)
+	writeFuzzCorpus(t, "FuzzDecodeTreeDelta", deltaFuzzSeeds(t))
+}
+
+// TestWriteTreeFuzzCorpus is TestWriteDeltaFuzzCorpus for FuzzDecodeTree,
+// behind the same env var.
+func TestWriteTreeFuzzCorpus(t *testing.T) {
+	if os.Getenv("FLOWTREE_WRITE_CORPUS") == "" {
+		t.Skip("set FLOWTREE_WRITE_CORPUS=1 to rewrite the seed corpus")
 	}
-	for _, s := range deltaFuzzSeeds(t) {
-		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s.data)
-		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
+	writeFuzzCorpus(t, "FuzzDecodeTree", fuzzTreeSeeds(t))
 }

@@ -1,0 +1,449 @@
+package flowtree
+
+// The pointer-based Flowtree the arena slab replaced, kept test-only as the
+// differential reference: refTree is the pre-arena implementation (nodes as
+// individually heap-allocated structs linked by pointers, child sets as
+// maps, a map[flow.Key]*refNode index) with the same operator semantics,
+// the same deferred-aggregation heuristics, and — critically — the same
+// deterministic fold order (ascending score, deeper first, keyLess last),
+// so CompressTo folds the exact same node set and differential tests can
+// demand exact equality of entries, aggregates and wire bytes, not just
+// invariants. See differential_test.go for the harness.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"slices"
+	"sort"
+
+	"megadata/internal/flow"
+)
+
+type refNode struct {
+	key      flow.Key
+	own      flow.Counters
+	agg      flow.Counters
+	parent   *refNode
+	children map[flow.Key]*refNode
+	depth    int32
+}
+
+func (n *refNode) isLeaf() bool { return len(n.children) == 0 }
+
+type refTree struct {
+	budget         int
+	stepBits       uint8
+	compressTarget float64
+	score          flow.Score
+	root           *refNode
+	nodes          map[flow.Key]*refNode
+}
+
+func newRefTree(budget int, stepBits uint8, score flow.Score) *refTree {
+	t := &refTree{
+		budget:         budget,
+		stepBits:       stepBits,
+		compressTarget: 0.75,
+		score:          score,
+	}
+	if t.score == nil {
+		t.score = flow.ScoreBytes
+	}
+	t.root = &refNode{key: flow.Root()}
+	t.nodes = map[flow.Key]*refNode{t.root.key: t.root}
+	return t
+}
+
+func (t *refTree) chainDepth() int { return 3 + 2*(31/int(t.stepBits)+1) }
+
+func (t *refTree) deferAgg(n int) bool {
+	const rebuildCostFactor = 20
+	return n*t.chainDepth() >= rebuildCostFactor*len(t.nodes)
+}
+
+func (t *refTree) ensure(key flow.Key) *refNode {
+	if n, ok := t.nodes[key]; ok {
+		return n
+	}
+	missing := []flow.Key{key}
+	var attach *refNode
+	cur := key
+	for {
+		parent, ok := cur.GeneralizeStep(t.stepBits)
+		if !ok {
+			attach = t.root
+			break
+		}
+		if p, exists := t.nodes[parent]; exists {
+			attach = p
+			break
+		}
+		missing = append(missing, parent)
+		cur = parent
+	}
+	for i := len(missing) - 1; i >= 0; i-- {
+		n := &refNode{key: missing[i], parent: attach, depth: attach.depth + 1}
+		if attach.children == nil {
+			attach.children = make(map[flow.Key]*refNode, 2)
+		}
+		attach.children[n.key] = n
+		t.nodes[n.key] = n
+		attach = n
+	}
+	return attach
+}
+
+func (t *refTree) addCounters(key flow.Key, c flow.Counters) {
+	n := t.ensure(key)
+	n.own.Add(c)
+	for cur := n; cur != nil; cur = cur.parent {
+		cur.agg.Add(c)
+	}
+}
+
+func (t *refTree) add(rec flow.Record) {
+	t.addCounters(rec.Key, flow.CountersOf(rec))
+	t.maybeCompress()
+}
+
+func (t *refTree) addBatch(recs []flow.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	if t.deferAgg(len(recs)) {
+		for _, r := range recs {
+			t.ensure(r.Key).own.Add(flow.CountersOf(r))
+		}
+		t.recomputeAgg(t.root)
+	} else {
+		for _, r := range recs {
+			t.addCounters(r.Key, flow.CountersOf(r))
+		}
+	}
+	t.maybeCompress()
+}
+
+func (t *refTree) addWeighted(key flow.Key, c flow.Counters) {
+	t.addCounters(key, c)
+	t.maybeCompress()
+}
+
+func (t *refTree) mergeAll(others ...*refTree) {
+	total := 0
+	for _, other := range others {
+		total += len(other.nodes)
+	}
+	if total == 0 {
+		return
+	}
+	deferred := t.deferAgg(total)
+	for _, other := range others {
+		other.walk(func(n *refNode) bool {
+			if !n.own.IsZero() {
+				if deferred {
+					t.ensure(n.key).own.Add(n.own)
+				} else {
+					t.addCounters(n.key, n.own)
+				}
+			}
+			return true
+		})
+	}
+	if deferred {
+		t.recomputeAgg(t.root)
+	}
+	t.maybeCompress()
+}
+
+func (t *refTree) diff(other *refTree) {
+	other.walk(func(on *refNode) bool {
+		if on.own.IsZero() {
+			return true
+		}
+		if n, ok := t.nodes[on.key]; ok {
+			n.own.Sub(on.own)
+		}
+		return true
+	})
+	t.recomputeAgg(t.root)
+}
+
+func (t *refTree) recomputeAgg(n *refNode) flow.Counters {
+	agg := n.own
+	for _, c := range n.children {
+		agg.Add(t.recomputeAgg(c))
+	}
+	n.agg = agg
+	return agg
+}
+
+func (t *refTree) walk(fn func(*refNode) bool) {
+	var rec func(*refNode)
+	rec = func(n *refNode) {
+		if !fn(n) {
+			return
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+}
+
+func (t *refTree) total() flow.Counters { return t.root.agg }
+func (t *refTree) len() int             { return len(t.nodes) }
+
+func (t *refTree) maybeCompress() {
+	if t.budget > 0 && len(t.nodes) > t.budget {
+		t.compressTo(int(float64(t.budget) * t.compressTarget))
+	}
+}
+
+type refTreeFoldItem struct {
+	n *refNode
+	s uint64
+}
+
+// refCmpFold mirrors the arena's cmpFold exactly: ascending score, deeper
+// first on ties, keyLess as the final tie-break. Identical strict order ⇒
+// identical fold sets ⇒ exact differential equality after compression.
+func refCmpFold(a, b refTreeFoldItem) int {
+	switch {
+	case a.s != b.s:
+		if a.s < b.s {
+			return -1
+		}
+		return 1
+	case a.n.depth != b.n.depth:
+		if a.n.depth > b.n.depth {
+			return -1
+		}
+		return 1
+	case keyLess(a.n.key, b.n.key):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// compressTo is the pre-arena sort-and-fold, pointer edition: identical
+// fold-order contract, majority rebuild path and minority sequential path.
+func (t *refTree) compressTo(target int) {
+	if target < 1 {
+		target = 1
+	}
+	k := len(t.nodes) - target
+	if k <= 0 {
+		return
+	}
+	items := make([]refTreeFoldItem, 0, len(t.nodes)-1)
+	for _, n := range t.nodes {
+		if n != t.root {
+			items = append(items, refTreeFoldItem{n: n, s: n.agg.ScoreWith(t.score)})
+		}
+	}
+	slices.SortFunc(items, refCmpFold)
+	if 2*k >= len(t.nodes) {
+		for _, it := range items[:k] {
+			it.n.depth = -1
+		}
+		for _, it := range items[:k] {
+			p := it.n.parent
+			for p.depth < 0 {
+				p = p.parent
+			}
+			p.own.Add(it.n.own)
+		}
+		nodes := make(map[flow.Key]*refNode, target)
+		nodes[t.root.key] = t.root
+		clear(t.root.children)
+		for _, it := range items[k:] {
+			clear(it.n.children)
+			nodes[it.n.key] = it.n
+		}
+		for _, it := range items[k:] {
+			n := it.n
+			p := n.parent
+			for p.depth < 0 {
+				p = p.parent
+			}
+			n.parent = p
+			if p.children == nil {
+				p.children = make(map[flow.Key]*refNode, 2)
+			}
+			p.children[n.key] = n
+		}
+		t.nodes = nodes
+	} else {
+		for _, it := range items[:k] {
+			n := it.n
+			if len(n.children) != 0 {
+				continue
+			}
+			p := n.parent
+			p.own.Add(n.own)
+			delete(p.children, n.key)
+			delete(t.nodes, n.key)
+		}
+	}
+	if len(t.nodes) > target {
+		t.compressCascade(target)
+	}
+}
+
+func (t *refTree) compressCascade(target int) {
+	var round []refTreeFoldItem
+	for _, n := range t.nodes {
+		if n != t.root && n.isLeaf() {
+			round = append(round, refTreeFoldItem{n: n, s: n.agg.ScoreWith(t.score)})
+		}
+	}
+	var next []refTreeFoldItem
+	for len(t.nodes) > target && len(round) > 0 {
+		slices.SortFunc(round, refCmpFold)
+		next = next[:0]
+		for _, it := range round {
+			if len(t.nodes) <= target {
+				break
+			}
+			n := it.n
+			p := n.parent
+			p.own.Add(n.own)
+			delete(p.children, n.key)
+			delete(t.nodes, n.key)
+			if p != t.root && p.isLeaf() {
+				next = append(next, refTreeFoldItem{n: p, s: p.agg.ScoreWith(t.score)})
+			}
+		}
+		round, next = next, round
+	}
+}
+
+func (t *refTree) clone() *refTree {
+	cp := newRefTree(t.budget, t.stepBits, t.score)
+	cp.compressTarget = t.compressTarget
+	// Structural copy, not a re-insert: compression reattaches survivors to
+	// their nearest surviving ancestor, so a node's canonical chain may have
+	// gaps that ensure() would wrongly resurrect. Copy edges as they are.
+	var rec func(src *refNode, parent *refNode) *refNode
+	rec = func(src, parent *refNode) *refNode {
+		// depth is copied verbatim: compression reattaches survivors to an
+		// ancestor without re-depthing them, so depth is not parent+1.
+		n := &refNode{key: src.key, own: src.own, agg: src.agg, parent: parent, depth: src.depth}
+		cp.nodes[n.key] = n
+		for _, c := range src.children {
+			if n.children == nil {
+				n.children = make(map[flow.Key]*refNode, len(src.children))
+			}
+			n.children[c.key] = rec(c, n)
+		}
+		return n
+	}
+	cp.root = rec(t.root, nil)
+	return cp
+}
+
+// entries mirrors wireEntries: weighted nodes, normalized keys, keyLess
+// order.
+func (t *refTree) entries() []Entry {
+	var out []Entry
+	t.walk(func(n *refNode) bool {
+		if !n.own.IsZero() {
+			out = append(out, Entry{Key: n.key.Normalized(), Counters: n.own})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
+	return out
+}
+
+// refAppendHeader / refEncodeV1 / refEncodeV2 / refDeltaHash /
+// refAppendDelta rebuild the wire frames from a plain entry list through
+// the shared low-level appenders (v2AppendEntry, v2AppendKey), so the
+// reference bytes share no tree code with the arena encoders.
+
+func refAppendHeader(dst []byte, version byte, stepBits uint8) []byte {
+	var hdr [wireHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], _wireMagic)
+	hdr[4] = version
+	hdr[5] = stepBits
+	return append(dst, hdr[:]...)
+}
+
+func refEncodeV1(entries []Entry, stepBits uint8) []byte {
+	dst := refAppendHeader(nil, WireV1, stepBits)
+	var cnt [8]byte
+	binary.BigEndian.PutUint64(cnt[:], uint64(len(entries)))
+	dst = append(dst, cnt[:]...)
+	for _, e := range entries {
+		dst = e.Key.AppendBinary(dst)
+		var c [24]byte
+		binary.BigEndian.PutUint64(c[0:], e.Counters.Packets)
+		binary.BigEndian.PutUint64(c[8:], e.Counters.Bytes)
+		binary.BigEndian.PutUint64(c[16:], e.Counters.Flows)
+		dst = append(dst, c[:]...)
+	}
+	return dst
+}
+
+func refEncodeV2(entries []Entry, stepBits uint8) []byte {
+	dst := refAppendHeader(nil, WireV2, stepBits)
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	var prev flow.Key
+	for _, e := range entries {
+		dst = v2AppendEntry(dst, prev, e)
+		prev = e.Key
+	}
+	return dst
+}
+
+func refDeltaHash(entries []Entry, stepBits uint8) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	buf[0] = stepBits
+	h.Write(buf[:1])
+	key := make([]byte, 0, 16)
+	for _, e := range entries {
+		key = e.Key.AppendBinary(key[:0])
+		h.Write(key)
+		binary.BigEndian.PutUint64(buf[0:], e.Counters.Packets)
+		binary.BigEndian.PutUint64(buf[8:], e.Counters.Bytes)
+		binary.BigEndian.PutUint64(buf[16:], e.Counters.Flows)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func refAppendDelta(cur, base []Entry, stepBits uint8) []byte {
+	d := diffEntries(cur, base)
+	dst := refAppendHeader(nil, WireV3, stepBits)
+	var hb [deltaHashSize]byte
+	binary.BigEndian.PutUint64(hb[:], refDeltaHash(base, stepBits))
+	dst = append(dst, hb[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(d.changed)))
+	var prev flow.Key
+	for _, e := range d.changed {
+		dst = v2AppendEntry(dst, prev, e)
+		prev = e.Key
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(d.removed)))
+	prev = flow.Key{}
+	for _, k := range d.removed {
+		dst = v2AppendKey(dst, prev, k)
+		prev = k
+	}
+	return dst
+}
+
+// refFromEntries mirrors Decode's semantics on the reference tree: every
+// wire entry lands as own weight, aggregates rebuild bottom-up once, then
+// the budget is enforced — the post-Decode differential baseline.
+func refFromEntries(entries []Entry, budget int, stepBits uint8, score flow.Score) *refTree {
+	t := newRefTree(budget, stepBits, score)
+	for _, e := range entries {
+		t.ensure(e.Key).own.Add(e.Counters)
+	}
+	t.recomputeAgg(t.root)
+	t.maybeCompress()
+	return t
+}
