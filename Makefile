@@ -5,12 +5,14 @@
 # sharded ingest + streaming source + pipelined epoch export + multi-level
 # federation); `make bench-compare` re-measures compression throughput,
 # epoch-export turnaround, query selection, streaming ingest, federation
-# turnaround and WAL'd-ingest overhead and fails on a regression against the
-# checked-in BENCH_compress.json / BENCH_epoch.json / BENCH_query.json /
-# BENCH_stream.json / BENCH_fed.json / BENCH_durable.json baselines
-# (wall-clock experiments get the wider tolerance; the compress and stream
-# gates also hold allocs/op and bytes/op flat). `make fuzz-smoke` gives
-# the record, tree-wire, tree-delta and disk-segment decoders a short
+# turnaround, WAL'd-ingest overhead and standing-view maintenance and fails
+# on a regression against the checked-in BENCH_compress.json /
+# BENCH_epoch.json / BENCH_query.json / BENCH_stream.json / BENCH_fed.json /
+# BENCH_durable.json / BENCH_subscribe.json baselines (wall-clock
+# experiments get the wider tolerance; the compress and stream gates also
+# hold allocs/op and bytes/op flat, and the subscribe gate hard-fails below
+# 10x over polling). `make fuzz-smoke` gives the record, tree-wire,
+# tree-delta, disk-segment and FlowQL-statement decoders a short
 # corpus-guided fuzz run; `make cover` writes cover.out and prints
 # per-package and total statement coverage.
 
@@ -50,13 +52,14 @@ test-race:
 # ingest, structural clone, the streaming source vs the pre-materialized
 # batch path (asserts the >=0.9x envelope), the sharded data-store ingest
 # sweep, the serial-vs-pipelined epoch export grid, and the segmented FlowDB
-# select/FlowQL grids (cold, memoized, and flat-scan baseline).
+# select/FlowQL grids (cold, memoized, and flat-scan baseline) plus the
+# standing-view maintenance path vs cold-Select polling.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompress|BenchmarkAddBatch|BenchmarkClone' \
 		-benchtime 1x ./internal/flowtree/
 	$(GO) test -run '^$$' -bench 'BenchmarkFlowSource|BenchmarkRecordCodec' \
 		-benchtime 1x ./internal/flowsource/
-	$(GO) test -run '^$$' -bench 'BenchmarkFlowDBSelect|BenchmarkFlowDBInsertBatch' \
+	$(GO) test -run '^$$' -bench 'BenchmarkFlowDBSelect|BenchmarkFlowDBInsertBatch|BenchmarkSubscribe|BenchmarkMemoKey' \
 		-benchtime 1x ./internal/flowdb/
 	$(GO) test -run '^$$' -bench 'BenchmarkFlowQL' -benchtime 1x ./internal/flowql/
 	$(GO) test -run '^$$' -bench 'BenchmarkFederation' -benchtime 1x ./internal/federation/
@@ -74,6 +77,7 @@ bench-baseline:
 	$(GO) run ./cmd/benchreport -exp stream -out BENCH_stream.json
 	$(GO) run ./cmd/benchreport -exp fed -out BENCH_fed.json
 	$(GO) run ./cmd/benchreport -exp durable -out BENCH_durable.json
+	$(GO) run ./cmd/benchreport -exp subscribe -out BENCH_subscribe.json
 
 # Guard the perf trajectory: fail when compression throughput, pipelined
 # epoch-export turnaround, segmented-select query throughput, streaming
@@ -84,7 +88,11 @@ bench-baseline:
 # configurations drift from the baseline (the benchreport binary exits 2
 # for drift, which CI treats as a hard failure even where regressions are
 # only warnings). The durable experiment additionally hard-fails whenever
-# WAL'd ingest falls below 0.8x of the in-memory path, baseline or not.
+# WAL'd ingest falls below 0.8x of the in-memory path, baseline or not, and
+# the subscribe experiment hard-fails whenever incremental standing views
+# fall below 10x of cold-Select polling at 8 views — that within-run ratio
+# is the primary gate, so its baseline compare runs at a wider tolerance
+# meant to catch collapse rather than runner jitter.
 bench-compare:
 	$(GO) run ./cmd/benchreport -exp compress -compare BENCH_compress.json
 	$(GO) run ./cmd/benchreport -exp epoch -compare BENCH_epoch.json -tol 0.30
@@ -92,18 +100,21 @@ bench-compare:
 	$(GO) run ./cmd/benchreport -exp stream -compare BENCH_stream.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp fed -compare BENCH_fed.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp durable -compare BENCH_durable.json -tol 0.30
+	$(GO) run ./cmd/benchreport -exp subscribe -compare BENCH_subscribe.json -tol 0.50
 
 # Short corpus-guided fuzz runs of the attacker-facing wire decoders: the
 # flowsource record/frame codec, the Flowtree wire (v1/v2) decoder, the
-# v3 delta decoder (applied against an adversarial base tree) and the
+# v3 delta decoder (applied against an adversarial base tree), the
 # on-disk segment decoder (which must reject rather than decode damaged
-# files). Seed corpora are checked in under testdata/fuzz/; CI runs this
+# files) and the FlowQL parser (attacker-facing per Figure 5 step 5).
+# Seed corpora are checked in under testdata/fuzz/; CI runs this
 # as a smoke job, longer local runs just raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRecord$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowsource/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTree$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowtree/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTreeDelta$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowtree/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/storage/disk/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 15s -fuzzminimizetime 5s ./internal/flowql/
 
 # Statement coverage: per-package lines plus the repo-wide total, with the
 # profile left in cover.out for `go tool cover -html=cover.out`.

@@ -14,13 +14,14 @@
 //	go run ./cmd/benchreport -exp stream   # streaming ingest vs pre-materialized
 //	go run ./cmd/benchreport -exp fed      # multi-level federation turnaround
 //	go run ./cmd/benchreport -exp durable  # WAL'd streaming ingest vs in-memory
+//	go run ./cmd/benchreport -exp subscribe # incremental standing views vs polling
 //	go run ./cmd/benchreport -exp table1   # Table I challenge coverage
 //
-// The compress, epoch, query, stream, fed and durable experiments
-// additionally track the perf trajectory across PRs: -out writes the
-// measured throughput as a JSON baseline (BENCH_compress.json /
+// The compress, epoch, query, stream, fed, durable and subscribe
+// experiments additionally track the perf trajectory across PRs: -out
+// writes the measured throughput as a JSON baseline (BENCH_compress.json /
 // BENCH_epoch.json / BENCH_query.json / BENCH_stream.json /
-// BENCH_fed.json / BENCH_durable.json), and
+// BENCH_fed.json / BENCH_durable.json / BENCH_subscribe.json), and
 // -compare diffs a fresh run against a checked-in baseline, exiting
 // non-zero when any configuration regresses by more than -tol (default
 // 10%) — `make bench-compare` wires this up. The compress and stream
@@ -63,24 +64,25 @@ import (
 var errDrift = errors.New("baseline configuration drift")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, query, stream, fed, durable, table1, all")
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, query, stream, fed, durable, subscribe, table1, all")
 	out := flag.String("out", "", "compress/epoch/query: write the measured baseline JSON to this path")
 	compare := flag.String("compare", "", "compress/epoch/query: compare against this baseline JSON and fail on regression")
 	tol := flag.Float64("tol", 0.10, "compress/epoch/query: tolerated fractional throughput regression for -compare")
 	flag.Parse()
 	reports := map[string]func() error{
-		"e3":       reportE3,
-		"e4":       reportE4,
-		"e6":       reportE6,
-		"e10":      reportE10,
-		"ingest":   reportIngest,
-		"compress": func() error { return reportCompress(*out, *compare, *tol) },
-		"epoch":    func() error { return reportEpoch(*out, *compare, *tol) },
-		"query":    func() error { return reportQuery(*out, *compare, *tol) },
-		"stream":   func() error { return reportStream(*out, *compare, *tol) },
-		"fed":      func() error { return reportFed(*out, *compare, *tol) },
-		"durable":  func() error { return reportDurable(*out, *compare, *tol) },
-		"table1":   reportTable1,
+		"e3":        reportE3,
+		"e4":        reportE4,
+		"e6":        reportE6,
+		"e10":       reportE10,
+		"ingest":    reportIngest,
+		"compress":  func() error { return reportCompress(*out, *compare, *tol) },
+		"epoch":     func() error { return reportEpoch(*out, *compare, *tol) },
+		"query":     func() error { return reportQuery(*out, *compare, *tol) },
+		"stream":    func() error { return reportStream(*out, *compare, *tol) },
+		"fed":       func() error { return reportFed(*out, *compare, *tol) },
+		"durable":   func() error { return reportDurable(*out, *compare, *tol) },
+		"subscribe": func() error { return reportSubscribe(*out, *compare, *tol) },
+		"table1":    reportTable1,
 	}
 	fail := func(err error) {
 		log.Print(err)

@@ -4,6 +4,12 @@
 //
 //	$ go run ./cmd/flowql
 //	flowql> SELECT TOPK(5) FROM ALL WHERE src = 10.0.0.0/8
+//
+// With -follow the statement becomes a standing query instead: the shell
+// subscribes before any data lands, prints the incrementally maintained
+// result pushed at each epoch, and exits without entering the REPL:
+//
+//	$ go run ./cmd/flowql -follow 'SELECT TOPK(3) FROM ALL'
 package main
 
 import (
@@ -33,6 +39,7 @@ func run() error {
 		epochs = flag.Int("epochs", 3, "number of one-minute epochs")
 		flows  = flag.Int("flows", 10000, "flow records per site per epoch")
 		shards = flag.Int("shards", 1, "concurrent ingest shards per site store")
+		follow = flag.String("follow", "", "standing FlowQL statement: subscribe before ingest, print each pushed update, skip the REPL")
 	)
 	flag.Parse()
 
@@ -45,6 +52,15 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	var sub *flowql.Subscription
+	if *follow != "" {
+		// Subscribe before the first epoch so every landing is observed as
+		// an incremental update rather than a cold re-merge.
+		if sub, err = sys.Subscribe(*follow, flowql.SubConfig{Depth: *epochs + 1}); err != nil {
+			return err
+		}
+		defer sub.Close()
 	}
 	for e := 0; e < *epochs; e++ {
 		for i, site := range names {
@@ -59,6 +75,16 @@ func run() error {
 		if err := sys.EndEpoch(); err != nil {
 			return err
 		}
+		if sub != nil {
+			drainUpdates(sub, e)
+		}
+	}
+	if sub != nil {
+		st := sub.Stats()
+		fmt.Printf("-- delivered=%d dropped=%d filtered=%d evalErrs=%d\n",
+			st.Delivered, st.Dropped, st.Filtered, st.EvalErrs)
+		printCacheStats(sys)
+		return nil
 	}
 	from, to, _ := sys.DB.TimeBounds()
 	fmt.Printf("FlowDB ready: %d rows, sites %v, window [%s, %s)\n",
@@ -83,6 +109,9 @@ func run() error {
 		case "help":
 			fmt.Print(helpText)
 			continue
+		case "stats":
+			printCacheStats(sys)
+			continue
 		}
 		res, err := sys.Query(line)
 		if err != nil {
@@ -91,6 +120,32 @@ func run() error {
 		}
 		fmt.Print(flowql.Format(res))
 	}
+}
+
+// drainUpdates prints whatever the subscription pushed for the epoch that
+// just sealed. Delivery is synchronous with EndEpoch, so a non-blocking
+// drain sees everything; an epoch may also legitimately push nothing (no
+// content change for the standing window).
+func drainUpdates(sub *flowql.Subscription, epoch int) {
+	for {
+		select {
+		case n := <-sub.Updates():
+			fmt.Printf("== epoch %d / update %d (view v%d)\n", epoch, n.Seq, n.Version)
+			fmt.Print(flowql.Format(n.Result))
+			for _, a := range n.Alerts {
+				fmt.Printf("ALERT [%s] %s: %s\n", a.Alert, a.Key.String(), a.Message)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// printCacheStats renders the central FlowDB's memo-cache counters.
+func printCacheStats(sys *flowstream.System) {
+	st := sys.DB.CacheStats()
+	fmt.Printf("-- cache hits=%d misses=%d entries=%d coalesced=%d\n",
+		st.Hits, st.Misses, st.Entries, st.Coalesced)
 }
 
 const helpText = `FlowQL:
@@ -110,4 +165,8 @@ times:
 predicates (ANDed):
   src = 10.0.0.0/8    dst = 192.168.1.5    sport = 443
   dport = 53          proto = tcp|udp|icmp
+
+shell commands:
+  stats           memo-cache counters (hits, misses, entries, coalesced)
+  help, quit
 `

@@ -20,6 +20,7 @@ import (
 
 	"megadata/internal/flow"
 	"megadata/internal/flowdb"
+	"megadata/internal/flowql"
 	"megadata/internal/flowtree"
 	"megadata/internal/simnet"
 	"megadata/internal/storage"
@@ -689,4 +690,14 @@ func (fl *Fleet) Drain(maxRounds int) error {
 func (fl *Fleet) CentralTree() (*flowtree.Tree, error) {
 	t, _, err := fl.DB.Select(nil, time.Time{}, time.Unix(1<<62, 0))
 	return t, err
+}
+
+// Subscribe registers a standing FlowQL query against the central FlowDB.
+// The fleet-wide result is maintained incrementally as top-level frames
+// land — each EndEpoch (or Drain round) that delivers content folds only
+// the delivered deltas into the subscription's view and pushes a
+// Notification with the re-evaluated operator and any fired alerts, so
+// dashboards over the federation never re-merge the mega-dataset per poll.
+func (fl *Fleet) Subscribe(statement string, cfg flowql.SubConfig) (*flowql.Subscription, error) {
+	return flowql.Subscribe(fl.DB, statement, cfg)
 }

@@ -1,0 +1,62 @@
+package federation
+
+import (
+	"testing"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowql"
+)
+
+// TestFleetSubscribe registers a standing fleet-wide query before any
+// epoch ships and checks the maintained result converges on the ingested
+// total as top-level frames land. Frames from a level's export workers
+// arrive as individual inserts, so one epoch can push several updates;
+// the last one per epoch must equal the cumulative fleet total.
+func TestFleetSubscribe(t *testing.T) {
+	fl, err := NewFleet(FleetConfig{Fanout: []int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := fl.Subscribe(`SELECT QUERY FROM ALL`, flowql.SubConfig{Depth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	var want flow.Counters
+	for e := 0; e < 2; e++ {
+		want.Add(ingestFleet(t, fl, e, 200))
+		if err := fl.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		var last *flowql.Notification
+		for drained := false; !drained; {
+			select {
+			case n := <-sub.Updates():
+				last = n
+			default:
+				drained = true
+			}
+		}
+		if last == nil {
+			t.Fatalf("epoch %d: no notification", e)
+		}
+		if last.Result.Counters != want {
+			t.Errorf("epoch %d: view shows %+v, want %+v", e, last.Result.Counters, want)
+		}
+		fresh, err := flowql.Run(fl.DB, `SELECT QUERY FROM ALL`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.Result.Counters != fresh.Counters {
+			t.Errorf("epoch %d: pushed %+v != fresh %+v", e, last.Result.Counters, fresh.Counters)
+		}
+	}
+	// Every top-level frame (2 children x 2 epochs) is one insert, and the
+	// view folded each in without a rebuild.
+	if rc := sub.View().Recomputes(); rc != 1 {
+		t.Errorf("view recomputed %d times, want 1 (initial build only)", rc)
+	}
+	if st := sub.Stats(); st.Delivered != 4 || st.Dropped != 0 {
+		t.Errorf("stats %+v, want 4 delivered", st)
+	}
+}

@@ -68,6 +68,7 @@ func BenchmarkFlowDBSelect(b *testing.B) {
 		to := from.Add(time.Duration(cfg.windowEpochs) * time.Minute)
 		b.Run("cold/"+name, func(b *testing.B) {
 			db, _ := buildBenchDB(b, cfg.rows, cfg.locations, WithCacheEntries(0))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := db.Select(nil, from, to); err != nil {
@@ -80,6 +81,7 @@ func BenchmarkFlowDBSelect(b *testing.B) {
 			if _, _, err := db.Select(nil, from, to); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := db.Select(nil, from, to); err != nil {
@@ -97,6 +99,101 @@ func BenchmarkFlowDBSelect(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSubscribe measures the standing-query maintenance path the PR
+// targets: 8 views over a 100k-row index, each epoch landing one row per
+// location. incremental folds the delta into every overlapping view (one
+// MergeAll per view per batch) and reads the maintained results; poll
+// answers the same 8 dashboard reads with cold Selects (memoization off),
+// re-merging the full per-location history every epoch — the baseline the
+// >=10x subscribe gate in cmd/benchreport measures against.
+func BenchmarkSubscribe(b *testing.B) {
+	const locations = 8
+	const rows = 100000
+	tr, err := flowtree.New(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Add(flow.Record{Key: flow.Exact(flow.ProtoTCP, 1, 2, 3, 4), Packets: 1, Bytes: 1})
+	base := t0.Add(365 * 24 * time.Hour) // after every preloaded epoch
+	batchAt := func(i int) []Row {
+		batch := make([]Row, locations)
+		for j := range batch {
+			batch[j] = Row{
+				Location: fmt.Sprintf("site%02d", j),
+				Start:    base.Add(time.Duration(i) * time.Minute),
+				Width:    time.Minute,
+				Tree:     tr,
+			}
+		}
+		return batch
+	}
+	b.Run("incremental", func(b *testing.B) {
+		db, _ := buildBenchDB(b, rows, locations)
+		views := make([]*View, locations)
+		for j := range views {
+			v, err := db.Subscribe(ViewQuery{Locations: []string{fmt.Sprintf("site%02d", j)}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			views[j] = v
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.InsertBatch(batchAt(i)); err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range views {
+				if _, _, err := v.Result(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("poll", func(b *testing.B) {
+		db, _ := buildBenchDB(b, rows, locations, WithCacheEntries(0))
+		end := base.Add(1 << 40) // open upper bound past every epoch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.InsertBatch(batchAt(i)); err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < locations; j++ {
+				if _, _, err := db.Select([]string{fmt.Sprintf("site%02d", j)}, time.Time{}, end); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkMemoKey measures the memo-cache key builder — on the hot path
+// of every memoized Select — in its two shapes: pre-sorted locations (the
+// common case, a single pre-sized build pass) and unsorted (pays one copy
+// plus sort).
+func BenchmarkMemoKey(b *testing.B) {
+	from, to := t0, t0.Add(time.Hour)
+	b.Run("sorted", func(b *testing.B) {
+		locs := []string{"ams", "fra", "lhr", "nyc"}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if k, ok := memoKey(locs, from, to); !ok || k == "" {
+				b.Fatal("bad key")
+			}
+		}
+	})
+	b.Run("unsorted", func(b *testing.B) {
+		locs := []string{"nyc", "fra", "ams", "lhr"}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if k, ok := memoKey(locs, from, to); !ok || k == "" {
+				b.Fatal("bad key")
+			}
+		}
+	})
 }
 
 // BenchmarkFlowDBInsertBatch measures the writer: epoch-ordered batches

@@ -52,24 +52,33 @@ func newMemoCache(capEntries int) *memoCache {
 // cache's own — callers must clone, not mutate. (Cloning outside the cache
 // lock is safe: cached trees are never mutated, only dropped, so a
 // concurrent eviction cannot invalidate the read.)
+//
+// A failed lookup is not counted here: misses count cold merges actually
+// run, so the flight leader records the one miss its coalesced group
+// shares (see DB.selectCold).
 func (c *memoCache) get(key string, gen uint64) (*flowtree.Tree, int, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
 		return nil, 0, false
 	}
 	ent := el.Value.(*memoEntry)
 	if ent.gen != gen {
 		c.order.Remove(el)
 		delete(c.entries, key)
-		c.misses++
 		return nil, 0, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
 	return ent.tree, ent.matches, true
+}
+
+// miss records one cold merge.
+func (c *memoCache) miss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
 }
 
 // put stores a merge computed at generation gen, evicting the least
@@ -89,11 +98,11 @@ func (c *memoCache) put(key string, gen uint64, tree *flowtree.Tree, matches int
 	c.entries[key] = c.order.PushFront(&memoEntry{key: key, gen: gen, tree: tree, matches: matches})
 }
 
-// stats reports hit/miss counts.
-func (c *memoCache) stats() (hits, misses uint64) {
+// snapshot reports hit/miss counts and the live entry count.
+func (c *memoCache) snapshot() (hits, misses, entries uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, uint64(len(c.entries))
 }
 
 // memoKey canonicalizes a Select argument triple into a cache key: the
@@ -102,25 +111,53 @@ func (c *memoCache) stats() (hits, misses uint64) {
 // location names (separators included) can never make two distinct filters
 // collide on one key. All Select shapes are memoizable; the bool is a hook
 // for future non-memoizable selections.
+//
+// The key is built in a single pre-sized strings.Builder pass: timestamps
+// format into stack scratch, an exact byte count is summed first, and an
+// already-sorted filter (every repeated dashboard query after the first)
+// skips the copy-and-sort — one allocation per key, the string itself.
 func memoKey(locations []string, from, to time.Time) (string, bool) {
-	var b strings.Builder
-	b.Grow(32 + 16*len(locations))
-	b.WriteString(strconv.FormatInt(from.UnixNano(), 36))
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatInt(to.UnixNano(), 36))
-	if len(locations) > 0 {
-		locs := make([]string, len(locations))
-		copy(locs, locations)
-		sort.Strings(locs)
-		for i, l := range locs {
-			if i > 0 && locs[i-1] == l {
-				continue
-			}
-			b.WriteByte('|')
-			b.WriteString(strconv.Itoa(len(l)))
-			b.WriteByte(':')
-			b.WriteString(l)
+	var fscratch, tscratch [14]byte // int64 in base 36: ≤13 digits + sign
+	fb := strconv.AppendInt(fscratch[:0], from.UnixNano(), 36)
+	tb := strconv.AppendInt(tscratch[:0], to.UnixNano(), 36)
+	locs := locations
+	if len(locs) > 1 && !sort.StringsAreSorted(locs) {
+		cp := make([]string, len(locs))
+		copy(cp, locs)
+		sort.Strings(cp)
+		locs = cp
+	}
+	size := len(fb) + 1 + len(tb)
+	for i, l := range locs {
+		if i > 0 && locs[i-1] == l {
+			continue
 		}
+		size += 2 + decDigits(len(l)) + len(l)
+	}
+	var b strings.Builder
+	b.Grow(size)
+	b.Write(fb)
+	b.WriteByte('|')
+	b.Write(tb)
+	var lscratch [20]byte
+	for i, l := range locs {
+		if i > 0 && locs[i-1] == l {
+			continue
+		}
+		b.WriteByte('|')
+		b.Write(strconv.AppendInt(lscratch[:0], int64(len(l)), 10))
+		b.WriteByte(':')
+		b.WriteString(l)
 	}
 	return b.String(), true
+}
+
+// decDigits is the decimal width of a non-negative int.
+func decDigits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
 }

@@ -248,7 +248,7 @@ func TestWithCacheEntriesDisables(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if hits, misses := db.CacheStats(); hits != 0 || misses != 0 {
-		t.Errorf("disabled cache recorded hits=%d misses=%d", hits, misses)
+	if st := db.CacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Errorf("disabled cache recorded stats %+v", st)
 	}
 }

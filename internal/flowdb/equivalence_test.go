@@ -237,8 +237,8 @@ func TestCacheNeverServesStale(t *testing.T) {
 			sameTree(t, got, want)
 		}
 	}
-	if hits, misses := db.CacheStats(); hits == 0 || misses == 0 {
-		t.Fatalf("property test never exercised the cache: hits=%d misses=%d", hits, misses)
+	if st := db.CacheStats(); st.Hits == 0 || st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("property test never exercised the cache: %+v", st)
 	}
 }
 
@@ -266,7 +266,7 @@ func TestMemoizedSelectIsOwned(t *testing.T) {
 		t.Errorf("cache hit leaked a mutable reference: first=%d third=%d",
 			first.Total().Bytes, third.Total().Bytes)
 	}
-	if hits, _ := db.CacheStats(); hits != 2 {
-		t.Errorf("hits=%d, want 2", hits)
+	if st := db.CacheStats(); st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v, want 2 hits / 1 miss / 1 entry", st)
 	}
 }

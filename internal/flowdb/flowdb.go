@@ -28,14 +28,33 @@
 // sharded seal fan-in. Queries therefore neither serialize on each other
 // nor stall the epoch-export writer for the duration of a merge.
 //
-// # Memoized queries
+// # Memoized queries and single-flight coalescing
 //
 // Repeated dashboard-style queries hit a generation-stamped memo cache
 // keyed by (locations, window): every InsertBatch and Evict bumps the
 // DB generation, which atomically invalidates all cached merges, so a hit
 // can never serve a tree that predates a write. Hits cost one structural
 // clone of the cached merge — independent of how many rows the window
-// covers. Select always returns a tree owned by the caller.
+// covers. Cold misses coalesce: concurrent Selects for the same
+// (locations, window) at the same generation join a single in-flight
+// merge — the leader runs it once and counts the one miss, every caller
+// (leader included) gets its own clone of the shared result, and the
+// joiners are counted as coalesced waiters in CacheStats. The flight key
+// includes the generation, so a query racing a write never joins a merge
+// of the older snapshot. Select always returns a tree owned by the
+// caller.
+//
+// # Standing views
+//
+// Polling Select re-pays the merge every epoch, because a write
+// invalidates the whole memo cache. Subscribe instead registers the
+// (locations, window) once and maintains the merged result across
+// writes: InsertBatch folds just the delta rows matching each view into
+// its tree — one MergeAll per view per batch, O(delta) — trailing
+// windows slide with the data clock, and Evict dirties only views whose
+// earliest merged row actually precedes the cut. Invalidated views
+// rebuild lazily through the same binary-searched segment index Select
+// uses, never a flat re-scan. See View.
 package flowdb
 
 import (
@@ -44,6 +63,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"megadata/internal/flowtree"
@@ -88,6 +108,35 @@ type DB struct {
 
 	mergeWorkers int
 	cache        *memoCache
+
+	// Single-flight table for cold Selects: one merge per distinct
+	// (memo key, generation) in flight at a time, regardless of fan-in.
+	flightMu  sync.Mutex
+	flight    map[flightKey]*flightCall
+	coalesced atomic.Uint64
+	mergeGate func() // test seam: blocks the flight leader before its merge
+
+	// Standing views (see view.go).
+	viewMu   sync.Mutex
+	views    map[int64]*View
+	nextView int64
+}
+
+// flightKey identifies one coalescable cold merge. The generation is part
+// of the key so a Select racing a write never joins a merge taken against
+// the older snapshot.
+type flightKey struct {
+	key string
+	gen uint64
+}
+
+// flightCall is one in-flight cold merge. tree is published exactly once
+// (before done closes), then immutable — leader and waiters all clone it.
+type flightCall struct {
+	done chan struct{}
+	tree *flowtree.Tree
+	n    int
+	err  error
 }
 
 // Option configures a DB.
@@ -125,6 +174,8 @@ func New(opts ...Option) *DB {
 		segs:         make(map[string]*segment),
 		mergeWorkers: runtime.GOMAXPROCS(0),
 		cache:        newMemoCache(defaultCacheEntries),
+		flight:       make(map[flightKey]*flightCall),
+		views:        make(map[int64]*View),
 	}
 	for _, opt := range opts {
 		opt(db)
@@ -168,7 +219,6 @@ func (db *DB) InsertBatch(rows []Row) error {
 		return batch[i].Start.Before(batch[j].Start)
 	})
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	for lo := 0; lo < len(batch); {
 		hi := lo + 1
 		for hi < len(batch) && batch[hi].Location == batch[lo].Location {
@@ -179,6 +229,22 @@ func (db *DB) InsertBatch(rows []Row) error {
 	}
 	db.total += len(batch)
 	db.gen++
+	gen := db.gen
+	db.mu.Unlock()
+	// Maintain standing views outside the index lock: each view filters
+	// the batch against its (locations, window) and folds the matching
+	// delta in — readers keep selecting the committed index meanwhile.
+	if views := db.snapshotViews(); len(views) > 0 {
+		var maxEnd time.Time
+		for i := range batch {
+			if end := batch[i].End(); end.After(maxEnd) {
+				maxEnd = end
+			}
+		}
+		for _, v := range views {
+			v.applyInsert(batch, maxEnd, gen)
+		}
+	}
 	return nil
 }
 
@@ -232,18 +298,23 @@ func (s *segment) insertRun(run []Row) {
 }
 
 // overlap appends the trees of rows overlapping [from, to) to out and
-// returns how many matched. Both window boundaries are binary searches:
-// rows are start-ordered, and the lower bound backs off by the segment's
-// widest row so no long epoch straddling the window start is skipped.
-func (s *segment) overlap(out []*flowtree.Tree, from, to time.Time) []*flowtree.Tree {
+// folds the earliest matched row end into minEnd (zero = none matched
+// yet) — the quantity view slide/evict fast paths compare against. Both
+// window boundaries are binary searches: rows are start-ordered, and the
+// lower bound backs off by the segment's widest row so no long epoch
+// straddling the window start is skipped.
+func (s *segment) overlap(out []*flowtree.Tree, minEnd time.Time, from, to time.Time) ([]*flowtree.Tree, time.Time) {
 	hi := sort.Search(len(s.rows), func(i int) bool { return !s.rows[i].Start.Before(to) })
 	lo := sort.Search(hi, func(i int) bool { return s.rows[i].Start.Add(s.maxWidth).After(from) })
 	for i := lo; i < hi; i++ {
-		if s.rows[i].End().After(from) {
+		if end := s.rows[i].End(); end.After(from) {
 			out = append(out, s.rows[i].Tree)
+			if minEnd.IsZero() || end.Before(minEnd) {
+				minEnd = end
+			}
 		}
 	}
-	return out
+	return out, minEnd
 }
 
 // Len returns the number of indexed rows.
@@ -296,10 +367,52 @@ func (db *DB) TimeBounds() (from, to time.Time, ok bool) {
 // outside all locks as a parallel reduction over chunk-wise partial unions.
 func (db *DB) Select(locations []string, from, to time.Time) (*flowtree.Tree, int, error) {
 	key, memoize := memoKey(locations, from, to)
-	if db.cache != nil && memoize {
-		if tree, n, ok := db.cache.get(key, db.generation()); ok {
+	memoize = memoize && db.cache != nil
+	gen := db.generation()
+	if memoize {
+		if tree, n, ok := db.cache.get(key, gen); ok {
 			return tree.Clone(), n, nil
 		}
+	}
+	// Cold: coalesce identical concurrent misses into one merge. The
+	// flight key carries the generation, so a caller racing a write never
+	// joins a merge of the older snapshot — it starts (or joins) its own.
+	fk := flightKey{key: key, gen: gen}
+	db.flightMu.Lock()
+	if c, ok := db.flight[fk]; ok {
+		db.flightMu.Unlock()
+		db.coalesced.Add(1)
+		<-c.done
+		if c.err != nil {
+			return nil, 0, c.err
+		}
+		return c.tree.Clone(), c.n, nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	db.flight[fk] = c
+	db.flightMu.Unlock()
+	c.tree, c.n, c.err = db.selectCold(key, memoize, locations, from, to)
+	db.flightMu.Lock()
+	delete(db.flight, fk)
+	db.flightMu.Unlock()
+	close(c.done)
+	if c.err != nil {
+		return nil, 0, c.err
+	}
+	return c.tree.Clone(), c.n, nil
+}
+
+// selectCold is the flight leader's path: match under the read lock,
+// merge outside all locks, memoize. It counts the flight's single cache
+// miss — waiters coalesce onto this merge without touching the counters.
+// The returned tree is shared (cache + any waiters) and must be cloned,
+// never handed out directly.
+func (db *DB) selectCold(key string, memoize bool, locations []string, from, to time.Time) (*flowtree.Tree, int, error) {
+	if memoize {
+		db.cache.miss()
+	}
+	if db.mergeGate != nil {
+		db.mergeGate()
 	}
 	matches, gen := db.match(locations, from, to)
 	if len(matches) == 0 {
@@ -309,11 +422,11 @@ func (db *DB) Select(locations []string, from, to time.Time) (*flowtree.Tree, in
 	if err != nil {
 		return nil, 0, err
 	}
-	if db.cache != nil && memoize {
-		// The cache stores its own clone stamped with the generation the
+	if memoize {
+		// The cache owns the merged tree, stamped with the generation the
 		// match snapshot was taken at; a write in the meantime bumped the
 		// generation and the entry is dead on arrival, never served.
-		db.cache.put(key, gen, merged.Clone(), len(matches))
+		db.cache.put(key, gen, merged, len(matches))
 	}
 	return merged, len(matches), nil
 }
@@ -335,7 +448,7 @@ func (db *DB) match(locations []string, from, to time.Time) ([]*flowtree.Tree, u
 	var out []*flowtree.Tree
 	if len(locations) == 0 {
 		for _, loc := range db.locs {
-			out = db.segs[loc].overlap(out, from, to)
+			out, _ = db.segs[loc].overlap(out, time.Time{}, from, to)
 		}
 		return out, db.gen
 	}
@@ -346,7 +459,7 @@ func (db *DB) match(locations []string, from, to time.Time) ([]*flowtree.Tree, u
 		}
 		seen[loc] = true
 		if seg, ok := db.segs[loc]; ok {
-			out = seg.overlap(out, from, to)
+			out, _ = seg.overlap(out, time.Time{}, from, to)
 		}
 	}
 	return out, db.gen
@@ -426,7 +539,6 @@ func (db *DB) Rows() []Row {
 // locations disappear from the index.
 func (db *DB) Evict(cutoff time.Time) int {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	dropped := 0
 	for loc, seg := range db.segs {
 		kept := seg.rows[:0]
@@ -459,14 +571,33 @@ func (db *DB) Evict(cutoff time.Time) int {
 	if dropped > 0 {
 		db.gen++
 	}
+	gen := db.gen
+	db.mu.Unlock()
+	if dropped > 0 {
+		for _, v := range db.snapshotViews() {
+			v.applyEvict(cutoff, gen)
+		}
+	}
 	return dropped
 }
 
-// CacheStats reports memoization hits and misses (zeroes when the cache is
-// disabled).
-func (db *DB) CacheStats() (hits, misses uint64) {
-	if db.cache == nil {
-		return 0, 0
+// CacheStats snapshots the query-path counters: memo cache hits, misses
+// (one per cold merge actually run — coalesced waiters don't count),
+// live cached entries, and how many Selects rode an in-flight merge
+// instead of running their own. Hits/Misses/Entries are zero when the
+// cache is disabled; Coalesced still counts.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Entries   uint64
+	Coalesced uint64
+}
+
+// CacheStats reports the query-path counters.
+func (db *DB) CacheStats() CacheStats {
+	st := CacheStats{Coalesced: db.coalesced.Load()}
+	if db.cache != nil {
+		st.Hits, st.Misses, st.Entries = db.cache.snapshot()
 	}
-	return db.cache.stats()
+	return st
 }

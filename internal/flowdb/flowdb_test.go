@@ -217,3 +217,29 @@ func TestInsertBatchAtomicValidation(t *testing.T) {
 		t.Errorf("rejected batch indexed %d rows", db.Len())
 	}
 }
+
+// TestMemoKeyAllocs pins the key builder's allocation profile: pre-sorted
+// locations build the key in the Builder's single pre-sized allocation;
+// unsorted locations pay one extra copy for the sort. Regressing either
+// shape puts allocations back on every memoized Select.
+func TestMemoKeyAllocs(t *testing.T) {
+	from, to := t0, t0.Add(time.Hour)
+	sorted := []string{"ams", "fra", "lhr", "nyc"}
+	if got := testing.AllocsPerRun(100, func() {
+		_, _ = memoKey(sorted, from, to)
+	}); got > 1 {
+		t.Errorf("memoKey(sorted) allocates %.0f times per call, want <= 1", got)
+	}
+	unsorted := []string{"nyc", "ams", "fra", "lhr"}
+	if got := testing.AllocsPerRun(100, func() {
+		_, _ = memoKey(unsorted, from, to)
+	}); got > 2 {
+		t.Errorf("memoKey(unsorted) allocates %.0f times per call, want <= 2", got)
+	}
+	// The two shapes must produce the same key (the cache must not split).
+	ks, _ := memoKey(sorted, from, to)
+	ku, _ := memoKey(unsorted, from, to)
+	if ks != ku {
+		t.Error("sorted and unsorted location sets produced different keys")
+	}
+}

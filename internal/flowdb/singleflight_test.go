@@ -1,0 +1,172 @@
+package flowdb
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+)
+
+// TestSelectSingleFlight is the acceptance gate for coalescing: 32
+// concurrent identical cold Selects perform exactly one merge — the memo
+// cache records one miss, 31 callers ride the in-flight merge — and all
+// 32 results are byte-equal yet independently owned clones.
+func TestSelectSingleFlight(t *testing.T) {
+	db := New()
+	for i := 0; i < 64; i++ {
+		err := db.Insert(Row{
+			Location: "fra",
+			Start:    t0.Add(time.Duration(i) * time.Minute),
+			Width:    time.Minute,
+			Tree:     tree(t, uint64(i+1)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const callers = 32
+	// The gate parks the one flight leader until the other 31 callers
+	// have joined the flight (each increments Coalesced before blocking),
+	// making "32 concurrent Selects, one merge" deterministic rather than
+	// scheduler-dependent.
+	db.mergeGate = func() {
+		for db.coalesced.Load() < callers-1 {
+			runtime.Gosched()
+		}
+	}
+	results := make([]*flowtree.Tree, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, n, err := db.Select([]string{"fra"}, t0, t0.Add(64*time.Minute))
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			if n != 64 {
+				t.Errorf("caller %d: matched %d, want 64", i, n)
+			}
+			results[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	db.mergeGate = nil
+	st := db.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("misses=%d, want exactly 1 merge for %d concurrent Selects", st.Misses, callers)
+	}
+	if st.Coalesced != callers-1 {
+		t.Errorf("coalesced=%d, want %d", st.Coalesced, callers-1)
+	}
+	if st.Hits != 0 {
+		t.Errorf("hits=%d, want 0 (all callers were cold)", st.Hits)
+	}
+	want := results[0].AppendBinary(nil)
+	for i, tr := range results {
+		if tr == nil {
+			t.Fatalf("caller %d got no result", i)
+		}
+		if got := tr.AppendBinary(nil); !bytes.Equal(got, want) {
+			t.Errorf("caller %d result differs: %d vs %d wire bytes", i, len(got), len(want))
+		}
+	}
+	// Clones are caller-owned: mutating one result must not leak into any
+	// other, nor into the entry the flight left in the memo cache.
+	results[1].Add(flow.Record{Key: flow.Exact(flow.ProtoUDP, 1, 2, 3, 4), Packets: 1, Bytes: 999})
+	if got := results[2].AppendBinary(nil); !bytes.Equal(got, want) {
+		t.Error("mutating one waiter's result corrupted another's")
+	}
+	cached, _, err := db.Select([]string{"fra"}, t0, t0.Add(64*time.Minute)) // memo hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cached.AppendBinary(nil); !bytes.Equal(got, want) {
+		t.Error("mutating a waiter's result corrupted the cached merge")
+	}
+	if st := db.CacheStats(); st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("post-flight stats %+v, want 1 hit / 1 entry", st)
+	}
+}
+
+// TestSingleFlightGenerationIsolation pins that a Select racing a write
+// never joins a merge taken against the older snapshot: the flight key
+// carries the generation, so the post-write caller runs its own merge
+// and sees the new row while the stale flight is still parked.
+func TestSingleFlightGenerationIsolation(t *testing.T) {
+	db := New()
+	if err := db.Insert(Row{Location: "fra", Start: t0, Width: time.Hour, Tree: tree(t, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	var gateOnce sync.Once
+	db.mergeGate = func() {
+		blocked := false
+		gateOnce.Do(func() { blocked = true })
+		if blocked {
+			close(parked)
+			<-release
+		}
+	}
+	staleDone := make(chan struct{})
+	go func() {
+		defer close(staleDone)
+		tr, _, err := db.Select(nil, t0, t0.Add(2*time.Hour))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// The parked leader matches when it finally merges — after the
+		// write — so it returns the fresher answer (never a stale one).
+		if tr.Total().Bytes != 105 {
+			t.Errorf("parked flight saw %d bytes, want 105", tr.Total().Bytes)
+		}
+	}()
+	<-parked
+	if err := db.Insert(Row{Location: "fra", Start: t0.Add(time.Hour), Width: time.Hour, Tree: tree(t, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	// Same arguments, new generation: must not coalesce onto the parked
+	// flight, and must observe the write.
+	tr, n, err := db.Select(nil, t0, t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || tr.Total().Bytes != 105 {
+		t.Fatalf("post-write Select: n=%d bytes=%d, want 2 rows / 105 bytes", n, tr.Total().Bytes)
+	}
+	if st := db.CacheStats(); st.Coalesced != 0 {
+		t.Errorf("post-write Select coalesced onto a stale flight (coalesced=%d)", st.Coalesced)
+	}
+	close(release)
+	<-staleDone
+	db.mergeGate = nil
+}
+
+// TestSingleFlightSequentialStillCounts pins that the flight layer is
+// invisible to sequential callers: each cold Select is its own leader
+// and its own miss, exactly as before.
+func TestSingleFlightSequentialStillCounts(t *testing.T) {
+	db := New()
+	if err := db.Insert(Row{Location: "a", Start: t0, Width: time.Hour, Tree: tree(t, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := db.Select(nil, t0, t0.Add(time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert(Row{Location: "a", Start: t0.Add(time.Duration(i+1) * time.Hour), Width: time.Hour, Tree: tree(t, 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.CacheStats()
+	if st.Misses != 3 || st.Coalesced != 0 {
+		t.Errorf("stats %+v, want 3 misses / 0 coalesced", st)
+	}
+}

@@ -1,0 +1,450 @@
+package flowdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"megadata/internal/flowtree"
+)
+
+// ErrViewClosed is returned by View methods after Close.
+var ErrViewClosed = errors.New("flowdb: view is closed")
+
+// openEnd is the exclusive upper bound stored for an open-ended view
+// window: far enough in the future that every row's start precedes it,
+// so open views need no special casing anywhere in the match logic.
+var openEnd = time.Unix(1<<62, 0)
+
+// ViewQuery describes a standing selection — the same (locations, window)
+// shape Select takes, registered once and maintained across writes.
+//
+// Locations nil or empty matches all locations. A zero To (with Window
+// zero) leaves the window open-ended: the view keeps growing as epochs
+// land. Window > 0 instead maintains a trailing window of that width
+// anchored to the latest row end the DB has seen — the window slides
+// forward as new epochs land, and From/To are ignored.
+type ViewQuery struct {
+	Locations []string
+	From, To  time.Time
+	Window    time.Duration
+}
+
+// ViewOption configures a registered view.
+type ViewOption func(*View)
+
+// WithViewBudget compresses the maintained tree to a node budget after
+// every recompute and delta merge (0, the default, keeps the view exact —
+// the only mode in which view contents equal a fresh Select bit-for-bit,
+// since budget compression is arrival-order dependent).
+func WithViewBudget(n int) ViewOption {
+	return func(v *View) {
+		if n > 0 {
+			v.budget = n
+		}
+	}
+}
+
+// WithViewUpdateHook installs a callback fired after any write that
+// changed (or invalidated) the view's contents. The hook runs on the
+// writer's goroutine — InsertBatch and Evict do not return until every
+// subscribed hook has — with no view lock held, so it may call Result,
+// Inspect or Close. A blocking hook backpressures the epoch writer.
+func WithViewUpdateHook(fn func(*View)) ViewOption {
+	return func(v *View) { v.onUpdate = fn }
+}
+
+// View is a standing query's materialized result: a tree maintained
+// incrementally as the DB is written. InsertBatch merges only the delta
+// rows matching the view's (locations, window) — one MergeAll (one
+// aggregate rebuild, one budget compression) per view per batch, O(delta)
+// instead of O(window re-merge). Writes that invalidate the incremental
+// state (a window slide or eviction that drops merged rows, or writes
+// racing each other) mark the view dirty; the next read rebuilds it
+// through the per-location segment index — the same binary-searched
+// match Select uses, never a flat re-scan.
+type View struct {
+	db        *DB
+	id        int64
+	locations []string        // canonical: sorted, deduplicated; nil = all
+	locSet    map[string]bool // nil = all
+	window    time.Duration   // > 0: trailing window width
+	budget    int             // > 0: compress maintained tree to this
+	onUpdate  func(*View)
+
+	mu         sync.Mutex
+	from, to   time.Time // current window [from, to); to == openEnd when open
+	tree       *flowtree.Tree
+	matches    int
+	minEnd     time.Time // earliest end among merged rows; zero when none
+	gen        uint64    // DB generation the contents reflect
+	dirty      bool      // contents stale; next read recomputes via the index
+	version    uint64
+	recomputes uint64
+	closed     bool
+}
+
+// Subscribe registers a standing query and returns its materialized view.
+// The view starts dirty and is built through the segment index on the
+// first read (Subscribe itself triggers one), then maintained
+// incrementally by every subsequent InsertBatch/Evict until Close.
+func (db *DB) Subscribe(q ViewQuery, opts ...ViewOption) (*View, error) {
+	if q.Window < 0 {
+		return nil, fmt.Errorf("%w: negative trailing window", ErrBadView)
+	}
+	v := &View{db: db, window: q.Window, dirty: true}
+	if q.Window > 0 {
+		// Anchor the trailing window to the latest data end; an empty DB
+		// leaves it empty until the first batch slides it into place.
+		if _, to, ok := db.TimeBounds(); ok {
+			v.to = to
+			v.from = to.Add(-q.Window)
+		}
+	} else {
+		v.from = q.From
+		v.to = q.To
+		if v.to.IsZero() {
+			v.to = openEnd
+		}
+		if !v.to.After(v.from) {
+			return nil, fmt.Errorf("%w: empty window [%v,%v)", ErrBadView, q.From, q.To)
+		}
+	}
+	if len(q.Locations) > 0 {
+		locs := make([]string, len(q.Locations))
+		copy(locs, q.Locations)
+		sort.Strings(locs)
+		v.locSet = make(map[string]bool, len(locs))
+		v.locations = locs[:0]
+		for _, l := range locs {
+			if !v.locSet[l] {
+				v.locSet[l] = true
+				v.locations = append(v.locations, l)
+			}
+		}
+	}
+	for _, opt := range opts {
+		opt(v)
+	}
+	// Register before the initial build: a write landing in between either
+	// beats the recompute's snapshot (the generation stamp skips its
+	// delta) or applies on top of it. Registration order never loses rows.
+	db.viewMu.Lock()
+	db.nextView++
+	v.id = db.nextView
+	db.views[v.id] = v
+	db.viewMu.Unlock()
+	v.mu.Lock()
+	err := v.recomputeLocked()
+	v.mu.Unlock()
+	if err != nil {
+		v.Close()
+		return nil, err
+	}
+	return v, nil
+}
+
+// ErrBadView rejects invalid standing queries.
+var ErrBadView = errors.New("flowdb: invalid view query")
+
+// Views reports how many standing views are registered.
+func (db *DB) Views() int {
+	db.viewMu.Lock()
+	defer db.viewMu.Unlock()
+	return len(db.views)
+}
+
+// snapshotViews copies the registered view set so write-side maintenance
+// iterates without holding the registry lock.
+func (db *DB) snapshotViews() []*View {
+	db.viewMu.Lock()
+	defer db.viewMu.Unlock()
+	if len(db.views) == 0 {
+		return nil
+	}
+	out := make([]*View, 0, len(db.views))
+	for _, v := range db.views {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Close unregisters the view; subsequent reads return ErrViewClosed and
+// writes no longer maintain it.
+func (v *View) Close() {
+	v.db.viewMu.Lock()
+	delete(v.db.views, v.id)
+	v.db.viewMu.Unlock()
+	v.mu.Lock()
+	v.closed = true
+	v.tree = nil
+	v.mu.Unlock()
+}
+
+// Window returns the view's current window. Open-ended views report a
+// far-future end; trailing views report the current slid position.
+func (v *View) Window() (from, to time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.from, v.to
+}
+
+// Matches reports how many stored rows the view currently covers.
+func (v *View) Matches() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.matches
+}
+
+// Version counts content-changing updates — a cheap way for pollers to
+// skip unchanged views.
+func (v *View) Version() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.version
+}
+
+// Recomputes counts full index-backed rebuilds. A view on a growing
+// window stays at 1 (the initial build) no matter how many epochs land —
+// the incremental guarantee the subscribe benchmark measures.
+func (v *View) Recomputes() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.recomputes
+}
+
+// ViewSnapshot is the metadata handed to Inspect alongside the tree.
+type ViewSnapshot struct {
+	Matches  int
+	From, To time.Time
+	Version  uint64
+}
+
+// Result returns a caller-owned clone of the maintained tree and the
+// number of rows it covers, rebuilding first if the view is dirty.
+// Mirrors Select: an empty view returns ErrNoData.
+func (v *View) Result() (*flowtree.Tree, int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil, 0, ErrViewClosed
+	}
+	if v.dirty {
+		if err := v.recomputeLocked(); err != nil {
+			return nil, 0, err
+		}
+	}
+	if v.tree == nil {
+		return nil, 0, fmt.Errorf("%w: view locations=%v window=[%v,%v)", ErrNoData, v.locations, v.from, v.to)
+	}
+	return v.tree.Clone(), v.matches, nil
+}
+
+// Inspect runs fn against the maintained tree without cloning it,
+// rebuilding first if the view is dirty. The tree (nil when the view is
+// empty — not an error, unlike Result) is only valid inside fn and must
+// not be retained or mutated; fn runs under the view lock, so it must not
+// call other View methods.
+func (v *View) Inspect(fn func(tree *flowtree.Tree, snap ViewSnapshot)) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrViewClosed
+	}
+	if v.dirty {
+		if err := v.recomputeLocked(); err != nil {
+			return err
+		}
+	}
+	fn(v.tree, ViewSnapshot{Matches: v.matches, From: v.from, To: v.to, Version: v.version})
+	return nil
+}
+
+// recomputeLocked rebuilds the view through the segment index: the same
+// binary-searched per-location match Select uses, merged with the same
+// parallel reduction. Callers hold v.mu.
+func (v *View) recomputeLocked() error {
+	trees, minEnd, gen := v.db.matchView(v.locations, v.from, v.to)
+	v.recomputes++
+	v.gen = gen
+	v.dirty = false
+	v.minEnd = minEnd
+	v.matches = len(trees)
+	v.version++
+	if len(trees) == 0 {
+		v.tree = nil
+		return nil
+	}
+	merged, err := v.db.mergeMatches(trees)
+	if err != nil {
+		v.dirty = true
+		return err
+	}
+	if v.budget > 0 {
+		if err := merged.SetBudget(v.budget); err != nil {
+			v.dirty = true
+			return err
+		}
+	}
+	v.tree = merged
+	return nil
+}
+
+// matchView is match plus the earliest matched row end — the quantity the
+// slide and evict fast paths compare against the cut.
+func (db *DB) matchView(locations []string, from, to time.Time) ([]*flowtree.Tree, time.Time, uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*flowtree.Tree
+	var minEnd time.Time
+	if len(locations) == 0 {
+		for _, loc := range db.locs {
+			out, minEnd = db.segs[loc].overlap(out, minEnd, from, to)
+		}
+		return out, minEnd, db.gen
+	}
+	for _, loc := range locations { // canonical: already deduplicated
+		if seg, ok := db.segs[loc]; ok {
+			out, minEnd = seg.overlap(out, minEnd, from, to)
+		}
+	}
+	return out, minEnd, db.gen
+}
+
+// applyInsert folds one committed batch into the view. gen is the DB
+// generation the batch produced and maxEnd the latest end across the
+// whole batch (the data clock trailing windows slide on). The generation
+// stamp makes delta application exact under concurrent writers: a delta
+// merges only when the view reflects exactly the previous generation;
+// a view a recompute has already carried past this write skips it, and
+// an out-of-order delivery falls back to dirty instead of double- or
+// under-counting.
+func (v *View) applyInsert(batch []Row, maxEnd time.Time, gen uint64) {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return
+	}
+	if v.dirty {
+		// Already pending a rebuild; the next recompute sees this batch
+		// in the index. Still an update the subscriber should hear about.
+		v.mu.Unlock()
+		v.notify()
+		return
+	}
+	if v.gen >= gen {
+		v.mu.Unlock()
+		return
+	}
+	if v.gen != gen-1 {
+		v.dirty = true
+		v.mu.Unlock()
+		v.notify()
+		return
+	}
+	v.gen = gen
+	changed := false
+	if v.window > 0 && maxEnd.After(v.to) {
+		// Slide the trailing window to the new data clock. Merged rows
+		// whose end falls at or before the new start leave the window —
+		// merge is not invertible, so the view re-merges through the
+		// segment index (dirty); a slide that drops nothing stays O(delta).
+		v.to = maxEnd
+		if newFrom := maxEnd.Add(-v.window); newFrom.After(v.from) {
+			v.from = newFrom
+			if v.tree != nil && !v.minEnd.After(newFrom) {
+				v.dirty = true
+				changed = true
+			}
+		}
+	}
+	if !v.dirty {
+		var add []*flowtree.Tree
+		for i := range batch {
+			r := &batch[i]
+			if v.locSet != nil && !v.locSet[r.Location] {
+				continue
+			}
+			end := r.End()
+			if !end.After(v.from) || !r.Start.Before(v.to) {
+				continue
+			}
+			add = append(add, r.Tree)
+			if v.minEnd.IsZero() || end.Before(v.minEnd) {
+				v.minEnd = end
+			}
+		}
+		if len(add) > 0 {
+			var err error
+			if v.tree == nil {
+				v.tree = add[0].Clone()
+				if v.budget > 0 {
+					err = v.tree.SetBudget(v.budget)
+				}
+				if err == nil && len(add) > 1 {
+					err = v.tree.MergeAll(add[1:]...)
+				}
+			} else {
+				err = v.tree.MergeAll(add...)
+			}
+			if err != nil {
+				v.dirty = true // surfaced by the next read's rebuild
+			} else {
+				v.matches += len(add)
+			}
+			changed = true
+		}
+	}
+	if changed {
+		v.version++
+	}
+	v.mu.Unlock()
+	if changed {
+		v.notify()
+	}
+}
+
+// applyEvict advances the view past a committed eviction. Only views
+// actually overlapping the cut — their earliest merged row end precedes
+// the cutoff — go dirty; everything else just advances its generation
+// stamp, untouched.
+func (v *View) applyEvict(cutoff time.Time, gen uint64) {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return
+	}
+	if v.dirty {
+		v.mu.Unlock()
+		v.notify()
+		return
+	}
+	if v.gen >= gen {
+		v.mu.Unlock()
+		return
+	}
+	if v.gen != gen-1 {
+		v.dirty = true
+		v.mu.Unlock()
+		v.notify()
+		return
+	}
+	v.gen = gen
+	if v.tree != nil && v.minEnd.Before(cutoff) {
+		v.dirty = true
+		v.version++
+		v.mu.Unlock()
+		v.notify()
+		return
+	}
+	v.mu.Unlock()
+}
+
+// notify fires the update hook outside the view lock.
+func (v *View) notify() {
+	if v.onUpdate != nil {
+		v.onUpdate(v)
+	}
+}

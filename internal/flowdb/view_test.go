@@ -1,0 +1,450 @@
+package flowdb
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"megadata/internal/flowtree"
+)
+
+// checkViewAgainstSelect pins the acceptance property for one view: its
+// maintained contents must equal a fresh Select of the same (locations,
+// window) exactly — match count, keys, counters. Empty views must agree
+// on ErrNoData.
+func checkViewAgainstSelect(t *testing.T, db *DB, v *View) {
+	t.Helper()
+	from, to := v.Window()
+	got, gotN, gotErr := v.Result()
+	want, wantN, wantErr := db.Select(v.locations, from, to)
+	if wantErr != nil {
+		if !errors.Is(gotErr, ErrNoData) {
+			t.Fatalf("view err=%v, want ErrNoData to match Select err=%v", gotErr, wantErr)
+		}
+		return
+	}
+	if gotErr != nil {
+		t.Fatalf("view errored where Select matched %d rows: %v", wantN, gotErr)
+	}
+	if gotN != wantN {
+		t.Fatalf("view matches=%d, Select matches=%d", gotN, wantN)
+	}
+	sameTree(t, got, want)
+}
+
+// TestViewEquivalentToSelect is the tentpole property: standing views of
+// every shape — open-ended, fixed window, trailing window, location
+// filters, registered before and during the write sequence, some closed
+// midway — stay exactly equal to a fresh Select of their query after
+// every randomized InsertBatch / Evict / slide.
+func TestViewEquivalentToSelect(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		db := New()
+		sub := func(q ViewQuery) *View {
+			v, err := db.Subscribe(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		}
+		views := []*View{
+			sub(ViewQuery{}), // open, all locations
+			sub(ViewQuery{Locations: []string{"fra", "nyc", "fra"}}), // open, filtered (with dup)
+			sub(ViewQuery{From: t0.Add(2 * time.Hour), To: t0.Add(3 * 24 * time.Hour)}),
+			sub(ViewQuery{Window: 6 * time.Hour}), // trailing
+			sub(ViewQuery{Window: 24 * time.Hour, Locations: []string{"ams", "syd"}}),
+		}
+		for step := 0; step < 50; step++ {
+			switch rng.Intn(5) {
+			case 0, 1, 2: // insert
+				batch := randomRows(t, rng, 1+rng.Intn(8))
+				if err := db.InsertBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // evict
+				db.Evict(t0.Add(time.Duration(rng.Intn(10*24)) * time.Hour))
+			default: // churn the registry: close one view, register another
+				i := rng.Intn(len(views))
+				views[i].Close()
+				q := ViewQuery{}
+				if rng.Intn(2) == 0 {
+					q.Window = time.Duration(1+rng.Intn(48)) * time.Hour
+				} else {
+					q.From = t0.Add(time.Duration(rng.Intn(5*24)) * time.Hour)
+					q.To = q.From.Add(time.Duration(1+rng.Intn(3*24)) * time.Hour)
+				}
+				if rng.Intn(2) == 0 {
+					q.Locations = []string{"lhr", "sfo"}
+				}
+				views[i] = sub(q)
+			}
+			for _, v := range views {
+				checkViewAgainstSelect(t, db, v)
+			}
+		}
+	}
+}
+
+// TestViewIncrementalOnGrowingWindow pins the O(delta) guarantee: a view
+// on a growing window is built through the index exactly once — every
+// subsequent epoch folds in as a delta merge, never a rebuild — and still
+// matches a fresh Select at every step.
+func TestViewIncrementalOnGrowingWindow(t *testing.T) {
+	db := New()
+	all, err := db.Subscribe(ViewQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fra, err := db.Subscribe(ViewQuery{Locations: []string{"fra"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 30; epoch++ {
+		start := t0.Add(time.Duration(epoch) * time.Minute)
+		batch := []Row{
+			{Location: "fra", Start: start, Width: time.Minute, Tree: tree(t, 10)},
+			{Location: "nyc", Start: start, Width: time.Minute, Tree: tree(t, 20)},
+		}
+		if err := db.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		checkViewAgainstSelect(t, db, all)
+		checkViewAgainstSelect(t, db, fra)
+	}
+	if n := all.Recomputes(); n != 1 {
+		t.Errorf("open view recomputed %d times across 30 epochs, want 1 (initial build)", n)
+	}
+	if n, want := all.Matches(), 60; n != want {
+		t.Errorf("all-view matches=%d, want %d", n, want)
+	}
+	if n, want := fra.Matches(), 30; n != want {
+		t.Errorf("fra-view matches=%d, want %d", n, want)
+	}
+}
+
+// TestViewTrailingWindowSlides walks a trailing window across landing
+// epochs: the window must follow the data clock, rows aging out must
+// leave the view (forcing an index-backed rebuild only when something
+// actually left), and contents must equal a fresh Select throughout.
+func TestViewTrailingWindowSlides(t *testing.T) {
+	db := New()
+	v, err := db.Subscribe(ViewQuery{Window: 30 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 12; epoch++ {
+		start := t0.Add(time.Duration(epoch) * 10 * time.Minute)
+		err := db.Insert(Row{Location: "fra", Start: start, Width: 10 * time.Minute, Tree: tree(t, 1<<uint(epoch))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		from, to := v.Window()
+		if wantTo := start.Add(10 * time.Minute); !to.Equal(wantTo) {
+			t.Fatalf("epoch %d: window end %v, want %v", epoch, to, wantTo)
+		}
+		if wantFrom := start.Add(10 * time.Minute).Add(-30 * time.Minute); !from.Equal(wantFrom) {
+			t.Fatalf("epoch %d: window start %v, want %v", epoch, from, wantFrom)
+		}
+		checkViewAgainstSelect(t, db, v)
+		// A 30-minute window over 10-minute epochs holds exactly the last
+		// three rows once enough have landed.
+		if want := min(epoch+1, 3); v.Matches() != want {
+			t.Fatalf("epoch %d: matches=%d, want %d", epoch, v.Matches(), want)
+		}
+	}
+}
+
+// TestViewEvictPrecision pins that Evict touches only views whose merged
+// rows actually precede the cut: the view over recent data keeps its
+// incrementally built tree (no rebuild), while the overlapping view goes
+// dirty and rebuilds correctly.
+func TestViewEvictPrecision(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		start := t0.Add(time.Duration(i) * time.Hour)
+		if err := db.Insert(Row{Location: "fra", Start: start, Width: time.Hour, Tree: tree(t, 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, err := db.Subscribe(ViewQuery{From: t0, To: t0.Add(3 * time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recent, err := db.Subscribe(ViewQuery{From: t0.Add(6 * time.Hour), To: t0.Add(10 * time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := recent.Result(); err != nil {
+		t.Fatal(err)
+	}
+	base := recent.Recomputes()
+	if n := db.Evict(t0.Add(4 * time.Hour)); n != 3 {
+		t.Fatalf("evicted %d rows, want 3", n)
+	}
+	checkViewAgainstSelect(t, db, recent)
+	if n := recent.Recomputes(); n != base {
+		t.Errorf("eviction below its window rebuilt the recent view (%d -> %d recomputes)", base, n)
+	}
+	// The old view's window is now empty of rows: Result and Select agree.
+	checkViewAgainstSelect(t, db, old)
+	if _, _, err := old.Result(); !errors.Is(err, ErrNoData) {
+		t.Errorf("old view after evict: err=%v, want ErrNoData", err)
+	}
+}
+
+// TestViewUpdateHook pins hook semantics: fired when the view's contents
+// change (or are invalidated), not for writes outside its filter.
+func TestViewUpdateHook(t *testing.T) {
+	db := New()
+	var fired atomic.Uint64
+	v, err := db.Subscribe(ViewQuery{Locations: []string{"fra"}},
+		WithViewUpdateHook(func(*View) { fired.Add(1) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(Row{Location: "nyc", Start: t0, Width: time.Hour, Tree: tree(t, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("hook fired %d times for a non-matching write", n)
+	}
+	if err := db.Insert(Row{Location: "fra", Start: t0, Width: time.Hour, Tree: tree(t, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("hook fired %d times for a matching write, want 1", n)
+	}
+	// Eviction dropping a merged row invalidates → hook fires again.
+	db.Evict(t0.Add(2 * time.Hour))
+	if n := fired.Load(); n != 2 {
+		t.Fatalf("hook fired %d times after evict, want 2", n)
+	}
+	v.Close()
+	if err := db.Insert(Row{Location: "fra", Start: t0.Add(3 * time.Hour), Width: time.Hour, Tree: tree(t, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := fired.Load(); n != 2 {
+		t.Fatalf("hook fired on a closed view (%d total)", n)
+	}
+}
+
+// TestViewClosedAndInvalid covers the error surface: closed views refuse
+// reads, and malformed standing queries are rejected up front.
+func TestViewClosedAndInvalid(t *testing.T) {
+	db := New()
+	v, err := db.Subscribe(ViewQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Views() != 1 {
+		t.Fatalf("Views()=%d, want 1", db.Views())
+	}
+	v.Close()
+	if db.Views() != 0 {
+		t.Fatalf("Views()=%d after Close, want 0", db.Views())
+	}
+	if _, _, err := v.Result(); !errors.Is(err, ErrViewClosed) {
+		t.Errorf("Result after Close: %v, want ErrViewClosed", err)
+	}
+	if err := v.Inspect(func(*flowtree.Tree, ViewSnapshot) {}); !errors.Is(err, ErrViewClosed) {
+		t.Errorf("Inspect after Close: %v, want ErrViewClosed", err)
+	}
+	if _, err := db.Subscribe(ViewQuery{Window: -time.Hour}); !errors.Is(err, ErrBadView) {
+		t.Errorf("negative window: %v, want ErrBadView", err)
+	}
+	if _, err := db.Subscribe(ViewQuery{From: t0, To: t0.Add(-time.Hour)}); !errors.Is(err, ErrBadView) {
+		t.Errorf("inverted window: %v, want ErrBadView", err)
+	}
+}
+
+// TestViewBudgetCompresses pins that a budgeted view stays within its
+// node budget as deltas fold in (contents are coarsened, not exact —
+// exactness is the budget-0 contract the other tests pin).
+func TestViewBudgetCompresses(t *testing.T) {
+	db := New()
+	v, err := db.Subscribe(ViewQuery{}, WithViewBudget(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		batch := randomRows(t, rng, 4)
+		if err := db.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := v.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() > 8 {
+		t.Errorf("budgeted view holds %d nodes, budget 8", got.Len())
+	}
+	want, _, err := db.Select(nil, time.Time{}, openEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != want.Total() {
+		t.Errorf("budget compression changed totals: %+v vs %+v", got.Total(), want.Total())
+	}
+}
+
+// TestViewConcurrentWithWriters is the -race leg of the acceptance
+// property: views maintained while InsertBatch, Evict and subscriber
+// churn race stay internally consistent throughout, and equal a fresh
+// Select exactly once the writers quiesce.
+func TestViewConcurrentWithWriters(t *testing.T) {
+	db := New()
+	views := make([]*View, 0, 4)
+	for _, q := range []ViewQuery{
+		{},
+		{Locations: []string{"fra", "nyc"}},
+		{Window: 4 * time.Hour},
+		{From: t0, To: t0.Add(7 * 24 * time.Hour)},
+	} {
+		v, err := db.Subscribe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				batch := randomRows(t, rng, 1+rng.Intn(5))
+				if err := db.InsertBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+				if rng.Intn(10) == 0 {
+					db.Evict(t0.Add(time.Duration(rng.Intn(5*24)) * time.Hour))
+				}
+			}
+		}(int64(w + 1))
+	}
+	readers.Add(1)
+	go func() { // churning subscriber: register/read/close in a loop
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, err := db.Subscribe(ViewQuery{Window: time.Hour})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_, _, _ = v.Result()
+			v.Close()
+		}
+	}()
+	for w := 0; w < 2; w++ {
+		readers.Add(1)
+		go func() { // readers: clones must always be self-consistent
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, v := range views {
+					tr, n, err := v.Result()
+					if errors.Is(err, ErrNoData) {
+						continue
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if n <= 0 || tr.Total().Bytes == 0 {
+						t.Errorf("inconsistent view read: n=%d total=%+v", n, tr.Total())
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Writers finish first; then stop the readers and verify quiescent
+	// equivalence for every surviving view.
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	for _, v := range views {
+		checkViewAgainstSelect(t, db, v)
+	}
+}
+
+// TestViewSurvivesLateAndWideRows pins delta matching against the same
+// row shapes the index handles: out-of-order (late) rows and wide
+// straddlers entering an already-built fixed window.
+func TestViewSurvivesLateAndWideRows(t *testing.T) {
+	db := New()
+	v, err := db.Subscribe(ViewQuery{From: t0.Add(2 * time.Hour), To: t0.Add(4 * time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{Location: "fra", Start: t0.Add(3 * time.Hour), Width: time.Hour, Tree: tree(t, 1)},
+		{Location: "fra", Start: t0.Add(2 * time.Hour), Width: 30 * time.Minute, Tree: tree(t, 2)}, // late
+		{Location: "nyc", Start: t0, Width: 12 * time.Hour, Tree: tree(t, 4)},                      // wide straddler
+		{Location: "nyc", Start: t0.Add(5 * time.Hour), Width: time.Hour, Tree: tree(t, 8)},        // outside
+		{Location: "fra", Start: t0, Width: 2 * time.Hour, Tree: tree(t, 16)},                      // ends at window start: outside
+	}
+	for _, r := range rows {
+		if err := db.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		checkViewAgainstSelect(t, db, v)
+	}
+	if v.Matches() != 3 {
+		t.Errorf("matches=%d, want 3", v.Matches())
+	}
+	got, _, err := v.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total().Bytes != 7 {
+		t.Errorf("total bytes=%d, want 7", got.Total().Bytes)
+	}
+}
+
+// TestViewInspectSeesLiveTree covers the no-clone read path used by the
+// FlowQL subscription layer.
+func TestViewInspectSeesLiveTree(t *testing.T) {
+	db := New()
+	v, err := db.Subscribe(ViewQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNil bool
+	if err := v.Inspect(func(tr *flowtree.Tree, snap ViewSnapshot) {
+		sawNil = tr == nil && snap.Matches == 0
+	}); err != nil || !sawNil {
+		t.Fatalf("empty view Inspect: err=%v sawNil=%v", err, sawNil)
+	}
+	if err := db.Insert(Row{Location: "fra", Start: t0, Width: time.Hour, Tree: tree(t, 42)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Inspect(func(tr *flowtree.Tree, snap ViewSnapshot) {
+		if tr == nil || tr.Total().Bytes != 42 || snap.Matches != 1 {
+			t.Errorf("Inspect saw tree=%v matches=%d", tr, snap.Matches)
+		}
+		if snap.Version == 0 {
+			t.Error("Inspect snapshot missing version")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

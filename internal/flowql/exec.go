@@ -43,7 +43,22 @@ func Execute(db *flowdb.DB, q *Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return operate(q, merged, matched, from, to)
+}
+
+// operate applies the query's operator to an already merged selection.
+// Shared by Execute (one-shot Select) and the subscription layer (the
+// standing view's maintained tree). A nil tree is an empty selection —
+// legal for standing views between data — and yields a zero-valued
+// result rather than an error.
+func operate(q *Query, merged *flowtree.Tree, matched int, from, to time.Time) (*Result, error) {
 	res := &Result{Op: q.Op, From: from, To: to, Merged: matched}
+	if merged == nil {
+		if q.Op == OpQuery || q.Op == OpDrilldown || q.Op == OpTopK || q.Op == OpAbove || q.Op == OpHHH {
+			return res, nil
+		}
+		return nil, fmt.Errorf("flowql: unknown operator %v", q.Op)
+	}
 	switch q.Op {
 	case OpQuery:
 		res.Counters = merged.Query(q.Where)
@@ -95,6 +110,18 @@ func filterEntries(entries []flowtree.Entry, where flow.Key, limit int) []flowtr
 	return out
 }
 
+// formatWindow renders a query window, eliding the sentinel bounds a
+// standing open subscription carries (zero From, far-future To).
+func formatWindow(from, to time.Time) string {
+	if to.Year() > 9999 {
+		if from.IsZero() {
+			return "[open]"
+		}
+		return fmt.Sprintf("[%s, ...)", from.Format(time.RFC3339))
+	}
+	return fmt.Sprintf("[%s, %s)", from.Format(time.RFC3339), to.Format(time.RFC3339))
+}
+
 // Run parses and executes a FlowQL statement (the Figure 5 API, step 5).
 func Run(db *flowdb.DB, statement string) (*Result, error) {
 	q, err := Parse(statement)
@@ -108,7 +135,7 @@ func Run(db *flowdb.DB, statement string) (*Result, error) {
 // shell).
 func Format(res *Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "-- %s over [%s, %s)\n", res.Op, res.From.Format(time.RFC3339), res.To.Format(time.RFC3339))
+	fmt.Fprintf(&b, "-- %s over %s\n", res.Op, formatWindow(res.From, res.To))
 	switch res.Op {
 	case OpQuery:
 		fmt.Fprintf(&b, "packets=%d bytes=%d flows=%d\n", res.Counters.Packets, res.Counters.Bytes, res.Counters.Flows)

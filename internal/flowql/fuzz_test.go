@@ -74,6 +74,69 @@ func TestParseNeverPanicsOnMutatedValid(t *testing.T) {
 	}
 }
 
+// FuzzParse is the coverage-guided companion to the quick checks above:
+// Parse must return (query, nil) xor (nil, error) and never panic, and a
+// successfully parsed statement must satisfy its own invariants. The seed
+// corpus leans on subscription-flavored statements — the standing-query
+// shapes Subscribe feeds through the same parser (open FROM ALL windows,
+// per-site filters, alert-style TOPK/ABOVE/HHH operators).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		// Subscription-flavored standing queries.
+		`SELECT QUERY FROM ALL`,
+		`SELECT TOPK(5) FROM ALL`,
+		`SELECT TOPK(1) AT central FROM ALL WHERE proto = udp`,
+		`SELECT ABOVE(1000000) FROM ALL WHERE dst = 10.0.0.0/8`,
+		`SELECT HHH(0.01) FROM ALL WHERE src = 0.0.0.0/0`,
+		`SELECT QUERY AT berlin, paris FROM ALL WHERE dport = 443 AND proto = tcp`,
+		`SELECT DRILLDOWN FROM ALL WHERE src = 99.99.0.0/16`,
+		// Fixed dashboard windows.
+		`SELECT QUERY FROM "2026-06-01T00:00:00Z" TO "2026-06-01T01:00:00Z"`,
+		`SELECT HHH(0.05) FROM '2026-06-01T00:00:00Z' TO '2026-06-02T00:00:00Z'`,
+		// Degenerate shapes.
+		``,
+		`SELECT`,
+		`SELECT QUERY FROM ALL trailing junk`,
+		`SELECT TOPK(0) FROM ALL`,
+		`SELECT QUERY FROM "unterminated`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if (q == nil) == (err == nil) {
+			t.Fatalf("Parse(%q) = (%v, %v): want exactly one of query/error", input, q, err)
+		}
+		if q == nil {
+			return
+		}
+		if q.All == (!q.From.IsZero() || !q.To.IsZero()) && !q.All {
+			// Explicit windows must be populated and ordered.
+			if !q.To.After(q.From) {
+				t.Fatalf("Parse(%q) accepted empty window [%v, %v)", input, q.From, q.To)
+			}
+		}
+		switch q.Op {
+		case OpTopK:
+			if q.K <= 0 {
+				t.Fatalf("Parse(%q) accepted TOPK(%d)", input, q.K)
+			}
+		case OpHHH:
+			if q.Phi <= 0 || q.Phi > 1 {
+				t.Fatalf("Parse(%q) accepted HHH(%v)", input, q.Phi)
+			}
+		case OpQuery, OpDrilldown, OpAbove:
+		default:
+			t.Fatalf("Parse(%q) produced unknown op %v", input, q.Op)
+		}
+		for _, loc := range q.Locations {
+			if loc == "" {
+				t.Fatalf("Parse(%q) produced an empty location", input)
+			}
+		}
+	})
+}
+
 // TestParseValidCornerStatements exercises grammar corners that the main
 // tests do not: whitespace, quoting styles, and boundary values.
 func TestParseValidCornerStatements(t *testing.T) {

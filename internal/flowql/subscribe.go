@@ -1,0 +1,369 @@
+// Standing FlowQL queries: Subscribe registers a statement once and the
+// result is maintained incrementally by the flowdb view layer as epochs
+// land — no polling, no per-epoch re-merge. Each content-changing write
+// re-evaluates the operator against the maintained tree, runs the
+// configured alerts (threshold crossing, top-k change, baseline
+// deviation) and an optional analytics.Pipeline over the notification,
+// then delivers it on a bounded channel: PolicyBlock backpressures the
+// epoch writer, PolicyDrop keeps the writer real-time and counts what
+// the subscriber missed.
+package flowql
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"megadata/internal/analytics"
+	"megadata/internal/baseline"
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowtree"
+)
+
+// Policy selects what a full notification channel does to the epoch
+// writer driving the update.
+type Policy int
+
+const (
+	// PolicyBlock parks the writer until the subscriber drains — no
+	// update is ever lost, at the cost of backpressure on ingest.
+	PolicyBlock Policy = iota
+	// PolicyDrop discards the notification and counts it — ingest never
+	// stalls on a slow subscriber.
+	PolicyDrop
+)
+
+// SubConfig tunes a subscription. The zero value is a blocking
+// subscription with a 16-notification buffer, no alerts, exact results.
+type SubConfig struct {
+	// Depth bounds the notification channel (default 16).
+	Depth int
+	// Policy picks blocking or counted-drop delivery.
+	Policy Policy
+	// Window, when positive, overrides the statement's FROM clause with
+	// a trailing window of this width that slides with the data clock.
+	Window time.Duration
+	// Budget compresses the maintained view to a node budget (0 = exact).
+	Budget int
+	// Alerts are evaluated, in order, on every update.
+	Alerts []Alert
+	// Pipeline, when set, post-processes each notification: a stage
+	// returning ok=false suppresses delivery (counted as filtered), a
+	// stage error is counted and the notification dropped.
+	Pipeline *analytics.Pipeline
+}
+
+// Notification is one pushed update of a standing query.
+type Notification struct {
+	// Seq is the 1-based delivery sequence (post-filtering) on this
+	// subscription.
+	Seq uint64
+	// Version is the view version that produced the update.
+	Version uint64
+	// Result is the operator's answer over the maintained view.
+	Result *Result
+	// Alerts carries whatever the configured alert predicates fired.
+	Alerts []AlertEvent
+}
+
+// AlertEvent is one fired alert predicate.
+type AlertEvent struct {
+	Alert   string // the Alert's Name
+	Key     flow.Key
+	Message string
+}
+
+// Alert is a standing predicate re-evaluated on every view update.
+// Implementations may keep state across calls (the subscription
+// serializes evaluation); the tree argument is the live view — nil when
+// the view is empty — and must not be retained or mutated.
+type Alert interface {
+	Name() string
+	Eval(res *Result, tree *flowtree.Tree) []AlertEvent
+}
+
+// treeBytes reads the byte aggregate under key, tolerating empty views.
+func treeBytes(tree *flowtree.Tree, key flow.Key) uint64 {
+	if tree == nil {
+		return 0
+	}
+	return tree.Query(key).Bytes
+}
+
+// Threshold fires when the byte aggregate under Where crosses Bytes from
+// below — once per crossing, not once per update above it.
+type Threshold struct {
+	Where flow.Key
+	Bytes uint64
+
+	prev uint64
+}
+
+// Name implements Alert.
+func (t *Threshold) Name() string { return "threshold" }
+
+// Eval implements Alert.
+func (t *Threshold) Eval(_ *Result, tree *flowtree.Tree) []AlertEvent {
+	cur := treeBytes(tree, t.Where)
+	fired := t.prev < t.Bytes && cur >= t.Bytes
+	t.prev = cur
+	if !fired {
+		return nil
+	}
+	return []AlertEvent{{
+		Alert:   t.Name(),
+		Key:     t.Where,
+		Message: fmt.Sprintf("bytes %d crossed threshold %d", cur, t.Bytes),
+	}}
+}
+
+// TopKChange fires when the set of top-K keys (by bytes) changes between
+// updates — the dashboard "new heavy hitter" trigger. The first update
+// establishes the baseline set silently.
+type TopKChange struct {
+	K int
+
+	prev map[flow.Key]bool
+}
+
+// Name implements Alert.
+func (t *TopKChange) Name() string { return "topk-change" }
+
+// Eval implements Alert.
+func (t *TopKChange) Eval(_ *Result, tree *flowtree.Tree) []AlertEvent {
+	cur := make(map[flow.Key]bool, t.K)
+	if tree != nil {
+		for _, e := range tree.TopK(t.K) {
+			cur[e.Key] = true
+		}
+	}
+	prev := t.prev
+	t.prev = cur
+	if prev == nil {
+		return nil
+	}
+	var events []AlertEvent
+	for k := range cur {
+		if !prev[k] {
+			events = append(events, AlertEvent{
+				Alert:   t.Name(),
+				Key:     k,
+				Message: fmt.Sprintf("entered the top %d", t.K),
+			})
+		}
+	}
+	return events
+}
+
+// Deviation fires when one update's byte increment under Where exceeds
+// Factor times the historical mean increment — the baseline-deviation
+// anomaly trigger. History accumulates in a baseline.ExactStore; the
+// first Warmup updates only train it.
+type Deviation struct {
+	Where  flow.Key
+	Factor float64
+	Warmup int // minimum prior updates before firing (default 3)
+
+	hist *baseline.ExactStore
+	prev uint64
+	n    int
+}
+
+// Name implements Alert.
+func (d *Deviation) Name() string { return "deviation" }
+
+// Eval implements Alert.
+func (d *Deviation) Eval(_ *Result, tree *flowtree.Tree) []AlertEvent {
+	if d.hist == nil {
+		d.hist = baseline.New()
+	}
+	warmup := d.Warmup
+	if warmup <= 0 {
+		warmup = 3
+	}
+	cur := treeBytes(tree, d.Where)
+	var delta uint64
+	if cur > d.prev { // evictions can shrink the aggregate; clamp at zero
+		delta = cur - d.prev
+	}
+	d.prev = cur
+	var events []AlertEvent
+	if d.n >= warmup {
+		if mean := float64(d.hist.Total().Bytes) / float64(d.n); mean > 0 && float64(delta) > d.Factor*mean {
+			events = append(events, AlertEvent{
+				Alert:   d.Name(),
+				Key:     d.Where,
+				Message: fmt.Sprintf("increment %d exceeds %.1fx the mean %.0f", delta, d.Factor, mean),
+			})
+		}
+	}
+	d.hist.Add(flow.Record{Key: d.Where, Bytes: delta})
+	d.n++
+	return events
+}
+
+// Subscription is a standing FlowQL query. Updates arrive on Updates();
+// Close detaches it from the database.
+type Subscription struct {
+	q    *Query
+	view *flowdb.View
+	cfg  SubConfig
+	ch   chan *Notification
+	done chan struct{}
+	once sync.Once
+
+	mu  sync.Mutex // serializes evaluation and delivery
+	seq uint64
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	filtered  atomic.Uint64
+	evalErrs  atomic.Uint64
+	pipeErrs  atomic.Uint64
+}
+
+// SubStats counts a subscription's delivery outcomes.
+type SubStats struct {
+	Delivered uint64 // notifications handed to the channel
+	Dropped   uint64 // discarded by PolicyDrop on a full channel
+	Filtered  uint64 // suppressed by a pipeline stage returning ok=false
+	EvalErrs  uint64 // operator evaluation failures (e.g. DRILLDOWN on a folded node)
+	PipeErrs  uint64 // pipeline stage errors
+}
+
+// Subscribe parses a FlowQL statement and registers it as a standing
+// query against the database. FROM ALL subscribes to everything the DB
+// will ever hold (an open window that grows as epochs land); an explicit
+// FROM window is fixed; SubConfig.Window turns it into a trailing window
+// instead. The result is maintained incrementally — one delta merge per
+// epoch per subscription — and every content-changing write pushes a
+// Notification.
+func Subscribe(db *flowdb.DB, statement string, cfg SubConfig) (*Subscription, error) {
+	q, err := Parse(statement)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 16
+	}
+	s := &Subscription{
+		q:    q,
+		cfg:  cfg,
+		ch:   make(chan *Notification, cfg.Depth),
+		done: make(chan struct{}),
+	}
+	vq := flowdb.ViewQuery{Locations: q.Locations, Window: cfg.Window}
+	if cfg.Window == 0 && !q.All {
+		vq.From, vq.To = q.From, q.To
+	}
+	opts := []flowdb.ViewOption{flowdb.WithViewUpdateHook(s.onUpdate)}
+	if cfg.Budget > 0 {
+		opts = append(opts, flowdb.WithViewBudget(cfg.Budget))
+	}
+	v, err := db.Subscribe(vq, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.view = v
+	return s, nil
+}
+
+// Updates returns the notification channel. It is never closed — select
+// against Done() to observe shutdown.
+func (s *Subscription) Updates() <-chan *Notification { return s.ch }
+
+// Done is closed when the subscription closes.
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+// Query returns the parsed standing statement.
+func (s *Subscription) Query() *Query { return s.q }
+
+// View exposes the underlying materialized view (matches, window,
+// recompute counters).
+func (s *Subscription) View() *flowdb.View { return s.view }
+
+// Stats snapshots the delivery counters.
+func (s *Subscription) Stats() SubStats {
+	return SubStats{
+		Delivered: s.delivered.Load(),
+		Dropped:   s.dropped.Load(),
+		Filtered:  s.filtered.Load(),
+		EvalErrs:  s.evalErrs.Load(),
+		PipeErrs:  s.pipeErrs.Load(),
+	}
+}
+
+// Close detaches the subscription: the view unregisters, pending blocked
+// deliveries abort, and Done() closes. The Updates channel stays open
+// (and drains) so concurrent receivers never race a close.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		close(s.done)
+		s.view.Close()
+	})
+}
+
+// onUpdate is the view hook: evaluate the operator and alerts against
+// the maintained tree, post-process, deliver. Runs on the epoch writer's
+// goroutine; s.mu serializes concurrent writers so alert state and Seq
+// stay coherent.
+func (s *Subscription) onUpdate(v *flowdb.View) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	var n *Notification
+	err := v.Inspect(func(tree *flowtree.Tree, snap flowdb.ViewSnapshot) {
+		res, opErr := operate(s.q, tree, snap.Matches, snap.From, snap.To)
+		if opErr != nil {
+			s.evalErrs.Add(1)
+			return
+		}
+		n = &Notification{Version: snap.Version, Result: res}
+		for _, a := range s.cfg.Alerts {
+			n.Alerts = append(n.Alerts, a.Eval(res, tree)...)
+		}
+	})
+	if err != nil || n == nil {
+		if err != nil {
+			s.evalErrs.Add(1)
+		}
+		return
+	}
+	if s.cfg.Pipeline != nil {
+		out, ok, perr := s.cfg.Pipeline.Process(n)
+		if perr != nil {
+			s.pipeErrs.Add(1)
+			return
+		}
+		if !ok {
+			s.filtered.Add(1)
+			return
+		}
+		if nn, isNotif := out.(*Notification); isNotif {
+			n = nn
+		}
+	}
+	s.seq++
+	n.Seq = s.seq
+	switch s.cfg.Policy {
+	case PolicyDrop:
+		select {
+		case s.ch <- n:
+			s.delivered.Add(1)
+		default:
+			s.dropped.Add(1)
+		}
+	default:
+		select {
+		case s.ch <- n:
+			s.delivered.Add(1)
+		case <-s.done:
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package flowql
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"megadata/internal/analytics"
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowtree"
+)
+
+// subTree builds a one-record tree attributed to src with the given bytes.
+func subTree(t *testing.T, src string, bytes uint64) *flowtree.Tree {
+	t.Helper()
+	tr, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := flow.ParseIPv4(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := flow.ParseIPv4("192.168.1.5")
+	tr.Add(flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, ip, dst, 40000, 443),
+		Packets: bytes / 1000, Bytes: bytes,
+	})
+	return tr
+}
+
+// drain pops one notification or fails: deliveries are synchronous with
+// the write, so anything owed is already buffered.
+func drain(t *testing.T, s *Subscription) *Notification {
+	t.Helper()
+	select {
+	case n := <-s.Updates():
+		return n
+	default:
+		t.Fatal("no notification pending")
+		return nil
+	}
+}
+
+// TestSubscribeTracksFreshExecute pins the subscription contract: after
+// every epoch, the pushed Result equals a fresh parse-and-execute of the
+// same statement against the same DB.
+func TestSubscribeTracksFreshExecute(t *testing.T) {
+	for _, stmt := range []string{
+		`SELECT QUERY FROM ALL`,
+		`SELECT TOPK(3) FROM ALL`,
+		`SELECT QUERY AT berlin FROM ALL WHERE src = 10.1.0.0/16`,
+	} {
+		db := flowdb.New()
+		s, err := Subscribe(db, stmt, SubConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for epoch := 0; epoch < 5; epoch++ {
+			start := t0.Add(time.Duration(epoch) * time.Hour)
+			batch := []flowdb.Row{
+				{Location: "berlin", Start: start, Width: time.Hour, Tree: subTree(t, "10.1.0.1", 1000*uint64(epoch+1))},
+				{Location: "paris", Start: start, Width: time.Hour, Tree: subTree(t, "10.2.0.1", 500)},
+			}
+			if err := db.InsertBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			n := drain(t, s)
+			want, err := Run(db, stmt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n.Result.Counters != want.Counters {
+				t.Fatalf("%s epoch %d: pushed %+v, fresh %+v", stmt, epoch, n.Result.Counters, want.Counters)
+			}
+			if n.Result.Merged != want.Merged {
+				t.Fatalf("%s epoch %d: merged %d, fresh %d", stmt, epoch, n.Result.Merged, want.Merged)
+			}
+			if len(n.Result.Entries) != len(want.Entries) {
+				t.Fatalf("%s epoch %d: %d entries, fresh %d", stmt, epoch, len(n.Result.Entries), len(want.Entries))
+			}
+			for i := range n.Result.Entries {
+				if n.Result.Entries[i] != want.Entries[i] {
+					t.Fatalf("%s epoch %d entry %d: %+v vs %+v", stmt, epoch, i, n.Result.Entries[i], want.Entries[i])
+				}
+			}
+			if n.Seq != uint64(epoch+1) {
+				t.Fatalf("%s epoch %d: seq=%d", stmt, epoch, n.Seq)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestSubscribeFiltersWrites pins that writes outside the standing
+// query's (locations, window) produce no notification at all.
+func TestSubscribeFiltersWrites(t *testing.T) {
+	db := flowdb.New()
+	s, err := Subscribe(db, fmt.Sprintf(`SELECT QUERY AT berlin FROM %q TO %q`,
+		t0.Format(time.RFC3339), t0.Add(2*time.Hour).Format(time.RFC3339)), SubConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Wrong location, then outside the window: no notifications.
+	if err := db.Insert(flowdb.Row{Location: "paris", Start: t0, Width: time.Hour, Tree: subTree(t, "10.2.0.1", 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(flowdb.Row{Location: "berlin", Start: t0.Add(3 * time.Hour), Width: time.Hour, Tree: subTree(t, "10.1.0.1", 100)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-s.Updates():
+		t.Fatalf("unexpected notification %+v", n)
+	default:
+	}
+	if err := db.Insert(flowdb.Row{Location: "berlin", Start: t0, Width: time.Hour, Tree: subTree(t, "10.1.0.1", 7777)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := drain(t, s); n.Result.Counters.Bytes != 7777 {
+		t.Fatalf("pushed bytes=%d, want 7777", n.Result.Counters.Bytes)
+	}
+}
+
+// TestSubscribeThresholdAlert pins crossing semantics: fires when the
+// aggregate crosses from below, stays silent while it remains above.
+func TestSubscribeThresholdAlert(t *testing.T) {
+	db := flowdb.New()
+	s, err := Subscribe(db, `SELECT QUERY FROM ALL`, SubConfig{
+		Alerts: []Alert{&Threshold{Where: flow.Root(), Bytes: 2500}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var fired int
+	for epoch, bytes := range []uint64{1000, 1000, 1000, 1000} { // cumulative: 1000..4000, crosses at epoch 2
+		err := db.Insert(flowdb.Row{Location: "x", Start: t0.Add(time.Duration(epoch) * time.Hour), Width: time.Hour, Tree: subTree(t, "10.0.0.1", bytes)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := drain(t, s)
+		for _, a := range n.Alerts {
+			if a.Alert != "threshold" {
+				t.Fatalf("unexpected alert %+v", a)
+			}
+			fired++
+			if n.Seq != 3 {
+				t.Fatalf("threshold fired at seq %d, want 3 (cumulative 3000 crosses 2500)", n.Seq)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("threshold fired %d times, want exactly 1 crossing", fired)
+	}
+}
+
+// TestSubscribeTopKChangeAlert pins the new-heavy-hitter trigger: silent
+// while the top set is stable, fires when a new key enters it.
+func TestSubscribeTopKChangeAlert(t *testing.T) {
+	db := flowdb.New()
+	s, err := Subscribe(db, `SELECT QUERY FROM ALL`, SubConfig{
+		Alerts: []Alert{&TopKChange{K: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Epochs 0-2: 10.0.0.1 dominates. Epoch 3: 10.9.9.9 floods past it.
+	for epoch, r := range []struct {
+		src   string
+		bytes uint64
+	}{{"10.0.0.1", 5000}, {"10.0.0.1", 5000}, {"10.9.9.9", 100}, {"10.9.9.9", 50000}} {
+		err := db.Insert(flowdb.Row{Location: "x", Start: t0.Add(time.Duration(epoch) * time.Hour), Width: time.Hour, Tree: subTree(t, r.src, r.bytes)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := drain(t, s)
+		switch epoch {
+		case 3:
+			if len(n.Alerts) != 1 || n.Alerts[0].Alert != "topk-change" {
+				t.Fatalf("epoch 3 alerts = %+v, want one topk-change", n.Alerts)
+			}
+			if got := n.Alerts[0].Key.SrcIP.String(); got != "10.9.9.9" {
+				t.Fatalf("flooding key = %s", got)
+			}
+		default:
+			if len(n.Alerts) != 0 {
+				t.Fatalf("epoch %d fired %+v on a stable top set", epoch, n.Alerts)
+			}
+		}
+	}
+}
+
+// TestSubscribeDeviationAlert pins the baseline-deviation trigger: steady
+// increments train the baseline silently; a spike several times the mean
+// fires.
+func TestSubscribeDeviationAlert(t *testing.T) {
+	db := flowdb.New()
+	s, err := Subscribe(db, `SELECT QUERY FROM ALL`, SubConfig{
+		Alerts: []Alert{&Deviation{Where: flow.Root(), Factor: 3, Warmup: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	increments := []uint64{1000, 1100, 900, 1000, 10000} // spike at epoch 4: 10x the ~1000 mean
+	for epoch, bytes := range increments {
+		err := db.Insert(flowdb.Row{Location: "x", Start: t0.Add(time.Duration(epoch) * time.Hour), Width: time.Hour, Tree: subTree(t, "10.0.0.1", bytes)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := drain(t, s)
+		if epoch < 4 && len(n.Alerts) != 0 {
+			t.Fatalf("epoch %d fired %+v during warmup/steady state", epoch, n.Alerts)
+		}
+		if epoch == 4 && (len(n.Alerts) != 1 || n.Alerts[0].Alert != "deviation") {
+			t.Fatalf("spike epoch alerts = %+v, want one deviation", n.Alerts)
+		}
+	}
+}
+
+// TestSubscribeDropPolicy pins the bounded channel: a full channel under
+// PolicyDrop discards and counts instead of stalling the writer.
+func TestSubscribeDropPolicy(t *testing.T) {
+	db := flowdb.New()
+	s, err := Subscribe(db, `SELECT QUERY FROM ALL`, SubConfig{Depth: 1, Policy: PolicyDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for epoch := 0; epoch < 5; epoch++ {
+		err := db.Insert(flowdb.Row{Location: "x", Start: t0.Add(time.Duration(epoch) * time.Hour), Width: time.Hour, Tree: subTree(t, "10.0.0.1", 100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Delivered != 1 || st.Dropped != 4 {
+		t.Fatalf("stats %+v, want 1 delivered / 4 dropped", st)
+	}
+	// The one buffered notification is the first update, seq 1.
+	if n := drain(t, s); n.Seq != 1 {
+		t.Fatalf("buffered seq=%d, want 1", n.Seq)
+	}
+	// Space again: the next update is delivered (seq keeps counting).
+	err = db.Insert(flowdb.Row{Location: "x", Start: t0.Add(6 * time.Hour), Width: time.Hour, Tree: subTree(t, "10.0.0.1", 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := drain(t, s); n.Seq != 6 {
+		t.Fatalf("post-drain seq=%d, want 6", n.Seq)
+	}
+}
+
+// TestSubscribePipeline pins the analytics hook: stages see every
+// notification, can enrich it, and a filter stage suppresses delivery
+// (counted, not delivered).
+func TestSubscribePipeline(t *testing.T) {
+	pipe, err := analytics.NewPipeline("big-epochs-only",
+		analytics.Filter(func(item any) bool {
+			return item.(*Notification).Result.Counters.Bytes >= 1000
+		}),
+		analytics.Apply(func(item any) {
+			n := item.(*Notification)
+			n.Alerts = append(n.Alerts, AlertEvent{Alert: "pipeline", Message: "inspected"})
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := flowdb.New()
+	s, err := Subscribe(db, `SELECT QUERY FROM ALL`, SubConfig{Pipeline: pipe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := db.Insert(flowdb.Row{Location: "x", Start: t0, Width: time.Hour, Tree: subTree(t, "10.0.0.1", 400)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-s.Updates():
+		t.Fatalf("filtered notification delivered: %+v", n)
+	default:
+	}
+	if err := db.Insert(flowdb.Row{Location: "x", Start: t0.Add(time.Hour), Width: time.Hour, Tree: subTree(t, "10.0.0.1", 800)}); err != nil {
+		t.Fatal(err)
+	}
+	n := drain(t, s) // cumulative 1200 passes the filter
+	if len(n.Alerts) != 1 || n.Alerts[0].Alert != "pipeline" {
+		t.Fatalf("pipeline enrichment missing: %+v", n.Alerts)
+	}
+	if st := s.Stats(); st.Filtered != 1 || st.Delivered != 1 {
+		t.Fatalf("stats %+v, want 1 filtered / 1 delivered", st)
+	}
+}
+
+// TestSubscribeTrailingWindow pins the SubConfig.Window override: the
+// view slides with the data clock and the pushed result covers only the
+// trailing window.
+func TestSubscribeTrailingWindow(t *testing.T) {
+	db := flowdb.New()
+	s, err := Subscribe(db, `SELECT QUERY FROM ALL`, SubConfig{Window: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for epoch := 0; epoch < 6; epoch++ {
+		err := db.Insert(flowdb.Row{Location: "x", Start: t0.Add(time.Duration(epoch) * time.Hour), Width: time.Hour, Tree: subTree(t, "10.0.0.1", 1<<uint(epoch))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := drain(t, s)
+		// A 2h window over 1h epochs holds the last two rows.
+		var want uint64
+		if epoch > 0 {
+			want = 1 << uint(epoch-1)
+		}
+		want += 1 << uint(epoch)
+		if n.Result.Counters.Bytes != want {
+			t.Fatalf("epoch %d: trailing bytes=%d, want %d", epoch, n.Result.Counters.Bytes, want)
+		}
+		if n.Result.Merged > 2 {
+			t.Fatalf("epoch %d: merged %d rows into a 2-epoch window", epoch, n.Result.Merged)
+		}
+	}
+}
+
+// TestSubscribeEvalErrors pins the failure counter: a standing DRILLDOWN
+// whose node never exists fails evaluation on every update and delivers
+// nothing.
+func TestSubscribeEvalErrors(t *testing.T) {
+	db := flowdb.New()
+	s, err := Subscribe(db, `SELECT DRILLDOWN FROM ALL WHERE src = 99.99.0.0/16`, SubConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := db.Insert(flowdb.Row{Location: "x", Start: t0, Width: time.Hour, Tree: subTree(t, "10.0.0.1", 100)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-s.Updates():
+		t.Fatalf("errored evaluation delivered %+v", n)
+	default:
+	}
+	if st := s.Stats(); st.EvalErrs != 1 {
+		t.Fatalf("stats %+v, want 1 eval error", st)
+	}
+}
+
+// TestSubscribeClose pins shutdown: Done closes, the view detaches, and
+// later writes notify nothing.
+func TestSubscribeClose(t *testing.T) {
+	db := flowdb.New()
+	s, err := Subscribe(db, `SELECT QUERY FROM ALL`, SubConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Views() != 1 {
+		t.Fatalf("Views=%d, want 1", db.Views())
+	}
+	s.Close()
+	s.Close() // idempotent
+	select {
+	case <-s.Done():
+	default:
+		t.Fatal("Done not closed")
+	}
+	if db.Views() != 0 {
+		t.Fatalf("Views=%d after Close, want 0", db.Views())
+	}
+	if err := db.Insert(flowdb.Row{Location: "x", Start: t0, Width: time.Hour, Tree: subTree(t, "10.0.0.1", 100)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-s.Updates():
+		t.Fatalf("closed subscription notified: %+v", n)
+	default:
+	}
+}
+
+// TestSubscribeBadStatement propagates parse errors.
+func TestSubscribeBadStatement(t *testing.T) {
+	db := flowdb.New()
+	if _, err := Subscribe(db, `SELECT NOPE FROM ALL`, SubConfig{}); err == nil {
+		t.Fatal("bad statement accepted")
+	}
+	var se *SyntaxError
+	if _, err := Subscribe(db, ``, SubConfig{}); !errors.As(err, &se) {
+		t.Fatal("empty statement must be a syntax error")
+	}
+}
+
+// TestFilterEntriesEdges covers the restriction helper's boundary cases:
+// limit 0 (no truncation), limit beyond the match count, and wildcard
+// WHERE keys that generalize everything.
+func TestFilterEntriesEdges(t *testing.T) {
+	mkKey := func(src string) flow.Key {
+		ip, err := flow.ParseIPv4(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, _ := flow.ParseIPv4("192.168.1.5")
+		return flow.Exact(flow.ProtoTCP, ip, dst, 40000, 443)
+	}
+	entries := []flowtree.Entry{
+		{Key: mkKey("10.1.0.1"), Counters: flow.Counters{Bytes: 3}},
+		{Key: mkKey("10.1.0.2"), Counters: flow.Counters{Bytes: 2}},
+		{Key: mkKey("10.2.0.1"), Counters: flow.Counters{Bytes: 1}},
+	}
+	root := flow.Root() // fully wildcard key
+	if got := filterEntries(entries, root, 0); len(got) != 3 {
+		t.Errorf("wildcard limit 0: %d entries, want all 3", len(got))
+	}
+	if got := filterEntries(entries, root, 99); len(got) != 3 {
+		t.Errorf("wildcard limit > matches: %d entries, want 3", len(got))
+	}
+	if got := filterEntries(entries, root, 2); len(got) != 2 {
+		t.Errorf("wildcard limit 2: %d entries", len(got))
+	}
+	narrow, err := Parse(`SELECT QUERY FROM ALL WHERE src = 10.1.0.0/16`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := filterEntries(entries, narrow.Where, 0); len(got) != 2 {
+		t.Errorf("narrow limit 0: %d entries, want 2", len(got))
+	}
+	if got := filterEntries(entries, narrow.Where, 99); len(got) != 2 {
+		t.Errorf("narrow limit > matches: %d entries, want 2", len(got))
+	}
+	if got := filterEntries(entries, narrow.Where, 1); len(got) != 1 || got[0].Counters.Bytes != 3 {
+		t.Errorf("narrow limit 1: %+v", got)
+	}
+	if got := filterEntries(nil, root, 0); len(got) != 0 {
+		t.Errorf("nil entries: %+v", got)
+	}
+}

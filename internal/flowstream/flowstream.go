@@ -937,6 +937,15 @@ func (s *System) Query(statement string) (*flowql.Result, error) {
 	return flowql.Run(s.DB, statement)
 }
 
+// Subscribe registers a standing FlowQL query against the central FlowDB:
+// the result is maintained incrementally as epochs land (one delta merge
+// per EndEpoch per subscription, instead of a re-merge per poll) and each
+// content-changing epoch pushes a Notification with the re-evaluated
+// operator and any fired alerts. Close the subscription to detach it.
+func (s *System) Subscribe(statement string, cfg flowql.SubConfig) (*flowql.Subscription, error) {
+	return flowql.Subscribe(s.DB, statement, cfg)
+}
+
 // WANBytes reports the bytes shipped to the central site so far.
 func (s *System) WANBytes() uint64 {
 	return s.Net.TotalStats().Bytes

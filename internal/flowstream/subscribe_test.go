@@ -1,0 +1,122 @@
+package flowstream
+
+import (
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowql"
+	"megadata/internal/workload"
+)
+
+// TestSubscribeFollowsEpochs wires a standing FlowQL query through the
+// full Figure 5 path: subscribe before any data lands, then seal three
+// epochs and check every pushed notification equals a fresh query over
+// the central FlowDB at that instant — while the view recomputes only
+// once (the empty initial build), proving epoch landings fold in
+// incrementally instead of re-merging.
+func TestSubscribeFollowsEpochs(t *testing.T) {
+	sys, err := New(Config{Sites: []string{"berlin", "paris"}, Epoch: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := sys.Subscribe(`SELECT QUERY FROM ALL`, flowql.SubConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	var total flow.Counters
+	for epoch := 0; epoch < 3; epoch++ {
+		for i, site := range []string{"berlin", "paris"} {
+			g, err := workload.NewFlowGen(workload.FlowConfig{Seed: int64(epoch*10 + i + 1), Skew: 1.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := g.Records(500)
+			for _, r := range recs {
+				total.Add(flow.CountersOf(r))
+			}
+			if err := sys.Ingest(site, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		// EndEpoch lands both sites in one InsertBatch, so exactly one
+		// notification per epoch, delivered before EndEpoch returns.
+		select {
+		case n := <-sub.Updates():
+			if n.Seq != uint64(epoch+1) {
+				t.Errorf("epoch %d: seq %d", epoch, n.Seq)
+			}
+			if n.Result.Counters != total {
+				t.Errorf("epoch %d: pushed %+v, want %+v", epoch, n.Result.Counters, total)
+			}
+			fresh, err := sys.Query(`SELECT QUERY FROM ALL`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n.Result.Counters != fresh.Counters {
+				t.Errorf("epoch %d: pushed %+v != fresh %+v", epoch, n.Result.Counters, fresh.Counters)
+			}
+		default:
+			t.Fatalf("epoch %d: no notification", epoch)
+		}
+	}
+	if rc := sub.View().Recomputes(); rc != 1 {
+		t.Errorf("view recomputed %d times, want 1 (initial build only)", rc)
+	}
+	if st := sub.Stats(); st.Delivered != 3 || st.Dropped != 0 {
+		t.Errorf("stats %+v, want 3 delivered / 0 dropped", st)
+	}
+}
+
+// TestSubscribeSiteFilterAndAlert pins the per-site restriction and alert
+// wiring through the system wrapper: a berlin-only subscription ignores
+// paris epochs, and a threshold alert fires when berlin's volume crosses.
+func TestSubscribeSiteFilterAndAlert(t *testing.T) {
+	sys, err := New(Config{Sites: []string{"berlin", "paris"}, Epoch: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := sys.Subscribe(`SELECT QUERY AT berlin FROM ALL`, flowql.SubConfig{
+		Alerts: []flowql.Alert{&flowql.Threshold{Where: flow.Root(), Bytes: 2500}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	rec := func(bytes uint64) []flow.Record {
+		return []flow.Record{{
+			Key:     flow.Exact(flow.ProtoTCP, 0x0A000001, 0xC0A80101, 40000, 443),
+			Packets: 1, Bytes: bytes,
+		}}
+	}
+	fired := 0
+	for epoch := 0; epoch < 3; epoch++ {
+		if err := sys.Ingest("berlin", rec(1000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Ingest("paris", rec(50000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case n := <-sub.Updates():
+			want := uint64(1000 * (epoch + 1))
+			if n.Result.Counters.Bytes != want {
+				t.Errorf("epoch %d: berlin bytes %d, want %d (paris leaked in?)", epoch, n.Result.Counters.Bytes, want)
+			}
+			fired += len(n.Alerts)
+		default:
+			t.Fatalf("epoch %d: no notification", epoch)
+		}
+	}
+	// 1000 -> 2000 -> 3000: one crossing of 2500, at the third epoch.
+	if fired != 1 {
+		t.Errorf("threshold fired %d times, want 1", fired)
+	}
+}
