@@ -1,14 +1,15 @@
 # Tier-1 verify is `make check` (build + vet + test); `make test-race`
-# additionally runs the concurrent ingest, streaming-source, epoch-export,
-# hierarchy-rollup, federation and durable-storage paths under the race
-# detector. `make bench` runs the hot-path benchmarks (Flowtree compression +
+# additionally runs the concurrent ingest, streaming-source, network
+# serving, epoch-export, hierarchy-rollup, federation and durable-storage
+# paths under the race detector. `make bench` runs the hot-path benchmarks (Flowtree compression +
 # sharded ingest + streaming source + pipelined epoch export + multi-level
 # federation); `make bench-compare` re-measures compression throughput,
 # epoch-export turnaround, query selection, streaming ingest, federation
-# turnaround, WAL'd-ingest overhead and standing-view maintenance and fails
-# on a regression against the checked-in BENCH_compress.json /
-# BENCH_epoch.json / BENCH_query.json / BENCH_stream.json / BENCH_fed.json /
-# BENCH_durable.json / BENCH_subscribe.json baselines (wall-clock
+# turnaround, WAL'd-ingest overhead, standing-view maintenance and the
+# network serving layer and fails on a regression against the checked-in
+# BENCH_compress.json / BENCH_epoch.json / BENCH_query.json /
+# BENCH_stream.json / BENCH_fed.json / BENCH_durable.json /
+# BENCH_subscribe.json / BENCH_serve.json baselines (wall-clock
 # experiments get the wider tolerance; the compress and stream gates also
 # hold allocs/op and bytes/op flat, and the subscribe gate hard-fails below
 # 10x over polling). `make fuzz-smoke` gives the record, tree-wire,
@@ -42,7 +43,7 @@ test:
 # real concurrency; the root package carries the integration tests.
 test-race:
 	$(GO) test -race ./internal/datastore/ ./internal/flowstream/ \
-		./internal/flowsource/ ./internal/storage/ \
+		./internal/flowsource/ ./internal/flowserve/ ./internal/storage/ \
 		./internal/storage/disk/ ./internal/storage/diskio/ \
 		./internal/flowdb/ ./internal/flowql/ \
 		./internal/flowtree/ ./internal/primitive/ \
@@ -78,6 +79,7 @@ bench-baseline:
 	$(GO) run ./cmd/benchreport -exp fed -out BENCH_fed.json
 	$(GO) run ./cmd/benchreport -exp durable -out BENCH_durable.json
 	$(GO) run ./cmd/benchreport -exp subscribe -out BENCH_subscribe.json
+	$(GO) run ./cmd/benchreport -exp serve -out BENCH_serve.json
 
 # Guard the perf trajectory: fail when compression throughput, pipelined
 # epoch-export turnaround, segmented-select query throughput, streaming
@@ -92,7 +94,9 @@ bench-baseline:
 # the subscribe experiment hard-fails whenever incremental standing views
 # fall below 10x of cold-Select polling at 8 views — that within-run ratio
 # is the primary gate, so its baseline compare runs at a wider tolerance
-# meant to catch collapse rather than runner jitter.
+# meant to catch collapse rather than runner jitter. The serve experiment
+# likewise hard-fails whenever loopback-socket ingest falls below 25% of
+# in-process ingest within the same run.
 bench-compare:
 	$(GO) run ./cmd/benchreport -exp compress -compare BENCH_compress.json
 	$(GO) run ./cmd/benchreport -exp epoch -compare BENCH_epoch.json -tol 0.30
@@ -101,6 +105,7 @@ bench-compare:
 	$(GO) run ./cmd/benchreport -exp fed -compare BENCH_fed.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp durable -compare BENCH_durable.json -tol 0.30
 	$(GO) run ./cmd/benchreport -exp subscribe -compare BENCH_subscribe.json -tol 0.50
+	$(GO) run ./cmd/benchreport -exp serve -compare BENCH_serve.json -tol 0.50
 
 # Short corpus-guided fuzz runs of the attacker-facing wire decoders: the
 # flowsource record/frame codec, the Flowtree wire (v1/v2) decoder, the

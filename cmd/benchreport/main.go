@@ -64,7 +64,7 @@ import (
 var errDrift = errors.New("baseline configuration drift")
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, query, stream, fed, durable, subscribe, table1, all")
+	exp := flag.String("exp", "all", "experiment to run: e3, e4, e6, e10, ingest, compress, epoch, query, stream, fed, durable, subscribe, serve, table1, all")
 	out := flag.String("out", "", "compress/epoch/query: write the measured baseline JSON to this path")
 	compare := flag.String("compare", "", "compress/epoch/query: compare against this baseline JSON and fail on regression")
 	tol := flag.Float64("tol", 0.10, "compress/epoch/query: tolerated fractional throughput regression for -compare")
@@ -82,6 +82,7 @@ func main() {
 		"fed":       func() error { return reportFed(*out, *compare, *tol) },
 		"durable":   func() error { return reportDurable(*out, *compare, *tol) },
 		"subscribe": func() error { return reportSubscribe(*out, *compare, *tol) },
+		"serve":     func() error { return reportServe(*out, *compare, *tol) },
 		"table1":    reportTable1,
 	}
 	fail := func(err error) {

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"megadata/internal/flowserve"
+	"megadata/internal/flowsource"
+	"megadata/internal/flowstream"
+	"megadata/internal/workload"
+)
+
+// serveBaseline is the JSON schema of BENCH_serve.json: the serving
+// layer's two legs — framed-record ingest over a loopback socket vs the
+// same bytes consumed in-process, and FlowQL queries over HTTP.
+type serveBaseline struct {
+	Experiment string  `json:"experiment"`
+	Records    int     `json:"records"`
+	Queries    int     `json:"queries"`
+	Clients    int     `json:"clients"`
+	SocketRPS  float64 `json:"socket_records_per_sec"`
+	InprocRPS  float64 `json:"inproc_records_per_sec"`
+	NetRatio   float64 `json:"net_ratio"`
+	QueryQPS   float64 `json:"query_qps"`
+}
+
+// reportServe measures what the network face costs: the same pre-rendered
+// framed epoch is decoded once through a loopback TCP connection into the
+// ingest listener and once via in-process ConsumeStream, records/sec each
+// (median of five). Their ratio is the within-run gate — loopback ingest
+// must hold at least 25% of in-process throughput, a floor that compares
+// the two paths on the same runner so machine speed cancels out. The
+// query leg serves one epoch of data and hammers POST /query from
+// concurrent keep-alive clients (the memo-hit path a dashboard fleet
+// exercises), reporting queries/sec. With -out the numbers become the
+// BENCH_serve.json baseline; with -compare a socket-ingest or query-QPS
+// regression beyond tol fails the run and configuration drift exits 2.
+func reportServe(outPath, comparePath string, tol float64) error {
+	const records = 200000
+	const queries = 1500
+	const clients = 6
+	fmt.Printf("## Serve — network ingest + FlowQL-over-HTTP throughput (GOMAXPROCS=%d, %d records)\n\n",
+		runtime.GOMAXPROCS(0), records)
+
+	t0 := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	render := func() ([]byte, error) {
+		gen, err := flowsource.NewGenerator(flowsource.GenConfig{
+			Workload: workload.FlowConfig{Seed: 7, Start: t0},
+			Records:  records,
+			Epoch:    time.Minute,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if _, err := gen.WriteEpoch(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	wire, err := render()
+	if err != nil {
+		return err
+	}
+	newSys := func() (*flowstream.System, error) {
+		return flowstream.New(flowstream.Config{
+			Sites:      []string{"west"},
+			TreeBudget: 4096,
+			Epoch:      time.Minute,
+			Start:      t0,
+			Source:     &flowsource.Config{},
+		})
+	}
+
+	// Socket leg: dial the ingest listener, stream the rendered epoch,
+	// and clock until the source has drained every record into the store.
+	socket := func() (float64, error) {
+		sys, err := newSys()
+		if err != nil {
+			return 0, err
+		}
+		srv, err := sys.Serve(flowstream.ServeConfig{})
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Close()
+		conn, err := net.Dial("tcp", srv.IngestAddr().String())
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if err := flowserve.WritePreamble(conn, "west"); err != nil {
+			return 0, err
+		}
+		if _, err := conn.Write(wire); err != nil {
+			return 0, err
+		}
+		conn.Close()
+		for srv.IngestStats().Active > 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		if err := sys.DrainSource(); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start).Seconds()
+		if got := sys.SourceStats().Delivered; got != records {
+			return 0, fmt.Errorf("socket leg delivered %d of %d records", got, records)
+		}
+		return float64(records) / elapsed, nil
+	}
+
+	// In-process leg: the same bytes through ConsumeStream, no socket.
+	inproc := func() (float64, error) {
+		sys, err := newSys()
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if err := sys.ConsumeStream("west", bytes.NewReader(wire)); err != nil {
+			return 0, err
+		}
+		if err := sys.DrainSource(); err != nil {
+			return 0, err
+		}
+		return float64(records) / time.Since(start).Seconds(), nil
+	}
+
+	// Query leg: one sealed epoch behind the HTTP front end, concurrent
+	// keep-alive clients asking the same question — the memo-hit path.
+	query := func() (float64, error) {
+		sys, err := newSys()
+		if err != nil {
+			return 0, err
+		}
+		srv, err := sys.Serve(flowstream.ServeConfig{RatePerSec: 1e9})
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Close()
+		if err := sys.ConsumeStream("west", bytes.NewReader(wire)); err != nil {
+			return 0, err
+		}
+		if err := srv.EndEpoch(); err != nil {
+			return 0, err
+		}
+		url := "http://" + srv.QueryAddr().String() + "/query"
+		const stmt = `SELECT TOPK(10) AT west FROM ALL`
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				client := &http.Client{}
+				for i := 0; i < queries/clients; i++ {
+					resp, err := client.Post(url, "text/plain", strings.NewReader(stmt))
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs[c] = fmt.Errorf("status %d", resp.StatusCode)
+						resp.Body.Close()
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		for c, err := range errs {
+			if err != nil {
+				return 0, fmt.Errorf("query client %d: %w", c, err)
+			}
+		}
+		return float64(clients*(queries/clients)) / elapsed, nil
+	}
+
+	const reps = 5
+	sockRuns := make([]float64, 0, reps)
+	inRuns := make([]float64, 0, reps)
+	qpsRuns := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		v, err := socket()
+		if err != nil {
+			return err
+		}
+		sockRuns = append(sockRuns, v)
+		v, err = inproc()
+		if err != nil {
+			return err
+		}
+		inRuns = append(inRuns, v)
+		v, err = query()
+		if err != nil {
+			return err
+		}
+		qpsRuns = append(qpsRuns, v)
+	}
+	sockMed, inMed, qpsMed := median(sockRuns), median(inRuns), median(qpsRuns)
+	ratio := sockMed / inMed
+	fmt.Println("| leg | throughput |")
+	fmt.Println("|---|---|")
+	fmt.Printf("| ingest, loopback socket | %.0f records/s |\n", sockMed)
+	fmt.Printf("| ingest, in-process | %.0f records/s (socket holds %.0f%%) |\n", inMed, ratio*100)
+	fmt.Printf("| POST /query, %d clients | %.0f queries/s |\n", clients, qpsMed)
+
+	fresh := serveBaseline{
+		Experiment: "serve", Records: records, Queries: queries, Clients: clients,
+		SocketRPS: sockMed, InprocRPS: inMed, NetRatio: ratio, QueryQPS: qpsMed,
+	}
+	if outPath != "" {
+		buf, err := json.MarshalIndent(fresh, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbaseline written to %s\n", outPath)
+	}
+	if comparePath != "" {
+		if err := compareServe(fresh, comparePath, tol); err != nil {
+			return err
+		}
+	}
+	if ratio < 0.25 {
+		return fmt.Errorf("loopback ingest fell to %.0f%% of in-process throughput (floor 25%%)", ratio*100)
+	}
+	return nil
+}
+
+// compareServe diffs fresh serving throughput against a stored baseline:
+// regressions beyond tol on the socket-ingest or query leg fail, and any
+// configuration drift exits 2 so CI can distinguish it from runner noise.
+func compareServe(fresh serveBaseline, comparePath string, tol float64) error {
+	buf, err := os.ReadFile(comparePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var stored serveBaseline
+	if err := json.Unmarshal(buf, &stored); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", comparePath, err)
+	}
+	if stored.Records != fresh.Records || stored.Queries != fresh.Queries || stored.Clients != fresh.Clients {
+		return fmt.Errorf("%w: baseline %s measured %d records / %d queries x %d clients, this run %d / %d x %d — regenerate the baseline",
+			errDrift, comparePath, stored.Records, stored.Queries, stored.Clients,
+			fresh.Records, fresh.Queries, fresh.Clients)
+	}
+	fmt.Printf("\ncomparison vs %s (tolerance %.0f%%):\n", comparePath, tol*100)
+	var regressed bool
+	check := func(leg string, got, want float64) {
+		ratio := got / want
+		verdict := "ok"
+		if ratio < 1-tol {
+			verdict = "REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("  %s: %.0f vs %.0f (%.2fx) %s\n", leg, got, want, ratio, verdict)
+	}
+	check("socket ingest records/s", fresh.SocketRPS, stored.SocketRPS)
+	check("query qps", fresh.QueryQPS, stored.QueryQPS)
+	if regressed {
+		return errors.New("serving-layer throughput gate failed against " + comparePath)
+	}
+	return nil
+}

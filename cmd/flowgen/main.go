@@ -1,0 +1,124 @@
+// Command flowgen is the socket-speaking load generator for the
+// flowserve ingest listener: one TCP connection per site, each announcing
+// its site on the preamble line and then streaming deterministic framed
+// synthetic traffic (the same workload generator cmd/flowstream -stream
+// replays in-process).
+//
+//	flowgen -addr 127.0.0.1:7413 -sites west,east -records 10000 -epochs 5
+//
+// Per-site traffic is seeded with -seed plus the site's index, so two
+// flowgen runs with the same flags produce byte-identical streams — the
+// property the serving-layer integration test leans on to compare the
+// networked pipeline against an in-process one.
+//
+// -interval inserts a wall-clock pause between epochs (0 streams at line
+// rate); -garbage prefixes each site's stream with that many junk bytes,
+// exercising the server's frame resynchronization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"megadata/internal/flowserve"
+	"megadata/internal/flowsource"
+	"megadata/internal/workload"
+)
+
+// countWriter tallies bytes on their way to the socket.
+type countWriter struct {
+	w net.Conn
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7413", "ingest listener address")
+	sites := flag.String("sites", "west,east", "comma-separated site names, one connection each")
+	records := flag.Int("records", 10000, "records per epoch per site")
+	epochs := flag.Int("epochs", 5, "epochs to stream")
+	epoch := flag.Duration("epoch", time.Minute, "epoch span record stamps pace across")
+	seed := flag.Int64("seed", 1, "workload seed (site i uses seed+i)")
+	interval := flag.Duration("interval", 0, "wall-clock pause between epochs (0 = line rate)")
+	garbage := flag.Int("garbage", 0, "junk bytes to inject before each site's frames")
+	flag.Parse()
+
+	names := strings.Split(*sites, ",")
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failed := false
+	for i, site := range names {
+		site = strings.TrimSpace(site)
+		if site == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, site string) {
+			defer wg.Done()
+			sent, bytes, err := stream(*addr, site, *seed+int64(i), *records, *epochs, *epoch, *interval, *garbage)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed = true
+				fmt.Fprintf(os.Stderr, "flowgen: %s: %v (after %d records)\n", site, err, sent)
+				return
+			}
+			fmt.Printf("%-12s %d records, %d bytes\n", site, sent, bytes)
+		}(i, site)
+	}
+	wg.Wait()
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// stream feeds one site's connection: preamble, optional garbage, then
+// -epochs epochs of framed records.
+func stream(addr, site string, seed int64, records, epochs int, epoch, interval time.Duration, garbage int) (sent int, bytes int64, err error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	cw := &countWriter{w: conn}
+	if err := flowserve.WritePreamble(cw, site); err != nil {
+		return 0, cw.n, err
+	}
+	if garbage > 0 {
+		junk := make([]byte, garbage)
+		rand.New(rand.NewSource(seed)).Read(junk)
+		if _, err := cw.Write(junk); err != nil {
+			return 0, cw.n, err
+		}
+	}
+	gen, err := flowsource.NewGenerator(flowsource.GenConfig{
+		Workload: workload.FlowConfig{Seed: seed},
+		Records:  records,
+		Epoch:    epoch,
+	})
+	if err != nil {
+		return 0, cw.n, err
+	}
+	for e := 0; e < epochs; e++ {
+		n, err := gen.WriteEpoch(cw)
+		sent += n
+		if err != nil {
+			return sent, cw.n, err
+		}
+		if interval > 0 && e < epochs-1 {
+			time.Sleep(interval)
+		}
+	}
+	return sent, cw.n, nil
+}

@@ -1,0 +1,76 @@
+// Command flowserved runs the megadata pipeline as a network service: a
+// TCP ingest listener on one side, the FlowQL HTTP API on the other, the
+// flowstream System (site stores, epoch exports, central FlowDB) in
+// between.
+//
+// # Usage
+//
+//	flowserved -listen 127.0.0.1:7413 -http 127.0.0.1:8413 \
+//	    -sites west,east -epoch 5s -budget 4096
+//
+// Flags:
+//
+//	-listen addr   TCP ingest address (default 127.0.0.1:7413)
+//	-http addr     HTTP query address (default 127.0.0.1:8413)
+//	-sites list    comma-separated site names (default west,east); a
+//	               connection announcing an unlisted site is a counted
+//	               sink error, so list every producer's site here
+//	-epoch dur     wall-clock epoch seal interval (default 5s): every
+//	               tick drains the source and seals an epoch across all
+//	               sites, exporting summaries to the central DB
+//	-budget n      Flowtree node budget per site (default 4096; 0 = exact)
+//	-shards n      concurrent ingest shards per site store (default 1)
+//	-max-conns n   ingest connection cap (default 256); over-cap
+//	               connections are closed at accept and counted
+//	-idle dur      ingest read deadline (default 30s); a connection
+//	               silent this long is reaped and counted
+//	-rate n        per-client query tokens/sec (default 50)
+//	-burst n       per-client token bucket depth (default 2*rate)
+//	-inflight n    global concurrent-query cap (default 64); excess
+//	               load is shed with 429
+//	-subs n        concurrent SSE subscription cap (default 64)
+//
+// # Ingest protocol
+//
+// Producers dial -listen, optionally send one preamble line
+// ("site <name>\n" — flowserve.WritePreamble), and then stream records
+// in the flowsource 0xF7 frame codec. A stream with no preamble is
+// attributed to the first -sites entry. Garbage and mid-frame truncation
+// are absorbed by frame resynchronization and counted (source stat
+// Truncated); a disconnect costs the unsent tail of the stream, never
+// the records already decoded. cmd/flowgen is the matching load
+// generator.
+//
+// # Query API
+//
+//	POST /query        body = one FlowQL statement (text/plain);
+//	                   response = the JSON flowql.Result. 400 on parse
+//	                   errors, 404 when no summaries match, 429 when
+//	                   rate-limited or shed (Retry-After: 1).
+//	GET  /stats        JSON counter ledger: query front-end counters,
+//	                   FlowDB memo-cache stats (hits/misses/coalesced),
+//	                   rate-limiter population, pipeline extras (epoch,
+//	                   source stats, ingest ledger).
+//	GET  /subscribe    Server-Sent Events stream of a standing query:
+//	                   ?q=<statement> (required), &window=<dur> for a
+//	                   trailing window, &budget=<n> for a compressed
+//	                   view. One "data: <json Notification>" event per
+//	                   epoch seal. Delivery is drop-policy: a stalled
+//	                   client sheds its own notifications, never the
+//	                   pipeline's.
+//
+// Limiting happens in order: per-client token bucket (keyed by remote
+// IP) first, then the global in-flight cap — so one greedy client is
+// bounced before it can occupy shared slots, and overload sheds with
+// 429 rather than queueing. Identical concurrent queries coalesce in
+// the FlowDB single-flight memo cache: N dashboards asking the same
+// question cost one merge.
+//
+// # Shutdown
+//
+// SIGINT/SIGTERM triggers the drain-then-close order: stop accepting
+// and close ingest connections, drain the streaming source into the
+// site stores, seal the final epoch (so the last records producers sent
+// are exported and queryable), and only then detach SSE streams and
+// shut the HTTP server down.
+package main

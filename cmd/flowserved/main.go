@@ -1,0 +1,97 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"megadata/internal/flowsource"
+	"megadata/internal/flowstream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flowserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7413", "TCP ingest address")
+		httpAddr = flag.String("http", "127.0.0.1:8413", "HTTP query address")
+		sites    = flag.String("sites", "west,east", "comma-separated site names")
+		epoch    = flag.Duration("epoch", 5*time.Second, "wall-clock epoch seal interval")
+		budget   = flag.Int("budget", 4096, "Flowtree node budget per site (0 = exact)")
+		shards   = flag.Int("shards", 1, "concurrent ingest shards per site store")
+		maxConns = flag.Int("max-conns", 0, "ingest connection cap (0 = default 256)")
+		idle     = flag.Duration("idle", 0, "ingest read deadline (0 = default 30s)")
+		rate     = flag.Float64("rate", 0, "per-client query tokens/sec (0 = default 50)")
+		burst    = flag.Int("burst", 0, "per-client token bucket depth (0 = default 2*rate)")
+		inflight = flag.Int("inflight", 0, "global concurrent-query cap (0 = default 64)")
+		subs     = flag.Int("subs", 0, "concurrent SSE subscription cap (0 = default 64)")
+	)
+	flag.Parse()
+
+	var names []string
+	for _, s := range strings.Split(*sites, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			names = append(names, s)
+		}
+	}
+	sys, err := flowstream.New(flowstream.Config{
+		Sites:      names,
+		TreeBudget: *budget,
+		Epoch:      *epoch,
+		Shards:     *shards,
+		Source:     &flowsource.Config{},
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := sys.Serve(flowstream.ServeConfig{
+		Listen:           *listen,
+		ListenHTTP:       *httpAddr,
+		MaxConns:         *maxConns,
+		IdleTimeout:      *idle,
+		RatePerSec:       *rate,
+		Burst:            *burst,
+		MaxInFlight:      *inflight,
+		MaxSubscriptions: *subs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flowserved: ingest %s, queries http://%s, sites %s, epoch %v\n",
+		srv.IngestAddr(), srv.QueryAddr(), strings.Join(names, ","), *epoch)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*epoch)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := srv.EndEpoch(); err != nil {
+				fmt.Fprintln(os.Stderr, "flowserved: seal epoch:", err)
+			}
+		case sig := <-stop:
+			fmt.Printf("flowserved: %v — drain-then-close\n", sig)
+			if err := srv.Close(); err != nil {
+				return err
+			}
+			ist, qst, sst := srv.IngestStats(), srv.QueryStats(), sys.SourceStats()
+			fmt.Printf("flowserved: %d epochs sealed; ingest accepted=%d rejected=%d idle=%d disconnects=%d; "+
+				"records frames=%d delivered=%d dropped=%d truncated=%d; "+
+				"queries served=%d rate-limited=%d shed=%d subs=%d\n",
+				sys.Epoch(), ist.Accepted, ist.Rejected, ist.IdleClosed, ist.Disconnects,
+				sst.Frames, sst.Delivered, sst.Dropped, sst.Truncated,
+				qst.Served, qst.RateLimited, qst.Shed, qst.Subscriptions)
+			return nil
+		}
+	}
+}

@@ -116,10 +116,13 @@ type DB struct {
 	coalesced atomic.Uint64
 	mergeGate func() // test seam: blocks the flight leader before its merge
 
-	// Standing views (see view.go).
-	viewMu   sync.Mutex
-	views    map[int64]*View
-	nextView int64
+	// Standing views (see view.go). views holds the maintenance cores;
+	// viewIndex dedups identical subscriptions onto one core by their
+	// canonical (locations, window, budget) key.
+	viewMu    sync.Mutex
+	views     map[int64]*viewCore
+	viewIndex map[string]*viewCore
+	nextView  int64
 }
 
 // flightKey identifies one coalescable cold merge. The generation is part
@@ -175,7 +178,8 @@ func New(opts ...Option) *DB {
 		mergeWorkers: runtime.GOMAXPROCS(0),
 		cache:        newMemoCache(defaultCacheEntries),
 		flight:       make(map[flightKey]*flightCall),
-		views:        make(map[int64]*View),
+		views:        make(map[int64]*viewCore),
+		viewIndex:    make(map[string]*viewCore),
 	}
 	for _, opt := range opts {
 		opt(db)

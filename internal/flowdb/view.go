@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -52,27 +53,31 @@ func WithViewBudget(n int) ViewOption {
 // writer's goroutine — InsertBatch and Evict do not return until every
 // subscribed hook has — with no view lock held, so it may call Result,
 // Inspect or Close. A blocking hook backpressures the epoch writer.
+// Hooks are per-subscriber: subscriptions deduplicated onto a shared
+// core each still get their own callback.
 func WithViewUpdateHook(fn func(*View)) ViewOption {
 	return func(v *View) { v.onUpdate = fn }
 }
 
-// View is a standing query's materialized result: a tree maintained
-// incrementally as the DB is written. InsertBatch merges only the delta
-// rows matching the view's (locations, window) — one MergeAll (one
-// aggregate rebuild, one budget compression) per view per batch, O(delta)
-// instead of O(window re-merge). Writes that invalidate the incremental
-// state (a window slide or eviction that drops merged rows, or writes
-// racing each other) mark the view dirty; the next read rebuilds it
-// through the per-location segment index — the same binary-searched
-// match Select uses, never a flat re-scan.
-type View struct {
+// viewCore is the maintenance unit behind one or more Views: the
+// materialized tree, its window and generation stamp, and the delta-merge
+// state. Identical subscriptions — same canonical (locations, window,
+// budget) key, the same canonicalization the Select memo cache uses —
+// share one core, so N identical dashboards cost one MergeAll per epoch
+// instead of N. The core lives until its last View handle closes.
+type viewCore struct {
 	db        *DB
 	id        int64
+	key       string          // canonical dedup key
 	locations []string        // canonical: sorted, deduplicated; nil = all
 	locSet    map[string]bool // nil = all
 	window    time.Duration   // > 0: trailing window width
 	budget    int             // > 0: compress maintained tree to this
-	onUpdate  func(*View)
+
+	// refs/handles are guarded by db.viewMu (the registry lock), not c.mu:
+	// notify snapshots handles there so hooks run without any view lock.
+	refs    int
+	handles map[int64]*View
 
 	mu         sync.Mutex
 	from, to   time.Time // current window [from, to); to == openEnd when open
@@ -86,59 +91,146 @@ type View struct {
 	closed     bool
 }
 
+// View is one subscriber's handle on a standing query's materialized
+// result: a tree maintained incrementally as the DB is written.
+// InsertBatch merges only the delta rows matching the view's (locations,
+// window) — one MergeAll (one aggregate rebuild, one budget compression)
+// per view core per batch, O(delta) instead of O(window re-merge). Writes
+// that invalidate the incremental state (a window slide or eviction that
+// drops merged rows, or writes racing each other) mark the view dirty;
+// the next read rebuilds it through the per-location segment index — the
+// same binary-searched match Select uses, never a flat re-scan.
+//
+// Identical subscriptions share one maintenance core (see Shared); every
+// read hands back caller-owned data (Result clones), so sharing is
+// invisible except in cost.
+type View struct {
+	c  *viewCore
+	id int64
+
+	// budget/onUpdate are populated by ViewOptions before the core is
+	// resolved; budget participates in the dedup key, onUpdate stays on
+	// the handle.
+	budget   int
+	onUpdate func(*View)
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// viewKey canonicalizes a view spec for dedup, reusing the memo cache's
+// (locations, window) canonicalization: fixed windows key on their
+// bounds, trailing windows on their width (their bounds slide with the
+// shared data clock, so two trailing views of the same width converge on
+// identical content), and the budget is appended since it changes the
+// maintained tree.
+func viewKey(locations []string, from, to time.Time, window time.Duration, budget int) string {
+	var base string
+	if window > 0 {
+		base, _ = memoKey(locations, time.Unix(0, 0), time.Unix(0, int64(window)))
+		base = "w|" + base
+	} else {
+		base, _ = memoKey(locations, from, to)
+	}
+	if budget > 0 {
+		base += "|b" + strconv.Itoa(budget)
+	}
+	return base
+}
+
 // Subscribe registers a standing query and returns its materialized view.
 // The view starts dirty and is built through the segment index on the
 // first read (Subscribe itself triggers one), then maintained
 // incrementally by every subsequent InsertBatch/Evict until Close.
+//
+// Subscriptions with an identical canonical spec — same location set,
+// same window (bounds for fixed windows, width for trailing ones), same
+// budget — deduplicate onto one refcounted shared core: the per-epoch
+// delta merge runs once, every subscriber's hook still fires, and every
+// Result is still a private clone. Close detaches one subscriber; the
+// core is torn down when the last one leaves.
 func (db *DB) Subscribe(q ViewQuery, opts ...ViewOption) (*View, error) {
 	if q.Window < 0 {
 		return nil, fmt.Errorf("%w: negative trailing window", ErrBadView)
 	}
-	v := &View{db: db, window: q.Window, dirty: true}
-	if q.Window > 0 {
-		// Anchor the trailing window to the latest data end; an empty DB
-		// leaves it empty until the first batch slides it into place.
-		if _, to, ok := db.TimeBounds(); ok {
-			v.to = to
-			v.from = to.Add(-q.Window)
+	var from, to time.Time
+	if q.Window == 0 {
+		from = q.From
+		to = q.To
+		if to.IsZero() {
+			to = openEnd
 		}
-	} else {
-		v.from = q.From
-		v.to = q.To
-		if v.to.IsZero() {
-			v.to = openEnd
-		}
-		if !v.to.After(v.from) {
+		if !to.After(from) {
 			return nil, fmt.Errorf("%w: empty window [%v,%v)", ErrBadView, q.From, q.To)
 		}
 	}
+	var locations []string
+	var locSet map[string]bool
 	if len(q.Locations) > 0 {
 		locs := make([]string, len(q.Locations))
 		copy(locs, q.Locations)
 		sort.Strings(locs)
-		v.locSet = make(map[string]bool, len(locs))
-		v.locations = locs[:0]
+		locSet = make(map[string]bool, len(locs))
+		locations = locs[:0]
 		for _, l := range locs {
-			if !v.locSet[l] {
-				v.locSet[l] = true
-				v.locations = append(v.locations, l)
+			if !locSet[l] {
+				locSet[l] = true
+				locations = append(locations, l)
 			}
 		}
 	}
+	v := &View{}
 	for _, opt := range opts {
 		opt(v)
+	}
+	key := viewKey(locations, from, to, q.Window, v.budget)
+
+	db.viewMu.Lock()
+	if c, ok := db.viewIndex[key]; ok {
+		// Identical standing query already maintained: attach to it.
+		db.nextView++
+		v.id = db.nextView
+		v.c = c
+		c.refs++
+		c.handles[v.id] = v
+		db.viewMu.Unlock()
+		return v, nil
+	}
+	c := &viewCore{
+		db:        db,
+		key:       key,
+		locations: locations,
+		locSet:    locSet,
+		window:    q.Window,
+		budget:    v.budget,
+		dirty:     true,
+		from:      from,
+		to:        to,
+	}
+	if q.Window > 0 {
+		// Anchor the trailing window to the latest data end; an empty DB
+		// leaves it empty until the first batch slides it into place.
+		if _, end, ok := db.TimeBounds(); ok {
+			c.to = end
+			c.from = end.Add(-q.Window)
+		}
 	}
 	// Register before the initial build: a write landing in between either
 	// beats the recompute's snapshot (the generation stamp skips its
 	// delta) or applies on top of it. Registration order never loses rows.
-	db.viewMu.Lock()
 	db.nextView++
 	v.id = db.nextView
-	db.views[v.id] = v
+	c.id = v.id
+	c.refs = 1
+	c.handles = map[int64]*View{v.id: v}
+	v.c = c
+	db.views[c.id] = c
+	db.viewIndex[key] = c
 	db.viewMu.Unlock()
-	v.mu.Lock()
-	err := v.recomputeLocked()
-	v.mu.Unlock()
+
+	c.mu.Lock()
+	err := c.recomputeLocked()
+	c.mu.Unlock()
 	if err != nil {
 		v.Close()
 		return nil, err
@@ -149,70 +241,105 @@ func (db *DB) Subscribe(q ViewQuery, opts ...ViewOption) (*View, error) {
 // ErrBadView rejects invalid standing queries.
 var ErrBadView = errors.New("flowdb: invalid view query")
 
-// Views reports how many standing views are registered.
+// Views reports how many standing view cores are registered. Identical
+// subscriptions share a core, so N duplicate dashboards count once here
+// (Shared reports the fan-out).
 func (db *DB) Views() int {
 	db.viewMu.Lock()
 	defer db.viewMu.Unlock()
 	return len(db.views)
 }
 
-// snapshotViews copies the registered view set so write-side maintenance
-// iterates without holding the registry lock.
-func (db *DB) snapshotViews() []*View {
+// snapshotViews copies the registered view-core set so write-side
+// maintenance iterates without holding the registry lock.
+func (db *DB) snapshotViews() []*viewCore {
 	db.viewMu.Lock()
 	defer db.viewMu.Unlock()
 	if len(db.views) == 0 {
 		return nil
 	}
-	out := make([]*View, 0, len(db.views))
-	for _, v := range db.views {
-		out = append(out, v)
+	out := make([]*viewCore, 0, len(db.views))
+	for _, c := range db.views {
+		out = append(out, c)
 	}
 	return out
 }
 
-// Close unregisters the view; subsequent reads return ErrViewClosed and
-// writes no longer maintain it.
+// Shared reports how many subscribers currently ride this view's core
+// (1 = unshared).
+func (v *View) Shared() int {
+	v.c.db.viewMu.Lock()
+	defer v.c.db.viewMu.Unlock()
+	return v.c.refs
+}
+
+// Close detaches this subscriber. The shared core (and its maintenance
+// cost) survives until the last subscriber closes; then it unregisters,
+// subsequent reads return ErrViewClosed and writes no longer maintain it.
+// Idempotent per handle.
 func (v *View) Close() {
-	v.db.viewMu.Lock()
-	delete(v.db.views, v.id)
-	v.db.viewMu.Unlock()
 	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return
+	}
 	v.closed = true
-	v.tree = nil
 	v.mu.Unlock()
+	c := v.c
+	db := c.db
+	db.viewMu.Lock()
+	delete(c.handles, v.id)
+	c.refs--
+	last := c.refs == 0
+	if last {
+		delete(db.views, c.id)
+		if db.viewIndex[c.key] == c {
+			delete(db.viewIndex, c.key)
+		}
+	}
+	db.viewMu.Unlock()
+	if last {
+		c.mu.Lock()
+		c.closed = true
+		c.tree = nil
+		c.mu.Unlock()
+	}
 }
 
 // Window returns the view's current window. Open-ended views report a
 // far-future end; trailing views report the current slid position.
 func (v *View) Window() (from, to time.Time) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.from, v.to
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.from, c.to
 }
 
 // Matches reports how many stored rows the view currently covers.
 func (v *View) Matches() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.matches
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.matches
 }
 
 // Version counts content-changing updates — a cheap way for pollers to
 // skip unchanged views.
 func (v *View) Version() uint64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.version
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
 }
 
 // Recomputes counts full index-backed rebuilds. A view on a growing
 // window stays at 1 (the initial build) no matter how many epochs land —
 // the incremental guarantee the subscribe benchmark measures.
 func (v *View) Recomputes() uint64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.recomputes
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recomputes
 }
 
 // ViewSnapshot is the metadata handed to Inspect alongside the tree.
@@ -224,71 +351,87 @@ type ViewSnapshot struct {
 
 // Result returns a caller-owned clone of the maintained tree and the
 // number of rows it covers, rebuilding first if the view is dirty.
-// Mirrors Select: an empty view returns ErrNoData.
+// Mirrors Select: an empty view returns ErrNoData. The clone is private
+// even when the core is shared between subscribers.
 func (v *View) Result() (*flowtree.Tree, int, error) {
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
+	closed := v.closed
+	v.mu.Unlock()
+	if closed {
 		return nil, 0, ErrViewClosed
 	}
-	if v.dirty {
-		if err := v.recomputeLocked(); err != nil {
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, ErrViewClosed
+	}
+	if c.dirty {
+		if err := c.recomputeLocked(); err != nil {
 			return nil, 0, err
 		}
 	}
-	if v.tree == nil {
-		return nil, 0, fmt.Errorf("%w: view locations=%v window=[%v,%v)", ErrNoData, v.locations, v.from, v.to)
+	if c.tree == nil {
+		return nil, 0, fmt.Errorf("%w: view locations=%v window=[%v,%v)", ErrNoData, c.locations, c.from, c.to)
 	}
-	return v.tree.Clone(), v.matches, nil
+	return c.tree.Clone(), c.matches, nil
 }
 
 // Inspect runs fn against the maintained tree without cloning it,
 // rebuilding first if the view is dirty. The tree (nil when the view is
 // empty — not an error, unlike Result) is only valid inside fn and must
 // not be retained or mutated; fn runs under the view lock, so it must not
-// call other View methods.
+// call other View methods — and with a shared core it briefly blocks the
+// other subscribers' reads.
 func (v *View) Inspect(fn func(tree *flowtree.Tree, snap ViewSnapshot)) error {
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
+	closed := v.closed
+	v.mu.Unlock()
+	if closed {
 		return ErrViewClosed
 	}
-	if v.dirty {
-		if err := v.recomputeLocked(); err != nil {
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrViewClosed
+	}
+	if c.dirty {
+		if err := c.recomputeLocked(); err != nil {
 			return err
 		}
 	}
-	fn(v.tree, ViewSnapshot{Matches: v.matches, From: v.from, To: v.to, Version: v.version})
+	fn(c.tree, ViewSnapshot{Matches: c.matches, From: c.from, To: c.to, Version: c.version})
 	return nil
 }
 
 // recomputeLocked rebuilds the view through the segment index: the same
 // binary-searched per-location match Select uses, merged with the same
-// parallel reduction. Callers hold v.mu.
-func (v *View) recomputeLocked() error {
-	trees, minEnd, gen := v.db.matchView(v.locations, v.from, v.to)
-	v.recomputes++
-	v.gen = gen
-	v.dirty = false
-	v.minEnd = minEnd
-	v.matches = len(trees)
-	v.version++
+// parallel reduction. Callers hold c.mu.
+func (c *viewCore) recomputeLocked() error {
+	trees, minEnd, gen := c.db.matchView(c.locations, c.from, c.to)
+	c.recomputes++
+	c.gen = gen
+	c.dirty = false
+	c.minEnd = minEnd
+	c.matches = len(trees)
+	c.version++
 	if len(trees) == 0 {
-		v.tree = nil
+		c.tree = nil
 		return nil
 	}
-	merged, err := v.db.mergeMatches(trees)
+	merged, err := c.db.mergeMatches(trees)
 	if err != nil {
-		v.dirty = true
+		c.dirty = true
 		return err
 	}
-	if v.budget > 0 {
-		if err := merged.SetBudget(v.budget); err != nil {
-			v.dirty = true
+	if c.budget > 0 {
+		if err := merged.SetBudget(c.budget); err != nil {
+			c.dirty = true
 			return err
 		}
 	}
-	v.tree = merged
+	c.tree = merged
 	return nil
 }
 
@@ -313,7 +456,7 @@ func (db *DB) matchView(locations []string, from, to time.Time) ([]*flowtree.Tre
 	return out, minEnd, db.gen
 }
 
-// applyInsert folds one committed batch into the view. gen is the DB
+// applyInsert folds one committed batch into the view core. gen is the DB
 // generation the batch produced and maxEnd the latest end across the
 // whole batch (the data clock trailing windows slide on). The generation
 // stamp makes delta application exact under concurrent writers: a delta
@@ -321,130 +464,146 @@ func (db *DB) matchView(locations []string, from, to time.Time) ([]*flowtree.Tre
 // a view a recompute has already carried past this write skips it, and
 // an out-of-order delivery falls back to dirty instead of double- or
 // under-counting.
-func (v *View) applyInsert(batch []Row, maxEnd time.Time, gen uint64) {
-	v.mu.Lock()
-	if v.closed {
-		v.mu.Unlock()
+func (c *viewCore) applyInsert(batch []Row, maxEnd time.Time, gen uint64) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return
 	}
-	if v.dirty {
+	if c.dirty {
 		// Already pending a rebuild; the next recompute sees this batch
 		// in the index. Still an update the subscriber should hear about.
-		v.mu.Unlock()
-		v.notify()
+		c.mu.Unlock()
+		c.notify()
 		return
 	}
-	if v.gen >= gen {
-		v.mu.Unlock()
+	if c.gen >= gen {
+		c.mu.Unlock()
 		return
 	}
-	if v.gen != gen-1 {
-		v.dirty = true
-		v.mu.Unlock()
-		v.notify()
+	if c.gen != gen-1 {
+		c.dirty = true
+		c.mu.Unlock()
+		c.notify()
 		return
 	}
-	v.gen = gen
+	c.gen = gen
 	changed := false
-	if v.window > 0 && maxEnd.After(v.to) {
+	if c.window > 0 && maxEnd.After(c.to) {
 		// Slide the trailing window to the new data clock. Merged rows
 		// whose end falls at or before the new start leave the window —
 		// merge is not invertible, so the view re-merges through the
 		// segment index (dirty); a slide that drops nothing stays O(delta).
-		v.to = maxEnd
-		if newFrom := maxEnd.Add(-v.window); newFrom.After(v.from) {
-			v.from = newFrom
-			if v.tree != nil && !v.minEnd.After(newFrom) {
-				v.dirty = true
+		c.to = maxEnd
+		if newFrom := maxEnd.Add(-c.window); newFrom.After(c.from) {
+			c.from = newFrom
+			if c.tree != nil && !c.minEnd.After(newFrom) {
+				c.dirty = true
 				changed = true
 			}
 		}
 	}
-	if !v.dirty {
+	if !c.dirty {
 		var add []*flowtree.Tree
 		for i := range batch {
 			r := &batch[i]
-			if v.locSet != nil && !v.locSet[r.Location] {
+			if c.locSet != nil && !c.locSet[r.Location] {
 				continue
 			}
 			end := r.End()
-			if !end.After(v.from) || !r.Start.Before(v.to) {
+			if !end.After(c.from) || !r.Start.Before(c.to) {
 				continue
 			}
 			add = append(add, r.Tree)
-			if v.minEnd.IsZero() || end.Before(v.minEnd) {
-				v.minEnd = end
+			if c.minEnd.IsZero() || end.Before(c.minEnd) {
+				c.minEnd = end
 			}
 		}
 		if len(add) > 0 {
 			var err error
-			if v.tree == nil {
-				v.tree = add[0].Clone()
-				if v.budget > 0 {
-					err = v.tree.SetBudget(v.budget)
+			if c.tree == nil {
+				c.tree = add[0].Clone()
+				if c.budget > 0 {
+					err = c.tree.SetBudget(c.budget)
 				}
 				if err == nil && len(add) > 1 {
-					err = v.tree.MergeAll(add[1:]...)
+					err = c.tree.MergeAll(add[1:]...)
 				}
 			} else {
-				err = v.tree.MergeAll(add...)
+				err = c.tree.MergeAll(add...)
 			}
 			if err != nil {
-				v.dirty = true // surfaced by the next read's rebuild
+				c.dirty = true // surfaced by the next read's rebuild
 			} else {
-				v.matches += len(add)
+				c.matches += len(add)
 			}
 			changed = true
 		}
 	}
 	if changed {
-		v.version++
+		c.version++
 	}
-	v.mu.Unlock()
+	c.mu.Unlock()
 	if changed {
-		v.notify()
+		c.notify()
 	}
 }
 
-// applyEvict advances the view past a committed eviction. Only views
+// applyEvict advances the view core past a committed eviction. Only views
 // actually overlapping the cut — their earliest merged row end precedes
 // the cutoff — go dirty; everything else just advances its generation
 // stamp, untouched.
-func (v *View) applyEvict(cutoff time.Time, gen uint64) {
-	v.mu.Lock()
-	if v.closed {
-		v.mu.Unlock()
+func (c *viewCore) applyEvict(cutoff time.Time, gen uint64) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return
 	}
-	if v.dirty {
-		v.mu.Unlock()
-		v.notify()
+	if c.dirty {
+		c.mu.Unlock()
+		c.notify()
 		return
 	}
-	if v.gen >= gen {
-		v.mu.Unlock()
+	if c.gen >= gen {
+		c.mu.Unlock()
 		return
 	}
-	if v.gen != gen-1 {
-		v.dirty = true
-		v.mu.Unlock()
-		v.notify()
+	if c.gen != gen-1 {
+		c.dirty = true
+		c.mu.Unlock()
+		c.notify()
 		return
 	}
-	v.gen = gen
-	if v.tree != nil && v.minEnd.Before(cutoff) {
-		v.dirty = true
-		v.version++
-		v.mu.Unlock()
-		v.notify()
+	c.gen = gen
+	if c.tree != nil && c.minEnd.Before(cutoff) {
+		c.dirty = true
+		c.version++
+		c.mu.Unlock()
+		c.notify()
 		return
 	}
-	v.mu.Unlock()
+	c.mu.Unlock()
 }
 
-// notify fires the update hook outside the view lock.
-func (v *View) notify() {
-	if v.onUpdate != nil {
-		v.onUpdate(v)
+// notify fires every attached subscriber's update hook outside the view
+// lock, in subscriber registration order (deterministic under sharing).
+func (c *viewCore) notify() {
+	c.db.viewMu.Lock()
+	hs := make([]*View, 0, len(c.handles))
+	for _, h := range c.handles {
+		hs = append(hs, h)
+	}
+	c.db.viewMu.Unlock()
+	sort.Slice(hs, func(i, j int) bool { return hs[i].id < hs[j].id })
+	for _, h := range hs {
+		if h.onUpdate == nil {
+			continue
+		}
+		h.mu.Lock()
+		closed := h.closed
+		h.mu.Unlock()
+		if !closed {
+			h.onUpdate(h)
+		}
 	}
 }

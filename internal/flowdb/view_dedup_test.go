@@ -1,0 +1,144 @@
+package flowdb
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestViewDedupSharesCore pins the dedup contract: N identical
+// subscriptions ride one maintenance core (one per-epoch delta merge),
+// every subscriber still gets its own update hook and its own cloned
+// Result, and closing detaches subscribers one at a time.
+func TestViewDedupSharesCore(t *testing.T) {
+	db := New()
+	const n = 5
+	var fired [n]atomic.Uint64
+	views := make([]*View, n)
+	for i := 0; i < n; i++ {
+		i := i
+		v, err := db.Subscribe(
+			ViewQuery{Locations: []string{"nyc", "fra"}, Window: 6 * time.Hour},
+			WithViewUpdateHook(func(*View) { fired[i].Add(1) }),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = v
+	}
+	if got := db.Views(); got != 1 {
+		t.Fatalf("Views()=%d after %d identical subscribes, want 1 shared core", got, n)
+	}
+	for i, v := range views {
+		if got := v.Shared(); got != n {
+			t.Fatalf("views[%d].Shared()=%d, want %d", i, got, n)
+		}
+	}
+	// A different spec must NOT share.
+	other, err := db.Subscribe(ViewQuery{Locations: []string{"nyc"}, Window: 6 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if got := db.Views(); got != 2 {
+		t.Fatalf("Views()=%d after a distinct subscribe, want 2", got)
+	}
+	if got := other.Shared(); got != 1 {
+		t.Fatalf("distinct view Shared()=%d, want 1", got)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	if err := db.InsertBatch(randomRows(t, rng, 12)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fired {
+		if fired[i].Load() == 0 {
+			t.Fatalf("subscriber %d's hook never fired on a shared core", i)
+		}
+	}
+	// Results are private clones: mutating one subscriber's result must
+	// not leak into another's.
+	r0, _, err0 := views[0].Result()
+	r1, _, err1 := views[1].Result()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("Result: %v / %v", err0, err1)
+	}
+	if r0 == r1 {
+		t.Fatal("shared view handed the same tree to two subscribers")
+	}
+	sameTree(t, r0, r1)
+
+	views[0].Close()
+	views[0].Close() // idempotent per handle
+	if got := views[1].Shared(); got != n-1 {
+		t.Fatalf("Shared()=%d after one Close, want %d", got, n-1)
+	}
+	if got := db.Views(); got != 2 {
+		t.Fatalf("Views()=%d after one of %d subscribers closed, want 2", got, n)
+	}
+	if _, _, err := views[0].Result(); !errors.Is(err, ErrViewClosed) {
+		t.Fatalf("closed handle Result err=%v, want ErrViewClosed", err)
+	}
+	if _, _, err := views[1].Result(); err != nil {
+		t.Fatalf("surviving subscriber's Result failed after sibling Close: %v", err)
+	}
+	for _, v := range views[1:] {
+		v.Close()
+	}
+	if got := db.Views(); got != 1 {
+		t.Fatalf("Views()=%d after all shared subscribers closed, want 1 (the distinct view)", got)
+	}
+}
+
+// TestViewDedupEqualsSelect is the satellite's acceptance property:
+// deduplicated shared views, driven through randomized inserts, evicts
+// and window slides, stay exactly equal to a fresh Select of the same
+// query — sharing changes the cost, never the answer.
+func TestViewDedupEqualsSelect(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		rng := rand.New(rand.NewSource(seed))
+		db := New()
+		specs := []ViewQuery{
+			{},                                  // open, all locations
+			{Locations: []string{"fra", "nyc"}}, // open, filtered
+			{Window: 6 * time.Hour},             // trailing
+			{From: t0.Add(time.Hour), To: t0.Add(2 * 24 * time.Hour)},
+		}
+		var views []*View
+		for _, q := range specs {
+			for dup := 0; dup < 3; dup++ { // three subscribers per spec
+				v, err := db.Subscribe(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				views = append(views, v)
+			}
+		}
+		if got := db.Views(); got != len(specs) {
+			t.Fatalf("Views()=%d, want %d cores for %d subscriptions", got, len(specs), len(views))
+		}
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				if err := db.InsertBatch(randomRows(t, rng, 1+rng.Intn(8))); err != nil {
+					t.Fatal(err)
+				}
+			case 3:
+				db.Evict(t0.Add(time.Duration(rng.Intn(10*24)) * time.Hour))
+			default: // churn one subscriber off and back onto a shared core
+				i := rng.Intn(len(views))
+				views[i].Close()
+				v, err := db.Subscribe(specs[i/3])
+				if err != nil {
+					t.Fatal(err)
+				}
+				views[i] = v
+			}
+			for _, v := range views {
+				checkViewAgainstSelect(t, db, v)
+			}
+		}
+	}
+}

@@ -19,7 +19,7 @@ func checkViewAgainstSelect(t *testing.T, db *DB, v *View) {
 	t.Helper()
 	from, to := v.Window()
 	got, gotN, gotErr := v.Result()
-	want, wantN, wantErr := db.Select(v.locations, from, to)
+	want, wantN, wantErr := db.Select(v.c.locations, from, to)
 	if wantErr != nil {
 		if !errors.Is(gotErr, ErrNoData) {
 			t.Fatalf("view err=%v, want ErrNoData to match Select err=%v", gotErr, wantErr)

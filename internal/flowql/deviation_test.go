@@ -1,0 +1,96 @@
+package flowql
+
+import (
+	"testing"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+)
+
+// churnTree builds a view tree holding `width` exact keys unique to this
+// epoch — the churning key stream a socket load generator produces.
+func churnTree(t *testing.T, epoch, width int, bytes uint64) *flowtree.Tree {
+	t.Helper()
+	tr, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < width; j++ {
+		tr.Add(flow.Record{
+			Key:   flow.Exact(flow.ProtoTCP, flow.IPv4(epoch*width+j)+1, 2, 1000, 80),
+			Bytes: bytes,
+		})
+	}
+	return tr
+}
+
+// TestDeviationChurnMemoryFlat is the regression test for the unbounded
+// baseline store: a per-key Deviation fed a stream whose keys never
+// repeat must hold its baseline map flat at width*Retain (the retention
+// window), evicting everything older, instead of retaining one entry per
+// key ever seen.
+func TestDeviationChurnMemoryFlat(t *testing.T) {
+	const (
+		width  = 8
+		retain = 4
+		epochs = 200
+	)
+	d := &Deviation{Where: flow.Root(), Factor: 3, PerKey: true, Retain: retain}
+	peak := 0
+	for epoch := 0; epoch < epochs; epoch++ {
+		d.Eval(nil, churnTree(t, epoch, width, 100))
+		if live, _ := d.BaselineStats(); live > peak {
+			peak = live
+		}
+	}
+	live, evicted := d.BaselineStats()
+	if peak > width*retain {
+		t.Errorf("baseline peaked at %d keys, want <= %d (width %d x retain %d); unbounded growth would reach %d",
+			peak, width*retain, width, retain, width*epochs)
+	}
+	if live > width*retain {
+		t.Errorf("live baselines = %d after churn, want <= %d", live, width*retain)
+	}
+	if want := uint64((epochs - retain) * width); evicted < want {
+		t.Errorf("evicted = %d, want >= %d (every churned key past the window)", evicted, want)
+	}
+}
+
+// TestDeviationPerKeyFires pins per-key semantics: a stable key training a
+// steady baseline fires exactly when its own increment spikes, identified
+// by its own key, while sibling keys with steady traffic stay silent; and
+// a persistently observed key is never evicted.
+func TestDeviationPerKeyFires(t *testing.T) {
+	quiet := flow.Exact(flow.ProtoTCP, 1, 2, 1000, 80)
+	noisy := flow.Exact(flow.ProtoUDP, 3, 4, 2000, 53)
+	d := &Deviation{Where: flow.Root(), Factor: 3, Warmup: 3, PerKey: true, Retain: 8}
+
+	var cumQuiet, cumNoisy uint64
+	feed := func(dq, dn uint64) []AlertEvent {
+		cumQuiet += dq
+		cumNoisy += dn
+		tr, err := flowtree.New(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Add(flow.Record{Key: quiet, Bytes: cumQuiet})
+		tr.Add(flow.Record{Key: noisy, Bytes: cumNoisy})
+		return d.Eval(nil, tr)
+	}
+
+	for i := 0; i < 4; i++ {
+		if ev := feed(1000, 1000); len(ev) != 0 {
+			t.Fatalf("warmup update %d fired %v", i, ev)
+		}
+	}
+	ev := feed(1000, 10000)
+	if len(ev) != 1 {
+		t.Fatalf("spike fired %d events (%v), want 1", len(ev), ev)
+	}
+	if ev[0].Key != noisy {
+		t.Fatalf("spike fired on %v, want %v", ev[0].Key, noisy)
+	}
+	if live, evicted := d.BaselineStats(); live != 2 || evicted != 0 {
+		t.Fatalf("live=%d evicted=%d, want 2 live and 0 evicted for persistent keys", live, evicted)
+	}
+}

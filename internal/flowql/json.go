@@ -1,0 +1,102 @@
+// JSON wire representations for query results and alert payloads — the
+// shapes the HTTP serving layer (internal/flowserve) emits from POST
+// /query responses and GET /subscribe SSE events. Keys render as their
+// canonical FlowQL string form ("tcp 10.0.0.0/8:*->*:443") rather than
+// nested structs, and the operator as its statement keyword, so the
+// payloads read like the query language that produced them. Encoding is
+// one-way: dashboards consume these, they do not write them back.
+package flowql
+
+import (
+	"encoding/json"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowtree"
+)
+
+// countersJSON flattens flow.Counters with lower-case field names.
+type countersJSON struct {
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+	Flows   uint64 `json:"flows"`
+}
+
+func countersWire(c flow.Counters) countersJSON {
+	return countersJSON{Packets: c.Packets, Bytes: c.Bytes, Flows: c.Flows}
+}
+
+// entryJSON is one tree entry on the wire.
+type entryJSON struct {
+	Key string `json:"key"`
+	countersJSON
+	Discounted *uint64 `json:"discounted,omitempty"` // HHH only
+}
+
+// resultJSON mirrors Result for encoding/json. Exactly one payload field
+// is populated, matching Op; the window bounds elide the open-subscription
+// sentinels the same way Format does.
+type resultJSON struct {
+	Op       string        `json:"op"`
+	Counters *countersJSON `json:"counters,omitempty"`
+	Entries  []entryJSON   `json:"entries,omitempty"`
+	HHH      []entryJSON   `json:"hhh,omitempty"`
+	Merged   int           `json:"merged"`
+	From     string        `json:"from,omitempty"`
+	To       string        `json:"to,omitempty"`
+}
+
+// wireTime renders a window bound, eliding the standing-subscription
+// sentinels (zero From, far-future To) as absent.
+func wireTime(t time.Time) string {
+	if t.IsZero() || t.Year() > 9999 {
+		return ""
+	}
+	return t.Format(time.RFC3339Nano)
+}
+
+func entriesWire(entries []flowtree.Entry) []entryJSON {
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]entryJSON, len(entries))
+	for i, e := range entries {
+		out[i] = entryJSON{Key: e.Key.String(), countersJSON: countersWire(e.Counters)}
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	w := resultJSON{
+		Op:      r.Op.String(),
+		Entries: entriesWire(r.Entries),
+		Merged:  r.Merged,
+		From:    wireTime(r.From),
+		To:      wireTime(r.To),
+	}
+	if r.Op == OpQuery {
+		c := countersWire(r.Counters)
+		w.Counters = &c
+	}
+	if len(r.HHH) > 0 {
+		w.HHH = make([]entryJSON, len(r.HHH))
+		for i, h := range r.HHH {
+			d := h.Discounted
+			w.HHH[i] = entryJSON{Key: h.Key.String(), countersJSON: countersWire(h.Counters), Discounted: &d}
+		}
+	}
+	return json.Marshal(w)
+}
+
+// alertJSON is one fired alert on the wire.
+type alertJSON struct {
+	Alert   string `json:"alert"`
+	Key     string `json:"key"`
+	Message string `json:"message"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e AlertEvent) MarshalJSON() ([]byte, error) {
+	return json.Marshal(alertJSON{Alert: e.Alert, Key: e.Key.String(), Message: e.Message})
+}

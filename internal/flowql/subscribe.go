@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"megadata/internal/analytics"
-	"megadata/internal/baseline"
 	"megadata/internal/flow"
 	"megadata/internal/flowdb"
 	"megadata/internal/flowtree"
@@ -59,13 +58,13 @@ type SubConfig struct {
 type Notification struct {
 	// Seq is the 1-based delivery sequence (post-filtering) on this
 	// subscription.
-	Seq uint64
+	Seq uint64 `json:"seq"`
 	// Version is the view version that produced the update.
-	Version uint64
+	Version uint64 `json:"version"`
 	// Result is the operator's answer over the maintained view.
-	Result *Result
+	Result *Result `json:"result"`
 	// Alerts carries whatever the configured alert predicates fired.
-	Alerts []AlertEvent
+	Alerts []AlertEvent `json:"alerts,omitempty"`
 }
 
 // AlertEvent is one fired alert predicate.
@@ -157,18 +156,40 @@ func (t *TopKChange) Eval(_ *Result, tree *flowtree.Tree) []AlertEvent {
 	return events
 }
 
-// Deviation fires when one update's byte increment under Where exceeds
-// Factor times the historical mean increment — the baseline-deviation
-// anomaly trigger. History accumulates in a baseline.ExactStore; the
-// first Warmup updates only train it.
+// Deviation fires when one update's byte increment exceeds Factor times
+// the historical mean increment — the baseline-deviation anomaly trigger.
+// By default the single Where aggregate is tracked; PerKey widens the
+// alert to every flow key the maintained tree holds under Where, each
+// training its own increment baseline and firing independently. Either
+// way the history is windowed: a key absent from the tree for Retain
+// consecutive updates forfeits its baseline (counted in
+// SubscribeStats.BaselineEvicted), so a churning key stream — the normal
+// shape of socket load generators — holds the baseline store flat instead
+// of growing it one entry per key ever seen.
 type Deviation struct {
 	Where  flow.Key
 	Factor float64
-	Warmup int // minimum prior updates before firing (default 3)
+	Warmup int // minimum prior observations per key before firing (default 3)
+	// PerKey tracks one baseline per flow key under Where instead of the
+	// single Where aggregate.
+	PerKey bool
+	// Retain is the windowed-retention width in updates (default 16): a
+	// tracked key unobserved for Retain consecutive updates is evicted.
+	// The Where aggregate in non-PerKey mode is observed on every update
+	// (an empty view reads as zero) and therefore never evicted.
+	Retain int
 
-	hist *baseline.ExactStore
-	prev uint64
-	n    int
+	hist    map[flow.Key]*devHist
+	n       int // update counter — the retention clock
+	evicted uint64
+}
+
+// devHist is one key's increment baseline.
+type devHist struct {
+	prev     uint64 // last observed byte aggregate
+	sum      uint64 // accumulated increments
+	obs      int    // observations backing the mean
+	lastSeen int    // update index of the last observation
 }
 
 // Name implements Alert.
@@ -177,31 +198,74 @@ func (d *Deviation) Name() string { return "deviation" }
 // Eval implements Alert.
 func (d *Deviation) Eval(_ *Result, tree *flowtree.Tree) []AlertEvent {
 	if d.hist == nil {
-		d.hist = baseline.New()
+		d.hist = make(map[flow.Key]*devHist)
 	}
 	warmup := d.Warmup
 	if warmup <= 0 {
 		warmup = 3
 	}
-	cur := treeBytes(tree, d.Where)
-	var delta uint64
-	if cur > d.prev { // evictions can shrink the aggregate; clamp at zero
-		delta = cur - d.prev
+	retain := d.Retain
+	if retain <= 0 {
+		retain = 16
 	}
-	d.prev = cur
+	d.n++
 	var events []AlertEvent
-	if d.n >= warmup {
-		if mean := float64(d.hist.Total().Bytes) / float64(d.n); mean > 0 && float64(delta) > d.Factor*mean {
+	if d.PerKey {
+		if tree != nil {
+			for _, e := range tree.Entries() {
+				if !d.Where.Generalizes(e.Key) {
+					continue
+				}
+				events = d.observe(e.Key, e.Counters.Bytes, warmup, events)
+			}
+		}
+	} else {
+		events = d.observe(d.Where, treeBytes(tree, d.Where), warmup, events)
+	}
+	// Windowed retention: keys the tree no longer carries stop being
+	// observed, and after Retain updates their baseline is reclaimed.
+	for k, h := range d.hist {
+		if d.n-h.lastSeen >= retain {
+			delete(d.hist, k)
+			d.evicted++
+		}
+	}
+	return events
+}
+
+// observe folds one key's current byte aggregate into its baseline and
+// fires if the increment deviates past Factor times the trained mean.
+func (d *Deviation) observe(key flow.Key, cur uint64, warmup int, events []AlertEvent) []AlertEvent {
+	h := d.hist[key]
+	if h == nil {
+		h = &devHist{}
+		d.hist[key] = h
+	}
+	var delta uint64
+	if cur > h.prev { // evictions can shrink the aggregate; clamp at zero
+		delta = cur - h.prev
+	}
+	h.prev = cur
+	if h.obs >= warmup {
+		if mean := float64(h.sum) / float64(h.obs); mean > 0 && float64(delta) > d.Factor*mean {
 			events = append(events, AlertEvent{
 				Alert:   d.Name(),
-				Key:     d.Where,
+				Key:     key,
 				Message: fmt.Sprintf("increment %d exceeds %.1fx the mean %.0f", delta, d.Factor, mean),
 			})
 		}
 	}
-	d.hist.Add(flow.Record{Key: d.Where, Bytes: delta})
-	d.n++
+	h.sum += delta
+	h.obs++
+	h.lastSeen = d.n
 	return events
+}
+
+// BaselineStats reports the live per-key baseline count and the total
+// evicted by windowed retention. The subscription surfaces these as
+// SubscribeStats.BaselineKeys / BaselineEvicted.
+func (d *Deviation) BaselineStats() (live int, evicted uint64) {
+	return len(d.hist), d.evicted
 }
 
 // Subscription is a standing FlowQL query. Updates arrive on Updates();
@@ -224,14 +288,24 @@ type Subscription struct {
 	pipeErrs  atomic.Uint64
 }
 
-// SubStats counts a subscription's delivery outcomes.
-type SubStats struct {
+// SubscribeStats counts a subscription's delivery outcomes and the state
+// footprint of its baseline alerts.
+type SubscribeStats struct {
 	Delivered uint64 // notifications handed to the channel
 	Dropped   uint64 // discarded by PolicyDrop on a full channel
 	Filtered  uint64 // suppressed by a pipeline stage returning ok=false
 	EvalErrs  uint64 // operator evaluation failures (e.g. DRILLDOWN on a folded node)
 	PipeErrs  uint64 // pipeline stage errors
+	// BaselineKeys is the live per-key baseline count across this
+	// subscription's Deviation alerts; BaselineEvicted counts baselines
+	// reclaimed by windowed retention. Flat BaselineKeys under key churn
+	// is the memory contract the retention window enforces.
+	BaselineKeys    uint64
+	BaselineEvicted uint64
 }
+
+// SubStats is the original name of SubscribeStats, kept as an alias.
+type SubStats = SubscribeStats
 
 // Subscribe parses a FlowQL statement and registers it as a standing
 // query against the database. FROM ALL subscribes to everything the DB
@@ -284,15 +358,26 @@ func (s *Subscription) Query() *Query { return s.q }
 // recompute counters).
 func (s *Subscription) View() *flowdb.View { return s.view }
 
-// Stats snapshots the delivery counters.
-func (s *Subscription) Stats() SubStats {
-	return SubStats{
+// Stats snapshots the delivery counters and the baseline footprint of any
+// Deviation alerts (s.mu serializes the read against alert evaluation).
+func (s *Subscription) Stats() SubscribeStats {
+	st := SubscribeStats{
 		Delivered: s.delivered.Load(),
 		Dropped:   s.dropped.Load(),
 		Filtered:  s.filtered.Load(),
 		EvalErrs:  s.evalErrs.Load(),
 		PipeErrs:  s.pipeErrs.Load(),
 	}
+	s.mu.Lock()
+	for _, a := range s.cfg.Alerts {
+		if b, ok := a.(interface{ BaselineStats() (int, uint64) }); ok {
+			live, evicted := b.BaselineStats()
+			st.BaselineKeys += uint64(live)
+			st.BaselineEvicted += evicted
+		}
+	}
+	s.mu.Unlock()
+	return st
 }
 
 // Close detaches the subscription: the view unregisters, pending blocked

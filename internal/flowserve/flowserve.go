@@ -1,0 +1,31 @@
+// Package flowserve is the network serving layer: the first transport in
+// the repo that is not an in-process pipe. It stands up two servers
+// around the existing pipeline —
+//
+//   - IngestServer: a TCP listener speaking the flowsource 0xF7 frame
+//     codec. Each accepted connection announces its site on a one-line
+//     preamble ("site <name>\n" — or skips it and falls to the default
+//     site) and then streams framed records, which feed one
+//     Source.Consume per connection. Connections over the cap are
+//     rejected and counted; reads are deadline-bounded so idle or
+//     half-dead routers are reaped; mid-frame disconnects and garbage
+//     cost counted records (FrameReader resynchronization), never the
+//     server.
+//
+//   - QueryServer: an HTTP front end for FlowQL. POST /query executes a
+//     statement against the central FlowDB and returns the JSON Result;
+//     GET /stats returns the counter ledger; GET /subscribe streams a
+//     standing query's notifications as Server-Sent Events riding
+//     flowql.Subscribe. Per-client token buckets bound each client's
+//     request rate, a global in-flight cap sheds overload with 429s, and
+//     identical concurrent queries coalesce in the FlowDB single-flight
+//     memo cache — N dashboards asking the same (locations, window) cost
+//     one merge end to end.
+//
+// cmd/flowserved wires both servers around a flowstream.System;
+// cmd/flowgen is the socket-speaking load generator that feeds the
+// ingest side. Shutdown is drain-then-close: stop accepting, close
+// ingest connections, drain the source into the stores, seal the final
+// epoch, and only then stop answering queries — so the last records a
+// router managed to send are queryable on the way down.
+package flowserve

@@ -1,0 +1,271 @@
+package flowserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"megadata/internal/flowsource"
+)
+
+// IngestConfig parameterizes an IngestServer.
+type IngestConfig struct {
+	// Source receives every connection's records (required): one
+	// Source.Consume per accepted connection, attributed to the site the
+	// connection announced.
+	Source *flowsource.Source
+	// MaxConns caps concurrent connections (default 256). Connections
+	// beyond the cap are closed immediately and counted in
+	// IngestStats.Rejected — shedding at accept, before any decode work.
+	MaxConns int
+	// IdleTimeout bounds how long a read may stall (default 30s). A
+	// connection that sends nothing for this long is closed and counted
+	// in IngestStats.IdleClosed — the slow-loris reaper.
+	IdleTimeout time.Duration
+	// DefaultSite attributes connections that skip the site preamble
+	// (default "ingest").
+	DefaultSite string
+}
+
+// IngestStats is the ingest connection ledger. Record-level counters
+// (frames, truncated garbage, drops) live on the Source's own Stats.
+type IngestStats struct {
+	// Accepted counts connections admitted past the cap.
+	Accepted uint64
+	// Rejected counts connections shed at accept by MaxConns.
+	Rejected uint64
+	// Active is the current open connection count.
+	Active int64
+	// IdleClosed counts connections reaped by IdleTimeout.
+	IdleClosed uint64
+	// Disconnects counts streams that ended in a transport error —
+	// mid-frame resets, peer crashes — rather than a clean EOF. The
+	// partial data decoded before the cut is already in the source.
+	Disconnects uint64
+}
+
+// IngestServer accepts framed-record TCP connections and feeds them into
+// a flowsource.Source.
+type IngestServer struct {
+	cfg IngestConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted    atomic.Uint64
+	rejected    atomic.Uint64
+	active      atomic.Int64
+	idleClosed  atomic.Uint64
+	disconnects atomic.Uint64
+}
+
+// NewIngest builds an ingest server; Serve starts it on a listener.
+func NewIngest(cfg IngestConfig) (*IngestServer, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("flowserve: ingest config needs a source")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 256
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 30 * time.Second
+	}
+	if cfg.DefaultSite == "" {
+		cfg.DefaultSite = "ingest"
+	}
+	return &IngestServer{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts connections on ln until Close. It owns ln and always
+// returns a non-nil error after Close (net.ErrClosed) — the
+// http.Server.Serve contract, convenient to run in a goroutine.
+func (s *IngestServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if !s.admit(conn) {
+			continue
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// admit applies the connection cap and registers the connection.
+func (s *IngestServer) admit(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.closed || len(s.conns) >= s.cfg.MaxConns {
+		closed := s.closed
+		s.mu.Unlock()
+		conn.Close()
+		if !closed {
+			s.rejected.Add(1)
+		}
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.accepted.Add(1)
+	s.active.Add(1)
+	return true
+}
+
+// drop unregisters and closes a connection.
+func (s *IngestServer) drop(conn net.Conn) {
+	s.mu.Lock()
+	_, ok := s.conns[conn]
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	if ok {
+		s.active.Add(-1)
+	}
+}
+
+// deadlineReader arms the idle deadline before every read, so a stalled
+// peer times out no matter where in a frame it stopped.
+type deadlineReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d *deadlineReader) Read(p []byte) (int, error) {
+	if err := d.conn.SetReadDeadline(time.Now().Add(d.timeout)); err != nil {
+		return 0, err
+	}
+	return d.conn.Read(p)
+}
+
+// handle runs one connection: read the optional site preamble, then feed
+// the framed stream into the source until EOF, error, or teardown.
+func (s *IngestServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.drop(conn)
+	br := bufio.NewReaderSize(&deadlineReader{conn: conn, timeout: s.cfg.IdleTimeout}, 4096)
+	site, err := s.readPreamble(br)
+	if err != nil {
+		if !errors.Is(err, io.EOF) { // a peer that sent nothing closed cleanly
+			s.countDisconnect(err)
+		}
+		return
+	}
+	if err := s.cfg.Source.Consume(site, br); err != nil {
+		if errors.Is(err, flowsource.ErrClosed) {
+			return // server shutting down under the peer; not the peer's fault
+		}
+		s.countDisconnect(err)
+	}
+}
+
+// countDisconnect classifies a dead stream: deadline expiries are idle
+// reaps, everything else a mid-stream disconnect.
+func (s *IngestServer) countDisconnect(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.idleClosed.Add(1)
+		return
+	}
+	s.disconnects.Add(1)
+}
+
+// readPreamble reads the site announcement: a single "site <name>\n" line
+// before the first frame. A stream opening directly with the frame magic
+// (or anything else) is attributed to DefaultSite and decoded as-is —
+// the frame reader's resynchronization treats a bogus preamble as counted
+// garbage, so a confused peer costs records, not the connection.
+func (s *IngestServer) readPreamble(br *bufio.Reader) (string, error) {
+	const prefix = "site "
+	peek, err := br.Peek(len(prefix))
+	if err != nil {
+		return "", err
+	}
+	if string(peek) != prefix {
+		return s.cfg.DefaultSite, nil
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	site := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	if site == "" {
+		site = s.cfg.DefaultSite
+	}
+	return site, nil
+}
+
+// Addr reports the listening address (nil before Serve).
+func (s *IngestServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every active connection and waits for
+// their handlers (and therefore their Source.Consume calls) to return.
+// The source itself is left open — it belongs to the caller, who drains
+// it next (the drain-then-close shutdown order).
+func (s *IngestServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close() // handlers observe the read error and exit
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Stats snapshots the connection ledger.
+func (s *IngestServer) Stats() IngestStats {
+	return IngestStats{
+		Accepted:    s.accepted.Load(),
+		Rejected:    s.rejected.Load(),
+		Active:      s.active.Load(),
+		IdleClosed:  s.idleClosed.Load(),
+		Disconnects: s.disconnects.Load(),
+	}
+}
+
+// WritePreamble emits the site announcement line a connecting producer
+// sends before its first frame — the client half of readPreamble, used by
+// cmd/flowgen and tests.
+func WritePreamble(w io.Writer, site string) error {
+	_, err := fmt.Fprintf(w, "site %s\n", site)
+	return err
+}

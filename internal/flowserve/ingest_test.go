@@ -1,0 +1,253 @@
+package flowserve
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowsource"
+)
+
+// collectSink accumulates delivered records per site.
+type collectSink struct {
+	mu   sync.Mutex
+	recs map[string]int
+}
+
+func newCollectSink() *collectSink { return &collectSink{recs: make(map[string]int)} }
+
+func (c *collectSink) sink(site string, parts [][]flow.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range parts {
+		c.recs[site] += len(p)
+	}
+	return nil
+}
+
+func (c *collectSink) count(site string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recs[site]
+}
+
+func startIngest(t *testing.T, cfg IngestConfig) (*IngestServer, net.Addr) {
+	t.Helper()
+	srv, err := NewIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr()
+}
+
+func sendRecords(t *testing.T, addr net.Addr, site string, n int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if site != "" {
+		if err := WritePreamble(conn, site); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw := flowsource.NewFrameWriter(conn)
+	for i := 0; i < n; i++ {
+		rec := flow.Record{
+			Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(i+1), 2, 1000, 80),
+			Packets: 1, Bytes: 64,
+		}
+		if err := fw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestIngestSiteAttribution pins the preamble protocol: an announced site
+// owns its records, a bare stream falls to the default site.
+func TestIngestSiteAttribution(t *testing.T) {
+	sink := newCollectSink()
+	src, err := flowsource.New(flowsource.Config{Sink: sink.sink, MaxBatch: 4, FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	srv, addr := startIngest(t, IngestConfig{Source: src, DefaultSite: "edge"})
+
+	sendRecords(t, addr, "west", 7)
+	sendRecords(t, addr, "", 3)
+
+	waitFor(t, "records delivered", func() bool {
+		return sink.count("west") == 7 && sink.count("edge") == 3
+	})
+	waitFor(t, "handlers done", func() bool { return srv.Stats().Active == 0 })
+	st := srv.Stats()
+	if st.Accepted != 2 || st.Rejected != 0 || st.Disconnects != 0 {
+		t.Fatalf("ledger = %+v, want 2 accepted clean", st)
+	}
+}
+
+// TestIngestGarbageResyncs pins that a confused peer costs counted records,
+// not the connection: garbage before valid frames is absorbed by the frame
+// reader's resynchronization and the valid records still land.
+func TestIngestGarbageResyncs(t *testing.T) {
+	sink := newCollectSink()
+	src, err := flowsource.New(flowsource.Config{Sink: sink.sink, MaxBatch: 4, FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	_, addr := startIngest(t, IngestConfig{Source: src, DefaultSite: "edge"})
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePreamble(conn, "west"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("this is not a frame")); err != nil {
+		t.Fatal(err)
+	}
+	fw := flowsource.NewFrameWriter(conn)
+	for i := 0; i < 5; i++ {
+		if err := fw.Write(flow.Record{Key: flow.Exact(flow.ProtoUDP, flow.IPv4(i+1), 9, 53, 53), Packets: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	waitFor(t, "records past garbage", func() bool { return sink.count("west") == 5 })
+	if tr := src.Stats().Truncated; tr == 0 {
+		t.Fatal("garbage run not counted in Truncated")
+	}
+}
+
+// TestIngestMaxConns pins shedding at accept: the connection over the cap
+// is closed immediately and counted, the one under it keeps streaming.
+func TestIngestMaxConns(t *testing.T) {
+	sink := newCollectSink()
+	src, err := flowsource.New(flowsource.Config{Sink: sink.sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	srv, addr := startIngest(t, IngestConfig{Source: src, MaxConns: 1})
+
+	hold, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	if err := WritePreamble(hold, "west"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first conn admitted", func() bool { return srv.Stats().Active == 1 })
+
+	over, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	// The server closes the rejected conn; our read observes it.
+	over.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := over.Read(buf); err == nil {
+		t.Fatal("read on rejected conn succeeded")
+	}
+	waitFor(t, "rejection counted", func() bool { return srv.Stats().Rejected == 1 })
+	if st := srv.Stats(); st.Accepted != 1 || st.Active != 1 {
+		t.Fatalf("ledger = %+v, want 1 accepted 1 active", st)
+	}
+}
+
+// TestIngestIdleReaper pins the slow-loris defense: a connection that goes
+// quiet mid-stream is closed at IdleTimeout and counted IdleClosed.
+func TestIngestIdleReaper(t *testing.T) {
+	sink := newCollectSink()
+	src, err := flowsource.New(flowsource.Config{Sink: sink.sink, FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	srv, addr := startIngest(t, IngestConfig{Source: src, IdleTimeout: 30 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WritePreamble(conn, "west"); err != nil {
+		t.Fatal(err)
+	}
+	fw := flowsource.NewFrameWriter(conn)
+	if err := fw.Write(flow.Record{Key: flow.Root(), Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and then say nothing.
+	waitFor(t, "idle reap", func() bool { return srv.Stats().IdleClosed == 1 })
+	waitFor(t, "conn dropped", func() bool { return srv.Stats().Active == 0 })
+	waitFor(t, "record still delivered", func() bool { return sink.count("west") == 1 })
+}
+
+// TestIngestCloseWaits pins teardown: Close stops the listener, kicks live
+// connections and returns only after every handler (and its Consume) exits.
+func TestIngestCloseWaits(t *testing.T) {
+	sink := newCollectSink()
+	src, err := flowsource.New(flowsource.Config{Sink: sink.sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	srv, addr := startIngest(t, IngestConfig{Source: src})
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WritePreamble(conn, "west"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "conn admitted", func() bool { return srv.Stats().Active == 1 })
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Active != 0 {
+		t.Fatalf("Active = %d after Close, want 0", st.Active)
+	}
+	if _, err := net.DialTimeout("tcp", addr.String(), 100*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+}

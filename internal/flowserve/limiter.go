@@ -1,0 +1,91 @@
+package flowserve
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a keyed token-bucket rate limiter: each client key refills
+// at rate tokens/sec up to burst, lazily on access — no ticker goroutine,
+// no per-client timer. Stale buckets (fully refilled and untouched for a
+// sweep interval) are reaped opportunistically so a churning client
+// population cannot grow the map without bound — the same discipline the
+// Deviation baseline applies to churning flow keys.
+type limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // test seam
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// sweepEvery bounds how often the stale-bucket reaper runs.
+const sweepEvery = time.Minute
+
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		rate = 50
+	}
+	if burst <= 0 {
+		burst = int(2 * rate)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow consumes one token from key's bucket, reporting whether the
+// request is within rate.
+func (l *limiter) allow(key string) bool {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if now.Sub(l.lastSweep) >= sweepEvery {
+		l.lastSweep = now
+		idle := time.Duration(float64(time.Second) * l.burst / l.rate)
+		if idle < sweepEvery {
+			idle = sweepEvery
+		}
+		for k, s := range l.buckets {
+			if s != b && now.Sub(s.last) > idle {
+				delete(l.buckets, k)
+			}
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// clients reports the live bucket count (for /stats and tests).
+func (l *limiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,339 @@
+package flowserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"megadata/internal/flowdb"
+	"megadata/internal/flowql"
+)
+
+// QueryConfig parameterizes a QueryServer.
+type QueryConfig struct {
+	// DB is the central FlowDB queries run against (required).
+	DB *flowdb.DB
+	// RatePerSec refills each client's token bucket (default 50/s).
+	// Clients are keyed by remote IP; a client over rate gets 429 with
+	// Retry-After before any parse or merge work happens.
+	RatePerSec float64
+	// Burst is the token bucket depth (default 2x RatePerSec): the
+	// dashboard-refresh spike a client may spend at once.
+	Burst int
+	// MaxInFlight globally caps queries executing concurrently (default
+	// 64). Excess load is shed with 429 — the server answers fewer
+	// queries fast rather than all queries slowly. Identical concurrent
+	// queries below the cap coalesce in the FlowDB single-flight memo
+	// cache, so the cap bounds merge work, not client count.
+	MaxInFlight int
+	// MaxSubscriptions caps concurrent SSE subscriptions (default 64).
+	MaxSubscriptions int
+	// SubscribeDepth bounds each SSE subscription's notification buffer
+	// (default 16); a subscriber slower than the epoch cadence has
+	// overflow notifications dropped and counted rather than stalling
+	// ingest (flowql.PolicyDrop).
+	SubscribeDepth int
+	// Extra, when set, is merged into GET /stats under "extra" — the
+	// hook cmd/flowserved uses to surface pipeline and ingest counters.
+	Extra func() any
+}
+
+// QueryStats is the HTTP front end's ledger.
+type QueryStats struct {
+	// Served counts queries answered (any status below; includes errors).
+	Served uint64
+	// RateLimited counts requests bounced by a client's token bucket.
+	RateLimited uint64
+	// Shed counts requests bounced by the global in-flight cap.
+	Shed uint64
+	// BadRequests counts malformed statements and parameters.
+	BadRequests uint64
+	// Subscriptions counts SSE streams opened over the server's lifetime;
+	// SubsActive is the number currently streaming.
+	Subscriptions uint64
+	SubsActive    int64
+}
+
+// QueryServer is the FlowQL HTTP front end: POST /query, GET /stats,
+// GET /subscribe (SSE). Wrap Handler in an http.Server; Close detaches
+// live SSE streams so the server's Shutdown can complete.
+type QueryServer struct {
+	cfg      QueryConfig
+	lim      *limiter
+	inflight chan struct{}
+	subSlots chan struct{}
+
+	served      atomic.Uint64
+	rateLimited atomic.Uint64
+	shed        atomic.Uint64
+	badRequests atomic.Uint64
+	subs        atomic.Uint64
+	subsActive  atomic.Int64
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewQuery builds the HTTP front end.
+func NewQuery(cfg QueryConfig) (*QueryServer, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("flowserve: query config needs a DB")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxSubscriptions <= 0 {
+		cfg.MaxSubscriptions = 64
+	}
+	if cfg.SubscribeDepth <= 0 {
+		cfg.SubscribeDepth = 16
+	}
+	return &QueryServer{
+		cfg:      cfg,
+		lim:      newLimiter(cfg.RatePerSec, cfg.Burst),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		subSlots: make(chan struct{}, cfg.MaxSubscriptions),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Handler returns the route mux.
+func (s *QueryServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/subscribe", s.handleSubscribe)
+	return mux
+}
+
+// Close detaches live SSE streams. Idempotent; queries in flight finish
+// on their own (bounded by MaxInFlight).
+func (s *QueryServer) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
+
+// Stats snapshots the ledger.
+func (s *QueryServer) Stats() QueryStats {
+	return QueryStats{
+		Served:        s.served.Load(),
+		RateLimited:   s.rateLimited.Load(),
+		Shed:          s.shed.Load(),
+		BadRequests:   s.badRequests.Load(),
+		Subscriptions: s.subs.Load(),
+		SubsActive:    s.subsActive.Load(),
+	}
+}
+
+// clientKey buckets rate limiting by remote IP (every dashboard behind
+// one address shares a bucket — the limiter protects the server, not
+// fairness between a client's tabs).
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// allowClient applies the per-client token bucket.
+func (s *QueryServer) allowClient(w http.ResponseWriter, r *http.Request) bool {
+	if !s.lim.allow(clientKey(r)) {
+		s.rateLimited.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "client over rate", http.StatusTooManyRequests)
+		return false
+	}
+	return true
+}
+
+// acquireSlot takes a global in-flight slot, shedding with 429 when the
+// server is at capacity. Callers acquire only after the request is fully
+// read: a slot stands for merge work, and a slow-loris body must not be
+// able to hold one.
+func (s *QueryServer) acquireSlot(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, true
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at in-flight capacity", http.StatusTooManyRequests)
+		return nil, false
+	}
+}
+
+// maxStatementLen bounds a POST /query body; FlowQL statements are one
+// line, anything larger is an attack or a bug.
+const maxStatementLen = 64 << 10
+
+// handleQuery executes one FlowQL statement: the body (text/plain) is the
+// statement, the response its JSON Result. 400 on parse errors, 404 on an
+// empty selection, 429 when rate-limited or shed.
+func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a FlowQL statement", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.allowClient(w, r) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxStatementLen+1))
+	if err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxStatementLen {
+		s.badRequests.Add(1)
+		http.Error(w, "statement too long", http.StatusRequestEntityTooLarge)
+		return
+	}
+	release, ok := s.acquireSlot(w)
+	if !ok {
+		return
+	}
+	defer release()
+	s.served.Add(1)
+	q, err := flowql.Parse(string(body))
+	if err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := flowql.Execute(s.cfg.DB, q)
+	if err != nil {
+		if errors.Is(err, flowdb.ErrNoData) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// handleStats reports the ledger: front-end counters, the FlowDB memo
+// cache (hits/misses/coalesced — the request-coalescing evidence), the
+// limiter population, and whatever Extra the embedding server adds.
+func (s *QueryServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET", http.StatusMethodNotAllowed)
+		return
+	}
+	out := map[string]any{
+		"query": s.Stats(),
+		"cache": s.cfg.DB.CacheStats(),
+		"rate_limiter": map[string]any{
+			"clients": s.lim.clients(),
+		},
+	}
+	if s.cfg.Extra != nil {
+		out["extra"] = s.cfg.Extra()
+	}
+	writeJSON(w, out)
+}
+
+// handleSubscribe streams a standing query as Server-Sent Events: one
+// `data:` line per notification, each the JSON flowql.Notification.
+// Query parameters: q (the statement, required), window (trailing window,
+// Go duration), budget (view node budget). Delivery rides
+// flowql.PolicyDrop so a stalled SSE client sheds its own notifications
+// instead of backpressuring the epoch writer.
+func (s *QueryServer) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET", http.StatusMethodNotAllowed)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	if !s.allowClient(w, r) {
+		return
+	}
+	statement := r.URL.Query().Get("q")
+	if statement == "" {
+		s.badRequests.Add(1)
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	cfg := flowql.SubConfig{Policy: flowql.PolicyDrop, Depth: s.cfg.SubscribeDepth}
+	if ws := r.URL.Query().Get("window"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d <= 0 {
+			s.badRequests.Add(1)
+			http.Error(w, "bad window", http.StatusBadRequest)
+			return
+		}
+		cfg.Window = d
+	}
+	if bs := r.URL.Query().Get("budget"); bs != "" {
+		b, err := strconv.Atoi(bs)
+		if err != nil || b < 0 {
+			s.badRequests.Add(1)
+			http.Error(w, "bad budget", http.StatusBadRequest)
+			return
+		}
+		cfg.Budget = b
+	}
+	select {
+	case s.subSlots <- struct{}{}:
+		defer func() { <-s.subSlots }()
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at subscription capacity", http.StatusTooManyRequests)
+		return
+	}
+	sub, err := flowql.Subscribe(s.cfg.DB, statement, cfg)
+	if err != nil {
+		s.badRequests.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer sub.Close()
+	s.subs.Add(1)
+	s.subsActive.Add(1)
+	defer s.subsActive.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.done:
+			return
+		case n := <-sub.Updates():
+			payload, err := json.Marshal(n)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", payload); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}

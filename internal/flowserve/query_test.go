@@ -1,0 +1,290 @@
+package flowserve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+	"megadata/internal/flowdb"
+	"megadata/internal/flowql"
+	"megadata/internal/flowtree"
+)
+
+var qt0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func seedRow(t *testing.T, loc string, epoch int, bytes uint64) flowdb.Row {
+	t.Helper()
+	tr, err := flowtree.New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Add(flow.Record{
+		Key:     flow.Exact(flow.ProtoTCP, flow.IPv4(0x0A010001), 2, 40000, 443),
+		Packets: bytes / 1000, Bytes: bytes,
+	})
+	return flowdb.Row{Location: loc, Start: qt0.Add(time.Duration(epoch) * time.Hour), Width: time.Hour, Tree: tr}
+}
+
+func newQueryFixture(t *testing.T, cfg QueryConfig) (*flowdb.DB, *QueryServer, *httptest.Server) {
+	t.Helper()
+	db := flowdb.New()
+	if err := db.InsertBatch([]flowdb.Row{seedRow(t, "berlin", 0, 5000), seedRow(t, "paris", 0, 700)}); err != nil {
+		t.Fatal(err)
+	}
+	cfg.DB = db
+	qs, err := NewQuery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(qs.Handler())
+	t.Cleanup(func() {
+		qs.Close()
+		hs.Close()
+	})
+	return db, qs, hs
+}
+
+func postQuery(t *testing.T, url, stmt string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "text/plain", strings.NewReader(stmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestQueryEndpoint pins the happy path: POST a statement, get the JSON
+// Result, byte-comparable to an in-process flowql.Run of the same query.
+func TestQueryEndpoint(t *testing.T) {
+	db, qs, hs := newQueryFixture(t, QueryConfig{})
+	const stmt = `SELECT QUERY AT berlin FROM ALL`
+	resp := postQuery(t, hs.URL, stmt)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var got json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := flowql.Run(db, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(wantJSON) {
+		t.Fatalf("served result %s\n!= in-process %s", got, wantJSON)
+	}
+	if st := qs.Stats(); st.Served != 1 {
+		t.Fatalf("Served = %d, want 1", st.Served)
+	}
+}
+
+// TestQueryErrors pins the status mapping: parse errors 400, empty
+// selections 404, both counted.
+func TestQueryErrors(t *testing.T) {
+	_, qs, hs := newQueryFixture(t, QueryConfig{})
+	resp := postQuery(t, hs.URL, `SELEK BOGUS`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parse error status = %d, want 400", resp.StatusCode)
+	}
+	resp = postQuery(t, hs.URL, `SELECT QUERY AT nowhere FROM ALL`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-data status = %d, want 404", resp.StatusCode)
+	}
+	if get, err := http.Get(hs.URL + "/query"); err != nil {
+		t.Fatal(err)
+	} else {
+		get.Body.Close()
+		if get.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /query status = %d, want 405", get.StatusCode)
+		}
+	}
+	if st := qs.Stats(); st.BadRequests != 1 {
+		t.Fatalf("BadRequests = %d, want 1", st.BadRequests)
+	}
+}
+
+// TestQueryRateLimit pins the per-client token bucket: a burst-1 client's
+// second request bounces with 429 and Retry-After.
+func TestQueryRateLimit(t *testing.T) {
+	_, qs, hs := newQueryFixture(t, QueryConfig{RatePerSec: 0.001, Burst: 1})
+	resp := postQuery(t, hs.URL, `SELECT QUERY AT berlin FROM ALL`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first status = %d, want 200", resp.StatusCode)
+	}
+	resp = postQuery(t, hs.URL, `SELECT QUERY AT berlin FROM ALL`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if st := qs.Stats(); st.RateLimited != 1 {
+		t.Fatalf("RateLimited = %d, want 1", st.RateLimited)
+	}
+}
+
+// TestQueryShed pins the global in-flight cap: with the only slot held,
+// a request sheds with 429 and is counted separately from rate limiting.
+func TestQueryShed(t *testing.T) {
+	_, qs, hs := newQueryFixture(t, QueryConfig{MaxInFlight: 1})
+	qs.inflight <- struct{}{} // occupy the only slot
+	resp := postQuery(t, hs.URL, `SELECT QUERY AT berlin FROM ALL`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	<-qs.inflight
+	if st := qs.Stats(); st.Shed != 1 || st.RateLimited != 0 {
+		t.Fatalf("ledger = %+v, want 1 shed 0 rate-limited", st)
+	}
+	resp = postQuery(t, hs.URL, `SELECT QUERY AT berlin FROM ALL`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestStatsEndpoint pins the ledger shape: query counters, cache stats,
+// and the Extra hook all present.
+func TestStatsEndpoint(t *testing.T) {
+	_, _, hs := newQueryFixture(t, QueryConfig{
+		Extra: func() any { return map[string]int{"epochs": 42} },
+	})
+	resp := postQuery(t, hs.URL, `SELECT QUERY AT berlin FROM ALL`)
+	resp.Body.Close()
+	get, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", get.StatusCode)
+	}
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(get.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"query", "cache", "rate_limiter", "extra"} {
+		if _, ok := out[key]; !ok {
+			t.Fatalf("/stats missing %q: %v", key, out)
+		}
+	}
+	var cache flowdb.CacheStats
+	if err := json.Unmarshal(out["cache"], &cache); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses == 0 {
+		t.Fatal("query above did not register a cache miss")
+	}
+}
+
+// TestSubscribeSSE pins the streaming path: a standing query's
+// notifications arrive as data: lines, each the JSON Notification.
+func TestSubscribeSSE(t *testing.T) {
+	db, qs, hs := newQueryFixture(t, QueryConfig{})
+	resp, err := http.Get(hs.URL + "/subscribe?q=" + strings.ReplaceAll(`SELECT QUERY FROM ALL`, " ", "+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if err := db.InsertBatch([]flowdb.Row{seedRow(t, "berlin", 1, 9000)}); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	var payload string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended before a notification: %v", err)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			payload = strings.TrimSuffix(strings.TrimPrefix(line, "data: "), "\n")
+			break
+		}
+	}
+	var n struct {
+		Seq    uint64          `json:"seq"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(payload), &n); err != nil {
+		t.Fatalf("notification %q: %v", payload, err)
+	}
+	if n.Seq != 1 || len(n.Result) == 0 {
+		t.Fatalf("notification = %s, want seq 1 with a result", payload)
+	}
+	if st := qs.Stats(); st.Subscriptions != 1 || st.SubsActive != 1 {
+		t.Fatalf("ledger = %+v, want one active subscription", st)
+	}
+}
+
+// TestSubscribeCap pins the subscription cap: slots exhausted → 429.
+func TestSubscribeCap(t *testing.T) {
+	_, qs, hs := newQueryFixture(t, QueryConfig{MaxSubscriptions: 1})
+	qs.subSlots <- struct{}{} // occupy the only slot
+	resp, err := http.Get(hs.URL + "/subscribe?q=SELECT+QUERY+FROM+ALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if st := qs.Stats(); st.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestLimiter pins the bucket arithmetic on a fake clock: burst spends,
+// refill restores, idle buckets are swept.
+func TestLimiter(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newLimiter(10, 2)
+	l.now = func() time.Time { return now }
+
+	if !l.allow("a") || !l.allow("a") {
+		t.Fatal("burst of 2 not granted")
+	}
+	if l.allow("a") {
+		t.Fatal("third request within burst granted")
+	}
+	now = now.Add(100 * time.Millisecond) // refills 1 token at 10/s
+	if !l.allow("a") {
+		t.Fatal("refilled token not granted")
+	}
+	if l.allow("a") {
+		t.Fatal("over-refill granted")
+	}
+	if !l.allow("b") {
+		t.Fatal("fresh client denied")
+	}
+	if l.clients() != 2 {
+		t.Fatalf("clients = %d, want 2", l.clients())
+	}
+	now = now.Add(2 * time.Hour) // long past the sweep threshold
+	if !l.allow("a") {
+		t.Fatal("client a denied after refill")
+	}
+	if l.clients() != 1 { // b swept, a retained
+		t.Fatalf("clients after sweep = %d, want 1", l.clients())
+	}
+}

@@ -1,0 +1,128 @@
+package flowsource
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flow"
+)
+
+// TestPushCloseRace hammers Push against Close: producers that grabbed
+// their sitePipe before Close set the closed flag used to race the channel
+// teardown and panic on a send to the closed batch channel. The fix makes
+// every such push either deliver or return ErrClosed. Tiny MaxBatch and
+// channel depth maximize seal/dispatch frequency, a Journal hook widens
+// the dispatch window, and the sink yields so dispatches pile up at the
+// channel right when Close tears it down. Run under -race.
+func TestPushCloseRace(t *testing.T) {
+	t.Parallel()
+	recs := testRecords(t, 64)
+	for iter := 0; iter < 60; iter++ {
+		src, err := New(Config{
+			MaxBatch:      3,
+			ChannelDepth:  1,
+			FlushInterval: time.Hour,
+			Journal: func(site string, rs []flow.Record) error {
+				return nil
+			},
+			Sink: func(site string, parts [][]flow.Record) error {
+				time.Sleep(10 * time.Microsecond)
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const producers = 8
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		errc := make(chan error, producers)
+		for g := 0; g < producers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				site := "site-a"
+				if g%2 == 1 {
+					site = "site-b"
+				}
+				<-start
+				for i := 0; i < 200; i++ {
+					if err := src.Push(site, recs[i%len(recs)]); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							errc <- err
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		// Prime both pipes so Close has channels to tear down even when it
+		// wins the race outright.
+		if err := src.Push("site-a", recs[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Push("site-b", recs[1]); err != nil {
+			t.Fatal(err)
+		}
+		close(start)
+		if err := src.Close(); err != nil {
+			t.Fatalf("iter %d: Close: %v", iter, err)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatalf("iter %d: push failed with non-ErrClosed error: %v", iter, err)
+		}
+		if err := src.Push("site-a", recs[0]); !errors.Is(err, ErrClosed) {
+			t.Fatalf("iter %d: post-Close Push = %v, want ErrClosed", iter, err)
+		}
+		// The ledger must balance: everything accepted was delivered,
+		// dropped at close, or is impossible — nothing vanished.
+		st := src.Stats()
+		if st.Delivered+st.Dropped != st.Frames {
+			t.Fatalf("iter %d: ledger imbalance: frames=%d delivered=%d dropped=%d",
+				iter, st.Frames, st.Delivered, st.Dropped)
+		}
+	}
+}
+
+// TestConsumeChanCloseRace closes the source while ConsumeChan producers
+// are mid-stream: the consumer must drain the channel (producers never
+// strand) and report ErrClosed.
+func TestConsumeChanCloseRace(t *testing.T) {
+	t.Parallel()
+	recs := testRecords(t, 32)
+	for iter := 0; iter < 30; iter++ {
+		src, err := New(Config{
+			MaxBatch:      4,
+			ChannelDepth:  1,
+			FlushInterval: time.Hour,
+			Sink: func(site string, parts [][]flow.Record) error {
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := make(chan flow.Record)
+		done := make(chan error, 1)
+		go func() {
+			done <- src.ConsumeChan("edge", ch)
+		}()
+		go func() {
+			for i := 0; i < 500; i++ {
+				ch <- recs[i%len(recs)]
+			}
+			close(ch)
+		}()
+		time.Sleep(time.Duration(iter%5) * 50 * time.Microsecond)
+		if err := src.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("iter %d: ConsumeChan = %v, want nil or ErrClosed", iter, err)
+		}
+	}
+}

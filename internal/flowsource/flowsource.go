@@ -115,7 +115,9 @@ type Stats struct {
 	Frames uint64
 	// Delivered counts records successfully handed to the sink.
 	Delivered uint64
-	// Dropped counts records shed by PolicyDrop at full channels.
+	// Dropped counts records shed by PolicyDrop at full channels, plus
+	// batches abandoned because the source closed while a producer was
+	// dispatching them (their Push/Consume returned ErrClosed).
 	Dropped uint64
 	// Truncated counts codec resynchronization events: garbage runs,
 	// corrupted frames and bodies absorbed by FrameReader.
@@ -176,12 +178,20 @@ type sitePipe struct {
 	site string
 
 	mu    sync.Mutex
-	cond  *sync.Cond // signals outstanding reaching zero
+	cond  *sync.Cond // signals outstanding or sending reaching zero
 	parts [][]flow.Record
 	n     int // records pending across parts
 	// outstanding counts batches enqueued but not yet through the sink;
 	// Drain waits for it to reach zero.
 	outstanding int
+	// closed marks the pipe as torn down: pushes fail with ErrClosed and
+	// dispatches abandon their batch instead of sending on a channel that
+	// close() is about to (or already did) close.
+	closed bool
+	// sending counts producers between beginSend and endSend — inside the
+	// channel-send window. close() waits for it to reach zero before it
+	// closes ch, so a send that won the race is completed, never panicked.
+	sending int
 
 	ch chan [][]flow.Record
 
@@ -270,39 +280,60 @@ func (p *sitePipe) journalParts(batch [][]flow.Record) {
 }
 
 // push coalesces one record into the site's pending batch, sealing and
-// dispatching it at MaxBatch.
-func (p *sitePipe) push(rec flow.Record) {
+// dispatching it at MaxBatch. Fails with ErrClosed once the pipe is torn
+// down: the closed check runs under p.mu, the same lock close() sets the
+// flag under, so a post-Close push can never reach the channel send.
+func (p *sitePipe) push(rec flow.Record) error {
 	s := p.src
-	s.frames.Add(1)
-	s.addQueued(1)
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
 	si := 0
 	if len(p.parts) > 1 {
 		si = s.cfg.Partition(rec, len(p.parts))
 	}
 	p.parts[si] = append(p.parts[si], rec)
 	p.n++
-	if p.n < s.cfg.MaxBatch {
-		p.mu.Unlock()
-		return
+	sealed := p.n >= s.cfg.MaxBatch
+	var batch [][]flow.Record
+	var n int
+	if sealed {
+		batch, n = p.sealLocked()
 	}
-	batch, n := p.sealLocked()
 	p.mu.Unlock()
-	p.dispatch(batch, n, s.cfg.Policy)
+	s.frames.Add(1)
+	s.addQueued(1)
+	if !sealed {
+		return nil
+	}
+	return p.dispatch(batch, n, s.cfg.Policy)
 }
 
 // pushBatch coalesces a decoded chunk under one lock acquisition and one
 // set of counter updates — the hot path of Consume, which would otherwise
 // pay a mutex round trip and two atomics per record on top of the decode.
-// Batches seal mid-chunk whenever MaxBatch fills.
-func (p *sitePipe) pushBatch(recs []flow.Record) {
+// Batches seal mid-chunk whenever MaxBatch fills. If the source closes
+// mid-chunk (the lock is released around each seal's dispatch), the tail
+// of the chunk is un-accounted and ErrClosed reported; records appended
+// before the close are flushed by close()'s final seal, so nothing
+// accepted silently disappears.
+func (p *sitePipe) pushBatch(recs []flow.Record) error {
 	if len(recs) == 0 {
-		return
+		return nil
 	}
 	s := p.src
-	s.frames.Add(uint64(len(recs)))
-	s.addQueued(int64(len(recs)))
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	// The whole chunk becomes resident up front (one atomic); the tail is
+	// un-counted on the ErrClosed paths below. Frames counts only records
+	// actually appended.
+	s.addQueued(int64(len(recs)))
+	pushed := 0
 	for _, rec := range recs {
 		si := 0
 		if len(p.parts) > 1 {
@@ -310,14 +341,27 @@ func (p *sitePipe) pushBatch(recs []flow.Record) {
 		}
 		p.parts[si] = append(p.parts[si], rec)
 		p.n++
+		pushed++
 		if p.n >= s.cfg.MaxBatch {
 			batch, n := p.sealLocked()
 			p.mu.Unlock()
-			p.dispatch(batch, n, s.cfg.Policy)
+			if err := p.dispatch(batch, n, s.cfg.Policy); err != nil {
+				s.frames.Add(uint64(pushed))
+				s.addQueued(int64(pushed - len(recs)))
+				return err
+			}
 			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				s.frames.Add(uint64(pushed))
+				s.addQueued(int64(pushed - len(recs)))
+				return ErrClosed
+			}
 		}
 	}
 	p.mu.Unlock()
+	s.frames.Add(uint64(len(recs)))
+	return nil
 }
 
 // sealLocked cuts the pending batch, accounts it as outstanding, and
@@ -342,16 +386,55 @@ func (p *sitePipe) sealLocked() ([][]flow.Record, int) {
 	return batch, n
 }
 
+// beginSend reserves the right to send on p.ch. It fails once the pipe is
+// closed — close() owns the channel from that point — un-accounting the
+// caller's outstanding batch so Drain cannot wait forever on a batch that
+// will never travel. On success the send window stays open until endSend;
+// close() waits for the window to empty before closing the channel, which
+// is what turns the old send-on-closed-channel panic into a completed
+// send or a counted ErrClosed.
+func (p *sitePipe) beginSend() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.outstanding--
+		if p.outstanding == 0 {
+			p.cond.Broadcast()
+		}
+		return false
+	}
+	p.sending++
+	return true
+}
+
+// endSend closes the send window opened by beginSend.
+func (p *sitePipe) endSend() {
+	p.mu.Lock()
+	p.sending--
+	if p.sending == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
 // dispatch journals one sealed batch, then moves it into the channel under
 // the given policy. Journaling here — the single choke point every seal
 // passes through — keeps the write-ahead ordering (journal before the sink
 // can observe the records) while paying the journal's fsync cadence per
-// batch rather than per record.
-func (p *sitePipe) dispatch(batch [][]flow.Record, n int, policy Policy) {
+// batch rather than per record. A dispatch that loses the race with Close
+// abandons the batch (counted in Stats.Dropped) and returns ErrClosed.
+func (p *sitePipe) dispatch(batch [][]flow.Record, n int, policy Policy) error {
+	if !p.beginSend() {
+		p.pool.Put(batch)
+		p.src.dropped.Add(uint64(n))
+		p.src.addQueued(int64(-n))
+		return ErrClosed
+	}
+	defer p.endSend()
 	p.journalParts(batch)
 	if policy == PolicyBlock {
 		p.ch <- batch
-		return
+		return nil
 	}
 	select {
 	case p.ch <- batch:
@@ -367,20 +450,49 @@ func (p *sitePipe) dispatch(batch [][]flow.Record, n int, policy Policy) {
 		}
 		p.mu.Unlock()
 	}
+	return nil
 }
 
 // flushNow seals and dispatches the pending partial batch, if any. Used at
 // stream EOF and by Drain; always blocking, so the records are guaranteed
-// to reach the channel.
-func (p *sitePipe) flushNow() {
+// to reach the channel (or be reported ErrClosed).
+func (p *sitePipe) flushNow() error {
 	p.mu.Lock()
-	if p.n == 0 {
+	if p.n == 0 || p.closed {
+		closed := p.closed && p.n > 0
 		p.mu.Unlock()
-		return
+		if closed {
+			return ErrClosed
+		}
+		return nil
 	}
 	batch, n := p.sealLocked()
 	p.mu.Unlock()
-	p.dispatch(batch, n, PolicyBlock)
+	return p.dispatch(batch, n, PolicyBlock)
+}
+
+// close tears the pipe down: new pushes fail with ErrClosed, in-flight
+// channel sends are waited out, the pending partial batch is sealed and
+// delivered by close itself (it holds the only remaining send right — the
+// consumer is still draining), and only then is the channel closed. This
+// ordering is why a producer racing Close gets a deterministic ErrClosed
+// instead of a send-on-closed-channel panic.
+func (p *sitePipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	for p.sending > 0 {
+		p.cond.Wait()
+	}
+	var batch [][]flow.Record
+	if p.n > 0 {
+		batch, _ = p.sealLocked()
+	}
+	p.mu.Unlock()
+	if batch != nil {
+		p.journalParts(batch)
+		p.ch <- batch
+	}
+	close(p.ch)
 }
 
 // flushLoop is the deadline flusher: every FlushInterval a non-empty
@@ -396,13 +508,13 @@ func (p *sitePipe) flushLoop() {
 			return
 		case <-tick.C:
 			p.mu.Lock()
-			if p.n == 0 {
+			if p.n == 0 || p.closed {
 				p.mu.Unlock()
 				continue
 			}
 			batch, n := p.sealLocked()
 			p.mu.Unlock()
-			p.dispatch(batch, n, p.src.cfg.Policy)
+			_ = p.dispatch(batch, n, p.src.cfg.Policy)
 		}
 	}
 }
@@ -458,7 +570,8 @@ func (s *Source) setErr(err error) {
 // Consume decodes framed records from r into the site's batches until the
 // stream ends, then flushes the site's partial batch so everything read is
 // on its way to the store. Codec damage is absorbed and counted
-// (Stats.Truncated); only genuine reader errors are returned. Safe to call
+// (Stats.Truncated); only genuine reader errors are returned, except that
+// a source closed mid-stream surfaces as ErrClosed. Safe to call
 // concurrently for different sites (one router per connection) and
 // repeatedly for the same site.
 func (s *Source) Consume(site string, r io.Reader) error {
@@ -482,45 +595,58 @@ func (s *Source) Consume(site string, r io.Reader) error {
 			break
 		}
 		if err != nil {
-			p.pushBatch(chunk)
-			p.flushNow()
+			// Best-effort flush of what decoded before the reader died;
+			// the reader error outranks a concurrent close.
+			_ = p.pushBatch(chunk)
+			_ = p.flushNow()
 			return fmt.Errorf("flowsource: read %q stream: %w", site, err)
 		}
 		chunk = append(chunk, rec)
 		if len(chunk) == cap(chunk) {
-			p.pushBatch(chunk)
+			if err := p.pushBatch(chunk); err != nil {
+				return err
+			}
 			chunk = chunk[:0]
 		}
 	}
-	p.pushBatch(chunk)
-	p.flushNow()
-	return nil
+	if err := p.pushBatch(chunk); err != nil {
+		return err
+	}
+	return p.flushNow()
 }
 
 // ConsumeChan coalesces records from a channel until it is closed, then
 // flushes the site's partial batch. The channel counterpart of Consume for
-// in-process producers.
+// in-process producers. If the source closes mid-stream the remaining
+// channel records are drained and discarded (so the producer is never
+// stranded blocking on the channel) and ErrClosed is returned.
 func (s *Source) ConsumeChan(site string, ch <-chan flow.Record) error {
 	p, err := s.pipe(site)
 	if err != nil {
 		return err
 	}
+	var firstErr error
 	for rec := range ch {
-		p.push(rec)
+		if firstErr != nil {
+			continue
+		}
+		firstErr = p.push(rec)
 	}
-	p.flushNow()
-	return nil
+	if firstErr != nil {
+		return firstErr
+	}
+	return p.flushNow()
 }
 
 // Push coalesces a single record (record-at-a-time producers). Prefer
 // Consume/ConsumeChan on hot paths; Push pays a pipe lookup per call.
+// Pushes racing or following Close return ErrClosed — never panic.
 func (s *Source) Push(site string, rec flow.Record) error {
 	p, err := s.pipe(site)
 	if err != nil {
 		return err
 	}
-	p.push(rec)
-	return nil
+	return p.push(rec)
 }
 
 // Drain flushes every pending partial batch and blocks until all batches
@@ -536,7 +662,7 @@ func (s *Source) Drain() error {
 	}
 	s.mu.Unlock()
 	for _, p := range pipes {
-		p.flushNow()
+		_ = p.flushNow()
 	}
 	for _, p := range pipes {
 		p.mu.Lock()
@@ -549,10 +675,13 @@ func (s *Source) Drain() error {
 }
 
 // Close drains the source, stops the deadline flushers and consumers, and
-// returns the first sink error (if any). Producers must have returned
-// before Close is called — a Consume still pushing while Close runs would
-// race the channel teardown. Pushes after Close fail with ErrClosed; Close
-// is idempotent.
+// returns the first sink error (if any). Close is safe against producers
+// still pushing: a Push/Consume racing Close either delivers its batch
+// before the channel seals or fails with a counted ErrClosed — it never
+// panics on a closed channel. (A push that returned nil before Close has
+// its record flushed by Close's final per-pipe seal; the only records
+// Close sheds are those of a batch whose dispatching push got ErrClosed
+// back.) Pushes after Close fail with ErrClosed; Close is idempotent.
 func (s *Source) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -568,10 +697,7 @@ func (s *Source) Close() error {
 	close(s.stop)
 	s.flushers.Wait()
 	for _, p := range pipes {
-		p.flushNow()
-	}
-	for _, p := range pipes {
-		close(p.ch)
+		p.close()
 	}
 	s.consumers.Wait()
 	return s.Err()

@@ -1,0 +1,168 @@
+package flowstream
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"megadata/internal/flowserve"
+)
+
+// ServeConfig parameterizes System.Serve: the two listen addresses plus
+// the flowserve knobs worth exposing. Zero values take the flowserve
+// defaults.
+type ServeConfig struct {
+	// Listen is the TCP ingest address ("" = loopback ephemeral) —
+	// producers connect here and stream framed records.
+	Listen string
+	// ListenHTTP is the FlowQL HTTP address ("" = loopback ephemeral).
+	ListenHTTP string
+
+	// Ingest knobs (flowserve.IngestConfig semantics).
+	MaxConns    int
+	IdleTimeout time.Duration
+	DefaultSite string
+
+	// Query knobs (flowserve.QueryConfig semantics).
+	RatePerSec       float64
+	Burst            int
+	MaxInFlight      int
+	MaxSubscriptions int
+}
+
+// Server is a System with its network face attached: the ingest listener
+// feeding the streaming source and the FlowQL HTTP front end over the
+// central DB. Build one with System.Serve; tear it down with Close.
+type Server struct {
+	sys    *System
+	ingest *flowserve.IngestServer
+	query  *flowserve.QueryServer
+	http   *http.Server
+	iAddr  net.Addr
+	hAddr  net.Addr
+}
+
+// Serve attaches the network serving layer to a streaming System (one
+// built with Config.Source). Both listeners are live on return.
+func (s *System) Serve(cfg ServeConfig) (*Server, error) {
+	if s.source == nil {
+		return nil, errors.New("flowstream: Serve requires a streaming System (Config.Source)")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.ListenHTTP == "" {
+		cfg.ListenHTTP = "127.0.0.1:0"
+	}
+	if cfg.DefaultSite == "" {
+		// A preamble-less producer must land on a real site: the sink
+		// rejects unknown sites, and flowserve's generic default is not
+		// one of ours.
+		cfg.DefaultSite = s.cfg.Sites[0]
+	}
+	ingest, err := flowserve.NewIngest(flowserve.IngestConfig{
+		Source:      s.source,
+		MaxConns:    cfg.MaxConns,
+		IdleTimeout: cfg.IdleTimeout,
+		DefaultSite: cfg.DefaultSite,
+	})
+	if err != nil {
+		return nil, err
+	}
+	query, err := flowserve.NewQuery(flowserve.QueryConfig{
+		DB:               s.DB,
+		RatePerSec:       cfg.RatePerSec,
+		Burst:            cfg.Burst,
+		MaxInFlight:      cfg.MaxInFlight,
+		MaxSubscriptions: cfg.MaxSubscriptions,
+		Extra: func() any {
+			return map[string]any{
+				"epoch":  s.Epoch(),
+				"source": s.SourceStats(),
+				"ingest": ingest.Stats(),
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	iln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	hln, err := net.Listen("tcp", cfg.ListenHTTP)
+	if err != nil {
+		iln.Close()
+		return nil, err
+	}
+	srv := &Server{
+		sys:    s,
+		ingest: ingest,
+		query:  query,
+		// Read timeouts bound the HTTP side's slow-loris surface: a
+		// client dribbling headers or body is cut off; /subscribe streams
+		// are write-side and unaffected.
+		http: &http.Server{
+			Handler:           query.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+		},
+		iAddr: iln.Addr(),
+		hAddr: hln.Addr(),
+	}
+	go ingest.Serve(iln)
+	go srv.http.Serve(hln)
+	return srv, nil
+}
+
+// IngestAddr is the TCP address producers stream frames to.
+func (s *Server) IngestAddr() net.Addr { return s.iAddr }
+
+// QueryAddr is the HTTP address queries go to.
+func (s *Server) QueryAddr() net.Addr { return s.hAddr }
+
+// IngestStats snapshots the ingest connection ledger.
+func (s *Server) IngestStats() flowserve.IngestStats { return s.ingest.Stats() }
+
+// QueryStats snapshots the HTTP front-end ledger.
+func (s *Server) QueryStats() flowserve.QueryStats { return s.query.Stats() }
+
+// EndEpoch seals the epoch across every site — the periodic tick
+// cmd/flowserved drives. The System drains the streaming source first,
+// so the seal covers every record producers sent this epoch; standing
+// queries (SSE subscribers included) observe it through their views.
+func (s *Server) EndEpoch() error {
+	return s.sys.EndEpoch()
+}
+
+// Close tears the server down in drain-then-close order:
+//
+//  1. stop accepting and close ingest connections (their Consume calls
+//     return; partial data decoded so far is in the source),
+//  2. seal the final epoch — EndEpoch drains the source into the site
+//     stores first, so those last records reach the central DB,
+//  3. only then stop answering queries — detach SSE streams and shut the
+//     HTTP server down.
+//
+// So the last records a producer managed to send are queryable on the
+// way down, and in-flight queries finish against the sealed state. The
+// first teardown error is returned; teardown continues past it.
+func (s *Server) Close() error {
+	err := s.ingest.Close()
+	if eerr := s.sys.EndEpoch(); err == nil { // EndEpoch drains the source first
+		err = eerr
+	}
+	s.query.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if herr := s.http.Shutdown(ctx); herr != nil && !errors.Is(herr, http.ErrServerClosed) {
+		// Grace expired — a handler is wedged on a dead client; cut it.
+		s.http.Close()
+		if err == nil && !errors.Is(herr, context.DeadlineExceeded) {
+			err = herr
+		}
+	}
+	return err
+}

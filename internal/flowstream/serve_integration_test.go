@@ -1,0 +1,315 @@
+package flowstream_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"megadata/internal/flowserve"
+	"megadata/internal/flowsource"
+	"megadata/internal/flowstream"
+	"megadata/internal/workload"
+)
+
+// serveT0 anchors both systems' epoch grids.
+var serveT0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+const (
+	serveEpochs  = 3
+	serveRecords = 2000
+	serveSeed    = 77
+)
+
+// newServeSystem builds a streaming system on the shared grid. TreeBudget
+// 0 keeps the trees exact, so equality below is byte-for-byte, not
+// approximate.
+func newServeSystem(t *testing.T, sites []string) *flowstream.System {
+	t.Helper()
+	sys, err := flowstream.New(flowstream.Config{
+		Sites:      sites,
+		TreeBudget: 0,
+		Epoch:      time.Minute,
+		Start:      serveT0,
+		Source:     &flowsource.Config{MaxBatch: 256, FlushInterval: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// epochBytes renders one generator epoch as framed wire bytes.
+func epochBytes(t *testing.T, gen *flowsource.Generator) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if n, err := gen.WriteEpoch(&buf); err != nil || n != serveRecords {
+		t.Fatalf("WriteEpoch: n=%d err=%v", n, err)
+	}
+	return buf.Bytes()
+}
+
+func newServeGen(t *testing.T, seed int64) *flowsource.Generator {
+	t.Helper()
+	gen, err := flowsource.NewGenerator(flowsource.GenConfig{
+		Workload: workload.FlowConfig{Seed: seed, Start: serveT0},
+		Records:  serveRecords,
+		Epoch:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServeIntegration drives the full networked pipeline over loopback
+// sockets — flowgen-identical framed streams with garbage, a mid-frame
+// disconnect, an RST-dropped producer and a slow-loris ingest client on a
+// scratch site; clean deterministic streams on the compared sites — and
+// asserts the connection ledger, then byte-for-byte central equality with
+// an in-process pipeline fed the same seeded traffic.
+func TestServeIntegration(t *testing.T) {
+	sites := []string{"west", "east"}
+	netSys := newServeSystem(t, append([]string{"noisy"}, sites...))
+	srv, err := netSys.Serve(flowstream.ServeConfig{
+		IdleTimeout: 100 * time.Millisecond,
+		RatePerSec:  10000, // rate limiting is unit-tested; stay out of the way here
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.IngestAddr().String()
+
+	// --- Phase 1: hostile traffic on the scratch site. ---
+
+	// Garbage before valid frames, then a clean FIN mid-frame: the reader
+	// resynchronizes past both (counted Truncated), the connection ends as
+	// a clean EOF.
+	dirty, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flowserve.WritePreamble(dirty, "noisy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dirty.Write([]byte("!!!! not a frame !!!!")); err != nil {
+		t.Fatal(err)
+	}
+	noisyWire := epochBytes(t, newServeGen(t, 999))
+	if _, err := dirty.Write(noisyWire[:400]); err != nil { // a few whole frames...
+		t.Fatal(err)
+	}
+	// ...then slice the next frame in half and hang up.
+	if _, err := dirty.Write(noisyWire[400:410]); err != nil {
+		t.Fatal(err)
+	}
+	dirty.Close()
+
+	// An RST-dropped producer: SetLinger(0) turns Close into a reset, so
+	// the handler sees a transport error, counted in Disconnects.
+	rst, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flowserve.WritePreamble(rst, "noisy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rst.Write(noisyWire[:200]); err != nil {
+		t.Fatal(err)
+	}
+	rst.(*net.TCPConn).SetLinger(0)
+	rst.Close()
+
+	// A slow-loris ingest client: one frame, then silence past the idle
+	// deadline. The reaper closes it and counts IdleClosed.
+	loris, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loris.Close()
+	if err := flowserve.WritePreamble(loris, "noisy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loris.Write(noisyWire[:50]); err != nil {
+		t.Fatal(err)
+	}
+
+	waitCond(t, "hostile handlers reaped", func() bool {
+		st := srv.IngestStats()
+		return st.Active == 0 && st.IdleClosed >= 1 && st.Disconnects >= 1
+	})
+	if tr := netSys.SourceStats().Truncated; tr == 0 {
+		t.Fatal("garbage and mid-frame cut not counted in Truncated")
+	}
+	frameBase := netSys.SourceStats().Frames // hostile leftovers, site noisy only
+
+	// --- Phase 2: deterministic streams on the compared sites, the same
+	// seeded traffic an in-process reference pipeline consumes. ---
+
+	refSys := newServeSystem(t, sites)
+	netGens := make([]*flowsource.Generator, len(sites))
+	refGens := make([]*flowsource.Generator, len(sites))
+	for i := range sites {
+		netGens[i] = newServeGen(t, serveSeed+int64(i))
+		refGens[i] = newServeGen(t, serveSeed+int64(i))
+	}
+	for e := 0; e < serveEpochs; e++ {
+		for i, site := range sites {
+			// One connection per epoch per site: routers reconnect, and the
+			// 100ms idle deadline above would reap a connection parked
+			// across the seal gap anyway.
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := flowserve.WritePreamble(conn, site); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write(epochBytes(t, netGens[i])); err != nil {
+				t.Fatalf("epoch %d site %s: %v", e, site, err)
+			}
+			conn.Close()
+			if err := refSys.ConsumeStream(site, bytes.NewReader(epochBytes(t, refGens[i]))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Epoch attribution is by seal boundary, so gate the seal on every
+		// record of this epoch having been decoded on the server side.
+		want := frameBase + uint64((e+1)*len(sites)*serveRecords)
+		waitCond(t, fmt.Sprintf("epoch %d decoded", e), func() bool {
+			return netSys.SourceStats().Frames >= want
+		})
+		if err := srv.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := refSys.EndEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- Phase 3: the ledger, then equality. ---
+
+	st := srv.IngestStats()
+	if want := uint64(3 + len(sites)*serveEpochs); st.Accepted != want || st.Rejected != 0 {
+		t.Fatalf("ingest ledger = %+v, want %d accepted", st, want)
+	}
+	if dropped := netSys.SourceStats().Dropped; dropped != 0 {
+		t.Fatalf("%d records dropped on the clean path", dropped)
+	}
+
+	until := serveT0.Add(serveEpochs * time.Minute)
+	for _, site := range sites {
+		netTree, netN, err := netSys.DB.Select([]string{site}, serveT0, until)
+		if err != nil {
+			t.Fatalf("%s networked select: %v", site, err)
+		}
+		refTree, refN, err := refSys.DB.Select([]string{site}, serveT0, until)
+		if err != nil {
+			t.Fatalf("%s reference select: %v", site, err)
+		}
+		if netN != refN {
+			t.Fatalf("%s merged %d epochs over the wire, %d in process", site, netN, refN)
+		}
+		if !bytes.Equal(netTree.AppendBinary(nil), refTree.AppendBinary(nil)) {
+			t.Fatalf("%s central tree differs between networked and in-process pipelines", site)
+		}
+	}
+
+	// --- Phase 4: the query path under concurrency — slow-loris HTTP
+	// client holding a connection open, identical concurrent queries
+	// coalescing to one merge. ---
+
+	httpAddr := srv.QueryAddr().String()
+	hloris, err := net.Dial("tcp", httpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hloris.Close()
+	if _, err := io.WriteString(hloris, "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 900\r\n\r\nSELECT"); err != nil {
+		t.Fatal(err) // ...and never finish the body
+	}
+
+	const stmt = `SELECT TOPK(5) AT west, east FROM ALL`
+	before := netSys.DB.CacheStats()
+	const clients = 12
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post("http://"+httpAddr+"/query", "text/plain", strings.NewReader(stmt))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d", i, resp.StatusCode)
+				return
+			}
+			bodies[i], err = io.ReadAll(resp.Body)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d answer differs:\n%s\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	after := netSys.DB.CacheStats()
+	if misses := after.Misses - before.Misses; misses != 1 {
+		t.Fatalf("%d identical queries cost %d merges, want 1 (coalesced=%d hits=%d)",
+			clients, misses, after.Coalesced-before.Coalesced, after.Hits-before.Hits)
+	}
+
+	// The served answer equals the in-process reference's answer to the
+	// same statement — the wire adds transport, not drift.
+	refRes, err := refSys.Query(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(refRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.TrimRight(bodies[0], "\n"); !bytes.Equal(got, refJSON) {
+		t.Fatalf("served answer differs from in-process reference:\n%s\n%s", got, refJSON)
+	}
+
+	if qst := srv.QueryStats(); qst.Served != clients || qst.Shed != 0 || qst.RateLimited != 0 {
+		t.Fatalf("query ledger = %+v, want %d served clean", qst, clients)
+	}
+	// The loris never completed a request — it held a connection, not a
+	// merge slot or a Served count. Hang it up so Close's HTTP shutdown
+	// is exercised on the clean path.
+	hloris.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
